@@ -1,0 +1,25 @@
+# Convenience targets for the FTA reproduction.
+
+.PHONY: install test bench bench-smoke bench-paper examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_BENCH_SCALE=smoke pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "=== $$f ==="; python $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

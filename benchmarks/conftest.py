@@ -1,0 +1,85 @@
+"""Shared infrastructure for the figure-reproduction benches.
+
+Each bench regenerates one paper figure's data via the experiment harness,
+prints the series next to the paper's qualitative claims, and saves the
+table under ``benchmarks/results/`` so EXPERIMENTS.md can reference it.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``ci`` (default: minutes total, paper per-center densities — the scale the
+shape assertions are calibrated for), ``smoke`` (seconds; tables are
+regenerated but the statistical shape assertions are skipped because the
+tiny grids are seed noise), or ``paper`` (the literal Table I sizes;
+hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import Scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> Scale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "ci").lower()
+    try:
+        return Scale(name)
+    except ValueError:
+        valid = ", ".join(s.value for s in Scale)
+        raise RuntimeError(f"REPRO_BENCH_SCALE must be one of {valid}, got {name!r}")
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def strict(scale) -> bool:
+    """Whether the qualitative shape assertions should be enforced.
+
+    At SMOKE scale the grids have 2-3 points and single-digit worker
+    counts, so trend comparisons are dominated by seed noise; the benches
+    then only regenerate and print the tables.
+    """
+    return scale is not Scale.SMOKE
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table for EXPERIMENTS.md cross-referencing."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_figure_bench(benchmark, name: str, run_figure):
+    """Benchmark one figure's experiment once, print and persist its table.
+
+    Figure experiments are full parameter sweeps, so one timed round is the
+    meaningful unit (pytest-benchmark's default multi-round sampling would
+    re-run a multi-second sweep dozens of times).  Alongside the ASCII
+    table, each metric panel is rendered as an SVG chart under
+    ``benchmarks/results/`` for visual comparison with the paper.
+    """
+    from repro.experiments.report import format_sweep
+    from repro.experiments.sweep import METRICS
+    from repro.viz.charts import render_sweep_chart
+
+    result = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    text = format_sweep(result)
+    print()
+    print(text)
+    save_result(name, text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for metric in METRICS:
+        log_y = metric == "cpu_seconds" and all(
+            v > 0
+            for algorithm in result.algorithms
+            for v in result.series(metric, algorithm)
+        )
+        svg = render_sweep_chart(result, metric, log_y=log_y)
+        (RESULTS_DIR / f"{name}_{metric}.svg").write_text(svg)
+    return result

@@ -1,0 +1,116 @@
+"""Qualitative shape checks shared by the figure benches.
+
+The reproduction target is the *shape* of each figure — who wins, by
+roughly what factor, where trends flatten — not the paper's absolute
+numbers (their substrate was a dual-Xeon testbed, ours is a simulator).
+These helpers encode the claims of Section VII-B loosely enough to be
+robust across seeds and scales.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.sweep import SweepResult
+
+
+def fraction_where(result: SweepResult, metric: str, better: str, worse: str) -> float:
+    """Fraction of grid points where ``better``'s metric <= ``worse``'s."""
+    b = result.series(metric, better)
+    w = result.series(metric, worse)
+    wins = sum(1 for x, y in zip(b, w) if x <= y + 1e-12)
+    return wins / len(b)
+
+
+def assert_mostly_fairer(result: SweepResult, better: str, worse: str, threshold=0.6):
+    """``better`` achieves lower payoff difference at most grid points."""
+    frac = fraction_where(result, "payoff_difference", better, worse)
+    assert frac >= threshold, (
+        f"{better} should be fairer than {worse} at >= {threshold:.0%} of grid "
+        f"points, got {frac:.0%} on {result.name}"
+    )
+
+
+def assert_dominates_average_payoff(
+    result: SweepResult, best: str, others: Sequence[str], rel_tol: float = 0.05
+):
+    """``best`` has the highest average payoff at every grid point.
+
+    ``rel_tol`` grants a small slack because our MPTA is a budget-bounded
+    search, not an oracle: on rare grid points a game solver's dynamics
+    can edge past the truncated search by a few percent.
+    """
+    best_series = result.series("average_payoff", best)
+    for other in others:
+        other_series = result.series("average_payoff", other)
+        for value, b, o in zip(result.values, best_series, other_series):
+            assert b >= o * (1 - rel_tol) - 1e-9, (
+                f"{best} average payoff should dominate {other} "
+                f"at {result.parameter}={value} on {result.name}: {b} < {o}"
+            )
+
+
+def assert_slowest(result: SweepResult, slow: str, others: Sequence[str], threshold=0.6):
+    """``slow`` is the most CPU-hungry arm at most grid points."""
+    slow_series = result.series("cpu_seconds", slow)
+    for other in others:
+        other_series = result.series("cpu_seconds", other)
+        wins = sum(1 for s, o in zip(slow_series, other_series) if s >= o)
+        frac = wins / len(slow_series)
+        assert frac >= threshold, (
+            f"{slow} should cost more CPU than {other} at >= {threshold:.0%} "
+            f"of grid points, got {frac:.0%} on {result.name}"
+        )
+
+
+def assert_pruned_faster_than_unpruned(result: SweepResult, algorithms: Sequence[str]):
+    """Pruned arms beat their ``-W`` twins on CPU at every epsilon."""
+    for name in algorithms:
+        pruned = result.series("cpu_seconds", name)
+        unpruned = result.series("cpu_seconds", f"{name}-W")
+        # The -W arm is epsilon-independent; compare its (constant) cost
+        # against the pruned arm across the grid.
+        wins = sum(1 for p, u in zip(pruned, unpruned) if p <= u + 1e-12)
+        assert wins >= max(1, int(0.6 * len(pruned))), (
+            f"{name} with pruning should usually be faster than {name}-W "
+            f"on {result.name}"
+        )
+
+
+def assert_effectiveness_converges_to_unpruned(
+    result: SweepResult, algorithm: str, rel_tol: float = 0.35
+):
+    """At the largest epsilon, the pruned arm's metrics approach the -W arm's.
+
+    Figures 2-3's headline: beyond a knee epsilon, pruning changes nothing
+    but CPU time.
+    """
+    for metric in ("payoff_difference", "average_payoff"):
+        pruned = result.series(metric, algorithm)[-1]
+        unpruned = result.series(metric, f"{algorithm}-W")[-1]
+        scale = max(abs(unpruned), 1e-9)
+        assert abs(pruned - unpruned) / scale <= rel_tol, (
+            f"{algorithm} {metric} at max epsilon ({pruned:.4f}) should be "
+            f"within {rel_tol:.0%} of {algorithm}-W ({unpruned:.4f}) "
+            f"on {result.name}"
+        )
+
+
+def assert_monotone_trend(
+    values: Sequence[float], direction: str, tolerance: float = 0.25
+):
+    """Series trends up/down overall: endpoints ordered, allowing local noise.
+
+    ``tolerance`` allows the endpoint comparison to be violated by up to
+    that fraction of the series' spread.
+    """
+    if len(values) < 3:
+        return  # two points are pure noise; nothing to call a trend
+    spread = max(values) - min(values)
+    slack = tolerance * spread
+    if direction == "up":
+        assert values[-1] >= values[0] - slack, f"expected upward trend, got {values}"
+    elif direction == "down":
+        assert values[-1] <= values[0] + slack, f"expected downward trend, got {values}"
+    else:
+        raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")

@@ -1,0 +1,76 @@
+"""Ablation: early termination of the game iterations.
+
+The paper's conclusion proposes "improv[ing] the game-theoretic
+algorithm's efficiency by enabling early termination of iterations".  This
+bench compares FGT with and without the patience-based early stop on the
+same instance: rounds executed, fairness achieved, and CPU time.
+"""
+
+import time
+
+from conftest import save_result
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.report import format_series_table
+from repro.games.fgt import FGTSolver
+from repro.vdps.catalog import build_catalog
+
+
+def _subproblem():
+    instance = generate_gmission_like(
+        GMissionConfig(
+            n_tasks=200,
+            n_workers=30,
+            n_delivery_points=50,
+            expiry_min_hours=0.6,
+            expiry_max_hours=2.0,
+        ),
+        seed=4,
+    )
+    return instance.subproblems()[0]
+
+
+def test_ablation_early_stop(benchmark):
+    sub = _subproblem()
+    catalog = build_catalog(sub, epsilon=0.8)
+
+    def run(solver):
+        t0 = time.process_time()
+        result = solver.solve(sub, catalog=catalog, seed=6)
+        return result, time.process_time() - t0
+
+    full_result, full_cpu = benchmark.pedantic(
+        lambda: run(FGTSolver(epsilon=0.8)), rounds=1, iterations=1
+    )
+    early_result, early_cpu = run(
+        FGTSolver(epsilon=0.8, early_stop_patience=1, early_stop_tol=1e-3)
+    )
+
+    rows = {
+        "full": [
+            float(full_result.rounds),
+            full_result.assignment.payoff_difference,
+            full_result.assignment.average_payoff,
+            full_cpu,
+        ],
+        "early-stop": [
+            float(early_result.rounds),
+            early_result.assignment.payoff_difference,
+            early_result.assignment.average_payoff,
+            early_cpu,
+        ],
+    }
+    text = format_series_table(
+        "Ablation: FGT early termination (patience=1, tol=1e-3)",
+        ["rounds", "P_dif", "avgP", "cpu_s"],
+        rows,
+    )
+    print()
+    print(text)
+    save_result("ablation_early_stop", text)
+
+    assert early_result.rounds <= full_result.rounds
+    # Early stop trades at most a modest amount of fairness for rounds.
+    assert (
+        early_result.assignment.payoff_difference
+        <= full_result.assignment.payoff_difference * 2 + 1e-9
+    )

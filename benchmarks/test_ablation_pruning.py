@@ -1,0 +1,59 @@
+"""Ablation: the distance-constrained pruning strategy in isolation.
+
+DESIGN.md §5 calls out the subset-DP's three feasibility levers; this bench
+isolates lever (a), epsilon pruning, by timing raw C-VDPS generation with
+and without it on the same center and comparing state-space sizes.
+"""
+
+import time
+
+from conftest import save_result
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.report import format_series_table
+from repro.vdps.generator import generate_cvdps
+
+
+def _center():
+    instance = generate_gmission_like(
+        GMissionConfig(n_tasks=150, n_workers=10, n_delivery_points=60), seed=0
+    )
+    return instance.centers[0], instance.travel
+
+
+def test_ablation_pruning_speedup(benchmark):
+    center, travel = _center()
+
+    def pruned():
+        travel.clear_cache()
+        return generate_cvdps(center, travel, epsilon=0.6, max_size=3)
+
+    entries_pruned = benchmark(pruned)
+
+    travel.clear_cache()
+    t0 = time.perf_counter()
+    entries_unpruned = generate_cvdps(center, travel, epsilon=None, max_size=3)
+    unpruned_seconds = time.perf_counter() - t0
+
+    rows = {
+        "pruned(eps=0.6)": [float(len(entries_pruned))],
+        "unpruned": [float(len(entries_unpruned))],
+    }
+    text = format_series_table(
+        "Ablation: C-VDPS count, pruned vs unpruned (max_size=3)",
+        ["count"],
+        rows,
+    )
+    text += f"\n  unpruned generation took {unpruned_seconds:.3f}s wall"
+    print()
+    print(text)
+    save_result("ablation_pruning", text)
+
+    # Pruning must be sound (subset of unpruned) and actually prune.
+    pruned_sets = {e.point_ids for e in entries_pruned}
+    unpruned_sets = {e.point_ids for e in entries_unpruned}
+    assert pruned_sets <= unpruned_sets
+    assert len(pruned_sets) < len(unpruned_sets)
+    # Singletons are never pruned.
+    assert {s for s in pruned_sets if len(s) == 1} == {
+        s for s in unpruned_sets if len(s) == 1
+    }

@@ -1,0 +1,81 @@
+"""Extension bench: long-run dispatch simulation (beyond the paper's scope).
+
+The paper evaluates one assignment instant; deployed platforms loop it.
+This bench runs the dispatch simulator for a working day per policy and
+reports the *cumulative* analogues of the paper's metrics: earning-rate
+gap (long-run P_dif), average earning rate, and completion rate.
+"""
+
+from conftest import save_result
+from repro.baselines.gta import GTASolver
+from repro.baselines.maxmin import MaxMinSolver
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.report import format_series_table
+from repro.games.iegt import IEGTSolver
+from repro.sim import DispatchSimulator, PoissonTaskArrivals, SimConfig
+
+POLICIES = (
+    ("GTA", GTASolver(epsilon=0.8)),
+    ("MAXMIN", MaxMinSolver(epsilon=0.8)),
+    ("IEGT", IEGTSolver(epsilon=0.8)),
+)
+
+
+def _city(seed=11):
+    instance = generate_gmission_like(
+        GMissionConfig(
+            n_tasks=60,
+            n_workers=12,
+            n_delivery_points=30,
+            expiry_min_hours=0.4,
+            expiry_max_hours=1.2,
+        ),
+        seed=seed,
+    )
+    sub = instance.subproblems()[0]
+    return sub.center, sub.workers, instance.travel
+
+
+def test_extension_longrun(benchmark):
+    center, workers, travel = _city()
+    arrivals = PoissonTaskArrivals(
+        center.delivery_points, rate_per_hour=45.0, patience=(0.5, 1.2)
+    )
+    config = SimConfig(horizon_hours=8.0, round_interval_hours=0.5, epsilon=0.8)
+
+    def run_all():
+        reports = {}
+        for name, solver in POLICIES:
+            simulator = DispatchSimulator(
+                center, workers, arrivals, solver, travel=travel, config=config
+            )
+            reports[name] = simulator.run(seed=7)
+        return reports
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {
+        name: [
+            report.cumulative_payoff_difference,
+            report.cumulative_average_payoff,
+            report.completion_rate,
+            float(report.completed_tasks),
+        ]
+        for name, report in reports.items()
+    }
+    text = format_series_table(
+        "Extension: 8h dispatch simulation (cumulative metrics)",
+        ["cum_P_dif", "cum_avgP", "completion", "completed"],
+        rows,
+    )
+    print()
+    print(text)
+    save_result("extension_longrun", text)
+
+    # The one-shot fairness ordering survives the long run.
+    assert (
+        reports["IEGT"].cumulative_payoff_difference
+        <= reports["GTA"].cumulative_payoff_difference + 1e-9
+    )
+    for report in reports.values():
+        assert report.completed_tasks > 0

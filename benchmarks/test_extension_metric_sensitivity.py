@@ -1,0 +1,70 @@
+"""Extension bench: sensitivity of the results to the distance metric.
+
+The paper uses Euclidean travel distances; city couriers move on street
+grids, which Manhattan distance approximates better.  This bench re-runs
+the default GM comparison under both metrics and checks the paper's
+qualitative conclusions (fairness ordering) are metric-robust.
+"""
+
+from conftest import save_result
+from repro.core.instance import ProblemInstance
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.report import format_series_table
+from repro.baselines.gta import GTASolver
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.geo.travel import TravelModel
+from repro.vdps.catalog import build_catalog
+
+SOLVERS = (GTASolver(epsilon=0.6), FGTSolver(epsilon=0.6), IEGTSolver(epsilon=0.6))
+
+
+def _instance_with_metric(metric):
+    instance = generate_gmission_like(GMissionConfig(), seed=2)
+    travel = TravelModel(speed_kmh=5.0, metric=metric)
+    return ProblemInstance(instance.centers, instance.workers, travel)
+
+
+def test_extension_metric_sensitivity(benchmark):
+    def run_all():
+        out = {}
+        for metric in ("euclidean", "manhattan"):
+            sub = _instance_with_metric(metric).subproblems()[0]
+            catalog = build_catalog(sub, epsilon=0.6)
+            out[metric] = {
+                solver.name: solver.solve(sub, catalog=catalog, seed=5).assignment
+                for solver in SOLVERS
+            }
+        return out
+
+    assignments = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {}
+    for metric, by_solver in assignments.items():
+        rows[f"P_dif ({metric})"] = [
+            by_solver[name].payoff_difference for name in ("GTA", "FGT", "IEGT")
+        ]
+        rows[f"avgP ({metric})"] = [
+            by_solver[name].average_payoff for name in ("GTA", "FGT", "IEGT")
+        ]
+    text = format_series_table(
+        "Extension: distance-metric sensitivity (GM defaults)",
+        ["GTA", "FGT", "IEGT"],
+        rows,
+    )
+    print()
+    print(text)
+    save_result("extension_metric_sensitivity", text)
+
+    # The fairness ordering is metric-robust: IEGT fairest under both.
+    for metric, by_solver in assignments.items():
+        assert (
+            by_solver["IEGT"].payoff_difference
+            <= by_solver["GTA"].payoff_difference + 1e-9
+        ), f"IEGT should stay fairest under {metric}"
+    # Manhattan distances are >= Euclidean, so payoffs cannot rise.
+    for name in ("GTA",):
+        assert (
+            assignments["manhattan"][name].average_payoff
+            <= assignments["euclidean"][name].average_payoff + 1e-9
+        )

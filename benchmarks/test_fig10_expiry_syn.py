@@ -1,0 +1,28 @@
+"""Figure 10: effect of the task expiration time e on the SYN dataset.
+
+Paper claims (Section VII-B e): as deadlines relax, average payoffs and
+CPU times first rise (more reachable points) then plateau once every
+worker's reachable set stops growing; payoff differences rise then hold.
+"""
+
+from conftest import run_figure_bench
+from shapes import assert_monotone_trend, assert_mostly_fairer
+
+from repro.experiments.figures import fig10_expiry_syn
+
+
+def test_fig10_expiry_syn(benchmark, scale, strict):
+    # The paper drops MPTA's uncompetitive CPU time from this figure; we
+    # keep its effectiveness panels out entirely for the same reason.
+    result = run_figure_bench(
+        benchmark,
+        "fig10_expiry_syn",
+        lambda: fig10_expiry_syn(scale=scale, seed=0, include_mpta=False),
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    assert_mostly_fairer(result, "IEGT", "GTA")
+    # Relaxed deadlines -> more reachable tasks -> higher average payoffs.
+    assert_monotone_trend(result.series("average_payoff", "GTA"), "up", 0.5)
+    # ... and a larger strategy space -> more CPU.
+    assert_monotone_trend(result.series("cpu_seconds", "FGT"), "up", 0.5)

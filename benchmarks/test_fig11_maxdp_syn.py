@@ -1,0 +1,32 @@
+"""Figure 11: effect of maxDP on the SYN dataset.
+
+Paper claims (Section VII-B f): the payoff differences of MPTA/GTA/FGT
+grow with maxDP while IEGT stays low (13-59% of the others); average
+payoffs rise with maxDP; the iterative game solvers cost more CPU than
+single-pass GTA.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_monotone_trend,
+    assert_mostly_fairer,
+    fraction_where,
+)
+
+from repro.experiments.figures import fig11_maxdp_syn
+
+
+def test_fig11_maxdp_syn(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark,
+        "fig11_maxdp_syn",
+        lambda: fig11_maxdp_syn(scale=scale, seed=0, include_mpta=False),
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    assert_mostly_fairer(result, "IEGT", "GTA")
+    assert_mostly_fairer(result, "IEGT", "FGT")
+    # Larger maxDP -> richer strategies -> higher average payoff.
+    assert_monotone_trend(result.series("average_payoff", "GTA"), "up", 0.5)
+    # Iterative solvers pay CPU over single-pass greedy at most points.
+    assert fraction_where(result, "cpu_seconds", "GTA", "FGT") >= 0.5

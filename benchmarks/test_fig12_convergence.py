@@ -1,0 +1,54 @@
+"""Figure 12: convergence of the game-theoretic approaches.
+
+Paper claim (Section VII-B g): both FGT and IEGT converge to an
+equilibrium.  We regenerate the per-round payoff-difference traces on both
+datasets and check each trace terminates at a fixed point (a round with no
+strategy switches).
+"""
+
+from conftest import save_result
+from repro.experiments.figures import fig12_convergence
+from repro.experiments.report import format_series_table
+
+
+def _render(study):
+    rows = {name: study.series(name) for name in study.traces}
+    columns = list(range(1, 1 + max(len(s) for s in rows.values())))
+    padded = {
+        name: series + [series[-1]] * (len(columns) - len(series))
+        for name, series in rows.items()
+    }
+    return format_series_table(
+        f"{study.name}: payoff difference per round",
+        columns,
+        padded,
+        column_header="round",
+    )
+
+
+def test_fig12_convergence_gm(benchmark, scale, strict):
+    study = benchmark.pedantic(
+        lambda: fig12_convergence(scale=scale, seed=0, dataset="gm"),
+        rounds=1,
+        iterations=1,
+    )
+    text = _render(study)
+    print()
+    print(text)
+    save_result("fig12_convergence_gm", text)
+    for name, trace in study.traces.items():
+        assert trace.final.switches == 0, f"{name} did not reach a fixed point"
+
+
+def test_fig12_convergence_syn(benchmark, scale, strict):
+    study = benchmark.pedantic(
+        lambda: fig12_convergence(scale=scale, seed=0, dataset="syn"),
+        rounds=1,
+        iterations=1,
+    )
+    text = _render(study)
+    print()
+    print(text)
+    save_result("fig12_convergence_syn", text)
+    for name, trace in study.traces.items():
+        assert trace.final.switches == 0, f"{name} did not reach a fixed point"

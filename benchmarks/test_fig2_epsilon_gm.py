@@ -1,0 +1,26 @@
+"""Figure 2: effect of the pruning threshold epsilon on the GM dataset.
+
+Paper claims (Section VII-B a): with a suitable epsilon the pruned
+algorithms match the unpruned ``-W`` variants' effectiveness while costing
+far less CPU; payoff differences grow then flatten as epsilon increases.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_effectiveness_converges_to_unpruned,
+    assert_pruned_faster_than_unpruned,
+)
+
+from repro.experiments.figures import fig2_epsilon_gm
+
+
+def test_fig2_epsilon_gm(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark, "fig2_epsilon_gm", lambda: fig2_epsilon_gm(scale=scale, seed=0)
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    algorithms = [a for a in result.algorithms if not a.endswith("-W")]
+    assert_pruned_faster_than_unpruned(result, algorithms)
+    for algorithm in ("GTA", "FGT", "IEGT"):
+        assert_effectiveness_converges_to_unpruned(result, algorithm)

@@ -1,0 +1,26 @@
+"""Figure 3: effect of the pruning threshold epsilon on the SYN dataset.
+
+Same claims as Figure 2 on the uniform synthetic data: pruning preserves
+effectiveness beyond a knee epsilon (2 km in the paper) at a fraction of
+the CPU cost.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_effectiveness_converges_to_unpruned,
+    assert_pruned_faster_than_unpruned,
+)
+
+from repro.experiments.figures import fig3_epsilon_syn
+
+
+def test_fig3_epsilon_syn(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark, "fig3_epsilon_syn", lambda: fig3_epsilon_syn(scale=scale, seed=0)
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    algorithms = [a for a in result.algorithms if not a.endswith("-W")]
+    assert_pruned_faster_than_unpruned(result, algorithms)
+    for algorithm in ("GTA", "FGT", "IEGT"):
+        assert_effectiveness_converges_to_unpruned(result, algorithm)

@@ -1,0 +1,31 @@
+"""Figure 4: effect of the number of tasks |S| on the GM dataset.
+
+Paper claims (Section VII-B b): payoff difference and average payoff both
+grow with |S|; MPTA has the highest average payoff; IEGT's payoff
+difference stays well below the fairness-blind baselines (18-35%); CPU
+times are nearly flat in |S|.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_dominates_average_payoff,
+    assert_monotone_trend,
+    assert_mostly_fairer,
+    assert_slowest,
+)
+
+from repro.experiments.figures import fig4_tasks_gm
+
+
+def test_fig4_tasks_gm(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark, "fig4_tasks_gm", lambda: fig4_tasks_gm(scale=scale, seed=0)
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    assert_mostly_fairer(result, "IEGT", "GTA")
+    assert_mostly_fairer(result, "IEGT", "MPTA")
+    assert_mostly_fairer(result, "FGT", "GTA")
+    assert_dominates_average_payoff(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    assert_slowest(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    assert_monotone_trend(result.series("average_payoff", "GTA"), "up")

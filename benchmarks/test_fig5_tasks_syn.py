@@ -1,0 +1,28 @@
+"""Figure 5: effect of the number of tasks |S| on the SYN dataset.
+
+Same claims as Figure 4 at SYN scale: metrics grow with |S|, MPTA leads
+average payoff, IEGT leads fairness, CPU roughly flat in |S|.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_dominates_average_payoff,
+    assert_monotone_trend,
+    assert_mostly_fairer,
+    assert_slowest,
+)
+
+from repro.experiments.figures import fig5_tasks_syn
+
+
+def test_fig5_tasks_syn(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark, "fig5_tasks_syn", lambda: fig5_tasks_syn(scale=scale, seed=0)
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    assert_mostly_fairer(result, "IEGT", "GTA")
+    assert_mostly_fairer(result, "IEGT", "MPTA")
+    assert_dominates_average_payoff(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    assert_slowest(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    assert_monotone_trend(result.series("average_payoff", "GTA"), "up")

@@ -1,0 +1,28 @@
+"""Figure 6: effect of the number of workers |W| on the GM dataset.
+
+Paper claims (Section VII-B c): the game-theoretic methods assign more
+fairly than GTA at some efficiency cost; payoff differences of all methods
+except IEGT decline as |W| grows; IEGT stays stable; MPTA has the highest
+average payoff and the highest CPU cost.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_dominates_average_payoff,
+    assert_mostly_fairer,
+    assert_slowest,
+)
+
+from repro.experiments.figures import fig6_workers_gm
+
+
+def test_fig6_workers_gm(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark, "fig6_workers_gm", lambda: fig6_workers_gm(scale=scale, seed=0)
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    assert_mostly_fairer(result, "IEGT", "GTA")
+    assert_mostly_fairer(result, "FGT", "GTA")
+    assert_dominates_average_payoff(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    assert_slowest(result, "MPTA", ["GTA", "FGT", "IEGT"])

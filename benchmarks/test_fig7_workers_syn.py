@@ -1,0 +1,30 @@
+"""Figure 7: effect of the number of workers |W| on the SYN dataset.
+
+Same claims as Figure 6: fairness gap in favour of the game-theoretic
+methods, payoff differences trending down with more workers for the
+fairness-blind methods, IEGT stable.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_dominates_average_payoff,
+    assert_monotone_trend,
+    assert_mostly_fairer,
+    assert_slowest,
+)
+
+from repro.experiments.figures import fig7_workers_syn
+
+
+def test_fig7_workers_syn(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark, "fig7_workers_syn", lambda: fig7_workers_syn(scale=scale, seed=0)
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    assert_mostly_fairer(result, "IEGT", "GTA")
+    assert_mostly_fairer(result, "FGT", "GTA")
+    assert_dominates_average_payoff(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    assert_slowest(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    # More workers competing for the same tasks: greedy unfairness shrinks.
+    assert_monotone_trend(result.series("payoff_difference", "GTA"), "down", 0.5)

@@ -1,0 +1,27 @@
+"""Figure 8: effect of the number of delivery points |DP| on the GM dataset.
+
+Paper claims (Section VII-B d): payoff differences decline as |DP| grows
+(more strategies to balance with); average payoffs also decline (fewer
+tasks per point); MPTA's CPU dominates all others.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_monotone_trend,
+    assert_mostly_fairer,
+    assert_slowest,
+)
+
+from repro.experiments.figures import fig8_dps_gm
+
+
+def test_fig8_dps_gm(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark, "fig8_dps_gm", lambda: fig8_dps_gm(scale=scale, seed=0)
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    assert_mostly_fairer(result, "IEGT", "GTA")
+    assert_slowest(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    # Fewer tasks per point as |DP| grows: average payoff trends down.
+    assert_monotone_trend(result.series("average_payoff", "GTA"), "down", 0.5)

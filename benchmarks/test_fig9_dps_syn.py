@@ -1,0 +1,25 @@
+"""Figure 9: effect of the number of delivery points |DP| on the SYN dataset.
+
+Same claims as Figure 8 on SYN: payoff difference and average payoff both
+trend down with more delivery points; MPTA's CPU time dwarfs the others.
+"""
+
+from conftest import run_figure_bench
+from shapes import (
+    assert_monotone_trend,
+    assert_mostly_fairer,
+    assert_slowest,
+)
+
+from repro.experiments.figures import fig9_dps_syn
+
+
+def test_fig9_dps_syn(benchmark, scale, strict):
+    result = run_figure_bench(
+        benchmark, "fig9_dps_syn", lambda: fig9_dps_syn(scale=scale, seed=0)
+    )
+    if not strict:
+        return  # SMOKE grids are seed noise; tables above are the artefact
+    assert_mostly_fairer(result, "IEGT", "GTA")
+    assert_slowest(result, "MPTA", ["GTA", "FGT", "IEGT"])
+    assert_monotone_trend(result.series("average_payoff", "GTA"), "down", 0.5)

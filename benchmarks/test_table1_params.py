@@ -1,0 +1,44 @@
+"""Table I: the experiment parameter grid itself.
+
+Regenerates the parameter table the paper reports (grids plus underlined
+defaults) from the experiment configuration, so drift between DESIGN.md,
+the harness, and the paper is caught mechanically.
+"""
+
+from conftest import save_result
+
+from repro.experiments.config import GM_GRID, SYN_GRID, Scale
+
+
+def _row(label, grid, default):
+    cells = ", ".join(str(v) for v in grid)
+    return f"  {label:45s} {cells}   [default {default}]"
+
+
+def _render():
+    gm = GM_GRID[Scale.CI]
+    syn = SYN_GRID[Scale.PAPER]
+    lines = ["Table I — experiment parameters (paper grids)"]
+    lines.append(_row("Distance threshold eps (km) (GM)", gm.epsilon_grid, gm.epsilon_default))
+    lines.append(_row("Distance threshold eps (km) (SYN)", syn.epsilon_grid, syn.epsilon_default))
+    lines.append(_row("Number of tasks |S| (GM)", gm.tasks_grid, gm.tasks_default))
+    lines.append(_row("Number of tasks |S| (SYN)", syn.tasks_grid, syn.tasks_default))
+    lines.append(_row("Number of workers |W| (GM)", gm.workers_grid, gm.workers_default))
+    lines.append(_row("Number of workers |W| (SYN)", syn.workers_grid, syn.workers_default))
+    lines.append(_row("Number of delivery points |DP| (GM)", gm.dps_grid, gm.dps_default))
+    lines.append(_row("Number of delivery points |DP| (SYN)", syn.dps_grid, syn.dps_default))
+    lines.append(_row("Expiration time of tasks e (h) (SYN)", syn.expiry_grid, syn.expiry_default))
+    lines.append(_row("Max acceptable delivery points maxDP (SYN)", syn.maxdp_grid, syn.maxdp_default))
+    return "\n".join(lines)
+
+
+def test_table1_params(benchmark):
+    text = benchmark.pedantic(_render, rounds=1, iterations=1)
+    print()
+    print(text)
+    save_result("table1_params", text)
+    # Spot-check the underlined Table I values survived into the config.
+    assert "[default 0.6]" in text
+    assert "[default 2.0]" in text
+    assert "100000" in text
+    assert "[default 3]" in text

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Fleet-sizing study: how fairness changes as a courier fleet grows.
+
+A delivery platform deciding how many couriers to keep on shift cares about
+two curves: average courier earnings (efficiency) and the earnings gap
+(fairness, which drives churn).  This script reuses the paper's Figure 6/7
+experiment machinery to sweep the fleet size on a synthetic multi-depot
+city and prints both curves for the greedy and the evolutionary policies.
+
+Run:
+    python examples/courier_fleet_sweep.py
+"""
+
+from repro import SynConfig, generate_synthetic
+from repro.experiments.report import format_series_table, format_ratio_line
+from repro.experiments.runner import default_algorithms
+from repro.experiments.sweep import run_sweep
+
+FLEET_SIZES = [20, 40, 60, 80]
+EPSILON_KM = 2.0
+
+
+def make_city(n_couriers: int):
+    config = SynConfig(
+        n_centers=2,  # two depots
+        n_workers=n_couriers,
+        n_delivery_points=120,
+        n_tasks=2400,
+        expiry_hours=2.0,
+        space_km=18.0,
+    )
+    return generate_synthetic(config, seed=99)
+
+
+def main() -> None:
+    result = run_sweep(
+        name="Fleet sizing",
+        parameter="couriers",
+        values=FLEET_SIZES,
+        make_instance=make_city,
+        algorithms=default_algorithms(include_mpta=False),
+        epsilon_for=lambda _: EPSILON_KM,
+        seed=1,
+    )
+
+    print(
+        format_series_table(
+            "Earnings gap (payoff difference) vs fleet size",
+            FLEET_SIZES,
+            {a: result.series("payoff_difference", a) for a in result.algorithms},
+            column_header="couriers",
+        )
+    )
+    print()
+    print(
+        format_series_table(
+            "Average courier earnings rate vs fleet size",
+            FLEET_SIZES,
+            {a: result.series("average_payoff", a) for a in result.algorithms},
+            column_header="couriers",
+        )
+    )
+    print()
+    print(format_ratio_line(result, "payoff_difference", "IEGT", "GTA"))
+    print(
+        "\nReading: growing the fleet dilutes everyone's earnings but "
+        "shrinks the greedy policy's unfairness; the evolutionary policy "
+        "keeps the gap low at every fleet size (the paper's Figure 7 "
+        "stability claim)."
+    )
+
+
+if __name__ == "__main__":
+    main()

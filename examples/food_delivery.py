@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Food-delivery scenario: a lunch-rush dispatch round on clustered demand.
+
+Simulates the paper's motivating use case — on-demand local delivery —
+with a gMission-like clustered city: restaurants' orders pool at a dark
+kitchen (the distribution center), couriers are scattered across town, and
+orders expire (cold food is a failed delivery).  The script dispatches one
+assignment round with every algorithm and reports fairness, throughput,
+and which couriers would have gone home empty-handed under each policy.
+
+Run:
+    python examples/food_delivery.py
+"""
+
+from repro import (
+    FGTSolver,
+    GMissionConfig,
+    GTASolver,
+    IEGTSolver,
+    MPTASolver,
+    generate_gmission_like,
+)
+from repro.core.fairness import gini_coefficient, jain_index
+from repro.vdps import build_catalog
+
+EPSILON_KM = 0.6  # chain drop-offs at most 600 m apart (dense lunch zones)
+
+
+def main() -> None:
+    config = GMissionConfig(
+        n_tasks=150,  # lunch orders in flight
+        n_workers=18,  # couriers on shift
+        n_delivery_points=40,  # k-means "micro-zones" of drop-off addresses
+        expiry_min_hours=0.3,  # 18 minutes: hot food
+        expiry_max_hours=0.9,
+        max_delivery_points=3,
+    )
+    instance = generate_gmission_like(config, seed=2024)
+    sub = instance.subproblems()[0]
+    print(f"Lunch rush: {sub.describe()}")
+
+    # Build the strategy space once; every dispatch policy shares it.
+    catalog = build_catalog(sub, epsilon=EPSILON_KM)
+    print(f"Strategy space: {catalog.describe()}\n")
+
+    header = (
+        f"{'policy':<6} {'P_dif':>8} {'avgP':>8} {'gini':>6} {'jain':>6} "
+        f"{'orders':>7} {'idle couriers':>14}"
+    )
+    print(header)
+    print("-" * len(header))
+    for solver in (
+        GTASolver(epsilon=EPSILON_KM),
+        MPTASolver(epsilon=EPSILON_KM, node_budget=100_000),
+        FGTSolver(epsilon=EPSILON_KM),
+        IEGTSolver(epsilon=EPSILON_KM),
+    ):
+        result = solver.solve(sub, catalog=catalog, seed=11)
+        a = result.assignment
+        payoffs = a.payoffs
+        idle = [p.worker.worker_id for p in a if not p.delivery_point_ids]
+        print(
+            f"{solver.name:<6} {a.payoff_difference:>8.3f} "
+            f"{a.average_payoff:>8.3f} {gini_coefficient(payoffs):>6.3f} "
+            f"{jain_index(payoffs):>6.3f} {a.assigned_task_count:>7d} "
+            f"{len(idle):>14d}"
+        )
+
+    print(
+        "\nReading: MPTA/GTA deliver the most orders per courier-hour but "
+        "concentrate earnings (high Gini); IEGT spreads earnings most "
+        "evenly — the retention argument the paper opens with."
+    )
+
+
+if __name__ == "__main__":
+    main()

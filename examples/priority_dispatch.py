@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Priority-aware dispatch: senior couriers earn proportionally more.
+
+The paper's conclusion names priority-aware fairness as a future research
+direction; this library implements it (see ``repro.core.priority``).  The
+example gives three couriers seniority weights and compares the plain FGT
+game against the priority-aware one: plain IAU pushes everyone toward
+*equal* payoffs, while the priority-aware game pushes payoffs toward
+*priority-proportional* shares.
+
+Run:
+    python examples/priority_dispatch.py
+"""
+
+from repro import (
+    FGTSolver,
+    GMissionConfig,
+    PriorityModel,
+    generate_gmission_like,
+    payoff_difference,
+    priority_payoff_difference,
+)
+from repro.vdps import build_catalog
+
+
+def main() -> None:
+    instance = generate_gmission_like(
+        GMissionConfig(
+            n_tasks=140,
+            n_workers=10,
+            n_delivery_points=35,
+            expiry_min_hours=0.6,
+            expiry_max_hours=1.8,
+        ),
+        seed=21,
+    )
+    sub = instance.subproblems()[0]
+    catalog = build_catalog(sub, epsilon=0.8)
+
+    # Seniority: w0 is a veteran (weight 3), w1 a trainee (weight 0.4).
+    priorities = PriorityModel({"gm_w0": 3.0, "gm_w1": 0.4})
+
+    # With beta <= 1 the IAU is strictly increasing in a worker's own
+    # payoff, so best responses ignore the inequity terms entirely (see
+    # DESIGN.md §5); beta = 1.5 makes guilt strong enough that workers
+    # decline payoffs that put them too far ahead, which is where both the
+    # plain and the priority-normalised inequity models start to bite.
+    alpha, beta = 0.5, 1.5
+
+    print(f"{sub.describe()}  (alpha={alpha}, beta={beta})\n")
+    print(f"{'game':<15} {'plain P_dif':>12} {'priority P_dif':>15}  per-worker payoffs")
+    for label, solver in (
+        ("plain IAU", FGTSolver(epsilon=0.8, alpha=alpha, beta=beta)),
+        (
+            "priority-aware",
+            FGTSolver(epsilon=0.8, alpha=alpha, beta=beta, priorities=priorities),
+        ),
+    ):
+        result = solver.solve(sub, catalog=catalog, seed=13)
+        assignment = result.assignment
+        ids = [p.worker.worker_id for p in assignment]
+        payoffs = assignment.payoffs
+        plain = payoff_difference(payoffs)
+        prio = priority_payoff_difference(payoffs, ids, priorities)
+        shown = ", ".join(
+            f"{wid.removeprefix('gm_')}={p:.2f}" for wid, p in zip(ids, payoffs)
+        )
+        print(f"{label:<15} {plain:>12.3f} {prio:>15.3f}  {shown}")
+
+    print(
+        "\nReading: the priority-aware game accepts a larger raw payoff "
+        "spread in exchange for a smaller *priority-normalised* spread — "
+        "the veteran ends up earning several times the trainee, which is "
+        "what the seniority weights define as fair."
+    )
+
+
+if __name__ == "__main__":
+    main()

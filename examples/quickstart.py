@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: fair task assignment on a tiny hand-built delivery scenario.
+
+Builds the smallest interesting FTA instance by hand — one distribution
+center, five delivery points, two couriers — then compares the greedy
+baseline (GTA) against the two fairness-aware game-theoretic solvers (FGT
+and IEGT) on the paper's two effectiveness metrics.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    DeliveryPoint,
+    DistributionCenter,
+    FGTSolver,
+    GTASolver,
+    IEGTSolver,
+    Point,
+    ProblemInstance,
+    SpatialTask,
+    TravelModel,
+    Worker,
+)
+
+
+def build_instance() -> ProblemInstance:
+    """A Figure-1-style scenario: one depot, five drop-off points, two couriers."""
+
+    def dp(dp_id: str, x: float, y: float, n_tasks: int, expiry: float) -> DeliveryPoint:
+        tasks = tuple(
+            SpatialTask(f"{dp_id}_t{i}", dp_id, expiry=expiry) for i in range(n_tasks)
+        )
+        return DeliveryPoint(dp_id, Point(x, y), tasks)
+
+    center = DistributionCenter(
+        "depot",
+        Point(2.0, 2.0),
+        (
+            dp("dp1", 1.0, 1.0, n_tasks=6, expiry=2.5),
+            dp("dp2", 2.0, 0.5, n_tasks=3, expiry=4.0),
+            dp("dp3", 3.0, 1.0, n_tasks=4, expiry=5.0),
+            dp("dp4", 3.5, 2.0, n_tasks=2, expiry=5.0),
+            dp("dp5", 4.0, 3.0, n_tasks=2, expiry=6.0),
+        ),
+    )
+    workers = (
+        Worker("w1", Point(1.0, 2.0), max_delivery_points=3, center_id="depot"),
+        Worker("w2", Point(3.0, 1.0), max_delivery_points=3, center_id="depot"),
+    )
+    # Unit speed so travel times equal distances, as in the paper's example.
+    return ProblemInstance((center,), workers, TravelModel(speed_kmh=1.0))
+
+
+def main() -> None:
+    instance = build_instance()
+    print(instance.describe())
+    sub = instance.subproblems()[0]
+
+    print(f"\n{'solver':<6} {'payoff diff':>12} {'avg payoff':>12}  routes")
+    for solver in (GTASolver(), FGTSolver(), IEGTSolver()):
+        result = solver.solve(sub, seed=7)
+        assignment = result.assignment
+        routes = ", ".join(
+            f"{wid}->{'+'.join(dps) if dps else 'idle'}"
+            for wid, dps in assignment.as_mapping().items()
+        )
+        print(
+            f"{solver.name:<6} {assignment.payoff_difference:>12.3f} "
+            f"{assignment.average_payoff:>12.3f}  {routes}"
+        )
+
+    print(
+        "\nGTA chases raw payoff and leaves one courier far behind; the "
+        "game-theoretic solvers close most of that gap at a small average-"
+        "payoff cost — the paper's Figure 1 in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Render a city map and a figure-style chart as standalone SVG files.
+
+Uses the library's dependency-free SVG renderer (``repro.viz``): no
+matplotlib required.  Produces two files in the working directory:
+
+* ``city_map.svg`` — the instance's geography: delivery points sized by
+  task count, workers as crosses, the distribution center as a square;
+* ``workers_sweep.svg`` — a Figure-7-style chart (payoff difference vs
+  fleet size) regenerated live;
+* ``earnings.svg`` — the per-worker payoff distribution of one IEGT
+  assignment (the fairness staircase).
+
+Run:
+    python examples/visualize_city.py
+"""
+
+from pathlib import Path
+
+from repro import GMissionConfig, IEGTSolver, generate_gmission_like
+from repro.experiments.config import Scale
+from repro.experiments.figures import fig6_workers_gm
+from repro.viz import (
+    render_instance_map,
+    render_payoff_distribution,
+    render_sweep_chart,
+)
+
+
+def main() -> None:
+    # 1. The map.
+    instance = generate_gmission_like(
+        GMissionConfig(n_tasks=160, n_workers=20, n_delivery_points=40), seed=3
+    )
+    sub = instance.subproblems()[0]
+    map_path = Path("city_map.svg")
+    map_path.write_text(render_instance_map(sub))
+    print(f"wrote {map_path} ({sub.describe()})")
+
+    # 2. The chart: regenerate the Figure 6 experiment at smoke scale and
+    #    render its fairness panel.
+    sweep = fig6_workers_gm(scale=Scale.SMOKE, seed=0, include_mpta=False)
+    chart_path = Path("workers_sweep.svg")
+    chart_path.write_text(render_sweep_chart(sweep, "payoff_difference"))
+    print(f"wrote {chart_path} ({sweep.name}, algorithms: {sweep.algorithms})")
+
+    # 3. The distribution: one IEGT assignment's payoff staircase.
+    result = IEGTSolver(epsilon=0.8).solve(sub, seed=1)
+    dist_path = Path("earnings.svg")
+    dist_path.write_text(
+        render_payoff_distribution(result.assignment, title="IEGT worker payoffs")
+    )
+    print(f"wrote {dist_path} ({result.assignment.describe()})")
+
+    print(
+        "\nOpen the SVG files in a browser; swap Scale.SMOKE for Scale.CI "
+        "to regenerate the paper-shaped curves (takes a few minutes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

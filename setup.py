@@ -1,0 +1,8 @@
+"""Setup shim for legacy editable installs (offline environments without
+the ``wheel`` package, where PEP 660 builds are unavailable).  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

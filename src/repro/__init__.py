@@ -1,0 +1,126 @@
+"""Fairness-aware Task Assignment in Spatial Crowdsourcing (FTA).
+
+A reproduction of Zhao et al., "Fairness-aware Task Assignment in Spatial
+Crowdsourcing: Game-Theoretic Approaches" (ICDE 2021): Valid Delivery Point
+Set generation with distance-constrained pruning, the FGT best-response
+game, the IEGT evolutionary game, the MPTA/GTA baselines, dataset
+generators, and the full experiment harness for the paper's Figures 2-12.
+
+Quickstart::
+
+    from repro import GMissionConfig, generate_gmission_like, FGTSolver
+
+    instance = generate_gmission_like(GMissionConfig(n_tasks=120), seed=7)
+    sub = instance.subproblems()[0]
+    result = FGTSolver(epsilon=0.6).solve(sub, seed=7)
+    print(result.assignment.describe())
+"""
+
+from repro.core import (
+    Assignment,
+    DeliveryPoint,
+    DistributionCenter,
+    InequityAversion,
+    InvalidAssignmentError,
+    InvalidInstanceError,
+    PriorityModel,
+    ProblemInstance,
+    ReproError,
+    Route,
+    SpatialTask,
+    SubProblem,
+    Worker,
+    WorkerAssignment,
+    average_payoff,
+    payoff_difference,
+    priority_payoff_difference,
+    worker_payoff,
+)
+from repro.geo import GridIndex, Metric, Point, TravelModel
+from repro.vdps import VDPSCatalog, WorkerStrategy, build_catalog, generate_cvdps
+from repro.games import (
+    ConvergenceTrace,
+    FGTSolver,
+    GameResult,
+    IEGTSolver,
+    is_pure_nash,
+)
+from repro.baselines import (
+    ExhaustiveSolver,
+    GTASolver,
+    MaxMinSolver,
+    MPTASolver,
+    RandomSolver,
+)
+from repro.datasets import (
+    GMissionConfig,
+    SynConfig,
+    generate_gmission_like,
+    generate_synthetic,
+    kmeans,
+    load_instance,
+    save_instance,
+)
+from repro.analysis import compare_assignments, decompose_fairness, diagnose
+from repro.parallel import InstanceSolution, solve_instance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geo
+    "Point",
+    "Metric",
+    "TravelModel",
+    "GridIndex",
+    # core
+    "SpatialTask",
+    "DeliveryPoint",
+    "DistributionCenter",
+    "Worker",
+    "ProblemInstance",
+    "SubProblem",
+    "Route",
+    "Assignment",
+    "WorkerAssignment",
+    "InequityAversion",
+    "PriorityModel",
+    "worker_payoff",
+    "average_payoff",
+    "payoff_difference",
+    "priority_payoff_difference",
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidAssignmentError",
+    # vdps
+    "generate_cvdps",
+    "build_catalog",
+    "VDPSCatalog",
+    "WorkerStrategy",
+    # games
+    "FGTSolver",
+    "IEGTSolver",
+    "GameResult",
+    "ConvergenceTrace",
+    "is_pure_nash",
+    # baselines
+    "GTASolver",
+    "MPTASolver",
+    "MaxMinSolver",
+    "RandomSolver",
+    "ExhaustiveSolver",
+    # datasets
+    "SynConfig",
+    "generate_synthetic",
+    "GMissionConfig",
+    "generate_gmission_like",
+    "kmeans",
+    "save_instance",
+    "load_instance",
+    # analysis & parallel
+    "diagnose",
+    "compare_assignments",
+    "decompose_fairness",
+    "solve_instance",
+    "InstanceSolution",
+]

@@ -1,0 +1,22 @@
+"""Assignment diagnostics: per-worker breakdowns, comparisons, decompositions."""
+
+from repro.analysis.diagnostics import (
+    AssignmentDiagnostics,
+    WorkerDiagnostics,
+    diagnose,
+)
+from repro.analysis.compare import AssignmentComparison, compare_assignments
+from repro.analysis.decomposition import (
+    FairnessDecomposition,
+    decompose_fairness,
+)
+
+__all__ = [
+    "WorkerDiagnostics",
+    "AssignmentDiagnostics",
+    "diagnose",
+    "AssignmentComparison",
+    "compare_assignments",
+    "FairnessDecomposition",
+    "decompose_fairness",
+]

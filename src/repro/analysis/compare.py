@@ -1,0 +1,122 @@
+"""Side-by-side comparison of two assignments over the same workers.
+
+Answers the operational question behind the paper's Figure 1: switching
+from policy A to policy B, *who* gains, who loses, and what happens to the
+fairness/efficiency aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.assignment import Assignment
+
+
+@dataclass(frozen=True)
+class WorkerDelta:
+    """One worker's payoff change between two assignments."""
+
+    worker_id: str
+    payoff_a: float
+    payoff_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.payoff_b - self.payoff_a
+
+
+@dataclass(frozen=True)
+class AssignmentComparison:
+    """Aggregate and per-worker differences between assignments A and B."""
+
+    label_a: str
+    label_b: str
+    deltas: Tuple[WorkerDelta, ...]
+    payoff_difference_a: float
+    payoff_difference_b: float
+    average_payoff_a: float
+    average_payoff_b: float
+
+    @property
+    def winners(self) -> List[WorkerDelta]:
+        """Workers strictly better off under B, largest gain first."""
+        gains = [d for d in self.deltas if d.delta > 1e-12]
+        return sorted(gains, key=lambda d: -d.delta)
+
+    @property
+    def losers(self) -> List[WorkerDelta]:
+        """Workers strictly worse off under B, largest loss first."""
+        losses = [d for d in self.deltas if d.delta < -1e-12]
+        return sorted(losses, key=lambda d: d.delta)
+
+    @property
+    def unchanged_count(self) -> int:
+        return len(self.deltas) - len(self.winners) - len(self.losers)
+
+    @property
+    def fairness_improvement(self) -> float:
+        """Reduction of ``P_dif`` going from A to B (positive = B fairer)."""
+        return self.payoff_difference_a - self.payoff_difference_b
+
+    @property
+    def efficiency_cost(self) -> float:
+        """Average-payoff drop going from A to B (positive = B pays less)."""
+        return self.average_payoff_a - self.average_payoff_b
+
+    def format(self) -> str:
+        """Multi-line text summary with the top winners and losers."""
+        lines = [
+            f"{self.label_a} -> {self.label_b}: "
+            f"P_dif {self.payoff_difference_a:.4f} -> "
+            f"{self.payoff_difference_b:.4f} "
+            f"({self.fairness_improvement:+.4f}), "
+            f"avgP {self.average_payoff_a:.4f} -> {self.average_payoff_b:.4f} "
+            f"({-self.efficiency_cost:+.4f})",
+            f"  winners={len(self.winners)} losers={len(self.losers)} "
+            f"unchanged={self.unchanged_count}",
+        ]
+        for delta in self.winners[:3]:
+            lines.append(
+                f"  + {delta.worker_id}: {delta.payoff_a:.3f} -> "
+                f"{delta.payoff_b:.3f}"
+            )
+        for delta in self.losers[:3]:
+            lines.append(
+                f"  - {delta.worker_id}: {delta.payoff_a:.3f} -> "
+                f"{delta.payoff_b:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_assignments(
+    assignment_a: Assignment,
+    assignment_b: Assignment,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> AssignmentComparison:
+    """Compare two assignments; raises if worker populations differ."""
+    payoffs_a: Dict[str, float] = {
+        p.worker.worker_id: p.payoff for p in assignment_a
+    }
+    payoffs_b: Dict[str, float] = {
+        p.worker.worker_id: p.payoff for p in assignment_b
+    }
+    if set(payoffs_a) != set(payoffs_b):
+        missing = set(payoffs_a) ^ set(payoffs_b)
+        raise ValueError(
+            f"assignments cover different workers (mismatch: {sorted(missing)[:5]})"
+        )
+    deltas = tuple(
+        WorkerDelta(wid, payoffs_a[wid], payoffs_b[wid])
+        for wid in sorted(payoffs_a)
+    )
+    return AssignmentComparison(
+        label_a=label_a,
+        label_b=label_b,
+        deltas=deltas,
+        payoff_difference_a=assignment_a.payoff_difference,
+        payoff_difference_b=assignment_b.payoff_difference,
+        average_payoff_a=assignment_a.average_payoff,
+        average_payoff_b=assignment_b.average_payoff,
+    )

@@ -1,0 +1,99 @@
+"""Fairness decomposition: who contributes how much to the unfairness.
+
+``P_dif`` (Eq. 2) is a population mean; this module attributes it to
+individual workers.  A worker's *contribution* is its mean absolute payoff
+gap to everyone else — the summand of Eq. 2 restricted to pairs involving
+that worker — and its *side* records whether it sits above or below the
+population mean (overpaid/underpaid in the inequity-aversion reading:
+envied vs envying).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+
+
+@dataclass(frozen=True)
+class WorkerFairnessShare:
+    """One worker's slice of the population unfairness."""
+
+    worker_id: str
+    payoff: float
+    contribution: float  # mean |gap| to the other workers
+    envy: float  # MP_i / (n-1): how far richer workers are ahead
+    guilt: float  # LP_i / (n-1): how far this worker is ahead of poorer ones
+
+    @property
+    def side(self) -> str:
+        """"ahead", "behind", or "balanced" relative to the others."""
+        if self.guilt > self.envy + 1e-12:
+            return "ahead"
+        if self.envy > self.guilt + 1e-12:
+            return "behind"
+        return "balanced"
+
+
+@dataclass(frozen=True)
+class FairnessDecomposition:
+    """Per-worker shares; their mean equals ``P_dif`` exactly."""
+
+    shares: Tuple[WorkerFairnessShare, ...]
+    payoff_difference: float
+
+    def most_unequal(self, k: int = 3) -> List[WorkerFairnessShare]:
+        """The ``k`` workers contributing most to unfairness."""
+        return sorted(self.shares, key=lambda s: -s.contribution)[:k]
+
+    def format(self) -> str:
+        """Multi-line text report, largest contributors first."""
+        lines = [f"P_dif={self.payoff_difference:.4f} decomposed over "
+                 f"{len(self.shares)} workers:"]
+        for share in sorted(self.shares, key=lambda s: -s.contribution):
+            lines.append(
+                f"  {share.worker_id:<12} payoff={share.payoff:>8.3f} "
+                f"contribution={share.contribution:>8.4f} [{share.side}]"
+            )
+        return "\n".join(lines)
+
+
+def decompose_fairness(assignment: Assignment) -> FairnessDecomposition:
+    """Attribute ``assignment.payoff_difference`` to its workers.
+
+    Identity verified in the tests: the mean of the per-worker
+    contributions equals Eq. 2's ``P_dif`` (each unordered pair appears in
+    exactly two workers' contributions, matching the ordered-pair double
+    count of the equation).
+    """
+    payoffs = np.asarray(assignment.payoffs, dtype=float)
+    n = payoffs.size
+    shares: List[WorkerFairnessShare] = []
+    pairs = list(assignment)
+    for idx, pair in enumerate(pairs):
+        if n < 2:
+            shares.append(
+                WorkerFairnessShare(pair.worker.worker_id, float(payoffs[idx]), 0.0, 0.0, 0.0)
+            )
+            continue
+        mine = payoffs[idx]
+        others = np.delete(payoffs, idx)
+        gaps = np.abs(others - mine)
+        envy = float(np.clip(others - mine, 0, None).sum()) / (n - 1)
+        guilt = float(np.clip(mine - others, 0, None).sum()) / (n - 1)
+        shares.append(
+            WorkerFairnessShare(
+                worker_id=pair.worker.worker_id,
+                payoff=float(mine),
+                contribution=float(gaps.mean()),
+                envy=envy,
+                guilt=guilt,
+            )
+        )
+    return FairnessDecomposition(
+        shares=tuple(shares),
+        payoff_difference=assignment.payoff_difference,
+    )

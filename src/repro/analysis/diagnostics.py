@@ -1,0 +1,114 @@
+"""Per-worker and whole-assignment diagnostics.
+
+Turns an :class:`~repro.core.assignment.Assignment` into the numbers an
+operations dashboard would show: who earns what per hour, who idles, how
+concentrated the work is, and a text rendering for logs and CLIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.fairness import gini_coefficient, jain_index
+from repro.core.payoff import payoff_difference
+
+
+@dataclass(frozen=True)
+class WorkerDiagnostics:
+    """One worker's line in the assignment report."""
+
+    worker_id: str
+    payoff: float
+    task_count: int
+    delivery_point_count: int
+    route_hours: float
+    reward: float
+    idle: bool
+
+    @property
+    def reward_per_task(self) -> float:
+        return self.reward / self.task_count if self.task_count else 0.0
+
+
+@dataclass(frozen=True)
+class AssignmentDiagnostics:
+    """The full report: per-worker rows plus population statistics."""
+
+    workers: Tuple[WorkerDiagnostics, ...]
+    payoff_difference: float
+    average_payoff: float
+    total_payoff: float
+    gini: float
+    jain: float
+    idle_count: int
+    assigned_tasks: int
+
+    @property
+    def busy_count(self) -> int:
+        return len(self.workers) - self.idle_count
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.idle_count / len(self.workers) if self.workers else 0.0
+
+    def top_earners(self, k: int = 3) -> List[WorkerDiagnostics]:
+        """The ``k`` highest-payoff workers, best first."""
+        return sorted(self.workers, key=lambda w: -w.payoff)[:k]
+
+    def bottom_earners(self, k: int = 3) -> List[WorkerDiagnostics]:
+        """The ``k`` lowest-payoff workers (idle included), worst first."""
+        return sorted(self.workers, key=lambda w: w.payoff)[:k]
+
+    def format(self, max_rows: Optional[int] = None) -> str:
+        """Multi-line text report (sorted by descending payoff)."""
+        lines = [
+            f"assignment: P_dif={self.payoff_difference:.4f} "
+            f"avgP={self.average_payoff:.4f} gini={self.gini:.3f} "
+            f"jain={self.jain:.3f} busy={self.busy_count}/{len(self.workers)} "
+            f"tasks={self.assigned_tasks}"
+        ]
+        header = f"  {'worker':<12} {'payoff':>8} {'tasks':>6} {'points':>7} {'hours':>7}"
+        lines.append(header)
+        rows = sorted(self.workers, key=lambda w: -w.payoff)
+        if max_rows is not None:
+            rows = rows[:max_rows]
+        for w in rows:
+            lines.append(
+                f"  {w.worker_id:<12} {w.payoff:>8.3f} {w.task_count:>6d} "
+                f"{w.delivery_point_count:>7d} {w.route_hours:>7.3f}"
+            )
+        return "\n".join(lines)
+
+
+def diagnose(assignment: Assignment) -> AssignmentDiagnostics:
+    """Compute the full diagnostics report for ``assignment``."""
+    rows: List[WorkerDiagnostics] = []
+    for pair in assignment:
+        route = pair.route
+        idle = route is None or len(route) == 0
+        rows.append(
+            WorkerDiagnostics(
+                worker_id=pair.worker.worker_id,
+                payoff=pair.payoff,
+                task_count=pair.task_count,
+                delivery_point_count=0 if idle else len(route),
+                route_hours=0.0 if idle else route.completion_time,
+                reward=0.0 if idle else route.total_reward,
+                idle=idle,
+            )
+        )
+    payoffs = [r.payoff for r in rows]
+    return AssignmentDiagnostics(
+        workers=tuple(rows),
+        payoff_difference=payoff_difference(payoffs),
+        average_payoff=float(np.mean(payoffs)) if payoffs else 0.0,
+        total_payoff=float(np.sum(payoffs)) if payoffs else 0.0,
+        gini=gini_coefficient(payoffs),
+        jain=jain_index(payoffs),
+        idle_count=sum(1 for r in rows if r.idle),
+        assigned_tasks=sum(r.task_count for r in rows),
+    )

@@ -1,0 +1,16 @@
+"""Baseline task-assignment algorithms: GTA, MPTA, random, exhaustive oracle."""
+
+from repro.baselines.gta import GTASolver
+from repro.baselines.mpta import MPTASolver
+from repro.baselines.maxmin import MaxMinSolver
+from repro.baselines.random_assign import RandomSolver
+from repro.baselines.exhaustive import ExhaustiveSolver, enumerate_joint_strategies
+
+__all__ = [
+    "GTASolver",
+    "MPTASolver",
+    "MaxMinSolver",
+    "RandomSolver",
+    "ExhaustiveSolver",
+    "enumerate_joint_strategies",
+]

@@ -1,0 +1,100 @@
+"""Exhaustive search over joint strategies — the test oracle.
+
+Enumerates every conflict-free joint strategy (each worker takes one of its
+VDPSs or null) and returns the lexicographic optimum of the FTA objective:
+minimal payoff difference first, maximal average payoff second.  The state
+space is ``prod_i (|ST_i| + 1)``, so this is only usable on tiny instances;
+tests use it to bound how far the heuristics sit from the true optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.instance import SubProblem
+from repro.core.payoff import average_payoff, payoff_difference
+from repro.games.base import GameResult, GameState
+from repro.games.trace import ConvergenceTrace
+from repro.utils.rng import SeedLike
+from repro.vdps.catalog import NULL_STRATEGY, VDPSCatalog, WorkerStrategy, build_catalog
+
+#: Refuse to enumerate beyond this many joint strategies.
+_DEFAULT_STATE_LIMIT = 5_000_000
+
+
+def enumerate_joint_strategies(
+    catalog: VDPSCatalog,
+) -> Iterator[Dict[str, WorkerStrategy]]:
+    """Yield every conflict-free joint strategy of ``catalog``'s workers."""
+    workers = [w.worker_id for w in catalog.workers]
+
+    def _extend(
+        depth: int, chosen: Dict[str, WorkerStrategy], claimed: Set[str]
+    ) -> Iterator[Dict[str, WorkerStrategy]]:
+        if depth == len(workers):
+            yield dict(chosen)
+            return
+        worker_id = workers[depth]
+        options: List[WorkerStrategy] = [NULL_STRATEGY]
+        options.extend(
+            s
+            for s in catalog.strategies(worker_id)
+            if not (claimed and s.conflicts_with(claimed))
+        )
+        for strategy in options:
+            chosen[worker_id] = strategy
+            added = strategy.point_ids - claimed
+            claimed |= added
+            yield from _extend(depth + 1, chosen, claimed)
+            claimed -= added
+            del chosen[worker_id]
+
+    yield from _extend(0, {}, set())
+
+
+@dataclass(frozen=True)
+class ExhaustiveSolver:
+    """Brute-force lexicographic optimum of the FTA objective."""
+
+    epsilon: Optional[float] = None
+    state_limit: int = _DEFAULT_STATE_LIMIT
+
+    @property
+    def name(self) -> str:
+        return "OPT"
+
+    def solve(
+        self,
+        sub: SubProblem,
+        catalog: Optional[VDPSCatalog] = None,
+        seed: SeedLike = None,  # accepted for interface parity; unused
+    ) -> GameResult:
+        """Enumerate all joint strategies; raise if the space is too large."""
+        if catalog is None:
+            catalog = build_catalog(sub, epsilon=self.epsilon)
+        space = 1
+        for w in catalog.workers:
+            space *= len(catalog.strategies(w.worker_id)) + 1
+            if space > self.state_limit:
+                raise ValueError(
+                    f"joint strategy space exceeds limit {self.state_limit}; "
+                    "ExhaustiveSolver is a test oracle for tiny instances"
+                )
+        best_key: Optional[Tuple[float, float]] = None
+        best: Optional[Dict[str, WorkerStrategy]] = None
+        for joint in enumerate_joint_strategies(catalog):
+            payoffs = [joint[w.worker_id].payoff for w in catalog.workers]
+            key = (payoff_difference(payoffs), -average_payoff(payoffs))
+            if best_key is None or key < best_key:
+                best_key, best = key, joint
+
+        state = GameState(catalog)
+        assert best is not None  # at least the all-null joint strategy exists
+        for worker_id, strategy in best.items():
+            if not strategy.is_null:
+                state.set_strategy(worker_id, strategy)
+        payoffs_arr = state.payoffs()
+        trace = ConvergenceTrace()
+        trace.record(1, payoffs_arr, switches=0, potential=float(payoffs_arr.sum()))
+        return GameResult(state.to_assignment(), trace, converged=True, rounds=1)

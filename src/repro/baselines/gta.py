@@ -1,0 +1,93 @@
+"""Greedy Task Assignment (GTA) — the paper's fast fairness-blind baseline.
+
+GTA "assigns each worker the VDPS with the maximal payoff from the
+unassigned tasks" (Section VII-A).  Two natural readings exist and both are
+provided:
+
+* ``order="global"`` (default): repeatedly commit the globally best
+  remaining ``(worker, VDPS)`` pair, i.e. highest payoff first across all
+  workers, skipping pairs that conflict with earlier commitments.
+* ``order="worker"``: scan workers once in their given order; each takes
+  its best available VDPS.
+
+Both run a single selection pass (no iteration), matching the CPU-time
+discussion of Figure 11.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.core.instance import SubProblem
+from repro.games.base import GameResult, GameState
+from repro.games.trace import ConvergenceTrace
+from repro.utils.rng import SeedLike
+from repro.vdps.catalog import VDPSCatalog, build_catalog
+
+_ORDERS = ("global", "worker")
+
+
+@dataclass(frozen=True)
+class GTASolver:
+    """Greedy maximal-payoff assignment without fairness."""
+
+    epsilon: Optional[float] = None
+    order: str = "global"
+
+    def __post_init__(self) -> None:
+        if self.order not in _ORDERS:
+            raise ValueError(f"order must be one of {_ORDERS}, got {self.order!r}")
+
+    @property
+    def name(self) -> str:
+        return "GTA" if self.epsilon is not None else "GTA-W"
+
+    def solve(
+        self,
+        sub: SubProblem,
+        catalog: Optional[VDPSCatalog] = None,
+        seed: SeedLike = None,  # accepted for interface parity; unused
+    ) -> GameResult:
+        """Greedy selection; ``seed`` is ignored (GTA is deterministic)."""
+        if catalog is None:
+            catalog = build_catalog(sub, epsilon=self.epsilon)
+        state = GameState(catalog)
+        if self.order == "worker":
+            self._worker_order_pass(state, catalog)
+        else:
+            self._global_order_pass(state, catalog)
+        payoffs = state.payoffs()
+        trace = ConvergenceTrace()
+        trace.record(1, payoffs, switches=0, potential=float(payoffs.sum()))
+        return GameResult(state.to_assignment(), trace, converged=True, rounds=1)
+
+    def _worker_order_pass(self, state: GameState, catalog: VDPSCatalog) -> None:
+        for worker in catalog.workers:
+            available = state.available_strategies(worker.worker_id)
+            if available:
+                # Catalog strategies are sorted best payoff first.
+                state.set_strategy(worker.worker_id, available[0])
+
+    def _global_order_pass(self, state: GameState, catalog: VDPSCatalog) -> None:
+        # Lazy-deletion heap over every (payoff, worker, strategy) candidate:
+        # when the popped best conflicts with commitments it is simply stale.
+        heap = []
+        counter = 0
+        for worker in catalog.workers:
+            for strategy in catalog.strategies(worker.worker_id):
+                heap.append((-strategy.payoff, counter, worker.worker_id, strategy))
+                counter += 1
+        heapq.heapify(heap)
+        assigned: Set[str] = set()
+        claimed: Set[str] = set()
+        while heap:
+            _, _, worker_id, strategy = heapq.heappop(heap)
+            if worker_id in assigned:
+                continue
+            if strategy.point_ids & claimed:
+                continue
+            state.set_strategy(worker_id, strategy)
+            assigned.add(worker_id)
+            claimed |= strategy.point_ids

@@ -1,0 +1,80 @@
+"""Max-min fairness baseline (after Ye et al., the paper's reference [20]).
+
+The related-work section discusses fair allocation that "maximize[s] the
+minimum utility ... for all workers" in non-spatial task allocation.  This
+solver ports that notion into the FTA setting as an additional comparator:
+repeatedly give the currently poorest worker its best available VDPS.  It
+is fairness-aware but, unlike FGT/IEGT, neither strategic nor
+inequity-model-based, which makes it a useful ablation point between GTA
+and the game-theoretic methods.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.instance import SubProblem
+from repro.games.base import GameResult, GameState
+from repro.games.trace import ConvergenceTrace
+from repro.utils.rng import SeedLike
+from repro.vdps.catalog import VDPSCatalog, build_catalog
+
+
+@dataclass(frozen=True)
+class MaxMinSolver:
+    """Progressive-filling heuristic: always serve the poorest worker next.
+
+    Each round picks the worker with the lowest current payoff that still
+    has an available strategy improving it, and applies the *smallest*
+    improving strategy (lifting the floor gently keeps options open for the
+    other poor workers).  Stops when no poorest worker can improve.
+    """
+
+    epsilon: Optional[float] = None
+    max_rounds: int = 10_000
+
+    @property
+    def name(self) -> str:
+        return "MAXMIN"
+
+    def solve(
+        self,
+        sub: SubProblem,
+        catalog: Optional[VDPSCatalog] = None,
+        seed: SeedLike = None,  # accepted for interface parity; unused
+    ) -> GameResult:
+        """Run progressive filling; deterministic, ``seed`` is ignored."""
+        if catalog is None:
+            catalog = build_catalog(sub, epsilon=self.epsilon)
+        state = GameState(catalog)
+        rounds = 0
+        converged = False
+        for rounds in range(1, self.max_rounds + 1):
+            if not self._lift_poorest(state):
+                converged = True
+                break
+        payoffs = state.payoffs()
+        trace = ConvergenceTrace()
+        trace.record(max(rounds, 1), payoffs, switches=0, potential=float(payoffs.sum()))
+        return GameResult(state.to_assignment(), trace, converged, rounds)
+
+    def _lift_poorest(self, state: GameState) -> bool:
+        """Give the poorest improvable worker its smallest improvement."""
+        order = sorted(
+            state.workers,
+            key=lambda w: (state.strategy_of(w.worker_id).payoff, w.worker_id),
+        )
+        for worker in order:
+            wid = worker.worker_id
+            current = state.strategy_of(wid).payoff
+            best = None
+            best_payoff = math.inf
+            for strategy in state.available_strategies(wid):
+                if current < strategy.payoff < best_payoff:
+                    best, best_payoff = strategy, strategy.payoff
+            if best is not None:
+                state.set_strategy(wid, best)
+                return True
+        return False

@@ -1,0 +1,61 @@
+"""Random assignment baseline.
+
+Not part of the paper's evaluation, but useful as a floor in ablation
+benches and as a stress generator in tests: each worker, in a random order,
+picks a uniformly random available VDPS (or stays null with probability
+``null_probability``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.instance import SubProblem
+from repro.games.base import GameResult, GameState
+from repro.games.trace import ConvergenceTrace
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.vdps.catalog import VDPSCatalog, build_catalog
+
+
+@dataclass(frozen=True)
+class RandomSolver:
+    """Uniform random conflict-free assignment."""
+
+    epsilon: Optional[float] = None
+    null_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.null_probability <= 1.0:
+            raise ValueError(
+                f"null_probability must be in [0, 1], got {self.null_probability}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "RAND"
+
+    def solve(
+        self,
+        sub: SubProblem,
+        catalog: Optional[VDPSCatalog] = None,
+        seed: SeedLike = None,
+    ) -> GameResult:
+        """Draw one random valid assignment."""
+        if catalog is None:
+            catalog = build_catalog(sub, epsilon=self.epsilon)
+        rng = ensure_rng(seed)
+        state = GameState(catalog)
+        order = list(catalog.workers)
+        rng.shuffle(order)
+        for worker in order:
+            if self.null_probability and rng.random() < self.null_probability:
+                continue
+            available = state.available_strategies(worker.worker_id)
+            if available:
+                pick = available[int(rng.integers(0, len(available)))]
+                state.set_strategy(worker.worker_id, pick)
+        payoffs = state.payoffs()
+        trace = ConvergenceTrace()
+        trace.record(1, payoffs, switches=0, potential=float(payoffs.sum()))
+        return GameResult(state.to_assignment(), trace, converged=True, rounds=1)

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the operational loop a platform engineer needs:
+
+* ``generate`` — draw a SYN or GM instance and persist it as CSV.
+* ``solve`` — load a CSV instance, run one algorithm, print metrics, and
+  optionally write the assignment as CSV.
+* ``experiment`` — regenerate one of the paper's figures by id.
+* ``list-experiments`` — enumerate the reproducible figure ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.baselines import GTASolver, MPTASolver, RandomSolver
+from repro.core.payoff import average_payoff, payoff_difference
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.datasets.io import load_instance, save_instance
+from repro.datasets.synthetic import SynConfig, generate_synthetic
+from repro.experiments.config import Scale
+from repro.experiments.figures import ConvergenceStudy
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.report import format_series_table, format_sweep
+from repro.games import FGTSolver, IEGTSolver
+
+_SOLVERS = {
+    "gta": lambda eps: GTASolver(epsilon=eps),
+    "mpta": lambda eps: MPTASolver(epsilon=eps),
+    "fgt": lambda eps: FGTSolver(epsilon=eps),
+    "iegt": lambda eps: IEGTSolver(epsilon=eps),
+    "random": lambda eps: RandomSolver(epsilon=eps),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fairness-aware spatial crowdsourcing task assignment (ICDE 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a dataset and save it as CSV")
+    gen.add_argument("output", type=Path, help="directory to write the CSV files to")
+    gen.add_argument("--dataset", choices=("syn", "gm"), default="gm")
+    gen.add_argument("--tasks", type=int, default=None)
+    gen.add_argument("--workers", type=int, default=None)
+    gen.add_argument("--delivery-points", type=int, default=None)
+    gen.add_argument("--centers", type=int, default=None, help="SYN only")
+    gen.add_argument("--seed", type=int, default=0)
+
+    solve = sub.add_parser("solve", help="solve a CSV instance with one algorithm")
+    solve.add_argument("input", type=Path, help="directory produced by 'generate'")
+    solve.add_argument(
+        "--algorithm", choices=sorted(_SOLVERS), default="iegt"
+    )
+    solve.add_argument("--epsilon", type=float, default=None, help="pruning radius (km)")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--output", type=Path, default=None, help="write the assignment CSV here"
+    )
+
+    cmp = sub.add_parser(
+        "compare", help="solve with two algorithms and diff the outcomes"
+    )
+    cmp.add_argument("input", type=Path, help="directory produced by 'generate'")
+    cmp.add_argument("--baseline", choices=sorted(_SOLVERS), default="gta")
+    cmp.add_argument("--challenger", choices=sorted(_SOLVERS), default="iegt")
+    cmp.add_argument("--epsilon", type=float, default=None)
+    cmp.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="regenerate one paper figure")
+    exp.add_argument("experiment_id", help="e.g. fig4; see list-experiments")
+    exp.add_argument(
+        "--scale", choices=[s.value for s in Scale], default=Scale.CI.value
+    )
+    exp.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list-experiments", help="list reproducible figure ids")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "gm":
+        config = GMissionConfig(
+            n_tasks=args.tasks or 200,
+            n_workers=args.workers if args.workers is not None else 40,
+            n_delivery_points=args.delivery_points or 100,
+        )
+        instance = generate_gmission_like(config, seed=args.seed)
+    else:
+        config = SynConfig(
+            n_centers=args.centers or 4,
+            n_tasks=args.tasks or 8000,
+            n_workers=args.workers if args.workers is not None else 160,
+            n_delivery_points=args.delivery_points or 400,
+        )
+        instance = generate_synthetic(config, seed=args.seed)
+    save_instance(instance, args.output)
+    print(f"wrote {instance.describe()} to {args.output}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.input)
+    solver = _SOLVERS[args.algorithm](args.epsilon)
+    payoffs: List[float] = []
+    rows = []
+    for sub_problem in instance.subproblems():
+        result = solver.solve(sub_problem, seed=args.seed)
+        for pair in result.assignment:
+            payoffs.append(pair.payoff)
+            rows.append(
+                (
+                    pair.worker.worker_id,
+                    sub_problem.center.center_id,
+                    "|".join(pair.delivery_point_ids),
+                    f"{pair.payoff:.6f}",
+                )
+            )
+    print(f"algorithm        : {solver.name}")
+    print(f"workers          : {len(payoffs)}")
+    print(f"payoff difference: {payoff_difference(payoffs):.6f}")
+    print(f"average payoff   : {average_payoff(payoffs):.6f}")
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        with args.output.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["worker_id", "center_id", "route", "payoff"])
+            writer.writerows(rows)
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_assignments
+    from repro.core.assignment import Assignment
+
+    instance = load_instance(args.input)
+    labelled = {}
+    for label in (args.baseline, args.challenger):
+        solver = _SOLVERS[label](args.epsilon)
+        pairs = []
+        for sub_problem in instance.subproblems():
+            result = solver.solve(sub_problem, seed=args.seed)
+            pairs.extend(result.assignment.pairs)
+        labelled[label] = Assignment(pairs)
+    comparison = compare_assignments(
+        labelled[args.baseline],
+        labelled[args.challenger],
+        args.baseline.upper(),
+        args.challenger.upper(),
+    )
+    print(comparison.format())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    entry = get_experiment(args.experiment_id)
+    result = entry.run(scale=Scale(args.scale), seed=args.seed)
+    if isinstance(result, ConvergenceStudy):
+        rows = {name: result.series(name) for name in result.traces}
+        width = max(len(series) for series in rows.values())
+        padded = {
+            name: series + [series[-1]] * (width - len(series))
+            for name, series in rows.items()
+        }
+        print(
+            format_series_table(
+                f"{result.name}: payoff difference per iteration",
+                list(range(1, width + 1)),
+                padded,
+                column_header="iter",
+            )
+        )
+    elif hasattr(result, "format") and callable(result.format):
+        # Extension studies render themselves.
+        print(result.format())
+    else:
+        print(format_sweep(result))
+    return 0
+
+
+def _cmd_list_experiments(args: argparse.Namespace) -> int:
+    for experiment_id in list_experiments():
+        print(get_experiment(experiment_id).describe())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "solve": _cmd_solve,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "list-experiments": _cmd_list_experiments,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Spatial task assignments (Definition 8) and their quality metrics.
+
+An :class:`Assignment` pairs every worker of a sub-problem with either a
+deadline-feasible :class:`~repro.core.routing.Route` over a VDPS or the null
+strategy.  Construction enforces Definition 8's disjointness and each
+worker's ``maxDP`` bound; the effectiveness metrics the paper reports are
+exposed as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.entities import Worker
+from repro.core.exceptions import InvalidAssignmentError
+from repro.core.payoff import average_payoff, payoff_difference, worker_payoff
+from repro.core.routing import Route
+
+
+@dataclass(frozen=True)
+class WorkerAssignment:
+    """One worker together with its assigned route (``None`` = null strategy).
+
+    The route's arrival times must already include the worker's travel time
+    to the distribution center, so ``payoff`` is exactly Equation 1.
+    """
+
+    worker: Worker
+    route: Optional[Route] = None
+
+    @property
+    def payoff(self) -> float:
+        """``P(w, VDPS(w))`` for this pair; 0.0 for the null strategy."""
+        return worker_payoff(self.route)
+
+    @property
+    def delivery_point_ids(self) -> Tuple[str, ...]:
+        """Ids of the delivery points served, in visiting order."""
+        if self.route is None:
+            return ()
+        return tuple(dp.dp_id for dp in self.route.sequence)
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks completed by this worker."""
+        if self.route is None:
+            return 0
+        return sum(dp.task_count for dp in self.route.sequence)
+
+
+class Assignment:
+    """A full spatial task assignment ``A`` for one sub-problem.
+
+    Parameters
+    ----------
+    pairs:
+        One :class:`WorkerAssignment` per worker.
+    validate:
+        When true (default), check Definition 8's disjointness, each
+        worker's ``maxDP``, and each worker's deadline feasibility; raise
+        :class:`InvalidAssignmentError` on violation.
+    """
+
+    def __init__(self, pairs: Sequence[WorkerAssignment], validate: bool = True) -> None:
+        self._pairs: Tuple[WorkerAssignment, ...] = tuple(pairs)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        seen_workers: set = set()
+        claimed: Dict[str, str] = {}
+        for pair in self._pairs:
+            wid = pair.worker.worker_id
+            if wid in seen_workers:
+                raise InvalidAssignmentError(f"worker {wid!r} appears twice")
+            seen_workers.add(wid)
+            if pair.route is None:
+                continue
+            if len(pair.route) > pair.worker.max_delivery_points:
+                raise InvalidAssignmentError(
+                    f"worker {wid!r} assigned {len(pair.route)} delivery points "
+                    f"but accepts at most {pair.worker.max_delivery_points}"
+                )
+            for dp in pair.route.sequence:
+                if dp.dp_id in claimed:
+                    raise InvalidAssignmentError(
+                        f"delivery point {dp.dp_id!r} assigned to both "
+                        f"{claimed[dp.dp_id]!r} and {wid!r}"
+                    )
+                claimed[dp.dp_id] = wid
+            for dp, t in zip(pair.route.sequence, pair.route.arrival_times):
+                if t > dp.earliest_expiry + 1e-12:
+                    raise InvalidAssignmentError(
+                        f"worker {wid!r} reaches {dp.dp_id!r} at t={t:.4f} after "
+                        f"its earliest expiry {dp.earliest_expiry:.4f}"
+                    )
+
+    def __iter__(self) -> Iterator[WorkerAssignment]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def pairs(self) -> Tuple[WorkerAssignment, ...]:
+        return self._pairs
+
+    def pair_for(self, worker_id: str) -> WorkerAssignment:
+        """The pair for ``worker_id``; raises :class:`KeyError` if absent."""
+        for pair in self._pairs:
+            if pair.worker.worker_id == worker_id:
+                return pair
+        raise KeyError(f"no worker {worker_id!r} in assignment")
+
+    @property
+    def payoffs(self) -> List[float]:
+        """Per-worker payoffs, in pair order."""
+        return [pair.payoff for pair in self._pairs]
+
+    @property
+    def payoff_difference(self) -> float:
+        """``A.P_dif`` — the unfairness of this assignment (Equation 2)."""
+        return payoff_difference(self.payoffs)
+
+    @property
+    def average_payoff(self) -> float:
+        """Mean worker payoff of this assignment."""
+        return average_payoff(self.payoffs)
+
+    @property
+    def total_payoff(self) -> float:
+        """Sum of worker payoffs (the objective MPTA maximises)."""
+        return float(sum(self.payoffs))
+
+    @property
+    def assigned_task_count(self) -> int:
+        """Number of tasks that some worker will complete."""
+        return sum(pair.task_count for pair in self._pairs)
+
+    @property
+    def busy_worker_count(self) -> int:
+        """Number of workers with a non-null strategy."""
+        return sum(1 for pair in self._pairs if pair.route is not None and len(pair.route))
+
+    def as_mapping(self) -> Mapping[str, Tuple[str, ...]]:
+        """``worker_id -> ordered delivery point ids`` view of the assignment."""
+        return {p.worker.worker_id: p.delivery_point_ids for p in self._pairs}
+
+    def describe(self) -> str:
+        """One-line summary: the three metrics the paper reports."""
+        return (
+            f"P_dif={self.payoff_difference:.4f} "
+            f"avgP={self.average_payoff:.4f} "
+            f"busy={self.busy_worker_count}/{len(self)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Assignment({self.describe()})"

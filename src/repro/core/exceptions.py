@@ -1,0 +1,31 @@
+"""Exception hierarchy for the library.
+
+Every error the library raises deliberately derives from :class:`ReproError`,
+so embedding applications can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidInstanceError(ReproError):
+    """A problem instance violates a structural invariant (Defs. 1-4)."""
+
+
+class InvalidAssignmentError(ReproError):
+    """An assignment violates disjointness or validity (Defs. 6 and 8)."""
+
+
+class InfeasibleRouteError(ReproError):
+    """No deadline-feasible visiting order exists for a delivery-point set."""
+
+
+class ConvergenceError(ReproError):
+    """A game-theoretic solver exceeded its iteration budget."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or parsed."""

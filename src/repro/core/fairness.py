@@ -1,0 +1,118 @@
+"""Fairness models: Inequity Aversion based Utility and auxiliary indices.
+
+The FGT game's utility function is the Inequity Aversion based Utility (IAU)
+of Equations 5-7, after Fehr & Schmidt: a worker's raw payoff is discounted
+both for being behind others (envy, weighted ``alpha``) and for being ahead
+of others (guilt, weighted ``beta``).  Gini and Jain indices are provided as
+additional descriptive fairness statistics for reports; they play no role in
+the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class InequityAversion:
+    """The IAU model ``IAU(w_i) = P_i - (alpha/(n-1)) MP_i - (beta/(n-1)) LP_i``.
+
+    ``MP_i`` sums how far richer workers are ahead of ``w_i`` (Equation 6)
+    and ``LP_i`` sums how far ``w_i`` is ahead of poorer workers
+    (Equation 7).  The paper fixes ``alpha = beta = 0.5``.
+    """
+
+    alpha: float = 0.5
+    beta: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.alpha, "alpha")
+        require_non_negative(self.beta, "beta")
+
+    def utility(self, index: int, payoffs: Sequence[float]) -> float:
+        """IAU of the worker at ``index`` given all workers' payoffs."""
+        values = np.asarray(payoffs, dtype=float)
+        n = values.size
+        if not 0 <= index < n:
+            raise IndexError(f"index {index} out of range for {n} workers")
+        if n == 1:
+            return float(values[0])
+        mine = values[index]
+        others = np.delete(values, index)
+        mp = float(np.clip(others - mine, 0.0, None).sum())
+        lp = float(np.clip(mine - others, 0.0, None).sum())
+        return mine - (self.alpha * mp + self.beta * lp) / (n - 1)
+
+    def utilities(self, payoffs: Sequence[float]) -> np.ndarray:
+        """IAU of every worker, vectorised over the population.
+
+        Sorting lets both envy and guilt terms be computed with prefix sums,
+        so the cost is O(n log n) rather than the O(n^2) of calling
+        :meth:`utility` per worker.
+        """
+        values = np.asarray(payoffs, dtype=float)
+        n = values.size
+        if n == 0:
+            return np.zeros(0)
+        if n == 1:
+            return values.copy()
+        order = np.argsort(values, kind="stable")
+        sorted_vals = values[order]
+        prefix = np.concatenate(([0.0], np.cumsum(sorted_vals)))
+        total = prefix[-1]
+        ranks = np.arange(n)
+        # For the k-th smallest value v: LP = k*v - prefix[k] (mass below),
+        # MP = (total - prefix[k+1]) - (n-1-k)*v (mass above).
+        lp_sorted = ranks * sorted_vals - prefix[:-1]
+        mp_sorted = (total - prefix[1:]) - (n - 1 - ranks) * sorted_vals
+        iau_sorted = sorted_vals - (self.alpha * mp_sorted + self.beta * lp_sorted) / (
+            n - 1
+        )
+        out = np.empty(n)
+        out[order] = iau_sorted
+        return out
+
+    def potential(self, payoffs: Sequence[float]) -> float:
+        """The exact potential ``Phi = sum_i IAU_i`` used in Lemma 2."""
+        return float(self.utilities(payoffs).sum())
+
+
+def gini_coefficient(payoffs: Sequence[float]) -> float:
+    """Gini coefficient of the payoff distribution (0 = equal, 1 = maximal).
+
+    Undefined for an all-zero or empty population; returns 0.0 there, which
+    matches the "perfectly equal" reading of an all-idle population.
+    """
+    values = np.sort(np.asarray(list(payoffs), dtype=float))
+    n = values.size
+    if n == 0:
+        return 0.0
+    if np.any(values < 0):
+        raise ValueError("gini_coefficient requires non-negative payoffs")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, n + 1)
+    gini = float((2.0 * (ranks * values).sum()) / (n * total) - (n + 1.0) / n)
+    # Mathematically in [0, 1]; clamp away float cancellation noise.
+    return min(1.0, max(0.0, gini))
+
+
+def jain_index(payoffs: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n sum x^2)``; 1.0 means equal.
+
+    Returns 1.0 for empty or all-zero populations (nothing is unequal).
+    """
+    values = np.asarray(list(payoffs), dtype=float)
+    n = values.size
+    if n == 0:
+        return 1.0
+    denom = float((values**2).sum())
+    if denom == 0:
+        return 1.0
+    return float(values.sum() ** 2 / (n * denom))

@@ -1,0 +1,156 @@
+"""Problem instances: the full FTA input and its per-center sub-problems.
+
+The paper observes that task assignment across distribution centers is
+independent, so an instance is solved center by center (possibly in
+parallel).  :class:`ProblemInstance` validates the whole input once;
+:class:`SubProblem` is the unit the solvers actually consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
+from repro.core.exceptions import InvalidInstanceError
+from repro.geo.travel import TravelModel
+
+
+@dataclass(frozen=True)
+class SubProblem:
+    """One distribution center with its delivery points and its workers.
+
+    This is the self-contained input to every solver in the library: the
+    solvers never need the rest of the instance.  The travel model rides
+    along so solvers and catalogs share one distance cache.
+    """
+
+    center: DistributionCenter
+    workers: Tuple[Worker, ...]
+    travel: TravelModel = field(default_factory=TravelModel)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workers", tuple(self.workers))
+        for w in self.workers:
+            if w.center_id is not None and w.center_id != self.center.center_id:
+                raise InvalidInstanceError(
+                    f"worker {w.worker_id!r} belongs to center {w.center_id!r}, "
+                    f"not {self.center.center_id!r}"
+                )
+
+    @property
+    def delivery_points(self) -> Tuple[DeliveryPoint, ...]:
+        return self.center.delivery_points
+
+    @property
+    def tasks(self) -> Tuple[SpatialTask, ...]:
+        return self.center.tasks
+
+    @property
+    def online_workers(self) -> Tuple[Worker, ...]:
+        """Only the workers currently able to accept tasks."""
+        return tuple(w for w in self.workers if w.online)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        return (
+            f"center={self.center.center_id} |W|={len(self.workers)} "
+            f"|DP|={len(self.delivery_points)} |S|={self.center.task_count}"
+        )
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """The complete FTA input: centers, workers, and a travel model.
+
+    Construction validates the structural invariants of Definitions 1-4:
+    unique ids, every worker referencing an existing center, and every
+    delivery point belonging to exactly one center.
+    """
+
+    centers: Tuple[DistributionCenter, ...]
+    workers: Tuple[Worker, ...]
+    travel: TravelModel = field(default_factory=TravelModel)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "centers", tuple(self.centers))
+        object.__setattr__(self, "workers", tuple(self.workers))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.centers:
+            raise InvalidInstanceError("an instance needs at least one distribution center")
+        center_ids = [c.center_id for c in self.centers]
+        if len(set(center_ids)) != len(center_ids):
+            raise InvalidInstanceError("duplicate distribution center ids")
+        dp_ids: Dict[str, str] = {}
+        for center in self.centers:
+            for dp in center.delivery_points:
+                if dp.dp_id in dp_ids:
+                    raise InvalidInstanceError(
+                        f"delivery point {dp.dp_id!r} appears in centers "
+                        f"{dp_ids[dp.dp_id]!r} and {center.center_id!r}"
+                    )
+                dp_ids[dp.dp_id] = center.center_id
+        worker_ids = [w.worker_id for w in self.workers]
+        if len(set(worker_ids)) != len(worker_ids):
+            raise InvalidInstanceError("duplicate worker ids")
+        known = set(center_ids)
+        for w in self.workers:
+            if w.center_id is not None and w.center_id not in known:
+                raise InvalidInstanceError(
+                    f"worker {w.worker_id!r} references unknown center {w.center_id!r}"
+                )
+
+    @property
+    def task_count(self) -> int:
+        """Total number of tasks across all centers."""
+        return sum(c.task_count for c in self.centers)
+
+    @property
+    def delivery_point_count(self) -> int:
+        """Total number of delivery points across all centers."""
+        return sum(len(c.delivery_points) for c in self.centers)
+
+    def center(self, center_id: str) -> DistributionCenter:
+        """Look up a center by id; raises :class:`KeyError` if absent."""
+        for c in self.centers:
+            if c.center_id == center_id:
+                return c
+        raise KeyError(f"no distribution center {center_id!r}")
+
+    def subproblems(self) -> List[SubProblem]:
+        """Split the instance into independent per-center sub-problems.
+
+        Workers without an explicit ``center_id`` are attached to their
+        nearest center, mirroring how raw datasets (with free-floating
+        workers) are partitioned in the experimental setup.
+        """
+        by_center: Mapping[str, List[Worker]] = {c.center_id: [] for c in self.centers}
+        for w in self.workers:
+            cid = w.center_id
+            if cid is None:
+                cid = min(
+                    self.centers,
+                    key=lambda c: self.travel.distance(w.location, c.location),
+                ).center_id
+                w = w.assigned_to(cid)
+            by_center[cid].append(w)
+        return [
+            SubProblem(c, tuple(by_center[c.center_id]), self.travel)
+            for c in self.centers
+        ]
+
+    def subproblem(self, center_id: str) -> SubProblem:
+        """The sub-problem for one center (see :meth:`subproblems`)."""
+        for sub in self.subproblems():
+            if sub.center.center_id == center_id:
+                return sub
+        raise KeyError(f"no distribution center {center_id!r}")
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        return (
+            f"instance: |DC|={len(self.centers)} |W|={len(self.workers)} "
+            f"|DP|={self.delivery_point_count} |S|={self.task_count}"
+        )

@@ -1,0 +1,87 @@
+"""Worker payoff and population payoff statistics (Definition 7, Equation 2).
+
+A worker's payoff is the ratio of the total reward collected on its route to
+its total travel time (arrival time at the last delivery point, including the
+worker-to-center leg).  The population-level statistics defined here are the
+paper's two effectiveness metrics: *payoff difference* (the unfairness
+measure, Equation 2) and *average payoff*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.routing import Route
+
+
+def worker_payoff(route: Optional[Route]) -> float:
+    """The payoff ``P(w, VDPS(w))`` of Equation 1 for a worker's route.
+
+    ``route`` must already include the worker's start offset in its arrival
+    times.  A ``None`` or empty route — the *null* strategy — earns payoff 0.
+    """
+    if route is None or len(route) == 0:
+        return 0.0
+    completion = route.completion_time
+    if completion <= 0:
+        # A zero travel time can only happen when the worker starts on top of
+        # its single delivery point; reward with zero cost is unbounded, which
+        # the model rules out, so treat it as an input error.
+        raise ValueError("route completion time must be positive for a non-empty route")
+    return route.total_reward / completion
+
+
+def average_payoff(payoffs: Iterable[float]) -> float:
+    """Mean worker payoff; 0.0 for an empty population."""
+    values = np.asarray(list(payoffs), dtype=float)
+    if values.size == 0:
+        return 0.0
+    return float(values.mean())
+
+
+def payoff_difference(payoffs: Sequence[float]) -> float:
+    """The unfairness measure ``P_dif`` of Equation 2.
+
+    Mean absolute pairwise difference over ordered worker pairs:
+    ``sum_{i != j} |P_i - P_j| / (|W| (|W| - 1))``.  Computed in
+    O(n log n) via the sorted-prefix identity rather than the quadratic
+    double sum.
+    """
+    values = np.sort(np.asarray(list(payoffs), dtype=float))
+    n = values.size
+    if n < 2:
+        return 0.0
+    # P_dif depends only on pairwise differences, so shifting by the first
+    # value changes nothing mathematically while removing the float
+    # cancellation that a large common magnitude would otherwise cause.
+    values = values - values[0]
+    # sum_{i<j} (v_j - v_i) where v is ascending equals sum_k v_k * (2k - n + 1).
+    weights = 2.0 * np.arange(n) - (n - 1)
+    unordered = float((values * weights).sum())
+    # Mathematically >= 0; clamp away any residual noise.
+    return max(0.0, 2.0 * unordered / (n * (n - 1)))
+
+
+def payoff_difference_naive(payoffs: Sequence[float]) -> float:
+    """Literal double-loop transcription of Equation 2 (test oracle)."""
+    values = list(payoffs)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    total = sum(
+        abs(values[i] - values[j])
+        for i in range(n)
+        for j in range(n)
+        if i != j
+    )
+    return total / (n * (n - 1))
+
+
+def payoff_range(payoffs: Sequence[float]) -> float:
+    """Max-minus-min payoff; a coarser spread statistic used in reports."""
+    values = list(payoffs)
+    if not values:
+        return 0.0
+    return max(values) - min(values)

@@ -1,0 +1,77 @@
+"""Priority-aware fairness — the paper's named future-work direction.
+
+The conclusion proposes "introduc[ing] additional descriptive models of
+fairness, e.g., priority-aware fairness".  Following the priority-awareness
+model of De Jong et al. (the paper's reference [26]), each worker carries a
+positive priority; the *fair* outcome is payoffs proportional to priority,
+so inequity is measured on priority-normalised payoffs ``P_i / pi_i``.
+
+Setting every priority to 1 recovers the paper's plain IAU exactly, so the
+extension is strictly opt-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.fairness import InequityAversion
+from repro.core.payoff import payoff_difference
+
+
+@dataclass(frozen=True)
+class PriorityModel:
+    """Positive per-worker priorities; missing workers default to 1.0.
+
+    ``priorities`` maps worker ids to weights: a worker with priority 2 is
+    *entitled* to twice the payoff of a priority-1 worker before the
+    inequity penalties of the IAU model kick in.
+    """
+
+    priorities: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        frozen: Dict[str, float] = dict(self.priorities)
+        for worker_id, value in frozen.items():
+            if not value > 0:
+                raise ValueError(
+                    f"priority of {worker_id!r} must be positive, got {value!r}"
+                )
+        object.__setattr__(self, "priorities", frozen)
+
+    def priority_of(self, worker_id: str) -> float:
+        """The worker's priority (1.0 when unspecified)."""
+        return self.priorities.get(worker_id, 1.0)
+
+    def normalize(
+        self, payoffs: Sequence[float], worker_ids: Sequence[str]
+    ) -> np.ndarray:
+        """Priority-normalised payoffs ``P_i / pi_i``, aligned with inputs."""
+        if len(payoffs) != len(worker_ids):
+            raise ValueError("payoffs and worker_ids must align")
+        scale = np.array([self.priority_of(w) for w in worker_ids], dtype=float)
+        return np.asarray(payoffs, dtype=float) / scale
+
+
+def priority_payoff_difference(
+    payoffs: Sequence[float],
+    worker_ids: Sequence[str],
+    model: PriorityModel,
+) -> float:
+    """Equation 2's ``P_dif`` computed on priority-normalised payoffs.
+
+    Zero means every worker earns exactly in proportion to its priority.
+    """
+    return payoff_difference(model.normalize(payoffs, worker_ids).tolist())
+
+
+def priority_inequity_utilities(
+    payoffs: Sequence[float],
+    worker_ids: Sequence[str],
+    model: PriorityModel,
+    inequity: InequityAversion,
+) -> np.ndarray:
+    """IAU (Equations 5-7) applied to priority-normalised payoffs."""
+    return inequity.utilities(model.normalize(payoffs, worker_ids))

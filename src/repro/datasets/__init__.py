@@ -1,0 +1,17 @@
+"""Dataset generators and loaders: SYN, gMission-like, k-means, CSV I/O."""
+
+from repro.datasets.clustering import KMeansResult, kmeans
+from repro.datasets.synthetic import SynConfig, generate_synthetic
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.datasets.io import load_instance, save_instance
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "SynConfig",
+    "generate_synthetic",
+    "GMissionConfig",
+    "generate_gmission_like",
+    "save_instance",
+    "load_instance",
+]

@@ -1,0 +1,100 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+The gMission preprocessing in Section VII-A clusters task locations with
+k-means and uses the centroids as delivery points.  Implemented here on
+plain numpy (no scikit-learn dependency) with deterministic seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering output: centroids, per-point labels, and inertia."""
+
+    centroids: np.ndarray  # (k, d)
+    labels: np.ndarray  # (n,)
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D^2."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]))
+    first = int(rng.integers(0, n))
+    centroids[0] = points[first]
+    closest_sq = ((points - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centroids; any pick works.
+            idx = int(rng.integers(0, n))
+        else:
+            probabilities = closest_sq / total
+            idx = int(rng.choice(n, p=probabilities))
+        centroids[i] = points[idx]
+        dist_sq = ((points - centroids[i]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: SeedLike = None,
+    max_iterations: int = 100,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``points`` (shape ``(n, d)``) into ``k`` groups.
+
+    Raises :class:`DatasetError` when ``k`` exceeds the number of points.
+    Empty clusters are reseeded to the point farthest from its centroid, so
+    the result always has exactly ``k`` non-empty clusters when ``n >= k``.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise DatasetError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if k < 1:
+        raise DatasetError(f"k must be >= 1, got {k}")
+    if k > n:
+        raise DatasetError(f"cannot form {k} clusters from {n} points")
+    rng = ensure_rng(seed)
+
+    centroids = _plus_plus_init(points, k, rng)
+    labels = np.zeros(n, dtype=int)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        new_centroids = centroids.copy()
+        for c in range(k):
+            members = points[labels == c]
+            if members.size:
+                new_centroids[c] = members.mean(axis=0)
+            else:
+                # Reseed an empty cluster at the worst-served point.
+                worst = int(distances[np.arange(n), labels].argmax())
+                new_centroids[c] = points[worst]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift <= tol:
+            break
+    distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), labels].sum())
+    return KMeansResult(centroids, labels, inertia, iterations)

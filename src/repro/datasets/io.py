@@ -1,0 +1,155 @@
+"""CSV persistence for problem instances.
+
+An instance round-trips through four CSV files in a directory —
+``centers.csv``, ``delivery_points.csv``, ``tasks.csv``, ``workers.csv`` —
+plus ``meta.csv`` for the travel model.  The format is deliberately plain
+(no pickles) so instances can be inspected, diffed, and produced by
+external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
+from repro.core.exceptions import DatasetError
+from repro.core.instance import ProblemInstance
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+
+_FILES = ("centers.csv", "delivery_points.csv", "tasks.csv", "workers.csv", "meta.csv")
+
+
+def save_instance(instance: ProblemInstance, directory: Union[str, Path]) -> Path:
+    """Write ``instance`` under ``directory`` (created if missing)."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    with (root / "centers.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["center_id", "x", "y"])
+        for c in instance.centers:
+            writer.writerow([c.center_id, c.location.x, c.location.y])
+
+    with (root / "delivery_points.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["dp_id", "center_id", "x", "y", "service_hours"])
+        for c in instance.centers:
+            for dp in c.delivery_points:
+                writer.writerow(
+                    [
+                        dp.dp_id,
+                        c.center_id,
+                        dp.location.x,
+                        dp.location.y,
+                        dp.service_hours,
+                    ]
+                )
+
+    with (root / "tasks.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["task_id", "dp_id", "expiry", "reward"])
+        for c in instance.centers:
+            for dp in c.delivery_points:
+                for task in dp.tasks:
+                    writer.writerow([task.task_id, dp.dp_id, task.expiry, task.reward])
+
+    with (root / "workers.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["worker_id", "center_id", "x", "y", "max_dp", "online", "speed_kmh"]
+        )
+        for w in instance.workers:
+            writer.writerow(
+                [
+                    w.worker_id,
+                    w.center_id or "",
+                    w.location.x,
+                    w.location.y,
+                    w.max_delivery_points,
+                    int(w.online),
+                    "" if w.speed_kmh is None else w.speed_kmh,
+                ]
+            )
+
+    with (root / "meta.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["key", "value"])
+        writer.writerow(["speed_kmh", instance.travel.speed_kmh])
+    return root
+
+
+def load_instance(directory: Union[str, Path]) -> ProblemInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    root = Path(directory)
+    for name in _FILES:
+        if not (root / name).exists():
+            raise DatasetError(f"missing {name} under {root}")
+
+    tasks_by_dp: Dict[str, List[SpatialTask]] = {}
+    with (root / "tasks.csv").open(newline="") as fh:
+        for row in csv.DictReader(fh):
+            task = SpatialTask(
+                task_id=row["task_id"],
+                delivery_point_id=row["dp_id"],
+                expiry=float(row["expiry"]),
+                reward=float(row["reward"]),
+            )
+            tasks_by_dp.setdefault(row["dp_id"], []).append(task)
+
+    points_by_center: Dict[str, List[DeliveryPoint]] = {}
+    seen_dp_ids = set()
+    with (root / "delivery_points.csv").open(newline="") as fh:
+        for row in csv.DictReader(fh):
+            dp = DeliveryPoint(
+                dp_id=row["dp_id"],
+                location=Point(float(row["x"]), float(row["y"])),
+                tasks=tuple(tasks_by_dp.get(row["dp_id"], ())),
+                service_hours=float(row.get("service_hours") or 0.0),
+            )
+            seen_dp_ids.add(dp.dp_id)
+            points_by_center.setdefault(row["center_id"], []).append(dp)
+    dangling = set(tasks_by_dp) - seen_dp_ids
+    if dangling:
+        sample = ", ".join(sorted(dangling)[:3])
+        raise DatasetError(
+            f"tasks reference delivery points absent from delivery_points.csv: "
+            f"{sample}"
+        )
+
+    centers: List[DistributionCenter] = []
+    with (root / "centers.csv").open(newline="") as fh:
+        for row in csv.DictReader(fh):
+            centers.append(
+                DistributionCenter(
+                    center_id=row["center_id"],
+                    location=Point(float(row["x"]), float(row["y"])),
+                    delivery_points=tuple(points_by_center.get(row["center_id"], ())),
+                )
+            )
+
+    workers: List[Worker] = []
+    with (root / "workers.csv").open(newline="") as fh:
+        for row in csv.DictReader(fh):
+            speed_cell = row.get("speed_kmh", "")
+            workers.append(
+                Worker(
+                    worker_id=row["worker_id"],
+                    location=Point(float(row["x"]), float(row["y"])),
+                    max_delivery_points=int(row["max_dp"]),
+                    center_id=row["center_id"] or None,
+                    online=bool(int(row["online"])),
+                    speed_kmh=float(speed_cell) if speed_cell else None,
+                )
+            )
+
+    speed = 5.0
+    with (root / "meta.csv").open(newline="") as fh:
+        for row in csv.DictReader(fh):
+            if row["key"] == "speed_kmh":
+                speed = float(row["value"])
+    return ProblemInstance(
+        tuple(centers), tuple(workers), TravelModel(speed_kmh=speed)
+    )

@@ -1,0 +1,30 @@
+"""Experiment harness reproducing the paper's evaluation (Figures 2-12)."""
+
+from repro.experiments.config import (
+    GM_GRID,
+    SYN_GRID,
+    ExperimentGrid,
+    Scale,
+)
+from repro.experiments.runner import AlgorithmSpec, RunRecord, default_algorithms, run_algorithms
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.report import format_series_table, format_sweep
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "Scale",
+    "ExperimentGrid",
+    "GM_GRID",
+    "SYN_GRID",
+    "AlgorithmSpec",
+    "RunRecord",
+    "default_algorithms",
+    "run_algorithms",
+    "SweepResult",
+    "run_sweep",
+    "format_sweep",
+    "format_series_table",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+]

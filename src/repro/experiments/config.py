@@ -1,0 +1,165 @@
+"""Table I parameter grids and the CI/paper scaling policy.
+
+The paper's SYN grids target a dual-Xeon server; per DESIGN.md §4 we keep
+the paper's *per-center* densities but shrink the number of centers (and
+with it the global counts) at ``Scale.CI``.  ``Scale.PAPER`` restores the
+literal Table I values.  GM grids are small enough to keep verbatim at
+both scales (the ``Scale.CI`` GM instance sizes equal the paper's).
+Underlined (default) values from Table I are exposed as ``*_default``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Scale(enum.Enum):
+    """How large the experiment instances are.
+
+    ``CI``: laptop-friendly sizes preserving the paper's per-center
+    densities; ``PAPER``: the literal Table I sizes; ``SMOKE``: tiny sizes
+    for tests of the harness itself.
+    """
+
+    SMOKE = "smoke"
+    CI = "ci"
+    PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """One dataset's Table I column: grids plus underlined defaults."""
+
+    epsilon_grid: Tuple[float, ...]
+    epsilon_default: float
+    tasks_grid: Tuple[int, ...]
+    tasks_default: int
+    workers_grid: Tuple[int, ...]
+    workers_default: int
+    dps_grid: Tuple[int, ...]
+    dps_default: int
+    expiry_grid: Tuple[float, ...] = ()
+    expiry_default: float = 2.0
+    maxdp_grid: Tuple[int, ...] = ()
+    maxdp_default: int = 3
+    n_centers: int = 1
+
+    def __post_init__(self) -> None:
+        pairs = [
+            (self.epsilon_grid, self.epsilon_default, "epsilon"),
+            (self.tasks_grid, self.tasks_default, "tasks"),
+            (self.workers_grid, self.workers_default, "workers"),
+            (self.dps_grid, self.dps_default, "dps"),
+        ]
+        if self.expiry_grid:
+            pairs.append((self.expiry_grid, self.expiry_default, "expiry"))
+        if self.maxdp_grid:
+            pairs.append((self.maxdp_grid, self.maxdp_default, "maxdp"))
+        for grid, default, name in pairs:
+            if default not in grid:
+                raise ValueError(
+                    f"{name}_default {default!r} must be a member of its grid {grid!r}"
+                )
+
+
+# --- gMission-like grids (Table I GM rows, verbatim) -----------------------
+
+_GM_FULL = ExperimentGrid(
+    epsilon_grid=(0.2, 0.4, 0.6, 0.8, 1.0),
+    epsilon_default=0.6,
+    tasks_grid=(100, 200, 300, 400, 500),
+    tasks_default=200,
+    workers_grid=(20, 40, 60, 80, 100),
+    workers_default=40,
+    dps_grid=(20, 40, 60, 80, 100),
+    dps_default=100,
+    n_centers=1,
+)
+
+_GM_SMOKE = ExperimentGrid(
+    epsilon_grid=(0.2, 0.6, 1.0),
+    epsilon_default=0.6,
+    tasks_grid=(40, 80),
+    tasks_default=80,
+    workers_grid=(6, 12),
+    workers_default=12,
+    dps_grid=(10, 20),
+    dps_default=20,
+    n_centers=1,
+)
+
+# --- SYN grids --------------------------------------------------------------
+
+_SYN_PAPER = ExperimentGrid(
+    epsilon_grid=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+    epsilon_default=2.0,
+    tasks_grid=(25_000, 50_000, 75_000, 100_000, 125_000),
+    tasks_default=100_000,
+    workers_grid=(1_000, 2_000, 3_000, 4_000, 5_000),
+    workers_default=2_000,
+    dps_grid=(3_000, 3_500, 4_000, 4_500, 5_000),
+    dps_default=5_000,
+    expiry_grid=(0.5, 1.0, 1.5, 2.0, 2.5),
+    expiry_default=2.0,
+    maxdp_grid=(1, 2, 3, 4),
+    maxdp_default=3,
+    n_centers=50,
+)
+
+# CI scale: 4 centers instead of 50 (factor 0.08); per-center densities as in
+# the paper (e.g. 100K tasks / 50 centers = 2K per center -> 8K / 4 centers).
+_SYN_CI = ExperimentGrid(
+    epsilon_grid=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+    epsilon_default=2.0,
+    tasks_grid=(2_000, 4_000, 6_000, 8_000, 10_000),
+    tasks_default=8_000,
+    workers_grid=(80, 160, 240, 320, 400),
+    workers_default=160,
+    dps_grid=(240, 280, 320, 360, 400),
+    dps_default=400,
+    expiry_grid=(0.5, 1.0, 1.5, 2.0, 2.5),
+    expiry_default=2.0,
+    maxdp_grid=(1, 2, 3, 4),
+    maxdp_default=3,
+    n_centers=4,
+)
+
+_SYN_SMOKE = ExperimentGrid(
+    epsilon_grid=(1.0, 2.0),
+    epsilon_default=2.0,
+    tasks_grid=(200, 400),
+    tasks_default=400,
+    workers_grid=(8, 16),
+    workers_default=16,
+    dps_grid=(20, 40),
+    dps_default=40,
+    expiry_grid=(1.0, 2.0),
+    expiry_default=2.0,
+    maxdp_grid=(1, 2, 3),
+    maxdp_default=3,
+    n_centers=2,
+)
+
+GM_GRID: Dict[Scale, ExperimentGrid] = {
+    Scale.SMOKE: _GM_SMOKE,
+    Scale.CI: _GM_FULL,
+    Scale.PAPER: _GM_FULL,
+}
+
+SYN_GRID: Dict[Scale, ExperimentGrid] = {
+    Scale.SMOKE: _SYN_SMOKE,
+    Scale.CI: _SYN_CI,
+    Scale.PAPER: _SYN_PAPER,
+}
+
+#: Space side length for SYN instances per scale (km); see DESIGN.md §4.
+#: Chosen so per-km^2 delivery-point density matches the paper's
+#: (5000 points / 100^2 km^2 = 0.5 per km^2) and each center's catchment
+#: geometry (cell ~14x14 km at 50 centers) carries over to fewer centers.
+SYN_SPACE_KM: Dict[Scale, float] = {
+    Scale.SMOKE: 15.0,
+    Scale.CI: 30.0,
+    Scale.PAPER: 100.0,
+}

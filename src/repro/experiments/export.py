@@ -1,0 +1,57 @@
+"""Export sweep results to JSON and CSV for external analysis/plotting.
+
+Benches print ASCII tables and save SVGs; pipelines that post-process
+results (notebooks, R, gnuplot) want machine-readable files instead.  The
+formats are deliberately flat: one JSON document per sweep, or one tidy
+CSV with a row per (grid value, algorithm) pair.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.sweep import METRICS, SweepResult
+
+PathLike = Union[str, Path]
+
+
+def sweep_to_json(result: SweepResult, path: PathLike, indent: int = 2) -> Path:
+    """Write ``result.as_dict()`` as a JSON document; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(result.as_dict(), indent=indent) + "\n")
+    return target
+
+
+def load_sweep_json(path: PathLike) -> dict:
+    """Read back a document written by :func:`sweep_to_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def sweep_to_csv(result: SweepResult, path: PathLike) -> Path:
+    """Write the sweep as tidy CSV: one row per (value, algorithm).
+
+    Columns: the swept parameter, ``algorithm``, then one column per
+    metric — the layout pandas/R users expect for ggplot-style plotting.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([result.parameter, "algorithm", *METRICS])
+        for value in result.values:
+            for algorithm in result.algorithms:
+                record = result.record(value, algorithm)
+                row = [value, algorithm]
+                row.extend(record.as_dict()[metric] for metric in METRICS)
+                writer.writerow(row)
+    return target
+
+
+def load_sweep_csv(path: PathLike) -> list:
+    """Read back the rows written by :func:`sweep_to_csv` as dicts."""
+    with Path(path).open(newline="") as fh:
+        return list(csv.DictReader(fh))

@@ -1,0 +1,142 @@
+"""Extension experiments beyond the paper's figures.
+
+Two studies the paper motivates but does not run, wired into the same
+registry as Figures 2-12 so the CLI and benches can regenerate them:
+
+* ``ext-longrun`` — the repeated-dispatch day (Section III's one-instant
+  model looped by the simulator), reporting cumulative earning-rate
+  fairness per policy.
+* ``ext-metric`` — the default GM comparison re-run under Manhattan
+  distances, checking the conclusions are not Euclidean artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines.gta import GTASolver
+from repro.baselines.maxmin import MaxMinSolver
+from repro.core.instance import ProblemInstance
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.config import Scale
+from repro.experiments.report import format_series_table
+from repro.games.iegt import IEGTSolver
+from repro.geo.travel import TravelModel
+from repro.sim import DispatchSimulator, PoissonTaskArrivals, SimConfig, SimReport
+from repro.utils.rng import SeedLike
+from repro.vdps.catalog import build_catalog
+
+_SIM_SIZES = {
+    Scale.SMOKE: dict(n_tasks=30, n_workers=6, n_delivery_points=12, horizon=2.0),
+    Scale.CI: dict(n_tasks=60, n_workers=12, n_delivery_points=30, horizon=8.0),
+    Scale.PAPER: dict(n_tasks=120, n_workers=24, n_delivery_points=60, horizon=12.0),
+}
+
+
+@dataclass
+class LongRunStudy:
+    """Per-policy simulation reports of the repeated-dispatch experiment."""
+
+    reports: Dict[str, SimReport]
+
+    def format(self) -> str:
+        """ASCII table of the cumulative metrics, paper-report style."""
+        rows = {
+            name: [
+                report.cumulative_payoff_difference,
+                report.cumulative_average_payoff,
+                report.completion_rate,
+                float(report.completed_tasks),
+            ]
+            for name, report in self.reports.items()
+        }
+        return format_series_table(
+            "Extension: repeated-dispatch day (cumulative metrics)",
+            ["cum_P_dif", "cum_avgP", "completion", "completed"],
+            rows,
+        )
+
+
+def ext_longrun(scale: Scale = Scale.CI, seed: SeedLike = 0) -> LongRunStudy:
+    """Run the 3-policy dispatch-day simulation at the given scale."""
+    sizes = _SIM_SIZES[scale]
+    instance = generate_gmission_like(
+        GMissionConfig(
+            n_tasks=sizes["n_tasks"],
+            n_workers=sizes["n_workers"],
+            n_delivery_points=sizes["n_delivery_points"],
+            expiry_min_hours=0.4,
+            expiry_max_hours=1.2,
+        ),
+        seed=seed,
+    )
+    sub = instance.subproblems()[0]
+    arrivals = PoissonTaskArrivals(
+        sub.center.delivery_points, rate_per_hour=45.0, patience=(0.5, 1.2)
+    )
+    config = SimConfig(
+        horizon_hours=sizes["horizon"], round_interval_hours=0.5, epsilon=0.8
+    )
+    reports: Dict[str, SimReport] = {}
+    for solver in (
+        GTASolver(epsilon=0.8),
+        MaxMinSolver(epsilon=0.8),
+        IEGTSolver(epsilon=0.8),
+    ):
+        simulator = DispatchSimulator(
+            sub.center, sub.workers, arrivals, solver,
+            travel=instance.travel, config=config,
+        )
+        reports[solver.name] = simulator.run(seed=seed)
+    return LongRunStudy(reports)
+
+
+@dataclass
+class MetricSensitivityStudy:
+    """Fairness/efficiency per (metric, solver) cell."""
+
+    payoff_difference: Dict[str, List[float]]  # metric -> per-solver values
+    average_payoff: Dict[str, List[float]]
+    solvers: List[str]
+
+    def format(self) -> str:
+        """ASCII table with one row block per distance metric."""
+        rows = {}
+        for metric in self.payoff_difference:
+            rows[f"P_dif ({metric})"] = self.payoff_difference[metric]
+            rows[f"avgP ({metric})"] = self.average_payoff[metric]
+        return format_series_table(
+            "Extension: distance-metric sensitivity (GM defaults)",
+            self.solvers,
+            rows,
+        )
+
+
+def ext_metric_sensitivity(
+    scale: Scale = Scale.CI, seed: SeedLike = 0
+) -> MetricSensitivityStudy:
+    """Re-run the GM comparison under Euclidean and Manhattan metrics."""
+    from repro.games.fgt import FGTSolver
+
+    if scale is Scale.SMOKE:
+        config = GMissionConfig(n_tasks=60, n_workers=8, n_delivery_points=15)
+    else:
+        config = GMissionConfig()
+    solvers = (GTASolver(epsilon=0.6), FGTSolver(epsilon=0.6), IEGTSolver(epsilon=0.6))
+    names = [s.name for s in solvers]
+    pdif: Dict[str, List[float]] = {}
+    avgp: Dict[str, List[float]] = {}
+    base = generate_gmission_like(config, seed=seed)
+    for metric in ("euclidean", "manhattan"):
+        travel = TravelModel(speed_kmh=5.0, metric=metric)
+        instance = ProblemInstance(base.centers, base.workers, travel)
+        sub = instance.subproblems()[0]
+        catalog = build_catalog(sub, epsilon=0.6)
+        assignments = [
+            solver.solve(sub, catalog=catalog, seed=seed).assignment
+            for solver in solvers
+        ]
+        pdif[metric] = [a.payoff_difference for a in assignments]
+        avgp[metric] = [a.average_payoff for a in assignments]
+    return MetricSensitivityStudy(pdif, avgp, names)

@@ -1,0 +1,354 @@
+"""One entry point per paper figure (Figures 2-12).
+
+Each ``figN`` function reproduces one figure's experiment: it sweeps the
+figure's parameter over its Table I grid, runs the paper's algorithm arms,
+and returns a :class:`~repro.experiments.sweep.SweepResult` (Figures 2-11)
+or a :class:`ConvergenceStudy` (Figure 12).  The figure functions are pure
+given ``(scale, seed)``, so benches and docs regenerate identical numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.instance import ProblemInstance
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.datasets.synthetic import SynConfig, generate_synthetic
+from repro.experiments.config import GM_GRID, SYN_GRID, SYN_SPACE_KM, ExperimentGrid, Scale
+from repro.experiments.runner import default_algorithms, unpruned_variants
+from repro.experiments.sweep import ParamValue, SweepResult, run_sweep
+from repro.games import ConvergenceTrace, FGTSolver, IEGTSolver
+from repro.utils.rng import RngFactory, SeedLike
+from repro.vdps.catalog import build_catalog
+
+# Workers per GM instance scale with the grid's defaults; the GM dataset has
+# one distribution center (the task centroid) by construction.
+
+
+def _gm_config(
+    grid: ExperimentGrid,
+    n_tasks: Optional[int] = None,
+    n_workers: Optional[int] = None,
+    n_dps: Optional[int] = None,
+) -> GMissionConfig:
+    tasks = n_tasks if n_tasks is not None else grid.tasks_default
+    dps = n_dps if n_dps is not None else grid.dps_default
+    return GMissionConfig(
+        n_tasks=tasks,
+        n_workers=n_workers if n_workers is not None else grid.workers_default,
+        n_delivery_points=min(dps, tasks),
+    )
+
+
+def _syn_config(
+    grid: ExperimentGrid,
+    scale: Scale,
+    n_tasks: Optional[int] = None,
+    n_workers: Optional[int] = None,
+    n_dps: Optional[int] = None,
+    expiry: Optional[float] = None,
+    maxdp: Optional[int] = None,
+) -> SynConfig:
+    return SynConfig(
+        n_centers=grid.n_centers,
+        n_workers=n_workers if n_workers is not None else grid.workers_default,
+        n_delivery_points=n_dps if n_dps is not None else grid.dps_default,
+        n_tasks=n_tasks if n_tasks is not None else grid.tasks_default,
+        expiry_hours=expiry if expiry is not None else grid.expiry_default,
+        max_delivery_points=maxdp if maxdp is not None else grid.maxdp_default,
+        space_km=SYN_SPACE_KM[scale],
+    )
+
+
+def _sweep(
+    name: str,
+    parameter: str,
+    values: Sequence[ParamValue],
+    make_instance: Callable[[ParamValue], ProblemInstance],
+    default_epsilon: Optional[float],
+    seed: SeedLike,
+    include_mpta: bool,
+    epsilon_is_parameter: bool = False,
+    with_unpruned: bool = False,
+) -> SweepResult:
+    algorithms = default_algorithms(include_mpta=include_mpta)
+    unpruned = unpruned_variants(algorithms) if with_unpruned else ()
+    epsilon_for = (
+        (lambda value: float(value))
+        if epsilon_is_parameter
+        else (lambda value: default_epsilon)
+    )
+    return run_sweep(
+        name=name,
+        parameter=parameter,
+        values=values,
+        make_instance=make_instance,
+        algorithms=algorithms,
+        epsilon_for=epsilon_for,
+        seed=seed,
+        unpruned=unpruned,
+    )
+
+
+# --- Figures 2-3: effect of the pruning threshold epsilon ------------------
+
+
+def fig2_epsilon_gm(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 2: epsilon sweep on GM, pruned arms vs unpruned ``-W`` arms."""
+    grid = GM_GRID[scale]
+    instance = generate_gmission_like(_gm_config(grid), seed=seed)
+    return _sweep(
+        "Figure 2 (GM)",
+        "epsilon_km",
+        list(grid.epsilon_grid),
+        lambda value: instance,
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+        epsilon_is_parameter=True,
+        with_unpruned=True,
+    )
+
+
+def fig3_epsilon_syn(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 3: epsilon sweep on SYN, pruned arms vs unpruned ``-W`` arms."""
+    grid = SYN_GRID[scale]
+    instance = generate_synthetic(_syn_config(grid, scale), seed=seed)
+    return _sweep(
+        "Figure 3 (SYN)",
+        "epsilon_km",
+        list(grid.epsilon_grid),
+        lambda value: instance,
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+        epsilon_is_parameter=True,
+        with_unpruned=True,
+    )
+
+
+# --- Figures 4-5: effect of the number of tasks |S| -------------------------
+
+
+def fig4_tasks_gm(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 4: |S| sweep on GM."""
+    grid = GM_GRID[scale]
+    return _sweep(
+        "Figure 4 (GM)",
+        "tasks",
+        list(grid.tasks_grid),
+        lambda value: generate_gmission_like(
+            _gm_config(grid, n_tasks=int(value)), seed=seed
+        ),
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+    )
+
+
+def fig5_tasks_syn(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 5: |S| sweep on SYN."""
+    grid = SYN_GRID[scale]
+    return _sweep(
+        "Figure 5 (SYN)",
+        "tasks",
+        list(grid.tasks_grid),
+        lambda value: generate_synthetic(
+            _syn_config(grid, scale, n_tasks=int(value)), seed=seed
+        ),
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+    )
+
+
+# --- Figures 6-7: effect of the number of workers |W| -----------------------
+
+
+def fig6_workers_gm(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 6: |W| sweep on GM."""
+    grid = GM_GRID[scale]
+    return _sweep(
+        "Figure 6 (GM)",
+        "workers",
+        list(grid.workers_grid),
+        lambda value: generate_gmission_like(
+            _gm_config(grid, n_workers=int(value)), seed=seed
+        ),
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+    )
+
+
+def fig7_workers_syn(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 7: |W| sweep on SYN."""
+    grid = SYN_GRID[scale]
+    return _sweep(
+        "Figure 7 (SYN)",
+        "workers",
+        list(grid.workers_grid),
+        lambda value: generate_synthetic(
+            _syn_config(grid, scale, n_workers=int(value)), seed=seed
+        ),
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+    )
+
+
+# --- Figures 8-9: effect of the number of delivery points |DP| --------------
+
+
+def fig8_dps_gm(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 8: |DP| sweep on GM."""
+    grid = GM_GRID[scale]
+    return _sweep(
+        "Figure 8 (GM)",
+        "delivery_points",
+        list(grid.dps_grid),
+        lambda value: generate_gmission_like(
+            _gm_config(grid, n_dps=int(value)), seed=seed
+        ),
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+    )
+
+
+def fig9_dps_syn(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 9: |DP| sweep on SYN."""
+    grid = SYN_GRID[scale]
+    return _sweep(
+        "Figure 9 (SYN)",
+        "delivery_points",
+        list(grid.dps_grid),
+        lambda value: generate_synthetic(
+            _syn_config(grid, scale, n_dps=int(value)), seed=seed
+        ),
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+    )
+
+
+# --- Figure 10: effect of the task expiration time e (SYN) ------------------
+
+
+def fig10_expiry_syn(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 10: expiration-time sweep on SYN."""
+    grid = SYN_GRID[scale]
+    return _sweep(
+        "Figure 10 (SYN)",
+        "expiry_hours",
+        list(grid.expiry_grid),
+        lambda value: generate_synthetic(
+            _syn_config(grid, scale, expiry=float(value)), seed=seed
+        ),
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+    )
+
+
+# --- Figure 11: effect of maxDP (SYN) ----------------------------------------
+
+
+def fig11_maxdp_syn(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, include_mpta: bool = True
+) -> SweepResult:
+    """Figure 11: maxDP sweep on SYN."""
+    grid = SYN_GRID[scale]
+    return _sweep(
+        "Figure 11 (SYN)",
+        "maxDP",
+        list(grid.maxdp_grid),
+        lambda value: generate_synthetic(
+            _syn_config(grid, scale, maxdp=int(value)), seed=seed
+        ),
+        default_epsilon=grid.epsilon_default,
+        seed=seed,
+        include_mpta=include_mpta,
+    )
+
+
+# --- Figure 12: convergence of the game-theoretic approaches ----------------
+
+
+@dataclass
+class ConvergenceStudy:
+    """Per-round convergence traces of FGT and IEGT (Figure 12's data)."""
+
+    name: str
+    traces: Dict[str, ConvergenceTrace]
+
+    def series(self, algorithm: str, field: str = "payoff_difference") -> List[float]:
+        """Per-iteration values of one trace field for ``algorithm``."""
+        return self.traces[algorithm].series(field)
+
+    @property
+    def rounds(self) -> Dict[str, int]:
+        return {name: len(trace) for name, trace in self.traces.items()}
+
+
+def fig12_convergence(
+    scale: Scale = Scale.CI, seed: SeedLike = 0, dataset: str = "gm"
+) -> ConvergenceStudy:
+    """Figure 12: convergence of FGT and IEGT on a default instance."""
+    if dataset == "gm":
+        grid = GM_GRID[scale]
+        instance = generate_gmission_like(_gm_config(grid), seed=seed)
+        epsilon: Optional[float] = grid.epsilon_default
+    elif dataset == "syn":
+        grid = SYN_GRID[scale]
+        instance = generate_synthetic(_syn_config(grid, scale), seed=seed)
+        epsilon = grid.epsilon_default
+    else:
+        raise ValueError(f"dataset must be 'gm' or 'syn', got {dataset!r}")
+
+    rng_factory = RngFactory(seed)
+    traces: Dict[str, ConvergenceTrace] = {}
+    for name, solver in (
+        ("FGT", FGTSolver(epsilon=epsilon, trace_granularity="update")),
+        ("IEGT", IEGTSolver(epsilon=epsilon, trace_granularity="update")),
+    ):
+        traces[name] = _first_center_trace(instance, solver, rng_factory, name, epsilon)
+    return ConvergenceStudy(f"Figure 12 ({dataset.upper()})", traces)
+
+
+def _first_center_trace(
+    instance: ProblemInstance,
+    solver,
+    rng_factory: RngFactory,
+    name: str,
+    epsilon: Optional[float],
+) -> ConvergenceTrace:
+    """Convergence trace on the instance's first (largest) sub-problem."""
+    subproblems = sorted(
+        instance.subproblems(), key=lambda s: len(s.workers), reverse=True
+    )
+    sub = subproblems[0]
+    catalog = build_catalog(sub, epsilon=epsilon)
+    result = solver.solve(
+        sub, catalog=catalog, seed=rng_factory.get(f"trace:{name}")
+    )
+    return result.trace

@@ -1,0 +1,85 @@
+"""Registry mapping experiment ids (figure numbers) to harness entries.
+
+``EXPERIMENTS["fig4"].run(scale=Scale.CI, seed=0)`` regenerates the data of
+the paper's Figure 4; DESIGN.md's per-experiment index references these
+ids.  Extension studies beyond the paper register under ``ext-*`` ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments import extensions, figures
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible paper artefact (or registered extension study)."""
+
+    experiment_id: str
+    paper_artefact: str
+    parameter: str
+    dataset: str
+    run: Callable  # (scale, seed, ...) -> SweepResult | ConvergenceStudy | study
+
+    def describe(self) -> str:
+        """One-line human-readable description of the experiment."""
+        return (
+            f"{self.experiment_id}: {self.paper_artefact} — varies "
+            f"{self.parameter} on {self.dataset}"
+        )
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    entry.experiment_id: entry
+    for entry in (
+        ExperimentEntry("fig2", "Figure 2", "epsilon", "GM", figures.fig2_epsilon_gm),
+        ExperimentEntry("fig3", "Figure 3", "epsilon", "SYN", figures.fig3_epsilon_syn),
+        ExperimentEntry("fig4", "Figure 4", "|S|", "GM", figures.fig4_tasks_gm),
+        ExperimentEntry("fig5", "Figure 5", "|S|", "SYN", figures.fig5_tasks_syn),
+        ExperimentEntry("fig6", "Figure 6", "|W|", "GM", figures.fig6_workers_gm),
+        ExperimentEntry("fig7", "Figure 7", "|W|", "SYN", figures.fig7_workers_syn),
+        ExperimentEntry("fig8", "Figure 8", "|DP|", "GM", figures.fig8_dps_gm),
+        ExperimentEntry("fig9", "Figure 9", "|DP|", "SYN", figures.fig9_dps_syn),
+        ExperimentEntry("fig10", "Figure 10", "e", "SYN", figures.fig10_expiry_syn),
+        ExperimentEntry("fig11", "Figure 11", "maxDP", "SYN", figures.fig11_maxdp_syn),
+        ExperimentEntry(
+            "fig12", "Figure 12", "iteration", "GM+SYN", figures.fig12_convergence
+        ),
+        ExperimentEntry(
+            "ext-longrun",
+            "Extension: repeated-dispatch day",
+            "policy",
+            "GM-sim",
+            extensions.ext_longrun,
+        ),
+        ExperimentEntry(
+            "ext-metric",
+            "Extension: distance-metric sensitivity",
+            "metric",
+            "GM",
+            extensions.ext_metric_sensitivity,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up an experiment; raises :class:`KeyError` with the known ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+
+
+def _sort_key(experiment_id: str):
+    if experiment_id.startswith("fig"):
+        return (0, int(experiment_id.replace("fig", "")), experiment_id)
+    return (1, 0, experiment_id)
+
+
+def list_experiments() -> List[str]:
+    """All experiment ids: figures in numeric order, then extensions."""
+    return sorted(EXPERIMENTS, key=_sort_key)

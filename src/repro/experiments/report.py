@@ -1,0 +1,84 @@
+"""ASCII rendering of sweep results — the "rows/series the paper reports".
+
+Benches print these tables so a reader can put them next to the paper's
+figures: one block per metric, one row per algorithm, one column per grid
+value of the swept parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.sweep import METRICS, SweepResult
+
+_METRIC_TITLES = {
+    "payoff_difference": "Payoff Difference (lower = fairer)",
+    "average_payoff": "Average Payoff (higher = better)",
+    "cpu_seconds": "CPU Time (seconds)",
+}
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3f}"
+    return f"{value:.4f}"
+
+
+def format_series_table(
+    title: str,
+    columns: Sequence,
+    rows: Dict[str, Sequence[float]],
+    column_header: str = "",
+) -> str:
+    """Render ``rows`` (name -> series) under ``columns`` as an ASCII table."""
+    header_cells = [column_header] + [str(c) for c in columns]
+    body = [[name] + [_format_value(v) for v in series] for name, series in rows.items()]
+    widths = [
+        max(len(row[i]) for row in [header_cells] + body)
+        for i in range(len(header_cells))
+    ]
+    lines = [title]
+    lines.append("  " + " | ".join(h.ljust(w) for h, w in zip(header_cells, widths)))
+    lines.append("  " + "-+-".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_sweep(result: SweepResult, metrics: Optional[Sequence[str]] = None) -> str:
+    """Render a whole sweep: one table per metric, paper-figure style."""
+    metrics = list(metrics) if metrics is not None else list(METRICS)
+    blocks = [f"=== {result.name} (varying {result.parameter}) ==="]
+    for metric in metrics:
+        rows = {
+            algorithm: result.series(metric, algorithm)
+            for algorithm in result.algorithms
+        }
+        blocks.append(
+            format_series_table(
+                _METRIC_TITLES.get(metric, metric),
+                result.values,
+                rows,
+                column_header=result.parameter,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def format_ratio_line(
+    result: SweepResult, metric: str, numerator: str, denominator: str
+) -> str:
+    """e.g. "IEGT P_dif is 18%-27% of MPTA's" — the paper's headline ratios."""
+    num = result.series(metric, numerator)
+    den = result.series(metric, denominator)
+    ratios = [n / d for n, d in zip(num, den) if d > 0]
+    if not ratios:
+        return f"{numerator}/{denominator} {metric}: undefined (zero baseline)"
+    return (
+        f"{numerator} {metric} is {min(ratios):.1%}-{max(ratios):.1%} "
+        f"of {denominator}'s"
+    )

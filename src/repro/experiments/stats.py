@@ -1,0 +1,143 @@
+"""Repeated-seed aggregation for experiment sweeps.
+
+The paper reports single curves; a reproduction should also quantify run-
+to-run variance, since FGT/IEGT start from random strategies.  This module
+re-runs a sweep factory over several seeds and aggregates each
+(metric, algorithm, grid point) cell into mean, standard deviation, and a
+95% confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.sweep import METRICS, SweepResult
+
+# Two-sided 95% t-distribution critical values for small sample sizes; the
+# normal value 1.96 is used beyond the table.  Avoids a hard scipy
+# dependency for one lookup.
+_T95 = {2: 12.706, 3: 4.303, 4: 3.182, 5: 2.776, 6: 2.571, 7: 2.447, 8: 2.365, 9: 2.306, 10: 2.262}
+
+
+def _t_critical(n: int) -> float:
+    if n < 2:
+        return float("nan")
+    return _T95.get(n, 1.96)
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Mean / spread of one metric cell across repeated seeds."""
+
+    mean: float
+    std: float
+    ci95_half_width: float
+    n: int
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci95_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci95_half_width
+
+    def format(self) -> str:
+        """``mean±ci`` rendering (bare mean when n = 1)."""
+        if math.isnan(self.ci95_half_width):
+            return f"{self.mean:.4f}"
+        return f"{self.mean:.4f}±{self.ci95_half_width:.4f}"
+
+
+def aggregate(samples: Sequence[float]) -> CellStats:
+    """Mean, sample std, and 95% CI half-width of ``samples``."""
+    values = np.asarray(list(samples), dtype=float)
+    n = values.size
+    if n == 0:
+        raise ValueError("cannot aggregate zero samples")
+    mean = float(values.mean())
+    if n == 1:
+        return CellStats(mean, 0.0, float("nan"), 1)
+    std = float(values.std(ddof=1))
+    half = _t_critical(n) * std / math.sqrt(n)
+    return CellStats(mean, std, half, n)
+
+
+@dataclass
+class RepeatedSweepResult:
+    """Aggregated sweeps: ``cells[metric][algorithm]`` is one CellStats per grid value."""
+
+    name: str
+    parameter: str
+    values: List
+    seeds: List[int]
+    cells: Dict[str, Dict[str, List[CellStats]]]
+
+    def series_mean(self, metric: str, algorithm: str) -> List[float]:
+        """Mean of ``metric`` for ``algorithm`` at each grid value."""
+        return [cell.mean for cell in self.cells[metric][algorithm]]
+
+    def series(self, metric: str, algorithm: str) -> List[CellStats]:
+        """Full :class:`CellStats` for ``algorithm`` at each grid value."""
+        return self.cells[metric][algorithm]
+
+    @property
+    def algorithms(self) -> List[str]:
+        first_metric = next(iter(self.cells.values()))
+        return list(first_metric)
+
+    def format_table(self, metric: str) -> str:
+        """Render one metric as ``mean±ci`` cells."""
+        header = [self.parameter] + [str(v) for v in self.values]
+        rows = [
+            [algorithm] + [cell.format() for cell in stats_list]
+            for algorithm, stats_list in self.cells[metric].items()
+        ]
+        widths = [
+            max(len(r[i]) for r in [header] + rows) for i in range(len(header))
+        ]
+        lines = [f"{self.name} — {metric} (n={len(self.seeds)} seeds, mean±95% CI)"]
+        lines.append("  " + " | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  " + "-+-".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def run_repeated_sweep(
+    sweep_factory: Callable[[int], SweepResult],
+    seeds: Sequence[int],
+) -> RepeatedSweepResult:
+    """Run ``sweep_factory(seed)`` per seed and aggregate every cell.
+
+    All runs must produce identical grids and algorithm arms; a mismatch
+    raises :class:`ValueError` rather than silently mixing cells.
+    """
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    runs: List[SweepResult] = [sweep_factory(int(seed)) for seed in seeds]
+    first = runs[0]
+    for run in runs[1:]:
+        if run.values != first.values or run.algorithms != first.algorithms:
+            raise ValueError("sweep runs disagree on grid or algorithm arms")
+
+    cells: Dict[str, Dict[str, List[CellStats]]] = {}
+    for metric in METRICS:
+        cells[metric] = {}
+        for algorithm in first.algorithms:
+            per_value: List[CellStats] = []
+            for idx in range(len(first.values)):
+                samples = [run.series(metric, algorithm)[idx] for run in runs]
+                per_value.append(aggregate(samples))
+            cells[metric][algorithm] = per_value
+    return RepeatedSweepResult(
+        name=first.name,
+        parameter=first.parameter,
+        values=list(first.values),
+        seeds=[int(s) for s in seeds],
+        cells=cells,
+    )

@@ -1,0 +1,129 @@
+"""Parameter sweeps: one figure = one sweep of one knob over Table I grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.instance import ProblemInstance
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    CatalogCache,
+    RunRecord,
+    run_algorithms,
+)
+from repro.utils.rng import SeedLike
+
+ParamValue = Union[int, float]
+
+#: The metrics every figure reports, in the paper's panel order.
+METRICS = ("payoff_difference", "average_payoff", "cpu_seconds")
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one parameter sweep (one paper figure).
+
+    ``records[param_value][algorithm]`` holds the :class:`RunRecord` of one
+    algorithm arm at one grid point.  ``series`` pivots that into plottable
+    ``algorithm -> [metric at each grid point]`` arrays.
+    """
+
+    name: str
+    parameter: str
+    values: List[ParamValue]
+    records: Dict[ParamValue, Dict[str, RunRecord]] = field(default_factory=dict)
+
+    def add(self, value: ParamValue, arm_records: Sequence[RunRecord]) -> None:
+        """Store the per-arm records measured at grid point ``value``."""
+        self.records[value] = {r.algorithm: r for r in arm_records}
+
+    @property
+    def algorithms(self) -> List[str]:
+        """Arm names in first-appearance order."""
+        names: List[str] = []
+        for value in self.values:
+            for name in self.records.get(value, {}):
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(self, metric: str, algorithm: str) -> List[float]:
+        """The ``metric`` of ``algorithm`` across all grid points."""
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; expected one of {METRICS}")
+        out = []
+        for value in self.values:
+            record = self.records[value][algorithm]
+            out.append(record.as_dict()[metric])
+        return out
+
+    def record(self, value: ParamValue, algorithm: str) -> RunRecord:
+        """The record of one algorithm arm at one grid value."""
+        return self.records[value][algorithm]
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly dump used by benches and EXPERIMENTS.md tooling."""
+        return {
+            "name": self.name,
+            "parameter": self.parameter,
+            "values": list(self.values),
+            "metrics": {
+                metric: {
+                    algorithm: self.series(metric, algorithm)
+                    for algorithm in self.algorithms
+                }
+                for metric in METRICS
+            },
+        }
+
+
+def run_sweep(
+    name: str,
+    parameter: str,
+    values: Sequence[ParamValue],
+    make_instance: Callable[[ParamValue], ProblemInstance],
+    algorithms: Sequence[AlgorithmSpec],
+    epsilon_for: Callable[[ParamValue], Optional[float]],
+    seed: SeedLike = None,
+    unpruned: Sequence[AlgorithmSpec] = (),
+) -> SweepResult:
+    """Evaluate every algorithm arm at every grid point of one parameter.
+
+    ``make_instance`` builds the instance for a grid value (the same seed
+    is reused so only the swept knob varies); ``epsilon_for`` maps the grid
+    value to the pruning threshold (identity for the epsilon sweeps of
+    Figures 2-3, constant default elsewhere).
+    """
+    result = SweepResult(name=name, parameter=parameter, values=list(values))
+    cache: Optional[CatalogCache] = None
+    previous_instance: Optional[ProblemInstance] = None
+    cached_unpruned: Optional[List[RunRecord]] = None
+    for value in values:
+        instance = make_instance(value)
+        # Epsilon sweeps reuse one instance across grid points; keeping the
+        # catalog cache alive there means the expensive unpruned (-W)
+        # catalogs are built once per sweep, not once per grid point —
+        # and the -W arms themselves, being epsilon-independent and
+        # deterministic in (instance, seed), are computed once and
+        # replicated as the flat lines the paper plots.
+        same_instance = instance is previous_instance
+        if cache is None or not same_instance:
+            cache = CatalogCache()
+            cached_unpruned = None
+        previous_instance = instance
+        records = run_algorithms(
+            instance,
+            algorithms,
+            epsilon=epsilon_for(value),
+            seed=seed,
+            catalog_cache=cache,
+            unpruned=() if cached_unpruned is not None else unpruned,
+        )
+        if unpruned:
+            if cached_unpruned is None:
+                cached_unpruned = [r for r in records if r.algorithm.endswith("-W")]
+            else:
+                records = records + cached_unpruned
+        result.add(value, records)
+    return result

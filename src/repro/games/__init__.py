@@ -1,0 +1,24 @@
+"""Game-theoretic solvers: FGT (Algorithm 2) and IEGT (Algorithm 3)."""
+
+from repro.games.base import GameResult, GameState, random_initial_state
+from repro.games.potential import (
+    IAUEvaluator,
+    is_pure_nash,
+    potential_value,
+)
+from repro.games.trace import ConvergenceTrace, TracePoint
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+
+__all__ = [
+    "GameState",
+    "GameResult",
+    "random_initial_state",
+    "IAUEvaluator",
+    "potential_value",
+    "is_pure_nash",
+    "ConvergenceTrace",
+    "TracePoint",
+    "FGTSolver",
+    "IEGTSolver",
+]

@@ -1,0 +1,134 @@
+"""Shared game machinery: joint-strategy state and random initialisation.
+
+Both Algorithm 2 (FGT) and Algorithm 3 (IEGT) start from the same random
+single-point assignment (their lines 6-16) and then iterate strategy updates
+over a mutable joint state.  :class:`GameState` owns that state and keeps the
+disjointness bookkeeping (which delivery points are claimed by whom) so
+solvers stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment, WorkerAssignment
+from repro.core.entities import Worker
+from repro.games.trace import ConvergenceTrace
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.vdps.catalog import NULL_STRATEGY, VDPSCatalog, WorkerStrategy
+
+
+class GameState:
+    """The joint strategy of all players plus conflict bookkeeping.
+
+    Invariant: the point sets of all non-null strategies are pairwise
+    disjoint (Definition 8); every mutation goes through
+    :meth:`set_strategy`, which maintains the claimed-points map.
+    """
+
+    def __init__(self, catalog: VDPSCatalog) -> None:
+        self.catalog = catalog
+        self.workers: Tuple[Worker, ...] = catalog.workers
+        self._strategy: Dict[str, WorkerStrategy] = {
+            w.worker_id: NULL_STRATEGY for w in self.workers
+        }
+        self._claimed_by: Dict[str, str] = {}  # dp_id -> worker_id
+
+    def strategy_of(self, worker_id: str) -> WorkerStrategy:
+        """The strategy ``worker_id`` currently plays (null if none)."""
+        return self._strategy[worker_id]
+
+    def set_strategy(self, worker_id: str, strategy: WorkerStrategy) -> None:
+        """Switch ``worker_id`` to ``strategy``, updating claimed points.
+
+        Raises :class:`ValueError` if the strategy overlaps points claimed
+        by another worker — solvers must only offer available strategies.
+        """
+        for dp_id in strategy.point_ids:
+            owner = self._claimed_by.get(dp_id)
+            if owner is not None and owner != worker_id:
+                raise ValueError(
+                    f"delivery point {dp_id!r} already claimed by {owner!r}"
+                )
+        for dp_id in self._strategy[worker_id].point_ids:
+            self._claimed_by.pop(dp_id, None)
+        for dp_id in strategy.point_ids:
+            self._claimed_by[dp_id] = worker_id
+        self._strategy[worker_id] = strategy
+
+    def claimed_except(self, worker_id: str) -> Set[str]:
+        """Delivery points claimed by every worker other than ``worker_id``."""
+        return {
+            dp_id for dp_id, owner in self._claimed_by.items() if owner != worker_id
+        }
+
+    def available_strategies(self, worker_id: str) -> List[WorkerStrategy]:
+        """Strategies ``worker_id`` could switch to right now (excl. null)."""
+        return self.catalog.available(worker_id, self.claimed_except(worker_id))
+
+    def payoffs(self) -> np.ndarray:
+        """Current payoff vector, in worker order."""
+        return np.array(
+            [self._strategy[w.worker_id].payoff for w in self.workers], dtype=float
+        )
+
+    def joint_strategy_key(self) -> Tuple[FrozenSet[str], ...]:
+        """A hashable snapshot of the joint strategy (for cycle detection)."""
+        return tuple(self._strategy[w.worker_id].point_ids for w in self.workers)
+
+    def to_assignment(self) -> Assignment:
+        """Freeze the state into a validated :class:`Assignment`."""
+        pairs = []
+        for w in self.workers:
+            strategy = self._strategy[w.worker_id]
+            route = None if strategy.is_null else strategy.route
+            pairs.append(WorkerAssignment(w, route))
+        return Assignment(pairs)
+
+
+def random_initial_state(
+    catalog: VDPSCatalog, seed: SeedLike = None
+) -> GameState:
+    """Random single-point initial assignment (Algorithms 2-3, lines 6-16).
+
+    Workers are processed in catalog order; each draws uniformly among its
+    size-1 VDPSs whose point is still unclaimed, or plays null when none
+    remain.
+    """
+    rng = ensure_rng(seed)
+    state = GameState(catalog)
+    for worker in catalog.workers:
+        candidates = [
+            s
+            for s in state.available_strategies(worker.worker_id)
+            if s.size == 1
+        ]
+        if candidates:
+            pick = candidates[int(rng.integers(0, len(candidates)))]
+            state.set_strategy(worker.worker_id, pick)
+    return state
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Outcome of a game-theoretic solve.
+
+    Attributes
+    ----------
+    assignment:
+        The final (validated) task assignment.
+    trace:
+        Per-iteration convergence diagnostics (Figure 12's raw data).
+    converged:
+        Whether a fixed point was reached before the iteration budget.
+    rounds:
+        Number of full update rounds executed.
+    """
+
+    assignment: Assignment
+    trace: ConvergenceTrace
+    converged: bool
+    rounds: int

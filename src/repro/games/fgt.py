@@ -1,0 +1,183 @@
+"""Fairness-aware Game-Theoretic approach (FGT) — Algorithm 2.
+
+FTA is cast as an n-player strategic game whose utilities are the Inequity
+Aversion based Utilities (Equations 5-7).  Lemma 2 shows the game is an
+exact potential game (potential = sum of IAUs), so sequential asynchronous
+best response converges to a pure Nash equilibrium: workers take turns
+switching to the available VDPS (or null) with maximal IAU, and the play
+stops when a full round changes nobody's strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.fairness import InequityAversion
+from repro.core.instance import SubProblem
+from repro.core.priority import PriorityModel
+from repro.games.base import GameResult, GameState, random_initial_state
+from repro.games.potential import IAUEvaluator, potential_value
+from repro.games.trace import ConvergenceTrace
+from repro.utils.log import get_logger
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.vdps.catalog import NULL_STRATEGY, VDPSCatalog, build_catalog
+
+logger = get_logger("games.fgt")
+
+
+@dataclass(frozen=True)
+class FGTSolver:
+    """Best-response solver for the FTA game.
+
+    Parameters
+    ----------
+    alpha, beta:
+        IAU weights (Equation 5); the paper fixes both at 0.5.
+    max_rounds:
+        Budget of full best-response rounds.  The potential argument of
+        Lemma 2 makes cycling unlikely; the budget guards degenerate cases,
+        and exceeding it is reported via ``GameResult.converged``.
+    tol:
+        A switch requires at least this much IAU improvement, which keeps
+        floating-point noise from producing livelock.
+    epsilon:
+        Distance-constrained pruning threshold for VDPS generation when the
+        solver builds the catalog itself; ``None`` disables pruning.
+    trace_granularity:
+        ``"round"`` (default) records one trace point per full best-response
+        pass; ``"update"`` records one per individual worker update, which
+        matches the per-iteration x-axis of the paper's Figure 12.
+    early_stop_patience, early_stop_tol:
+        Optional early termination (the paper's future-work item on
+        iteration efficiency): stop once the potential has improved by less
+        than ``early_stop_tol`` over ``early_stop_patience`` consecutive
+        rounds.  ``None`` (default) disables it and plays to the exact
+        fixed point.  An early-stopped run reports ``converged=False``.
+    priorities:
+        Optional :class:`~repro.core.priority.PriorityModel` enabling
+        priority-aware fairness (the paper's future-work direction): the
+        game's utilities become IAU over priority-normalised payoffs, so
+        equilibrium payoffs gravitate toward priority-proportional shares.
+        ``None`` is the paper's plain IAU game.
+    """
+
+    alpha: float = 0.5
+    beta: float = 0.5
+    max_rounds: int = 200
+    tol: float = 1e-9
+    epsilon: Optional[float] = None
+    trace_granularity: str = "round"
+    early_stop_patience: Optional[int] = None
+    early_stop_tol: float = 1e-6
+    priorities: Optional["PriorityModel"] = None
+
+    def __post_init__(self) -> None:
+        if self.trace_granularity not in ("round", "update"):
+            raise ValueError(
+                f"trace_granularity must be 'round' or 'update', "
+                f"got {self.trace_granularity!r}"
+            )
+        if self.early_stop_patience is not None and self.early_stop_patience < 1:
+            raise ValueError(
+                f"early_stop_patience must be >= 1 or None, "
+                f"got {self.early_stop_patience!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "FGT" if self.epsilon is not None else "FGT-W"
+
+    def solve(
+        self,
+        sub: SubProblem,
+        catalog: Optional[VDPSCatalog] = None,
+        seed: SeedLike = None,
+    ) -> GameResult:
+        """Run Algorithm 2 on ``sub`` and return the equilibrium assignment."""
+        if catalog is None:
+            catalog = build_catalog(sub, epsilon=self.epsilon)
+        model = InequityAversion(self.alpha, self.beta)
+        rng = ensure_rng(seed)
+        state = random_initial_state(catalog, rng)
+        trace = ConvergenceTrace()
+        scales = self._utility_scales(state)
+
+        converged = False
+        rounds = 0
+        stall = 0
+        last_potential = potential_value(state.payoffs() * scales, model)
+        for rounds in range(1, self.max_rounds + 1):
+            switches = self._best_response_round(state, model, trace, scales)
+            payoffs = state.payoffs()
+            potential = potential_value(payoffs * scales, model)
+            if self.trace_granularity == "round":
+                trace.record(rounds, payoffs, switches, potential)
+            if switches == 0:
+                converged = True
+                break
+            if self.early_stop_patience is not None:
+                if potential - last_potential < self.early_stop_tol:
+                    stall += 1
+                    if stall >= self.early_stop_patience:
+                        break
+                else:
+                    stall = 0
+            last_potential = potential
+        if not converged:
+            logger.warning(
+                "FGT did not reach a Nash equilibrium within %d rounds", self.max_rounds
+            )
+        return GameResult(state.to_assignment(), trace, converged, rounds)
+
+    def _utility_scales(self, state: GameState) -> np.ndarray:
+        """Per-worker payoff scaling for the utility computation.
+
+        All ones for the plain IAU game; ``1 / priority_i`` under the
+        priority-aware extension, which turns the utilities into IAU over
+        priority-normalised payoffs.
+        """
+        if self.priorities is None:
+            return np.ones(len(state.workers))
+        return np.array(
+            [1.0 / self.priorities.priority_of(w.worker_id) for w in state.workers]
+        )
+
+    def _best_response_round(
+        self,
+        state: GameState,
+        model: InequityAversion,
+        trace: ConvergenceTrace,
+        scales: np.ndarray,
+    ) -> int:
+        """One pass of sequential asynchronous best responses; returns switches."""
+        switches = 0
+        payoffs = state.payoffs()
+        for idx, worker in enumerate(state.workers):
+            wid = worker.worker_id
+            others = np.delete(payoffs * scales, idx)
+            evaluator = IAUEvaluator(others, model)
+            current = state.strategy_of(wid)
+            best_strategy = NULL_STRATEGY
+            best_utility = evaluator.utility(NULL_STRATEGY.payoff)
+            for strategy in state.available_strategies(wid):
+                u = evaluator.utility(strategy.payoff * scales[idx])
+                if u > best_utility + self.tol:
+                    best_strategy, best_utility = strategy, u
+            current_utility = evaluator.utility(current.payoff * scales[idx])
+            switched = 0
+            if best_utility > current_utility + self.tol:
+                state.set_strategy(wid, best_strategy)
+                payoffs[idx] = best_strategy.payoff
+                switches += 1
+                switched = 1
+            if self.trace_granularity == "update":
+                trace.record(
+                    len(trace) + 1,
+                    payoffs,
+                    switched,
+                    potential_value(payoffs * scales, model),
+                )
+        return switches

@@ -1,0 +1,184 @@
+"""Improved Evolutionary Game-Theoretic approach (IEGT) — Algorithm 3.
+
+Workers of one distribution center form a population that repeatedly plays
+the assignment game with bounded rationality.  Each round evaluates the
+replicator dynamics (Equation 11): a strategy's share grows or shrinks with
+the gap between its player's payoff ``U_i`` and the population average
+``U-bar``.  A worker whose replicator derivative is negative (payoff below
+average) must evolve: it switches to a *random* available VDPS with strictly
+higher payoff, when one exists.  The play stops at the improved evolutionary
+equilibrium — all derivatives zero (equal payoffs) or no worker able to
+change strategy — which Definition 10 shows is an IESS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.instance import SubProblem
+from repro.games.base import GameResult, GameState, random_initial_state
+from repro.games.trace import ConvergenceTrace
+from repro.utils.log import get_logger
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.vdps.catalog import VDPSCatalog, WorkerStrategy, build_catalog
+
+logger = get_logger("games.iegt")
+
+
+@dataclass(frozen=True)
+class IEGTSolver:
+    """Replicator-dynamics solver for the FTA evolutionary game.
+
+    Parameters
+    ----------
+    max_rounds:
+        Budget of evolution rounds; exceeding it is reported via
+        ``GameResult.converged``.
+    tol:
+        Payoffs within ``tol`` of the population average are treated as
+        average (replicator derivative zero), and a switch target must be
+        better than the current payoff by more than ``tol``.
+    epsilon:
+        Distance-constrained pruning threshold for VDPS generation when the
+        solver builds the catalog itself; ``None`` disables pruning.
+    trace_granularity:
+        ``"round"`` (default) records one trace point per evolution round;
+        ``"update"`` records one per individual worker adaptation, matching
+        the per-iteration x-axis of the paper's Figure 12.
+    early_stop_patience, early_stop_tol:
+        Optional early termination (the paper's future-work item): stop
+        once the population's total payoff has improved by less than
+        ``early_stop_tol`` over ``early_stop_patience`` consecutive rounds.
+        ``None`` (default) disables it.  An early-stopped run reports
+        ``converged=False``.
+    termination:
+        ``"improved"`` (default) is the paper's IESS condition — stop when
+        all replicator derivatives are zero *or* nobody changed strategy.
+        ``"classic"`` keeps only the textbook evolutionary-equilibrium
+        condition (all payoffs equal), which in FTA's heterogeneous-
+        strategy setting typically never holds; it exists to reproduce the
+        paper's motivation for improving the termination (Section VI-C).
+    """
+
+    max_rounds: int = 500
+    tol: float = 1e-9
+    epsilon: Optional[float] = None
+    trace_granularity: str = "round"
+    early_stop_patience: Optional[int] = None
+    early_stop_tol: float = 1e-6
+    termination: str = "improved"
+
+    def __post_init__(self) -> None:
+        if self.trace_granularity not in ("round", "update"):
+            raise ValueError(
+                f"trace_granularity must be 'round' or 'update', "
+                f"got {self.trace_granularity!r}"
+            )
+        if self.early_stop_patience is not None and self.early_stop_patience < 1:
+            raise ValueError(
+                f"early_stop_patience must be >= 1 or None, "
+                f"got {self.early_stop_patience!r}"
+            )
+        if self.termination not in ("improved", "classic"):
+            raise ValueError(
+                f"termination must be 'improved' or 'classic', "
+                f"got {self.termination!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "IEGT" if self.epsilon is not None else "IEGT-W"
+
+    def solve(
+        self,
+        sub: SubProblem,
+        catalog: Optional[VDPSCatalog] = None,
+        seed: SeedLike = None,
+    ) -> GameResult:
+        """Run Algorithm 3 on the population of ``sub``'s workers."""
+        if catalog is None:
+            catalog = build_catalog(sub, epsilon=self.epsilon)
+        rng = ensure_rng(seed)
+        state = random_initial_state(catalog, rng)
+        trace = ConvergenceTrace()
+
+        population = len(state.workers)
+        converged = False
+        rounds = 0
+        stall = 0
+        last_total = float(state.payoffs().sum())
+        for rounds in range(1, self.max_rounds + 1):
+            payoffs = state.payoffs()
+            mean_payoff = float(payoffs.mean()) if population else 0.0
+            switches = 0
+            all_average = True
+            for idx, worker in enumerate(state.workers):
+                # sigma_km > 0 for a strategy in use, so the sign of the
+                # replicator derivative (Eq. 11) is the sign of U_i - U-bar.
+                gap = payoffs[idx] - mean_payoff
+                switched = False
+                if gap < -self.tol:
+                    all_average = False
+                    switched = self._evolve(state, worker.worker_id, rng)
+                    if switched:
+                        switches += 1
+                        payoffs = state.payoffs()
+                        mean_payoff = float(payoffs.mean())
+                elif abs(gap) > self.tol:
+                    all_average = False
+                if self.trace_granularity == "update":
+                    trace.record(
+                        len(trace) + 1,
+                        payoffs,
+                        int(switched),
+                        potential=float(payoffs.sum()),
+                    )
+            if self.trace_granularity == "round":
+                trace.record(
+                    rounds, payoffs, switches, potential=float(payoffs.sum())
+                )
+            stop = (
+                all_average
+                if self.termination == "classic"
+                else (all_average or switches == 0)
+            )
+            if stop:
+                converged = True
+                break
+            total = float(payoffs.sum())
+            if self.early_stop_patience is not None:
+                if total - last_total < self.early_stop_tol:
+                    stall += 1
+                    if stall >= self.early_stop_patience:
+                        break
+                else:
+                    stall = 0
+            last_total = total
+        if not converged:
+            logger.warning(
+                "IEGT did not reach an evolutionary equilibrium within %d rounds",
+                self.max_rounds,
+            )
+        return GameResult(state.to_assignment(), trace, converged, rounds)
+
+    def _evolve(
+        self, state: GameState, worker_id: str, rng: np.random.Generator
+    ) -> bool:
+        """Switch ``worker_id`` to a random strictly-better available VDPS.
+
+        Returns whether a switch happened (Algorithm 3, lines 22-25).
+        """
+        current_payoff = state.strategy_of(worker_id).payoff
+        better: List[WorkerStrategy] = [
+            s
+            for s in state.available_strategies(worker_id)
+            if s.payoff > current_payoff + self.tol
+        ]
+        if not better:
+            return False
+        pick = better[int(rng.integers(0, len(better)))]
+        state.set_strategy(worker_id, pick)
+        return True

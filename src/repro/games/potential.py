@@ -1,0 +1,97 @@
+"""Potential-game machinery: fast IAU evaluation and Nash checks (Lemma 2).
+
+Best response evaluates the IAU of one worker for many candidate payoffs
+while everyone else's payoff stays fixed.  :class:`IAUEvaluator` sorts the
+*others* once and answers each candidate in O(log n) via prefix sums, which
+turns a round of best responses from O(|W|^2 |ST|) into
+O(|W| (|W| log |W| + |ST| log |W|)).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fairness import InequityAversion
+
+
+class IAUEvaluator:
+    """IAU of a focal worker as a function of its own payoff.
+
+    Parameters
+    ----------
+    other_payoffs:
+        Payoffs of the remaining ``n - 1`` workers (kept fixed).
+    model:
+        The :class:`InequityAversion` weights.
+    """
+
+    def __init__(
+        self, other_payoffs: Sequence[float], model: InequityAversion
+    ) -> None:
+        self._model = model
+        values = np.sort(np.asarray(list(other_payoffs), dtype=float))
+        self._sorted = values
+        self._prefix = np.concatenate(([0.0], np.cumsum(values)))
+        self._n_others = values.size
+
+    def utility(self, own_payoff: float) -> float:
+        """IAU of the focal worker when its payoff is ``own_payoff``."""
+        n_others = self._n_others
+        if n_others == 0:
+            return float(own_payoff)
+        k = bisect.bisect_right(self._sorted, own_payoff)
+        below = self._prefix[k]
+        above = self._prefix[-1] - below
+        lp = own_payoff * k - below  # focal ahead of k poorer workers
+        mp = above - own_payoff * (n_others - k)  # richer workers' lead
+        return float(
+            own_payoff - (self._model.alpha * mp + self._model.beta * lp) / n_others
+        )
+
+
+def potential_value(payoffs: Sequence[float], model: InequityAversion) -> float:
+    """The exact potential ``Phi = sum_i IAU_i`` of Lemma 2."""
+    return model.potential(payoffs)
+
+
+def best_response_index(
+    candidate_payoffs: Sequence[float],
+    other_payoffs: Sequence[float],
+    model: InequityAversion,
+) -> Tuple[int, float]:
+    """Index and utility of the best candidate payoff under IAU.
+
+    Ties are broken toward the lowest index, so passing candidates sorted by
+    descending payoff reproduces "highest payoff among utility ties".
+    """
+    if not candidate_payoffs:
+        raise ValueError("candidate_payoffs must be non-empty")
+    evaluator = IAUEvaluator(other_payoffs, model)
+    best_idx, best_utility = 0, -np.inf
+    for idx, p in enumerate(candidate_payoffs):
+        u = evaluator.utility(p)
+        if u > best_utility:
+            best_idx, best_utility = idx, u
+    return best_idx, float(best_utility)
+
+
+def is_pure_nash(state, model: InequityAversion, tol: float = 1e-9) -> bool:
+    """Whether no worker can strictly improve its IAU by a unilateral switch.
+
+    "Unilateral" honours the conflict structure: a worker may only move to
+    strategies disjoint from the points currently claimed by others.
+    """
+    payoffs = state.payoffs()
+    for idx, worker in enumerate(state.workers):
+        others = np.delete(payoffs, idx)
+        evaluator = IAUEvaluator(others, model)
+        current_utility = evaluator.utility(payoffs[idx])
+        if evaluator.utility(0.0) > current_utility + tol:  # null deviation
+            return False
+        for strategy in state.available_strategies(worker.worker_id):
+            if evaluator.utility(strategy.payoff) > current_utility + tol:
+                return False
+    return True

@@ -1,0 +1,84 @@
+"""Convergence traces for the game-theoretic solvers (Figure 12 data)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.payoff import average_payoff, payoff_difference
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """Diagnostics after one full update round.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round counter.
+    payoff_difference:
+        ``P_dif`` of the joint strategy after the round.
+    average_payoff:
+        Mean worker payoff after the round.
+    switches:
+        How many workers changed strategy during the round (0 means the
+        round was a fixed point).
+    potential:
+        The exact potential ``Phi`` (sum of IAUs) for FGT; for IEGT this is
+        the sum of payoffs.
+    """
+
+    round_index: int
+    payoff_difference: float
+    average_payoff: float
+    switches: int
+    potential: float
+
+
+class ConvergenceTrace:
+    """Append-only series of :class:`TracePoint`, one per round."""
+
+    def __init__(self) -> None:
+        self._points: List[TracePoint] = []
+
+    def record(
+        self,
+        round_index: int,
+        payoffs: Sequence[float],
+        switches: int,
+        potential: float,
+    ) -> None:
+        """Append the diagnostics of a finished round."""
+        self._points.append(
+            TracePoint(
+                round_index=round_index,
+                payoff_difference=payoff_difference(payoffs),
+                average_payoff=average_payoff(payoffs),
+                switches=switches,
+                potential=potential,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[TracePoint]:
+        return iter(self._points)
+
+    def __getitem__(self, idx: int) -> TracePoint:
+        return self._points[idx]
+
+    @property
+    def points(self) -> Tuple[TracePoint, ...]:
+        return tuple(self._points)
+
+    @property
+    def final(self) -> TracePoint:
+        """The last recorded round; raises on an empty trace."""
+        if not self._points:
+            raise IndexError("trace is empty")
+        return self._points[-1]
+
+    def series(self, field: str) -> List[float]:
+        """The per-round series of one :class:`TracePoint` field."""
+        return [getattr(p, field) for p in self._points]

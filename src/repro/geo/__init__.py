@@ -1,0 +1,25 @@
+"""Planar geometry substrate: points, metrics, travel model, spatial index."""
+
+from repro.geo.point import Point
+from repro.geo.distance import (
+    Metric,
+    chebyshev,
+    euclidean,
+    manhattan,
+    pairwise_distance_matrix,
+    resolve_metric,
+)
+from repro.geo.travel import TravelModel
+from repro.geo.index import GridIndex
+
+__all__ = [
+    "Point",
+    "Metric",
+    "euclidean",
+    "manhattan",
+    "chebyshev",
+    "pairwise_distance_matrix",
+    "resolve_metric",
+    "TravelModel",
+    "GridIndex",
+]

@@ -1,0 +1,89 @@
+"""Distance metrics over :class:`~repro.geo.point.Point`.
+
+The paper uses Euclidean travel distance; Manhattan and Chebyshev are provided
+for city-grid style studies and for sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from repro.geo.point import Point
+
+DistanceFn = Callable[[Point, Point], float]
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Straight-line (L2) distance."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """City-block (L1) distance."""
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def chebyshev(a: Point, b: Point) -> float:
+    """Chessboard (L-infinity) distance."""
+    return max(abs(a.x - b.x), abs(a.y - b.y))
+
+
+class Metric(enum.Enum):
+    """Named distance metrics selectable in configuration files."""
+
+    EUCLIDEAN = "euclidean"
+    MANHATTAN = "manhattan"
+    CHEBYSHEV = "chebyshev"
+
+    @property
+    def fn(self) -> DistanceFn:
+        return _METRIC_FNS[self]
+
+
+_METRIC_FNS = {
+    Metric.EUCLIDEAN: euclidean,
+    Metric.MANHATTAN: manhattan,
+    Metric.CHEBYSHEV: chebyshev,
+}
+
+
+def resolve_metric(metric: Union[str, Metric, DistanceFn]) -> DistanceFn:
+    """Turn a metric name, enum member, or callable into a distance function."""
+    if isinstance(metric, Metric):
+        return metric.fn
+    if isinstance(metric, str):
+        try:
+            return Metric(metric.lower()).fn
+        except ValueError:
+            valid = ", ".join(m.value for m in Metric)
+            raise ValueError(f"unknown metric {metric!r}; expected one of: {valid}")
+    if callable(metric):
+        return metric
+    raise TypeError(f"metric must be a name, Metric, or callable, got {type(metric)!r}")
+
+
+def pairwise_distance_matrix(
+    points: Sequence[Point], metric: Union[str, Metric, DistanceFn] = Metric.EUCLIDEAN
+) -> np.ndarray:
+    """Dense ``(n, n)`` matrix of pairwise distances.
+
+    For the Euclidean metric the computation is vectorised; other metrics fall
+    back to a Python double loop (they are only used on small inputs).
+    """
+    n = len(points)
+    if n == 0:
+        return np.zeros((0, 0))
+    if metric in (Metric.EUCLIDEAN, "euclidean", euclidean):
+        coords = np.array([(p.x, p.y) for p in points])
+        diff = coords[:, None, :] - coords[None, :, :]
+        return np.sqrt((diff**2).sum(axis=-1))
+    fn = resolve_metric(metric)
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = fn(points[i], points[j])
+    return out

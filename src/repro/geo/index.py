@@ -1,0 +1,103 @@
+"""Uniform-grid spatial index.
+
+The distance-constrained pruning strategy of Section IV repeatedly asks
+"which delivery points lie within travel distance ε of this one?".  A uniform
+grid answers that in expected O(1) per query for the near-uniform point
+distributions used in the experiments, without pulling in a k-d tree
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, List, Sequence, Tuple, TypeVar
+
+from repro.geo.distance import euclidean
+from repro.geo.point import Point
+from repro.utils.validation import require_positive
+
+T = TypeVar("T")
+
+
+class GridIndex(Generic[T]):
+    """Buckets items by location into square cells of side ``cell_size``.
+
+    Items are arbitrary objects paired with a :class:`Point`.  Queries return
+    items, not points, so callers can index delivery points directly.
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        require_positive(cell_size, "cell_size")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], List[Tuple[Point, T]]] = defaultdict(list)
+        self._count = 0
+
+    @classmethod
+    def build(
+        cls, items: Sequence[Tuple[Point, T]], cell_size: float
+    ) -> "GridIndex[T]":
+        """Construct an index holding every ``(point, item)`` pair."""
+        index = cls(cell_size)
+        for point, item in items:
+            index.insert(point, item)
+        return index
+
+    def _cell_of(self, p: Point) -> Tuple[int, int]:
+        return (math.floor(p.x / self.cell_size), math.floor(p.y / self.cell_size))
+
+    def insert(self, point: Point, item: T) -> None:
+        """Add ``item`` located at ``point``."""
+        self._cells[self._cell_of(point)].append((point, item))
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def within(self, center: Point, radius: float) -> List[T]:
+        """All items within Euclidean ``radius`` of ``center`` (inclusive)."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        reach = math.ceil(radius / self.cell_size)
+        cx, cy = self._cell_of(center)
+        hits: List[T] = []
+        for gx in range(cx - reach, cx + reach + 1):
+            for gy in range(cy - reach, cy + reach + 1):
+                for point, item in self._cells.get((gx, gy), ()):
+                    if euclidean(center, point) <= radius:
+                        hits.append(item)
+        return hits
+
+    def nearest(self, center: Point) -> T:
+        """The single item closest to ``center``; raises on an empty index."""
+        if self._count == 0:
+            raise ValueError("nearest() on an empty index")
+        best_item: T = None  # type: ignore[assignment]
+        best_dist = math.inf
+        cx, cy = self._cell_of(center)
+        # Farthest occupied cell bounds how far the search can ever need to go.
+        max_reach = max(
+            max(abs(gx - cx), abs(gy - cy)) for gx, gy in self._cells
+        )
+        # Expand ring by ring; stop once even the nearest possible location
+        # in the next unexplored ring — (reach - 1) cells away — cannot beat
+        # the incumbent.
+        reach = 0
+        while reach <= max_reach:
+            if best_dist < math.inf and (reach - 1) * self.cell_size > best_dist:
+                break
+            for gx in range(cx - reach, cx + reach + 1):
+                for gy in range(cy - reach, cy + reach + 1):
+                    if max(abs(gx - cx), abs(gy - cy)) != reach:
+                        continue  # only the new ring
+                    for point, item in self._cells.get((gx, gy), ()):
+                        d = euclidean(center, point)
+                        if d < best_dist:
+                            best_dist, best_item = d, item
+            reach += 1
+        return best_item
+
+    def items(self) -> Iterable[Tuple[Point, T]]:
+        """Iterate over all ``(point, item)`` pairs in the index."""
+        for bucket in self._cells.values():
+            yield from bucket

@@ -1,0 +1,66 @@
+"""Immutable planar point used for all locations in the library.
+
+Coordinates are kilometres in an abstract 2-D plane, matching the paper's
+synthetic space ``[0, 100]^2`` and its Euclidean travel distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A 2-D location ``(x, y)`` in kilometres.
+
+    ``Point`` is hashable and ordered lexicographically, so it can key
+    dictionaries (e.g. distance caches) and sort deterministically.
+    """
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("x", self.x), ("y", self.y)):
+            if not isinstance(value, (int, float)):
+                raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value!r}")
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in kilometres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Midpoint of the segment between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """The coordinates as a plain tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    @staticmethod
+    def centroid(points: Iterable["Point"]) -> "Point":
+        """Arithmetic mean of ``points``; raises on an empty iterable."""
+        xs, ys, n = 0.0, 0.0, 0
+        for p in points:
+            xs += p.x
+            ys += p.y
+            n += 1
+        if n == 0:
+            raise ValueError("centroid of an empty point collection is undefined")
+        return Point(xs / n, ys / n)

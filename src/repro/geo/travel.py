@@ -1,0 +1,79 @@
+"""Travel-time model.
+
+The paper's cost ``c(a, b)`` is the travel time between two locations.  All
+workers share one speed (5 km/h in the experiments), so travel time is
+``distance / speed`` under a chosen metric.  The model also memoises pairs,
+because routing and VDPS generation query the same point pairs heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from repro.geo.distance import DistanceFn, Metric, resolve_metric
+from repro.geo.point import Point
+from repro.utils.validation import require_positive
+
+
+class TravelModel:
+    """Converts distances into travel times at a constant speed.
+
+    Parameters
+    ----------
+    speed_kmh:
+        Worker movement speed in km/h.  The paper uses 5 km/h.
+    metric:
+        Distance metric (name, :class:`Metric`, or callable).
+    cache:
+        Memoise point-pair distances.  VDPS generation evaluates the same
+        pairs across exponentially many subsets, so this is on by default.
+    """
+
+    def __init__(
+        self,
+        speed_kmh: float = 5.0,
+        metric: Union[str, Metric, DistanceFn] = Metric.EUCLIDEAN,
+        cache: bool = True,
+    ) -> None:
+        require_positive(speed_kmh, "speed_kmh")
+        self.speed_kmh = float(speed_kmh)
+        self._distance_fn = resolve_metric(metric)
+        self._cache: Dict[Tuple[Point, Point], float] = {} if cache else None  # type: ignore[assignment]
+
+    def distance(self, a: Point, b: Point) -> float:
+        """Distance between ``a`` and ``b`` in kilometres."""
+        if a == b:
+            return 0.0
+        if self._cache is None:
+            return self._distance_fn(a, b)
+        key = (a, b) if a <= b else (b, a)
+        d = self._cache.get(key)
+        if d is None:
+            d = self._distance_fn(a, b)
+            self._cache[key] = d
+        return d
+
+    def time(self, a: Point, b: Point) -> float:
+        """Travel time from ``a`` to ``b`` in hours (the paper's ``c(a, b)``)."""
+        return self.distance(a, b) / self.speed_kmh
+
+    def with_speed(self, speed_kmh: float) -> "TravelModel":
+        """A model with the same metric but a different speed.
+
+        Used for workers with individual speeds; the distance cache is not
+        shared (distances are cheap relative to the rest of the pipeline).
+        """
+        return TravelModel(speed_kmh, self._distance_fn, cache=self._cache is not None)
+
+    def clear_cache(self) -> None:
+        """Drop all memoised distances."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoised point pairs (0 when caching is disabled)."""
+        return 0 if self._cache is None else len(self._cache)
+
+    def __repr__(self) -> str:
+        return f"TravelModel(speed_kmh={self.speed_kmh})"

@@ -1,0 +1,24 @@
+"""Multi-round dispatch simulation on top of the one-shot FTA solvers.
+
+The paper solves a single time instance ("the server will consider all the
+available tasks and workers at a particular time instance").  A deployed
+platform loops that decision: tasks arrive continuously, workers go
+offline while delivering and return at their last drop-off point, and the
+long-run fairness a worker experiences is over *cumulative* earnings.
+This package provides that loop so the one-shot algorithms can be compared
+on the horizon that actually matters for worker retention.
+"""
+
+from repro.sim.arrivals import PoissonTaskArrivals, TaskArrival
+from repro.sim.platform import DispatchSimulator, RoundRecord, SimConfig, SimReport
+from repro.sim.workers import WorkerState
+
+__all__ = [
+    "TaskArrival",
+    "PoissonTaskArrivals",
+    "SimConfig",
+    "DispatchSimulator",
+    "RoundRecord",
+    "SimReport",
+    "WorkerState",
+]

@@ -1,0 +1,259 @@
+"""The dispatch loop: repeated one-shot FTA solves over a working day.
+
+Every ``round_interval`` hours the platform snapshots its pending tasks
+and available workers, builds a relative-deadline
+:class:`~repro.core.instance.SubProblem`, hands it to the configured
+one-shot solver, and commits the resulting routes: assigned tasks leave
+the queue, workers go offline until their route completes (and reappear at
+their last drop-off point), and unassigned tasks either wait for the next
+round or expire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
+from repro.core.instance import SubProblem
+from repro.core.payoff import average_payoff, payoff_difference
+from repro.geo.travel import TravelModel
+from repro.sim.arrivals import PoissonTaskArrivals, TaskArrival
+from repro.sim.workers import WorkerState
+from repro.vdps.catalog import build_catalog
+from repro.utils.rng import RngFactory, SeedLike
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation horizon and dispatch cadence."""
+
+    horizon_hours: float = 8.0
+    round_interval_hours: float = 0.5
+    epsilon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.horizon_hours, "horizon_hours")
+        require_positive(self.round_interval_hours, "round_interval_hours")
+        if self.round_interval_hours > self.horizon_hours:
+            raise ValueError("round_interval_hours must not exceed horizon_hours")
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What one dispatch round saw and decided."""
+
+    time: float
+    pending_tasks: int
+    available_workers: int
+    assigned_tasks: int
+    expired_tasks: int
+    payoff_difference: float
+    average_payoff: float
+
+
+@dataclass
+class SimReport:
+    """Full outcome of a simulation run."""
+
+    rounds: List[RoundRecord]
+    worker_states: List[WorkerState]
+    arrived_tasks: int
+    completed_tasks: int
+    expired_tasks: int
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of arrived tasks that some worker delivered."""
+        if self.arrived_tasks == 0:
+            return 1.0
+        return self.completed_tasks / self.arrived_tasks
+
+    @property
+    def earning_rates(self) -> List[float]:
+        return [w.earning_rate for w in self.worker_states]
+
+    @property
+    def cumulative_payoff_difference(self) -> float:
+        """Equation 2 over cumulative earning rates — long-run unfairness."""
+        return payoff_difference(self.earning_rates)
+
+    @property
+    def cumulative_average_payoff(self) -> float:
+        return average_payoff(self.earning_rates)
+
+    def describe(self) -> str:
+        """One-line summary of throughput and cumulative fairness."""
+        return (
+            f"rounds={len(self.rounds)} arrived={self.arrived_tasks} "
+            f"completed={self.completed_tasks} expired={self.expired_tasks} "
+            f"completion={self.completion_rate:.1%} "
+            f"cumP_dif={self.cumulative_payoff_difference:.4f} "
+            f"cumAvgP={self.cumulative_average_payoff:.4f}"
+        )
+
+
+class DispatchSimulator:
+    """Runs the repeated-dispatch loop for one distribution center.
+
+    Parameters
+    ----------
+    center:
+        Layout only — the center's delivery points define *where* tasks can
+        land; any tasks already attached are ignored.
+    workers:
+        The worker fleet (initial locations; ``maxDP`` etc. from the
+        entities).
+    arrivals:
+        The task arrival process.
+    solver:
+        Any one-shot solver from this library (GTA/MPTA/FGT/IEGT/...).
+    travel:
+        Shared travel model.
+    config:
+        Horizon, cadence, and the VDPS pruning threshold per round.
+    """
+
+    def __init__(
+        self,
+        center: DistributionCenter,
+        workers: Sequence[Worker],
+        arrivals: PoissonTaskArrivals,
+        solver,
+        travel: Optional[TravelModel] = None,
+        config: SimConfig = SimConfig(),
+    ) -> None:
+        self._layout = {dp.dp_id: dp for dp in center.delivery_points}
+        if not self._layout:
+            raise ValueError("simulation needs a center with delivery points")
+        self._center = center
+        self._workers = [WorkerState.from_worker(w) for w in workers]
+        self._arrivals = arrivals
+        self._solver = solver
+        self._travel = travel if travel is not None else TravelModel()
+        self._config = config
+
+    def run(self, seed: SeedLike = None) -> SimReport:
+        """Simulate the configured horizon; deterministic in ``seed``."""
+        rng_factory = RngFactory(seed)
+        config = self._config
+        pending: List[TaskArrival] = []
+        rounds: List[RoundRecord] = []
+        arrived = completed = expired_total = 0
+
+        n_rounds = int(config.horizon_hours / config.round_interval_hours)
+        for round_idx in range(n_rounds):
+            now = round_idx * config.round_interval_hours
+            window_end = now + config.round_interval_hours
+            new_tasks = self._arrivals.between(
+                now, window_end, seed=rng_factory.get(f"arrivals:{round_idx}")
+            )
+            # Arrivals within the window queue for the *next* decision; the
+            # decision at `now` sees what had arrived before it.
+            still_valid = [t for t in pending if t.expiry > now]
+            expired = len(pending) - len(still_valid)
+            expired_total += expired
+            pending = still_valid
+            arrived += len(new_tasks)
+
+            assigned_count, payoffs = self._dispatch_round(
+                now, pending, rng_factory.get(f"solve:{round_idx}")
+            )
+            completed += assigned_count
+            rounds.append(
+                RoundRecord(
+                    time=now,
+                    pending_tasks=len(pending) + assigned_count,
+                    available_workers=sum(
+                        1 for w in self._workers if w.is_available(now)
+                    ),
+                    assigned_tasks=assigned_count,
+                    expired_tasks=expired,
+                    payoff_difference=payoff_difference(payoffs),
+                    average_payoff=average_payoff(payoffs),
+                )
+            )
+            pending.extend(new_tasks)
+
+        expired_total += sum(1 for t in pending if t.expiry <= config.horizon_hours)
+        return SimReport(
+            rounds=rounds,
+            worker_states=list(self._workers),
+            arrived_tasks=arrived,
+            completed_tasks=completed,
+            expired_tasks=expired_total,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _dispatch_round(self, now, pending: List[TaskArrival], rng):
+        """Solve one instant; mutate worker/pending state; return stats."""
+        available = [w for w in self._workers if w.is_available(now)]
+        if not available or not pending:
+            return 0, []
+
+        delivery_points = self._materialise_points(now, pending)
+        if not delivery_points:
+            return 0, []
+        center = DistributionCenter(
+            self._center.center_id, self._center.location, tuple(delivery_points)
+        )
+        sub = SubProblem(
+            center, tuple(w.snapshot() for w in available), self._travel
+        )
+        catalog = build_catalog(sub, epsilon=self._config.epsilon)
+        result = self._solver.solve(sub, catalog=catalog, seed=rng)
+
+        by_id = {w.worker_id: w for w in available}
+        assigned_tasks = 0
+        assigned_dp_ids = set()
+        payoffs = []
+        for pair in result.assignment:
+            payoffs.append(pair.payoff)
+            if pair.route is None or len(pair.route) == 0:
+                continue
+            state = by_id[pair.worker.worker_id]
+            state.commit_route(
+                now,
+                completion_time=pair.route.completion_time,
+                reward=pair.route.total_reward,
+                deliveries=pair.task_count,
+                end_location=pair.route.sequence[-1].location,
+            )
+            assigned_tasks += pair.task_count
+            assigned_dp_ids.update(pair.delivery_point_ids)
+        pending[:] = [t for t in pending if t.dp_id not in assigned_dp_ids]
+        return assigned_tasks, payoffs
+
+    def _materialise_points(
+        self, now: float, pending: Sequence[TaskArrival]
+    ) -> List[DeliveryPoint]:
+        """Group pending tasks into relative-deadline delivery points.
+
+        Tasks that could not be reached even by a worker already standing
+        at the center are *hopeless*: under Definition 6 their (minimal)
+        expiry would make the whole delivery point infeasible for everyone,
+        so they are excluded from the offered points and left to expire in
+        the queue.
+        """
+        tasks_by_dp: Dict[str, List[SpatialTask]] = {}
+        for arrival in pending:
+            remaining = arrival.remaining(now)
+            if remaining <= 0:
+                continue
+            dp = self._layout[arrival.dp_id]
+            if remaining <= self._travel.time(self._center.location, dp.location):
+                continue  # hopeless even from the center
+            tasks_by_dp.setdefault(arrival.dp_id, []).append(
+                SpatialTask(
+                    task_id=arrival.task_id,
+                    delivery_point_id=arrival.dp_id,
+                    expiry=remaining,
+                    reward=arrival.reward,
+                )
+            )
+        return [
+            self._layout[dp_id].with_tasks(tuple(tasks))
+            for dp_id, tasks in sorted(tasks_by_dp.items())
+        ]

@@ -1,0 +1,79 @@
+"""Mutable per-worker simulation state.
+
+The core entities are immutable; the simulator tracks each worker's
+evolving position, availability, and cumulative earnings here and
+materialises fresh :class:`~repro.core.entities.Worker` snapshots for the
+solver each round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entities import Worker
+from repro.geo.point import Point
+
+
+@dataclass
+class WorkerState:
+    """Simulation-time state of one worker."""
+
+    template: Worker
+    location: Point
+    available_at: float = 0.0
+    earnings: float = 0.0
+    working_hours: float = 0.0
+    deliveries: int = 0
+    assignments: int = 0
+
+    @classmethod
+    def from_worker(cls, worker: Worker) -> "WorkerState":
+        return cls(template=worker, location=worker.location)
+
+    @property
+    def worker_id(self) -> str:
+        return self.template.worker_id
+
+    def is_available(self, now: float) -> bool:
+        """Whether the worker can accept a new route at time ``now``."""
+        return self.template.online and self.available_at <= now
+
+    def snapshot(self) -> Worker:
+        """An immutable Worker at the current simulated location."""
+        return Worker(
+            self.template.worker_id,
+            self.location,
+            self.template.max_delivery_points,
+            self.template.center_id,
+            online=True,
+            speed_kmh=self.template.speed_kmh,
+        )
+
+    def commit_route(
+        self, now: float, completion_time: float, reward: float,
+        deliveries: int, end_location: Point,
+    ) -> None:
+        """Record an accepted route: busy until done, richer afterwards.
+
+        ``completion_time`` is the route's absolute duration from ``now``
+        (the worker-relative arrival time at the final point).
+        """
+        if completion_time < 0:
+            raise ValueError(f"completion_time must be >= 0, got {completion_time}")
+        self.available_at = now + completion_time
+        self.location = end_location
+        self.earnings += reward
+        self.working_hours += completion_time
+        self.deliveries += deliveries
+        self.assignments += 1
+
+    @property
+    def earning_rate(self) -> float:
+        """Cumulative earnings per working hour (0 while never assigned).
+
+        This is the long-run analogue of the paper's per-assignment payoff
+        (reward over travel time).
+        """
+        if self.working_hours <= 0:
+            return 0.0
+        return self.earnings / self.working_hours

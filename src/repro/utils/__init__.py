@@ -1,0 +1,23 @@
+"""Shared utilities: seeded randomness, timing, logging, and validation."""
+
+from repro.utils.rng import RngFactory, ensure_rng, spawn_rng
+from repro.utils.timing import CpuTimer, Stopwatch, timed
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "RngFactory",
+    "ensure_rng",
+    "spawn_rng",
+    "CpuTimer",
+    "Stopwatch",
+    "timed",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_type",
+]

@@ -1,0 +1,32 @@
+"""Library logging configuration.
+
+The library logs under the ``repro`` namespace and never configures the root
+logger; applications decide where output goes.  :func:`enable_console_logging`
+is a convenience for scripts and examples.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger nested under the library namespace."""
+    if name.startswith(_LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the library logger (idempotent)."""
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,86 @@
+"""Timing helpers used by the experiment harness.
+
+The paper reports *CPU time* for each algorithm; :class:`CpuTimer` measures
+process CPU time while :class:`Stopwatch` measures wall-clock time.  Both are
+context managers so call sites stay one line long.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class _TimerBase:
+    """Accumulating timer; subclasses choose the clock."""
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def _clock(self) -> float:
+        raise NotImplementedError
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("timer already running")
+        self._running = True
+        self._start = self._clock()
+
+    def stop(self) -> float:
+        """Stop and return the elapsed time of the just-finished interval."""
+        if not self._running:
+            raise RuntimeError("timer is not running")
+        interval = self._clock() - self._start
+        self.elapsed += interval
+        self._running = False
+        return interval
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._running = False
+
+    def __enter__(self) -> "_TimerBase":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class CpuTimer(_TimerBase):
+    """Accumulates process CPU time (user + system) across intervals."""
+
+    def _clock(self) -> float:
+        return time.process_time()
+
+
+class Stopwatch(_TimerBase):
+    """Accumulates wall-clock time across intervals."""
+
+    def _clock(self) -> float:
+        return time.perf_counter()
+
+
+def timed(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Call ``fn`` and return ``(result, cpu_seconds)``."""
+    timer = CpuTimer()
+    with timer:
+        result = fn(*args, **kwargs)
+    return result, timer.elapsed
+
+
+@contextmanager
+def record_time(store: Dict[str, List[float]], key: str) -> Iterator[None]:
+    """Append the CPU time of the enclosed block to ``store[key]``."""
+    timer = CpuTimer()
+    timer.start()
+    try:
+        yield
+    finally:
+        store.setdefault(key, []).append(timer.stop())

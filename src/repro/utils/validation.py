@@ -1,0 +1,35 @@
+"""Lightweight argument validation helpers.
+
+These keep constructors short while producing error messages that name the
+offending parameter, which matters for a library meant to be embedded in
+user pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = getattr(types, "__name__", str(types))
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` > 0."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")

@@ -1,0 +1,25 @@
+"""Valid Delivery Point Set (VDPS) generation — Section IV of the paper."""
+
+from repro.vdps.generator import (
+    CVdpsEntry,
+    generate_cvdps,
+    generate_cvdps_reference,
+)
+from repro.vdps.pruning import neighbor_lists
+from repro.vdps.catalog import (
+    NULL_STRATEGY_ID,
+    VDPSCatalog,
+    WorkerStrategy,
+    build_catalog,
+)
+
+__all__ = [
+    "CVdpsEntry",
+    "generate_cvdps",
+    "generate_cvdps_reference",
+    "neighbor_lists",
+    "WorkerStrategy",
+    "VDPSCatalog",
+    "build_catalog",
+    "NULL_STRATEGY_ID",
+]

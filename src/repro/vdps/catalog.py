@@ -1,0 +1,218 @@
+"""Per-worker strategy catalogs built from C-VDPSs.
+
+After C-VDPS generation, Section IV validates each set per worker using the
+worker's travel time to the distribution center and the task expiration
+times.  The result — every VDPS of every worker, with its minimal-time route
+and precomputed payoff — is the strategy space of both games, so it is built
+once per sub-problem and shared by all solvers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.entities import Worker
+from repro.core.instance import SubProblem
+from repro.core.payoff import worker_payoff
+from repro.core.routing import Route, arrival_times, best_route
+from repro.vdps.generator import CVdpsEntry, generate_cvdps
+
+#: Sentinel id for the *null* strategy (the worker performs no deliveries).
+NULL_STRATEGY_ID = "<null>"
+
+
+@dataclass(frozen=True)
+class WorkerStrategy:
+    """One strategy of one worker: a VDPS with its route and payoff.
+
+    ``route`` arrival times include the worker's start offset, so ``payoff``
+    is exactly Equation 1.  The null strategy has an empty set, an empty
+    route, and payoff 0.
+    """
+
+    point_ids: FrozenSet[str]
+    route: Route
+    payoff: float
+
+    @property
+    def is_null(self) -> bool:
+        return not self.point_ids
+
+    @property
+    def size(self) -> int:
+        return len(self.point_ids)
+
+    def conflicts_with(self, claimed: Iterable[str]) -> bool:
+        """Whether this strategy uses any delivery point in ``claimed``."""
+        if self.is_null:
+            return False
+        ids = self.point_ids
+        return any(c in ids for c in claimed)
+
+
+#: The shared null strategy (identical for every worker).
+NULL_STRATEGY = WorkerStrategy(frozenset(), Route((), ()), 0.0)
+
+
+class VDPSCatalog:
+    """Strategy spaces ``ST_i = VDPS(w_i) ∪ {null}`` for a sub-problem.
+
+    Strategies are sorted by descending payoff (ties broken by point ids) so
+    iteration order — and therefore every solver's tie-breaking — is
+    deterministic.
+    """
+
+    def __init__(
+        self,
+        workers: Tuple[Worker, ...],
+        strategies: Mapping[str, Tuple[WorkerStrategy, ...]],
+        epsilon: Optional[float],
+        cvdps_count: int,
+    ) -> None:
+        self._workers = workers
+        self._strategies: Dict[str, Tuple[WorkerStrategy, ...]] = dict(strategies)
+        self.epsilon = epsilon
+        self.cvdps_count = cvdps_count
+
+    @property
+    def workers(self) -> Tuple[Worker, ...]:
+        return self._workers
+
+    def strategies(self, worker_id: str) -> Tuple[WorkerStrategy, ...]:
+        """The worker's non-null strategies, best payoff first."""
+        try:
+            return self._strategies[worker_id]
+        except KeyError:
+            raise KeyError(f"no worker {worker_id!r} in catalog") from None
+
+    def has_strategies(self, worker_id: str) -> bool:
+        """Whether the worker has at least one non-null VDPS."""
+        return bool(self._strategies.get(worker_id))
+
+    def available(
+        self, worker_id: str, claimed: Iterable[str]
+    ) -> List[WorkerStrategy]:
+        """Non-null strategies not conflicting with ``claimed`` point ids."""
+        claimed_set = frozenset(claimed)
+        return [
+            s
+            for s in self.strategies(worker_id)
+            if not (claimed_set and s.conflicts_with(claimed_set))
+        ]
+
+    @property
+    def max_vdps_size(self) -> int:
+        """``|maxVDPS|``: the largest VDPS size across all workers."""
+        sizes = [
+            s.size for strategies in self._strategies.values() for s in strategies
+        ]
+        return max(sizes, default=0)
+
+    @property
+    def total_strategy_count(self) -> int:
+        """Total number of non-null strategies across workers."""
+        return sum(len(v) for v in self._strategies.values())
+
+    def describe(self) -> str:
+        """One-line summary used in logs and experiment reports."""
+        return (
+            f"catalog: |W|={len(self._workers)} cvdps={self.cvdps_count} "
+            f"strategies={self.total_strategy_count} eps={self.epsilon}"
+        )
+
+
+def build_catalog(
+    sub: SubProblem,
+    epsilon: Optional[float] = None,
+    strict_revalidation: bool = False,
+    cvdps: Optional[List[CVdpsEntry]] = None,
+) -> VDPSCatalog:
+    """Build the strategy catalog for every online worker of ``sub``.
+
+    Parameters
+    ----------
+    sub:
+        The per-center sub-problem.
+    epsilon:
+        Distance-constrained pruning threshold; ``None`` disables pruning.
+    strict_revalidation:
+        The paper validates a C-VDPS per worker by shifting its recorded
+        minimal-time sequence by the worker's start offset.  A set whose
+        recorded sequence misses a deadline might still admit *another*
+        feasible order for that worker; with ``strict_revalidation`` those
+        sets are re-solved exactly (Held-Karp) instead of dropped.  Off by
+        default to match the paper.
+    cvdps:
+        Pre-generated C-VDPS entries, to share work across algorithm arms
+        that use the same ``epsilon``.
+    """
+    workers = sub.online_workers
+    travel_model = sub.travel
+    if cvdps is None:
+        cap = max((w.max_delivery_points for w in workers), default=0)
+        cvdps = generate_cvdps(sub.center, travel_model, epsilon, cap)
+
+    strategies: Dict[str, Tuple[WorkerStrategy, ...]] = {}
+    for worker in workers:
+        # Workers with an individual speed (future-work extension) traverse
+        # the same distances in scaled time: center-relative arrival times
+        # stretch by factor = shared_speed / worker_speed.
+        if worker.speed_kmh is None or worker.speed_kmh == travel_model.speed_kmh:
+            factor = 1.0
+        else:
+            factor = travel_model.speed_kmh / worker.speed_kmh
+        offset = travel_model.time(worker.location, sub.center.location) * factor
+        found: List[WorkerStrategy] = []
+        for entry in cvdps:
+            if entry.size > worker.max_delivery_points:
+                continue
+            if factor == 1.0:
+                base = entry.route
+            elif any(dp.service_hours for dp in entry.route.sequence):
+                # Service time does not scale with travel speed, so the
+                # arrival times must be recomputed rather than scaled.
+                worker_travel = travel_model.with_speed(worker.speed_kmh)
+                base = Route(
+                    entry.route.sequence,
+                    tuple(
+                        arrival_times(
+                            sub.center.location, entry.route.sequence, worker_travel
+                        )
+                    ),
+                )
+            else:
+                base = entry.route.scaled(factor)
+            if base.is_valid_with_offset(offset):
+                route = base.shifted(offset)
+            elif strict_revalidation:
+                worker_travel = (
+                    travel_model
+                    if factor == 1.0
+                    else travel_model.with_speed(worker.speed_kmh)
+                )
+                route = best_route(
+                    sub.center.location,
+                    entry.route.sequence,
+                    worker_travel,
+                    start_offset=offset,
+                )
+                if route is None:
+                    continue
+            else:
+                continue
+            if route.completion_time <= 0:
+                # Degenerate geometry: delivery point co-located with both
+                # center and worker.  Equation 1's payoff is undefined
+                # (reward at zero cost), so the strategy is excluded.
+                continue
+            payoff = worker_payoff(route)
+            if not math.isfinite(payoff):
+                # Subnormal travel times can overflow the ratio to inf;
+                # such strategies are as degenerate as zero-cost ones.
+                continue
+            found.append(WorkerStrategy(entry.point_ids, route, payoff))
+        found.sort(key=lambda s: (-s.payoff, tuple(sorted(s.point_ids))))
+        strategies[worker.worker_id] = tuple(found)
+    return VDPSCatalog(workers, strategies, epsilon, len(cvdps))

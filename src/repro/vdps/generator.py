@@ -1,0 +1,215 @@
+"""Center-origin VDPS (C-VDPS) generation — Algorithm 1 of the paper.
+
+The paper's Algorithm 1 is a dynamic program over subsets ``Q`` of the
+center's delivery points, expanding in ascending ``|Q|`` and recording, for
+each feasible ``(Q, endpoint)`` state, the minimal arrival time and the
+predecessor used to reach it (the ``opt``/``pre`` tables).  Every subset with
+at least one feasible endpoint is a C-VDPS, and the minimal-arrival endpoint
+yields the minimal-travel-time delivery-point sequence kept for payoff
+computation.
+
+Our implementation performs the same layered DP but expands *only from
+feasible states*: an infeasible subset can never become feasible by adding
+points (arrival times only grow), so the reachable state space is usually a
+vanishing fraction of ``2^n``.  With the distance-constrained pruning of
+Section IV, successor candidates shrink further to the ``epsilon``
+neighbourhood of the current endpoint.  :func:`generate_cvdps_reference` is a
+literal transcription of Algorithm 1 kept as a cross-checking oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.entities import DeliveryPoint, DistributionCenter
+from repro.core.routing import Route, arrival_times
+from repro.geo.travel import TravelModel
+from repro.vdps.pruning import neighbor_lists
+
+_StateKey = Tuple[FrozenSet[int], int]
+
+
+@dataclass(frozen=True)
+class CVdpsEntry:
+    """One C-VDPS: a feasible delivery-point set and its best sequence.
+
+    ``route`` is center-relative (arrival times measured from the moment a
+    worker stands at the center), per the ``t'`` recurrence of Equation 3.
+    ``point_ids`` is the unordered set identity used for conflict checks.
+    """
+
+    point_ids: FrozenSet[str]
+    route: Route
+
+    @property
+    def size(self) -> int:
+        return len(self.point_ids)
+
+    @property
+    def total_reward(self) -> float:
+        return self.route.total_reward
+
+
+def generate_cvdps(
+    center: DistributionCenter,
+    travel: TravelModel,
+    epsilon: Optional[float] = None,
+    max_size: Optional[int] = None,
+) -> List[CVdpsEntry]:
+    """All C-VDPSs of ``center`` with at most ``max_size`` points.
+
+    Parameters
+    ----------
+    center:
+        The distribution center whose delivery points are scheduled.
+    travel:
+        Travel-time model (shared speed, Euclidean metric by default).
+    epsilon:
+        Distance-constrained pruning threshold in km; ``None`` disables
+        pruning (the ``-W`` algorithm variants).
+    max_size:
+        Upper bound on ``|Q|``; callers pass ``max_w maxDP`` since larger
+        sets can never be assigned.  ``None`` means no bound.
+
+    Returns
+    -------
+    list of :class:`CVdpsEntry`, sorted by (size, point ids) so output
+    order is deterministic.
+    """
+    points = center.delivery_points
+    n = len(points)
+    if n == 0:
+        return []
+    cap = n if max_size is None else max(0, min(max_size, n))
+    if cap == 0:
+        return []
+    neighbors = neighbor_lists(points, epsilon)
+
+    best: Dict[_StateKey, float] = {}
+    parent: Dict[_StateKey, Optional[_StateKey]] = {}
+    frontier: Dict[_StateKey, float] = {}
+    for j, dp in enumerate(points):
+        t = travel.time(center.location, dp.location)
+        if t <= dp.earliest_expiry:
+            key: _StateKey = (frozenset((j,)), j)
+            best[key] = t
+            parent[key] = None
+            frontier[key] = t
+
+    size = 1
+    while frontier and size < cap:
+        next_frontier: Dict[_StateKey, float] = {}
+        for (subset, j), t in frontier.items():
+            origin = points[j].location
+            depart = t + points[j].service_hours
+            for q in neighbors[j]:
+                if q in subset:
+                    continue
+                dp_q = points[q]
+                t_next = depart + travel.time(origin, dp_q.location)
+                if t_next > dp_q.earliest_expiry:
+                    continue
+                key = (subset | {q}, q)
+                if t_next < next_frontier.get(key, math.inf):
+                    next_frontier[key] = t_next
+                    parent[key] = (subset, j)
+        best.update(next_frontier)
+        frontier = next_frontier
+        size += 1
+
+    return _collect_entries(points, best, parent, travel, center)
+
+
+def _collect_entries(
+    points: Sequence[DeliveryPoint],
+    best: Dict[_StateKey, float],
+    parent: Dict[_StateKey, Optional[_StateKey]],
+    travel: TravelModel,
+    center: DistributionCenter,
+) -> List[CVdpsEntry]:
+    """Group DP states by subset, keep the minimal-arrival endpoint each."""
+    best_per_subset: Dict[FrozenSet[int], _StateKey] = {}
+    for key, t in best.items():
+        subset = key[0]
+        incumbent = best_per_subset.get(subset)
+        if incumbent is None or t < best[incumbent]:
+            best_per_subset[subset] = key
+
+    entries: List[CVdpsEntry] = []
+    for subset, key in best_per_subset.items():
+        order: List[int] = []
+        cursor: Optional[_StateKey] = key
+        while cursor is not None:
+            order.append(cursor[1])
+            cursor = parent[cursor]
+        order.reverse()
+        sequence = tuple(points[i] for i in order)
+        times = tuple(arrival_times(center.location, sequence, travel))
+        entries.append(
+            CVdpsEntry(
+                frozenset(points[i].dp_id for i in subset),
+                Route(sequence, times),
+            )
+        )
+    entries.sort(key=lambda e: (e.size, tuple(sorted(e.point_ids))))
+    return entries
+
+
+def generate_cvdps_reference(
+    center: DistributionCenter,
+    travel: TravelModel,
+    epsilon: Optional[float] = None,
+    max_size: Optional[int] = None,
+) -> List[CVdpsEntry]:
+    """Literal Algorithm 1: enumerate every subset, solve each exactly.
+
+    Exponential in ``|dc.DP|``; used in tests to validate
+    :func:`generate_cvdps` on small instances.  Under pruning, a sequence is
+    admissible only if every *consecutive* pair of delivery points is within
+    ``epsilon``, matching the restriction the fast generator applies while
+    chaining.
+    """
+    points = center.delivery_points
+    n = len(points)
+    cap = n if max_size is None else max(0, min(max_size, n))
+    neighbors = neighbor_lists(points, epsilon)
+    allowed = [set(adj) for adj in neighbors]
+
+    entries: List[CVdpsEntry] = []
+    for size in range(1, cap + 1):
+        for combo in itertools.combinations(range(n), size):
+            route = _best_constrained_route(points, combo, allowed, travel, center)
+            if route is not None:
+                entries.append(
+                    CVdpsEntry(frozenset(points[i].dp_id for i in combo), route)
+                )
+    entries.sort(key=lambda e: (e.size, tuple(sorted(e.point_ids))))
+    return entries
+
+
+def _best_constrained_route(
+    points: Sequence[DeliveryPoint],
+    combo: Tuple[int, ...],
+    allowed: List[set],
+    travel: TravelModel,
+    center: DistributionCenter,
+) -> Optional[Route]:
+    """Minimal-time feasible permutation of ``combo`` honouring adjacency."""
+    best_route_found: Optional[Route] = None
+    for perm in itertools.permutations(combo):
+        if any(perm[k + 1] not in allowed[perm[k]] for k in range(len(perm) - 1)):
+            continue
+        sequence = tuple(points[i] for i in perm)
+        times = arrival_times(center.location, sequence, travel)
+        if any(t > dp.earliest_expiry for dp, t in zip(sequence, times)):
+            continue
+        candidate = Route(sequence, tuple(times))
+        if (
+            best_route_found is None
+            or candidate.completion_time < best_route_found.completion_time
+        ):
+            best_route_found = candidate
+    return best_route_found

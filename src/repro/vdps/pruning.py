@@ -1,0 +1,55 @@
+"""Distance-constrained pruning (Section IV).
+
+The pruning strategy restricts the successor candidates of a delivery point
+``dp_j`` to ``D(dp_j) = { dp_q : d(dp_j.l, dp_q.l) <= epsilon }`` while the
+subset dynamic program chains points together.  Precomputing these neighbour
+lists once turns the inner max of Equation 4 from a scan over all points into
+a scan over a (usually tiny) neighbourhood.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.entities import DeliveryPoint
+from repro.geo.index import GridIndex
+
+# Below this point count a brute-force O(n^2) pass beats building an index.
+_INDEX_THRESHOLD = 64
+
+
+def neighbor_lists(
+    points: Sequence[DeliveryPoint], epsilon: Optional[float]
+) -> List[List[int]]:
+    """For each point index ``j``, the indices of points within ``epsilon``.
+
+    ``epsilon = None`` disables pruning: every other point is a neighbour
+    (the ``-W`` variants of Figures 2-3).  A point is never its own
+    neighbour.  Distances are Euclidean, matching ``d(a, b)`` in the paper.
+    """
+    n = len(points)
+    if epsilon is None:
+        return [[q for q in range(n) if q != j] for j in range(n)]
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if n <= _INDEX_THRESHOLD:
+        out: List[List[int]] = []
+        for j in range(n):
+            here = points[j].location
+            out.append(
+                [
+                    q
+                    for q in range(n)
+                    if q != j and here.distance_to(points[q].location) <= epsilon
+                ]
+            )
+        return out
+    index: GridIndex[int] = GridIndex.build(
+        [(dp.location, i) for i, dp in enumerate(points)],
+        cell_size=max(epsilon, 1e-9),
+    )
+    out = []
+    for j in range(n):
+        hits = index.within(points[j].location, epsilon)
+        out.append(sorted(q for q in hits if q != j))
+    return out

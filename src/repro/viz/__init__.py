@@ -1,0 +1,26 @@
+"""Dependency-free SVG rendering of experiment results and instances.
+
+The evaluation figures of the paper are line charts (metric vs swept
+parameter, one series per algorithm).  This package renders
+:class:`~repro.experiments.sweep.SweepResult` objects — and instance maps —
+as standalone SVG files without requiring matplotlib, which is not
+available in offline environments.
+"""
+
+from repro.viz.svg import SvgDocument
+from repro.viz.charts import (
+    LineChart,
+    Series,
+    render_instance_map,
+    render_payoff_distribution,
+    render_sweep_chart,
+)
+
+__all__ = [
+    "SvgDocument",
+    "Series",
+    "LineChart",
+    "render_sweep_chart",
+    "render_instance_map",
+    "render_payoff_distribution",
+]

@@ -1,0 +1,301 @@
+"""Line charts and instance maps rendered to SVG.
+
+The default palette is colorblind-friendly (Okabe-Ito).  Axis ticks use a
+1-2-5 "nice numbers" progression so regenerated charts look hand-tuned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.instance import SubProblem
+from repro.experiments.sweep import SweepResult
+from repro.viz.svg import SvgDocument
+
+#: Okabe-Ito palette (colorblind safe), skipping the yellow (weak on white).
+PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # bluish green
+    "#CC79A7",  # reddish purple
+    "#56B4E9",  # sky blue
+    "#E69F00",  # orange
+    "#000000",  # black
+)
+
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 36
+_MARGIN_BOTTOM = 48
+
+
+def nice_ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    """Round tick positions covering ``[lo, hi]`` in 1-2-5 steps."""
+    if target < 2:
+        raise ValueError("target must be >= 2")
+    if hi < lo:
+        lo, hi = hi, lo
+    if math.isclose(hi, lo):
+        return [lo]
+    span = hi - lo
+    raw_step = span / (target - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if span / step <= target:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    tick = first
+    while tick <= hi + step * 1e-9:
+        if tick >= lo - step * 1e-9:
+            ticks.append(round(tick, 10))
+        tick += step
+    return ticks
+
+
+def _label(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:g}"
+
+
+@dataclass
+class Series:
+    """One named line of a chart."""
+
+    name: str
+    ys: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.ys:
+            raise ValueError(f"series {self.name!r} is empty")
+
+
+@dataclass
+class LineChart:
+    """A multi-series line chart over shared x positions."""
+
+    title: str
+    x_values: List[float]
+    series: List[Series] = field(default_factory=list)
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 560
+    height: int = 360
+    log_y: bool = False
+
+    def add(self, name: str, ys: Sequence[float]) -> "LineChart":
+        """Append a series; returns ``self`` for chaining."""
+        ys = list(ys)
+        if len(ys) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected "
+                f"{len(self.x_values)}"
+            )
+        if self.log_y and any(y <= 0 for y in ys):
+            raise ValueError(f"log-scale chart cannot plot non-positive {name!r}")
+        self.series.append(Series(name, ys))
+        return self
+
+    # -- rendering ----------------------------------------------------------
+
+    def _y_transform(self, y: float) -> float:
+        return math.log10(y) if self.log_y else y
+
+    def render(self) -> str:
+        """The chart as a complete SVG document string."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        if len(self.x_values) < 1:
+            raise ValueError("chart has no x values")
+        doc = SvgDocument(self.width, self.height)
+        plot_w = self.width - _MARGIN_LEFT - _MARGIN_RIGHT
+        plot_h = self.height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+        xs = [float(x) for x in self.x_values]
+        all_y = [self._y_transform(y) for s in self.series for y in s.ys]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(all_y), max(all_y)
+        if math.isclose(x_hi, x_lo):
+            x_hi = x_lo + 1.0
+        if math.isclose(y_hi, y_lo):
+            y_hi = y_lo + 1.0
+        pad = 0.05 * (y_hi - y_lo)
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+
+        def px(x: float) -> float:
+            return _MARGIN_LEFT + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def py(y: float) -> float:
+            return _MARGIN_TOP + (y_hi - y) / (y_hi - y_lo) * plot_h
+
+        # Frame and grid.
+        doc.rect(_MARGIN_LEFT, _MARGIN_TOP, plot_w, plot_h, stroke="#888")
+        for tick in nice_ticks(y_lo, y_hi):
+            y = py(tick)
+            doc.line(_MARGIN_LEFT, y, _MARGIN_LEFT + plot_w, y,
+                     stroke="#ddd", width=0.6)
+            label_value = 10**tick if self.log_y else tick
+            doc.text(_MARGIN_LEFT - 6, y + 4, _label(label_value),
+                     size=10, anchor="end")
+        for tick in nice_ticks(x_lo, x_hi):
+            x = px(tick)
+            doc.line(x, _MARGIN_TOP, x, _MARGIN_TOP + plot_h,
+                     stroke="#eee", width=0.6)
+            doc.text(x, _MARGIN_TOP + plot_h + 16, _label(tick),
+                     size=10, anchor="middle")
+
+        # Series lines and point markers.
+        for idx, series in enumerate(self.series):
+            color = PALETTE[idx % len(PALETTE)]
+            points = [
+                (px(x), py(self._y_transform(y)))
+                for x, y in zip(xs, series.ys)
+            ]
+            if len(points) >= 2:
+                doc.polyline(points, stroke=color, width=1.8)
+            for x, y in points:
+                doc.circle(x, y, 2.6, fill=color)
+
+        # Legend (top-right, one row per series).
+        legend_x = _MARGIN_LEFT + plot_w - 120
+        legend_y = _MARGIN_TOP + 12
+        for idx, series in enumerate(self.series):
+            color = PALETTE[idx % len(PALETTE)]
+            y = legend_y + idx * 16
+            doc.line(legend_x, y - 4, legend_x + 18, y - 4, stroke=color, width=2.2)
+            doc.text(legend_x + 24, y, series.name, size=11)
+
+        # Titles.
+        doc.text(self.width / 2, 20, self.title, size=14, anchor="middle")
+        if self.x_label:
+            doc.text(self.width / 2, self.height - 12, self.x_label,
+                     size=11, anchor="middle")
+        if self.y_label:
+            doc.text(16, self.height / 2, self.y_label, size=11,
+                     anchor="middle", rotate=-90)
+        return doc.to_string()
+
+    def save(self, path) -> None:
+        """Render and write the chart to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.render())
+
+
+def render_sweep_chart(
+    result: SweepResult,
+    metric: str,
+    log_y: bool = False,
+    algorithms: Optional[Sequence[str]] = None,
+) -> str:
+    """Render one metric panel of a figure sweep as SVG.
+
+    Mirrors the paper's panels: x = swept parameter, one line per
+    algorithm.  ``log_y`` suits the CPU-time panels where MPTA dominates
+    by orders of magnitude.
+    """
+    names = list(algorithms) if algorithms is not None else result.algorithms
+    chart = LineChart(
+        title=f"{result.name} — {metric}",
+        x_values=[float(v) for v in result.values],
+        x_label=result.parameter,
+        y_label=metric,
+        log_y=log_y,
+    )
+    for name in names:
+        chart.add(name, result.series(metric, name))
+    return chart.render()
+
+
+def render_payoff_distribution(
+    assignment, width: int = 560, height: int = 300, title: str = ""
+) -> str:
+    """Bar chart of per-worker payoffs, sorted descending, with a mean line.
+
+    The visual form of the fairness story: a steep staircase means an
+    unequal assignment, a flat one means equal payoffs.  Idle workers show
+    as zero-height bars at the right edge.
+    """
+    payoffs = sorted(assignment.payoffs, reverse=True)
+    if not payoffs:
+        raise ValueError("assignment has no workers to plot")
+    doc = SvgDocument(width, height)
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    top = max(payoffs) or 1.0
+    n = len(payoffs)
+    gap = 2.0
+    bar_w = max(1.0, (plot_w - gap * (n - 1)) / n)
+
+    doc.rect(_MARGIN_LEFT, _MARGIN_TOP, plot_w, plot_h, stroke="#888")
+    for tick in nice_ticks(0.0, top):
+        y = _MARGIN_TOP + plot_h - (tick / (top * 1.05)) * plot_h
+        doc.line(_MARGIN_LEFT, y, _MARGIN_LEFT + plot_w, y, stroke="#ddd", width=0.6)
+        doc.text(_MARGIN_LEFT - 6, y + 4, _label(tick), size=10, anchor="end")
+    for idx, payoff in enumerate(payoffs):
+        h = (payoff / (top * 1.05)) * plot_h
+        x = _MARGIN_LEFT + idx * (bar_w + gap)
+        doc.rect(
+            x, _MARGIN_TOP + plot_h - h, bar_w, h,
+            fill=PALETTE[0], stroke="none",
+        )
+    mean = sum(payoffs) / n
+    mean_y = _MARGIN_TOP + plot_h - (mean / (top * 1.05)) * plot_h
+    doc.line(
+        _MARGIN_LEFT, mean_y, _MARGIN_LEFT + plot_w, mean_y,
+        stroke=PALETTE[1], width=1.5, dash="5,3",
+    )
+    doc.text(
+        _MARGIN_LEFT + plot_w - 4, mean_y - 5, f"mean {mean:.2f}",
+        size=10, anchor="end", color=PALETTE[1],
+    )
+    doc.text(
+        width / 2, 20,
+        title or f"Worker payoffs (P_dif={assignment.payoff_difference:.3f})",
+        size=13, anchor="middle",
+    )
+    doc.text(width / 2, height - 12, "workers (sorted by payoff)",
+             size=11, anchor="middle")
+    return doc.to_string()
+
+
+def render_instance_map(sub: SubProblem, width: int = 520, height: int = 520) -> str:
+    """A spatial map of one sub-problem: center, delivery points, workers.
+
+    Delivery-point radius scales with task count; the distribution center
+    is the black square; workers are crosses.
+    """
+    doc = SvgDocument(width, height)
+    points = [dp.location for dp in sub.delivery_points]
+    points += [w.location for w in sub.workers]
+    points.append(sub.center.location)
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    span = max(x_hi - x_lo, y_hi - y_lo) or 1.0
+    margin = 30
+
+    def px(x: float) -> float:
+        return margin + (x - x_lo) / span * (width - 2 * margin)
+
+    def py(y: float) -> float:
+        return height - margin - (y - y_lo) / span * (height - 2 * margin)
+
+    max_tasks = max((dp.task_count for dp in sub.delivery_points), default=1) or 1
+    for dp in sub.delivery_points:
+        radius = 3 + 7 * (dp.task_count / max_tasks)
+        doc.circle(px(dp.location.x), py(dp.location.y), radius,
+                   fill="#0072B266", stroke="#0072B2")
+    for worker in sub.workers:
+        x, y = px(worker.location.x), py(worker.location.y)
+        doc.line(x - 4, y, x + 4, y, stroke="#D55E00", width=1.8)
+        doc.line(x, y - 4, x, y + 4, stroke="#D55E00", width=1.8)
+    cx, cy = px(sub.center.location.x), py(sub.center.location.y)
+    doc.rect(cx - 5, cy - 5, 10, 10, fill="black", stroke="black")
+    doc.text(width / 2, 18, sub.describe(), size=12, anchor="middle")
+    return doc.to_string()

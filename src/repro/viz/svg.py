@@ -1,0 +1,116 @@
+"""Minimal SVG document builder.
+
+Only the handful of primitives the charts need — lines, polylines,
+circles, rectangles, text — with correct XML escaping and fixed-precision
+coordinates so output is deterministic and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+from xml.sax.saxutils import escape, quoteattr
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (trailing zeros trimmed)."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class SvgDocument:
+    """An append-only SVG document of fixed pixel size."""
+
+    def __init__(self, width: int, height: int, background: str = "white") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("width and height must be positive")
+        self.width = width
+        self.height = height
+        self._parts: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    def _element(self, tag: str, attrs: dict, text: str = None) -> None:
+        rendered = " ".join(f"{k}={quoteattr(str(v))}" for k, v in attrs.items())
+        if text is None:
+            self._parts.append(f"<{tag} {rendered}/>")
+        else:
+            self._parts.append(f"<{tag} {rendered}>{escape(text)}</{tag}>")
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        stroke: str = "black", width: float = 1.0, dash: str = None,
+    ) -> None:
+        """A straight stroke from ``(x1, y1)`` to ``(x2, y2)``."""
+        attrs = {
+            "x1": _fmt(x1), "y1": _fmt(y1), "x2": _fmt(x2), "y2": _fmt(y2),
+            "stroke": stroke, "stroke-width": _fmt(width),
+        }
+        if dash:
+            attrs["stroke-dasharray"] = dash
+        self._element("line", attrs)
+
+    def polyline(
+        self, points: Sequence[Tuple[float, float]],
+        stroke: str = "black", width: float = 1.5,
+    ) -> None:
+        """An unfilled connected path through ``points``."""
+        if len(points) < 2:
+            raise ValueError("polyline needs at least two points")
+        path = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._element(
+            "polyline",
+            {"points": path, "fill": "none", "stroke": stroke,
+             "stroke-width": _fmt(width)},
+        )
+
+    def circle(
+        self, cx: float, cy: float, r: float,
+        fill: str = "black", stroke: str = "none",
+    ) -> None:
+        """A filled circle of radius ``r`` at ``(cx, cy)``."""
+        self._element(
+            "circle",
+            {"cx": _fmt(cx), "cy": _fmt(cy), "r": _fmt(r),
+             "fill": fill, "stroke": stroke},
+        )
+
+    def rect(
+        self, x: float, y: float, w: float, h: float,
+        fill: str = "none", stroke: str = "black",
+    ) -> None:
+        """A rectangle with top-left corner ``(x, y)``."""
+        self._element(
+            "rect",
+            {"x": _fmt(x), "y": _fmt(y), "width": _fmt(w), "height": _fmt(h),
+             "fill": fill, "stroke": stroke},
+        )
+
+    def text(
+        self, x: float, y: float, content: str,
+        size: int = 12, anchor: str = "start", color: str = "#222",
+        rotate: float = None,
+    ) -> None:
+        """A text label anchored at ``(x, y)``; XML-escaped."""
+        attrs = {
+            "x": _fmt(x), "y": _fmt(y), "font-size": size,
+            "text-anchor": anchor, "fill": color,
+            "font-family": "Helvetica, Arial, sans-serif",
+        }
+        if rotate is not None:
+            attrs["transform"] = f"rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"
+        self._element("text", attrs, content)
+
+    def to_string(self) -> str:
+        """The complete SVG document as a string."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">'
+        )
+        return header + "".join(self._parts) + "</svg>"
+
+    def save(self, path) -> None:
+        """Write the document to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_string())

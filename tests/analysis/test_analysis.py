@@ -1,0 +1,164 @@
+"""Tests for repro.analysis (diagnostics, comparison, decomposition)."""
+
+import pytest
+
+from repro.analysis import (
+    compare_assignments,
+    decompose_fairness,
+    diagnose,
+)
+from repro.baselines.gta import GTASolver
+from repro.core.assignment import Assignment, WorkerAssignment
+from repro.core.instance import SubProblem
+from repro.core.routing import Route
+from repro.games.iegt import IEGTSolver
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _route(*dps, start=1.0, gap=1.0):
+    times = tuple(start + i * gap for i in range(len(dps)))
+    return Route(tuple(dps), times)
+
+
+@pytest.fixture
+def assignment():
+    r1 = _route(make_dp("a", 1, 0, n_tasks=4))          # payoff 4
+    r2 = _route(make_dp("b", 2, 0, n_tasks=2), start=2.0)  # payoff 1
+    return Assignment(
+        [
+            WorkerAssignment(make_worker("w_rich", 0, 0), r1),
+            WorkerAssignment(make_worker("w_poor", 0, 0), r2),
+            WorkerAssignment(make_worker("w_idle", 0, 0)),
+        ]
+    )
+
+
+class TestDiagnose:
+    def test_per_worker_rows(self, assignment):
+        report = diagnose(assignment)
+        rows = {r.worker_id: r for r in report.workers}
+        assert rows["w_rich"].payoff == pytest.approx(4.0)
+        assert rows["w_rich"].task_count == 4
+        assert rows["w_rich"].route_hours == pytest.approx(1.0)
+        assert rows["w_idle"].idle
+        assert rows["w_idle"].reward_per_task == 0.0
+
+    def test_population_stats(self, assignment):
+        report = diagnose(assignment)
+        assert report.idle_count == 1
+        assert report.busy_count == 2
+        assert report.idle_fraction == pytest.approx(1 / 3)
+        assert report.assigned_tasks == 6
+        assert report.total_payoff == pytest.approx(5.0)
+        assert report.payoff_difference == assignment.payoff_difference
+
+    def test_top_and_bottom(self, assignment):
+        report = diagnose(assignment)
+        assert report.top_earners(1)[0].worker_id == "w_rich"
+        assert report.bottom_earners(1)[0].worker_id == "w_idle"
+
+    def test_format(self, assignment):
+        text = diagnose(assignment).format()
+        assert "w_rich" in text and "gini=" in text
+        short = diagnose(assignment).format(max_rows=1)
+        assert "w_poor" not in short
+
+    def test_empty_assignment(self):
+        report = diagnose(Assignment([]))
+        assert report.total_payoff == 0.0
+        assert report.idle_fraction == 0.0
+
+
+class TestCompare:
+    def _pair(self):
+        center = make_center(
+            [
+                make_dp("a", 1.0, 0.0, n_tasks=5),
+                make_dp("b", -1.0, 0.0, n_tasks=2),
+                make_dp("c", 0.0, 1.5, n_tasks=2),
+            ]
+        )
+        workers = tuple(make_worker(f"w{i}", 0.1 * i, 0, max_dp=1) for i in range(3))
+        sub = SubProblem(center, workers, unit_speed_travel())
+        catalog = build_catalog(sub)
+        greedy = GTASolver().solve(sub, catalog=catalog).assignment
+        fair = IEGTSolver().solve(sub, catalog=catalog, seed=1).assignment
+        return greedy, fair
+
+    def test_winners_losers_partition(self):
+        greedy, fair = self._pair()
+        comparison = compare_assignments(greedy, fair, "GTA", "IEGT")
+        n = len(comparison.deltas)
+        assert (
+            len(comparison.winners)
+            + len(comparison.losers)
+            + comparison.unchanged_count
+            == n
+        )
+
+    def test_aggregates_match_inputs(self):
+        greedy, fair = self._pair()
+        comparison = compare_assignments(greedy, fair)
+        assert comparison.payoff_difference_a == greedy.payoff_difference
+        assert comparison.fairness_improvement == pytest.approx(
+            greedy.payoff_difference - fair.payoff_difference
+        )
+
+    def test_format_mentions_labels(self):
+        greedy, fair = self._pair()
+        text = compare_assignments(greedy, fair, "GTA", "IEGT").format()
+        assert "GTA -> IEGT" in text
+
+    def test_mismatched_workers_rejected(self, assignment):
+        other = Assignment([WorkerAssignment(make_worker("stranger", 0, 0))])
+        with pytest.raises(ValueError, match="different workers"):
+            compare_assignments(assignment, other)
+
+    def test_identity_comparison(self, assignment):
+        comparison = compare_assignments(assignment, assignment)
+        assert not comparison.winners
+        assert not comparison.losers
+        assert comparison.fairness_improvement == pytest.approx(0.0)
+
+
+class TestDecomposition:
+    def test_mean_contribution_equals_pdif(self, assignment):
+        decomposition = decompose_fairness(assignment)
+        contributions = [s.contribution for s in decomposition.shares]
+        mean = sum(contributions) / len(contributions)
+        assert mean == pytest.approx(assignment.payoff_difference)
+
+    def test_sides(self, assignment):
+        decomposition = decompose_fairness(assignment)
+        sides = {s.worker_id: s.side for s in decomposition.shares}
+        assert sides["w_rich"] == "ahead"
+        assert sides["w_idle"] == "behind"
+
+    def test_envy_guilt_match_iau_terms(self, assignment):
+        # envy/guilt are MP/(n-1) and LP/(n-1): feeding them back through
+        # the IAU formula must reproduce InequityAversion.utility.
+        from repro.core.fairness import InequityAversion
+
+        model = InequityAversion(0.5, 0.5)
+        payoffs = assignment.payoffs
+        decomposition = decompose_fairness(assignment)
+        for idx, share in enumerate(decomposition.shares):
+            expected = model.utility(idx, payoffs)
+            reconstructed = share.payoff - (0.5 * share.envy + 0.5 * share.guilt)
+            assert reconstructed == pytest.approx(expected)
+
+    def test_most_unequal(self, assignment):
+        decomposition = decompose_fairness(assignment)
+        top = decomposition.most_unequal(1)[0]
+        assert top.worker_id in {"w_rich", "w_idle"}
+
+    def test_single_worker(self):
+        single = Assignment([WorkerAssignment(make_worker("only", 0, 0))])
+        decomposition = decompose_fairness(single)
+        assert decomposition.shares[0].contribution == 0.0
+
+    def test_format(self, assignment):
+        text = decompose_fairness(assignment).format()
+        assert "P_dif=" in text and "[ahead]" in text

@@ -1,0 +1,80 @@
+"""Tests for repro.baselines.gta."""
+
+import pytest
+
+from repro.baselines.gta import GTASolver
+from repro.core.instance import SubProblem
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _sub():
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=5),
+            make_dp("b", 2.0, 0.0, n_tasks=1),
+            make_dp("c", -1.0, 0.0, n_tasks=3),
+        ]
+    )
+    # w_near sits on the center; w_far starts 1 km away.
+    workers = (make_worker("w_near", 0, 0, max_dp=1), make_worker("w_far", 0, 1, max_dp=1))
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+class TestGlobalOrder:
+    def test_best_pair_wins_contested_point(self):
+        # Both workers' best strategy is {a} (5 tasks, nearest); the global
+        # pass gives it to w_near whose payoff for it is higher.
+        result = GTASolver(order="global").solve(_sub())
+        mapping = result.assignment.as_mapping()
+        assert mapping["w_near"] == ("a",)
+        assert mapping["w_far"] in {("b",), ("c",)}
+
+    def test_valid_and_deterministic(self):
+        a = GTASolver().solve(_sub()).assignment.as_mapping()
+        b = GTASolver().solve(_sub()).assignment.as_mapping()
+        assert a == b
+
+    def test_single_pass(self):
+        result = GTASolver().solve(_sub())
+        assert result.rounds == 1
+        assert result.converged
+
+
+class TestWorkerOrder:
+    def test_first_worker_takes_its_best(self):
+        result = GTASolver(order="worker").solve(_sub())
+        mapping = result.assignment.as_mapping()
+        # Catalog order: w_near first, takes {a}.
+        assert mapping["w_near"] == ("a",)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            GTASolver(order="alphabetical")
+
+
+class TestEdgeCases:
+    def test_no_strategies(self):
+        center = make_center([make_dp("far", 100, 0, expiry=0.5)])
+        sub = SubProblem(center, (make_worker("w", 0, 0),), unit_speed_travel())
+        result = GTASolver().solve(sub)
+        assert result.assignment.busy_worker_count == 0
+
+    def test_more_workers_than_points(self):
+        center = make_center([make_dp("a", 1, 0, n_tasks=2)])
+        workers = tuple(make_worker(f"w{i}", 0, 0, max_dp=1) for i in range(3))
+        sub = SubProblem(center, workers, unit_speed_travel())
+        result = GTASolver().solve(sub)
+        assert result.assignment.busy_worker_count == 1
+
+    def test_name(self):
+        assert GTASolver(epsilon=0.5).name == "GTA"
+        assert GTASolver().name == "GTA-W"
+
+    def test_seed_ignored_but_accepted(self):
+        sub = _sub()
+        catalog = build_catalog(sub)
+        a = GTASolver().solve(sub, catalog=catalog, seed=1).assignment.as_mapping()
+        b = GTASolver().solve(sub, catalog=catalog, seed=2).assignment.as_mapping()
+        assert a == b

@@ -1,0 +1,71 @@
+"""Tests for repro.baselines.maxmin (progressive-filling fairness baseline)."""
+
+import pytest
+
+from repro.baselines.gta import GTASolver
+from repro.baselines.maxmin import MaxMinSolver
+from repro.core.instance import SubProblem
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _sub(n_workers=3):
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=5),
+            make_dp("b", -1.0, 0.0, n_tasks=3),
+            make_dp("c", 0.0, 2.0, n_tasks=2),
+            make_dp("d", 0.0, -2.0, n_tasks=1),
+        ]
+    )
+    workers = tuple(
+        make_worker(f"w{i}", 0.1 * i, 0.0, max_dp=2) for i in range(n_workers)
+    )
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+class TestMaxMin:
+    def test_valid_assignment(self):
+        result = MaxMinSolver().solve(_sub(), seed=0)
+        assert result.converged
+        assert len(result.assignment) == 3
+
+    def test_deterministic(self):
+        a = MaxMinSolver().solve(_sub(), seed=1).assignment.as_mapping()
+        b = MaxMinSolver().solve(_sub(), seed=2).assignment.as_mapping()
+        assert a == b
+
+    def test_higher_floor_than_greedy(self):
+        # Progressive filling maximises the minimum, so its floor should be
+        # at least greedy's on contested instances.
+        sub = _sub(n_workers=4)
+        catalog = build_catalog(sub)
+        maxmin = MaxMinSolver().solve(sub, catalog=catalog)
+        gta = GTASolver().solve(sub, catalog=catalog)
+        assert min(maxmin.assignment.payoffs) >= min(gta.assignment.payoffs) - 1e-9
+
+    def test_fairer_than_greedy(self):
+        sub = _sub(n_workers=4)
+        catalog = build_catalog(sub)
+        maxmin = MaxMinSolver().solve(sub, catalog=catalog)
+        gta = GTASolver().solve(sub, catalog=catalog)
+        assert (
+            maxmin.assignment.payoff_difference
+            <= gta.assignment.payoff_difference + 1e-9
+        )
+
+    def test_every_worker_with_options_gets_something(self):
+        result = MaxMinSolver().solve(_sub(), seed=0)
+        # 4 points, 3 workers with maxDP 2: everyone can be lifted off zero.
+        assert all(p > 0 for p in result.assignment.payoffs)
+
+    def test_no_strategies(self):
+        center = make_center([make_dp("far", 100, 0, expiry=0.5)])
+        sub = SubProblem(center, (make_worker("w", 0, 0),), unit_speed_travel())
+        result = MaxMinSolver().solve(sub)
+        assert result.converged
+        assert result.assignment.busy_worker_count == 0
+
+    def test_name(self):
+        assert MaxMinSolver().name == "MAXMIN"

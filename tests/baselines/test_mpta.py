@@ -1,0 +1,97 @@
+"""Tests for repro.baselines.mpta (maximal total payoff via B&B)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import enumerate_joint_strategies
+from repro.baselines.gta import GTASolver
+from repro.baselines.mpta import MPTASolver
+from repro.core.instance import SubProblem
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _random_sub(seed, n_points=5, n_workers=3, max_dp=2):
+    rng = np.random.default_rng(seed)
+    dps = [
+        make_dp(
+            f"p{i}",
+            float(rng.uniform(-3, 3)),
+            float(rng.uniform(-3, 3)),
+            n_tasks=int(rng.integers(1, 5)),
+            expiry=float(rng.uniform(3, 9)),
+        )
+        for i in range(n_points)
+    ]
+    workers = tuple(
+        make_worker(
+            f"w{i}", float(rng.uniform(-1, 1)), float(rng.uniform(-1, 1)), max_dp=max_dp
+        )
+        for i in range(n_workers)
+    )
+    return SubProblem(make_center(dps), workers, unit_speed_travel())
+
+
+def _optimal_total(catalog):
+    best = 0.0
+    for joint in enumerate_joint_strategies(catalog):
+        best = max(best, sum(s.payoff for s in joint.values()))
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exhaustive_on_tiny_instances(self, seed):
+        sub = _random_sub(seed)
+        catalog = build_catalog(sub)
+        result = MPTASolver().solve(sub, catalog=catalog)
+        assert result.converged  # search certified optimal
+        assert result.assignment.total_payoff == pytest.approx(
+            _optimal_total(catalog), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_worse_than_greedy(self, seed):
+        sub = _random_sub(seed, n_points=6, n_workers=4)
+        catalog = build_catalog(sub)
+        mpta = MPTASolver(node_budget=50).solve(sub, catalog=catalog)
+        gta = GTASolver().solve(sub, catalog=catalog)
+        assert mpta.assignment.total_payoff >= gta.assignment.total_payoff - 1e-9
+
+
+class TestBudget:
+    def test_tiny_budget_uncertified(self):
+        sub = _random_sub(1, n_points=6, n_workers=4, max_dp=3)
+        catalog = build_catalog(sub)
+        result = MPTASolver(node_budget=3).solve(sub, catalog=catalog)
+        assert not result.converged  # truncated search is reported
+
+    def test_large_budget_certified(self):
+        sub = _random_sub(1)
+        result = MPTASolver(node_budget=10_000_000).solve(sub)
+        assert result.converged
+
+
+class TestEdgeCases:
+    def test_no_workers(self):
+        center = make_center([make_dp("a", 1, 0)])
+        sub = SubProblem(center, (), unit_speed_travel())
+        result = MPTASolver().solve(sub)
+        assert result.assignment.total_payoff == 0.0
+
+    def test_no_strategies(self):
+        center = make_center([make_dp("a", 50, 0, expiry=0.1)])
+        sub = SubProblem(center, (make_worker("w", 0, 0),), unit_speed_travel())
+        result = MPTASolver().solve(sub)
+        assert result.assignment.busy_worker_count == 0
+
+    def test_name(self):
+        assert MPTASolver(epsilon=1.0).name == "MPTA"
+        assert MPTASolver().name == "MPTA-W"
+
+    def test_deterministic(self):
+        sub = _random_sub(4)
+        a = MPTASolver().solve(sub).assignment.as_mapping()
+        b = MPTASolver().solve(sub).assignment.as_mapping()
+        assert a == b

@@ -1,0 +1,101 @@
+"""Tests for repro.baselines.random_assign and repro.baselines.exhaustive."""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveSolver, enumerate_joint_strategies
+from repro.baselines.random_assign import RandomSolver
+from repro.core.instance import SubProblem
+from repro.core.payoff import average_payoff, payoff_difference
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _sub(n_workers=2, max_dp=1):
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=3),
+            make_dp("b", -1.0, 0.0, n_tasks=3),
+            make_dp("c", 0.0, 2.0, n_tasks=1),
+        ]
+    )
+    workers = tuple(make_worker(f"w{i}", 0, 0, max_dp=max_dp) for i in range(n_workers))
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+class TestRandomSolver:
+    def test_valid_assignment(self):
+        result = RandomSolver().solve(_sub(), seed=0)
+        assert len(result.assignment) == 2
+
+    def test_deterministic_in_seed(self):
+        a = RandomSolver().solve(_sub(), seed=3).assignment.as_mapping()
+        b = RandomSolver().solve(_sub(), seed=3).assignment.as_mapping()
+        assert a == b
+
+    def test_varies_across_seeds(self):
+        mappings = {
+            tuple(sorted(RandomSolver().solve(_sub(), seed=s).assignment.as_mapping().items()))
+            for s in range(15)
+        }
+        assert len(mappings) > 1
+
+    def test_null_probability_one_idles_everyone(self):
+        result = RandomSolver(null_probability=1.0).solve(_sub(), seed=0)
+        assert result.assignment.busy_worker_count == 0
+
+    def test_invalid_null_probability(self):
+        with pytest.raises(ValueError):
+            RandomSolver(null_probability=1.5)
+
+
+class TestEnumerateJointStrategies:
+    def test_counts_all_disjoint_combinations(self):
+        catalog = build_catalog(_sub())
+        joints = list(enumerate_joint_strategies(catalog))
+        # Each worker: null + 3 singletons; conflicts remove the 3 joint
+        # picks of the same point: 4*4 - 3 = 13.
+        assert len(joints) == 13
+
+    def test_all_disjoint(self):
+        catalog = build_catalog(_sub())
+        for joint in enumerate_joint_strategies(catalog):
+            claimed = []
+            for strategy in joint.values():
+                claimed.extend(strategy.point_ids)
+            assert len(claimed) == len(set(claimed))
+
+
+class TestExhaustiveSolver:
+    def test_lexicographic_optimum(self):
+        sub = _sub()
+        catalog = build_catalog(sub)
+        result = ExhaustiveSolver().solve(sub, catalog=catalog)
+        best_key = (
+            result.assignment.payoff_difference,
+            -result.assignment.average_payoff,
+        )
+        for joint in enumerate_joint_strategies(catalog):
+            payoffs = [joint[w.worker_id].payoff for w in catalog.workers]
+            key = (payoff_difference(payoffs), -average_payoff(payoffs))
+            assert best_key <= (key[0] + 1e-12, key[1] + 1e-12)
+
+    def test_symmetric_workers_get_equal_payoffs(self):
+        # Two identical workers, two symmetric points -> optimum is perfectly
+        # fair.
+        center = make_center(
+            [make_dp("a", 1.0, 0.0, n_tasks=2), make_dp("b", -1.0, 0.0, n_tasks=2)]
+        )
+        workers = (make_worker("w1", 0, 0, max_dp=1), make_worker("w2", 0, 0, max_dp=1))
+        sub = SubProblem(center, workers, unit_speed_travel())
+        result = ExhaustiveSolver().solve(sub)
+        assert result.assignment.payoff_difference == pytest.approx(0.0)
+        assert result.assignment.busy_worker_count == 2
+
+    def test_state_limit_enforced(self):
+        sub = _sub(n_workers=3)
+        with pytest.raises(ValueError, match="exceeds limit"):
+            ExhaustiveSolver(state_limit=5).solve(sub)
+
+    def test_name(self):
+        assert ExhaustiveSolver().name == "OPT"

@@ -1,0 +1,110 @@
+"""Tests for repro.core.assignment (Definition 8)."""
+
+import pytest
+
+from repro.core.assignment import Assignment, WorkerAssignment
+from repro.core.exceptions import InvalidAssignmentError
+from repro.core.routing import Route
+
+from tests.conftest import make_dp, make_worker
+
+
+def _route(*dps, start=1.0, gap=1.0):
+    times = tuple(start + i * gap for i in range(len(dps)))
+    return Route(tuple(dps), times)
+
+
+class TestWorkerAssignment:
+    def test_null_pair(self):
+        pair = WorkerAssignment(make_worker("w", 0, 0))
+        assert pair.payoff == 0.0
+        assert pair.delivery_point_ids == ()
+        assert pair.task_count == 0
+
+    def test_pair_metrics(self):
+        route = _route(make_dp("a", 1, 0, n_tasks=2), make_dp("b", 2, 0, n_tasks=1))
+        pair = WorkerAssignment(make_worker("w", 0, 0), route)
+        assert pair.delivery_point_ids == ("a", "b")
+        assert pair.task_count == 3
+        assert pair.payoff == pytest.approx(3.0 / 2.0)
+
+
+class TestAssignmentValidation:
+    def test_disjointness_enforced(self):
+        dp = make_dp("shared", 1, 0)
+        pairs = [
+            WorkerAssignment(make_worker("w1", 0, 0), _route(dp)),
+            WorkerAssignment(make_worker("w2", 0, 0), _route(dp)),
+        ]
+        with pytest.raises(InvalidAssignmentError, match="assigned to both"):
+            Assignment(pairs)
+
+    def test_duplicate_worker_rejected(self):
+        pairs = [
+            WorkerAssignment(make_worker("w1", 0, 0)),
+            WorkerAssignment(make_worker("w1", 5, 5)),
+        ]
+        with pytest.raises(InvalidAssignmentError, match="appears twice"):
+            Assignment(pairs)
+
+    def test_maxdp_enforced(self):
+        dps = [make_dp(f"p{i}", i + 1.0, 0) for i in range(3)]
+        pair = WorkerAssignment(make_worker("w1", 0, 0, max_dp=2), _route(*dps))
+        with pytest.raises(InvalidAssignmentError, match="at most 2"):
+            Assignment([pair])
+
+    def test_deadline_enforced(self):
+        late = make_dp("late", 1, 0, expiry=0.5)
+        pair = WorkerAssignment(make_worker("w1", 0, 0), _route(late, start=1.0))
+        with pytest.raises(InvalidAssignmentError, match="after"):
+            Assignment([pair])
+
+    def test_validate_false_skips_checks(self):
+        dp = make_dp("shared", 1, 0)
+        pairs = [
+            WorkerAssignment(make_worker("w1", 0, 0), _route(dp)),
+            WorkerAssignment(make_worker("w2", 0, 0), _route(dp)),
+        ]
+        assignment = Assignment(pairs, validate=False)
+        assert len(assignment) == 2
+
+
+class TestAssignmentMetrics:
+    def _assignment(self):
+        r1 = _route(make_dp("a", 1, 0, n_tasks=2))  # payoff 2/1 = 2
+        r2 = _route(make_dp("b", 2, 0, n_tasks=4), start=2.0)  # payoff 4/2 = 2? no: 4/2=2
+        pairs = [
+            WorkerAssignment(make_worker("w1", 0, 0), r1),
+            WorkerAssignment(make_worker("w2", 0, 0), r2),
+            WorkerAssignment(make_worker("w3", 0, 0)),  # null
+        ]
+        return Assignment(pairs)
+
+    def test_payoffs_in_order(self):
+        assignment = self._assignment()
+        assert assignment.payoffs == pytest.approx([2.0, 2.0, 0.0])
+
+    def test_aggregate_metrics(self):
+        assignment = self._assignment()
+        assert assignment.average_payoff == pytest.approx(4.0 / 3.0)
+        assert assignment.total_payoff == pytest.approx(4.0)
+        assert assignment.busy_worker_count == 2
+        assert assignment.assigned_task_count == 6
+
+    def test_payoff_difference(self):
+        # payoffs (2, 2, 0): unordered diffs 0+2+2=4, doubled 8, /6.
+        assert self._assignment().payoff_difference == pytest.approx(8.0 / 6.0)
+
+    def test_pair_lookup_and_mapping(self):
+        assignment = self._assignment()
+        assert assignment.pair_for("w2").delivery_point_ids == ("b",)
+        with pytest.raises(KeyError):
+            assignment.pair_for("ghost")
+        assert assignment.as_mapping() == {"w1": ("a",), "w2": ("b",), "w3": ()}
+
+    def test_describe_and_repr(self):
+        text = repr(self._assignment())
+        assert "P_dif" in text and "busy=2/3" in text
+
+    def test_iteration(self):
+        assert [p.worker.worker_id for p in self._assignment()] == ["w1", "w2", "w3"]

@@ -1,0 +1,136 @@
+"""Tests for repro.core.entities (Definitions 1-4)."""
+
+import math
+
+import pytest
+
+from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
+from repro.geo.point import Point
+
+from tests.conftest import make_dp, make_tasks
+
+
+class TestSpatialTask:
+    def test_valid(self):
+        t = SpatialTask("t1", "dp1", expiry=2.5, reward=1.0)
+        assert t.expiry == 2.5
+        assert t.reward == 1.0
+
+    def test_default_reward_is_one(self):
+        assert SpatialTask("t1", "dp1", expiry=1.0).reward == 1.0
+
+    @pytest.mark.parametrize("expiry", [-0.1, float("nan"), float("inf")])
+    def test_bad_expiry(self, expiry):
+        with pytest.raises(ValueError, match="expiry"):
+            SpatialTask("t1", "dp1", expiry=expiry)
+
+    @pytest.mark.parametrize("reward", [-1.0, float("nan")])
+    def test_bad_reward(self, reward):
+        with pytest.raises(ValueError, match="reward"):
+            SpatialTask("t1", "dp1", expiry=1.0, reward=reward)
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(ValueError, match="task_id"):
+            SpatialTask("", "dp1", expiry=1.0)
+        with pytest.raises(ValueError, match="delivery_point_id"):
+            SpatialTask("t1", "", expiry=1.0)
+
+    def test_ordering_and_hash(self):
+        a = SpatialTask("a", "dp1", expiry=1.0)
+        b = SpatialTask("b", "dp1", expiry=1.0)
+        assert a < b
+        assert len({a, b, a}) == 2
+
+
+class TestDeliveryPoint:
+    def test_valid_with_tasks(self):
+        dp = make_dp("dp1", 1.0, 2.0, n_tasks=3, expiry=4.0)
+        assert dp.task_count == 3
+        assert dp.total_reward == 3.0
+        assert dp.earliest_expiry == 4.0
+
+    def test_earliest_expiry_is_minimum(self):
+        tasks = (
+            SpatialTask("t1", "dp1", expiry=5.0),
+            SpatialTask("t2", "dp1", expiry=2.0),
+            SpatialTask("t3", "dp1", expiry=9.0),
+        )
+        dp = DeliveryPoint("dp1", Point(0, 0), tasks)
+        assert dp.earliest_expiry == 2.0
+
+    def test_empty_point_has_infinite_expiry(self):
+        dp = DeliveryPoint("dp1", Point(0, 0))
+        assert math.isinf(dp.earliest_expiry)
+        assert dp.total_reward == 0.0
+
+    def test_task_of_other_point_rejected(self):
+        stray = SpatialTask("t1", "other", expiry=1.0)
+        with pytest.raises(ValueError, match="belongs to delivery point"):
+            DeliveryPoint("dp1", Point(0, 0), (stray,))
+
+    def test_location_type_checked(self):
+        with pytest.raises(TypeError, match="location"):
+            DeliveryPoint("dp1", (0, 0))
+
+    def test_with_tasks_copies(self):
+        dp = DeliveryPoint("dp1", Point(0, 0))
+        replacement = dp.with_tasks(make_tasks("dp1", 2))
+        assert replacement.task_count == 2
+        assert dp.task_count == 0
+
+    def test_hash_by_id(self):
+        a = make_dp("dp1", 0.0, 0.0)
+        b = make_dp("dp1", 1.0, 1.0)
+        assert hash(a) == hash(b)
+        assert a != b  # equality still compares content
+
+
+class TestDistributionCenter:
+    def test_tasks_is_union(self):
+        dps = [make_dp("a", 0, 0, n_tasks=2), make_dp("b", 1, 1, n_tasks=3)]
+        dc = DistributionCenter("dc0", Point(0, 0), tuple(dps))
+        assert dc.task_count == 5
+        assert len(dc.tasks) == 5
+
+    def test_duplicate_dp_ids_rejected(self):
+        dps = (make_dp("a", 0, 0), make_dp("a", 1, 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            DistributionCenter("dc0", Point(0, 0), dps)
+
+    def test_lookup(self):
+        dp = make_dp("a", 0, 0)
+        dc = DistributionCenter("dc0", Point(0, 0), (dp,))
+        assert dc.delivery_point("a") is dp
+        with pytest.raises(KeyError):
+            dc.delivery_point("missing")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="center_id"):
+            DistributionCenter("", Point(0, 0))
+
+
+class TestWorker:
+    def test_valid(self):
+        w = Worker("w1", Point(1, 2), max_delivery_points=4, center_id="dc0")
+        assert w.online
+        assert w.max_delivery_points == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5])
+    def test_bad_max_dp(self, bad):
+        with pytest.raises(ValueError, match="max_delivery_points"):
+            Worker("w1", Point(0, 0), max_delivery_points=bad)
+
+    def test_assigned_to(self):
+        w = Worker("w1", Point(0, 0))
+        assert w.center_id is None
+        w2 = w.assigned_to("dc3")
+        assert w2.center_id == "dc3"
+        assert w.center_id is None  # original untouched
+
+    def test_offline(self):
+        w = Worker("w1", Point(0, 0))
+        assert not w.offline().online
+        assert w.online
+
+    def test_hash_by_id(self):
+        assert hash(Worker("w1", Point(0, 0))) == hash(Worker("w1", Point(5, 5)))

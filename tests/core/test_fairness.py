@@ -1,0 +1,125 @@
+"""Tests for repro.core.fairness (IAU, Equations 5-7; Gini; Jain)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import InequityAversion, gini_coefficient, jain_index
+
+
+def naive_iau(index, payoffs, alpha, beta):
+    """Literal transcription of Equations 5-7."""
+    n = len(payoffs)
+    mine = payoffs[index]
+    mp = sum(p - mine for p in payoffs if p > mine)
+    lp = sum(mine - p for p in payoffs if p < mine)
+    return mine - (alpha * mp + beta * lp) / (n - 1)
+
+
+class TestInequityAversion:
+    def test_defaults_are_paper_setting(self):
+        model = InequityAversion()
+        assert model.alpha == 0.5
+        assert model.beta == 0.5
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            InequityAversion(alpha=-0.1)
+        with pytest.raises(ValueError):
+            InequityAversion(beta=-0.1)
+
+    def test_matches_naive_formula(self):
+        model = InequityAversion(0.5, 0.5)
+        payoffs = [3.0, 1.0, 4.0, 1.5]
+        for i in range(4):
+            assert model.utility(i, payoffs) == pytest.approx(
+                naive_iau(i, payoffs, 0.5, 0.5)
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_vectorised_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        payoffs = rng.uniform(0, 10, size=int(rng.integers(2, 30))).tolist()
+        alpha, beta = rng.uniform(0, 2, size=2)
+        model = InequityAversion(float(alpha), float(beta))
+        vector = model.utilities(payoffs)
+        for i in range(len(payoffs)):
+            assert vector[i] == pytest.approx(model.utility(i, payoffs))
+
+    def test_equal_payoffs_give_raw_payoff(self):
+        model = InequityAversion()
+        payoffs = [2.5] * 5
+        assert model.utilities(payoffs) == pytest.approx(payoffs)
+
+    def test_penalty_reduces_utility(self):
+        model = InequityAversion(0.5, 0.5)
+        payoffs = [1.0, 5.0]
+        assert model.utility(0, payoffs) < 1.0  # envy penalty
+        assert model.utility(1, payoffs) < 5.0  # guilt penalty
+
+    def test_single_worker_no_penalty(self):
+        assert InequityAversion().utility(0, [7.0]) == 7.0
+        assert InequityAversion().utilities([7.0]) == pytest.approx([7.0])
+
+    def test_empty_population(self):
+        assert InequityAversion().utilities([]).size == 0
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            InequityAversion().utility(3, [1.0, 2.0])
+
+    def test_potential_is_sum_of_utilities(self):
+        model = InequityAversion()
+        payoffs = [1.0, 2.0, 3.0]
+        assert model.potential(payoffs) == pytest.approx(
+            float(model.utilities(payoffs).sum())
+        )
+
+    def test_alpha_zero_ignores_envy(self):
+        model = InequityAversion(alpha=0.0, beta=0.5)
+        payoffs = [1.0, 10.0]
+        assert model.utility(0, payoffs) == pytest.approx(1.0)
+
+    def test_beta_zero_ignores_guilt(self):
+        model = InequityAversion(alpha=0.5, beta=0.0)
+        payoffs = [1.0, 10.0]
+        assert model.utility(1, payoffs) == pytest.approx(10.0)
+
+
+class TestGini:
+    def test_equal_is_zero(self):
+        assert gini_coefficient([4.0] * 6) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # One worker holds everything among n: gini = (n-1)/n.
+        assert gini_coefficient([0.0, 0.0, 0.0, 10.0]) == pytest.approx(0.75)
+
+    def test_empty_and_all_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0, 2.0])
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 5, 20)
+        assert 0.0 <= gini_coefficient(values) <= 1.0
+
+
+class TestJain:
+    def test_equal_is_one(self):
+        assert jain_index([3.0] * 9) == pytest.approx(1.0)
+
+    def test_single_holder(self):
+        # Jain of one non-zero among n is 1/n.
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_default_to_one(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 5, 25)
+        assert 0.0 < jain_index(values) <= 1.0

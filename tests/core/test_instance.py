@@ -1,0 +1,107 @@
+"""Tests for repro.core.instance."""
+
+import pytest
+
+from repro.core.entities import DistributionCenter, Worker
+from repro.core.exceptions import InvalidInstanceError
+from repro.core.instance import ProblemInstance, SubProblem
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+
+from tests.conftest import make_center, make_dp, make_worker
+
+
+def _two_center_instance():
+    dc0 = make_center([make_dp("a", 1, 0), make_dp("b", 2, 0)], "dc0", 0.0, 0.0)
+    dc1 = make_center([make_dp("c", 11, 0)], "dc1", 10.0, 0.0)
+    workers = (
+        make_worker("w0", 0.5, 0.0, center_id="dc0"),
+        make_worker("w1", 10.5, 0.0, center_id="dc1"),
+        make_worker("w_free", 9.0, 0.0, center_id=None),
+    )
+    return ProblemInstance((dc0, dc1), workers)
+
+
+class TestValidation:
+    def test_counts(self):
+        inst = _two_center_instance()
+        assert inst.task_count == 3
+        assert inst.delivery_point_count == 3
+
+    def test_no_centers_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="at least one"):
+            ProblemInstance((), ())
+
+    def test_duplicate_center_ids(self):
+        c = make_center([], "dc0")
+        with pytest.raises(InvalidInstanceError, match="duplicate distribution center"):
+            ProblemInstance((c, c), ())
+
+    def test_dp_in_two_centers(self):
+        dc0 = make_center([make_dp("shared", 0, 0)], "dc0")
+        dc1 = DistributionCenter("dc1", Point(5, 5), (make_dp("shared", 1, 1),))
+        with pytest.raises(InvalidInstanceError, match="appears in centers"):
+            ProblemInstance((dc0, dc1), ())
+
+    def test_duplicate_worker_ids(self):
+        dc = make_center([], "dc0")
+        w = make_worker("w0", 0, 0)
+        with pytest.raises(InvalidInstanceError, match="duplicate worker"):
+            ProblemInstance((dc,), (w, w))
+
+    def test_unknown_center_reference(self):
+        dc = make_center([], "dc0")
+        w = make_worker("w0", 0, 0, center_id="ghost")
+        with pytest.raises(InvalidInstanceError, match="unknown center"):
+            ProblemInstance((dc,), (w,))
+
+    def test_center_lookup(self):
+        inst = _two_center_instance()
+        assert inst.center("dc1").center_id == "dc1"
+        with pytest.raises(KeyError):
+            inst.center("nope")
+
+
+class TestSubproblems:
+    def test_partition_by_center(self):
+        subs = {s.center.center_id: s for s in _two_center_instance().subproblems()}
+        assert set(subs) == {"dc0", "dc1"}
+        assert [w.worker_id for w in subs["dc0"].workers] == ["w0"]
+
+    def test_free_worker_attached_to_nearest(self):
+        subs = {s.center.center_id: s for s in _two_center_instance().subproblems()}
+        ids = [w.worker_id for w in subs["dc1"].workers]
+        assert "w_free" in ids
+        attached = next(w for w in subs["dc1"].workers if w.worker_id == "w_free")
+        assert attached.center_id == "dc1"
+
+    def test_subproblem_lookup(self):
+        inst = _two_center_instance()
+        assert inst.subproblem("dc0").center.center_id == "dc0"
+        with pytest.raises(KeyError):
+            inst.subproblem("nope")
+
+    def test_travel_model_shared(self):
+        travel = TravelModel(speed_kmh=3.0)
+        dc = make_center([], "dc0")
+        inst = ProblemInstance((dc,), (), travel)
+        assert inst.subproblems()[0].travel is travel
+
+    def test_wrong_center_worker_rejected(self):
+        dc = make_center([], "dc0")
+        with pytest.raises(InvalidInstanceError, match="belongs to center"):
+            SubProblem(dc, (make_worker("w0", 0, 0, center_id="other"),))
+
+    def test_online_workers_filter(self):
+        dc = make_center([], "dc0")
+        on = make_worker("w_on", 0, 0)
+        off = Worker("w_off", Point(0, 0), 3, "dc0", online=False)
+        sub = SubProblem(dc, (on, off))
+        assert [w.worker_id for w in sub.online_workers] == ["w_on"]
+
+    def test_describe_mentions_sizes(self):
+        inst = _two_center_instance()
+        assert "|W|=3" in inst.describe()
+        assert "|DC|=2" in inst.describe()
+        sub = inst.subproblem("dc0")
+        assert "dc0" in sub.describe()

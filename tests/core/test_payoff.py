@@ -1,0 +1,116 @@
+"""Tests for repro.core.payoff, including the paper's Figure 1 example."""
+
+import numpy as np
+import pytest
+
+from repro.core.payoff import (
+    average_payoff,
+    payoff_difference,
+    payoff_difference_naive,
+    payoff_range,
+    worker_payoff,
+)
+from repro.core.routing import Route, arrival_times
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+
+from tests.conftest import make_dp
+
+
+class TestWorkerPayoff:
+    def test_null_strategy_is_zero(self):
+        assert worker_payoff(None) == 0.0
+        assert worker_payoff(Route((), ())) == 0.0
+
+    def test_reward_over_completion(self):
+        seq = (make_dp("a", 1, 0, n_tasks=3),)
+        route = Route(seq, (2.0,))
+        assert worker_payoff(route) == pytest.approx(1.5)
+
+    def test_zero_completion_rejected(self):
+        seq = (make_dp("a", 0, 0, n_tasks=1),)
+        with pytest.raises(ValueError, match="completion time"):
+            worker_payoff(Route(seq, (0.0,)))
+
+    def test_paper_figure1_worked_example(self):
+        """Reconstruct Figure 1: payoff (6+3+4)/(1+1.41+1.12+1.12) = 2.80.
+
+        dc at (2,2), worker w1 at (1,2); dp1 (1,1) with 6 tasks, dp2
+        (2,0.5) with 3 tasks, dp3 (3,1) with 4 tasks; unit rewards, unit
+        speed.  Visiting (dp1, dp2, dp3) yields the paper's payoff 2.80.
+        """
+        travel = TravelModel(speed_kmh=1.0)
+        dc = Point(2.0, 2.0)
+        w1 = Point(1.0, 2.0)
+        seq = (
+            make_dp("dp1", 1.0, 1.0, n_tasks=6),
+            make_dp("dp2", 2.0, 0.5, n_tasks=3),
+            make_dp("dp3", 3.0, 1.0, n_tasks=4),
+        )
+        offset = travel.time(w1, dc)
+        assert offset == pytest.approx(1.0)
+        times = arrival_times(dc, seq, travel, start_offset=offset)
+        route = Route(seq, tuple(times))
+        assert route.completion_time == pytest.approx(4.65, abs=0.01)
+        assert worker_payoff(route) == pytest.approx(2.80, abs=0.01)
+
+
+class TestAveragePayoff:
+    def test_mean(self):
+        assert average_payoff([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert average_payoff([]) == 0.0
+
+    def test_accepts_generator(self):
+        assert average_payoff(x for x in (2.0, 4.0)) == pytest.approx(3.0)
+
+
+class TestPayoffDifference:
+    def test_equation2_by_hand(self):
+        # Pairs of (1,2): |1-2| + |2-1| = 2, over 2*1 ordered pairs -> 1.0.
+        assert payoff_difference([1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_three_workers_by_hand(self):
+        # |1-2|+|1-4|+|2-4| = 6 unordered; doubled = 12; /(3*2) = 2.0.
+        assert payoff_difference([1.0, 2.0, 4.0]) == pytest.approx(2.0)
+
+    def test_equal_payoffs_zero(self):
+        assert payoff_difference([3.0] * 7) == 0.0
+
+    @pytest.mark.parametrize("values", [[], [5.0]])
+    def test_degenerate_populations(self, values):
+        assert payoff_difference(values) == 0.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fast_matches_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0, 10, size=int(rng.integers(2, 40))).tolist()
+        assert payoff_difference(values) == pytest.approx(
+            payoff_difference_naive(values)
+        )
+
+    def test_shift_invariance(self):
+        values = [1.0, 4.0, 9.0]
+        shifted = [v + 100.0 for v in values]
+        assert payoff_difference(values) == pytest.approx(payoff_difference(shifted))
+
+    def test_scale_equivariance(self):
+        values = [1.0, 4.0, 9.0]
+        assert payoff_difference([3 * v for v in values]) == pytest.approx(
+            3 * payoff_difference(values)
+        )
+
+    def test_order_invariance(self):
+        values = [5.0, 1.0, 3.0, 2.0]
+        assert payoff_difference(values) == pytest.approx(
+            payoff_difference(sorted(values))
+        )
+
+
+class TestPayoffRange:
+    def test_range(self):
+        assert payoff_range([1.0, 9.0, 4.0]) == pytest.approx(8.0)
+
+    def test_empty(self):
+        assert payoff_range([]) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for repro.core.priority (priority-aware fairness extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import InequityAversion
+from repro.core.payoff import payoff_difference
+from repro.core.priority import (
+    PriorityModel,
+    priority_inequity_utilities,
+    priority_payoff_difference,
+)
+
+
+class TestPriorityModel:
+    def test_missing_workers_default_to_one(self):
+        model = PriorityModel({"a": 2.0})
+        assert model.priority_of("a") == 2.0
+        assert model.priority_of("b") == 1.0
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            PriorityModel({"a": 0.0})
+        with pytest.raises(ValueError, match="positive"):
+            PriorityModel({"a": -1.0})
+
+    def test_normalize(self):
+        model = PriorityModel({"a": 2.0, "b": 4.0})
+        normalized = model.normalize([4.0, 4.0, 3.0], ["a", "b", "c"])
+        assert normalized == pytest.approx([2.0, 1.0, 3.0])
+
+    def test_normalize_alignment_checked(self):
+        with pytest.raises(ValueError, match="align"):
+            PriorityModel().normalize([1.0], ["a", "b"])
+
+
+class TestPriorityPayoffDifference:
+    def test_proportional_payoffs_are_fair(self):
+        model = PriorityModel({"a": 1.0, "b": 2.0, "c": 3.0})
+        # Payoffs exactly proportional to priority: perfectly fair.
+        assert priority_payoff_difference(
+            [5.0, 10.0, 15.0], ["a", "b", "c"], model
+        ) == pytest.approx(0.0)
+
+    def test_equal_payoffs_unfair_under_priorities(self):
+        model = PriorityModel({"a": 1.0, "b": 2.0})
+        assert priority_payoff_difference([5.0, 5.0], ["a", "b"], model) > 0
+
+    def test_unit_priorities_recover_plain_pdif(self):
+        payoffs = [1.0, 4.0, 2.5]
+        assert priority_payoff_difference(
+            payoffs, ["a", "b", "c"], PriorityModel()
+        ) == pytest.approx(payoff_difference(payoffs))
+
+
+class TestPriorityUtilities:
+    def test_unit_priorities_recover_plain_iau(self):
+        inequity = InequityAversion()
+        payoffs = [1.0, 3.0, 2.0]
+        plain = inequity.utilities(payoffs)
+        prio = priority_inequity_utilities(
+            payoffs, ["a", "b", "c"], PriorityModel(), inequity
+        )
+        assert np.allclose(plain, prio)
+
+    def test_high_priority_worker_tolerated_ahead(self):
+        inequity = InequityAversion()
+        model = PriorityModel({"vip": 2.0})
+        # vip earns double: normalised payoffs equal -> no penalty at all.
+        utilities = priority_inequity_utilities(
+            [2.0, 1.0], ["vip", "plain"], model, inequity
+        )
+        assert utilities == pytest.approx([1.0, 1.0])

@@ -1,0 +1,80 @@
+"""Tests for repro.datasets.clustering (k-means)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DatasetError
+from repro.datasets.clustering import kmeans
+
+
+def _blobs(seed=0, n_per=30, centers=((0, 0), (10, 10), (0, 10))):
+    rng = np.random.default_rng(seed)
+    parts = [
+        rng.normal(loc=c, scale=0.5, size=(n_per, 2)) for c in centers
+    ]
+    return np.vstack(parts)
+
+
+class TestKMeans:
+    def test_finds_separated_blobs(self):
+        points = _blobs()
+        result = kmeans(points, 3, seed=1)
+        assert result.k == 3
+        # Each true blob maps to exactly one cluster.
+        labels = result.labels
+        for start in (0, 30, 60):
+            blob_labels = set(labels[start : start + 30])
+            assert len(blob_labels) == 1
+
+    def test_labels_match_nearest_centroid(self):
+        points = _blobs(seed=3)
+        result = kmeans(points, 3, seed=2)
+        d = ((points[:, None, :] - result.centroids[None, :, :]) ** 2).sum(axis=2)
+        assert np.array_equal(result.labels, d.argmin(axis=1))
+
+    def test_inertia_is_total_squared_distance(self):
+        points = _blobs(seed=5)
+        result = kmeans(points, 3, seed=5)
+        d = ((points - result.centroids[result.labels]) ** 2).sum()
+        assert result.inertia == pytest.approx(float(d))
+
+    def test_deterministic_in_seed(self):
+        points = _blobs(seed=7)
+        a = kmeans(points, 4, seed=11)
+        b = kmeans(points, 4, seed=11)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_k_equals_n(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        result = kmeans(points, 3, seed=0)
+        assert sorted(result.labels.tolist()) == [0, 1, 2]
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k_one(self):
+        points = _blobs()
+        result = kmeans(points, 1, seed=0)
+        assert np.allclose(result.centroids[0], points.mean(axis=0))
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(DatasetError, match="clusters"):
+            kmeans(np.zeros((2, 2)), 3)
+
+    def test_k_below_one_rejected(self):
+        with pytest.raises(DatasetError, match="k"):
+            kmeans(np.zeros((5, 2)), 0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DatasetError, match="2-D"):
+            kmeans(np.zeros(5), 2)
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        result = kmeans(points, 2, seed=0)
+        assert result.k == 2
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_no_empty_clusters_on_separated_data(self):
+        points = _blobs(seed=9)
+        result = kmeans(points, 3, seed=9)
+        assert len(set(result.labels.tolist())) == 3

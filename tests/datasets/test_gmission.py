@@ -1,0 +1,104 @@
+"""Tests for repro.datasets.gmission (GM surrogate generator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DatasetError
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+
+
+def _small(**overrides):
+    defaults = dict(n_tasks=80, n_workers=10, n_delivery_points=20)
+    defaults.update(overrides)
+    return GMissionConfig(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_tasks", 0),
+            ("n_workers", -1),
+            ("n_hotspots", 0),
+            ("expiry_min_hours", 0.0),
+            ("space_km", 0.0),
+            ("max_delivery_points", 0),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(DatasetError):
+            _small(**{field: value})
+
+    def test_more_points_than_tasks_rejected(self):
+        with pytest.raises(DatasetError, match="n_delivery_points"):
+            _small(n_tasks=10, n_delivery_points=11)
+
+    def test_inverted_expiry_bounds_rejected(self):
+        with pytest.raises(DatasetError, match="expiry"):
+            _small(expiry_min_hours=3.0, expiry_max_hours=1.0)
+
+    def test_defaults_match_table1(self):
+        cfg = GMissionConfig()
+        assert cfg.n_tasks == 200
+        assert cfg.n_workers == 40
+        assert cfg.n_delivery_points == 100
+
+
+class TestGeneration:
+    def test_single_center_at_task_centroid(self):
+        inst = generate_gmission_like(_small(), seed=0)
+        assert len(inst.centers) == 1
+        center = inst.centers[0]
+        # Paper: dc.l is the centroid of all task locations; tasks live at
+        # cluster centroids, so the weighted centroid of the points equals it.
+        xs = sum(dp.location.x * dp.task_count for dp in center.delivery_points)
+        ys = sum(dp.location.y * dp.task_count for dp in center.delivery_points)
+        n = center.task_count
+        assert center.location.x == pytest.approx(xs / n, abs=1e-6)
+        assert center.location.y == pytest.approx(ys / n, abs=1e-6)
+
+    def test_population_counts(self):
+        inst = generate_gmission_like(_small(), seed=1)
+        assert inst.task_count == 80
+        assert inst.delivery_point_count == 20
+        assert len(inst.workers) == 10
+
+    def test_every_cluster_nonempty(self):
+        inst = generate_gmission_like(_small(), seed=2)
+        assert all(dp.task_count > 0 for dp in inst.centers[0].delivery_points)
+
+    def test_expiries_in_range(self):
+        cfg = _small(expiry_min_hours=0.7, expiry_max_hours=1.9)
+        inst = generate_gmission_like(cfg, seed=3)
+        for task in inst.centers[0].tasks:
+            assert 0.7 <= task.expiry <= 1.9
+
+    def test_workers_attached_to_the_center(self):
+        inst = generate_gmission_like(_small(), seed=4)
+        assert all(w.center_id == "gm_dc0" for w in inst.workers)
+
+    def test_deterministic_in_seed(self):
+        a = generate_gmission_like(_small(), seed=8)
+        b = generate_gmission_like(_small(), seed=8)
+        assert [w.location for w in a.workers] == [w.location for w in b.workers]
+        assert a.centers[0].location == b.centers[0].location
+
+    def test_locations_clipped_to_space(self):
+        cfg = _small(space_km=4.0)
+        inst = generate_gmission_like(cfg, seed=5)
+        for w in inst.workers:
+            assert 0 <= w.location.x <= 4.0
+            assert 0 <= w.location.y <= 4.0
+
+    def test_clustered_geometry(self):
+        # Hotspot sampling should leave large empty regions: the average
+        # nearest-neighbour distance is far below a uniform layout's.
+        cfg = _small(n_tasks=200, n_delivery_points=50, n_hotspots=3,
+                     hotspot_std_km=0.3, space_km=10.0)
+        inst = generate_gmission_like(cfg, seed=6)
+        points = [dp.location for dp in inst.centers[0].delivery_points]
+        spread_x = max(p.x for p in points) - min(p.x for p in points)
+        nn = []
+        for p in points:
+            nn.append(min(p.distance_to(q) for q in points if q != p))
+        assert np.mean(nn) < spread_x / 5

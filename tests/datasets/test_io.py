@@ -1,0 +1,69 @@
+"""Tests for repro.datasets.io (CSV round-trips)."""
+
+import pytest
+
+from repro.core.exceptions import DatasetError
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.datasets.io import load_instance, save_instance
+from repro.datasets.synthetic import SynConfig, generate_synthetic
+
+
+@pytest.fixture
+def instance():
+    cfg = SynConfig(
+        n_centers=2,
+        n_workers=6,
+        n_delivery_points=10,
+        n_tasks=30,
+        space_km=10.0,
+        expiry_spread=0.3,
+        speed_kmh=4.0,
+    )
+    return generate_synthetic(cfg, seed=5)
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, instance, tmp_path):
+        save_instance(instance, tmp_path / "inst")
+        loaded = load_instance(tmp_path / "inst")
+        assert loaded.task_count == instance.task_count
+        assert loaded.delivery_point_count == instance.delivery_point_count
+        assert len(loaded.workers) == len(instance.workers)
+        assert len(loaded.centers) == len(instance.centers)
+
+    def test_entities_preserved_exactly(self, instance, tmp_path):
+        save_instance(instance, tmp_path / "inst")
+        loaded = load_instance(tmp_path / "inst")
+        assert loaded.centers == instance.centers
+        assert loaded.workers == instance.workers
+
+    def test_travel_speed_preserved(self, instance, tmp_path):
+        save_instance(instance, tmp_path / "inst")
+        loaded = load_instance(tmp_path / "inst")
+        assert loaded.travel.speed_kmh == 4.0
+
+    def test_gmission_roundtrip(self, tmp_path):
+        inst = generate_gmission_like(
+            GMissionConfig(n_tasks=40, n_workers=5, n_delivery_points=8), seed=1
+        )
+        save_instance(inst, tmp_path / "gm")
+        loaded = load_instance(tmp_path / "gm")
+        assert loaded.centers == inst.centers
+        assert loaded.workers == inst.workers
+
+    def test_save_creates_directory(self, instance, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        save_instance(instance, target)
+        assert (target / "tasks.csv").exists()
+
+
+class TestErrors:
+    def test_missing_file_rejected(self, instance, tmp_path):
+        save_instance(instance, tmp_path / "inst")
+        (tmp_path / "inst" / "tasks.csv").unlink()
+        with pytest.raises(DatasetError, match="tasks.csv"):
+            load_instance(tmp_path / "inst")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_instance(tmp_path)

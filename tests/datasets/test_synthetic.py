@@ -1,0 +1,125 @@
+"""Tests for repro.datasets.synthetic (SYN generator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DatasetError
+from repro.datasets.synthetic import SynConfig, generate_synthetic
+
+
+def _small(**overrides):
+    defaults = dict(
+        n_centers=3, n_workers=20, n_delivery_points=30, n_tasks=100, space_km=10.0
+    )
+    defaults.update(overrides)
+    return SynConfig(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("expiry_hours", 0.0),
+            ("expiry_spread", 1.0),
+            ("max_delivery_points", 0),
+            ("space_km", -1.0),
+            ("speed_kmh", 0.0),
+            ("association", "magnetic"),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(DatasetError):
+            _small(**{field: value})
+
+    def test_paper_scale_matches_table1(self):
+        cfg = SynConfig.paper_scale()
+        assert cfg.n_centers == 50
+        assert cfg.n_workers == 2000
+        assert cfg.n_delivery_points == 5000
+        assert cfg.n_tasks == 100_000
+        assert cfg.space_km == 100.0
+        assert cfg.association == "random"
+
+    def test_scaled(self):
+        cfg = SynConfig.paper_scale().scaled(0.1)
+        assert cfg.n_centers == 5
+        assert cfg.n_tasks == 10_000
+        with pytest.raises(DatasetError):
+            cfg.scaled(0.0)
+
+
+class TestGeneration:
+    def test_population_counts(self):
+        inst = generate_synthetic(_small(), seed=0)
+        assert len(inst.centers) == 3
+        assert len(inst.workers) == 20
+        assert inst.delivery_point_count == 30
+        assert inst.task_count == 100
+
+    def test_locations_within_space(self):
+        cfg = _small()
+        inst = generate_synthetic(cfg, seed=1)
+        for c in inst.centers:
+            assert 0 <= c.location.x <= cfg.space_km
+            for dp in c.delivery_points:
+                assert 0 <= dp.location.x <= cfg.space_km
+                assert 0 <= dp.location.y <= cfg.space_km
+
+    def test_unit_rewards_and_common_expiry(self):
+        cfg = _small(expiry_hours=1.5)
+        inst = generate_synthetic(cfg, seed=2)
+        for c in inst.centers:
+            for task in c.tasks:
+                assert task.reward == 1.0
+                assert task.expiry == 1.5
+
+    def test_expiry_spread(self):
+        cfg = _small(expiry_hours=2.0, expiry_spread=0.5)
+        inst = generate_synthetic(cfg, seed=3)
+        expiries = [t.expiry for c in inst.centers for t in c.tasks]
+        assert min(expiries) >= 1.0
+        assert max(expiries) <= 2.0
+        assert len(set(expiries)) > 1
+
+    def test_deterministic_in_seed(self):
+        a = generate_synthetic(_small(), seed=9)
+        b = generate_synthetic(_small(), seed=9)
+        assert a.describe() == b.describe()
+        assert [w.location for w in a.workers] == [w.location for w in b.workers]
+
+    def test_seeds_differ(self):
+        a = generate_synthetic(_small(), seed=1)
+        b = generate_synthetic(_small(), seed=2)
+        assert [w.location for w in a.workers] != [w.location for w in b.workers]
+
+    def test_nearest_association(self):
+        inst = generate_synthetic(_small(association="nearest"), seed=4)
+        centers = {c.center_id: c for c in inst.centers}
+        for w in inst.workers:
+            own = w.location.distance_to(centers[w.center_id].location)
+            for c in inst.centers:
+                assert own <= w.location.distance_to(c.location) + 1e-9
+
+    def test_random_association_reaches_all_centers(self):
+        inst = generate_synthetic(
+            _small(association="random", n_workers=60), seed=5
+        )
+        assert len({w.center_id for w in inst.workers}) == 3
+
+    def test_speed_carried_to_travel_model(self):
+        inst = generate_synthetic(_small(speed_kmh=7.5), seed=6)
+        assert inst.travel.speed_kmh == 7.5
+
+    def test_tasks_without_points_rejected(self):
+        with pytest.raises(DatasetError, match="without delivery points"):
+            generate_synthetic(_small(n_delivery_points=0, n_tasks=5), seed=0)
+
+    def test_empty_populations_allowed(self):
+        inst = generate_synthetic(
+            _small(n_workers=0, n_delivery_points=0, n_tasks=0), seed=0
+        )
+        assert inst.task_count == 0
+
+    def test_max_dp_applied_to_workers(self):
+        inst = generate_synthetic(_small(max_delivery_points=2), seed=7)
+        assert all(w.max_delivery_points == 2 for w in inst.workers)

@@ -1,0 +1,76 @@
+"""Smoke coverage: every registry experiment runs end-to-end at SMOKE scale."""
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.sweep import METRICS, SweepResult
+
+_SWEEP_IDS = [
+    e for e in list_experiments() if e != "fig12" and not e.startswith("ext-")
+]
+
+_EXPECTED_PARAMETER = {
+    "fig2": "epsilon_km",
+    "fig3": "epsilon_km",
+    "fig4": "tasks",
+    "fig5": "tasks",
+    "fig6": "workers",
+    "fig7": "workers",
+    "fig8": "delivery_points",
+    "fig9": "delivery_points",
+    "fig10": "expiry_hours",
+    "fig11": "maxDP",
+}
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    results = {}
+    for experiment_id in _SWEEP_IDS:
+        entry = get_experiment(experiment_id)
+        results[experiment_id] = entry.run(
+            scale=Scale.SMOKE, seed=0, include_mpta=False
+        )
+    return results
+
+
+class TestAllSweepFigures:
+    @pytest.mark.parametrize("experiment_id", _SWEEP_IDS)
+    def test_returns_complete_sweep(self, sweep_results, experiment_id):
+        result = sweep_results[experiment_id]
+        assert isinstance(result, SweepResult)
+        assert result.parameter == _EXPECTED_PARAMETER[experiment_id]
+        assert len(result.values) >= 2
+        assert {"GTA", "FGT", "IEGT"} <= set(result.algorithms)
+
+    @pytest.mark.parametrize("experiment_id", _SWEEP_IDS)
+    def test_all_metrics_populated(self, sweep_results, experiment_id):
+        result = sweep_results[experiment_id]
+        for metric in METRICS:
+            for algorithm in result.algorithms:
+                series = result.series(metric, algorithm)
+                assert len(series) == len(result.values)
+                assert all(v >= 0.0 for v in series)
+
+    @pytest.mark.parametrize("experiment_id", ["fig2", "fig3"])
+    def test_epsilon_sweeps_include_unpruned_arms(self, sweep_results, experiment_id):
+        result = sweep_results[experiment_id]
+        unpruned = {a for a in result.algorithms if a.endswith("-W")}
+        assert {"GTA-W", "FGT-W", "IEGT-W"} <= unpruned
+
+    @pytest.mark.parametrize("experiment_id", ["fig2", "fig3"])
+    def test_unpruned_arms_flat_across_epsilon(self, sweep_results, experiment_id):
+        # -W arms are epsilon-independent: their series must be constant.
+        result = sweep_results[experiment_id]
+        for algorithm in result.algorithms:
+            if not algorithm.endswith("-W"):
+                continue
+            for metric in ("payoff_difference", "average_payoff"):
+                series = result.series(metric, algorithm)
+                assert max(series) - min(series) < 1e-12
+
+    def test_as_dict_roundtrips_structure(self, sweep_results):
+        d = sweep_results["fig5"].as_dict()
+        assert set(d["metrics"]) == set(METRICS)
+        assert d["values"] == sweep_results["fig5"].values

@@ -1,0 +1,79 @@
+"""Tests for repro.experiments.config (Table I grids)."""
+
+import pytest
+
+from repro.experiments.config import (
+    GM_GRID,
+    SYN_GRID,
+    SYN_SPACE_KM,
+    ExperimentGrid,
+    Scale,
+)
+
+
+class TestGrids:
+    @pytest.mark.parametrize("scale", list(Scale))
+    def test_all_scales_defined(self, scale):
+        assert scale in GM_GRID
+        assert scale in SYN_GRID
+        assert scale in SYN_SPACE_KM
+
+    def test_gm_ci_matches_table1(self):
+        grid = GM_GRID[Scale.CI]
+        assert grid.epsilon_grid == (0.2, 0.4, 0.6, 0.8, 1.0)
+        assert grid.epsilon_default == 0.6
+        assert grid.tasks_grid == (100, 200, 300, 400, 500)
+        assert grid.tasks_default == 200
+        assert grid.workers_default == 40
+        assert grid.dps_default == 100
+
+    def test_syn_paper_matches_table1(self):
+        grid = SYN_GRID[Scale.PAPER]
+        assert grid.epsilon_default == 2.0
+        assert grid.tasks_default == 100_000
+        assert grid.workers_default == 2_000
+        assert grid.dps_default == 5_000
+        assert grid.expiry_grid == (0.5, 1.0, 1.5, 2.0, 2.5)
+        assert grid.maxdp_grid == (1, 2, 3, 4)
+        assert grid.n_centers == 50
+
+    def test_syn_ci_preserves_per_center_density(self):
+        ci = SYN_GRID[Scale.CI]
+        paper = SYN_GRID[Scale.PAPER]
+        assert ci.tasks_default / ci.n_centers == pytest.approx(
+            paper.tasks_default / paper.n_centers
+        )
+        assert ci.workers_default / ci.n_centers == pytest.approx(
+            paper.workers_default / paper.n_centers
+        )
+        assert ci.dps_default / ci.n_centers == pytest.approx(
+            paper.dps_default / paper.n_centers
+        )
+
+    def test_defaults_must_be_grid_members(self):
+        with pytest.raises(ValueError, match="epsilon_default"):
+            ExperimentGrid(
+                epsilon_grid=(1.0, 2.0),
+                epsilon_default=3.0,
+                tasks_grid=(10,),
+                tasks_default=10,
+                workers_grid=(5,),
+                workers_default=5,
+                dps_grid=(4,),
+                dps_default=4,
+            )
+
+    def test_expiry_default_checked_when_grid_present(self):
+        with pytest.raises(ValueError, match="expiry_default"):
+            ExperimentGrid(
+                epsilon_grid=(1.0,),
+                epsilon_default=1.0,
+                tasks_grid=(10,),
+                tasks_default=10,
+                workers_grid=(5,),
+                workers_default=5,
+                dps_grid=(4,),
+                dps_default=4,
+                expiry_grid=(1.0, 2.0),
+                expiry_default=9.0,
+            )

@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.export."""
+
+import pytest
+
+from repro.experiments.export import (
+    load_sweep_csv,
+    load_sweep_json,
+    sweep_to_csv,
+    sweep_to_json,
+)
+from repro.experiments.runner import RunRecord
+from repro.experiments.sweep import SweepResult
+
+
+@pytest.fixture
+def result():
+    sweep = SweepResult(name="Demo", parameter="k", values=[1, 2])
+    sweep.add(1, [RunRecord("GTA", 3.0, 5.0, 0.1), RunRecord("IEGT", 1.0, 4.0, 0.2)])
+    sweep.add(2, [RunRecord("GTA", 4.0, 6.0, 0.1), RunRecord("IEGT", 1.5, 4.5, 0.3)])
+    return sweep
+
+
+class TestJson:
+    def test_roundtrip(self, result, tmp_path):
+        path = sweep_to_json(result, tmp_path / "out" / "demo.json")
+        loaded = load_sweep_json(path)
+        assert loaded == result.as_dict()
+        assert loaded["metrics"]["payoff_difference"]["IEGT"] == [1.0, 1.5]
+
+    def test_creates_parent_dirs(self, result, tmp_path):
+        path = sweep_to_json(result, tmp_path / "a" / "b" / "c.json")
+        assert path.exists()
+
+
+class TestCsv:
+    def test_tidy_layout(self, result, tmp_path):
+        path = sweep_to_csv(result, tmp_path / "demo.csv")
+        rows = load_sweep_csv(path)
+        assert len(rows) == 4  # 2 values x 2 algorithms
+        assert set(rows[0]) == {
+            "k",
+            "algorithm",
+            "payoff_difference",
+            "average_payoff",
+            "cpu_seconds",
+        }
+
+    def test_values_correct(self, result, tmp_path):
+        path = sweep_to_csv(result, tmp_path / "demo.csv")
+        rows = load_sweep_csv(path)
+        iegt_at_2 = next(
+            r for r in rows if r["algorithm"] == "IEGT" and r["k"] == "2"
+        )
+        assert float(iegt_at_2["payoff_difference"]) == 1.5
+        assert float(iegt_at_2["average_payoff"]) == 4.5
+
+    def test_end_to_end_with_real_sweep(self, tmp_path):
+        from repro.experiments.config import Scale
+        from repro.experiments.figures import fig4_tasks_gm
+
+        sweep = fig4_tasks_gm(scale=Scale.SMOKE, seed=0, include_mpta=False)
+        rows = load_sweep_csv(sweep_to_csv(sweep, tmp_path / "fig4.csv"))
+        assert len(rows) == len(sweep.values) * len(sweep.algorithms)

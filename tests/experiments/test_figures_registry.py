@@ -1,0 +1,76 @@
+"""Tests for repro.experiments.figures and the experiment registry."""
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.figures import ConvergenceStudy, fig4_tasks_gm, fig12_convergence
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.sweep import SweepResult
+
+
+class TestRegistry:
+    def test_all_eleven_figures_present(self):
+        ids = list_experiments()
+        assert ids[:11] == [f"fig{i}" for i in range(2, 13)]
+        assert set(ids[11:]) == {"ext-longrun", "ext-metric"}
+
+    def test_lookup(self):
+        entry = get_experiment("fig5")
+        assert entry.dataset == "SYN"
+        assert "|S|" in entry.parameter
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_experiment("fig99")
+
+    def test_describe(self):
+        assert "Figure 4" in get_experiment("fig4").describe()
+
+
+class TestFigureRuns:
+    def test_fig4_smoke(self):
+        result = fig4_tasks_gm(scale=Scale.SMOKE, seed=1)
+        assert isinstance(result, SweepResult)
+        assert result.parameter == "tasks"
+        assert set(result.algorithms) >= {"GTA", "FGT", "IEGT"}
+
+    def test_fig4_without_mpta(self):
+        result = fig4_tasks_gm(scale=Scale.SMOKE, seed=1, include_mpta=False)
+        assert "MPTA" not in result.algorithms
+
+    def test_registry_run_dispatch(self):
+        result = get_experiment("fig6").run(scale=Scale.SMOKE, seed=0)
+        assert result.parameter == "workers"
+
+    def test_fig12_returns_traces(self):
+        study = fig12_convergence(scale=Scale.SMOKE, seed=0, dataset="gm")
+        assert isinstance(study, ConvergenceStudy)
+        assert set(study.traces) == {"FGT", "IEGT"}
+        for name in ("FGT", "IEGT"):
+            series = study.series(name)
+            assert len(series) >= 1
+            assert study.rounds[name] == len(series)
+
+    def test_fig12_rejects_unknown_dataset(self):
+        with pytest.raises(ValueError, match="dataset"):
+            fig12_convergence(scale=Scale.SMOKE, dataset="mars")
+
+    def test_fig12_syn(self):
+        study = fig12_convergence(scale=Scale.SMOKE, seed=0, dataset="syn")
+        assert "SYN" in study.name
+
+
+class TestExtensionExperiments:
+    def test_ext_longrun_smoke(self):
+        study = get_experiment("ext-longrun").run(scale=Scale.SMOKE, seed=0)
+        assert set(study.reports) == {"GTA", "MAXMIN", "IEGT"}
+        text = study.format()
+        assert "cum_P_dif" in text
+        for report in study.reports.values():
+            assert report.arrived_tasks >= 0
+
+    def test_ext_metric_smoke(self):
+        study = get_experiment("ext-metric").run(scale=Scale.SMOKE, seed=0)
+        assert set(study.payoff_difference) == {"euclidean", "manhattan"}
+        assert study.solvers == ["GTA", "FGT", "IEGT"]
+        assert "manhattan" in study.format()

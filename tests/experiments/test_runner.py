@@ -1,0 +1,89 @@
+"""Tests for repro.experiments.runner."""
+
+import pytest
+
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    CatalogCache,
+    default_algorithms,
+    run_algorithms,
+    unpruned_variants,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_gmission_like(
+        GMissionConfig(n_tasks=50, n_workers=6, n_delivery_points=12), seed=3
+    )
+
+
+class TestSpecs:
+    def test_default_algorithms_names(self):
+        names = [s.name for s in default_algorithms()]
+        assert names == ["MPTA", "GTA", "FGT", "IEGT"]
+
+    def test_mpta_optional(self):
+        names = [s.name for s in default_algorithms(include_mpta=False)]
+        assert "MPTA" not in names
+
+    def test_unpruned_variants_named(self):
+        names = [s.name for s in unpruned_variants(default_algorithms())]
+        assert names == ["MPTA-W", "GTA-W", "FGT-W", "IEGT-W"]
+
+    def test_build_passes_epsilon(self):
+        spec = default_algorithms()[1]  # GTA
+        assert spec.build(0.7).epsilon == 0.7
+        assert spec.build(None).epsilon is None
+
+
+class TestRunAlgorithms:
+    def test_one_record_per_arm(self, instance):
+        records = run_algorithms(
+            instance, default_algorithms(include_mpta=False), epsilon=0.6, seed=0
+        )
+        assert [r.algorithm for r in records] == ["GTA", "FGT", "IEGT"]
+        for record in records:
+            assert record.cpu_seconds >= 0.0
+            assert record.payoff_difference >= 0.0
+            assert len(record.payoffs) == len(instance.workers)
+
+    def test_unpruned_arms_appended(self, instance):
+        specs = default_algorithms(include_mpta=False)[:1]  # GTA only
+        records = run_algorithms(
+            instance, specs, epsilon=0.6, seed=0, unpruned=unpruned_variants(specs)
+        )
+        assert [r.algorithm for r in records] == ["GTA", "GTA-W"]
+
+    def test_deterministic_in_seed(self, instance):
+        specs = default_algorithms(include_mpta=False)
+        a = run_algorithms(instance, specs, epsilon=0.6, seed=11)
+        b = run_algorithms(instance, specs, epsilon=0.6, seed=11)
+        for ra, rb in zip(a, b):
+            assert ra.payoffs == rb.payoffs
+
+    def test_seed_independent_of_arm_order(self, instance):
+        specs = default_algorithms(include_mpta=False)
+        forward = run_algorithms(instance, specs, epsilon=0.6, seed=7)
+        reverse = run_algorithms(instance, list(reversed(specs)), epsilon=0.6, seed=7)
+        by_name_f = {r.algorithm: r.payoffs for r in forward}
+        by_name_r = {r.algorithm: r.payoffs for r in reverse}
+        assert by_name_f == by_name_r
+
+    def test_catalog_cache_reused(self, instance):
+        cache = CatalogCache()
+        sub = instance.subproblems()[0]
+        catalog_a, time_a = cache.get(sub, 0.6)
+        catalog_b, time_b = cache.get(sub, 0.6)
+        assert catalog_a is catalog_b
+        assert time_a == time_b
+        catalog_c, _ = cache.get(sub, None)
+        assert catalog_c is not catalog_a
+
+    def test_as_dict_metrics(self, instance):
+        record = run_algorithms(
+            instance, default_algorithms(include_mpta=False)[:1], epsilon=0.6, seed=0
+        )[0]
+        d = record.as_dict()
+        assert set(d) == {"payoff_difference", "average_payoff", "cpu_seconds"}

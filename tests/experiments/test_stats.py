@@ -1,0 +1,109 @@
+"""Tests for repro.experiments.stats (repeated-seed aggregation)."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import RunRecord
+from repro.experiments.stats import (
+    CellStats,
+    aggregate,
+    run_repeated_sweep,
+)
+from repro.experiments.sweep import SweepResult
+
+
+def _sweep_factory(values_by_seed):
+    def factory(seed):
+        result = SweepResult(name="demo", parameter="k", values=[1, 2])
+        pdif_a, pdif_b = values_by_seed[seed]
+        result.add(1, [RunRecord("A", pdif_a, 1.0, 0.1)])
+        result.add(2, [RunRecord("A", pdif_b, 2.0, 0.2)])
+        return result
+
+    return factory
+
+
+class TestAggregate:
+    def test_single_sample(self):
+        stats = aggregate([3.0])
+        assert stats.mean == 3.0
+        assert stats.std == 0.0
+        assert math.isnan(stats.ci95_half_width)
+        assert stats.n == 1
+
+    def test_known_values(self):
+        stats = aggregate([1.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.std == pytest.approx(math.sqrt(2.0))
+        # t(0.975, df=1) = 12.706; half = 12.706 * sqrt(2)/sqrt(2).
+        assert stats.ci95_half_width == pytest.approx(12.706)
+
+    def test_ci_bounds(self):
+        stats = aggregate([2.0, 4.0, 6.0])
+        assert stats.ci_low < stats.mean < stats.ci_high
+
+    def test_identical_samples_zero_spread(self):
+        stats = aggregate([5.0] * 8)
+        assert stats.std == 0.0
+        assert stats.ci95_half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_format(self):
+        assert "±" in aggregate([1.0, 2.0]).format()
+        assert "±" not in aggregate([1.0]).format()
+
+
+class TestRunRepeatedSweep:
+    def test_aggregates_across_seeds(self):
+        factory = _sweep_factory({0: (1.0, 10.0), 1: (3.0, 20.0)})
+        result = run_repeated_sweep(factory, seeds=[0, 1])
+        cells = result.series("payoff_difference", "A")
+        assert cells[0].mean == pytest.approx(2.0)
+        assert cells[1].mean == pytest.approx(15.0)
+        assert result.series_mean("average_payoff", "A") == [1.0, 2.0]
+        assert result.seeds == [0, 1]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            run_repeated_sweep(lambda s: None, seeds=[])
+
+    def test_mismatched_grids_rejected(self):
+        def factory(seed):
+            result = SweepResult(name="demo", parameter="k", values=[1, 2 + seed])
+            for v in result.values:
+                result.add(v, [RunRecord("A", 1.0, 1.0, 0.1)])
+            return result
+
+        with pytest.raises(ValueError, match="disagree"):
+            run_repeated_sweep(factory, seeds=[0, 1])
+
+    def test_format_table(self):
+        factory = _sweep_factory({0: (1.0, 10.0), 1: (3.0, 20.0)})
+        result = run_repeated_sweep(factory, seeds=[0, 1])
+        text = result.format_table("payoff_difference")
+        assert "n=2 seeds" in text
+        assert "±" in text
+        assert "A" in text
+
+    def test_algorithms_property(self):
+        factory = _sweep_factory({0: (1.0, 10.0)})
+        result = run_repeated_sweep(factory, seeds=[0])
+        assert result.algorithms == ["A"]
+
+    def test_end_to_end_with_real_sweep(self):
+        from repro.experiments.figures import fig4_tasks_gm
+        from repro.experiments.config import Scale
+
+        result = run_repeated_sweep(
+            lambda seed: fig4_tasks_gm(
+                scale=Scale.SMOKE, seed=seed, include_mpta=False
+            ),
+            seeds=[0, 1],
+        )
+        for algorithm in result.algorithms:
+            cells = result.series("payoff_difference", algorithm)
+            assert all(c.n == 2 for c in cells)

@@ -1,0 +1,80 @@
+"""Behavioral tests for run_sweep's catalog and -W arm caching.
+
+The epsilon sweeps (Figures 2-3) reuse one instance across grid points;
+run_sweep must then (a) keep the catalog cache alive and (b) compute the
+epsilon-independent -W arms once and replicate them as flat lines.
+"""
+
+import pytest
+
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.runner import default_algorithms, unpruned_variants
+from repro.experiments.sweep import run_sweep
+
+
+@pytest.fixture(scope="module")
+def shared_instance():
+    return generate_gmission_like(
+        GMissionConfig(n_tasks=50, n_workers=6, n_delivery_points=12), seed=6
+    )
+
+
+class TestUnprunedCaching:
+    def test_w_arms_constant_across_grid(self, shared_instance):
+        algorithms = default_algorithms(include_mpta=False)
+        result = run_sweep(
+            name="eps",
+            parameter="epsilon",
+            values=[0.3, 0.6, 0.9],
+            make_instance=lambda v: shared_instance,
+            algorithms=algorithms,
+            epsilon_for=lambda v: float(v),
+            seed=0,
+            unpruned=unpruned_variants(algorithms),
+        )
+        for algorithm in result.algorithms:
+            if not algorithm.endswith("-W"):
+                continue
+            for metric in ("payoff_difference", "average_payoff", "cpu_seconds"):
+                series = result.series(metric, algorithm)
+                assert len(set(series)) == 1, (
+                    f"{algorithm} {metric} should be one cached value, got {series}"
+                )
+
+    def test_pruned_arms_vary_with_epsilon(self, shared_instance):
+        algorithms = default_algorithms(include_mpta=False)
+        result = run_sweep(
+            name="eps",
+            parameter="epsilon",
+            values=[0.2, 1.2],
+            make_instance=lambda v: shared_instance,
+            algorithms=algorithms,
+            epsilon_for=lambda v: float(v),
+            seed=0,
+        )
+        # A much larger epsilon admits more strategies: some metric moves.
+        moved = any(
+            len(set(result.series(metric, algorithm))) > 1
+            for algorithm in result.algorithms
+            for metric in ("payoff_difference", "average_payoff")
+        )
+        assert moved
+
+    def test_fresh_instances_rebuild_unpruned(self):
+        # When the instance changes per grid point, -W arms must re-run.
+        algorithms = default_algorithms(include_mpta=False)[:1]  # GTA only
+        result = run_sweep(
+            name="tasks",
+            parameter="tasks",
+            values=[30, 70],
+            make_instance=lambda v: generate_gmission_like(
+                GMissionConfig(n_tasks=int(v), n_workers=5, n_delivery_points=10),
+                seed=1,
+            ),
+            algorithms=algorithms,
+            epsilon_for=lambda v: 0.6,
+            seed=0,
+            unpruned=unpruned_variants(algorithms),
+        )
+        series = result.series("average_payoff", "GTA-W")
+        assert len(set(series)) == 2  # genuinely recomputed per instance

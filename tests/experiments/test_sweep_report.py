@@ -1,0 +1,94 @@
+"""Tests for repro.experiments.sweep and repro.experiments.report."""
+
+import pytest
+
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.report import format_ratio_line, format_series_table, format_sweep
+from repro.experiments.runner import default_algorithms
+from repro.experiments.sweep import METRICS, SweepResult, run_sweep
+from repro.experiments.runner import RunRecord
+
+
+def _record(name, pdif, avg, cpu):
+    return RunRecord(name, pdif, avg, cpu)
+
+
+@pytest.fixture
+def sweep_result():
+    result = SweepResult(name="Demo", parameter="k", values=[1, 2])
+    result.add(1, [_record("GTA", 4.0, 8.0, 0.1), _record("IEGT", 1.0, 7.0, 0.2)])
+    result.add(2, [_record("GTA", 5.0, 9.0, 0.1), _record("IEGT", 1.5, 7.5, 0.3)])
+    return result
+
+
+class TestSweepResult:
+    def test_algorithms_in_order(self, sweep_result):
+        assert sweep_result.algorithms == ["GTA", "IEGT"]
+
+    def test_series(self, sweep_result):
+        assert sweep_result.series("payoff_difference", "IEGT") == [1.0, 1.5]
+        assert sweep_result.series("cpu_seconds", "GTA") == [0.1, 0.1]
+
+    def test_unknown_metric_rejected(self, sweep_result):
+        with pytest.raises(ValueError, match="unknown metric"):
+            sweep_result.series("latency", "GTA")
+
+    def test_record_lookup(self, sweep_result):
+        assert sweep_result.record(2, "GTA").average_payoff == 9.0
+
+    def test_as_dict(self, sweep_result):
+        d = sweep_result.as_dict()
+        assert d["parameter"] == "k"
+        assert set(d["metrics"]) == set(METRICS)
+        assert d["metrics"]["average_payoff"]["IEGT"] == [7.0, 7.5]
+
+
+class TestRunSweep:
+    def test_end_to_end_small(self):
+        instance = generate_gmission_like(
+            GMissionConfig(n_tasks=40, n_workers=5, n_delivery_points=10), seed=2
+        )
+        result = run_sweep(
+            name="mini",
+            parameter="epsilon",
+            values=[0.4, 0.8],
+            make_instance=lambda v: instance,
+            algorithms=default_algorithms(include_mpta=False),
+            epsilon_for=lambda v: float(v),
+            seed=0,
+        )
+        assert result.values == [0.4, 0.8]
+        assert set(result.algorithms) == {"GTA", "FGT", "IEGT"}
+        for algorithm in result.algorithms:
+            assert len(result.series("payoff_difference", algorithm)) == 2
+
+
+class TestReport:
+    def test_format_series_table(self):
+        text = format_series_table(
+            "Title", [1, 2], {"A": [0.5, 1.0], "B": [1500.0, 0.0]}, column_header="p"
+        )
+        assert "Title" in text
+        assert "0.5000" in text
+        assert "1500" in text
+        assert text.count("\n") >= 4
+
+    def test_format_sweep_contains_all_metrics(self, sweep_result):
+        text = format_sweep(sweep_result)
+        assert "Payoff Difference" in text
+        assert "Average Payoff" in text
+        assert "CPU Time" in text
+        assert "GTA" in text and "IEGT" in text
+
+    def test_format_sweep_metric_subset(self, sweep_result):
+        text = format_sweep(sweep_result, metrics=["average_payoff"])
+        assert "Payoff Difference" not in text
+
+    def test_ratio_line(self, sweep_result):
+        line = format_ratio_line(sweep_result, "payoff_difference", "IEGT", "GTA")
+        assert "IEGT" in line and "GTA" in line and "%" in line
+
+    def test_ratio_line_zero_baseline(self):
+        result = SweepResult(name="z", parameter="k", values=[1])
+        result.add(1, [_record("A", 1.0, 1.0, 0.0), _record("B", 0.0, 0.0, 0.0)])
+        assert "undefined" in format_ratio_line(result, "cpu_seconds", "A", "B")

@@ -1,0 +1,145 @@
+"""Tests for the future-work extensions: early stop, priorities, speeds."""
+
+import pytest
+
+from repro.core.instance import SubProblem
+from repro.core.priority import PriorityModel, priority_payoff_difference
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _sub(n_workers=4):
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=4),
+            make_dp("b", 0.0, 1.5, n_tasks=2),
+            make_dp("c", -2.0, 0.0, n_tasks=3),
+            make_dp("d", 0.0, -1.0, n_tasks=1),
+            make_dp("e", 1.5, 1.5, n_tasks=2),
+        ]
+    )
+    workers = tuple(
+        make_worker(f"w{i}", 0.3 * i, -0.2 * i, max_dp=2) for i in range(n_workers)
+    )
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+class TestEarlyStop:
+    def test_disabled_by_default(self):
+        assert FGTSolver().early_stop_patience is None
+        assert IEGTSolver().early_stop_patience is None
+
+    @pytest.mark.parametrize("solver_cls", [FGTSolver, IEGTSolver])
+    def test_invalid_patience_rejected(self, solver_cls):
+        with pytest.raises(ValueError, match="early_stop_patience"):
+            solver_cls(early_stop_patience=0)
+
+    @pytest.mark.parametrize("solver_cls", [FGTSolver, IEGTSolver])
+    def test_early_stop_still_returns_valid_assignment(self, solver_cls):
+        solver = solver_cls(early_stop_patience=1, early_stop_tol=1e12)
+        result = solver.solve(_sub(), seed=0)
+        # A huge tol forces the earliest possible stop; assignment stays valid.
+        assert len(result.assignment) == 4
+
+    def test_early_stop_never_beats_full_run_rounds(self):
+        sub = _sub()
+        catalog = build_catalog(sub)
+        full = FGTSolver().solve(sub, catalog=catalog, seed=1)
+        early = FGTSolver(early_stop_patience=1, early_stop_tol=1e12).solve(
+            sub, catalog=catalog, seed=1
+        )
+        assert early.rounds <= full.rounds
+
+    def test_natural_convergence_beats_patience(self):
+        # When the game converges before the patience window fills, the run
+        # is still reported as converged.
+        result = FGTSolver(early_stop_patience=50).solve(_sub(), seed=2)
+        assert result.converged
+
+
+class TestPriorityAwareFGT:
+    def test_unit_priorities_match_plain_game(self):
+        sub = _sub()
+        catalog = build_catalog(sub)
+        plain = FGTSolver().solve(sub, catalog=catalog, seed=3)
+        unit = FGTSolver(priorities=PriorityModel()).solve(
+            sub, catalog=catalog, seed=3
+        )
+        assert plain.assignment.as_mapping() == unit.assignment.as_mapping()
+
+    def test_priorities_shift_normalised_fairness(self):
+        # Inequity terms only influence best responses for beta > 1 (see
+        # DESIGN.md §5), so the comparison runs at beta = 1.5 and averages
+        # over seeds.
+        sub = _sub()
+        catalog = build_catalog(sub)
+        model = PriorityModel({"w0": 3.0, "w1": 0.4})
+        prio_vals, plain_vals = [], []
+        for seed in range(6):
+            aware = FGTSolver(alpha=0.5, beta=1.5, priorities=model).solve(
+                sub, catalog=catalog, seed=seed
+            )
+            plain = FGTSolver(alpha=0.5, beta=1.5).solve(
+                sub, catalog=catalog, seed=seed
+            )
+            ids = [p.worker.worker_id for p in aware.assignment]
+            prio_vals.append(
+                priority_payoff_difference(aware.assignment.payoffs, ids, model)
+            )
+            plain_vals.append(
+                priority_payoff_difference(plain.assignment.payoffs, ids, model)
+            )
+        # The priority-aware game optimises normalised fairness, so on
+        # average it must not be worse on that metric than the plain game.
+        assert sum(prio_vals) <= sum(plain_vals) + 1e-9
+
+    def test_converges_with_priorities(self):
+        model = PriorityModel({"w0": 2.0, "w1": 0.5})
+        result = FGTSolver(priorities=model).solve(_sub(), seed=5)
+        assert result.converged
+
+
+class TestWorkerSpeeds:
+    def test_slower_worker_has_lower_payoffs(self):
+        center = make_center([make_dp("a", 2.0, 0.0, n_tasks=2, expiry=50.0)])
+        fast = make_worker("fast", 0, 0, max_dp=1)
+        sub_fast = SubProblem(center, (fast,), unit_speed_travel())
+        fast_payoff = build_catalog(sub_fast).strategies("fast")[0].payoff
+
+        from repro.core.entities import Worker
+        from repro.geo.point import Point
+
+        slow = Worker("slow", Point(0, 0), 1, "dc0", speed_kmh=0.5)
+        sub_slow = SubProblem(center, (slow,), unit_speed_travel())
+        slow_payoff = build_catalog(sub_slow).strategies("slow")[0].payoff
+        assert slow_payoff == pytest.approx(fast_payoff / 2.0)
+
+    def test_slow_worker_loses_tight_deadlines(self):
+        center = make_center([make_dp("a", 2.0, 0.0, n_tasks=1, expiry=3.0)])
+        from repro.core.entities import Worker
+        from repro.geo.point import Point
+
+        ok = Worker("ok", Point(0, 0), 1, "dc0", speed_kmh=1.0)
+        too_slow = Worker("too_slow", Point(0, 0), 1, "dc0", speed_kmh=0.5)
+        sub = SubProblem(center, (ok, too_slow), unit_speed_travel())
+        catalog = build_catalog(sub)
+        assert catalog.has_strategies("ok")
+        assert not catalog.has_strategies("too_slow")
+
+    def test_invalid_speed_rejected(self):
+        from repro.core.entities import Worker
+        from repro.geo.point import Point
+
+        with pytest.raises(ValueError, match="speed_kmh"):
+            Worker("w", Point(0, 0), 1, speed_kmh=0.0)
+
+    def test_speed_survives_copies(self):
+        from repro.core.entities import Worker
+        from repro.geo.point import Point
+
+        w = Worker("w", Point(0, 0), 1, speed_kmh=7.0)
+        assert w.assigned_to("dc9").speed_kmh == 7.0
+        assert w.offline().speed_kmh == 7.0

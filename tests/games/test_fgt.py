@@ -1,0 +1,128 @@
+"""Tests for repro.games.fgt (Algorithm 2: best-response dynamics)."""
+
+import pytest
+
+from repro.baselines.gta import GTASolver
+from repro.core.instance import SubProblem
+from repro.games.fgt import FGTSolver
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import (
+    make_center,
+    make_dp,
+    make_worker,
+    unit_speed_travel,
+)
+
+
+def _sub(n_workers=3, max_dp=2):
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=4),
+            make_dp("b", 0.0, 1.5, n_tasks=2),
+            make_dp("c", -2.0, 0.0, n_tasks=3),
+            make_dp("d", 0.0, -1.0, n_tasks=1),
+            make_dp("e", 1.5, 1.5, n_tasks=2),
+        ]
+    )
+    workers = tuple(
+        make_worker(f"w{i}", 0.3 * i, -0.2 * i, max_dp=max_dp)
+        for i in range(n_workers)
+    )
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+class TestSolve:
+    def test_converges_on_small_instance(self):
+        result = FGTSolver().solve(_sub(), seed=0)
+        assert result.converged
+        assert result.trace.final.switches == 0
+
+    def test_assignment_is_valid(self):
+        result = FGTSolver().solve(_sub(), seed=1)
+        # Assignment construction validates disjointness/deadlines/maxDP.
+        assert len(result.assignment) == 3
+
+    def test_deterministic_in_seed(self):
+        a = FGTSolver().solve(_sub(), seed=7).assignment.as_mapping()
+        b = FGTSolver().solve(_sub(), seed=7).assignment.as_mapping()
+        assert a == b
+
+    def test_accepts_prebuilt_catalog(self):
+        sub = _sub()
+        catalog = build_catalog(sub)
+        result = FGTSolver().solve(sub, catalog=catalog, seed=2)
+        assert result.converged
+
+    def test_trace_records_rounds(self):
+        result = FGTSolver().solve(_sub(), seed=3)
+        assert len(result.trace) == result.rounds
+        assert result.trace.final.switches == 0
+
+    def test_max_rounds_respected(self):
+        result = FGTSolver(max_rounds=1).solve(_sub(), seed=4)
+        assert result.rounds == 1
+
+    def test_no_workers(self):
+        center = make_center([make_dp("a", 1, 0)])
+        sub = SubProblem(center, (), unit_speed_travel())
+        result = FGTSolver().solve(sub, seed=0)
+        assert result.converged
+        assert len(result.assignment) == 0
+
+    def test_no_strategies_all_null(self):
+        center = make_center([make_dp("a", 50, 0, expiry=1.0)])
+        sub = SubProblem(center, (make_worker("w", 0, 0),), unit_speed_travel())
+        result = FGTSolver().solve(sub, seed=0)
+        assert result.converged
+        assert result.assignment.busy_worker_count == 0
+
+    def test_fairer_than_greedy_on_average(self):
+        # FGT's IAU embeds inequity aversion, so across seeds it should beat
+        # greedy's payoff difference on this contested instance.
+        sub = _sub(n_workers=4, max_dp=2)
+        catalog = build_catalog(sub)
+        gta = GTASolver().solve(sub, catalog=catalog).assignment.payoff_difference
+        fgt_values = [
+            FGTSolver().solve(sub, catalog=catalog, seed=s).assignment.payoff_difference
+            for s in range(5)
+        ]
+        assert sum(fgt_values) / len(fgt_values) <= gta + 1e-9
+
+    def test_name_property(self):
+        assert FGTSolver(epsilon=1.0).name == "FGT"
+        assert FGTSolver(epsilon=None).name == "FGT-W"
+
+    def test_update_granularity_trace(self):
+        sub = _sub()
+        result = FGTSolver(trace_granularity="update").solve(sub, seed=3)
+        # One trace point per worker per round.
+        assert len(result.trace) == result.rounds * len(sub.workers)
+        assert result.trace.final.switches == 0
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError, match="trace_granularity"):
+            FGTSolver(trace_granularity="per-second")
+
+    def test_granularities_reach_same_assignment(self):
+        sub = _sub()
+        by_round = FGTSolver().solve(sub, seed=5).assignment.as_mapping()
+        by_update = (
+            FGTSolver(trace_granularity="update")
+            .solve(sub, seed=5)
+            .assignment.as_mapping()
+        )
+        assert by_round == by_update
+
+
+class TestIAUWeights:
+    def test_custom_weights_accepted(self):
+        result = FGTSolver(alpha=1.5, beta=0.2).solve(_sub(), seed=0)
+        assert result.converged
+
+    def test_zero_weights_reduce_to_selfish_play(self):
+        # alpha=beta=0 makes IAU = payoff; best response then maximises raw
+        # payoff, so every busy worker holds its best available strategy.
+        sub = _sub()
+        result = FGTSolver(alpha=0.0, beta=0.0).solve(sub, seed=5)
+        assert result.converged

@@ -1,0 +1,145 @@
+"""Tests for repro.games.iegt (Algorithm 3: replicator dynamics)."""
+
+import pytest
+
+from repro.baselines.gta import GTASolver
+from repro.core.instance import SubProblem
+from repro.games.iegt import IEGTSolver
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _sub(n_workers=4, max_dp=2):
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=4),
+            make_dp("b", 0.0, 1.5, n_tasks=2),
+            make_dp("c", -2.0, 0.0, n_tasks=3),
+            make_dp("d", 0.0, -1.0, n_tasks=1),
+            make_dp("e", 1.5, 1.5, n_tasks=2),
+            make_dp("f", -1.0, 1.0, n_tasks=2),
+        ]
+    )
+    workers = tuple(
+        make_worker(f"w{i}", 0.25 * i, -0.2 * i, max_dp=max_dp)
+        for i in range(n_workers)
+    )
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+class TestSolve:
+    def test_converges(self):
+        result = IEGTSolver().solve(_sub(), seed=0)
+        assert result.converged
+
+    def test_assignment_valid(self):
+        result = IEGTSolver().solve(_sub(), seed=1)
+        assert len(result.assignment) == 4
+
+    def test_deterministic_in_seed(self):
+        a = IEGTSolver().solve(_sub(), seed=5).assignment.as_mapping()
+        b = IEGTSolver().solve(_sub(), seed=5).assignment.as_mapping()
+        assert a == b
+
+    def test_total_payoff_never_decreases(self):
+        # Every evolutionary switch strictly raises one worker's payoff, so
+        # the traced population total is non-decreasing round over round.
+        result = IEGTSolver().solve(_sub(), seed=2)
+        totals = result.trace.series("potential")
+        assert all(b >= a - 1e-12 for a, b in zip(totals, totals[1:]))
+
+    def test_termination_condition_holds(self):
+        # At the improved evolutionary equilibrium no below-average worker
+        # has a strictly better available strategy.
+        sub = _sub()
+        catalog = build_catalog(sub)
+        result = IEGTSolver().solve(sub, catalog=catalog, seed=3)
+        assert result.converged
+        payoffs = result.assignment.payoffs
+        mean = sum(payoffs) / len(payoffs)
+        claimed = {
+            dp_id
+            for pair in result.assignment
+            for dp_id in pair.delivery_point_ids
+        }
+        for pair in result.assignment:
+            payoff = pair.payoff
+            if payoff >= mean - 1e-9:
+                continue
+            own = set(pair.delivery_point_ids)
+            others_claimed = claimed - own
+            for strategy in catalog.strategies(pair.worker.worker_id):
+                if strategy.conflicts_with(others_claimed):
+                    continue
+                assert strategy.payoff <= payoff + 1e-9
+
+    def test_max_rounds_respected(self):
+        result = IEGTSolver(max_rounds=1).solve(_sub(), seed=4)
+        assert result.rounds == 1
+
+    def test_no_workers(self):
+        center = make_center([make_dp("a", 1, 0)])
+        sub = SubProblem(center, (), unit_speed_travel())
+        result = IEGTSolver().solve(sub, seed=0)
+        assert result.converged
+
+    def test_fairer_than_greedy_on_average(self):
+        sub = _sub(n_workers=5, max_dp=2)
+        catalog = build_catalog(sub)
+        gta = GTASolver().solve(sub, catalog=catalog).assignment.payoff_difference
+        iegt_values = [
+            IEGTSolver()
+            .solve(sub, catalog=catalog, seed=s)
+            .assignment.payoff_difference
+            for s in range(5)
+        ]
+        assert sum(iegt_values) / len(iegt_values) <= gta + 1e-9
+
+    def test_name_property(self):
+        assert IEGTSolver(epsilon=2.0).name == "IEGT"
+        assert IEGTSolver().name == "IEGT-W"
+
+    def test_update_granularity_trace(self):
+        sub = _sub()
+        result = IEGTSolver(trace_granularity="update").solve(sub, seed=3)
+        assert len(result.trace) == result.rounds * len(sub.workers)
+        assert result.trace.final.switches == 0
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError, match="trace_granularity"):
+            IEGTSolver(trace_granularity="per-second")
+
+    def test_granularities_reach_same_assignment(self):
+        sub = _sub()
+        by_round = IEGTSolver().solve(sub, seed=5).assignment.as_mapping()
+        by_update = (
+            IEGTSolver(trace_granularity="update")
+            .solve(sub, seed=5)
+            .assignment.as_mapping()
+        )
+        assert by_round == by_update
+
+
+class TestTermination:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="termination"):
+            IEGTSolver(termination="strict")
+
+    def test_classic_rarely_converges(self):
+        # Heterogeneous strategies mean exactly-equal payoffs essentially
+        # never happen: the classic evolutionary-equilibrium condition
+        # exhausts the round budget (the paper's motivation for the
+        # improved condition, Section VI-C).
+        sub = _sub()
+        classic = IEGTSolver(termination="classic", max_rounds=30).solve(sub, seed=0)
+        improved = IEGTSolver(termination="improved", max_rounds=30).solve(sub, seed=0)
+        assert improved.converged
+        assert improved.rounds <= classic.rounds
+
+    def test_classic_and_improved_same_final_payoffs_when_stable(self):
+        # Once no worker can improve, extra classic rounds change nothing.
+        sub = _sub()
+        classic = IEGTSolver(termination="classic", max_rounds=30).solve(sub, seed=2)
+        improved = IEGTSolver(termination="improved", max_rounds=30).solve(sub, seed=2)
+        assert classic.assignment.as_mapping() == improved.assignment.as_mapping()

@@ -1,0 +1,40 @@
+"""Tests for repro.games.trace."""
+
+import pytest
+
+from repro.games.trace import ConvergenceTrace, TracePoint
+
+
+class TestConvergenceTrace:
+    def _trace(self):
+        trace = ConvergenceTrace()
+        trace.record(1, [1.0, 3.0], switches=2, potential=4.0)
+        trace.record(2, [2.0, 2.0], switches=0, potential=4.5)
+        return trace
+
+    def test_record_computes_metrics(self):
+        trace = self._trace()
+        assert len(trace) == 2
+        first = trace[0]
+        assert first.payoff_difference == pytest.approx(2.0)
+        assert first.average_payoff == pytest.approx(2.0)
+        assert first.switches == 2
+
+    def test_final(self):
+        trace = self._trace()
+        assert trace.final.round_index == 2
+        assert trace.final.payoff_difference == pytest.approx(0.0)
+
+    def test_final_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            ConvergenceTrace().final
+
+    def test_series(self):
+        trace = self._trace()
+        assert trace.series("switches") == [2, 0]
+        assert trace.series("potential") == [4.0, 4.5]
+
+    def test_iteration_and_points(self):
+        trace = self._trace()
+        assert [p.round_index for p in trace] == [1, 2]
+        assert isinstance(trace.points[0], TracePoint)

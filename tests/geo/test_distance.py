@@ -1,0 +1,86 @@
+"""Tests for repro.geo.distance."""
+
+import numpy as np
+import pytest
+
+from repro.geo.distance import (
+    Metric,
+    chebyshev,
+    euclidean,
+    manhattan,
+    pairwise_distance_matrix,
+    resolve_metric,
+)
+from repro.geo.point import Point
+
+A = Point(0.0, 0.0)
+B = Point(3.0, 4.0)
+
+
+class TestMetricFunctions:
+    def test_euclidean(self):
+        assert euclidean(A, B) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert manhattan(A, B) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert chebyshev(A, B) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("fn", [euclidean, manhattan, chebyshev])
+    def test_identity_of_indiscernibles(self, fn):
+        assert fn(A, A) == 0.0
+
+    @pytest.mark.parametrize("fn", [euclidean, manhattan, chebyshev])
+    def test_symmetry(self, fn):
+        assert fn(A, B) == pytest.approx(fn(B, A))
+
+
+class TestResolveMetric:
+    def test_enum_member(self):
+        assert resolve_metric(Metric.MANHATTAN) is manhattan
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [("euclidean", euclidean), ("MANHATTAN", manhattan), ("Chebyshev", chebyshev)],
+    )
+    def test_names_case_insensitive(self, name, fn):
+        assert resolve_metric(name) is fn
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            resolve_metric("hamming")
+
+    def test_callable_passthrough(self):
+        fn = lambda a, b: 42.0
+        assert resolve_metric(fn) is fn
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_metric(3.14)
+
+
+class TestPairwiseMatrix:
+    def test_empty(self):
+        assert pairwise_distance_matrix([]).shape == (0, 0)
+
+    def test_euclidean_matches_pointwise(self):
+        rng = np.random.default_rng(1)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 10, (12, 2))]
+        matrix = pairwise_distance_matrix(points)
+        for i, p in enumerate(points):
+            for j, q in enumerate(points):
+                assert matrix[i, j] == pytest.approx(euclidean(p, q))
+
+    def test_non_euclidean_metric(self):
+        points = [A, B, Point(-1, 2)]
+        matrix = pairwise_distance_matrix(points, Metric.MANHATTAN)
+        assert matrix[0, 1] == pytest.approx(7.0)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_matrix_symmetric_zero_diag(self):
+        points = [Point(1, 1), Point(2, 3), Point(0, -5)]
+        matrix = pairwise_distance_matrix(points)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)

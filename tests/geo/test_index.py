@@ -1,0 +1,81 @@
+"""Tests for repro.geo.index (uniform grid spatial index)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.index import GridIndex
+from repro.geo.point import Point
+
+
+def _random_points(n, seed=0, side=10.0):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, side, (n, 2))]
+
+
+class TestConstruction:
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex(0.0)
+
+    def test_build_and_len(self):
+        points = _random_points(20)
+        index = GridIndex.build([(p, i) for i, p in enumerate(points)], cell_size=1.0)
+        assert len(index) == 20
+
+    def test_items_roundtrip(self):
+        points = _random_points(5)
+        index = GridIndex.build([(p, i) for i, p in enumerate(points)], cell_size=2.0)
+        assert sorted(item for _, item in index.items()) == list(range(5))
+
+
+class TestWithin:
+    @pytest.mark.parametrize("cell_size", [0.3, 1.0, 5.0])
+    def test_matches_brute_force(self, cell_size):
+        points = _random_points(80, seed=3)
+        index = GridIndex.build(
+            [(p, i) for i, p in enumerate(points)], cell_size=cell_size
+        )
+        for center in _random_points(10, seed=4):
+            for radius in (0.5, 1.7, 4.0):
+                expected = sorted(
+                    i for i, p in enumerate(points) if center.distance_to(p) <= radius
+                )
+                assert sorted(index.within(center, radius)) == expected
+
+    def test_radius_zero_exact_hit(self):
+        p = Point(1.0, 1.0)
+        index = GridIndex.build([(p, "hit")], cell_size=1.0)
+        assert index.within(p, 0.0) == ["hit"]
+
+    def test_negative_radius_raises(self):
+        index = GridIndex(1.0)
+        with pytest.raises(ValueError, match="radius"):
+            index.within(Point(0, 0), -1.0)
+
+    def test_empty_index(self):
+        assert GridIndex(1.0).within(Point(0, 0), 100.0) == []
+
+    def test_boundary_inclusive(self):
+        index = GridIndex.build([(Point(3.0, 0.0), "edge")], cell_size=1.0)
+        assert index.within(Point(0, 0), 3.0) == ["edge"]
+
+
+class TestNearest:
+    def test_matches_brute_force(self):
+        points = _random_points(60, seed=9)
+        index = GridIndex.build([(p, i) for i, p in enumerate(points)], cell_size=0.8)
+        for center in _random_points(15, seed=10, side=12.0):
+            expected = min(range(60), key=lambda i: center.distance_to(points[i]))
+            got = index.nearest(center)
+            assert center.distance_to(points[got]) == pytest.approx(
+                center.distance_to(points[expected])
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            GridIndex(1.0).nearest(Point(0, 0))
+
+    def test_far_query_point(self):
+        points = [Point(0.0, 0.0), Point(1.0, 0.0)]
+        index = GridIndex.build([(p, i) for i, p in enumerate(points)], cell_size=0.5)
+        assert index.nearest(Point(100.0, 100.0)) == 1

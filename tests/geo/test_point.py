@@ -1,0 +1,83 @@
+"""Tests for repro.geo.point."""
+
+import math
+
+import pytest
+
+from repro.geo.point import Point
+
+
+class TestConstruction:
+    def test_valid_point(self):
+        p = Point(1.5, -2.0)
+        assert p.x == 1.5
+        assert p.y == -2.0
+
+    def test_integers_accepted(self):
+        p = Point(1, 2)
+        assert p.x == 1
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            Point(bad, 0.0)
+        with pytest.raises(ValueError, match="finite"):
+            Point(0.0, bad)
+
+    @pytest.mark.parametrize("bad", ["1", None, [1]])
+    def test_non_numeric_rejected(self, bad):
+        with pytest.raises(TypeError):
+            Point(bad, 0.0)
+
+    def test_immutability(self):
+        p = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 3.0
+
+
+class TestDistances:
+    def test_distance_to_pythagorean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1.2, 3.4), Point(-5.0, 0.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(7.0, -7.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_to(Point(3, 4)) == pytest.approx(7.0)
+
+    def test_triangle_inequality(self):
+        a, b, c = Point(0, 0), Point(5, 1), Point(2, 8)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-12
+
+
+class TestHelpers:
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(-1, 2) == Point(0, 3)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(3.0, 4.0)
+        assert p.as_tuple() == (3.0, 4.0)
+        assert tuple(p) == (3.0, 4.0)
+
+    def test_centroid(self):
+        c = Point.centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c == Point(1.0, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Point.centroid([])
+
+    def test_ordering_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+    def test_hashable_and_equal(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2

@@ -1,0 +1,60 @@
+"""Tests for repro.geo.travel."""
+
+import pytest
+
+from repro.geo.distance import Metric
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+
+A = Point(0.0, 0.0)
+B = Point(3.0, 4.0)
+
+
+class TestTravelModel:
+    def test_time_is_distance_over_speed(self):
+        model = TravelModel(speed_kmh=5.0)
+        assert model.time(A, B) == pytest.approx(1.0)
+
+    def test_default_speed_is_paper_value(self):
+        assert TravelModel().speed_kmh == 5.0
+
+    def test_distance(self):
+        assert TravelModel().distance(A, B) == pytest.approx(5.0)
+
+    def test_same_point_zero(self):
+        model = TravelModel()
+        assert model.time(A, A) == 0.0
+        assert model.distance(A, A) == 0.0
+
+    @pytest.mark.parametrize("speed", [0.0, -1.0])
+    def test_invalid_speed(self, speed):
+        with pytest.raises(ValueError, match="speed_kmh"):
+            TravelModel(speed_kmh=speed)
+
+    def test_manhattan_metric(self):
+        model = TravelModel(speed_kmh=1.0, metric=Metric.MANHATTAN)
+        assert model.time(A, B) == pytest.approx(7.0)
+
+    def test_cache_populates_and_clears(self):
+        model = TravelModel()
+        assert model.cache_size == 0
+        model.distance(A, B)
+        model.distance(B, A)  # same unordered pair
+        assert model.cache_size == 1
+        model.clear_cache()
+        assert model.cache_size == 0
+
+    def test_cache_disabled(self):
+        model = TravelModel(cache=False)
+        model.distance(A, B)
+        assert model.cache_size == 0
+        model.clear_cache()  # must not raise
+
+    def test_cached_value_correct_both_directions(self):
+        model = TravelModel(speed_kmh=2.0)
+        first = model.time(A, B)
+        second = model.time(B, A)
+        assert first == pytest.approx(second) == pytest.approx(2.5)
+
+    def test_repr_mentions_speed(self):
+        assert "5.0" in repr(TravelModel())

@@ -1,0 +1,98 @@
+"""End-to-end pipeline tests on generated datasets."""
+
+import pytest
+
+from repro import (
+    FGTSolver,
+    GMissionConfig,
+    GTASolver,
+    IEGTSolver,
+    MPTASolver,
+    SynConfig,
+    generate_gmission_like,
+    generate_synthetic,
+)
+from repro.vdps.catalog import build_catalog
+
+ALL_SOLVERS = [
+    GTASolver(epsilon=0.6),
+    MPTASolver(epsilon=0.6, node_budget=50_000),
+    FGTSolver(epsilon=0.6),
+    IEGTSolver(epsilon=0.6),
+]
+
+
+@pytest.fixture(scope="module")
+def gm_instance():
+    return generate_gmission_like(
+        GMissionConfig(n_tasks=100, n_workers=12, n_delivery_points=25), seed=9
+    )
+
+
+@pytest.fixture(scope="module")
+def syn_instance():
+    cfg = SynConfig(
+        n_centers=2, n_workers=16, n_delivery_points=40, n_tasks=400, space_km=12.0
+    )
+    return generate_synthetic(cfg, seed=9)
+
+
+class TestGMPipeline:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+    def test_every_solver_produces_valid_assignment(self, gm_instance, solver):
+        sub = gm_instance.subproblems()[0]
+        catalog = build_catalog(sub, epsilon=0.6)
+        result = solver.solve(sub, catalog=catalog, seed=4)
+        assignment = result.assignment  # construction validates
+        assert len(assignment) == len(sub.online_workers)
+        assert assignment.average_payoff >= 0.0
+
+    def test_game_solvers_beat_greedy_fairness(self, gm_instance):
+        sub = gm_instance.subproblems()[0]
+        catalog = build_catalog(sub, epsilon=0.6)
+        greedy = GTASolver().solve(sub, catalog=catalog).assignment.payoff_difference
+        fgt = FGTSolver().solve(sub, catalog=catalog, seed=4)
+        iegt = IEGTSolver().solve(sub, catalog=catalog, seed=4)
+        assert fgt.assignment.payoff_difference <= greedy + 1e-9
+        assert iegt.assignment.payoff_difference <= greedy + 1e-9
+
+    def test_mpta_total_payoff_dominates(self, gm_instance):
+        sub = gm_instance.subproblems()[0]
+        catalog = build_catalog(sub, epsilon=0.6)
+        mpta = MPTASolver(node_budget=50_000).solve(sub, catalog=catalog)
+        for solver in (GTASolver(), FGTSolver(), IEGTSolver()):
+            other = solver.solve(sub, catalog=catalog, seed=4)
+            assert (
+                mpta.assignment.total_payoff
+                >= other.assignment.total_payoff - 1e-9
+            )
+
+
+class TestSYNPipeline:
+    def test_multi_center_solving(self, syn_instance):
+        subs = syn_instance.subproblems()
+        assert len(subs) == 2
+        solver = FGTSolver(epsilon=2.0)
+        payoffs = []
+        for sub in subs:
+            result = solver.solve(sub, seed=1)
+            payoffs.extend(result.assignment.payoffs)
+        assert len(payoffs) == len(syn_instance.workers)
+
+    def test_pruning_speeds_up_but_same_singletons(self, syn_instance):
+        sub = max(syn_instance.subproblems(), key=lambda s: len(s.workers))
+        pruned = build_catalog(sub, epsilon=1.0)
+        unpruned = build_catalog(sub, epsilon=None)
+        assert pruned.total_strategy_count <= unpruned.total_strategy_count
+        for worker in pruned.workers:
+            pruned_singles = {
+                s.point_ids
+                for s in pruned.strategies(worker.worker_id)
+                if s.size == 1
+            }
+            unpruned_singles = {
+                s.point_ids
+                for s in unpruned.strategies(worker.worker_id)
+                if s.size == 1
+            }
+            assert pruned_singles == unpruned_singles

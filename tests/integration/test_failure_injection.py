@@ -1,0 +1,125 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not quietly."""
+
+import csv
+
+import pytest
+
+from repro.core.exceptions import (
+    DatasetError,
+    InvalidAssignmentError,
+    InvalidInstanceError,
+    ReproError,
+)
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.datasets.io import load_instance, save_instance
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.core.instance import SubProblem
+from repro.vdps.catalog import build_catalog
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+@pytest.fixture
+def saved_instance(tmp_path):
+    inst = generate_gmission_like(
+        GMissionConfig(n_tasks=30, n_workers=4, n_delivery_points=8), seed=0
+    )
+    save_instance(inst, tmp_path / "inst")
+    return tmp_path / "inst"
+
+
+def _rewrite_cell(path, row_index, column, value):
+    with path.open(newline="") as fh:
+        rows = list(csv.DictReader(fh))
+        fieldnames = rows[0].keys()
+    rows[row_index][column] = value
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+class TestCorruptedCSVs:
+    def test_negative_expiry_rejected(self, saved_instance):
+        _rewrite_cell(saved_instance / "tasks.csv", 0, "expiry", "-1.0")
+        with pytest.raises(ValueError, match="expiry"):
+            load_instance(saved_instance)
+
+    def test_non_numeric_coordinate_rejected(self, saved_instance):
+        _rewrite_cell(saved_instance / "workers.csv", 0, "x", "not-a-number")
+        with pytest.raises(ValueError):
+            load_instance(saved_instance)
+
+    def test_dangling_task_reference_rejected(self, saved_instance):
+        # Point a task at a delivery point that does not exist: its tasks
+        # are silently dropped only if nothing references them, but the
+        # entity validation must reject mismatched membership.
+        _rewrite_cell(saved_instance / "tasks.csv", 0, "dp_id", "ghost_dp")
+        with pytest.raises((ValueError, ReproError)):
+            load_instance(saved_instance)
+
+    def test_duplicate_worker_rejected(self, saved_instance):
+        _rewrite_cell(saved_instance / "workers.csv", 1, "worker_id", "gm_w0")
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            load_instance(saved_instance)
+
+    def test_worker_referencing_missing_center(self, saved_instance):
+        _rewrite_cell(saved_instance / "workers.csv", 0, "center_id", "ghost")
+        with pytest.raises(InvalidInstanceError, match="unknown center"):
+            load_instance(saved_instance)
+
+    def test_zero_max_dp_rejected(self, saved_instance):
+        _rewrite_cell(saved_instance / "workers.csv", 0, "max_dp", "0")
+        with pytest.raises(ValueError, match="max_delivery_points"):
+            load_instance(saved_instance)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [DatasetError, InvalidAssignmentError, InvalidInstanceError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_reserved_exceptions_in_hierarchy(self):
+        from repro.core.exceptions import ConvergenceError, InfeasibleRouteError
+
+        assert issubclass(InfeasibleRouteError, ReproError)
+        assert issubclass(ConvergenceError, ReproError)
+
+
+class TestDegenerateGameInputs:
+    def test_single_worker_population(self):
+        center = make_center([make_dp("a", 1, 0, n_tasks=2)])
+        sub = SubProblem(center, (make_worker("w", 0, 0),), unit_speed_travel())
+        for solver in (FGTSolver(), IEGTSolver()):
+            result = solver.solve(sub, seed=0)
+            assert result.converged
+            # Lone worker takes its best strategy.
+            assert result.assignment.busy_worker_count == 1
+
+    def test_all_workers_offline(self):
+        center = make_center([make_dp("a", 1, 0)])
+        offline = make_worker("w", 0, 0).offline()
+        sub = SubProblem(center, (offline,), unit_speed_travel())
+        catalog = build_catalog(sub)
+        assert catalog.workers == ()
+        result = FGTSolver().solve(sub, catalog=catalog, seed=0)
+        assert len(result.assignment) == 0
+
+    def test_center_with_no_delivery_points(self):
+        sub = SubProblem(
+            make_center([]), (make_worker("w", 0, 0),), unit_speed_travel()
+        )
+        result = IEGTSolver().solve(sub, seed=0)
+        assert result.assignment.busy_worker_count == 0
+
+    def test_every_task_already_expired(self):
+        center = make_center([make_dp("a", 1, 0, expiry=0.0)])
+        sub = SubProblem(center, (make_worker("w", 0, 0),), unit_speed_travel())
+        result = FGTSolver().solve(sub, seed=0)
+        assert result.assignment.busy_worker_count == 0
+        assert result.converged

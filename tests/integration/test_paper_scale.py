@@ -1,0 +1,63 @@
+"""Paper-scale configuration checks (construction only; no full solves).
+
+These tests document two facts DESIGN.md §4 relies on:
+
+1. the literal Table I configuration constructs fine at full size
+   (100K tasks / 5K points / 2K workers / 50 centers) in well under a
+   second, so ``Scale.PAPER`` runs are purely a matter of solver time; and
+2. the *literal* SYN reading (random worker-center association over a
+   100 km square at 5 km/h with 2 h deadlines) is degenerate — nearly
+   every worker is hours away from every task — which is why the library
+   defaults to nearest-center association at a density-preserving scale.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import SynConfig, generate_synthetic
+from repro.vdps.catalog import build_catalog
+
+
+@pytest.fixture(scope="module")
+def paper_instance():
+    return generate_synthetic(SynConfig.paper_scale(), seed=0)
+
+
+class TestPaperScaleConstruction:
+    def test_full_population_sizes(self, paper_instance):
+        assert len(paper_instance.centers) == 50
+        assert len(paper_instance.workers) == 2000
+        assert paper_instance.delivery_point_count == 5000
+        assert paper_instance.task_count == 100_000
+
+    def test_partitions_into_fifty_subproblems(self, paper_instance):
+        subs = paper_instance.subproblems()
+        assert len(subs) == 50
+        assert sum(len(s.workers) for s in subs) == 2000
+
+    def test_literal_setting_is_degenerate(self, paper_instance):
+        # Random association at 100 km scale: workers average ~50 km (10 h)
+        # from their center while deadlines are 2 h, so VDPS catalogs are
+        # (near-)empty — the documented motivation for the 'nearest'
+        # default (DESIGN.md §4).
+        sub = paper_instance.subproblems()[0]
+        catalog = build_catalog(sub, epsilon=2.0)
+        assert catalog.total_strategy_count <= len(sub.workers)
+
+    def test_density_preserving_ci_setting_is_not_degenerate(self):
+        from repro.experiments.config import SYN_GRID, SYN_SPACE_KM, Scale
+
+        grid = SYN_GRID[Scale.CI]
+        cfg = SynConfig(
+            n_centers=grid.n_centers,
+            n_workers=grid.workers_default,
+            n_delivery_points=grid.dps_default,
+            n_tasks=grid.tasks_default,
+            space_km=SYN_SPACE_KM[Scale.CI],
+        )
+        instance = generate_synthetic(cfg, seed=0)
+        sub = instance.subproblems()[0]
+        catalog = build_catalog(sub, epsilon=grid.epsilon_default)
+        busy_workers = sum(
+            1 for w in catalog.workers if catalog.has_strategies(w.worker_id)
+        )
+        assert busy_workers >= len(catalog.workers) // 2

@@ -1,0 +1,64 @@
+"""Hypothesis property tests for the k-means implementation."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.datasets.clustering import kmeans
+
+coordinates = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def point_sets(draw, min_points=3, max_points=40):
+    n = draw(st.integers(min_points, max_points))
+    return np.array(
+        [[draw(coordinates), draw(coordinates)] for _ in range(n)]
+    )
+
+
+class TestKMeansProperties:
+    @given(points=point_sets(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_labels_partition_points(self, points, data):
+        k = data.draw(st.integers(1, min(5, len(points))))
+        result = kmeans(points, k, seed=0)
+        assert result.labels.shape == (len(points),)
+        assert set(result.labels.tolist()) <= set(range(k))
+
+    @given(points=point_sets(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_labels_are_nearest_centroids(self, points, data):
+        k = data.draw(st.integers(1, min(5, len(points))))
+        result = kmeans(points, k, seed=0)
+        distances = ((points[:, None, :] - result.centroids[None, :, :]) ** 2).sum(
+            axis=2
+        )
+        chosen = distances[np.arange(len(points)), result.labels]
+        assert np.all(chosen <= distances.min(axis=1) + 1e-9)
+
+    @given(points=point_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_non_increasing_in_k(self, points):
+        n = len(points)
+        ks = sorted({1, min(2, n), min(4, n)})
+        inertias = [kmeans(points, k, seed=3).inertia for k in ks]
+        # More clusters can only reduce (or tie) the optimal inertia; the
+        # heuristic occasionally misses, so allow a small relative slack.
+        for a, b in zip(inertias, inertias[1:]):
+            assert b <= a * 1.05 + 1e-9
+
+    @given(points=point_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_matches_definition(self, points):
+        result = kmeans(points, min(3, len(points)), seed=1)
+        direct = ((points - result.centroids[result.labels]) ** 2).sum()
+        assert result.inertia == pytest.approx(float(direct), rel=1e-9)
+
+    @given(points=point_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, points):
+        a = kmeans(points, min(3, len(points)), seed=9)
+        b = kmeans(points, min(3, len(points)), seed=9)
+        assert np.array_equal(a.labels, b.labels)

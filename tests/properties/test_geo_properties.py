@@ -1,0 +1,81 @@
+"""Hypothesis property tests for the geometry substrate."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.geo.distance import chebyshev, euclidean, manhattan
+from repro.geo.index import GridIndex
+from repro.geo.point import Point
+from repro.viz.charts import nice_ticks
+
+coordinate = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+points = st.builds(Point, coordinate, coordinate)
+
+
+class TestMetricProperties:
+    @given(a=points, b=points)
+    def test_metric_ordering(self, a, b):
+        # Chebyshev <= Euclidean <= Manhattan, always.
+        assert chebyshev(a, b) <= euclidean(a, b) + 1e-9
+        assert euclidean(a, b) <= manhattan(a, b) + 1e-9
+
+    @given(a=points, b=points, c=points)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        for metric in (euclidean, manhattan, chebyshev):
+            assert metric(a, c) <= metric(a, b) + metric(b, c) + 1e-6
+
+    @given(a=points, b=points)
+    def test_symmetry_and_identity(self, a, b):
+        for metric in (euclidean, manhattan, chebyshev):
+            assert metric(a, b) == pytest.approx(metric(b, a))
+            assert metric(a, a) == 0.0
+
+
+class TestGridIndexProperties:
+    # Cell sizes are bounded below: the ring search visits O((radius/cell)^2)
+    # cells per query, so adversarially tiny cells over the +-100 coordinate
+    # span would make the test quadratic-slow without testing anything new.
+    @given(
+        items=st.lists(points, min_size=1, max_size=40),
+        center=points,
+        radius=st.floats(0.0, 60.0),
+        cell=st.floats(2.0, 20.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_within_matches_brute_force(self, items, center, radius, cell):
+        index = GridIndex.build([(p, i) for i, p in enumerate(items)], cell_size=cell)
+        expected = sorted(
+            i for i, p in enumerate(items) if center.distance_to(p) <= radius
+        )
+        assert sorted(index.within(center, radius)) == expected
+
+    @given(
+        items=st.lists(points, min_size=1, max_size=40),
+        center=points,
+        cell=st.floats(2.0, 20.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_matches_brute_force(self, items, center, cell):
+        index = GridIndex.build([(p, i) for i, p in enumerate(items)], cell_size=cell)
+        got = index.nearest(center)
+        best = min(center.distance_to(p) for p in items)
+        assert center.distance_to(items[got]) == pytest.approx(best)
+
+
+class TestNiceTicksProperties:
+    @given(
+        lo=st.floats(-1e5, 1e5, allow_nan=False),
+        span=st.floats(1e-3, 1e5, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_ticks_cover_range_uniformly(self, lo, span):
+        hi = lo + span
+        ticks = nice_ticks(lo, hi)
+        assert 2 <= len(ticks) <= 7
+        assert ticks == sorted(ticks)
+        assert ticks[0] >= lo - span
+        assert ticks[-1] <= hi + span
+        steps = [round(b - a, 9) for a, b in zip(ticks, ticks[1:])]
+        assert max(steps) - min(steps) <= 1e-6 * max(abs(lo), abs(hi), 1.0)

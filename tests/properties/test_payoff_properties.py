@@ -1,0 +1,92 @@
+"""Hypothesis property tests for payoff statistics."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.fairness import InequityAversion, gini_coefficient, jain_index
+from repro.core.payoff import (
+    average_payoff,
+    payoff_difference,
+    payoff_difference_naive,
+)
+
+payoff_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=50,
+)
+
+nonempty_payoffs = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=50,
+)
+
+
+class TestPayoffDifference:
+    @given(values=payoff_lists)
+    def test_fast_equals_naive(self, values):
+        assert payoff_difference(values) == pytest.approx(
+            payoff_difference_naive(values), rel=1e-9, abs=1e-9
+        )
+
+    @given(values=nonempty_payoffs)
+    def test_non_negative(self, values):
+        assert payoff_difference(values) >= 0.0
+
+    @given(values=nonempty_payoffs, shift=st.floats(-1e5, 1e5))
+    def test_shift_invariant(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert payoff_difference(values) == pytest.approx(
+            payoff_difference(shifted), rel=1e-6, abs=1e-6
+        )
+
+    @given(values=nonempty_payoffs, scale=st.floats(0.0, 100.0))
+    def test_scale_equivariant(self, values, scale):
+        assert payoff_difference([scale * v for v in values]) == pytest.approx(
+            scale * payoff_difference(values), rel=1e-6, abs=1e-6
+        )
+
+    @given(values=nonempty_payoffs)
+    def test_bounded_by_range(self, values):
+        assert payoff_difference(values) <= (max(values) - min(values)) + 1e-9
+
+    @given(value=st.floats(0, 1e6), n=st.integers(2, 30))
+    def test_identical_values_zero(self, value, n):
+        assert payoff_difference([value] * n) == 0.0
+
+
+class TestAveragePayoff:
+    @given(values=nonempty_payoffs)
+    def test_between_min_and_max(self, values):
+        avg = average_payoff(values)
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+
+class TestFairnessIndices:
+    @given(values=nonempty_payoffs)
+    def test_gini_bounds(self, values):
+        assert 0.0 <= gini_coefficient(values) <= 1.0 + 1e-12
+
+    @given(values=nonempty_payoffs)
+    def test_jain_bounds(self, values):
+        j = jain_index(values)
+        assert 0.0 < j <= 1.0 + 1e-12
+
+    @given(values=nonempty_payoffs)
+    def test_iau_never_exceeds_payoff(self, values):
+        # Both penalty terms are non-negative, so IAU <= raw payoff.
+        model = InequityAversion(0.5, 0.5)
+        utilities = model.utilities(values)
+        for u, p in zip(utilities, values):
+            assert u <= p + 1e-9
+
+    @given(values=nonempty_payoffs)
+    def test_iau_vectorised_matches_scalar(self, values):
+        model = InequityAversion(0.7, 0.3)
+        utilities = model.utilities(values)
+        for i in range(len(values)):
+            assert utilities[i] == pytest.approx(
+                model.utility(i, values), rel=1e-9, abs=1e-6
+            )

@@ -1,0 +1,72 @@
+"""Hypothesis property tests for the dispatch simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.gta import GTASolver
+from repro.geo.travel import TravelModel
+from repro.sim.arrivals import PoissonTaskArrivals
+from repro.sim.platform import DispatchSimulator, SimConfig
+
+from tests.conftest import make_center, make_dp, make_worker
+
+
+def _simulator(n_points, n_workers, rate, horizon, interval):
+    points = [
+        make_dp(f"p{i}", 0.5 + 0.4 * i, 0.3 * (i % 3), n_tasks=1)
+        for i in range(n_points)
+    ]
+    center = make_center(points)
+    workers = [make_worker(f"w{i}", 0.1 * i, 0.0, max_dp=2) for i in range(n_workers)]
+    arrivals = PoissonTaskArrivals(points, rate_per_hour=rate, patience=(0.5, 1.5))
+    return DispatchSimulator(
+        center,
+        workers,
+        arrivals,
+        GTASolver(),
+        travel=TravelModel(),
+        config=SimConfig(horizon_hours=horizon, round_interval_hours=interval),
+    )
+
+
+sim_params = {
+    "n_points": st.integers(1, 5),
+    "n_workers": st.integers(1, 4),
+    "rate": st.floats(1.0, 40.0),
+    "seed": st.integers(0, 50),
+}
+
+
+class TestSimulatorInvariants:
+    @given(**sim_params)
+    @settings(max_examples=15, deadline=None)
+    def test_task_accounting_bounded(self, n_points, n_workers, rate, seed):
+        report = _simulator(n_points, n_workers, rate, 2.0, 0.5).run(seed=seed)
+        assert report.completed_tasks >= 0
+        assert report.expired_tasks >= 0
+        assert report.completed_tasks + report.expired_tasks <= report.arrived_tasks
+        assert 0.0 <= report.completion_rate <= 1.0
+
+    @given(**sim_params)
+    @settings(max_examples=15, deadline=None)
+    def test_round_count_exact(self, n_points, n_workers, rate, seed):
+        report = _simulator(n_points, n_workers, rate, 2.0, 0.5).run(seed=seed)
+        assert len(report.rounds) == 4
+
+    @given(**sim_params)
+    @settings(max_examples=10, deadline=None)
+    def test_worker_accounting_consistent(self, n_points, n_workers, rate, seed):
+        report = _simulator(n_points, n_workers, rate, 2.0, 0.5).run(seed=seed)
+        total_deliveries = sum(w.deliveries for w in report.worker_states)
+        assert total_deliveries == report.completed_tasks
+        for w in report.worker_states:
+            assert w.earnings >= 0
+            assert w.working_hours >= 0
+            assert (w.assignments == 0) == (w.working_hours == 0)
+
+    @given(**sim_params)
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, n_points, n_workers, rate, seed):
+        a = _simulator(n_points, n_workers, rate, 1.0, 0.5).run(seed=seed)
+        b = _simulator(n_points, n_workers, rate, 1.0, 0.5).run(seed=seed)
+        assert a.describe() == b.describe()

@@ -1,0 +1,99 @@
+"""Hypothesis property tests over whole solvers on random instances."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.gta import GTASolver
+from repro.baselines.mpta import MPTASolver
+from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
+from repro.core.instance import SubProblem
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+from repro.vdps.catalog import build_catalog
+
+TRAVEL = TravelModel(speed_kmh=1.0)
+
+coordinate = st.floats(min_value=-4.0, max_value=4.0, allow_nan=False)
+
+
+@st.composite
+def subproblems(draw):
+    n_points = draw(st.integers(2, 5))
+    n_workers = draw(st.integers(1, 4))
+    points = []
+    for i in range(n_points):
+        dp_id = f"p{i}"
+        n_tasks = draw(st.integers(1, 4))
+        expiry = draw(st.floats(1.0, 10.0))
+        tasks = tuple(
+            SpatialTask(f"t{i}_{k}", dp_id, expiry=expiry) for k in range(n_tasks)
+        )
+        points.append(
+            DeliveryPoint(dp_id, Point(draw(coordinate), draw(coordinate)), tasks)
+        )
+    center = DistributionCenter("dc", Point(0, 0), tuple(points))
+    workers = tuple(
+        Worker(
+            f"w{j}",
+            Point(draw(coordinate), draw(coordinate)),
+            max_delivery_points=draw(st.integers(1, 3)),
+            center_id="dc",
+        )
+        for j in range(n_workers)
+    )
+    return SubProblem(center, workers, TRAVEL)
+
+
+SOLVERS = [
+    GTASolver(),
+    MPTASolver(node_budget=20_000),
+    FGTSolver(max_rounds=60),
+    IEGTSolver(max_rounds=120),
+]
+
+
+class TestSolverInvariants:
+    @given(sub=subproblems(), seed=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_assignments_always_valid(self, sub, seed):
+        # Assignment construction re-validates disjointness, deadlines, and
+        # maxDP, so solving without an exception is the property.
+        catalog = build_catalog(sub)
+        for solver in SOLVERS:
+            result = solver.solve(sub, catalog=catalog, seed=seed)
+            assert len(result.assignment) == len(sub.online_workers)
+
+    @given(sub=subproblems(), seed=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_mpta_dominates_total_payoff(self, sub, seed):
+        catalog = build_catalog(sub)
+        mpta = MPTASolver(node_budget=20_000).solve(sub, catalog=catalog)
+        for solver in (GTASolver(), FGTSolver(max_rounds=60)):
+            other = solver.solve(sub, catalog=catalog, seed=seed)
+            assert (
+                mpta.assignment.total_payoff
+                >= other.assignment.total_payoff - 1e-9
+            )
+
+    @given(sub=subproblems(), seed=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_iegt_total_payoff_monotone_in_trace(self, sub, seed):
+        result = IEGTSolver(max_rounds=120).solve(sub, seed=seed)
+        totals = result.trace.series("potential")
+        assert all(b >= a - 1e-9 for a, b in zip(totals, totals[1:]))
+
+    @given(sub=subproblems(), seed=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_payoffs_match_strategy_payoffs(self, sub, seed):
+        # The assignment's reported payoffs must equal Equation 1 recomputed
+        # from the routes.
+        result = FGTSolver(max_rounds=60).solve(sub, seed=seed)
+        for pair in result.assignment:
+            if pair.route is None or len(pair.route) == 0:
+                assert pair.payoff == 0.0
+            else:
+                expected = pair.route.total_reward / pair.route.completion_time
+                assert pair.payoff == pytest.approx(expected)

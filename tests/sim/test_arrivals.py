@@ -1,0 +1,83 @@
+"""Tests for repro.sim.arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import PoissonTaskArrivals, TaskArrival
+
+from tests.conftest import make_dp
+
+
+@pytest.fixture
+def points():
+    return [make_dp("a", 1, 0), make_dp("b", 2, 0), make_dp("c", 3, 0)]
+
+
+class TestTaskArrival:
+    def test_remaining(self):
+        arrival = TaskArrival("t", "a", arrival_time=1.0, expiry=2.5)
+        assert arrival.remaining(2.0) == pytest.approx(0.5)
+        assert arrival.remaining(3.0) == pytest.approx(-0.5)
+
+
+class TestValidation:
+    def test_needs_points(self):
+        with pytest.raises(ValueError, match="delivery point"):
+            PoissonTaskArrivals([], rate_per_hour=10)
+
+    def test_positive_rate(self, points):
+        with pytest.raises(ValueError, match="rate_per_hour"):
+            PoissonTaskArrivals(points, rate_per_hour=0)
+
+    def test_patience_bounds(self, points):
+        with pytest.raises(ValueError, match="patience"):
+            PoissonTaskArrivals(points, 10, patience=(0.0, 1.0))
+        with pytest.raises(ValueError, match="patience"):
+            PoissonTaskArrivals(points, 10, patience=(2.0, 1.0))
+
+    def test_weights_validated(self, points):
+        with pytest.raises(ValueError, match="weights"):
+            PoissonTaskArrivals(points, 10, weights=[1.0, 2.0])  # wrong length
+        with pytest.raises(ValueError, match="weights"):
+            PoissonTaskArrivals(points, 10, weights=[0.0, 0.0, 0.0])
+
+    def test_window_order(self, points):
+        process = PoissonTaskArrivals(points, 10)
+        with pytest.raises(ValueError, match="end"):
+            process.between(2.0, 1.0)
+
+
+class TestSampling:
+    def test_deterministic_in_seed(self, points):
+        process = PoissonTaskArrivals(points, 20)
+        a = process.between(0.0, 1.0, seed=4)
+        b = process.between(0.0, 1.0, seed=4)
+        assert a == b
+
+    def test_times_sorted_and_in_window(self, points):
+        process = PoissonTaskArrivals(points, 30)
+        arrivals = process.between(2.0, 4.0, seed=1)
+        times = [a.arrival_time for a in arrivals]
+        assert times == sorted(times)
+        assert all(2.0 <= t < 4.0 for t in times)
+
+    def test_expiry_within_patience(self, points):
+        process = PoissonTaskArrivals(points, 30, patience=(0.5, 1.5))
+        for arrival in process.between(0.0, 2.0, seed=2):
+            patience = arrival.expiry - arrival.arrival_time
+            assert 0.5 <= patience <= 1.5
+
+    def test_rate_roughly_respected(self, points):
+        process = PoissonTaskArrivals(points, 50)
+        counts = [len(process.between(0, 1, seed=s)) for s in range(30)]
+        assert 40 <= np.mean(counts) <= 60
+
+    def test_weighted_points(self, points):
+        process = PoissonTaskArrivals(points, 200, weights=[1.0, 0.0, 0.0])
+        arrivals = process.between(0, 1, seed=3)
+        assert arrivals
+        assert all(a.dp_id == "a" for a in arrivals)
+
+    def test_empty_window(self, points):
+        process = PoissonTaskArrivals(points, 10)
+        assert process.between(1.0, 1.0, seed=0) == []

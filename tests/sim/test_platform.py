@@ -1,0 +1,150 @@
+"""Tests for repro.sim.platform (the dispatch loop)."""
+
+import pytest
+
+from repro.baselines.gta import GTASolver
+from repro.games.iegt import IEGTSolver
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+from repro.sim.arrivals import PoissonTaskArrivals
+from repro.sim.platform import DispatchSimulator, SimConfig
+from repro.sim.workers import WorkerState
+
+from tests.conftest import make_center, make_dp, make_worker
+
+
+def _simulator(solver=None, n_workers=4, rate=25.0, **config_kwargs):
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0),
+            make_dp("b", -1.0, 0.5),
+            make_dp("c", 0.5, 1.5),
+            make_dp("d", -0.5, -1.0),
+        ]
+    )
+    workers = [make_worker(f"w{i}", 0.2 * i, 0.0, max_dp=2) for i in range(n_workers)]
+    arrivals = PoissonTaskArrivals(
+        center.delivery_points, rate_per_hour=rate, patience=(0.8, 1.6)
+    )
+    config = SimConfig(
+        horizon_hours=config_kwargs.pop("horizon_hours", 4.0),
+        round_interval_hours=config_kwargs.pop("round_interval_hours", 0.5),
+        epsilon=None,
+    )
+    return DispatchSimulator(
+        center,
+        workers,
+        arrivals,
+        solver if solver is not None else GTASolver(),
+        travel=TravelModel(),  # paper speed: 5 km/h
+        config=config,
+    )
+
+
+class TestSimConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(horizon_hours=0)
+        with pytest.raises(ValueError):
+            SimConfig(round_interval_hours=0)
+        with pytest.raises(ValueError, match="exceed"):
+            SimConfig(horizon_hours=1.0, round_interval_hours=2.0)
+
+
+class TestWorkerState:
+    def test_commit_route_updates_everything(self):
+        state = WorkerState.from_worker(make_worker("w", 0, 0))
+        state.commit_route(
+            now=1.0,
+            completion_time=0.5,
+            reward=3.0,
+            deliveries=3,
+            end_location=Point(1.0, 0.0),
+        )
+        assert state.available_at == 1.5
+        assert not state.is_available(1.2)
+        assert state.is_available(1.5)
+        assert state.earnings == 3.0
+        assert state.earning_rate == pytest.approx(6.0)
+        assert state.location == Point(1.0, 0.0)
+        assert state.deliveries == 3
+        assert state.assignments == 1
+
+    def test_negative_completion_rejected(self):
+        state = WorkerState.from_worker(make_worker("w", 0, 0))
+        with pytest.raises(ValueError):
+            state.commit_route(0.0, -1.0, 1.0, 1, Point(0, 0))
+
+    def test_idle_worker_rate_zero(self):
+        assert WorkerState.from_worker(make_worker("w", 0, 0)).earning_rate == 0.0
+
+
+class TestDispatchSimulator:
+    def test_runs_expected_rounds(self):
+        report = _simulator().run(seed=0)
+        assert len(report.rounds) == 8  # 4h / 0.5h
+
+    def test_conservation_of_tasks(self):
+        report = _simulator().run(seed=1)
+        # Every arrived task is completed, expired, or still pending at the
+        # end (pending-and-still-valid tasks are the slack in this bound).
+        assert report.completed_tasks + report.expired_tasks <= report.arrived_tasks
+        assert report.completed_tasks > 0
+
+    def test_deterministic_in_seed(self):
+        a = _simulator().run(seed=5)
+        b = _simulator().run(seed=5)
+        assert a.describe() == b.describe()
+        assert [w.earnings for w in a.worker_states] == [
+            w.earnings for w in b.worker_states
+        ]
+
+    def test_seeds_differ(self):
+        a = _simulator().run(seed=1)
+        b = _simulator().run(seed=2)
+        assert a.arrived_tasks != b.arrived_tasks or a.describe() != b.describe()
+
+    def test_workers_go_busy_and_return(self):
+        report = _simulator(n_workers=2, rate=40.0).run(seed=3)
+        # With heavy load and 2 workers, some round must see < 2 available.
+        assert any(r.available_workers < 2 for r in report.rounds)
+        # Workers ended up relocated to delivery points at least once.
+        assert any(w.assignments > 0 for w in report.worker_states)
+
+    def test_completion_rate_bounds(self):
+        report = _simulator().run(seed=4)
+        assert 0.0 <= report.completion_rate <= 1.0
+
+    def test_fairness_metrics_finite(self):
+        report = _simulator(solver=IEGTSolver()).run(seed=6)
+        assert report.cumulative_payoff_difference >= 0.0
+        assert report.cumulative_average_payoff >= 0.0
+
+    def test_zero_arrival_rounds_ok(self):
+        report = _simulator(rate=0.2).run(seed=7)
+        assert len(report.rounds) == 8
+
+    def test_requires_delivery_points(self):
+        center = make_center([])
+        with pytest.raises(ValueError, match="delivery points"):
+            DispatchSimulator(
+                center,
+                [make_worker("w", 0, 0)],
+                PoissonTaskArrivals([make_dp("x", 1, 1)], 10),
+                GTASolver(),
+            )
+
+    def test_fair_solver_reduces_longrun_gap(self):
+        # Across seeds, IEGT's cumulative earning-rate gap should not exceed
+        # greedy's on average.
+        gta_gaps, iegt_gaps = [], []
+        for seed in range(3):
+            gta_gaps.append(
+                _simulator(solver=GTASolver()).run(seed=seed).cumulative_payoff_difference
+            )
+            iegt_gaps.append(
+                _simulator(solver=IEGTSolver())
+                .run(seed=seed)
+                .cumulative_payoff_difference
+            )
+        assert sum(iegt_gaps) <= sum(gta_gaps) * 1.25 + 1e-9

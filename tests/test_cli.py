@@ -1,0 +1,196 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListExperiments:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for fig in range(2, 13):
+            assert f"fig{fig}:" in out
+
+
+class TestGenerate:
+    def test_gm_generation(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                str(tmp_path / "gm"),
+                "--dataset",
+                "gm",
+                "--tasks",
+                "50",
+                "--workers",
+                "6",
+                "--delivery-points",
+                "12",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "gm" / "tasks.csv").exists()
+        assert "|S|=50" in capsys.readouterr().out
+
+    def test_syn_generation(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                str(tmp_path / "syn"),
+                "--dataset",
+                "syn",
+                "--centers",
+                "2",
+                "--tasks",
+                "200",
+                "--workers",
+                "10",
+                "--delivery-points",
+                "30",
+            ]
+        )
+        assert code == 0
+        assert "|DC|=2" in capsys.readouterr().out
+
+
+class TestSolve:
+    @pytest.fixture
+    def instance_dir(self, tmp_path):
+        main(
+            [
+                "generate",
+                str(tmp_path / "inst"),
+                "--dataset",
+                "gm",
+                "--tasks",
+                "60",
+                "--workers",
+                "8",
+                "--delivery-points",
+                "15",
+                "--seed",
+                "2",
+            ]
+        )
+        return tmp_path / "inst"
+
+    @pytest.mark.parametrize("algorithm", ["gta", "fgt", "iegt", "random"])
+    def test_each_algorithm_runs(self, instance_dir, capsys, algorithm):
+        code = main(
+            ["solve", str(instance_dir), "--algorithm", algorithm, "--epsilon", "0.6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "payoff difference" in out
+        assert "average payoff" in out
+
+    def test_assignment_csv_written(self, instance_dir, tmp_path, capsys):
+        target = tmp_path / "out" / "assignment.csv"
+        code = main(
+            [
+                "solve",
+                str(instance_dir),
+                "--algorithm",
+                "gta",
+                "--epsilon",
+                "0.6",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        with target.open(newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 8
+        assert set(rows[0]) == {"worker_id", "center_id", "route", "payoff"}
+
+    def test_solve_deterministic(self, instance_dir, capsys):
+        main(["solve", str(instance_dir), "--algorithm", "iegt", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["solve", str(instance_dir), "--algorithm", "iegt", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestCompare:
+    @pytest.fixture
+    def instance_dir(self, tmp_path):
+        main(
+            [
+                "generate",
+                str(tmp_path / "inst"),
+                "--dataset",
+                "gm",
+                "--tasks",
+                "60",
+                "--workers",
+                "8",
+                "--delivery-points",
+                "15",
+                "--seed",
+                "2",
+            ]
+        )
+        return tmp_path / "inst"
+
+    def test_compare_output(self, instance_dir, capsys):
+        code = main(
+            [
+                "compare",
+                str(instance_dir),
+                "--baseline",
+                "gta",
+                "--challenger",
+                "iegt",
+                "--epsilon",
+                "0.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GTA -> IEGT" in out
+        assert "winners=" in out and "losers=" in out
+
+    def test_compare_same_algorithm_no_changes(self, instance_dir, capsys):
+        code = main(
+            [
+                "compare",
+                str(instance_dir),
+                "--baseline",
+                "gta",
+                "--challenger",
+                "gta",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winners=0 losers=0" in out
+
+
+class TestExperiment:
+    def test_sweep_experiment(self, capsys):
+        code = main(["experiment", "fig4", "--scale", "smoke", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Payoff Difference" in out
+        assert "CPU Time" in out
+
+    def test_convergence_experiment(self, capsys):
+        code = main(["experiment", "fig12", "--scale", "smoke"])
+        assert code == 0
+        assert "payoff difference per iteration" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "fig99"])
+
+    def test_extension_experiment(self, capsys):
+        code = main(["experiment", "ext-metric", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "manhattan" in out and "euclidean" in out

@@ -1,0 +1,50 @@
+"""Quality gate: every public module, class, and function has a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" not in info.name:
+            names.append(info.name)
+    return names
+
+
+MODULES = _public_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_members_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module_name:
+            continue  # re-exported from elsewhere; checked at its home
+        if not inspect.getdoc(member):
+            undocumented.append(name)
+        elif inspect.isclass(member):
+            for meth_name, meth in vars(member).items():
+                if meth_name.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                if not inspect.getdoc(meth):
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, (
+        f"{module_name} has undocumented public members: {undocumented}"
+    )

@@ -1,0 +1,47 @@
+"""Smoke tests: the example scripts must run and tell their stories.
+
+Only the fast examples run in the unit suite; the longer simulations and
+sweeps are exercised by their underlying module tests.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "GTA" in out and "IEGT" in out
+        assert "payoff diff" in out
+
+    def test_quickstart_fair_beats_greedy(self, capsys):
+        out = _run("quickstart.py", capsys)
+        rows = {}
+        for line in out.splitlines():
+            parts = line.split()
+            if parts and parts[0] in {"GTA-W", "FGT-W", "IEGT-W"}:
+                rows[parts[0]] = float(parts[1])
+        assert rows["IEGT-W"] <= rows["GTA-W"]
+        assert rows["FGT-W"] <= rows["GTA-W"]
+
+    def test_convergence_study(self, capsys):
+        out = _run("convergence_study.py", capsys)
+        assert "FGT: converged" in out
+        assert "IEGT: converged" in out
+        assert "payoff difference" in out
+
+    def test_food_delivery(self, capsys):
+        out = _run("food_delivery.py", capsys)
+        assert "Lunch rush" in out
+        for policy in ("GTA", "MPTA", "FGT", "IEGT"):
+            assert policy in out

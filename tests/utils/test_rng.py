@@ -1,0 +1,68 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic_default(self):
+        a = ensure_rng(None).integers(0, 1000, 5)
+        b = ensure_rng(None).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(42).integers(0, 1000, 5)
+        b = ensure_rng(42).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRng:
+    def test_children_are_independent(self):
+        children = spawn_rng(ensure_rng(1), 3)
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(1), 0)
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        factory = RngFactory(5)
+        a = factory.get("alg").integers(0, 1000, 4)
+        b = factory.get("alg").integers(0, 1000, 4)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        factory = RngFactory(5)
+        a = factory.get("alg1").integers(0, 10**9)
+        b = factory.get("alg2").integers(0, 10**9)
+        assert a != b
+
+    def test_root_seed_changes_streams(self):
+        a = RngFactory(1).get("x").integers(0, 10**9)
+        b = RngFactory(2).get("x").integers(0, 10**9)
+        assert a != b
+
+    def test_seed_for_matches_get(self):
+        factory = RngFactory(9)
+        seed = factory.seed_for("x")
+        direct = np.random.default_rng(seed).integers(0, 10**9)
+        assert direct == factory.get("x").integers(0, 10**9)
+
+    def test_stable_across_instances_with_same_root(self):
+        assert RngFactory(3).seed_for("n") == RngFactory(3).seed_for("n")

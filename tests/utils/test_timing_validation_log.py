@@ -1,0 +1,95 @@
+"""Tests for repro.utils.timing, validation, and log."""
+
+import logging
+import time
+
+import pytest
+
+from repro.utils.log import enable_console_logging, get_logger
+from repro.utils.timing import CpuTimer, Stopwatch, record_time, timed
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+
+class TestTimers:
+    def test_stopwatch_measures_sleep(self):
+        with Stopwatch() as sw:
+            time.sleep(0.02)
+        assert sw.elapsed >= 0.015
+
+    def test_cpu_timer_accumulates(self):
+        timer = CpuTimer()
+        with timer:
+            sum(range(10000))
+        first = timer.elapsed
+        with timer:
+            sum(range(10000))
+        assert timer.elapsed >= first
+
+    def test_double_start_rejected(self):
+        timer = Stopwatch()
+        timer.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            timer.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        timer = Stopwatch()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_timed_returns_result_and_time(self):
+        result, seconds = timed(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_record_time_appends(self):
+        store = {}
+        with record_time(store, "step"):
+            pass
+        with record_time(store, "step"):
+            pass
+        assert len(store["step"]) == 2
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_require_type(self):
+        require_type(1, int, "x")
+        with pytest.raises(TypeError, match="x must be int"):
+            require_type("1", int, "x")
+
+    def test_require_positive(self):
+        require_positive(0.1, "x")
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0.0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+
+class TestLog:
+    def test_get_logger_namespaced(self):
+        assert get_logger("games").name == "repro.games"
+        assert get_logger("repro.games").name == "repro.games"
+
+    def test_enable_console_logging_idempotent(self):
+        logger = enable_console_logging(logging.WARNING)
+        n_handlers = len(logger.handlers)
+        enable_console_logging(logging.WARNING)
+        assert len(logger.handlers) == n_handlers

@@ -1,0 +1,137 @@
+"""Tests for repro.vdps.catalog (per-worker strategy spaces)."""
+
+import pytest
+
+from repro.core.instance import SubProblem
+from repro.geo.travel import TravelModel
+from repro.vdps.catalog import NULL_STRATEGY, WorkerStrategy, build_catalog
+from repro.vdps.generator import generate_cvdps
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _line_subproblem(workers):
+    center = make_center(
+        [
+            make_dp("a", 1, 0, n_tasks=2, expiry=10.0),
+            make_dp("b", 2, 0, n_tasks=1, expiry=10.0),
+            make_dp("c", 3, 0, n_tasks=3, expiry=10.0),
+        ]
+    )
+    return SubProblem(center, tuple(workers), unit_speed_travel())
+
+
+class TestNullStrategy:
+    def test_null_properties(self):
+        assert NULL_STRATEGY.is_null
+        assert NULL_STRATEGY.size == 0
+        assert NULL_STRATEGY.payoff == 0.0
+        assert not NULL_STRATEGY.conflicts_with({"a", "b"})
+
+
+class TestBuildCatalog:
+    def test_all_subsets_for_colocated_worker(self):
+        sub = _line_subproblem([make_worker("w", 0, 0)])
+        catalog = build_catalog(sub)
+        # Worker at the center: all 7 C-VDPSs remain valid.
+        assert len(catalog.strategies("w")) == 7
+        assert catalog.cvdps_count == 7
+
+    def test_maxdp_filters_sizes(self):
+        sub = _line_subproblem([make_worker("w", 0, 0, max_dp=1)])
+        catalog = build_catalog(sub)
+        assert all(s.size == 1 for s in catalog.strategies("w"))
+        assert len(catalog.strategies("w")) == 3
+
+    def test_offset_invalidates_far_worker(self):
+        # Worker 9 km from the center: even the nearest point (arrival 10)
+        # violates every expiry of 10 - epsilon.
+        center = make_center([make_dp("a", 1, 0, expiry=9.5)])
+        sub = SubProblem(center, (make_worker("w", -9, 0),), unit_speed_travel())
+        catalog = build_catalog(sub)
+        assert catalog.strategies("w") == ()
+        assert not catalog.has_strategies("w")
+
+    def test_payoffs_include_offset(self):
+        # Worker 1 km behind the center: payoff = reward / (1 + arrival).
+        sub = _line_subproblem([make_worker("w", -1, 0)])
+        catalog = build_catalog(sub)
+        singleton_a = next(
+            s for s in catalog.strategies("w") if s.point_ids == {"a"}
+        )
+        assert singleton_a.payoff == pytest.approx(2.0 / 2.0)
+        assert singleton_a.route.arrival_times[0] == pytest.approx(2.0)
+
+    def test_strategies_sorted_by_payoff(self):
+        sub = _line_subproblem([make_worker("w", 0, 0)])
+        payoffs = [s.payoff for s in build_catalog(sub).strategies("w")]
+        assert payoffs == sorted(payoffs, reverse=True)
+
+    def test_unknown_worker_raises(self):
+        catalog = build_catalog(_line_subproblem([make_worker("w", 0, 0)]))
+        with pytest.raises(KeyError, match="ghost"):
+            catalog.strategies("ghost")
+
+    def test_offline_workers_excluded(self):
+        online = make_worker("on", 0, 0)
+        offline = make_worker("off", 0, 0).offline()
+        catalog = build_catalog(_line_subproblem([online, offline]))
+        assert [w.worker_id for w in catalog.workers] == ["on"]
+
+    def test_shared_cvdps_reused(self):
+        sub = _line_subproblem([make_worker("w", 0, 0)])
+        entries = generate_cvdps(sub.center, sub.travel)
+        catalog = build_catalog(sub, cvdps=entries)
+        assert catalog.cvdps_count == len(entries)
+
+    def test_strict_revalidation_recovers_reordered_sets(self):
+        # From the center the minimal-time order of {a, b} is (a, b) with b
+        # reached at 1.306 < 1.4; with a 0.15 start offset that order misses
+        # b's deadline (1.456 > 1.4) while (b, a) still makes it (b at
+        # 1.15).  Only strict revalidation re-solves the order per worker.
+        center = make_center(
+            [
+                make_dp("a", 0.5, 0.0, expiry=10.0),
+                make_dp("b", 0.6, 0.8, expiry=1.4),
+            ]
+        )
+        worker = make_worker("w", -0.15, 0)  # offset 0.15
+        sub = SubProblem(center, (worker,), unit_speed_travel())
+        lax = build_catalog(sub, strict_revalidation=False)
+        strict = build_catalog(sub, strict_revalidation=True)
+        lax_sets = {s.point_ids for s in lax.strategies("w")}
+        strict_sets = {s.point_ids for s in strict.strategies("w")}
+        assert frozenset({"a", "b"}) not in lax_sets
+        assert frozenset({"a", "b"}) in strict_sets
+
+
+class TestCatalogQueries:
+    def test_available_excludes_conflicts(self):
+        catalog = build_catalog(_line_subproblem([make_worker("w", 0, 0)]))
+        available = catalog.available("w", claimed={"b"})
+        assert all("b" not in s.point_ids for s in available)
+        assert {s.point_ids for s in available} == {
+            frozenset({"a"}),
+            frozenset({"c"}),
+            frozenset({"a", "c"}),
+        }
+
+    def test_available_with_no_claims(self):
+        catalog = build_catalog(_line_subproblem([make_worker("w", 0, 0)]))
+        assert len(catalog.available("w", claimed=())) == 7
+
+    def test_max_vdps_size(self):
+        catalog = build_catalog(_line_subproblem([make_worker("w", 0, 0)]))
+        assert catalog.max_vdps_size == 3
+
+    def test_total_strategy_count(self):
+        catalog = build_catalog(
+            _line_subproblem([make_worker("w1", 0, 0), make_worker("w2", 0, 0)])
+        )
+        assert catalog.total_strategy_count == 14
+
+    def test_describe(self):
+        catalog = build_catalog(
+            _line_subproblem([make_worker("w", 0, 0)]), epsilon=2.5
+        )
+        assert "eps=2.5" in catalog.describe()

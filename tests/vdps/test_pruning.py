@@ -1,0 +1,75 @@
+"""Tests for repro.vdps.pruning (distance-constrained neighbour lists)."""
+
+import numpy as np
+import pytest
+
+from repro.vdps.pruning import neighbor_lists
+
+from tests.conftest import make_dp
+
+
+def _grid_points(n, seed=0, side=10.0):
+    rng = np.random.default_rng(seed)
+    return [
+        make_dp(f"p{i}", float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, side, (n, 2)))
+    ]
+
+
+class TestNeighborLists:
+    def test_none_epsilon_means_complete(self):
+        points = _grid_points(5)
+        lists = neighbor_lists(points, None)
+        for j, adjacent in enumerate(lists):
+            assert sorted(adjacent) == [q for q in range(5) if q != j]
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            neighbor_lists(_grid_points(3), -0.5)
+
+    def test_zero_epsilon_isolates_distinct_points(self):
+        points = _grid_points(6)
+        assert all(not adj for adj in neighbor_lists(points, 0.0))
+
+    def test_self_never_included(self):
+        points = _grid_points(10)
+        for j, adjacent in enumerate(neighbor_lists(points, 100.0)):
+            assert j not in adjacent
+
+    @pytest.mark.parametrize("epsilon", [0.5, 2.0, 6.0])
+    def test_matches_brute_force_small(self, epsilon):
+        points = _grid_points(30, seed=2)
+        lists = neighbor_lists(points, epsilon)
+        for j, adjacent in enumerate(lists):
+            expected = sorted(
+                q
+                for q in range(30)
+                if q != j
+                and points[j].location.distance_to(points[q].location) <= epsilon
+            )
+            assert sorted(adjacent) == expected
+
+    @pytest.mark.parametrize("epsilon", [0.5, 2.0])
+    def test_indexed_path_matches_brute_force(self, epsilon):
+        # Above the index threshold (64 points) the grid-index path is used.
+        points = _grid_points(120, seed=5, side=15.0)
+        lists = neighbor_lists(points, epsilon)
+        for j in range(0, 120, 17):
+            expected = sorted(
+                q
+                for q in range(120)
+                if q != j
+                and points[j].location.distance_to(points[q].location) <= epsilon
+            )
+            assert sorted(lists[j]) == expected
+
+    def test_empty_input(self):
+        assert neighbor_lists([], 1.0) == []
+        assert neighbor_lists([], None) == []
+
+    def test_symmetry(self):
+        points = _grid_points(25, seed=7)
+        lists = neighbor_lists(points, 3.0)
+        for j, adjacent in enumerate(lists):
+            for q in adjacent:
+                assert j in lists[q]

@@ -1,0 +1,164 @@
+"""Tests for repro.viz.charts."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.instance import SubProblem
+from repro.experiments.runner import RunRecord
+from repro.experiments.sweep import SweepResult
+from repro.viz.charts import LineChart, nice_ticks, render_instance_map, render_sweep_chart
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestNiceTicks:
+    def test_simple_range(self):
+        ticks = nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 + 1e-9
+        assert ticks[-1] >= 10.0 - 1e-9
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform spacing
+
+    def test_degenerate_range(self):
+        assert nice_ticks(3.0, 3.0) == [3.0]
+
+    def test_reversed_range(self):
+        assert nice_ticks(10.0, 0.0) == nice_ticks(0.0, 10.0)
+
+    @pytest.mark.parametrize("lo,hi", [(0.13, 0.97), (5, 123456), (-4, 7)])
+    def test_tick_count_bounded(self, lo, hi):
+        ticks = nice_ticks(lo, hi, target=5)
+        assert 2 <= len(ticks) <= 6
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            nice_ticks(0, 1, target=1)
+
+
+class TestLineChart:
+    def _chart(self):
+        chart = LineChart("demo", x_values=[1, 2, 3], x_label="k", y_label="v")
+        chart.add("A", [1.0, 2.0, 3.0])
+        chart.add("B", [3.0, 2.5, 2.0])
+        return chart
+
+    def test_renders_valid_svg(self):
+        root = ET.fromstring(self._chart().render())
+        polylines = root.findall(f"{NS}polyline")
+        assert len(polylines) >= 2  # one per series (+ legend uses lines)
+        texts = [t.text for t in root.findall(f"{NS}text")]
+        assert "demo" in texts
+        assert "A" in texts and "B" in texts
+
+    def test_mismatched_series_rejected(self):
+        chart = LineChart("demo", x_values=[1, 2, 3])
+        with pytest.raises(ValueError, match="points"):
+            chart.add("A", [1.0])
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            LineChart("demo", x_values=[1]).render()
+
+    def test_log_scale_rejects_non_positive(self):
+        chart = LineChart("demo", x_values=[1, 2], log_y=True)
+        with pytest.raises(ValueError, match="non-positive"):
+            chart.add("A", [1.0, 0.0])
+
+    def test_log_scale_renders(self):
+        chart = LineChart("demo", x_values=[1, 2, 3], log_y=True)
+        chart.add("A", [0.01, 1.0, 100.0])
+        ET.fromstring(chart.render())
+
+    def test_constant_series_renders(self):
+        chart = LineChart("demo", x_values=[1, 2])
+        chart.add("A", [5.0, 5.0])
+        ET.fromstring(chart.render())
+
+    def test_save(self, tmp_path):
+        self._chart().save(tmp_path / "chart.svg")
+        assert (tmp_path / "chart.svg").exists()
+
+
+class TestRenderSweepChart:
+    def _sweep(self):
+        result = SweepResult(name="Fig X", parameter="k", values=[1, 2])
+        result.add(1, [RunRecord("GTA", 2.0, 5.0, 0.1), RunRecord("IEGT", 1.0, 4.0, 0.2)])
+        result.add(2, [RunRecord("GTA", 3.0, 6.0, 0.1), RunRecord("IEGT", 1.5, 5.0, 0.3)])
+        return result
+
+    def test_renders_all_algorithms(self):
+        svg = render_sweep_chart(self._sweep(), "payoff_difference")
+        root = ET.fromstring(svg)
+        texts = [t.text for t in root.findall(f"{NS}text")]
+        assert "GTA" in texts and "IEGT" in texts
+
+    def test_algorithm_subset(self):
+        svg = render_sweep_chart(self._sweep(), "cpu_seconds", algorithms=["IEGT"])
+        root = ET.fromstring(svg)
+        texts = [t.text for t in root.findall(f"{NS}text")]
+        assert "IEGT" in texts and "GTA" not in texts
+
+
+class TestPayoffDistribution:
+    def _assignment(self):
+        from repro.core.assignment import Assignment, WorkerAssignment
+        from repro.core.routing import Route
+        from tests.conftest import make_dp as _dp, make_worker as _w
+
+        r1 = Route((_dp("a", 1, 0, n_tasks=4),), (1.0,))
+        r2 = Route((_dp("b", 2, 0, n_tasks=1),), (2.0,))
+        return Assignment(
+            [
+                WorkerAssignment(_w("rich", 0, 0), r1),
+                WorkerAssignment(_w("poor", 0, 0), r2),
+                WorkerAssignment(_w("idle", 0, 0)),
+            ]
+        )
+
+    def test_renders_one_bar_per_worker(self):
+        from repro.viz.charts import render_payoff_distribution
+
+        svg = render_payoff_distribution(self._assignment())
+        root = ET.fromstring(svg)
+        rects = root.findall(f"{NS}rect")
+        # background + frame + 3 bars
+        assert len(rects) == 5
+
+    def test_mean_line_present(self):
+        from repro.viz.charts import render_payoff_distribution
+
+        svg = render_payoff_distribution(self._assignment(), title="demo")
+        root = ET.fromstring(svg)
+        texts = [t.text for t in root.findall(f"{NS}text")]
+        assert "demo" in texts
+        assert any(t and t.startswith("mean ") for t in texts)
+
+    def test_empty_rejected(self):
+        from repro.core.assignment import Assignment
+        from repro.viz.charts import render_payoff_distribution
+
+        with pytest.raises(ValueError, match="no workers"):
+            render_payoff_distribution(Assignment([]))
+
+
+class TestInstanceMap:
+    def test_renders_all_entities(self):
+        center = make_center(
+            [make_dp("a", 1, 0, n_tasks=2), make_dp("b", 2, 1, n_tasks=5)]
+        )
+        sub = SubProblem(
+            center,
+            (make_worker("w1", 0, 1), make_worker("w2", 1, 2)),
+            unit_speed_travel(),
+        )
+        root = ET.fromstring(render_instance_map(sub))
+        circles = root.findall(f"{NS}circle")
+        assert len(circles) == 2  # delivery points
+        # Radius scales with task count: b (5 tasks) larger than a (2).
+        radii = sorted(float(c.get("r")) for c in circles)
+        assert radii[0] < radii[1]
+        # Two workers -> four cross strokes + frame lines exist.
+        assert len(root.findall(f"{NS}line")) >= 4

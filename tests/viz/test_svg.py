@@ -1,0 +1,72 @@
+"""Tests for repro.viz.svg (SVG primitives)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import SvgDocument, _fmt
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(doc: SvgDocument) -> ET.Element:
+    return ET.fromstring(doc.to_string())
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1.0, "1"), (1.5, "1.5"), (1.25, "1.25"), (1.20001, "1.2"), (0.0, "0")],
+    )
+    def test_fmt(self, value, expected):
+        assert _fmt(value) == expected
+
+
+class TestDocument:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SvgDocument(0, 100)
+
+    def test_well_formed_xml(self):
+        doc = SvgDocument(100, 80)
+        doc.line(0, 0, 10, 10)
+        doc.circle(5, 5, 2)
+        doc.rect(1, 1, 5, 5)
+        doc.text(2, 2, "hello <world> & \"friends\"")
+        doc.polyline([(0, 0), (1, 1), (2, 0)])
+        root = _parse(doc)
+        assert root.tag == f"{NS}svg"
+        assert root.get("width") == "100"
+
+    def test_background_rect(self):
+        root = _parse(SvgDocument(50, 50, background="#fafafa"))
+        rects = root.findall(f"{NS}rect")
+        assert rects and rects[0].get("fill") == "#fafafa"
+
+    def test_no_background(self):
+        doc = SvgDocument(50, 50, background="")
+        assert not _parse(doc).findall(f"{NS}rect")
+
+    def test_text_escaping(self):
+        doc = SvgDocument(50, 50)
+        doc.text(0, 0, "a < b & c")
+        text_el = _parse(doc).find(f"{NS}text")
+        assert text_el.text == "a < b & c"
+
+    def test_polyline_needs_two_points(self):
+        doc = SvgDocument(50, 50)
+        with pytest.raises(ValueError):
+            doc.polyline([(0, 0)])
+
+    def test_dash_and_rotate_attrs(self):
+        doc = SvgDocument(50, 50)
+        doc.line(0, 0, 1, 1, dash="2,2")
+        doc.text(5, 5, "rotated", rotate=-90)
+        root = _parse(doc)
+        assert root.find(f"{NS}line").get("stroke-dasharray") == "2,2"
+        assert "rotate(-90" in root.find(f"{NS}text").get("transform")
+
+    def test_save(self, tmp_path):
+        doc = SvgDocument(10, 10)
+        doc.save(tmp_path / "out.svg")
+        assert (tmp_path / "out.svg").read_text().startswith("<svg")
