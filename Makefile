@@ -1,12 +1,18 @@
 # Convenience targets for the FTA reproduction.
 
-.PHONY: install test bench bench-smoke bench-paper examples clean
+.PHONY: install test verify bench bench-smoke bench-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Run FGT+IEGT under the runtime invariant checkers (repro/verify/), then
+# the verification test suite itself.
+verify:
+	python -m repro verify --experiment fig3 --seed 0
+	pytest tests/verify tests/properties/test_metamorphic.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

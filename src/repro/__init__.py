@@ -63,6 +63,16 @@ from repro.datasets import (
 )
 from repro.analysis import compare_assignments, decompose_fairness, diagnose
 from repro.parallel import InstanceSolution, solve_instance
+from repro.verify import (
+    DifferentialReport,
+    InvariantViolation,
+    OracleBounds,
+    check_against_oracle,
+    oracle_bounds,
+    run_differential,
+    set_verification,
+    verify_assignment,
+)
 
 __version__ = "1.0.0"
 
@@ -123,4 +133,13 @@ __all__ = [
     "decompose_fairness",
     "solve_instance",
     "InstanceSolution",
+    # verify
+    "InvariantViolation",
+    "verify_assignment",
+    "set_verification",
+    "run_differential",
+    "DifferentialReport",
+    "check_against_oracle",
+    "oracle_bounds",
+    "OracleBounds",
 ]

@@ -25,16 +25,23 @@ from repro.games.base import GameResult, GameState
 from repro.games.trace import ConvergenceTrace
 from repro.utils.rng import SeedLike
 from repro.vdps.catalog import VDPSCatalog, build_catalog
+from repro.verify.verifier import make_assignment_verifier
 
 _ORDERS = ("global", "worker")
 
 
 @dataclass(frozen=True)
 class GTASolver:
-    """Greedy maximal-payoff assignment without fairness."""
+    """Greedy maximal-payoff assignment without fairness.
+
+    ``verify`` runs the :mod:`repro.verify` assignment-level checkers on
+    the result (also enabled globally by ``REPRO_VERIFY=1``); off by
+    default with zero overhead.
+    """
 
     epsilon: Optional[float] = None
     order: str = "global"
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.order not in _ORDERS:
@@ -61,7 +68,11 @@ class GTASolver:
         payoffs = state.payoffs()
         trace = ConvergenceTrace()
         trace.record(1, payoffs, switches=0, potential=float(payoffs.sum()))
-        return GameResult(state.to_assignment(), trace, converged=True, rounds=1)
+        assignment = state.to_assignment()
+        make_assignment_verifier(self.verify, solver=self.name).on_final(
+            state, assignment, sub=sub
+        )
+        return GameResult(assignment, trace, converged=True, rounds=1)
 
     def _worker_order_pass(self, state: GameState, catalog: VDPSCatalog) -> None:
         for worker in catalog.workers:

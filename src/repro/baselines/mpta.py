@@ -34,6 +34,7 @@ from repro.games.base import GameResult, GameState
 from repro.games.trace import ConvergenceTrace
 from repro.utils.rng import SeedLike
 from repro.vdps.catalog import NULL_STRATEGY, VDPSCatalog, WorkerStrategy, build_catalog
+from repro.verify.verifier import make_assignment_verifier
 
 
 @dataclass(frozen=True)
@@ -45,12 +46,17 @@ class MPTASolver:
     search exact; a finite beam bounds per-node cost on the huge unpruned
     catalogs of the ``-W`` experiment arms, degrading gracefully to a
     strong heuristic (``GameResult.converged`` reports certification).
+
+    ``verify`` runs the :mod:`repro.verify` assignment-level checkers on
+    the result (also enabled globally by ``REPRO_VERIFY=1``); off by
+    default with zero overhead.
     """
 
     epsilon: Optional[float] = None
     node_budget: int = 2_000_000
     beam_width: Optional[int] = None
     restarts: int = 8
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.beam_width is not None and self.beam_width < 1:
@@ -83,9 +89,11 @@ class MPTASolver:
         payoffs = state.payoffs()
         trace = ConvergenceTrace()
         trace.record(1, payoffs, switches=0, potential=float(payoffs.sum()))
-        return GameResult(
-            state.to_assignment(), trace, converged=search.certified, rounds=1
+        assignment = state.to_assignment()
+        make_assignment_verifier(self.verify, solver=self.name).on_final(
+            state, assignment, sub=sub
         )
+        return GameResult(assignment, trace, converged=search.certified, rounds=1)
 
 
 def _elimination_order(catalog: VDPSCatalog) -> List[str]:

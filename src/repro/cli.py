@@ -7,6 +7,9 @@ Four subcommands cover the operational loop a platform engineer needs:
   optionally write the assignment as CSV.
 * ``experiment`` — regenerate one of the paper's figures by id.
 * ``list-experiments`` — enumerate the reproducible figure ids.
+* ``verify`` — run solvers under the :mod:`repro.verify` invariant
+  checkers on an experiment's representative instance (or, with
+  ``--full``, the whole experiment) and report what was certified.
 """
 
 from __future__ import annotations
@@ -81,6 +84,35 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list-experiments", help="list reproducible figure ids")
+
+    ver = sub.add_parser(
+        "verify", help="run solvers under the runtime invariant checkers"
+    )
+    ver.add_argument(
+        "--experiment",
+        default="fig3",
+        help="experiment id whose representative instance to verify (default fig3)",
+    )
+    ver.add_argument(
+        "--scale", choices=[s.value for s in Scale], default=Scale.CI.value
+    )
+    ver.add_argument("--seed", type=int, default=0)
+    ver.add_argument(
+        "--algorithms",
+        default="fgt,iegt",
+        help="comma-separated solver names to verify (default fgt,iegt)",
+    )
+    ver.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="pruning radius (km); default: the experiment grid's default",
+    )
+    ver.add_argument(
+        "--full",
+        action="store_true",
+        help="verify the experiment's entire sweep instead of one instance",
+    )
     return parser
 
 
@@ -191,12 +223,98 @@ def _cmd_list_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _representative_instance(entry, scale: Scale, seed: int):
+    """The experiment's dataset at its grid's default (underlined) sizes.
+
+    Returns ``(instance, default_epsilon)``.  Experiments on GM+SYN (e.g.
+    fig12) and the GM-based extension studies verify on the GM instance.
+    """
+    from repro.experiments.config import GM_GRID, SYN_GRID, SYN_SPACE_KM
+
+    if entry.dataset.startswith("SYN"):
+        grid = SYN_GRID[scale]
+        config = SynConfig(
+            n_centers=grid.n_centers,
+            n_workers=grid.workers_default,
+            n_delivery_points=grid.dps_default,
+            n_tasks=grid.tasks_default,
+            expiry_hours=grid.expiry_default,
+            max_delivery_points=grid.maxdp_default,
+            space_km=SYN_SPACE_KM[scale],
+        )
+        return generate_synthetic(config, seed=seed), grid.epsilon_default
+    grid = GM_GRID[scale]
+    config = GMissionConfig(
+        n_tasks=grid.tasks_default,
+        n_workers=grid.workers_default,
+        n_delivery_points=min(grid.dps_default, grid.tasks_default),
+    )
+    return generate_gmission_like(config, seed=seed), grid.epsilon_default
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import InvariantViolation
+    from repro.experiments.runner import AlgorithmSpec, run_algorithms
+    from repro.verify import (
+        reset_verification_stats,
+        set_verification,
+        verification_stats,
+    )
+
+    entry = get_experiment(args.experiment)
+    scale = Scale(args.scale)
+    names = [name.strip().lower() for name in args.algorithms.split(",") if name.strip()]
+    unknown = sorted(set(names) - set(_SOLVERS))
+    if unknown:
+        print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    reset_verification_stats()
+    try:
+        if args.full:
+            # Verify the whole sweep: every solver the experiment runs picks
+            # up the checkers through the global override + REPRO_VERIFY path.
+            set_verification(True)
+            try:
+                entry.run(scale=scale, seed=args.seed)
+            finally:
+                set_verification(None)
+        else:
+            instance, grid_epsilon = _representative_instance(
+                entry, scale, args.seed
+            )
+            epsilon = args.epsilon if args.epsilon is not None else grid_epsilon
+            specs = [
+                AlgorithmSpec(name.upper(), _SOLVERS[name]) for name in names
+            ]
+            records = run_algorithms(
+                instance, specs, epsilon, seed=args.seed, verify=True
+            )
+            for record in records:
+                print(
+                    f"{record.algorithm:<6} P_dif={record.payoff_difference:.6f} "
+                    f"avg={record.average_payoff:.6f} "
+                    f"{'converged' if record.converged else 'NOT converged'}"
+                )
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    stats = verification_stats()
+    if not stats.total:
+        print("no invariant checks ran (nothing was verified)", file=sys.stderr)
+        return 1
+    print()
+    print(f"all invariant checks passed ({stats.total} checks)")
+    print(stats.format())
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list_experiments,
+    "verify": _cmd_verify,
 }
 
 

@@ -26,6 +26,7 @@ from repro.core.assignment import Assignment, WorkerAssignment
 from repro.core.exceptions import (
     InvalidAssignmentError,
     InvalidInstanceError,
+    InvariantViolation,
     ReproError,
 )
 
@@ -53,4 +54,5 @@ __all__ = [
     "ReproError",
     "InvalidInstanceError",
     "InvalidAssignmentError",
+    "InvariantViolation",
 ]

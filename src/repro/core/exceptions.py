@@ -27,5 +27,44 @@ class ConvergenceError(ReproError):
     """A game-theoretic solver exceeded its iteration budget."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant checker caught a solver producing invalid output.
+
+    Raised by :mod:`repro.verify` when a certified property of the
+    reproduction — Definition 8 disjointness, Definition 6 deadline
+    feasibility, Lemma 2 potential monotonicity, the replicator sign
+    conditions of Equations 11-14, … — fails to hold.  The offending
+    context (solver, worker, strategy, round) is carried as attributes so
+    a violation deep inside a benchmark run is immediately debuggable.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        solver: "str | None" = None,
+        worker_id: "str | None" = None,
+        round_index: "int | None" = None,
+        strategy: "tuple | None" = None,
+    ) -> None:
+        self.invariant = invariant
+        self.solver = solver
+        self.worker_id = worker_id
+        self.round_index = round_index
+        self.strategy = tuple(strategy) if strategy is not None else None
+        context = []
+        if solver:
+            context.append(f"solver={solver}")
+        if worker_id is not None:
+            context.append(f"worker={worker_id}")
+        if round_index is not None:
+            context.append(f"round={round_index}")
+        if self.strategy is not None:
+            context.append(f"strategy={sorted(self.strategy)}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(f"{invariant}: {message}{suffix}")
+
+
 class DatasetError(ReproError):
     """A dataset could not be generated, loaded, or parsed."""

@@ -11,6 +11,7 @@ so arm-to-arm comparisons see identical strategy spaces.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -21,6 +22,7 @@ from repro.games import FGTSolver, IEGTSolver
 from repro.utils.rng import RngFactory, SeedLike
 from repro.utils.timing import CpuTimer
 from repro.vdps.catalog import VDPSCatalog, build_catalog
+from repro.verify.verifier import verify_result
 
 #: Signature every solver in the library satisfies.
 SolverLike = object
@@ -126,6 +128,18 @@ class CatalogCache:
         return self._catalogs[key]
 
 
+def _verifying(solver: SolverLike) -> SolverLike:
+    """A copy of ``solver`` with its ``verify`` flag raised, when it has one.
+
+    Solvers without the flag (custom arms) keep running unverified at the
+    trace level; the runner still applies the assignment-level checkers.
+    """
+    try:
+        return dataclasses.replace(solver, verify=True)
+    except TypeError:
+        return solver
+
+
 def run_algorithms(
     instance: ProblemInstance,
     algorithms: Sequence[AlgorithmSpec],
@@ -133,12 +147,19 @@ def run_algorithms(
     seed: SeedLike = None,
     catalog_cache: Optional[CatalogCache] = None,
     unpruned: Sequence[AlgorithmSpec] = (),
+    verify: bool = False,
 ) -> List[RunRecord]:
     """Run every algorithm arm on ``instance`` and collect metrics.
 
     ``algorithms`` run with pruning threshold ``epsilon``; ``unpruned`` arms
     (named ``*-W`` by convention) run with pruning disabled.  All arms of
     one call observe the same per-arm random stream regardless of ordering.
+
+    ``verify=True`` raises each solver's ``verify`` flag (in-solve trace
+    checkers) and re-checks every returned assignment with the
+    :mod:`repro.verify` invariant checkers; violations raise
+    :class:`~repro.core.exceptions.InvariantViolation`.  Verification runs
+    outside the CPU timers, so reported ``cpu_seconds`` stay comparable.
     """
     cache = catalog_cache if catalog_cache is not None else CatalogCache()
     rng_factory = RngFactory(seed)
@@ -148,6 +169,8 @@ def run_algorithms(
     arms += [(spec, None) for spec in unpruned]
     for spec, eps in arms:
         solver = spec.build(eps)
+        if verify:
+            solver = _verifying(solver)
         payoffs: List[float] = []
         cpu = 0.0
         converged = True
@@ -160,6 +183,8 @@ def run_algorithms(
             with timer:
                 result = solver.solve(sub, catalog=catalog, seed=arm_rng)
             cpu += timer.elapsed
+            if verify:
+                verify_result(result, sub=sub, catalog=catalog, solver=spec.name)
             payoffs.extend(result.assignment.payoffs)
             converged = converged and result.converged
             rounds = max(rounds, result.rounds)

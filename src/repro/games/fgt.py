@@ -24,6 +24,12 @@ from repro.games.trace import ConvergenceTrace
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.vdps.catalog import NULL_STRATEGY, VDPSCatalog, build_catalog
+from repro.verify.verifier import (
+    NULL_VERIFIER,
+    NullVerifier,
+    PotentialGameVerifier,
+    verification_enabled,
+)
 
 logger = get_logger("games.fgt")
 
@@ -62,6 +68,14 @@ class FGTSolver:
         game's utilities become IAU over priority-normalised payoffs, so
         equilibrium payoffs gravitate toward priority-proportional shares.
         ``None`` is the paper's plain IAU game.
+    verify:
+        Run the :mod:`repro.verify` invariant checkers during the solve:
+        every switch must strictly improve the switcher's IAU, the exact
+        potential must be non-decreasing per round (Lemma 2), a converged
+        final state must be a pure Nash equilibrium, and the final
+        assignment must pass all Definition 6/8 checks.  Off by default
+        (zero hot-path overhead via a no-op verifier); the global
+        ``REPRO_VERIFY=1`` environment hook also enables it.
     """
 
     alpha: float = 0.5
@@ -73,6 +87,7 @@ class FGTSolver:
     early_stop_patience: Optional[int] = None
     early_stop_tol: float = 1e-6
     priorities: Optional["PriorityModel"] = None
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_granularity not in ("round", "update"):
@@ -104,17 +119,26 @@ class FGTSolver:
         state = random_initial_state(catalog, rng)
         trace = ConvergenceTrace()
         scales = self._utility_scales(state)
+        verifier: NullVerifier = NULL_VERIFIER
+        if verification_enabled(self.verify):
+            verifier = PotentialGameVerifier(
+                model, scales=scales, tol=self.tol, solver=self.name
+            )
+        verifier.on_solve_start(state)
 
         converged = False
         rounds = 0
         stall = 0
         last_potential = potential_value(state.payoffs() * scales, model)
         for rounds in range(1, self.max_rounds + 1):
-            switches = self._best_response_round(state, model, trace, scales)
+            switches = self._best_response_round(
+                state, model, trace, scales, verifier, rounds
+            )
             payoffs = state.payoffs()
             potential = potential_value(payoffs * scales, model)
             if self.trace_granularity == "round":
                 trace.record(rounds, payoffs, switches, potential)
+            verifier.on_round(rounds, payoffs, potential, switches)
             if switches == 0:
                 converged = True
                 break
@@ -130,7 +154,9 @@ class FGTSolver:
             logger.warning(
                 "FGT did not reach a Nash equilibrium within %d rounds", self.max_rounds
             )
-        return GameResult(state.to_assignment(), trace, converged, rounds)
+        assignment = state.to_assignment()
+        verifier.on_final(state, assignment, sub=sub, converged=converged)
+        return GameResult(assignment, trace, converged, rounds)
 
     def _utility_scales(self, state: GameState) -> np.ndarray:
         """Per-worker payoff scaling for the utility computation.
@@ -151,6 +177,8 @@ class FGTSolver:
         model: InequityAversion,
         trace: ConvergenceTrace,
         scales: np.ndarray,
+        verifier: NullVerifier = NULL_VERIFIER,
+        round_index: int = 0,
     ) -> int:
         """One pass of sequential asynchronous best responses; returns switches."""
         switches = 0
@@ -169,6 +197,7 @@ class FGTSolver:
             current_utility = evaluator.utility(current.payoff * scales[idx])
             switched = 0
             if best_utility > current_utility + self.tol:
+                verifier.on_switch(wid, round_index, current_utility, best_utility)
                 state.set_strategy(wid, best_strategy)
                 payoffs[idx] = best_strategy.payoff
                 switches += 1

@@ -24,6 +24,12 @@ from repro.games.trace import ConvergenceTrace
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.vdps.catalog import VDPSCatalog, WorkerStrategy, build_catalog
+from repro.verify.verifier import (
+    NULL_VERIFIER,
+    EvolutionaryGameVerifier,
+    NullVerifier,
+    verification_enabled,
+)
 
 logger = get_logger("games.iegt")
 
@@ -61,6 +67,15 @@ class IEGTSolver:
         condition (all payoffs equal), which in FTA's heterogeneous-
         strategy setting typically never holds; it exists to reproduce the
         paper's motivation for improving the termination (Section VI-C).
+    verify:
+        Run the :mod:`repro.verify` invariant checkers during the solve:
+        a worker may only evolve when its replicator derivative is
+        negative (payoff below the population average, Eqs. 11-14), every
+        switch must strictly increase its payoff, a converged final state
+        must satisfy Definition 10's improved equilibrium condition, and
+        the final assignment must pass all Definition 6/8 checks.  Off by
+        default (zero hot-path overhead via a no-op verifier); the global
+        ``REPRO_VERIFY=1`` environment hook also enables it.
     """
 
     max_rounds: int = 500
@@ -70,6 +85,7 @@ class IEGTSolver:
     early_stop_patience: Optional[int] = None
     early_stop_tol: float = 1e-6
     termination: str = "improved"
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_granularity not in ("round", "update"):
@@ -104,6 +120,10 @@ class IEGTSolver:
         rng = ensure_rng(seed)
         state = random_initial_state(catalog, rng)
         trace = ConvergenceTrace()
+        verifier: NullVerifier = NULL_VERIFIER
+        if verification_enabled(self.verify):
+            verifier = EvolutionaryGameVerifier(tol=self.tol, solver=self.name)
+        verifier.on_solve_start(state)
 
         population = len(state.workers)
         converged = False
@@ -122,8 +142,15 @@ class IEGTSolver:
                 switched = False
                 if gap < -self.tol:
                     all_average = False
+                    old_payoff = payoffs[idx]
                     switched = self._evolve(state, worker.worker_id, rng)
                     if switched:
+                        verifier.on_switch(
+                            worker.worker_id,
+                            rounds,
+                            (old_payoff, mean_payoff),
+                            state.strategy_of(worker.worker_id).payoff,
+                        )
                         switches += 1
                         payoffs = state.payoffs()
                         mean_payoff = float(payoffs.mean())
@@ -140,6 +167,7 @@ class IEGTSolver:
                 trace.record(
                     rounds, payoffs, switches, potential=float(payoffs.sum())
                 )
+            verifier.on_round(rounds, payoffs, float(payoffs.sum()), switches)
             stop = (
                 all_average
                 if self.termination == "classic"
@@ -162,7 +190,9 @@ class IEGTSolver:
                 "IEGT did not reach an evolutionary equilibrium within %d rounds",
                 self.max_rounds,
             )
-        return GameResult(state.to_assignment(), trace, converged, rounds)
+        assignment = state.to_assignment()
+        verifier.on_final(state, assignment, sub=sub, converged=converged)
+        return GameResult(assignment, trace, converged, rounds)
 
     def _evolve(
         self, state: GameState, worker_id: str, rng: np.random.Generator

@@ -10,7 +10,7 @@ O(|W| (|W| log |W| + |ST| log |W|)).
 from __future__ import annotations
 
 import bisect
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,17 +59,29 @@ def potential_value(payoffs: Sequence[float], model: InequityAversion) -> float:
 
 def best_response_index(
     candidate_payoffs: Sequence[float],
-    other_payoffs: Sequence[float],
-    model: InequityAversion,
+    other_payoffs: Optional[Sequence[float]] = None,
+    model: Optional[InequityAversion] = None,
+    evaluator: Optional[IAUEvaluator] = None,
 ) -> Tuple[int, float]:
     """Index and utility of the best candidate payoff under IAU.
 
     Ties are broken toward the lowest index, so passing candidates sorted by
     descending payoff reproduces "highest payoff among utility ties".
+
+    Callers that evaluate many candidate sets against the same fixed
+    ``other_payoffs`` should build one :class:`IAUEvaluator` and pass it as
+    ``evaluator`` — its O(n log n) sort then happens once instead of per
+    call.  When ``evaluator`` is given it takes precedence and
+    ``other_payoffs``/``model`` may be omitted.
     """
     if not candidate_payoffs:
         raise ValueError("candidate_payoffs must be non-empty")
-    evaluator = IAUEvaluator(other_payoffs, model)
+    if evaluator is None:
+        if other_payoffs is None or model is None:
+            raise ValueError(
+                "either a prebuilt evaluator or (other_payoffs, model) is required"
+            )
+        evaluator = IAUEvaluator(other_payoffs, model)
     best_idx, best_utility = 0, -np.inf
     for idx, p in enumerate(candidate_payoffs):
         u = evaluator.utility(p)
@@ -78,20 +90,30 @@ def best_response_index(
     return best_idx, float(best_utility)
 
 
-def is_pure_nash(state, model: InequityAversion, tol: float = 1e-9) -> bool:
+def is_pure_nash(
+    state,
+    model: InequityAversion,
+    tol: float = 1e-9,
+    scales: Optional[Sequence[float]] = None,
+) -> bool:
     """Whether no worker can strictly improve its IAU by a unilateral switch.
 
     "Unilateral" honours the conflict structure: a worker may only move to
     strategies disjoint from the points currently claimed by others.
+    ``scales`` (optional, one factor per worker) checks the equilibrium of
+    the priority-normalised game instead, where utilities are IAU over
+    ``payoff * scale`` (the FGT ``priorities=`` extension).
     """
     payoffs = state.payoffs()
+    factors = np.ones(payoffs.size) if scales is None else np.asarray(scales)
+    scaled = payoffs * factors
     for idx, worker in enumerate(state.workers):
-        others = np.delete(payoffs, idx)
+        others = np.delete(scaled, idx)
         evaluator = IAUEvaluator(others, model)
-        current_utility = evaluator.utility(payoffs[idx])
+        current_utility = evaluator.utility(scaled[idx])
         if evaluator.utility(0.0) > current_utility + tol:  # null deviation
             return False
         for strategy in state.available_strategies(worker.worker_id):
-            if evaluator.utility(strategy.payoff) > current_utility + tol:
+            if evaluator.utility(strategy.payoff * factors[idx]) > current_utility + tol:
                 return False
     return True

@@ -1,0 +1,82 @@
+"""Runtime invariant verification and differential testing.
+
+The correctness layer of the reproduction: assignment-level checkers that
+re-derive Definition 6/8 validity and Equation 1/2 metrics from scratch,
+trace-level verifiers that certify Lemma 2 (FGT) and the Equation 11-14
+sign conditions (IEGT) while the solvers run, and a differential harness
+that pins any two solvers — or a solver against the exhaustive oracle —
+on the same seeded instance.
+
+Enable per solver (``FGTSolver(verify=True)``), per run
+(``run_algorithms(..., verify=True)``), globally for a process
+(:func:`set_verification`), or for a whole benchmark invocation via the
+``REPRO_VERIFY=1`` environment variable.  See ``docs/verification.md``.
+"""
+
+from repro.core.exceptions import InvariantViolation
+from repro.verify.checkers import (
+    check_capacity,
+    check_catalog_membership,
+    check_deadlines,
+    check_disjointness,
+    check_payoffs,
+    verify_assignment,
+)
+from repro.verify.differential import (
+    DifferentialReport,
+    Discrepancy,
+    OracleBounds,
+    check_against_oracle,
+    oracle_bounds,
+    run_differential,
+)
+from repro.verify.stats import (
+    STATS,
+    VerificationStats,
+    reset_verification_stats,
+    verification_stats,
+)
+from repro.verify.verifier import (
+    NULL_VERIFIER,
+    AssignmentVerifier,
+    EvolutionaryGameVerifier,
+    NullVerifier,
+    PotentialGameVerifier,
+    make_assignment_verifier,
+    set_verification,
+    verification_enabled,
+    verify_result,
+)
+
+__all__ = [
+    "InvariantViolation",
+    # checkers
+    "check_disjointness",
+    "check_capacity",
+    "check_deadlines",
+    "check_catalog_membership",
+    "check_payoffs",
+    "verify_assignment",
+    "verify_result",
+    # verifiers
+    "NullVerifier",
+    "NULL_VERIFIER",
+    "AssignmentVerifier",
+    "PotentialGameVerifier",
+    "EvolutionaryGameVerifier",
+    "make_assignment_verifier",
+    "set_verification",
+    "verification_enabled",
+    # differential
+    "Discrepancy",
+    "DifferentialReport",
+    "run_differential",
+    "OracleBounds",
+    "oracle_bounds",
+    "check_against_oracle",
+    # stats
+    "STATS",
+    "VerificationStats",
+    "verification_stats",
+    "reset_verification_stats",
+]

@@ -1,0 +1,218 @@
+"""Differential testing: two solvers, one seeded instance, structured diffs.
+
+:func:`run_differential` solves the same sub-problem with two solvers over
+one shared catalog and identical seed streams, verifies both outcomes
+against the assignment-level invariant checkers, and reports every metric
+and per-worker route difference as a structured :class:`Discrepancy`.
+Discrepancies between two heuristics are *observations* (FGT and GTA are
+supposed to differ); discrepancies between two runs of the same solver with
+the same seed are determinism bugs, and violations of the exhaustive
+oracle's bounds (:func:`oracle_bounds` / :func:`check_against_oracle`) are
+correctness bugs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import InvariantViolation
+from repro.core.instance import SubProblem
+from repro.core.payoff import average_payoff, payoff_difference
+from repro.vdps.catalog import VDPSCatalog, build_catalog
+from repro.verify.checkers import ABS_TOL, REL_TOL
+from repro.verify.stats import STATS
+from repro.verify.verifier import verify_result
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One observed difference between the two solvers' outcomes."""
+
+    metric: str
+    left: object
+    right: object
+    detail: str = ""
+
+    def format(self) -> str:
+        """One-line ``metric: left vs right`` rendering."""
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.metric}: {self.left!r} vs {self.right!r}{suffix}"
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential run: both results plus their diffs."""
+
+    left_name: str
+    right_name: str
+    left_result: object
+    right_result: object
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+
+    @property
+    def agreeing(self) -> bool:
+        """Whether the two solvers produced indistinguishable outcomes."""
+        return not self.discrepancies
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        header = f"{self.left_name} vs {self.right_name}: "
+        if self.agreeing:
+            return header + "no discrepancies"
+        lines = [header + f"{len(self.discrepancies)} discrepancies"]
+        lines.extend("  " + d.format() for d in self.discrepancies)
+        return "\n".join(lines)
+
+
+def _metric_diff(
+    name: str, left: float, right: float, out: List[Discrepancy]
+) -> None:
+    if not math.isclose(left, right, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+        out.append(Discrepancy(name, left, right))
+
+
+def run_differential(
+    sub: SubProblem,
+    left_solver,
+    right_solver,
+    seed: int = 0,
+    catalog: Optional[VDPSCatalog] = None,
+    epsilon: Optional[float] = None,
+    verify_invariants: bool = True,
+) -> DifferentialReport:
+    """Solve ``sub`` with both solvers on one catalog and diff the outcomes.
+
+    ``seed`` must be an int (or ``None``) so each solver can be handed an
+    *identical independent* random stream; sharing one generator object
+    would entangle the two runs.  With ``verify_invariants`` (default) both
+    assignments must pass every assignment-level checker first — an
+    :class:`~repro.core.exceptions.InvariantViolation` there outranks any
+    diff.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise ValueError(
+            "run_differential needs an int or None seed, not a Generator: "
+            "both solvers must observe identical independent streams"
+        )
+    if catalog is None:
+        catalog = build_catalog(sub, epsilon=epsilon)
+    left_name = getattr(left_solver, "name", type(left_solver).__name__)
+    right_name = getattr(right_solver, "name", type(right_solver).__name__)
+    left = left_solver.solve(sub, catalog=catalog, seed=seed)
+    right = right_solver.solve(sub, catalog=catalog, seed=seed)
+    if verify_invariants:
+        verify_result(left, sub=sub, catalog=catalog, solver=left_name)
+        verify_result(right, sub=sub, catalog=catalog, solver=right_name)
+
+    discrepancies: List[Discrepancy] = []
+    la, ra = left.assignment, right.assignment
+    _metric_diff(
+        "payoff_difference", la.payoff_difference, ra.payoff_difference, discrepancies
+    )
+    _metric_diff("average_payoff", la.average_payoff, ra.average_payoff, discrepancies)
+    _metric_diff("total_payoff", la.total_payoff, ra.total_payoff, discrepancies)
+    if la.busy_worker_count != ra.busy_worker_count:
+        discrepancies.append(
+            Discrepancy("busy_workers", la.busy_worker_count, ra.busy_worker_count)
+        )
+    left_routes = la.as_mapping()
+    right_routes = ra.as_mapping()
+    for wid in sorted(set(left_routes) | set(right_routes)):
+        lr = left_routes.get(wid, ())
+        rr = right_routes.get(wid, ())
+        if lr != rr:
+            discrepancies.append(
+                Discrepancy("route", lr, rr, detail=f"worker {wid}")
+            )
+    STATS.record("differential.run")
+    return DifferentialReport(left_name, right_name, left, right, discrepancies)
+
+
+@dataclass(frozen=True)
+class OracleBounds:
+    """Exhaustively certified bounds over *all* conflict-free assignments.
+
+    ``min_payoff_difference``/``average_at_optimum`` describe the
+    lexicographic optimum of the FTA objective (minimal ``P_dif``, maximal
+    average payoff among those); ``max_total_payoff`` is the MPTA
+    objective's true maximum.  Any valid assignment must have
+    ``P_dif >= min_payoff_difference`` and
+    ``total payoff <= max_total_payoff``.
+    """
+
+    min_payoff_difference: float
+    average_at_optimum: float
+    max_total_payoff: float
+    joint_strategies: int
+
+    def slack(self, reference: float) -> float:
+        """Float tolerance for comparing against a certified bound."""
+        return ABS_TOL + REL_TOL * abs(reference)
+
+
+def oracle_bounds(catalog: VDPSCatalog, state_limit: int = 5_000_000) -> OracleBounds:
+    """Enumerate every joint strategy once and certify both objective bounds."""
+    from repro.baselines.exhaustive import enumerate_joint_strategies
+
+    space = 1
+    for w in catalog.workers:
+        space *= len(catalog.strategies(w.worker_id)) + 1
+        if space > state_limit:
+            raise ValueError(
+                f"joint strategy space exceeds limit {state_limit}; "
+                "oracle_bounds is for tiny differential-test instances"
+            )
+    best_key: Optional[Tuple[float, float]] = None
+    max_total = 0.0
+    count = 0
+    for joint in enumerate_joint_strategies(catalog):
+        count += 1
+        payoffs = [joint[w.worker_id].payoff for w in catalog.workers]
+        key = (payoff_difference(payoffs), -average_payoff(payoffs))
+        if best_key is None or key < best_key:
+            best_key = key
+        max_total = max(max_total, float(sum(payoffs)))
+    assert best_key is not None  # the all-null joint strategy always exists
+    STATS.record("differential.oracle-bounds")
+    return OracleBounds(
+        min_payoff_difference=best_key[0],
+        average_at_optimum=-best_key[1],
+        max_total_payoff=max_total,
+        joint_strategies=count,
+    )
+
+
+def check_against_oracle(
+    assignment, bounds: OracleBounds, solver: str = ""
+) -> None:
+    """No valid assignment may beat the exhaustive oracle on either objective.
+
+    Raises :class:`~repro.core.exceptions.InvariantViolation` when the
+    assignment's ``P_dif`` undercuts the certified minimum or its total
+    payoff exceeds the certified maximum — either means the solver produced
+    a joint strategy outside the legal space (or the oracle is broken,
+    which the differential tests would surface on tiny instances).
+    """
+    p_dif = assignment.payoff_difference
+    if p_dif < bounds.min_payoff_difference - bounds.slack(
+        bounds.min_payoff_difference
+    ):
+        raise InvariantViolation(
+            "oracle.payoff-difference-bound",
+            f"assignment P_dif {p_dif!r} beats the exhaustive minimum "
+            f"{bounds.min_payoff_difference!r}",
+            solver=solver,
+        )
+    total = assignment.total_payoff
+    if total > bounds.max_total_payoff + bounds.slack(bounds.max_total_payoff):
+        raise InvariantViolation(
+            "oracle.total-payoff-bound",
+            f"assignment total payoff {total!r} beats the exhaustive maximum "
+            f"{bounds.max_total_payoff!r}",
+            solver=solver,
+        )
+    STATS.record("differential.oracle-check")

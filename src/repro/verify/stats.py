@@ -1,0 +1,59 @@
+"""Counters for how many invariant checks actually ran.
+
+Verification that silently checks nothing is worse than no verification,
+so every checker records what it looked at.  ``python -m repro verify``
+prints the tallies and fails when a run performed zero checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class VerificationStats:
+    """Per-invariant counters of executed checks (process-wide singleton)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def record(self, invariant: str, count: int = 1) -> None:
+        """Count ``count`` executed checks of ``invariant``."""
+        self._counts[invariant] = self._counts.get(invariant, 0) + count
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """A copy of the per-invariant counters."""
+        return dict(self._counts)
+
+    @property
+    def total(self) -> int:
+        """Total number of checks executed since the last reset."""
+        return sum(self._counts.values())
+
+    def format(self) -> str:
+        """Multi-line ``invariant: count`` table, alphabetical."""
+        if not self._counts:
+            return "(no invariant checks executed)"
+        width = max(len(name) for name in self._counts)
+        return "\n".join(
+            f"{name.ljust(width)}  {self._counts[name]}"
+            for name in sorted(self._counts)
+        )
+
+
+#: The process-wide stats instance every checker records into.
+STATS = VerificationStats()
+
+
+def verification_stats() -> VerificationStats:
+    """The process-wide :class:`VerificationStats` singleton."""
+    return STATS
+
+
+def reset_verification_stats() -> None:
+    """Zero all counters (start of a ``repro verify`` run)."""
+    STATS.reset()

@@ -87,3 +87,38 @@ class TestRunAlgorithms:
         )[0]
         d = record.as_dict()
         assert set(d) == {"payoff_difference", "average_payoff", "cpu_seconds"}
+
+
+class TestVerifiedRuns:
+    def test_verify_flag_runs_checkers_and_matches_plain_run(self, instance):
+        from repro.verify.stats import reset_verification_stats, verification_stats
+
+        specs = default_algorithms(include_mpta=False)
+        plain = run_algorithms(instance, specs, epsilon=0.6, seed=5)
+        reset_verification_stats()
+        checked = run_algorithms(instance, specs, epsilon=0.6, seed=5, verify=True)
+        stats = verification_stats()
+        # Assignment checkers ran for every (arm, center) solve...
+        assert stats.counts["assignment.verified"] >= len(specs)
+        # ... the game solvers also ran their trace-level certificates ...
+        assert stats.counts["fgt.pure-nash"] >= 1
+        assert stats.counts["iegt.iess"] >= 1
+        # ... and observing changed nothing.
+        for before, after in zip(plain, checked):
+            assert before.algorithm == after.algorithm
+            assert before.payoffs == after.payoffs
+
+    def test_verify_tolerates_solvers_without_flag(self, instance):
+        from repro.baselines.random_assign import RandomSolver
+
+        class Bare:
+            """Solver without a ``verify`` dataclass field."""
+
+            name = "BARE"
+
+            def solve(self, sub, catalog=None, seed=None):
+                return RandomSolver().solve(sub, catalog=catalog, seed=seed)
+
+        specs = [AlgorithmSpec("BARE", lambda eps: Bare())]
+        records = run_algorithms(instance, specs, epsilon=0.6, seed=2, verify=True)
+        assert records[0].algorithm == "BARE"

@@ -133,3 +133,63 @@ class TestIsPureNash:
         catalog = build_catalog(sub)
         state = GameState(catalog)  # everyone null; any strategy improves
         assert not is_pure_nash(state, InequityAversion())
+
+
+def naive_iau(own: float, others, model: InequityAversion) -> float:
+    """Literal O(n) transcription of Equation 5 (Fehr-Schmidt IAU)."""
+    n = len(others) + 1
+    if n == 1:
+        return own
+    envy = sum(max(o - own, 0.0) for o in others)
+    guilt = sum(max(own - o, 0.0) for o in others)
+    return own - model.alpha * envy / (n - 1) - model.beta * guilt / (n - 1)
+
+
+class TestFastIAUMatchesNaive:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_prefix_sum_matches_naive_on_random_inputs(self, seed):
+        rng = np.random.default_rng(seed)
+        n_others = int(rng.integers(0, 40))
+        others = rng.uniform(0, 10, size=n_others).tolist()
+        model = InequityAversion(float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+        evaluator = IAUEvaluator(others, model)
+        for own in rng.uniform(-2, 12, size=20):
+            assert evaluator.utility(float(own)) == pytest.approx(
+                naive_iau(float(own), others, model), abs=1e-12
+            )
+
+    def test_duplicates_and_boundary_values(self):
+        others = [2.0, 2.0, 2.0, 5.0]
+        model = InequityAversion(0.5, 0.5)
+        evaluator = IAUEvaluator(others, model)
+        for own in (1.0, 2.0, 3.5, 5.0, 7.0):
+            assert evaluator.utility(own) == pytest.approx(
+                naive_iau(own, others, model), abs=1e-12
+            )
+
+
+class TestBestResponseWithPrebuiltEvaluator:
+    def test_prebuilt_evaluator_matches_from_scratch(self):
+        rng = np.random.default_rng(0)
+        others = rng.uniform(0, 5, size=9).tolist()
+        model = InequityAversion(0.4, 0.6)
+        candidates = rng.uniform(0, 5, size=15).tolist()
+        direct = best_response_index(candidates, others, model)
+        evaluator = IAUEvaluator(others, model)
+        prebuilt = best_response_index(candidates, evaluator=evaluator)
+        assert direct == prebuilt
+
+    def test_evaluator_takes_precedence_over_model_args(self):
+        evaluator = IAUEvaluator([1.0], InequityAversion(0.0, 0.0))
+        # Conflicting (other_payoffs, model) must be ignored.
+        idx, utility = best_response_index(
+            [3.0, 4.0], [100.0], InequityAversion(1.0, 1.0), evaluator=evaluator
+        )
+        assert idx == 1
+        assert utility == pytest.approx(evaluator.utility(4.0))
+
+    def test_missing_both_evaluator_and_model_rejected(self):
+        with pytest.raises(ValueError):
+            best_response_index([1.0, 2.0])
+        with pytest.raises(ValueError):
+            best_response_index([1.0, 2.0], other_payoffs=[1.0])

@@ -1,0 +1,156 @@
+"""Metamorphic relations every solver must satisfy on random instances.
+
+Three relations with *exact* float arithmetic by construction:
+
+* Scaling every task reward by a power of two multiplies every payoff by
+  exactly that factor (Equation 1 is homogeneous in rewards, and scaling a
+  float by a power of two is exact) and leaves strategy choices unchanged.
+* Translating every coordinate by an integer vector leaves the assignment
+  bit-identical: coordinates live on a coarse dyadic grid, so translated
+  differences — and with them every distance, arrival time, and payoff —
+  are exactly preserved.
+* Adding a delivery point whose tasks are already expired is a no-op: it
+  can never join a VDPS, so catalogs and assignments are unchanged.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.gta import GTASolver
+from repro.baselines.mpta import MPTASolver
+from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
+from repro.core.instance import SubProblem
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+
+TRAVEL = TravelModel(speed_kmh=1.0)
+
+SOLVERS = [
+    GTASolver(),
+    FGTSolver(max_rounds=60),
+    IEGTSolver(max_rounds=120),
+    MPTASolver(node_budget=20_000),
+]
+
+# Dyadic grid: multiples of 0.25 in [-4, 4] are exact doubles, and stay
+# exact under the integer translations drawn below.
+grid_coordinate = st.integers(-16, 16).map(lambda k: k * 0.25)
+
+
+@st.composite
+def instance_specs(draw):
+    """A plain-data sub-problem spec the tests can rebuild with tweaks."""
+    n_points = draw(st.integers(2, 4))
+    n_workers = draw(st.integers(1, 3))
+    points = [
+        {
+            "dp_id": f"p{i}",
+            "x": draw(grid_coordinate),
+            "y": draw(grid_coordinate),
+            "n_tasks": draw(st.integers(1, 3)),
+            "expiry": float(draw(st.integers(2, 12))),
+        }
+        for i in range(n_points)
+    ]
+    workers = [
+        {
+            "worker_id": f"w{j}",
+            "x": draw(grid_coordinate),
+            "y": draw(grid_coordinate),
+            "max_dp": draw(st.integers(1, 3)),
+        }
+        for j in range(n_workers)
+    ]
+    return {"points": points, "workers": workers}
+
+
+def build_sub(spec, reward=1.0, dx=0.0, dy=0.0, extra_point=None) -> SubProblem:
+    dps = [
+        DeliveryPoint(
+            p["dp_id"],
+            Point(p["x"] + dx, p["y"] + dy),
+            tuple(
+                SpatialTask(
+                    f"{p['dp_id']}_t{k}", p["dp_id"], expiry=p["expiry"], reward=reward
+                )
+                for k in range(p["n_tasks"])
+            ),
+        )
+        for p in spec["points"]
+    ]
+    if extra_point is not None:
+        dps.append(extra_point)
+    center = DistributionCenter("dc", Point(dx, dy), tuple(dps))
+    workers = tuple(
+        Worker(
+            w["worker_id"],
+            Point(w["x"] + dx, w["y"] + dy),
+            max_delivery_points=w["max_dp"],
+            center_id="dc",
+        )
+        for w in spec["workers"]
+    )
+    return SubProblem(center, workers, TRAVEL)
+
+
+def routes_of(result):
+    return result.assignment.as_mapping()
+
+
+class TestMetamorphic:
+    @given(
+        spec=instance_specs(),
+        scale_exp=st.integers(-2, 3),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_reward_scaling_scales_payoffs_linearly(self, spec, scale_exp, seed):
+        factor = 2.0**scale_exp
+        base = build_sub(spec)
+        scaled = build_sub(spec, reward=factor)
+        for solver in SOLVERS:
+            before = solver.solve(base, seed=seed)
+            after = solver.solve(scaled, seed=seed)
+            assert routes_of(before) == routes_of(after)
+            assert after.assignment.payoffs == [
+                p * factor for p in before.assignment.payoffs
+            ]
+
+    @given(
+        spec=instance_specs(),
+        dx=st.integers(-16, 16),
+        dy=st.integers(-16, 16),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_translation_leaves_assignments_identical(self, spec, dx, dy, seed):
+        base = build_sub(spec)
+        moved = build_sub(spec, dx=float(dx), dy=float(dy))
+        for solver in SOLVERS:
+            before = solver.solve(base, seed=seed)
+            after = solver.solve(moved, seed=seed)
+            assert routes_of(before) == routes_of(after)
+            assert before.assignment.payoffs == after.assignment.payoffs
+
+    @given(spec=instance_specs(), seed=st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_expired_delivery_point_is_a_noop(self, spec, seed):
+        # 100 km out at speed 1 km/h with a 0.001 h expiry: unreachable as
+        # a first stop and a fortiori as any later stop, so no VDPS can
+        # ever contain it (Definition 6).
+        dead = DeliveryPoint(
+            "dead",
+            Point(100.0, 100.0),
+            (SpatialTask("dead_t0", "dead", expiry=0.001),),
+        )
+        base = build_sub(spec)
+        padded = build_sub(spec, extra_point=dead)
+        for solver in SOLVERS:
+            before = solver.solve(base, seed=seed)
+            after = solver.solve(padded, seed=seed)
+            assert routes_of(before) == routes_of(after)
+            assert before.assignment.payoffs == after.assignment.payoffs

@@ -194,3 +194,53 @@ class TestExperiment:
         assert code == 0
         out = capsys.readouterr().out
         assert "manhattan" in out and "euclidean" in out
+
+
+class TestVerify:
+    def test_verify_smoke_scale_exits_zero(self, capsys):
+        code = main(
+            ["verify", "--experiment", "fig2", "--scale", "smoke", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all invariant checks passed" in out
+        assert "assignment.disjointness" in out
+        assert "fgt.pure-nash" in out or "fgt.potential-monotone" in out
+
+    def test_verify_syn_experiment(self, capsys):
+        code = main(
+            ["verify", "--experiment", "fig3", "--scale", "smoke", "--seed", "1"]
+        )
+        assert code == 0
+        assert "iegt.iess" in capsys.readouterr().out
+
+    def test_verify_single_algorithm_selection(self, capsys):
+        code = main(
+            [
+                "verify",
+                "--experiment",
+                "fig2",
+                "--scale",
+                "smoke",
+                "--algorithms",
+                "gta",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GTA" in out
+        assert "fgt.switch-improving" not in out
+
+    def test_verify_unknown_algorithm_rejected(self, capsys):
+        code = main(
+            ["verify", "--experiment", "fig2", "--algorithms", "nope"]
+        )
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_verify_full_sweep_smoke(self, capsys):
+        code = main(
+            ["verify", "--experiment", "fig2", "--scale", "smoke", "--full"]
+        )
+        assert code == 0
+        assert "all invariant checks passed" in capsys.readouterr().out

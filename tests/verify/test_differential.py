@@ -1,0 +1,144 @@
+"""Differential harness: solvers vs themselves and vs the exhaustive oracle.
+
+On instances small enough to enumerate (<= 3 workers), every solver in the
+library must (a) pass all invariant checkers, (b) respect the oracle's
+certified bounds — the lexicographic optimum bounds each heuristic's
+``P_dif`` from below and MPTA's total payoff from above — and (c) be
+deterministic: the same solver with the same seed yields zero diffs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveSolver
+from repro.baselines.gta import GTASolver
+from repro.baselines.mpta import MPTASolver
+from repro.core.instance import SubProblem
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.games.potential import is_pure_nash
+from repro.core.fairness import InequityAversion
+from repro.vdps.catalog import build_catalog
+from repro.verify import (
+    DifferentialReport,
+    check_against_oracle,
+    oracle_bounds,
+    run_differential,
+)
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+SOLVERS = [
+    FGTSolver(max_rounds=80),
+    IEGTSolver(max_rounds=160),
+    GTASolver(),
+    MPTASolver(node_budget=50_000),
+]
+
+
+@pytest.fixture
+def sub() -> SubProblem:
+    """Three workers over four delivery points: tiny but contended."""
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=2, expiry=10.0),
+            make_dp("b", 2.0, 0.0, n_tasks=1, expiry=10.0),
+            make_dp("c", 0.0, 1.5, n_tasks=3, expiry=10.0),
+            make_dp("d", -1.0, 0.0, n_tasks=1, expiry=10.0),
+        ]
+    )
+    workers = (
+        make_worker("w1", 0.5, 0.0, max_dp=2),
+        make_worker("w2", 0.0, 0.5, max_dp=2),
+        make_worker("w3", -0.5, 0.0, max_dp=1),
+    )
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+@pytest.mark.parametrize("solver", SOLVERS, ids=lambda s: s.name)
+def test_same_solver_same_seed_has_no_discrepancies(sub, solver):
+    report = run_differential(sub, solver, solver, seed=3)
+    assert isinstance(report, DifferentialReport)
+    assert report.agreeing, report.format()
+    assert report.format().endswith("no discrepancies")
+
+
+def test_generator_seed_is_rejected(sub):
+    with pytest.raises(ValueError):
+        run_differential(
+            sub, GTASolver(), GTASolver(), seed=np.random.default_rng(0)
+        )
+
+
+def test_cross_solver_diffs_are_structured(sub):
+    report = run_differential(sub, GTASolver(), FGTSolver(), seed=1)
+    # GTA and FGT optimise different objectives; whether or not they agree
+    # here, every discrepancy must carry a metric label and format cleanly.
+    for discrepancy in report.discrepancies:
+        assert discrepancy.metric
+        assert discrepancy.format()
+
+
+def test_every_solver_respects_oracle_bounds(sub):
+    catalog = build_catalog(sub)
+    bounds = oracle_bounds(catalog)
+    assert bounds.joint_strategies > 1
+    for solver in SOLVERS:
+        result = solver.solve(sub, catalog=catalog, seed=11)
+        check_against_oracle(result.assignment, bounds, solver=solver.name)
+        # The lexicographic optimum bounds every heuristic's P_dif below.
+        assert (
+            result.assignment.payoff_difference
+            >= bounds.min_payoff_difference - 1e-9
+        )
+        # ... and the exhaustive total-payoff maximum bounds MPTA above.
+        assert result.assignment.total_payoff <= bounds.max_total_payoff + 1e-9
+
+
+def test_exhaustive_solver_attains_the_oracle_optimum(sub):
+    catalog = build_catalog(sub)
+    bounds = oracle_bounds(catalog)
+    result = ExhaustiveSolver().solve(sub, catalog=catalog)
+    assert result.assignment.payoff_difference == pytest.approx(
+        bounds.min_payoff_difference, abs=1e-9
+    )
+    assert result.assignment.average_payoff == pytest.approx(
+        bounds.average_at_optimum, abs=1e-9
+    )
+
+
+def test_oracle_bounds_refuses_huge_spaces(sub):
+    catalog = build_catalog(sub)
+    with pytest.raises(ValueError):
+        oracle_bounds(catalog, state_limit=2)
+
+
+def test_converged_fgt_final_state_is_pure_nash(sub):
+    catalog = build_catalog(sub)
+    solver = FGTSolver(max_rounds=80, verify=True)
+    result = solver.solve(sub, catalog=catalog, seed=5)
+    assert result.converged
+    # Re-derive the certificate outside the verifier as well.
+    from repro.games.base import GameState
+
+    state = GameState(catalog)
+    for pair in result.assignment:
+        if pair.route is not None and len(pair.route):
+            chosen = frozenset(pair.delivery_point_ids)
+            strategy = next(
+                s
+                for s in catalog.strategies(pair.worker.worker_id)
+                if s.point_ids == chosen
+            )
+            state.set_strategy(pair.worker.worker_id, strategy)
+    assert is_pure_nash(state, InequityAversion(0.5, 0.5), tol=2e-9)
+
+
+@pytest.mark.parametrize("solver", SOLVERS, ids=lambda s: s.name)
+def test_solvers_pass_checkers_with_verify_flag(sub, solver):
+    import dataclasses
+
+    verifying = dataclasses.replace(solver, verify=True)
+    result = verifying.solve(sub, seed=2)
+    assert len(result.assignment) == len(sub.workers)
