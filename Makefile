@@ -1,6 +1,6 @@
 # Convenience targets for the FTA reproduction.
 
-.PHONY: install test verify bench bench-smoke bench-paper examples clean
+.PHONY: install test verify trace bench bench-smoke bench-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,6 +13,10 @@ test:
 verify:
 	python -m repro verify --experiment fig3 --seed 0
 	pytest tests/verify tests/properties/test_metamorphic.py
+
+# Trace the FGT hot loop into trace.jsonl and print the summary table.
+trace:
+	python -m repro trace --algo fgt --scale ci --seed 0 --output trace.jsonl
 
 bench:
 	pytest benchmarks/ --benchmark-only

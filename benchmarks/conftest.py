@@ -14,6 +14,7 @@ hours).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -62,18 +63,29 @@ def run_figure_bench(benchmark, name: str, run_figure):
     meaningful unit (pytest-benchmark's default multi-round sampling would
     re-run a multi-second sweep dozens of times).  Alongside the ASCII
     table, each metric panel is rendered as an SVG chart under
-    ``benchmarks/results/`` for visual comparison with the paper.
+    ``benchmarks/results/`` for visual comparison with the paper, and the
+    full sweep — including per-arm observability diagnostics (rounds,
+    switches, catalog-cache hit rate, phase timings) — is dumped as
+    ``{name}.json``.
     """
     from repro.experiments.report import format_sweep
     from repro.experiments.sweep import METRICS
+    from repro.obs import METRICS as OBS_METRICS
+    from repro.obs import reset_metrics
     from repro.viz.charts import render_sweep_chart
 
+    reset_metrics()
     result = benchmark.pedantic(run_figure, rounds=1, iterations=1)
     text = format_sweep(result)
     print()
     print(text)
     save_result(name, text)
     RESULTS_DIR.mkdir(exist_ok=True)
+    payload = result.as_dict()
+    payload["metrics_snapshot"] = OBS_METRICS.snapshot()
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, default=float) + "\n"
+    )
     for metric in METRICS:
         log_y = metric == "cpu_seconds" and all(
             v > 0

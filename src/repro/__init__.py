@@ -62,6 +62,17 @@ from repro.datasets import (
     save_instance,
 )
 from repro.analysis import compare_assignments, decompose_fairness, diagnose
+from repro.obs import (
+    METRICS,
+    JsonlTracer,
+    MemoryTracer,
+    MetricsRegistry,
+    metrics_registry,
+    read_trace,
+    reset_metrics,
+    set_tracing,
+    summarize_trace,
+)
 from repro.parallel import InstanceSolution, solve_instance
 from repro.verify import (
     DifferentialReport,
@@ -142,4 +153,14 @@ __all__ = [
     "check_against_oracle",
     "oracle_bounds",
     "OracleBounds",
+    # observability
+    "METRICS",
+    "MetricsRegistry",
+    "metrics_registry",
+    "reset_metrics",
+    "JsonlTracer",
+    "MemoryTracer",
+    "set_tracing",
+    "read_trace",
+    "summarize_trace",
 ]

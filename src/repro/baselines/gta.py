@@ -23,6 +23,8 @@ from typing import Optional, Set
 from repro.core.instance import SubProblem
 from repro.games.base import GameResult, GameState
 from repro.games.trace import ConvergenceTrace
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import resolve_tracer
 from repro.utils.rng import SeedLike
 from repro.vdps.catalog import VDPSCatalog, build_catalog
 from repro.verify.verifier import make_assignment_verifier
@@ -37,11 +39,16 @@ class GTASolver:
     ``verify`` runs the :mod:`repro.verify` assignment-level checkers on
     the result (also enabled globally by ``REPRO_VERIFY=1``); off by
     default with zero overhead.
+
+    ``trace`` emits structured :mod:`repro.obs` events (a ``gta.select``
+    phase span plus solve start/end records); accepts ``True`` (process-
+    wide sink) or a tracer instance, off by default with zero overhead.
     """
 
     epsilon: Optional[float] = None
     order: str = "global"
     verify: bool = False
+    trace: object = False
 
     def __post_init__(self) -> None:
         if self.order not in _ORDERS:
@@ -58,13 +65,26 @@ class GTASolver:
         seed: SeedLike = None,  # accepted for interface parity; unused
     ) -> GameResult:
         """Greedy selection; ``seed`` is ignored (GTA is deterministic)."""
+        tracer = resolve_tracer(self.trace)
         if catalog is None:
-            catalog = build_catalog(sub, epsilon=self.epsilon)
+            catalog = build_catalog(sub, epsilon=self.epsilon, tracer=tracer)
+        if tracer.enabled:
+            tracer.event(
+                "gta.solve_start",
+                solver=self.name,
+                center=sub.center.center_id,
+                workers=len(catalog.workers),
+                strategies=catalog.total_strategy_count,
+                epsilon=self.epsilon,
+            )
         state = GameState(catalog)
-        if self.order == "worker":
-            self._worker_order_pass(state, catalog)
-        else:
-            self._global_order_pass(state, catalog)
+        with tracer.span("gta.select", order=self.order), METRICS.timer(
+            "gta.solve_seconds"
+        ):
+            if self.order == "worker":
+                self._worker_order_pass(state, catalog)
+            else:
+                self._global_order_pass(state, catalog)
         payoffs = state.payoffs()
         trace = ConvergenceTrace()
         trace.record(1, payoffs, switches=0, potential=float(payoffs.sum()))
@@ -72,6 +92,13 @@ class GTASolver:
         make_assignment_verifier(self.verify, solver=self.name).on_final(
             state, assignment, sub=sub
         )
+        if tracer.enabled:
+            tracer.event(
+                "gta.solve_end",
+                solver=self.name,
+                center=sub.center.center_id,
+                assigned=int((payoffs > 0).sum()),
+            )
         return GameResult(assignment, trace, converged=True, rounds=1)
 
     def _worker_order_pass(self, state: GameState, catalog: VDPSCatalog) -> None:

@@ -32,6 +32,8 @@ import numpy as np
 from repro.core.instance import SubProblem
 from repro.games.base import GameResult, GameState
 from repro.games.trace import ConvergenceTrace
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import resolve_tracer
 from repro.utils.rng import SeedLike
 from repro.vdps.catalog import NULL_STRATEGY, VDPSCatalog, WorkerStrategy, build_catalog
 from repro.verify.verifier import make_assignment_verifier
@@ -50,6 +52,11 @@ class MPTASolver:
     ``verify`` runs the :mod:`repro.verify` assignment-level checkers on
     the result (also enabled globally by ``REPRO_VERIFY=1``); off by
     default with zero overhead.
+
+    ``trace`` emits structured :mod:`repro.obs` events (``mpta.order``,
+    ``mpta.incumbent``, and ``mpta.search`` phase spans plus solve
+    start/end records); accepts ``True`` (process-wide sink) or a tracer
+    instance, off by default with zero overhead.
     """
 
     epsilon: Optional[float] = None
@@ -57,6 +64,7 @@ class MPTASolver:
     beam_width: Optional[int] = None
     restarts: int = 8
     verify: bool = False
+    trace: object = False
 
     def __post_init__(self) -> None:
         if self.beam_width is not None and self.beam_width < 1:
@@ -75,12 +83,32 @@ class MPTASolver:
         seed: SeedLike = None,  # accepted for interface parity; unused
     ) -> GameResult:
         """Branch-and-bound search for the maximal-total-payoff assignment."""
+        tracer = resolve_tracer(self.trace)
         if catalog is None:
-            catalog = build_catalog(sub, epsilon=self.epsilon)
-        order = _elimination_order(catalog)
-        search = _BranchAndBound(catalog, order, self.node_budget, self.beam_width)
-        search.seed_incumbent(_multistart_incumbent(catalog, self.restarts))
-        best = search.run()
+            catalog = build_catalog(sub, epsilon=self.epsilon, tracer=tracer)
+        if tracer.enabled:
+            tracer.event(
+                "mpta.solve_start",
+                solver=self.name,
+                center=sub.center.center_id,
+                workers=len(catalog.workers),
+                strategies=catalog.total_strategy_count,
+                epsilon=self.epsilon,
+            )
+        with METRICS.timer("mpta.solve_seconds"):
+            with tracer.span("mpta.order"):
+                order = _elimination_order(catalog)
+            search = _BranchAndBound(
+                catalog, order, self.node_budget, self.beam_width
+            )
+            with tracer.span("mpta.incumbent", restarts=self.restarts):
+                search.seed_incumbent(_multistart_incumbent(catalog, self.restarts))
+            search_span = tracer.span("mpta.search")
+            with search_span:
+                best = search.run()
+                if tracer.enabled:
+                    search_span.add(nodes=search.nodes, certified=search.certified)
+        METRICS.counter("mpta.nodes_expanded").add(search.nodes)
 
         state = GameState(catalog)
         for worker_id, strategy in best.items():
@@ -93,6 +121,14 @@ class MPTASolver:
         make_assignment_verifier(self.verify, solver=self.name).on_final(
             state, assignment, sub=sub
         )
+        if tracer.enabled:
+            tracer.event(
+                "mpta.solve_end",
+                solver=self.name,
+                center=sub.center.center_id,
+                nodes=search.nodes,
+                certified=search.certified,
+            )
         return GameResult(assignment, trace, converged=search.certified, rounds=1)
 
 
@@ -253,6 +289,11 @@ class _BranchAndBound:
         for i in range(len(self._order) - 1, -1, -1):
             self._suffix[i] = self._suffix[i + 1] + best_payoffs[i]
         self.certified = True
+
+    @property
+    def nodes(self) -> int:
+        """Search-tree nodes expanded so far."""
+        return self._nodes
 
     def seed_incumbent(self, chosen: Dict[str, WorkerStrategy]) -> None:
         """Install a known-feasible assignment as the starting incumbent."""

@@ -10,6 +10,9 @@ Four subcommands cover the operational loop a platform engineer needs:
 * ``verify`` — run solvers under the :mod:`repro.verify` invariant
   checkers on an experiment's representative instance (or, with
   ``--full``, the whole experiment) and report what was certified.
+* ``trace`` — run one solver under :mod:`repro.obs` structured tracing,
+  write the JSONL trace, and print a summary (per-phase wall time,
+  rounds, switches, catalog-cache stats).
 """
 
 from __future__ import annotations
@@ -112,6 +115,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="verify the experiment's entire sweep instead of one instance",
+    )
+
+    trc = sub.add_parser(
+        "trace", help="run a solver under structured tracing and summarise it"
+    )
+    trc.add_argument(
+        "--algo",
+        "--algorithm",
+        dest="algo",
+        choices=sorted(_SOLVERS),
+        default="fgt",
+        help="solver to trace (default fgt)",
+    )
+    trc.add_argument(
+        "--experiment",
+        default="fig3",
+        help="experiment id whose representative instance to trace (default fig3)",
+    )
+    trc.add_argument(
+        "--scale", choices=[s.value for s in Scale], default=Scale.CI.value
+    )
+    trc.add_argument("--seed", type=int, default=0)
+    trc.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="pruning radius (km); default: the experiment grid's default",
+    )
+    trc.add_argument(
+        "--output",
+        type=Path,
+        default=Path("trace.jsonl"),
+        help="JSONL trace file to write (default trace.jsonl)",
     )
     return parser
 
@@ -308,6 +344,78 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.experiments.runner import CatalogCache
+    from repro.obs import (
+        METRICS,
+        JsonlTracer,
+        read_trace,
+        reset_metrics,
+        set_tracing,
+        summarize_trace,
+    )
+    from repro.utils.rng import RngFactory
+
+    entry = get_experiment(args.experiment)
+    scale = Scale(args.scale)
+    instance, grid_epsilon = _representative_instance(entry, scale, args.seed)
+    epsilon = args.epsilon if args.epsilon is not None else grid_epsilon
+    solver = _SOLVERS[args.algo](epsilon)
+
+    if args.output.exists():
+        args.output.unlink()  # each trace run produces a fresh stream
+    reset_metrics()
+    tracer = JsonlTracer(args.output)
+    # Process-wide install so catalog builds and cache lookups trace too;
+    # the solver itself gets the tracer instance through its trace= field.
+    set_tracing(tracer)
+    rng_factory = RngFactory(args.seed)
+    cache = CatalogCache()
+    total_rounds = 0
+    payoffs: List[float] = []
+    converged = True
+    try:
+        try:
+            solver = dataclasses.replace(solver, trace=tracer)
+        except TypeError:
+            pass  # solvers without a trace= field still trace via the sink
+        for sub_problem in instance.subproblems():
+            with METRICS.timer("phase.catalog"):
+                catalog, _ = cache.get(sub_problem, epsilon)
+            seed = rng_factory.get(f"{solver.name}:{sub_problem.center.center_id}")
+            with METRICS.timer("phase.solve"):
+                result = solver.solve(sub_problem, catalog=catalog, seed=seed)
+            total_rounds += result.rounds
+            converged = converged and result.converged
+            payoffs.extend(result.assignment.payoffs)
+        tracer.event("metrics.snapshot", metrics=METRICS.snapshot())
+    finally:
+        set_tracing(None)
+        tracer.close()
+
+    summary = summarize_trace(read_trace(args.output))
+    print(f"algorithm        : {solver.name}")
+    print(f"workers          : {len(payoffs)}")
+    print(f"payoff difference: {payoff_difference(payoffs):.6f}")
+    print(f"average payoff   : {average_payoff(payoffs):.6f}")
+    print(f"rounds           : {total_rounds}")
+    print(f"converged        : {converged}")
+    print()
+    print(summary.format())
+    print()
+    print(f"trace written to {args.output}")
+    if summary.total_rounds(args.algo) not in (0, total_rounds):
+        print(
+            f"WARNING: trace records {summary.total_rounds(args.algo)} rounds "
+            f"but the solver reported {total_rounds}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -315,6 +423,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list_experiments,
     "verify": _cmd_verify,
+    "trace": _cmd_trace,
 }
 
 

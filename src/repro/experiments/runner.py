@@ -19,6 +19,7 @@ from repro.baselines import GTASolver, MPTASolver
 from repro.core.instance import ProblemInstance, SubProblem
 from repro.core.payoff import average_payoff, payoff_difference
 from repro.games import FGTSolver, IEGTSolver
+from repro.obs.metrics import METRICS
 from repro.utils.rng import RngFactory, SeedLike
 from repro.utils.timing import CpuTimer
 from repro.vdps.catalog import VDPSCatalog, build_catalog
@@ -84,7 +85,14 @@ def unpruned_variants(specs: Sequence[AlgorithmSpec]) -> List[AlgorithmSpec]:
 
 @dataclass
 class RunRecord:
-    """Aggregated outcome of one algorithm arm over a whole instance."""
+    """Aggregated outcome of one algorithm arm over a whole instance.
+
+    ``metrics`` carries the arm's observability profile: per-phase CPU
+    timings (``phase.catalog_build_cpu_s``, ``phase.solve_cpu_s``), solver
+    round/switch totals, and the movement of every :mod:`repro.obs`
+    registry counter during the arm (catalog-cache hits/misses, DP states
+    expanded, verify checks run, ...).
+    """
 
     algorithm: str
     payoff_difference: float
@@ -93,6 +101,7 @@ class RunRecord:
     payoffs: List[float] = field(default_factory=list, repr=False)
     converged: bool = True
     rounds: int = 0
+    metrics: Dict[str, float] = field(default_factory=dict, repr=False)
 
     def as_dict(self) -> Dict[str, float]:
         """The three reported metrics as a plain dict."""
@@ -121,10 +130,13 @@ class CatalogCache:
         """Return ``(catalog, build_cpu_seconds)`` for the sub-problem."""
         key = (sub.center.center_id, epsilon)
         if key not in self._catalogs:
+            METRICS.counter("catalog_cache.misses").add(1)
             timer = CpuTimer()
             with timer:
                 catalog = build_catalog(sub, epsilon=epsilon)
             self._catalogs[key] = (catalog, timer.elapsed)
+        else:
+            METRICS.counter("catalog_cache.hits").add(1)
         return self._catalogs[key]
 
 
@@ -160,6 +172,10 @@ def run_algorithms(
     :mod:`repro.verify` invariant checkers; violations raise
     :class:`~repro.core.exceptions.InvariantViolation`.  Verification runs
     outside the CPU timers, so reported ``cpu_seconds`` stay comparable.
+
+    Every returned record also carries an observability profile in
+    ``RunRecord.metrics``: phase CPU timings, round/switch totals, and the
+    per-arm movement of the :mod:`repro.obs` metrics registry.
     """
     cache = catalog_cache if catalog_cache is not None else CatalogCache()
     rng_factory = RngFactory(seed)
@@ -173,21 +189,33 @@ def run_algorithms(
             solver = _verifying(solver)
         payoffs: List[float] = []
         cpu = 0.0
+        build_cpu = 0.0
+        solve_cpu = 0.0
         converged = True
         rounds = 0
+        switches = 0
+        registry_before = METRICS.snapshot()
         for sub in subproblems:
             catalog, build_time = cache.get(sub, eps)
             cpu += build_time
+            build_cpu += build_time
             arm_rng = rng_factory.get(f"{spec.name}:{sub.center.center_id}")
             timer = CpuTimer()
             with timer:
                 result = solver.solve(sub, catalog=catalog, seed=arm_rng)
             cpu += timer.elapsed
+            solve_cpu += timer.elapsed
             if verify:
                 verify_result(result, sub=sub, catalog=catalog, solver=spec.name)
             payoffs.extend(result.assignment.payoffs)
             converged = converged and result.converged
             rounds = max(rounds, result.rounds)
+            switches += sum(point.switches for point in result.trace)
+        arm_metrics = METRICS.delta(registry_before)
+        arm_metrics["phase.catalog_build_cpu_s"] = build_cpu
+        arm_metrics["phase.solve_cpu_s"] = solve_cpu
+        arm_metrics["solver.rounds"] = rounds
+        arm_metrics["solver.switches"] = switches
         records.append(
             RunRecord(
                 algorithm=spec.name,
@@ -197,6 +225,7 @@ def run_algorithms(
                 payoffs=payoffs,
                 converged=converged,
                 rounds=rounds,
+                metrics=arm_metrics,
             )
         )
     return records

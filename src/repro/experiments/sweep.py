@@ -63,7 +63,14 @@ class SweepResult:
         return self.records[value][algorithm]
 
     def as_dict(self) -> Dict:
-        """JSON-friendly dump used by benches and EXPERIMENTS.md tooling."""
+        """JSON-friendly dump used by benches and EXPERIMENTS.md tooling.
+
+        Besides the paper's three metric panels, the dump carries a
+        ``diagnostics`` section — one entry per (algorithm, grid value)
+        with convergence data and the arm's observability profile
+        (:attr:`~repro.experiments.runner.RunRecord.metrics`) — so result
+        files explain *how* each number was produced.
+        """
         return {
             "name": self.name,
             "parameter": self.parameter,
@@ -74,6 +81,20 @@ class SweepResult:
                     for algorithm in self.algorithms
                 }
                 for metric in METRICS
+            },
+            "diagnostics": {
+                algorithm: [
+                    None
+                    if record is None
+                    else {
+                        "rounds": record.rounds,
+                        "converged": record.converged,
+                        "metrics": dict(record.metrics),
+                    }
+                    for value in self.values
+                    for record in (self.records.get(value, {}).get(algorithm),)
+                ]
+                for algorithm in self.algorithms
             },
         }
 

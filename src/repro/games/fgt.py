@@ -21,6 +21,8 @@ from repro.core.priority import PriorityModel
 from repro.games.base import GameResult, GameState, random_initial_state
 from repro.games.potential import IAUEvaluator, potential_value
 from repro.games.trace import ConvergenceTrace
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NULL_TRACER, NullTracer, resolve_tracer
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.vdps.catalog import NULL_STRATEGY, VDPSCatalog, build_catalog
@@ -76,6 +78,14 @@ class FGTSolver:
         assignment must pass all Definition 6/8 checks.  Off by default
         (zero hot-path overhead via a no-op verifier); the global
         ``REPRO_VERIFY=1`` environment hook also enables it.
+    trace:
+        Emit structured :mod:`repro.obs` events while solving — one
+        ``fgt.round`` per best-response pass, one ``fgt.switch`` per
+        strategy change, plus solve start/end records.  Accepts ``True``
+        (route to the process-wide sink: :func:`repro.obs.set_tracing`
+        target, then ``REPRO_TRACE=path.jsonl``, then the shared in-memory
+        tracer) or a tracer instance.  Off by default with zero hot-path
+        overhead via the shared no-op tracer.
     """
 
     alpha: float = 0.5
@@ -88,6 +98,7 @@ class FGTSolver:
     early_stop_tol: float = 1e-6
     priorities: Optional["PriorityModel"] = None
     verify: bool = False
+    trace: object = False
 
     def __post_init__(self) -> None:
         if self.trace_granularity not in ("round", "update"):
@@ -112,8 +123,9 @@ class FGTSolver:
         seed: SeedLike = None,
     ) -> GameResult:
         """Run Algorithm 2 on ``sub`` and return the equilibrium assignment."""
+        tracer = resolve_tracer(self.trace)
         if catalog is None:
-            catalog = build_catalog(sub, epsilon=self.epsilon)
+            catalog = build_catalog(sub, epsilon=self.epsilon, tracer=tracer)
         model = InequityAversion(self.alpha, self.beta)
         rng = ensure_rng(seed)
         state = random_initial_state(catalog, rng)
@@ -125,37 +137,67 @@ class FGTSolver:
                 model, scales=scales, tol=self.tol, solver=self.name
             )
         verifier.on_solve_start(state)
+        if tracer.enabled:
+            tracer.event(
+                "fgt.solve_start",
+                solver=self.name,
+                center=sub.center.center_id,
+                workers=len(state.workers),
+                strategies=catalog.total_strategy_count,
+                epsilon=self.epsilon,
+            )
 
         converged = False
         rounds = 0
+        total_switches = 0
         stall = 0
         last_potential = potential_value(state.payoffs() * scales, model)
-        for rounds in range(1, self.max_rounds + 1):
-            switches = self._best_response_round(
-                state, model, trace, scales, verifier, rounds
-            )
-            payoffs = state.payoffs()
-            potential = potential_value(payoffs * scales, model)
-            if self.trace_granularity == "round":
-                trace.record(rounds, payoffs, switches, potential)
-            verifier.on_round(rounds, payoffs, potential, switches)
-            if switches == 0:
-                converged = True
-                break
-            if self.early_stop_patience is not None:
-                if potential - last_potential < self.early_stop_tol:
-                    stall += 1
-                    if stall >= self.early_stop_patience:
-                        break
-                else:
-                    stall = 0
-            last_potential = potential
+        with METRICS.timer("fgt.solve_seconds"):
+            for rounds in range(1, self.max_rounds + 1):
+                switches = self._best_response_round(
+                    state, model, trace, scales, verifier, rounds, tracer
+                )
+                total_switches += switches
+                payoffs = state.payoffs()
+                potential = potential_value(payoffs * scales, model)
+                if self.trace_granularity == "round":
+                    trace.record(rounds, payoffs, switches, potential)
+                verifier.on_round(rounds, payoffs, potential, switches)
+                if tracer.enabled:
+                    tracer.event(
+                        "fgt.round",
+                        round=rounds,
+                        switches=switches,
+                        potential=potential,
+                    )
+                if switches == 0:
+                    converged = True
+                    break
+                if self.early_stop_patience is not None:
+                    if potential - last_potential < self.early_stop_tol:
+                        stall += 1
+                        if stall >= self.early_stop_patience:
+                            break
+                    else:
+                        stall = 0
+                last_potential = potential
         if not converged:
             logger.warning(
                 "FGT did not reach a Nash equilibrium within %d rounds", self.max_rounds
             )
+        METRICS.counter("fgt.rounds").add(rounds)
+        METRICS.counter("fgt.switches").add(total_switches)
         assignment = state.to_assignment()
         verifier.on_final(state, assignment, sub=sub, converged=converged)
+        if tracer.enabled:
+            tracer.event(
+                "fgt.solve_end",
+                solver=self.name,
+                center=sub.center.center_id,
+                rounds=rounds,
+                switches=total_switches,
+                converged=converged,
+            )
         return GameResult(assignment, trace, converged, rounds)
 
     def _utility_scales(self, state: GameState) -> np.ndarray:
@@ -179,6 +221,7 @@ class FGTSolver:
         scales: np.ndarray,
         verifier: NullVerifier = NULL_VERIFIER,
         round_index: int = 0,
+        tracer: NullTracer = NULL_TRACER,
     ) -> int:
         """One pass of sequential asynchronous best responses; returns switches."""
         switches = 0
@@ -198,6 +241,15 @@ class FGTSolver:
             switched = 0
             if best_utility > current_utility + self.tol:
                 verifier.on_switch(wid, round_index, current_utility, best_utility)
+                if tracer.enabled:
+                    tracer.event(
+                        "fgt.switch",
+                        worker=wid,
+                        round=round_index,
+                        utility_before=current_utility,
+                        utility_after=best_utility,
+                        payoff=best_strategy.payoff,
+                    )
                 state.set_strategy(wid, best_strategy)
                 payoffs[idx] = best_strategy.payoff
                 switches += 1

@@ -21,6 +21,8 @@ import numpy as np
 from repro.core.instance import SubProblem
 from repro.games.base import GameResult, GameState, random_initial_state
 from repro.games.trace import ConvergenceTrace
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import resolve_tracer
 from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.vdps.catalog import VDPSCatalog, WorkerStrategy, build_catalog
@@ -76,6 +78,14 @@ class IEGTSolver:
         the final assignment must pass all Definition 6/8 checks.  Off by
         default (zero hot-path overhead via a no-op verifier); the global
         ``REPRO_VERIFY=1`` environment hook also enables it.
+    trace:
+        Emit structured :mod:`repro.obs` events while solving — one
+        ``iegt.round`` per evolution round, one ``iegt.evolve`` per worker
+        adaptation, plus solve start/end records.  Accepts ``True`` (route
+        to the process-wide sink: :func:`repro.obs.set_tracing` target,
+        then ``REPRO_TRACE=path.jsonl``, then the shared in-memory tracer)
+        or a tracer instance.  Off by default with zero hot-path overhead
+        via the shared no-op tracer.
     """
 
     max_rounds: int = 500
@@ -86,6 +96,7 @@ class IEGTSolver:
     early_stop_tol: float = 1e-6
     termination: str = "improved"
     verify: bool = False
+    trace: object = False
 
     def __post_init__(self) -> None:
         if self.trace_granularity not in ("round", "update"):
@@ -115,8 +126,9 @@ class IEGTSolver:
         seed: SeedLike = None,
     ) -> GameResult:
         """Run Algorithm 3 on the population of ``sub``'s workers."""
+        tracer = resolve_tracer(self.trace)
         if catalog is None:
-            catalog = build_catalog(sub, epsilon=self.epsilon)
+            catalog = build_catalog(sub, epsilon=self.epsilon, tracer=tracer)
         rng = ensure_rng(seed)
         state = random_initial_state(catalog, rng)
         trace = ConvergenceTrace()
@@ -124,74 +136,116 @@ class IEGTSolver:
         if verification_enabled(self.verify):
             verifier = EvolutionaryGameVerifier(tol=self.tol, solver=self.name)
         verifier.on_solve_start(state)
+        if tracer.enabled:
+            tracer.event(
+                "iegt.solve_start",
+                solver=self.name,
+                center=sub.center.center_id,
+                workers=len(state.workers),
+                strategies=catalog.total_strategy_count,
+                epsilon=self.epsilon,
+            )
 
         population = len(state.workers)
         converged = False
         rounds = 0
+        total_switches = 0
         stall = 0
         last_total = float(state.payoffs().sum())
-        for rounds in range(1, self.max_rounds + 1):
-            payoffs = state.payoffs()
-            mean_payoff = float(payoffs.mean()) if population else 0.0
-            switches = 0
-            all_average = True
-            for idx, worker in enumerate(state.workers):
-                # sigma_km > 0 for a strategy in use, so the sign of the
-                # replicator derivative (Eq. 11) is the sign of U_i - U-bar.
-                gap = payoffs[idx] - mean_payoff
-                switched = False
-                if gap < -self.tol:
-                    all_average = False
-                    old_payoff = payoffs[idx]
-                    switched = self._evolve(state, worker.worker_id, rng)
-                    if switched:
-                        verifier.on_switch(
-                            worker.worker_id,
-                            rounds,
-                            (old_payoff, mean_payoff),
-                            state.strategy_of(worker.worker_id).payoff,
+        with METRICS.timer("iegt.solve_seconds"):
+            for rounds in range(1, self.max_rounds + 1):
+                payoffs = state.payoffs()
+                mean_payoff = float(payoffs.mean()) if population else 0.0
+                switches = 0
+                all_average = True
+                for idx, worker in enumerate(state.workers):
+                    # sigma_km > 0 for a strategy in use, so the sign of the
+                    # replicator derivative (Eq. 11) is the sign of U_i - U-bar.
+                    gap = payoffs[idx] - mean_payoff
+                    switched = False
+                    if gap < -self.tol:
+                        all_average = False
+                        old_payoff = payoffs[idx]
+                        switched = self._evolve(state, worker.worker_id, rng)
+                        if switched:
+                            verifier.on_switch(
+                                worker.worker_id,
+                                rounds,
+                                (old_payoff, mean_payoff),
+                                state.strategy_of(worker.worker_id).payoff,
+                            )
+                            if tracer.enabled:
+                                tracer.event(
+                                    "iegt.evolve",
+                                    worker=worker.worker_id,
+                                    round=rounds,
+                                    payoff_before=float(old_payoff),
+                                    payoff_after=state.strategy_of(
+                                        worker.worker_id
+                                    ).payoff,
+                                    mean_payoff=mean_payoff,
+                                )
+                            switches += 1
+                            payoffs = state.payoffs()
+                            mean_payoff = float(payoffs.mean())
+                    elif abs(gap) > self.tol:
+                        all_average = False
+                    if self.trace_granularity == "update":
+                        trace.record(
+                            len(trace) + 1,
+                            payoffs,
+                            int(switched),
+                            potential=float(payoffs.sum()),
                         )
-                        switches += 1
-                        payoffs = state.payoffs()
-                        mean_payoff = float(payoffs.mean())
-                elif abs(gap) > self.tol:
-                    all_average = False
-                if self.trace_granularity == "update":
+                total_switches += switches
+                if self.trace_granularity == "round":
                     trace.record(
-                        len(trace) + 1,
-                        payoffs,
-                        int(switched),
-                        potential=float(payoffs.sum()),
+                        rounds, payoffs, switches, potential=float(payoffs.sum())
                     )
-            if self.trace_granularity == "round":
-                trace.record(
-                    rounds, payoffs, switches, potential=float(payoffs.sum())
+                verifier.on_round(rounds, payoffs, float(payoffs.sum()), switches)
+                if tracer.enabled:
+                    tracer.event(
+                        "iegt.round",
+                        round=rounds,
+                        switches=switches,
+                        total_payoff=float(payoffs.sum()),
+                        mean_payoff=mean_payoff,
+                    )
+                stop = (
+                    all_average
+                    if self.termination == "classic"
+                    else (all_average or switches == 0)
                 )
-            verifier.on_round(rounds, payoffs, float(payoffs.sum()), switches)
-            stop = (
-                all_average
-                if self.termination == "classic"
-                else (all_average or switches == 0)
-            )
-            if stop:
-                converged = True
-                break
-            total = float(payoffs.sum())
-            if self.early_stop_patience is not None:
-                if total - last_total < self.early_stop_tol:
-                    stall += 1
-                    if stall >= self.early_stop_patience:
-                        break
-                else:
-                    stall = 0
-            last_total = total
+                if stop:
+                    converged = True
+                    break
+                total = float(payoffs.sum())
+                if self.early_stop_patience is not None:
+                    if total - last_total < self.early_stop_tol:
+                        stall += 1
+                        if stall >= self.early_stop_patience:
+                            break
+                    else:
+                        stall = 0
+                last_total = total
         if not converged:
             logger.warning(
                 "IEGT did not reach an evolutionary equilibrium within %d rounds",
                 self.max_rounds,
             )
+        METRICS.counter("iegt.rounds").add(rounds)
+        METRICS.counter("iegt.switches").add(total_switches)
         assignment = state.to_assignment()
         verifier.on_final(state, assignment, sub=sub, converged=converged)
+        if tracer.enabled:
+            tracer.event(
+                "iegt.solve_end",
+                solver=self.name,
+                center=sub.center.center_id,
+                rounds=rounds,
+                switches=total_switches,
+                converged=converged,
+            )
         return GameResult(assignment, trace, converged, rounds)
 
     def _evolve(

@@ -1,0 +1,84 @@
+"""Observability: metrics registry, structured tracing, trace analysis.
+
+The instrumentation layer behind every performance claim in the repo:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
+  counters, gauges, and histogram timers (phase wall time, DP states
+  expanded, catalog-cache hits/misses, verify checks run).
+* :mod:`repro.obs.tracer` — typed JSONL event/span :class:`Tracer` for the
+  solver hot loops, with a shared zero-overhead :data:`NULL_TRACER` default
+  following the ``NullVerifier`` pattern.  Enable per solver
+  (``FGTSolver(trace=True)``), process-wide (:func:`set_tracing`), or via
+  ``REPRO_TRACE=path.jsonl``.
+* :mod:`repro.obs.reader` — reload JSONL traces into typed records and
+  summaries for analysis and tests.
+
+The timing context managers of :mod:`repro.utils.timing` are re-exported
+here so there is one timing idiom: ``from repro.obs import Stopwatch``.
+See ``docs/observability.md`` for the event/metric ↔ paper mapping.
+"""
+
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_registry,
+    reset_metrics,
+)
+from repro.obs.reader import (
+    TraceFormatError,
+    TraceRecord,
+    TraceSummary,
+    iter_trace,
+    parse_record,
+    read_trace,
+    summarize_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_ENV_VAR,
+    JsonlTracer,
+    MemoryTracer,
+    NullTracer,
+    memory_tracer,
+    resolve_tracer,
+    set_tracing,
+    tracing_enabled,
+)
+from repro.utils.timing import CpuTimer, Stopwatch, record_time, timed
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "metrics_registry",
+    "reset_metrics",
+    # tracer
+    "NullTracer",
+    "NULL_TRACER",
+    "JsonlTracer",
+    "MemoryTracer",
+    "TRACE_ENV_VAR",
+    "memory_tracer",
+    "resolve_tracer",
+    "set_tracing",
+    "tracing_enabled",
+    # reader
+    "TraceRecord",
+    "TraceSummary",
+    "TraceFormatError",
+    "parse_record",
+    "iter_trace",
+    "read_trace",
+    "summarize_trace",
+    # one timing idiom (re-exported from repro.utils.timing)
+    "CpuTimer",
+    "Stopwatch",
+    "timed",
+    "record_time",
+]

@@ -1,0 +1,218 @@
+"""Process-wide metrics registry: counters, gauges, and histogram timers.
+
+The paper's cost claims (Figures 8-12) are statements about *how* the
+algorithms run — how many DP states C-VDPS generation expands, how many
+best-response rounds FGT plays, where the CPU time goes.  The registry
+collects those quantities as cheap in-process metrics so any run can report
+them without tracing overhead:
+
+* :class:`Counter` — monotone tallies (cache hits, DP expansions, switches).
+* :class:`Gauge` — last-observed values (catalog size, worker count).
+* :class:`Histogram` — streaming count/total/min/max summaries of samples;
+  :meth:`MetricsRegistry.timer` feeds one with wall-clock phase durations
+  measured via ``time.perf_counter``.
+
+Recording is dictionary-lookup cheap, but the hot loops still avoid
+per-iteration calls: they accumulate plain local integers and flush totals
+once per solve/build (see :mod:`repro.vdps.generator`).  The process-wide
+singleton is :data:`METRICS`; experiment arms snapshot it before/after a run
+and attach the delta to their :class:`~repro.experiments.runner.RunRecord`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping
+
+
+class Counter:
+    """Monotonically increasing tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the tally by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value of some quantity."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the latest reading, replacing the previous one."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary (count, total, min, max) of observed samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with get-or-create semantics.
+
+    A name belongs to exactly one metric kind; asking for the same name as a
+    different kind raises, which catches typo'd instrumentation early.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other, table in owners.items():
+            if other != kind and name in table:
+                raise ValueError(f"metric {name!r} already registered as a {other}")
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_unique(name, "counter")
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_unique(name, "gauge")
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_unique(name, "histogram")
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Observe the wall-clock duration of the enclosed block.
+
+        Feeds ``histogram(name)`` with ``time.perf_counter`` intervals, so
+        ``<name>.total`` in a snapshot is the cumulative phase time.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - start)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat, JSON-friendly view of every metric.
+
+        Counters and gauges appear under their own name; a histogram ``h``
+        expands to ``h.count``, ``h.total``, ``h.min``, ``h.max`` (the
+        extrema only once it has samples).
+        """
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            out[f"{name}.count"] = hist.count
+            out[f"{name}.total"] = hist.total
+            if hist.count:
+                out[f"{name}.min"] = hist.min
+                out[f"{name}.max"] = hist.max
+        return out
+
+    def delta(self, before: Mapping[str, float]) -> Dict[str, float]:
+        """Counter/histogram movement since the ``before`` snapshot.
+
+        Gauges are point-in-time readings, not accumulations, so they are
+        reported at their current value rather than differenced.  Keys that
+        did not move are omitted.
+        """
+        out: Dict[str, float] = {}
+        for key, value in self.snapshot().items():
+            base = key.rsplit(".", 1)[0]
+            if key in self._gauges:
+                if value != before.get(key, value):
+                    out[key] = value
+                elif key not in before:
+                    out[key] = value
+                continue
+            if base in self._histograms and key.endswith((".min", ".max")):
+                continue  # extrema do not difference meaningfully
+            moved = value - before.get(key, 0)
+            if moved:
+                out[key] = moved
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def format(self) -> str:
+        """Multi-line ``name  value`` table, alphabetical, for CLI output."""
+        snap = self.snapshot()
+        if not snap:
+            return "(no metrics recorded)"
+        width = max(len(name) for name in snap)
+        lines = []
+        for name in sorted(snap):
+            value = snap[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"{name.ljust(width)}  {rendered}")
+        return "\n".join(lines)
+
+
+#: The process-wide registry every instrumented component records into.
+METRICS = MetricsRegistry()
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return METRICS
+
+
+def reset_metrics() -> None:
+    """Drop all metrics (start of a ``repro trace`` run or a test)."""
+    METRICS.reset()

@@ -1,0 +1,189 @@
+"""Load JSONL traces back into typed records and summarise them.
+
+The reader is the analysis-side counterpart of
+:class:`~repro.obs.tracer.JsonlTracer`: it parses every line the tracer can
+emit into a :class:`TraceRecord` and folds a record stream into a
+:class:`TraceSummary` — per-phase wall time, rounds, switches, and the final
+metrics snapshot — which is what ``python -m repro trace`` prints and what
+convergence analyses (Figure 12 style) consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+#: Record fields reserved by the tracer envelope.
+_ENVELOPE = ("kind", "seq", "ts", "dur")
+
+
+class TraceFormatError(ValueError):
+    """A trace line is not a record the tracer could have written."""
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One parsed trace line.
+
+    Attributes
+    ----------
+    kind:
+        Dotted event type, e.g. ``fgt.round`` or ``catalog.build``.
+    seq:
+        Per-tracer monotone sequence number.
+    ts:
+        Seconds since the tracer was opened.
+    dur:
+        Span duration in seconds; ``None`` for point events.
+    fields:
+        All event-specific fields, envelope keys removed.
+    """
+
+    kind: str
+    seq: int
+    ts: float
+    dur: Optional[float]
+    fields: Mapping[str, Any]
+
+    @property
+    def solver(self) -> str:
+        """The component prefix of ``kind`` (``fgt``, ``iegt``, ``cvdps``...)."""
+        return self.kind.split(".", 1)[0]
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur is not None
+
+
+def parse_record(line: str, lineno: int = 0) -> TraceRecord:
+    """Parse one JSONL line into a :class:`TraceRecord`."""
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"line {lineno}: not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise TraceFormatError(f"line {lineno}: expected an object, got {type(raw)}")
+    for key in ("kind", "seq", "ts"):
+        if key not in raw:
+            raise TraceFormatError(f"line {lineno}: record missing {key!r}")
+    return TraceRecord(
+        kind=str(raw["kind"]),
+        seq=int(raw["seq"]),
+        ts=float(raw["ts"]),
+        dur=None if "dur" not in raw else float(raw["dur"]),
+        fields={k: v for k, v in raw.items() if k not in _ENVELOPE},
+    )
+
+
+def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Lazily parse the trace at ``path``, skipping blank lines."""
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if line.strip():
+                yield parse_record(line, lineno)
+
+
+def read_trace(path: PathLike) -> List[TraceRecord]:
+    """Parse the whole trace at ``path`` into a list of records."""
+    return list(iter_trace(path))
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one trace.
+
+    ``rounds``/``switches`` are keyed by solver prefix (``fgt``, ``iegt``,
+    ...); ``span_seconds`` totals the duration of every span kind;
+    ``events`` counts records per kind; ``metrics`` is the last embedded
+    ``metrics.snapshot`` payload, when the producer wrote one.
+    """
+
+    events: Dict[str, int] = field(default_factory=dict)
+    span_seconds: Dict[str, float] = field(default_factory=dict)
+    rounds: Dict[str, int] = field(default_factory=dict)
+    switches: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def total_rounds(self, solver: Optional[str] = None) -> int:
+        """Rounds recorded for ``solver`` (all solvers when ``None``)."""
+        if solver is not None:
+            return self.rounds.get(solver.lower(), 0)
+        return sum(self.rounds.values())
+
+    def total_switches(self, solver: Optional[str] = None) -> int:
+        """Strategy switches recorded for ``solver`` (all when ``None``)."""
+        if solver is not None:
+            return self.switches.get(solver.lower(), 0)
+        return sum(self.switches.values())
+
+    @property
+    def cache_stats(self) -> Dict[str, float]:
+        """Catalog-cache hits/misses/hit-rate from the metrics snapshot."""
+        hits = self.metrics.get("catalog_cache.hits", 0)
+        misses = self.metrics.get("catalog_cache.misses", 0)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-section summary for the CLI."""
+        lines: List[str] = []
+        if self.rounds:
+            lines.append("rounds / switches")
+            for solver in sorted(self.rounds):
+                lines.append(
+                    f"  {solver:<8} rounds={self.rounds[solver]} "
+                    f"switches={self.switches.get(solver, 0)}"
+                )
+        if self.span_seconds:
+            lines.append("phase wall time")
+            width = max(len(k) for k in self.span_seconds)
+            for kind in sorted(self.span_seconds):
+                lines.append(
+                    f"  {kind.ljust(width)}  {self.span_seconds[kind]:.6f}s"
+                )
+        cache = self.cache_stats
+        if cache["hits"] or cache["misses"]:
+            lines.append(
+                f"catalog cache: hits={cache['hits']:g} "
+                f"misses={cache['misses']:g} hit_rate={cache['hit_rate']:.2f}"
+            )
+        if self.events:
+            lines.append("events")
+            width = max(len(k) for k in self.events)
+            for kind in sorted(self.events):
+                lines.append(f"  {kind.ljust(width)}  {self.events[kind]}")
+        return "\n".join(lines) if lines else "(empty trace)"
+
+
+def summarize_trace(
+    records: Union[Sequence[TraceRecord], PathLike]
+) -> TraceSummary:
+    """Fold a record stream (or a trace file path) into a :class:`TraceSummary`."""
+    if isinstance(records, (str, Path)):
+        records = read_trace(records)
+    summary = TraceSummary()
+    for record in records:
+        summary.events[record.kind] = summary.events.get(record.kind, 0) + 1
+        if record.dur is not None:
+            summary.span_seconds[record.kind] = (
+                summary.span_seconds.get(record.kind, 0.0) + record.dur
+            )
+        solver = record.solver
+        if record.kind.endswith(".round"):
+            summary.rounds[solver] = summary.rounds.get(solver, 0) + 1
+            summary.switches[solver] = summary.switches.get(solver, 0) + int(
+                record.fields.get("switches", 0)
+            )
+        elif record.kind == "metrics.snapshot":
+            payload = record.fields.get("metrics", {})
+            if isinstance(payload, dict):
+                summary.metrics = payload
+    return summary

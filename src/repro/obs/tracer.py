@@ -1,0 +1,279 @@
+"""Structured JSONL tracing for the solver hot loops.
+
+The tracer mirrors the :class:`~repro.verify.verifier.NullVerifier` pattern:
+solvers hold a ``trace=`` field and resolve it to a tracer object once per
+solve, so a disabled trace costs one attribute read per hook site and the
+hot loops guard every emission with ``if tracer.enabled`` (no kwargs dict is
+even built when tracing is off).
+
+One trace is a JSON Lines stream of typed records.  Every record carries
+
+* ``kind`` — a dotted event type (``fgt.round``, ``cvdps.layer``, ...),
+* ``seq`` — a per-tracer monotone sequence number,
+* ``ts`` — seconds since the tracer was opened (``time.perf_counter``),
+* ``dur`` — span duration in seconds, present only on span records,
+
+plus event-specific fields.  :mod:`repro.obs.reader` loads the stream back
+into typed records.
+
+Tracing is enabled per solver (``FGTSolver(trace=...)`` accepts ``True`` or
+a tracer instance), process-wide via :func:`set_tracing`, or for a whole
+invocation via the ``REPRO_TRACE=path.jsonl`` environment variable — the
+same three tiers as runtime verification.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+#: Environment variable naming the JSONL file process-wide tracing writes to.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+class NullTracer:
+    """No-op tracer: the zero-overhead default on every solver hot path."""
+
+    enabled = False
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Emit one event record; no-op."""
+        pass
+
+    def span(self, kind: str, **fields: Any) -> "_NullSpan":
+        """Open a span (context manager emitting a record on exit); no-op."""
+        return _NULL_SPAN
+
+    def flush(self) -> None:
+        """Flush any buffered records; no-op."""
+        pass
+
+    def close(self) -> None:
+        """Release the underlying sink; no-op."""
+        pass
+
+
+class _NullSpan:
+    """Context manager returned by :meth:`NullTracer.span`."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Shared no-op instance handed to solvers when tracing is off.
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Live span: emits a ``kind`` record with ``dur`` when the block exits."""
+
+    __slots__ = ("_tracer", "_kind", "_fields", "_start")
+
+    def __init__(self, tracer: "_RecordingTracer", kind: str, fields: Dict[str, Any]):
+        self._tracer = tracer
+        self._kind = kind
+        self._fields = fields
+        self._start = 0.0
+
+    def add(self, **fields: Any) -> None:
+        """Attach more fields to the record the span will emit."""
+        self._fields.update(fields)
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        dur = time.perf_counter() - self._start
+        self._tracer._emit_record(self._kind, self._fields, dur=dur)
+
+
+class _RecordingTracer(NullTracer):
+    """Shared machinery of the live tracers: sequencing and timestamps."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Emit one timestamped event record."""
+        self._emit_record(kind, fields)
+
+    def span(self, kind: str, **fields: Any) -> _Span:
+        """A context manager that emits ``kind`` with its wall duration."""
+        return _Span(self, kind, dict(fields))
+
+    def _emit_record(
+        self, kind: str, fields: Dict[str, Any], dur: Optional[float] = None
+    ) -> None:
+        record: Dict[str, Any] = {
+            "kind": kind,
+            "seq": self._seq,
+            "ts": round(time.perf_counter() - self._t0, 9),
+        }
+        if dur is not None:
+            record["dur"] = round(dur, 9)
+        record.update(fields)
+        self._seq += 1
+        self._write(record)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+
+class JsonlTracer(_RecordingTracer):
+    """Tracer writing one JSON document per line to a file or stream."""
+
+    def __init__(
+        self, path: Union[str, Path, None] = None, stream: Optional[IO[str]] = None
+    ) -> None:
+        super().__init__()
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path or stream")
+        self._owns_stream = stream is None
+        if stream is None:
+            target = Path(path)
+            if target.parent != Path("."):
+                target.parent.mkdir(parents=True, exist_ok=True)
+            stream = target.open("a")
+        self._stream = stream
+        self.path = None if path is None else Path(path)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class MemoryTracer(_RecordingTracer):
+    """Tracer keeping records in memory — tests and ad-hoc inspection."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: List[Dict[str, Any]] = []
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop the collected records (the sequence number keeps counting)."""
+        self.records.clear()
+
+    def kinds(self) -> List[str]:
+        """The ``kind`` of every collected record, in emission order."""
+        return [r["kind"] for r in self.records]
+
+
+#: Process-wide override installed by :func:`set_tracing`.
+#: ``None`` defers to the environment; ``False`` forces tracing off.
+_OVERRIDE: Union[None, bool, NullTracer] = None
+
+#: Lazily-opened tracer for the ``REPRO_TRACE`` environment variable,
+#: cached per path so one process appends to a single stream.
+_ENV_TRACER: Optional[JsonlTracer] = None
+_ENV_PATH: Optional[str] = None
+
+#: Fallback sink when a solver asks for tracing but no file is configured.
+_FALLBACK = MemoryTracer()
+
+
+def memory_tracer() -> MemoryTracer:
+    """The shared in-memory fallback sink (``trace=True`` with no file)."""
+    return _FALLBACK
+
+
+def set_tracing(target: Union[None, bool, str, Path, NullTracer]) -> None:
+    """Install a process-wide tracing override.
+
+    ``None`` restores environment control (``REPRO_TRACE``); ``False``
+    forces tracing off; ``True`` routes to the shared in-memory sink; a
+    path opens a :class:`JsonlTracer` there; a tracer instance is used
+    as-is.  A previously installed path-opened tracer is closed.
+    """
+    global _OVERRIDE
+    if isinstance(_OVERRIDE, JsonlTracer):
+        _OVERRIDE.close()
+    if target is None or target is False:
+        _OVERRIDE = target
+    elif target is True:
+        _OVERRIDE = _FALLBACK
+    elif isinstance(target, (str, Path)):
+        _OVERRIDE = JsonlTracer(target)
+    elif isinstance(target, NullTracer):
+        _OVERRIDE = target
+    else:
+        raise TypeError(f"cannot trace to {target!r}")
+
+
+def _env_tracer() -> Optional[JsonlTracer]:
+    """The tracer for ``REPRO_TRACE``, opened once per configured path."""
+    global _ENV_TRACER, _ENV_PATH
+    path = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if not path:
+        return None
+    if _ENV_TRACER is None or _ENV_PATH != path:
+        if _ENV_TRACER is not None:
+            _ENV_TRACER.close()
+        _ENV_TRACER = JsonlTracer(path)
+        _ENV_PATH = path
+    return _ENV_TRACER
+
+
+def _configured_sink() -> NullTracer:
+    """The process-wide sink: override first, then environment, then memory."""
+    if isinstance(_OVERRIDE, NullTracer):
+        return _OVERRIDE
+    env = _env_tracer()
+    if env is not None:
+        return env
+    return _FALLBACK
+
+
+def resolve_tracer(flag: Union[bool, NullTracer, None] = False) -> NullTracer:
+    """The tracer a solver should use given its ``trace=`` field.
+
+    A tracer instance wins outright; ``trace=True`` routes to the
+    process-wide sink (override, then ``REPRO_TRACE``, then the shared
+    in-memory fallback); ``trace=False`` still picks up a process-wide
+    override or the environment variable — mirroring
+    :func:`repro.verify.verifier.verification_enabled` — and otherwise
+    returns the shared :data:`NULL_TRACER`.
+    """
+    if isinstance(flag, NullTracer):
+        return flag
+    if flag:
+        return _configured_sink()
+    if _OVERRIDE is False:
+        return NULL_TRACER
+    if isinstance(_OVERRIDE, NullTracer):
+        return _OVERRIDE
+    env = _env_tracer()
+    if env is not None:
+        return env
+    return NULL_TRACER
+
+
+def tracing_enabled(flag: Union[bool, NullTracer, None] = False) -> bool:
+    """Whether :func:`resolve_tracer` would return a live tracer."""
+    return resolve_tracer(flag).enabled

@@ -2,14 +2,20 @@
 
 The library logs under the ``repro`` namespace and never configures the root
 logger; applications decide where output goes.  :func:`enable_console_logging`
-is a convenience for scripts and examples.
+is a convenience for scripts and examples; calling it again with a different
+level re-levels the existing handler (it never stacks duplicates), and
+:func:`disable_console_logging` removes it.
 """
 
 from __future__ import annotations
 
 import logging
+from typing import Optional
 
 _LIBRARY_LOGGER_NAME = "repro"
+
+#: Marker attribute identifying the console handler this module installed.
+_HANDLER_MARK = "_repro_console_handler"
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -19,14 +25,54 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
 
 
+def _console_handler(logger: logging.Logger) -> Optional[logging.Handler]:
+    """The console handler previously installed here, if any.
+
+    Plain stream handlers attached by the application are treated as ours
+    too — the historical behaviour was to skip adding a second handler when
+    any ``StreamHandler`` was present, so re-levelling it is what a repeat
+    caller expects.
+    """
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_MARK, False):
+            return handler
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler):
+            return handler
+    return None
+
+
 def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
-    """Attach a stderr handler to the library logger (idempotent)."""
+    """Attach a stderr handler to the library logger (idempotent).
+
+    Repeat calls update the *existing* handler's level and ensure it has a
+    formatter, so ``enable_console_logging(logging.DEBUG)`` after an
+    earlier ``enable_console_logging()`` actually starts showing debug
+    records instead of silently keeping the old configuration.
+    """
     logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+    handler = _console_handler(logger)
+    if handler is None:
         handler = logging.StreamHandler()
+        setattr(handler, _HANDLER_MARK, True)
+        logger.addHandler(handler)
+    handler.setLevel(level)
+    if handler.formatter is None:
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
         )
-        logger.addHandler(handler)
     return logger
+
+
+def disable_console_logging() -> None:
+    """Remove the console handler :func:`enable_console_logging` installed.
+
+    Handlers the application attached itself (without this module) are left
+    in place unless they are plain stream handlers adopted by a previous
+    :func:`enable_console_logging` call.
+    """
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    handler = _console_handler(logger)
+    if handler is not None:
+        logger.removeHandler(handler)

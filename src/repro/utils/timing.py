@@ -1,8 +1,14 @@
 """Timing helpers used by the experiment harness.
 
 The paper reports *CPU time* for each algorithm; :class:`CpuTimer` measures
-process CPU time while :class:`Stopwatch` measures wall-clock time.  Both are
+process CPU time (``time.process_time``) while :class:`Stopwatch` measures
+wall-clock time.  Interval measurement deliberately never uses
+``time.time`` — wall intervals come from the monotonic
+``time.perf_counter``, which cannot jump with clock adjustments.  Both are
 context managers so call sites stay one line long.
+
+These timers are re-exported through :mod:`repro.obs` so instrumentation
+code has one timing idiom (``from repro.obs import Stopwatch``).
 """
 
 from __future__ import annotations

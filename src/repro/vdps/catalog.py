@@ -17,6 +17,8 @@ from repro.core.entities import Worker
 from repro.core.instance import SubProblem
 from repro.core.payoff import worker_payoff
 from repro.core.routing import Route, arrival_times, best_route
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NullTracer, resolve_tracer
 from repro.vdps.generator import CVdpsEntry, generate_cvdps
 
 #: Sentinel id for the *null* strategy (the worker performs no deliveries).
@@ -128,6 +130,7 @@ def build_catalog(
     epsilon: Optional[float] = None,
     strict_revalidation: bool = False,
     cvdps: Optional[List[CVdpsEntry]] = None,
+    tracer: Optional[NullTracer] = None,
 ) -> VDPSCatalog:
     """Build the strategy catalog for every online worker of ``sub``.
 
@@ -147,12 +150,46 @@ def build_catalog(
     cvdps:
         Pre-generated C-VDPS entries, to share work across algorithm arms
         that use the same ``epsilon``.
+    tracer:
+        Structured-event tracer for the build; ``None`` resolves the
+        process-wide sink (``REPRO_TRACE`` / :func:`repro.obs.set_tracing`).
+        A live tracer receives one ``catalog.build`` span per call; build
+        timings and strategy counts always land in the :mod:`repro.obs`
+        metrics registry.
     """
+    tracer = resolve_tracer(False) if tracer is None else tracer
+    span = tracer.span(
+        "catalog.build",
+        center=sub.center.center_id,
+        epsilon=epsilon,
+        workers=len(sub.online_workers),
+    )
+    with span, METRICS.timer("catalog.build_seconds"):
+        catalog = _build_catalog(
+            sub, epsilon, strict_revalidation, cvdps, tracer
+        )
+        if tracer.enabled:
+            span.add(
+                cvdps=catalog.cvdps_count,
+                strategies=catalog.total_strategy_count,
+            )
+    METRICS.counter("catalog.builds").add(1)
+    METRICS.counter("catalog.strategies_built").add(catalog.total_strategy_count)
+    return catalog
+
+
+def _build_catalog(
+    sub: SubProblem,
+    epsilon: Optional[float],
+    strict_revalidation: bool,
+    cvdps: Optional[List[CVdpsEntry]],
+    tracer: NullTracer,
+) -> VDPSCatalog:
     workers = sub.online_workers
     travel_model = sub.travel
     if cvdps is None:
         cap = max((w.max_delivery_points for w in workers), default=0)
-        cvdps = generate_cvdps(sub.center, travel_model, epsilon, cap)
+        cvdps = generate_cvdps(sub.center, travel_model, epsilon, cap, tracer=tracer)
 
     strategies: Dict[str, Tuple[WorkerStrategy, ...]] = {}
     for worker in workers:

@@ -27,6 +27,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.core.entities import DeliveryPoint, DistributionCenter
 from repro.core.routing import Route, arrival_times
 from repro.geo.travel import TravelModel
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NullTracer, resolve_tracer
 from repro.vdps.pruning import neighbor_lists
 
 _StateKey = Tuple[FrozenSet[int], int]
@@ -58,6 +60,7 @@ def generate_cvdps(
     travel: TravelModel,
     epsilon: Optional[float] = None,
     max_size: Optional[int] = None,
+    tracer: Optional[NullTracer] = None,
 ) -> List[CVdpsEntry]:
     """All C-VDPSs of ``center`` with at most ``max_size`` points.
 
@@ -73,12 +76,20 @@ def generate_cvdps(
     max_size:
         Upper bound on ``|Q|``; callers pass ``max_w maxDP`` since larger
         sets can never be assigned.  ``None`` means no bound.
+    tracer:
+        Structured-event tracer; ``None`` resolves the process-wide sink
+        (``REPRO_TRACE`` / :func:`repro.obs.set_tracing`), so a live tracer
+        receives one ``cvdps.layer`` event per DP layer.  Expansion and
+        rejection totals always land in the :mod:`repro.obs` metrics
+        registry — the DP loop accumulates plain local integers, so the
+        per-state overhead is a few increments either way.
 
     Returns
     -------
     list of :class:`CVdpsEntry`, sorted by (size, point ids) so output
     order is deterministic.
     """
+    tracer = resolve_tracer(False) if tracer is None else tracer
     points = center.delivery_points
     n = len(points)
     if n == 0:
@@ -87,6 +98,16 @@ def generate_cvdps(
     if cap == 0:
         return []
     neighbors = neighbor_lists(points, epsilon)
+    if epsilon is not None:
+        # Ordered point pairs the epsilon neighbourhood excludes up front:
+        # the state space the distance-constrained pruning never visits.
+        METRICS.counter("cvdps.pruned_pairs").add(
+            n * (n - 1) - sum(len(adj) for adj in neighbors)
+        )
+
+    states_expanded = 0
+    candidates_tried = 0
+    deadline_rejections = 0
 
     best: Dict[_StateKey, float] = {}
     parent: Dict[_StateKey, Optional[_StateKey]] = {}
@@ -98,19 +119,35 @@ def generate_cvdps(
             best[key] = t
             parent[key] = None
             frontier[key] = t
+        else:
+            deadline_rejections += 1
+    states_expanded += len(frontier)
+    if tracer.enabled:
+        tracer.event(
+            "cvdps.layer",
+            center=center.center_id,
+            size=1,
+            states=len(frontier),
+            candidates=n,
+            deadline_rejections=deadline_rejections,
+        )
 
     size = 1
     while frontier and size < cap:
         next_frontier: Dict[_StateKey, float] = {}
+        layer_candidates = 0
+        layer_rejections = 0
         for (subset, j), t in frontier.items():
             origin = points[j].location
             depart = t + points[j].service_hours
             for q in neighbors[j]:
                 if q in subset:
                     continue
+                layer_candidates += 1
                 dp_q = points[q]
                 t_next = depart + travel.time(origin, dp_q.location)
                 if t_next > dp_q.earliest_expiry:
+                    layer_rejections += 1
                     continue
                 key = (subset | {q}, q)
                 if t_next < next_frontier.get(key, math.inf):
@@ -119,7 +156,22 @@ def generate_cvdps(
         best.update(next_frontier)
         frontier = next_frontier
         size += 1
+        states_expanded += len(next_frontier)
+        candidates_tried += layer_candidates
+        deadline_rejections += layer_rejections
+        if tracer.enabled:
+            tracer.event(
+                "cvdps.layer",
+                center=center.center_id,
+                size=size,
+                states=len(next_frontier),
+                candidates=layer_candidates,
+                deadline_rejections=layer_rejections,
+            )
 
+    METRICS.counter("cvdps.states_expanded").add(states_expanded)
+    METRICS.counter("cvdps.candidates_tried").add(candidates_tried)
+    METRICS.counter("cvdps.deadline_rejections").add(deadline_rejections)
     return _collect_entries(points, best, parent, travel, center)
 
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.obs.metrics import METRICS
+
 
 class VerificationStats:
     """Per-invariant counters of executed checks (process-wide singleton)."""
@@ -17,8 +19,14 @@ class VerificationStats:
         self._counts: Dict[str, int] = {}
 
     def record(self, invariant: str, count: int = 1) -> None:
-        """Count ``count`` executed checks of ``invariant``."""
+        """Count ``count`` executed checks of ``invariant``.
+
+        Also mirrored into the :mod:`repro.obs` metrics registry under
+        ``verify.<invariant>``, so run profiles report how many invariant
+        checks executed alongside the solver counters.
+        """
         self._counts[invariant] = self._counts.get(invariant, 0) + count
+        METRICS.counter(f"verify.{invariant}").add(count)
 
     def reset(self) -> None:
         """Zero every counter."""

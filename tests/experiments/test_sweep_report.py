@@ -42,6 +42,23 @@ class TestSweepResult:
         assert set(d["metrics"]) == set(METRICS)
         assert d["metrics"]["average_payoff"]["IEGT"] == [7.0, 7.5]
 
+    def test_as_dict_diagnostics(self, sweep_result):
+        diags = sweep_result.as_dict()["diagnostics"]
+        assert set(diags) == {"GTA", "IEGT"}
+        assert len(diags["GTA"]) == 2  # one entry per grid value
+        entry = diags["GTA"][0]
+        assert set(entry) == {"rounds", "converged", "metrics"}
+
+    def test_as_dict_diagnostics_carry_run_metrics(self):
+        result = SweepResult(name="Demo", parameter="k", values=[1])
+        record = RunRecord(
+            "FGT", 1.0, 2.0, 0.1, rounds=4, metrics={"fgt.switches": 9}
+        )
+        result.add(1, [record])
+        entry = result.as_dict()["diagnostics"]["FGT"][0]
+        assert entry["rounds"] == 4
+        assert entry["metrics"]["fgt.switches"] == 9
+
 
 class TestRunSweep:
     def test_end_to_end_small(self):

@@ -1,0 +1,88 @@
+"""Tracing must never perturb solver results.
+
+The regression here is the acceptance bar of the instrumentation layer:
+running any solver with a live tracer attached must produce bit-identical
+assignments, payoffs, and round counts to the untraced run.
+"""
+
+import pytest
+
+from repro.baselines.gta import GTASolver
+from repro.baselines.mpta import MPTASolver
+from repro.core.instance import SubProblem
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.obs import MemoryTracer
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _sub(n_workers=4, max_dp=2):
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=4),
+            make_dp("b", 0.0, 1.5, n_tasks=2),
+            make_dp("c", -2.0, 0.0, n_tasks=3),
+            make_dp("d", 0.0, -1.0, n_tasks=1),
+            make_dp("e", 1.5, 1.5, n_tasks=2),
+        ]
+    )
+    workers = tuple(
+        make_worker(f"w{i}", 0.3 * i, -0.2 * i, max_dp=max_dp)
+        for i in range(n_workers)
+    )
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+SOLVERS = [
+    pytest.param(FGTSolver, {"epsilon": 0.6}, "fgt", id="fgt"),
+    pytest.param(IEGTSolver, {}, "iegt", id="iegt"),
+    pytest.param(GTASolver, {}, "gta", id="gta"),
+    pytest.param(MPTASolver, {}, "mpta", id="mpta"),
+]
+
+
+@pytest.mark.parametrize("solver_cls, kwargs, prefix", SOLVERS)
+def test_traced_run_is_bit_identical(solver_cls, kwargs, prefix):
+    sub = _sub()
+    tracer = MemoryTracer()
+
+    plain = solver_cls(**kwargs).solve(sub, seed=11)
+    traced = solver_cls(trace=tracer, **kwargs).solve(sub, seed=11)
+
+    assert traced.assignment.as_mapping() == plain.assignment.as_mapping()
+    assert [w.payoff for w in traced.assignment] == [
+        w.payoff for w in plain.assignment
+    ]
+    assert traced.rounds == plain.rounds
+    assert traced.converged == plain.converged
+    # The traced run actually traced something.
+    assert tracer.records, f"{solver_cls.__name__} emitted no trace records"
+
+
+@pytest.mark.parametrize("solver_cls, kwargs, prefix", SOLVERS)
+def test_trace_brackets_solve(solver_cls, kwargs, prefix):
+    """Every solver opens with *.solve_start and closes with *.solve_end."""
+    tracer = MemoryTracer()
+    solver_cls(trace=tracer, **kwargs).solve(_sub(), seed=3)
+    kinds = tracer.kinds()
+    assert kinds.count(f"{prefix}.solve_start") == 1
+    assert kinds[-1] == f"{prefix}.solve_end"
+
+
+def test_fgt_round_events_match_reported_rounds():
+    tracer = MemoryTracer()
+    result = FGTSolver(trace=tracer).solve(_sub(), seed=5)
+    rounds = [r for r in tracer.records if r["kind"] == "fgt.round"]
+    assert len(rounds) == result.rounds
+    assert [r["round"] for r in rounds] == list(range(1, result.rounds + 1))
+    total_switches = sum(r["switches"] for r in rounds)
+    switch_events = [r for r in tracer.records if r["kind"] == "fgt.switch"]
+    assert len(switch_events) == total_switches
+
+
+def test_iegt_round_events_match_reported_rounds():
+    tracer = MemoryTracer()
+    result = IEGTSolver(trace=tracer).solve(_sub(), seed=5)
+    rounds = [r for r in tracer.records if r["kind"] == "iegt.round"]
+    assert len(rounds) == result.rounds

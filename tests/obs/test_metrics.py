@@ -1,0 +1,127 @@
+"""Tests for the repro.obs metrics registry."""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    metrics_registry,
+    reset_metrics,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").add()
+        registry.counter("hits").add(4)
+        assert registry.counter("hits").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("c").add(-1)
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3)
+        registry.gauge("depth").set(7.5)
+        assert registry.gauge("depth").value == 7.5
+
+    def test_histogram_summary(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_name_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_timer_observes_wall_time(self):
+        registry = MetricsRegistry()
+        with registry.timer("phase"):
+            time.sleep(0.01)
+        hist = registry.histogram("phase")
+        assert hist.count == 1
+        assert hist.total >= 0.005
+
+    def test_snapshot_is_flat_and_json_friendly(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        snap = registry.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 1.5
+        assert snap["h.count"] == 1
+        assert snap["h.total"] == 0.25
+        assert snap["h.min"] == 0.25
+        assert snap["h.max"] == 0.25
+
+    def test_empty_histogram_omits_extrema(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        snap = registry.snapshot()
+        assert "h.min" not in snap and "h.max" not in snap
+        assert snap["h.count"] == 0
+
+    def test_delta_differences_counters_not_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.gauge("g").set(5.0)
+        before = registry.snapshot()
+        registry.counter("c").add(3)
+        registry.gauge("g").set(9.0)
+        registry.histogram("h").observe(1.0)
+        delta = registry.delta(before)
+        assert delta["c"] == 3
+        assert delta["g"] == 9.0  # gauges report their current value
+        assert delta["h.count"] == 1
+        assert delta["h.total"] == 1.0
+        assert "h.min" not in delta  # extrema do not difference
+
+    def test_delta_omits_untouched_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        before = registry.snapshot()
+        assert registry.delta(before) == {}
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_format_table(self):
+        registry = MetricsRegistry()
+        assert "(no metrics recorded)" in registry.format()
+        registry.counter("a.b").add(2)
+        assert "a.b" in registry.format()
+
+
+class TestSingleton:
+    def test_module_singleton_accessors(self):
+        assert metrics_registry() is METRICS
+        METRICS.counter("test.singleton").add(1)
+        assert "test.singleton" in METRICS.snapshot()
+        reset_metrics()
+        assert "test.singleton" not in METRICS.snapshot()

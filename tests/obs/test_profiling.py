@@ -1,0 +1,99 @@
+"""Profiling hooks: RunRecord metrics, sweep diagnostics, CLI trace command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.experiments.runner import default_algorithms, run_algorithms
+from repro.obs import read_trace, reset_metrics, summarize_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_gmission_like(
+        GMissionConfig(n_tasks=50, n_workers=6, n_delivery_points=12), seed=3
+    )
+
+
+class TestRunnerProfiling:
+    def test_records_carry_phase_timings_and_counters(self, instance):
+        records = run_algorithms(
+            instance, default_algorithms(include_mpta=False), epsilon=0.6, seed=0
+        )
+        for record in records:
+            assert "phase.catalog_build_cpu_s" in record.metrics
+            assert "phase.solve_cpu_s" in record.metrics
+            assert record.metrics["phase.solve_cpu_s"] >= 0.0
+            assert record.metrics["solver.rounds"] >= 1
+
+    def test_first_arm_pays_cache_misses_later_arms_hit(self, instance):
+        records = run_algorithms(
+            instance, default_algorithms(include_mpta=False), epsilon=0.6, seed=0
+        )
+        n_subs = len(instance.subproblems())
+        assert records[0].metrics.get("catalog_cache.misses", 0) == n_subs
+        assert "catalog_cache.misses" not in records[1].metrics
+        assert records[1].metrics.get("catalog_cache.hits", 0) == n_subs
+
+    def test_solver_counters_are_per_arm(self, instance):
+        records = run_algorithms(
+            instance, default_algorithms(include_mpta=False), epsilon=0.6, seed=0
+        )
+        by_name = {r.algorithm: r for r in records}
+        # FGT best-response counters land on the FGT arm only.
+        assert by_name["FGT"].metrics.get("fgt.rounds", 0) >= 1
+        assert "fgt.rounds" not in by_name["IEGT"].metrics
+        assert by_name["IEGT"].metrics.get("iegt.rounds", 0) >= 1
+
+
+class TestCliTrace:
+    def test_trace_fgt_round_count_matches(self, tmp_path, capsys):
+        out_path = tmp_path / "fgt.jsonl"
+        code = main(
+            [
+                "trace",
+                "--algo",
+                "fgt",
+                "--scale",
+                "smoke",
+                "--seed",
+                "0",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "rounds" in printed
+        records = read_trace(out_path)  # every line parses
+        assert records
+        summary = summarize_trace(records)
+        assert summary.total_rounds("fgt") >= 1
+        # Round events agree with the solver's own per-subproblem reports.
+        assert summary.events.get("fgt.solve_end", 0) >= 1
+
+    def test_trace_output_is_fresh_each_run(self, tmp_path, capsys):
+        out_path = tmp_path / "t.jsonl"
+        assert main(["trace", "--scale", "smoke", "--output", str(out_path)]) == 0
+        first = len(read_trace(out_path))
+        capsys.readouterr()
+        assert main(["trace", "--scale", "smoke", "--output", str(out_path)]) == 0
+        assert len(read_trace(out_path)) == first  # no append accumulation
+
+    def test_trace_lines_are_valid_json(self, tmp_path, capsys):
+        out_path = tmp_path / "t.jsonl"
+        assert main(
+            ["trace", "--algo", "gta", "--scale", "smoke", "--output", str(out_path)]
+        ) == 0
+        for line in out_path.read_text().splitlines():
+            record = json.loads(line)
+            assert {"kind", "seq", "ts"} <= record.keys()

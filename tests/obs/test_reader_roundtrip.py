@@ -1,0 +1,110 @@
+"""Round-trip: everything the tracers write, the reader parses back."""
+
+import pytest
+
+from repro.baselines.gta import GTASolver
+from repro.baselines.mpta import MPTASolver
+from repro.core.instance import SubProblem
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.obs import (
+    METRICS,
+    JsonlTracer,
+    read_trace,
+    reset_metrics,
+    summarize_trace,
+)
+from repro.obs.reader import TraceFormatError, TraceRecord, parse_record
+
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+def _sub(n_workers=3):
+    center = make_center(
+        [
+            make_dp("a", 1.0, 0.0, n_tasks=3),
+            make_dp("b", 0.0, 1.5, n_tasks=2),
+            make_dp("c", -2.0, 0.0, n_tasks=2),
+        ]
+    )
+    workers = tuple(
+        make_worker(f"w{i}", 0.3 * i, -0.2 * i, max_dp=2) for i in range(n_workers)
+    )
+    return SubProblem(center, workers, unit_speed_travel())
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    """A trace file produced by all four solvers plus a metrics snapshot."""
+    reset_metrics()
+    path = tmp_path / "trace.jsonl"
+    sub = _sub()
+    with JsonlTracer(path) as tracer:
+        FGTSolver(epsilon=0.6, trace=tracer).solve(sub, seed=1)
+        IEGTSolver(trace=tracer).solve(sub, seed=1)
+        GTASolver(trace=tracer).solve(sub, seed=1)
+        MPTASolver(trace=tracer).solve(sub, seed=1)
+        tracer.event("metrics.snapshot", metrics=METRICS.snapshot())
+    reset_metrics()
+    return path
+
+
+class TestRoundTrip:
+    def test_every_record_parses(self, trace_path):
+        records = read_trace(trace_path)
+        assert records, "solvers wrote no records"
+        assert all(isinstance(r, TraceRecord) for r in records)
+
+    def test_seq_is_contiguous_and_ordered(self, trace_path):
+        records = read_trace(trace_path)
+        assert [r.seq for r in records] == list(range(len(records)))
+        ts = [r.ts for r in records]
+        assert ts == sorted(ts)
+
+    def test_spans_have_durations(self, trace_path):
+        records = read_trace(trace_path)
+        spans = [r for r in records if r.is_span]
+        assert spans, "expected at least the catalog.build span"
+        assert {"catalog.build"} <= {r.kind for r in spans}
+        assert all(r.dur >= 0.0 for r in spans)
+
+    def test_envelope_stripped_from_fields(self, trace_path):
+        for record in read_trace(trace_path):
+            for key in ("kind", "seq", "ts", "dur"):
+                assert key not in record.fields
+
+    def test_solver_prefixes_present(self, trace_path):
+        prefixes = {r.solver for r in read_trace(trace_path)}
+        assert {"fgt", "iegt", "gta", "mpta", "catalog", "metrics"} <= prefixes
+
+    def test_summary_counts_rounds_and_metrics(self, trace_path):
+        records = read_trace(trace_path)
+        summary = summarize_trace(records)
+        # Path and record-list entry points agree.
+        assert summarize_trace(trace_path).events == summary.events
+        fgt_rounds = sum(1 for r in records if r.kind == "fgt.round")
+        assert summary.total_rounds("fgt") == fgt_rounds
+        assert summary.total_rounds() >= fgt_rounds
+        assert summary.metrics, "metrics.snapshot payload lost"
+        assert "catalog.builds" in summary.metrics
+        assert summary.span_seconds.get("catalog.build", 0.0) > 0.0
+        assert summary.format()  # renders without error
+
+
+class TestParseErrors:
+    def test_rejects_invalid_json(self):
+        with pytest.raises(TraceFormatError, match="not valid JSON"):
+            parse_record("{oops", lineno=3)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(TraceFormatError, match="expected an object"):
+            parse_record("[1, 2]")
+
+    def test_rejects_missing_envelope_keys(self):
+        with pytest.raises(TraceFormatError, match="missing 'ts'"):
+            parse_record('{"kind": "x", "seq": 0}')
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind":"a","seq":0,"ts":0.0}\n\n\n')
+        assert len(read_trace(path)) == 1

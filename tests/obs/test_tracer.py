@@ -1,0 +1,179 @@
+"""Tests for the repro.obs tracers and enablement tiers."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_ENV_VAR,
+    JsonlTracer,
+    MemoryTracer,
+    NullTracer,
+    memory_tracer,
+    resolve_tracer,
+    set_tracing,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing_state(monkeypatch):
+    """Keep the process-wide override and env var out of other tests."""
+    monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+    set_tracing(None)
+    yield
+    set_tracing(None)
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.event("x", a=1)
+        with tracer.span("y", b=2) as span:
+            assert span is not None
+        tracer.flush()
+        tracer.close()
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
+
+
+class TestMemoryTracer:
+    def test_event_envelope(self):
+        tracer = MemoryTracer()
+        tracer.event("fgt.round", round=1, switches=2)
+        [record] = tracer.records
+        assert record["kind"] == "fgt.round"
+        assert record["seq"] == 0
+        assert record["ts"] >= 0.0
+        assert "dur" not in record
+        assert record["round"] == 1 and record["switches"] == 2
+
+    def test_span_emits_dur_on_exit(self):
+        tracer = MemoryTracer()
+        with tracer.span("catalog.build", center=0) as span:
+            assert tracer.records == []  # nothing until exit
+            span.add(strategies=5)
+        [record] = tracer.records
+        assert record["kind"] == "catalog.build"
+        assert record["dur"] >= 0.0
+        assert record["center"] == 0
+        assert record["strategies"] == 5
+
+    def test_seq_is_monotone(self):
+        tracer = MemoryTracer()
+        for _ in range(3):
+            tracer.event("e")
+        assert [r["seq"] for r in tracer.records] == [0, 1, 2]
+
+    def test_clear_keeps_counting(self):
+        tracer = MemoryTracer()
+        tracer.event("a")
+        tracer.clear()
+        tracer.event("b")
+        assert tracer.kinds() == ["b"]
+        assert tracer.records[0]["seq"] == 1
+
+
+class TestJsonlTracer:
+    def test_requires_exactly_one_sink(self, tmp_path):
+        with pytest.raises(ValueError, match="exactly one"):
+            JsonlTracer()
+        import io
+
+        with pytest.raises(ValueError, match="exactly one"):
+            JsonlTracer(path=tmp_path / "t.jsonl", stream=io.StringIO())
+
+    def test_writes_one_json_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.event("a", x=1)
+            tracer.event("b", y=2)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "a"
+        assert json.loads(lines[1])["y"] == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.event("a")
+        assert path.exists()
+
+    def test_stream_not_closed_when_borrowed(self):
+        import io
+
+        stream = io.StringIO()
+        tracer = JsonlTracer(stream=stream)
+        tracer.event("a")
+        tracer.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["kind"] == "a"
+
+
+class TestEnablement:
+    def test_default_is_null(self):
+        assert resolve_tracer(False) is NULL_TRACER
+        assert resolve_tracer(None) is NULL_TRACER
+        assert not tracing_enabled(False)
+
+    def test_instance_wins_outright(self):
+        tracer = MemoryTracer()
+        set_tracing(False)  # even a force-off override loses to an instance
+        assert resolve_tracer(tracer) is tracer
+        assert tracing_enabled(tracer)
+
+    def test_true_routes_to_fallback_sink(self):
+        assert resolve_tracer(True) is memory_tracer()
+
+    def test_set_tracing_true_and_false(self):
+        set_tracing(True)
+        assert resolve_tracer(False) is memory_tracer()
+        set_tracing(False)
+        assert resolve_tracer(False) is NULL_TRACER
+        # An explicit per-solver trace=True beats force-off, mirroring
+        # verification_enabled(flag=True).
+        assert resolve_tracer(True) is memory_tracer()
+
+    def test_set_tracing_instance(self):
+        tracer = MemoryTracer()
+        set_tracing(tracer)
+        assert resolve_tracer(False) is tracer
+        assert resolve_tracer(True) is tracer
+
+    def test_set_tracing_path_opens_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        set_tracing(path)
+        sink = resolve_tracer(False)
+        assert isinstance(sink, JsonlTracer)
+        sink.event("a")
+        set_tracing(None)  # closes the path-opened tracer
+        assert json.loads(path.read_text())["kind"] == "a"
+
+    def test_set_tracing_rejects_garbage(self):
+        with pytest.raises(TypeError, match="cannot trace"):
+            set_tracing(42)
+
+    def test_env_var_enables_tracing(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv(TRACE_ENV_VAR, str(path))
+        sink = resolve_tracer(False)
+        assert isinstance(sink, JsonlTracer)
+        assert sink is resolve_tracer(True)  # same cached tracer
+        sink.event("a")
+        sink.flush()
+        assert json.loads(path.read_text())["kind"] == "a"
+
+    def test_override_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, str(tmp_path / "env.jsonl"))
+        tracer = MemoryTracer()
+        set_tracing(tracer)
+        assert resolve_tracer(False) is tracer
+
+    def test_force_off_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, str(tmp_path / "env.jsonl"))
+        set_tracing(False)
+        assert resolve_tracer(False) is NULL_TRACER

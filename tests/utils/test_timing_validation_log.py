@@ -5,7 +5,11 @@ import time
 
 import pytest
 
-from repro.utils.log import enable_console_logging, get_logger
+from repro.utils.log import (
+    disable_console_logging,
+    enable_console_logging,
+    get_logger,
+)
 from repro.utils.timing import CpuTimer, Stopwatch, record_time, timed
 from repro.utils.validation import (
     require,
@@ -93,3 +97,24 @@ class TestLog:
         n_handlers = len(logger.handlers)
         enable_console_logging(logging.WARNING)
         assert len(logger.handlers) == n_handlers
+        disable_console_logging()
+
+    def test_repeat_call_updates_level(self):
+        logger = enable_console_logging(logging.WARNING)
+        try:
+            handler = logger.handlers[-1]
+            assert handler.level == logging.WARNING
+            enable_console_logging(logging.DEBUG)
+            assert logger.level == logging.DEBUG
+            assert handler.level == logging.DEBUG
+            assert handler.formatter is not None
+        finally:
+            disable_console_logging()
+
+    def test_disable_removes_handler(self):
+        logger = enable_console_logging(logging.INFO)
+        n_before = len(logger.handlers)
+        disable_console_logging()
+        assert len(logger.handlers) == n_before - 1
+        disable_console_logging()  # idempotent
+        assert len(logger.handlers) == n_before - 1
