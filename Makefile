@@ -1,6 +1,6 @@
 # Convenience targets for the FTA reproduction.
 
-.PHONY: install test verify trace bench bench-smoke bench-paper examples clean
+.PHONY: install test verify trace serve bench bench-smoke bench-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -17,6 +17,11 @@ verify:
 # Trace the FGT hot loop into trace.jsonl and print the summary table.
 trace:
 	python -m repro trace --algo fgt --scale ci --seed 0 --output trace.jsonl
+
+# Run the online dispatch service on a generated gMission-like city.
+# Ctrl-C drains the in-flight round and dumps final metrics.
+serve:
+	python -m repro serve --algorithm fgt --epsilon 0.8 --seed 0
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The dispatch service end to end, in one process.
+
+Everything else in this repository solves a *frozen* instance; this example
+runs the online service the ROADMAP aims at: an HTTP assignment engine over
+a mutating world.  It starts a :class:`~repro.service.DispatchServer` on an
+ephemeral port, injects deterministic churn through the real JSON API with
+:class:`~repro.service.LoadGenerator`, and drives micro-batch rounds —
+watching the snapshot-hash catalog cache skip C-VDPS rebuilds for untouched
+centers while every committed round reports the paper's fairness metric
+(Equation 2).
+
+Run:
+    python examples/live_dispatch.py
+"""
+
+from repro import FGTSolver, SynConfig, generate_synthetic
+from repro.service import (
+    DispatchClient,
+    DispatchEngine,
+    DispatchServer,
+    LoadGenerator,
+    WorldState,
+)
+
+
+def build_world(seed: int = 11) -> WorldState:
+    """A three-center synthetic city wrapped as mutable service state."""
+    instance = generate_synthetic(
+        SynConfig(
+            n_centers=3, n_workers=12, n_delivery_points=24, n_tasks=60,
+            space_km=12.0,
+        ),
+        seed=seed,
+    )
+    state = WorldState(instance.centers, travel=instance.travel)
+    state.add_workers(instance.workers)
+    # The generated instance's relative deadlines become absolute at t=0.
+    state.add_tasks(
+        {
+            "task_id": task.task_id,
+            "dp_id": task.delivery_point_id,
+            "expiry": task.expiry,
+            "reward": task.reward,
+        }
+        for center in instance.centers
+        for task in center.tasks
+    )
+    return state
+
+
+def main() -> None:
+    state = build_world()
+    engine = DispatchEngine(
+        state, FGTSolver(epsilon=2.0), epsilon=2.0, verify=True, seed=0
+    )
+    first_center = state.centers[0]
+    generator = LoadGenerator(
+        [dp.dp_id for dp in first_center.delivery_points],  # churn center 0 only
+        seed=7,
+        patience=(0.8, 1.6),
+    )
+
+    with DispatchServer(engine, port=0) as server:  # port 0 -> ephemeral
+        client = DispatchClient(server.url)
+        health = client.wait_healthy()
+        print(
+            f"service up at {server.url}: {len(state.centers)} centers, "
+            f"{health['workers']} couriers, {health['pending_tasks']} "
+            "pending tasks\n"
+        )
+
+        steps = [
+            ("preview", dict(commit=False), None),
+            ("preview again", dict(commit=False), None),
+            ("churn + commit", dict(commit=True), 6),
+            ("commit", dict(commit=True), None),
+        ]
+        header = (
+            f"{'step':<15} {'assigned':>9} {'pending':>8} {'P_dif':>8} "
+            f"{'cache h/m':>10}"
+        )
+        print(header)
+        print("-" * len(header))
+        for label, kwargs, n_new_tasks in steps:
+            if n_new_tasks:
+                client.submit_tasks(
+                    generator.tasks(n_new_tasks, now=client.health()["now"])
+                )
+            result = client.dispatch(**kwargs)
+            cache = result["cache"]
+            print(
+                f"{label:<15} {result['assigned_tasks']:>9d} "
+                f"{result['pending_tasks']:>8d} "
+                f"{result['payoff_difference']:>8.3f} "
+                f"{cache['hits']:>5d}/{cache['misses']:<4d}"
+            )
+
+        metrics = client.metrics()
+        print(
+            f"\nTotals: {int(metrics['repro_service_tasks_assigned'])} tasks "
+            f"assigned over {int(metrics['repro_service_rounds'])} rounds; "
+            f"catalog cache {int(metrics['repro_service_catalog_cache_hits'])} "
+            f"hits / {int(metrics['repro_service_catalog_cache_misses'])} "
+            "misses; every round passed the Def. 8 invariant checkers."
+        )
+        print(
+            "Reading: the repeated preview and the round that only churned "
+            "center 0 reuse the other centers' cached strategy catalogs — "
+            "the snapshot content hash proves nothing changed there, so the "
+            "served assignment is bit-identical to a cold rebuild."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,9 @@ Four subcommands cover the operational loop a platform engineer needs:
 * ``trace`` — run one solver under :mod:`repro.obs` structured tracing,
   write the JSONL trace, and print a summary (per-phase wall time,
   rounds, switches, catalog-cache stats).
+* ``serve`` — run the long-lived online dispatch service
+  (:mod:`repro.service`): a JSON-over-HTTP assignment engine with
+  per-center sharded solves and snapshot-keyed catalog caching.
 """
 
 from __future__ import annotations
@@ -67,6 +70,12 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--epsilon", type=float, default=None, help="pruning radius (km)")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="solve distribution centers on a process pool of this size",
+    )
+    solve.add_argument(
         "--output", type=Path, default=None, help="write the assignment CSV here"
     )
 
@@ -78,6 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp.add_argument("--challenger", choices=sorted(_SOLVERS), default="iegt")
     cmp.add_argument("--epsilon", type=float, default=None)
     cmp.add_argument("--seed", type=int, default=0)
+    cmp.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="solve distribution centers on a process pool of this size",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate one paper figure")
     exp.add_argument("experiment_id", help="e.g. fig4; see list-experiments")
@@ -149,6 +164,60 @@ def _build_parser() -> argparse.ArgumentParser:
         default=Path("trace.jsonl"),
         help="JSONL trace file to write (default trace.jsonl)",
     )
+    trc.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="also print the metrics registry in Prometheus text format",
+    )
+
+    srv = sub.add_parser(
+        "serve", help="run the online dispatch service (JSON over HTTP)"
+    )
+    srv.add_argument(
+        "input",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="CSV instance dir for the layout/fleet/initial queue "
+        "(default: generate a gMission-like city)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port; 0 binds an ephemeral port (see --port-file)",
+    )
+    srv.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port here once listening (for --port 0)",
+    )
+    srv.add_argument("--algorithm", choices=sorted(_SOLVERS), default="fgt")
+    srv.add_argument("--epsilon", type=float, default=None, help="pruning radius (km)")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="per-center solve parallelism within each dispatch round",
+    )
+    srv.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the Def. 8 / Eq. 1-2 invariant checkers on every round",
+    )
+    srv.add_argument(
+        "--no-initial-tasks",
+        action="store_true",
+        help="start with an empty task queue (layout and fleet only)",
+    )
+    srv.add_argument("--tasks", type=int, default=60, help="generated-city task count")
+    srv.add_argument("--workers", type=int, default=12, help="generated-city fleet size")
+    srv.add_argument(
+        "--delivery-points", type=int, default=24, help="generated-city point count"
+    )
     return parser
 
 
@@ -174,18 +243,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.parallel import solve_instance
+
     instance = load_instance(args.input)
     solver = _SOLVERS[args.algorithm](args.epsilon)
+    solution = solve_instance(
+        instance, solver, epsilon=args.epsilon, seed=args.seed, n_jobs=args.n_jobs
+    )
     payoffs: List[float] = []
     rows = []
-    for sub_problem in instance.subproblems():
-        result = solver.solve(sub_problem, seed=args.seed)
-        for pair in result.assignment:
+    for center_id in sorted(solution.assignments):
+        for pair in solution.assignments[center_id]:
             payoffs.append(pair.payoff)
             rows.append(
                 (
                     pair.worker.worker_id,
-                    sub_problem.center.center_id,
+                    center_id,
                     "|".join(pair.delivery_point_ids),
                     f"{pair.payoff:.6f}",
                 )
@@ -207,15 +280,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import compare_assignments
     from repro.core.assignment import Assignment
+    from repro.parallel import solve_instance
 
     instance = load_instance(args.input)
     labelled = {}
     for label in (args.baseline, args.challenger):
         solver = _SOLVERS[label](args.epsilon)
+        solution = solve_instance(
+            instance, solver, epsilon=args.epsilon, seed=args.seed, n_jobs=args.n_jobs
+        )
         pairs = []
-        for sub_problem in instance.subproblems():
-            result = solver.solve(sub_problem, seed=args.seed)
-            pairs.extend(result.assignment.pairs)
+        for center_id in sorted(solution.assignments):
+            pairs.extend(solution.assignments[center_id].pairs)
         labelled[label] = Assignment(pairs)
     comparison = compare_assignments(
         labelled[args.baseline],
@@ -395,6 +471,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         set_tracing(None)
         tracer.close()
 
+    if args.prometheus:
+        print(METRICS.render_prometheus(), end="")
+        print()
     summary = summarize_trace(read_trace(args.output))
     print(f"algorithm        : {solver.name}")
     print(f"workers          : {len(payoffs)}")
@@ -416,6 +495,88 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.obs.metrics import METRICS
+    from repro.service import DispatchEngine, DispatchServer, WorldState
+
+    if args.input is not None:
+        instance = load_instance(args.input)
+    else:
+        config = GMissionConfig(
+            n_tasks=args.tasks,
+            n_workers=args.workers,
+            n_delivery_points=args.delivery_points,
+        )
+        instance = generate_gmission_like(config, seed=args.seed)
+
+    state = WorldState(instance.centers, travel=instance.travel)
+    # Attach the fleet through the churn path (assigns free-floating
+    # workers to their nearest center, exactly like subproblems()).
+    state.add_workers(instance.workers)
+    if not args.no_initial_tasks:
+        # The instance's relative expiries become absolute at t=0.
+        state.add_tasks(
+            [
+                {
+                    "task_id": task.task_id,
+                    "dp_id": task.delivery_point_id,
+                    "expiry": task.expiry,
+                    "reward": task.reward,
+                }
+                for center in instance.centers
+                for task in center.tasks
+            ]
+        )
+
+    solver = _SOLVERS[args.algorithm](args.epsilon)
+    engine = DispatchEngine(
+        state,
+        solver,
+        epsilon=args.epsilon,
+        n_jobs=args.n_jobs,
+        verify=args.verify,
+        seed=args.seed,
+    )
+    server = DispatchServer(engine, host=args.host, port=args.port)
+    if args.port_file is not None:
+        args.port_file.parent.mkdir(parents=True, exist_ok=True)
+        args.port_file.write_text(f"{server.port}\n")
+
+    print(f"dispatch service listening on {server.url}")
+    print(
+        f"  algorithm={engine.solver_name} epsilon={args.epsilon} "
+        f"n_jobs={args.n_jobs} verify={args.verify} seed={args.seed}"
+    )
+    print(
+        f"  centers={len(state.centers)} workers={state.worker_count} "
+        f"pending_tasks={state.pending_task_count}"
+    )
+    print(
+        "  endpoints: POST /tasks /workers /dispatch /shutdown · "
+        "GET /assignments /healthz /metrics"
+    )
+    sys.stdout.flush()
+
+    def _stop(signum, frame):  # noqa: ARG001
+        print("signal received, draining in-flight dispatch ...", file=sys.stderr)
+        server.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _stop) for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print()
+    print(f"served {engine.rounds_dispatched} dispatch rounds; final metrics:")
+    print(METRICS.format())
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -424,6 +585,7 @@ _COMMANDS = {
     "list-experiments": _cmd_list_experiments,
     "verify": _cmd_verify,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
 }
 
 

@@ -112,7 +112,12 @@ def jain_index(payoffs: Sequence[float]) -> float:
     n = values.size
     if n == 0:
         return 1.0
-    denom = float((values**2).sum())
-    if denom == 0:
+    scale = float(np.abs(values).max())
+    if scale == 0:
         return 1.0
+    # The index is scale-invariant; normalising by the largest magnitude
+    # keeps the squares out of the subnormal range, where they would lose
+    # precision and push the ratio outside [0, 1].
+    values = values / scale
+    denom = float((values**2).sum())
     return float(values.sum() ** 2 / (n * denom))

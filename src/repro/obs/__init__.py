@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     metrics_registry,
+    render_prometheus,
     reset_metrics,
 )
 from repro.obs.reader import (
@@ -57,6 +58,7 @@ __all__ = [
     "MetricsRegistry",
     "METRICS",
     "metrics_registry",
+    "render_prometheus",
     "reset_metrics",
     # tracer
     "NullTracer",

@@ -22,9 +22,28 @@ and attach the delta to their :class:`~repro.experiments.runner.RunRecord`.
 from __future__ import annotations
 
 import math
+import re
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping
+from typing import Dict, Iterator, List, Mapping
+
+#: Characters Prometheus forbids in metric names, replaced by ``_``.
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A Prometheus-legal metric name for registry key ``name``."""
+    sanitised = _PROM_INVALID.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = f"_{sanitised}"
+    return f"{prefix}{sanitised}"
+
+
+def _prom_value(value: float) -> str:
+    """Render ``value`` the way Prometheus text exposition expects."""
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
 
 
 class Counter:
@@ -190,6 +209,38 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    def render_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text-exposition rendering of the registry.
+
+        Counters and gauges keep their kind; a histogram renders as a
+        ``summary`` (``_count``/``_sum``) plus ``_min``/``_max`` gauges once
+        it has samples.  Registry names are sanitised (``.`` and ``-``
+        become ``_``) and prefixed, so ``service.dispatch_seconds`` is
+        scraped as ``repro_service_dispatch_seconds_sum`` etc.  This is what
+        ``GET /metrics`` on the dispatch service serves.
+        """
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            metric = _prom_name(name, prefix)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prom_value(self._counters[name].value)}")
+        for name in sorted(self._gauges):
+            metric = _prom_name(name, prefix)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_value(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            metric = _prom_name(name, prefix)
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"{metric}_count {_prom_value(hist.count)}")
+            lines.append(f"{metric}_sum {_prom_value(hist.total)}")
+            if hist.count:
+                lines.append(f"# TYPE {metric}_min gauge")
+                lines.append(f"{metric}_min {_prom_value(hist.min)}")
+                lines.append(f"# TYPE {metric}_max gauge")
+                lines.append(f"{metric}_max {_prom_value(hist.max)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
     def format(self) -> str:
         """Multi-line ``name  value`` table, alphabetical, for CLI output."""
         snap = self.snapshot()
@@ -216,3 +267,12 @@ def metrics_registry() -> MetricsRegistry:
 def reset_metrics() -> None:
     """Drop all metrics (start of a ``repro trace`` run or a test)."""
     METRICS.reset()
+
+
+def render_prometheus(
+    registry: MetricsRegistry = None, prefix: str = "repro_"
+) -> str:
+    """Prometheus text rendering of ``registry`` (default: :data:`METRICS`)."""
+    if registry is None:
+        registry = METRICS
+    return registry.render_prometheus(prefix=prefix)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.assignment import Assignment
 from repro.core.instance import ProblemInstance, SubProblem
@@ -56,12 +56,15 @@ class InstanceSolution:
         )
 
 
-def _solve_one(args: Tuple[SubProblem, object, Optional[float], int]) -> Tuple[str, Assignment]:
+def _solve_one(
+    args: Tuple[SubProblem, object, Optional[float], int, Optional[object]]
+) -> Tuple[str, Assignment]:
     """Worker function: solve one sub-problem (top-level for pickling)."""
-    sub, solver, epsilon, seed = args
-    from repro.vdps.catalog import build_catalog
+    sub, solver, epsilon, seed, catalog = args
+    if catalog is None:
+        from repro.vdps.catalog import build_catalog
 
-    catalog = build_catalog(sub, epsilon=epsilon)
+        catalog = build_catalog(sub, epsilon=epsilon)
     result = solver.solve(sub, catalog=catalog, seed=seed)
     return sub.center.center_id, result.assignment
 
@@ -72,6 +75,8 @@ def solve_instance(
     epsilon: Optional[float] = None,
     seed: SeedLike = None,
     n_jobs: int = 1,
+    seed_stream: str = "center",
+    catalogs: Optional[Mapping[str, object]] = None,
 ) -> InstanceSolution:
     """Solve every center of ``instance`` with ``solver``.
 
@@ -84,12 +89,29 @@ def solve_instance(
         results do not depend on execution order or on ``n_jobs``.
     n_jobs:
         1 (default) solves serially; > 1 uses a process pool of that size.
+    seed_stream:
+        Prefix of the per-center stream names (``"<seed_stream>:<center>"``).
+        The default keeps the historical ``center:*`` streams; passing the
+        algorithm's name reproduces the per-arm streams of
+        :func:`repro.experiments.runner.run_algorithms` exactly, which is
+        how the dispatch service stays bit-identical to offline solves.
+    catalogs:
+        Optional prebuilt ``center_id -> VDPSCatalog`` mapping (e.g. from a
+        cache).  Centers missing from the mapping build their catalog as
+        usual.
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     rng_factory = RngFactory(seed)
+    prebuilt = catalogs or {}
     tasks = [
-        (sub, solver, epsilon, rng_factory.seed_for(f"center:{sub.center.center_id}"))
+        (
+            sub,
+            solver,
+            epsilon,
+            rng_factory.seed_for(f"{seed_stream}:{sub.center.center_id}"),
+            prebuilt.get(sub.center.center_id),
+        )
         for sub in instance.subproblems()
     ]
     results: Dict[str, Assignment] = {}

@@ -1,0 +1,35 @@
+"""Online dispatch service: a long-running HTTP assignment engine.
+
+The production face of the reproduction (the ROADMAP's north star): the
+paper's one-shot FTA solvers run continuously over a mutating world of
+centers, couriers, and tasks, behind a stdlib-only JSON-over-HTTP API.
+
+* :mod:`repro.service.state` — thread-safe world state with churn ops.
+* :mod:`repro.service.cache` — snapshot-hash-keyed strategy-catalog cache.
+* :mod:`repro.service.engine` — windowed micro-batch dispatch rounds,
+  sharded per center through :func:`repro.parallel.solve_instance`, with
+  optional :mod:`repro.verify` checking and :mod:`repro.obs` telemetry.
+* :mod:`repro.service.api` — the HTTP server (``python -m repro serve``).
+* :mod:`repro.service.client` — thin client + deterministic load generator.
+
+See ``docs/service.md`` for the API reference and consistency semantics.
+"""
+
+from repro.service.api import DispatchServer
+from repro.service.cache import SnapshotCatalogCache
+from repro.service.client import DispatchClient, LoadGenerator, ServiceError
+from repro.service.engine import DispatchEngine, RoundResult
+from repro.service.state import Rejection, WorldSnapshot, WorldState
+
+__all__ = [
+    "DispatchClient",
+    "DispatchEngine",
+    "DispatchServer",
+    "LoadGenerator",
+    "Rejection",
+    "RoundResult",
+    "ServiceError",
+    "SnapshotCatalogCache",
+    "WorldSnapshot",
+    "WorldState",
+]

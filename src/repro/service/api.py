@@ -1,0 +1,327 @@
+"""JSON-over-HTTP API of the online dispatch service (stdlib only).
+
+A :class:`DispatchServer` wraps a :class:`~repro.service.engine.DispatchEngine`
+in a ``ThreadingHTTPServer`` — no framework, no new dependencies — exposing
+the operational loop a platform needs:
+
+=========  ===============  ====================================================
+method     path             effect
+=========  ===============  ====================================================
+``POST``   ``/tasks``       enqueue tasks (absolute-hour expiries)
+``POST``   ``/workers``     register workers (attached to nearest center)
+``POST``   ``/dispatch``    run one round; ``advance_hours``/``commit`` optional
+``GET``    ``/assignments`` last committed round + cumulative worker stats
+``GET``    ``/healthz``     liveness: clock, rounds, queue depth, uptime
+``GET``    ``/metrics``     Prometheus rendering of :data:`repro.obs.METRICS`
+``POST``   ``/shutdown``    graceful stop (drain in-flight round, final dump)
+=========  ===============  ====================================================
+
+Shutdown is graceful whichever way it arrives (signal, ``/shutdown``, or
+:meth:`DispatchServer.stop`): the accept loop stops, any in-flight dispatch
+round drains, and a final metrics snapshot is logged and traced.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import resolve_tracer
+from repro.service.engine import DispatchEngine
+from repro.utils.log import get_logger
+
+_LOG = get_logger("service.api")
+
+#: Largest request body the API accepts (1 MiB keeps churn posts cheap).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ApiError(Exception):
+    """A client error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's engine; one instance per request."""
+
+    server: "DispatchHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise ApiError(400, "JSON body must be an object")
+        return payload
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        self._send(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json; charset=utf-8",
+        )
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        self._send(
+            status, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._route({"/healthz": self._get_healthz,
+                     "/metrics": self._get_metrics,
+                     "/assignments": self._get_assignments})
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route({"/tasks": self._post_tasks,
+                     "/workers": self._post_workers,
+                     "/dispatch": self._post_dispatch,
+                     "/shutdown": self._post_shutdown})
+
+    def _route(self, table: Dict[str, object]) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        handler = table.get(path)
+        try:
+            if handler is None:
+                raise ApiError(404, f"no such endpoint: {self.path}")
+            handler()
+        except ApiError as exc:
+            self._send_json({"error": str(exc)}, status=exc.status)
+        except Exception as exc:  # the service must answer, not die
+            _LOG.exception("unhandled error serving %s", self.path)
+            self._send_json({"error": f"internal error: {exc}"}, status=500)
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _get_healthz(self) -> None:
+        engine = self.server.engine
+        state = engine.state
+        self._send_json(
+            {
+                "status": "ok",
+                "now": state.now,
+                "rounds": engine.rounds_dispatched,
+                "pending_tasks": state.pending_task_count,
+                "workers": state.worker_count,
+                "available_workers": state.available_worker_count(),
+                "world_version": state.version,
+                "algorithm": engine.solver_name,
+                "epsilon": engine.epsilon,
+                "uptime_seconds": time.perf_counter() - self.server.started,
+            }
+        )
+
+    def _get_metrics(self) -> None:
+        self._send_text(METRICS.render_prometheus())
+
+    def _get_assignments(self) -> None:
+        engine = self.server.engine
+        last = engine.last_committed
+        payload: Dict[str, object] = {
+            "round": None if last is None else last.as_dict(),
+            "workers": engine.state.worker_stats(),
+        }
+        self._send_json(payload)
+
+    def _post_tasks(self) -> None:
+        payload = self._read_json()
+        items = self._items(payload, "tasks", "task_id")
+        accepted, rejected = self.server.engine.state.add_tasks(items)
+        self._send_json(
+            {
+                "accepted": accepted,
+                "rejected": [r.as_dict() for r in rejected],
+                "pending_tasks": self.server.engine.state.pending_task_count,
+            }
+        )
+
+    def _post_workers(self) -> None:
+        payload = self._read_json()
+        items = self._items(payload, "workers", "worker_id")
+        accepted, rejected = self.server.engine.state.add_workers(items)
+        self._send_json(
+            {
+                "accepted": accepted,
+                "rejected": [r.as_dict() for r in rejected],
+                "workers": self.server.engine.state.worker_count,
+            }
+        )
+
+    @staticmethod
+    def _items(payload: Dict, key: str, id_field: str) -> List[Dict]:
+        """The batch under ``key``, or the payload itself as a singleton."""
+        if key in payload:
+            items = payload[key]
+            if not isinstance(items, list):
+                raise ApiError(400, f"{key!r} must be a list")
+            return items
+        if id_field in payload:
+            return [payload]
+        raise ApiError(400, f"body needs {key!r} (list) or a single {id_field!r}")
+
+    def _post_dispatch(self) -> None:
+        payload = self._read_json()
+        advance = payload.get("advance_hours", 0.0)
+        commit = payload.get("commit", True)
+        if not isinstance(advance, (int, float)) or advance < 0:
+            raise ApiError(400, f"advance_hours must be a number >= 0, got {advance!r}")
+        if not isinstance(commit, bool):
+            raise ApiError(400, f"commit must be a boolean, got {commit!r}")
+        try:
+            result = self.server.engine.dispatch(
+                advance_hours=float(advance), commit=commit
+            )
+        except Exception as exc:
+            # InvariantViolation from verify=, or a solver failure: report
+            # it as a server-side dispatch error but keep serving.
+            _LOG.exception("dispatch round failed")
+            self._send_json({"error": f"dispatch failed: {exc}"}, status=500)
+            return
+        self._send_json(result.as_dict())
+
+    def _post_shutdown(self) -> None:
+        self._send_json({"status": "shutting down"})
+        self.server.request_stop()
+
+
+class DispatchHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its engine (and survives handler errors)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], engine: DispatchEngine) -> None:
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.started = time.perf_counter()
+        self._stop_requested = threading.Event()
+
+    def request_stop(self) -> None:
+        """Ask the serving loop to stop (idempotent, safe from handlers)."""
+        if not self._stop_requested.is_set():
+            self._stop_requested.set()
+            # shutdown() must not run on a handler thread's serve loop
+            # synchronously; a helper thread keeps /shutdown responsive.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class DispatchServer:
+    """Lifecycle wrapper: bind, serve (foreground or background), stop.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.  Used by ``python -m repro serve``, the test suite, the
+    CI ``service-smoke`` job, and ``examples/live_dispatch.py``.
+    """
+
+    def __init__(
+        self, engine: DispatchEngine, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._engine = engine
+        self._httpd = DispatchHTTPServer((host, port), engine)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def engine(self) -> DispatchEngine:
+        return self._engine
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until stopped, then shut down cleanly."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._finalise()
+
+    def start_background(self) -> "DispatchServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def request_stop(self) -> None:
+        """Signal-handler-safe stop: never blocks the serving thread."""
+        self._httpd.request_stop()
+
+    def stop(self) -> None:
+        """Stop serving, drain the engine, and dump final metrics."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._finalise()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for a background serving thread to exit (e.g. /shutdown)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if not self._thread.is_alive():
+                self._thread = None
+                self._finalise()
+
+    def __enter__(self) -> "DispatchServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _finalise(self) -> None:
+        """Graceful-shutdown tail: drain in-flight work, final metrics dump."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.server_close()
+        self._engine.drain()
+        snapshot = METRICS.snapshot()
+        tracer = resolve_tracer(False)
+        if tracer.enabled:
+            tracer.event("service.shutdown", metrics=snapshot)
+        _LOG.info(
+            "dispatch service stopped after %d rounds (%d tasks assigned)",
+            self._engine.rounds_dispatched,
+            int(snapshot.get("service.tasks.assigned", 0)),
+        )

@@ -1,0 +1,72 @@
+"""Per-center strategy-catalog cache for the dispatch service.
+
+Building the C-VDPS catalog (Algorithm 1 + Section IV validation) dominates
+a round's cost, yet between two service rounds most centers are unchanged:
+no new tasks landed, nobody's deadline moved, the same couriers are idle.
+This cache keys each center's catalog by the
+:func:`~repro.service.state._fingerprint` of its snapshotted sub-problem
+(plus the pruning threshold), so a round only rebuilds the centers whose
+content actually changed; any churn — task arrival, expiry, worker
+movement, clock advance that shifts a relative deadline — changes the
+fingerprint and invalidates the entry.
+
+A hit returns the *identical* catalog a cold build would produce (the
+fingerprint covers every catalog input), which is what makes warm-cache
+service rounds bit-identical to cold-cache runs.  Hits and misses are
+recorded in :data:`repro.obs.METRICS` under ``service.catalog_cache.*``
+and surface on ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.core.instance import SubProblem
+from repro.obs.metrics import METRICS
+from repro.vdps.catalog import VDPSCatalog, build_catalog
+
+
+class SnapshotCatalogCache:
+    """One catalog per center, valid while the center's fingerprint holds.
+
+    Unlike :class:`repro.experiments.runner.CatalogCache` (which keys by
+    ``(center, epsilon)`` for a *static* instance shared across algorithm
+    arms), this cache serves a *mutating* world: the key includes the
+    snapshot content hash, and a changed hash evicts the stale entry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Tuple[str, Optional[float], VDPSCatalog]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(
+        self, sub: SubProblem, fingerprint: str, epsilon: Optional[float]
+    ) -> VDPSCatalog:
+        """The catalog for ``sub``, rebuilt only when its content changed."""
+        center_id = sub.center.center_id
+        with self._lock:
+            entry = self._entries.get(center_id)
+        if entry is not None and entry[0] == fingerprint and entry[1] == epsilon:
+            METRICS.counter("service.catalog_cache.hits").add(1)
+            return entry[2]
+        METRICS.counter("service.catalog_cache.misses").add(1)
+        with METRICS.timer("service.catalog_build_seconds"):
+            catalog = build_catalog(sub, epsilon=epsilon)
+        with self._lock:
+            self._entries[center_id] = (fingerprint, epsilon, catalog)
+        return catalog
+
+    def invalidate(self, center_id: str) -> bool:
+        """Drop one center's entry; returns whether one existed."""
+        with self._lock:
+            return self._entries.pop(center_id, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (e.g. on an epsilon reconfiguration)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,202 @@
+"""Thin client and deterministic load generator for the dispatch service.
+
+:class:`DispatchClient` speaks the JSON API of :mod:`repro.service.api`
+with nothing but ``urllib`` — usable from tests, the CI smoke job, and
+operator scripts.  :class:`LoadGenerator` turns a center layout into
+reproducible churn: the same seed always yields the same task and worker
+batches, so a scripted load run is replayable bit-for-bit (the service-side
+determinism contract extends to the traffic).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.rng import RngFactory, SeedLike
+
+
+class ServiceError(Exception):
+    """An HTTP error answered by the service (carries the status code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class DispatchClient:
+    """Minimal JSON client for one dispatch service instance."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, bytes, str]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return (
+                    response.status,
+                    response.read(),
+                    response.headers.get("Content-Type", ""),
+                )
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", raw.decode())
+            except (ValueError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServiceError(exc.code, message) from None
+
+    def _json(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        _, raw, _ = self._request(method, path, payload)
+        return json.loads(raw.decode("utf-8"))
+
+    # -- API ----------------------------------------------------------------
+
+    def health(self) -> Dict:
+        """``GET /healthz``."""
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw Prometheus exposition text."""
+        _, raw, _ = self._request("GET", "/metrics")
+        return raw.decode("utf-8")
+
+    def metrics(self) -> Dict[str, float]:
+        """``GET /metrics`` parsed into a flat ``name -> value`` mapping."""
+        values: Dict[str, float] = {}
+        for line in self.metrics_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.partition(" ")
+            values[name] = float(value)
+        return values
+
+    def submit_tasks(self, tasks: Sequence[Dict]) -> Dict:
+        """``POST /tasks`` with a batch of task dicts."""
+        return self._json("POST", "/tasks", {"tasks": list(tasks)})
+
+    def submit_workers(self, workers: Sequence[Dict]) -> Dict:
+        """``POST /workers`` with a batch of worker dicts."""
+        return self._json("POST", "/workers", {"workers": list(workers)})
+
+    def dispatch(self, advance_hours: float = 0.0, commit: bool = True) -> Dict:
+        """``POST /dispatch`` — trigger one micro-batch round."""
+        return self._json(
+            "POST", "/dispatch", {"advance_hours": advance_hours, "commit": commit}
+        )
+
+    def assignments(self) -> Dict:
+        """``GET /assignments`` — last committed round + worker stats."""
+        return self._json("GET", "/assignments")
+
+    def shutdown(self) -> Dict:
+        """``POST /shutdown`` — ask the service to stop gracefully."""
+        return self._json("POST", "/shutdown")
+
+    def wait_healthy(self, timeout: float = 10.0, interval: float = 0.05) -> Dict:
+        """Poll ``/healthz`` until the service answers (startup barrier)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.health()
+            except (ServiceError, urllib.error.URLError, OSError) as exc:
+                last_error = exc
+                time.sleep(interval)
+        raise TimeoutError(
+            f"service at {self.base_url} not healthy after {timeout}s: {last_error}"
+        )
+
+
+class LoadGenerator:
+    """Seeded task/worker churn over a fixed delivery-point layout.
+
+    Parameters
+    ----------
+    dp_ids:
+        The delivery points tasks may land on (e.g. from the instance the
+        service was started with).
+    seed:
+        Root seed; every batch is a named stream, so generation order does
+        not perturb the draws.
+    patience:
+        ``(min, max)`` hours a generated task stays valid after ``now``.
+    """
+
+    def __init__(
+        self,
+        dp_ids: Sequence[str],
+        seed: SeedLike = None,
+        patience: Tuple[float, float] = (0.8, 1.6),
+        reward: float = 1.0,
+    ) -> None:
+        if not dp_ids:
+            raise ValueError("the load generator needs at least one delivery point")
+        low, high = patience
+        if not 0 < low <= high:
+            raise ValueError(f"patience must satisfy 0 < min <= max, got {patience}")
+        self._dp_ids = list(dp_ids)
+        self._rng_factory = RngFactory(seed)
+        self._patience = (float(low), float(high))
+        self._reward = float(reward)
+        self._task_batches = 0
+        self._worker_batches = 0
+
+    def tasks(self, count: int, now: float = 0.0) -> List[Dict]:
+        """A deterministic batch of task dicts with absolute expiries."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        batch = self._task_batches
+        self._task_batches += 1
+        rng = self._rng_factory.get(f"tasks:{batch}")
+        picks = rng.integers(0, len(self._dp_ids), size=count)
+        patience = rng.uniform(self._patience[0], self._patience[1], size=count)
+        return [
+            {
+                "task_id": f"load_b{batch}_t{k}",
+                "dp_id": self._dp_ids[int(picks[k])],
+                "expiry": now + float(patience[k]),
+                "reward": self._reward,
+            }
+            for k in range(count)
+        ]
+
+    def workers(
+        self,
+        count: int,
+        span_km: float = 2.0,
+        max_delivery_points: int = 3,
+        center_id: Optional[str] = None,
+    ) -> List[Dict]:
+        """A deterministic batch of worker dicts scattered around the origin."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        batch = self._worker_batches
+        self._worker_batches += 1
+        rng = self._rng_factory.get(f"workers:{batch}")
+        coords = rng.uniform(-span_km, span_km, size=(count, 2))
+        return [
+            {
+                "worker_id": f"load_b{batch}_w{k}",
+                "x": float(coords[k, 0]),
+                "y": float(coords[k, 1]),
+                "max_delivery_points": max_delivery_points,
+                **({} if center_id is None else {"center_id": center_id}),
+            }
+            for k in range(count)
+        ]

@@ -1,0 +1,308 @@
+"""The dispatch engine: windowed micro-batch solves over the live world.
+
+Each call to :meth:`DispatchEngine.dispatch` is one *round* of the paper's
+one-shot FTA problem over whatever the world holds right now, run the way
+the ROADMAP's production system must:
+
+1. **Snapshot** — atomically advance the clock, expire dead tasks, and
+   freeze a :class:`~repro.service.state.WorldSnapshot` (solving happens
+   outside the state lock, so churn keeps landing during a solve and is
+   picked up next round).
+2. **Shard** — hand the snapshot's per-center sub-problems to
+   :func:`repro.parallel.solve_instance` (serial or process-pool), with
+   catalogs served by the :class:`~repro.service.cache.SnapshotCatalogCache`
+   so unchanged centers skip the C-VDPS rebuild.
+3. **Commit** — apply routes exactly like
+   :class:`~repro.sim.platform.DispatchSimulator`: workers go busy until
+   their route completes and reappear at the last drop-off, delivered
+   tasks leave the queue.  ``commit=False`` turns the round into a what-if
+   preview that leaves the world untouched.
+
+Determinism contract: round ``i`` solves with seed :meth:`round_seed`\\ (i)
+and per-center streams ``"<solver.name>:<center_id>"`` — the exact streams
+:func:`repro.experiments.runner.run_algorithms` derives — so an offline
+``run_algorithms(snapshot.instance(), ..., seed=engine.round_seed(i))``
+reproduces the service's committed routes, payoffs, and Equation 2
+``P_dif`` bit-for-bit.
+
+With ``verify=True`` every per-center assignment passes the Definition 8 /
+Equations 1-2 checkers of :mod:`repro.verify` before it is committed.
+Every round emits a ``service.round`` tracer event and feeds the
+``service.dispatch_seconds`` latency histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NullTracer, resolve_tracer
+from repro.parallel import solve_instance
+from repro.service.cache import SnapshotCatalogCache
+from repro.service.state import WorldSnapshot, WorldState
+from repro.utils.rng import RngFactory, SeedLike
+from repro.verify.checkers import verify_assignment
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """What one dispatch round saw, decided, and (maybe) committed.
+
+    The service analogue of :class:`~repro.sim.platform.RoundRecord`, plus
+    the routes themselves and the round's cache behaviour.
+    """
+
+    round_index: int
+    now: float
+    committed: bool
+    center_ids: Tuple[str, ...]
+    assigned_tasks: int
+    expired_tasks: int
+    pending_tasks: int
+    available_workers: int
+    payoff_difference: float
+    average_payoff: float
+    payoffs: Mapping[str, float] = field(default_factory=dict)
+    assignments: Mapping[str, Mapping[str, Tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+    cache_hits: int = 0
+    cache_misses: int = 0
+    verified_centers: int = 0
+    duration_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view served by ``POST /dispatch``."""
+        return {
+            "round": self.round_index,
+            "now": self.now,
+            "committed": self.committed,
+            "centers": list(self.center_ids),
+            "assigned_tasks": self.assigned_tasks,
+            "expired_tasks": self.expired_tasks,
+            "pending_tasks": self.pending_tasks,
+            "available_workers": self.available_workers,
+            "payoff_difference": self.payoff_difference,
+            "average_payoff": self.average_payoff,
+            "payoffs": dict(self.payoffs),
+            "assignments": {
+                center: {w: list(dps) for w, dps in routes.items()}
+                for center, routes in self.assignments.items()
+            },
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "verified_centers": self.verified_centers,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+class DispatchEngine:
+    """Runs dispatch rounds over a :class:`WorldState` (see module doc).
+
+    Parameters
+    ----------
+    state:
+        The mutable world the engine snapshots and commits into.
+    solver:
+        Any one-shot solver from the library (GTA/MPTA/FGT/IEGT/...).
+    epsilon:
+        VDPS pruning threshold for every center's catalog.
+    n_jobs:
+        Per-center solve parallelism, forwarded to
+        :func:`repro.parallel.solve_instance`.
+    verify:
+        Run the assignment-level invariant checkers on every round.
+    seed:
+        Root seed of the engine's per-round streams.
+    trace:
+        ``False``/``True``/tracer instance, resolved like the solvers'
+        ``trace=`` field.
+    """
+
+    def __init__(
+        self,
+        state: WorldState,
+        solver,
+        epsilon: Optional[float] = None,
+        n_jobs: int = 1,
+        verify: bool = False,
+        seed: SeedLike = None,
+        trace: object = False,
+        history_limit: int = 256,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        if history_limit < 1:
+            raise ValueError(f"history_limit must be >= 1, got {history_limit}")
+        self._state = state
+        self._solver = solver
+        self._name = str(getattr(solver, "name", type(solver).__name__))
+        self._epsilon = epsilon
+        self._n_jobs = n_jobs
+        self._verify = verify
+        self._trace = trace
+        self._rng = RngFactory(seed)
+        self._cache = SnapshotCatalogCache()
+        self._dispatch_lock = threading.Lock()
+        self._round = 0
+        self._history: List[RoundResult] = []
+        self._history_limit = history_limit
+        self._last_committed: Optional[RoundResult] = None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def state(self) -> WorldState:
+        return self._state
+
+    @property
+    def solver_name(self) -> str:
+        return self._name
+
+    @property
+    def epsilon(self) -> Optional[float]:
+        return self._epsilon
+
+    @property
+    def rounds_dispatched(self) -> int:
+        return self._round
+
+    @property
+    def cache(self) -> SnapshotCatalogCache:
+        return self._cache
+
+    @property
+    def history(self) -> List[RoundResult]:
+        return list(self._history)
+
+    @property
+    def last_committed(self) -> Optional[RoundResult]:
+        return self._last_committed
+
+    def round_seed(self, index: int) -> int:
+        """The root seed round ``index`` solves with (the fidelity hook)."""
+        return self._rng.seed_for(f"round:{index}")
+
+    # -- the dispatch loop --------------------------------------------------
+
+    def dispatch(self, advance_hours: float = 0.0, commit: bool = True) -> RoundResult:
+        """Run one micro-batch round; see the module doc for the phases."""
+        with self._dispatch_lock:
+            start = time.perf_counter()
+            tracer = resolve_tracer(self._trace)
+            with self._state.lock:
+                self._state.advance(advance_hours)
+                expired = self._state.expire()
+                snapshot = self._state.snapshot()
+            index = self._round
+            self._round += 1
+            hits_before = METRICS.counter("service.catalog_cache.hits").value
+            misses_before = METRICS.counter("service.catalog_cache.misses").value
+
+            payoffs: Dict[str, float] = {}
+            assignments: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+            assigned = 0
+            verified = 0
+            p_dif = 0.0
+            avg_p = 0.0
+            if snapshot.subproblems:
+                catalogs = {
+                    sub.center.center_id: self._cache.get(
+                        sub,
+                        snapshot.fingerprints[sub.center.center_id],
+                        self._epsilon,
+                    )
+                    for sub in snapshot.subproblems
+                }
+                solution = solve_instance(
+                    snapshot.instance(),
+                    self._solver,
+                    epsilon=self._epsilon,
+                    seed=self.round_seed(index),
+                    n_jobs=self._n_jobs,
+                    seed_stream=self._name,
+                    catalogs=catalogs,
+                )
+                if self._verify:
+                    for sub in snapshot.subproblems:
+                        center_id = sub.center.center_id
+                        verify_assignment(
+                            solution.assignments[center_id],
+                            sub=sub,
+                            catalog=catalogs[center_id],
+                            solver=self._name,
+                        )
+                        verified += 1
+                for center_id, assignment in solution.assignments.items():
+                    assignments[center_id] = dict(assignment.as_mapping())
+                    for pair in assignment:
+                        payoffs[pair.worker.worker_id] = pair.payoff
+                p_dif = solution.payoff_difference
+                avg_p = solution.average_payoff
+                if commit:
+                    assigned = self._state.commit(snapshot, solution.assignments)
+
+            duration = time.perf_counter() - start
+            result = RoundResult(
+                round_index=index,
+                now=snapshot.now,
+                committed=commit,
+                center_ids=tuple(snapshot.center_ids),
+                assigned_tasks=assigned,
+                expired_tasks=len(expired),
+                pending_tasks=self._state.pending_task_count,
+                available_workers=self._state.available_worker_count(),
+                payoff_difference=p_dif,
+                average_payoff=avg_p,
+                payoffs=payoffs,
+                assignments=assignments,
+                cache_hits=METRICS.counter("service.catalog_cache.hits").value
+                - hits_before,
+                cache_misses=METRICS.counter("service.catalog_cache.misses").value
+                - misses_before,
+                verified_centers=verified,
+                duration_seconds=duration,
+            )
+            self._record(result, tracer)
+            return result
+
+    def drain(self) -> None:
+        """Block until any in-flight dispatch round has finished."""
+        with self._dispatch_lock:
+            pass
+
+    # -- internals ----------------------------------------------------------
+
+    def _record(self, result: RoundResult, tracer: NullTracer) -> None:
+        self._history.append(result)
+        if len(self._history) > self._history_limit:
+            del self._history[: -self._history_limit]
+        if result.committed:
+            self._last_committed = result
+        METRICS.counter("service.rounds").add(1)
+        if result.committed:
+            METRICS.counter("service.rounds.committed").add(1)
+        METRICS.histogram("service.dispatch_seconds").observe(
+            result.duration_seconds
+        )
+        METRICS.gauge("service.pending_tasks").set(result.pending_tasks)
+        METRICS.gauge("service.available_workers").set(result.available_workers)
+        METRICS.gauge("service.round.payoff_difference").set(
+            result.payoff_difference
+        )
+        if tracer.enabled:
+            tracer.event(
+                "service.round",
+                round=result.round_index,
+                now=result.now,
+                committed=result.committed,
+                centers=len(result.center_ids),
+                assigned=result.assigned_tasks,
+                expired=result.expired_tasks,
+                p_dif=result.payoff_difference,
+                cache_hits=result.cache_hits,
+                cache_misses=result.cache_misses,
+                dur=result.duration_seconds,
+            )

@@ -1,0 +1,462 @@
+"""Mutable world state of the online dispatch service.
+
+The service's analogue of :class:`~repro.sim.platform.DispatchSimulator`'s
+internals, made safe for concurrent churn: distribution centers are a fixed
+layout, while workers and pending tasks arrive and leave through
+thread-safe operations (``POST /tasks``, ``POST /workers``).  All times are
+hours on one logical service clock (``now``); task expiries are *absolute*
+like :class:`~repro.sim.arrivals.TaskArrival`, and each snapshot converts
+them to the relative deadlines (Definition 3) the solvers consume.
+
+A :class:`WorldSnapshot` is an immutable, per-round view: the materialised
+:class:`~repro.core.instance.SubProblem` of every active center plus a
+content fingerprint per center.  The fingerprint covers everything a
+strategy catalog depends on — worker positions/capacities and task
+deadlines/rewards — so the engine's catalog cache can prove a center
+unchanged between rounds and skip the C-VDPS rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.assignment import Assignment
+from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
+from repro.core.instance import ProblemInstance, SubProblem
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+from repro.obs.metrics import METRICS
+from repro.sim.arrivals import TaskArrival
+from repro.sim.workers import WorkerState
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why one submitted task or worker was not accepted."""
+
+    item_id: str
+    reason: str
+
+    def as_dict(self) -> Dict[str, str]:
+        """JSON-ready ``{"id", "reason"}`` pair for API responses."""
+        return {"id": self.item_id, "reason": self.reason}
+
+
+@dataclass(frozen=True)
+class WorldSnapshot:
+    """One round's frozen view of the world.
+
+    ``subproblems`` holds only *active* centers — at least one available
+    worker and one materialised (non-hopeless) delivery point — in center-id
+    order; ``fingerprints`` keys the catalog cache; ``task_ids`` maps each
+    active center to the pending task ids its materialised points carry, so
+    a commit removes exactly the tasks the round could deliver.
+    """
+
+    now: float
+    subproblems: Tuple[SubProblem, ...]
+    fingerprints: Mapping[str, str]
+    task_ids: Mapping[str, Tuple[str, ...]]
+    pending_tasks: int
+    available_workers: int
+
+    @property
+    def center_ids(self) -> List[str]:
+        return [sub.center.center_id for sub in self.subproblems]
+
+    def instance(self) -> ProblemInstance:
+        """The snapshot as a solvable :class:`ProblemInstance`.
+
+        Feeding this to :func:`repro.experiments.runner.run_algorithms`
+        with the engine's round seed reproduces the service's round
+        bit-for-bit (the end-to-end fidelity contract of the service).
+        """
+        if not self.subproblems:
+            raise ValueError("an empty snapshot has no solvable instance")
+        centers = tuple(sub.center for sub in self.subproblems)
+        workers = tuple(w for sub in self.subproblems for w in sub.workers)
+        return ProblemInstance(centers, workers, self.subproblems[0].travel)
+
+
+def _fingerprint(sub: SubProblem) -> str:
+    """Content hash of everything a center's catalog depends on."""
+    digest = hashlib.sha256()
+    for w in sub.workers:
+        digest.update(
+            f"w|{w.worker_id}|{w.location.x.hex()}|{w.location.y.hex()}|"
+            f"{w.max_delivery_points}|{w.speed_kmh}".encode()
+        )
+    for dp in sub.center.delivery_points:
+        digest.update(
+            f"p|{dp.dp_id}|{dp.location.x.hex()}|{dp.location.y.hex()}|"
+            f"{float(dp.service_hours).hex()}".encode()
+        )
+        for task in sorted(dp.tasks):
+            digest.update(
+                f"t|{task.task_id}|{float(task.expiry).hex()}|"
+                f"{float(task.reward).hex()}".encode()
+            )
+    return digest.hexdigest()
+
+
+class WorldState:
+    """Centers, workers, and pending tasks with thread-safe churn ops.
+
+    Parameters
+    ----------
+    centers:
+        The fixed layout.  Tasks land on these centers' delivery points;
+        any tasks already attached to the layout are ignored (mirroring
+        :class:`~repro.sim.platform.DispatchSimulator`).
+    workers:
+        Optional initial fleet; more can join via :meth:`add_workers`.
+    travel:
+        Shared travel model for snapshots and nearest-center attachment.
+    """
+
+    def __init__(
+        self,
+        centers: Sequence[DistributionCenter],
+        workers: Sequence[Worker] = (),
+        travel: Optional[TravelModel] = None,
+    ) -> None:
+        if not centers:
+            raise ValueError("the service needs at least one distribution center")
+        self._lock = threading.RLock()
+        self._travel = travel if travel is not None else TravelModel()
+        self._centers: Dict[str, DistributionCenter] = {}
+        self._layout: Dict[str, DeliveryPoint] = {}  # dp_id -> bare point
+        self._dp_center: Dict[str, str] = {}  # dp_id -> center_id
+        for center in centers:
+            if center.center_id in self._centers:
+                raise ValueError(f"duplicate center id {center.center_id!r}")
+            if not center.delivery_points:
+                raise ValueError(
+                    f"center {center.center_id!r} has no delivery points"
+                )
+            bare_points = []
+            for dp in center.delivery_points:
+                if dp.dp_id in self._layout:
+                    raise ValueError(f"duplicate delivery point id {dp.dp_id!r}")
+                bare = dp.with_tasks(())
+                bare_points.append(bare)
+                self._layout[dp.dp_id] = bare
+                self._dp_center[dp.dp_id] = center.center_id
+            self._centers[center.center_id] = DistributionCenter(
+                center.center_id, center.location, tuple(bare_points)
+            )
+        self._workers: Dict[str, WorkerState] = {}
+        self._worker_center: Dict[str, str] = {}
+        self._pending: Dict[str, TaskArrival] = {}  # task_id -> arrival
+        self._seen_tasks: set = set()
+        self.now: float = 0.0
+        self.version: int = 0
+        for worker in workers:
+            rejected = self.add_workers([worker])[1]
+            if rejected:
+                raise ValueError(rejected[0].reason)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def lock(self) -> threading.RLock:
+        return self._lock
+
+    @property
+    def travel(self) -> TravelModel:
+        return self._travel
+
+    @property
+    def centers(self) -> Tuple[DistributionCenter, ...]:
+        return tuple(self._centers[cid] for cid in sorted(self._centers))
+
+    @property
+    def pending_task_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def available_worker_count(self, now: Optional[float] = None) -> int:
+        """Number of workers free to take a route at ``now`` (default: clock)."""
+        with self._lock:
+            at = self.now if now is None else now
+            return sum(1 for w in self._workers.values() if w.is_available(at))
+
+    def worker_stats(self) -> Dict[str, Dict[str, float]]:
+        """Cumulative per-worker outcomes (earnings, deliveries, rate)."""
+        with self._lock:
+            return {
+                wid: {
+                    "center_id": self._worker_center[wid],
+                    "earnings": state.earnings,
+                    "deliveries": state.deliveries,
+                    "assignments": state.assignments,
+                    "working_hours": state.working_hours,
+                    "earning_rate": state.earning_rate,
+                    "available_at": state.available_at,
+                }
+                for wid, state in sorted(self._workers.items())
+            }
+
+    # -- churn --------------------------------------------------------------
+
+    def add_tasks(
+        self, tasks: Sequence
+    ) -> Tuple[List[str], List[Rejection]]:
+        """Enqueue tasks; returns ``(accepted ids, rejections)``.
+
+        Each task is a :class:`~repro.sim.arrivals.TaskArrival` or a dict
+        with ``task_id``, ``dp_id``, ``expiry`` (absolute hours) and an
+        optional ``reward``.  Tasks on unknown delivery points, duplicate
+        ids, or already-expired deadlines are rejected, not raised: churn
+        endpoints must stay up under bad input.
+        """
+        accepted: List[str] = []
+        rejections: List[Rejection] = []
+        with self._lock:
+            for item in tasks:
+                try:
+                    arrival = self._coerce_task(item)
+                except (KeyError, TypeError, ValueError) as exc:
+                    rejections.append(Rejection(str(self._item_id(item)), str(exc)))
+                    continue
+                if arrival.dp_id not in self._layout:
+                    rejections.append(
+                        Rejection(arrival.task_id, f"unknown delivery point {arrival.dp_id!r}")
+                    )
+                elif arrival.task_id in self._seen_tasks:
+                    rejections.append(
+                        Rejection(arrival.task_id, "duplicate task id")
+                    )
+                elif arrival.expiry <= self.now:
+                    rejections.append(
+                        Rejection(
+                            arrival.task_id,
+                            f"expiry {arrival.expiry} is not after now ({self.now})",
+                        )
+                    )
+                else:
+                    self._pending[arrival.task_id] = arrival
+                    self._seen_tasks.add(arrival.task_id)
+                    accepted.append(arrival.task_id)
+            if accepted:
+                self.version += 1
+        METRICS.counter("service.tasks.submitted").add(len(accepted))
+        METRICS.counter("service.tasks.rejected").add(len(rejections))
+        return accepted, rejections
+
+    def add_workers(
+        self, workers: Sequence
+    ) -> Tuple[List[str], List[Rejection]]:
+        """Register workers; returns ``(accepted ids, rejections)``.
+
+        Each worker is a :class:`~repro.core.entities.Worker` or a dict
+        with ``worker_id``, ``x``, ``y`` and optional ``max_delivery_points``,
+        ``center_id``, ``speed_kmh``.  A worker without a center is attached
+        to the nearest one, like :meth:`ProblemInstance.subproblems`.
+        """
+        accepted: List[str] = []
+        rejections: List[Rejection] = []
+        with self._lock:
+            for item in workers:
+                try:
+                    worker = self._coerce_worker(item)
+                except (KeyError, TypeError, ValueError) as exc:
+                    rejections.append(Rejection(str(self._item_id(item)), str(exc)))
+                    continue
+                if worker.worker_id in self._workers:
+                    rejections.append(
+                        Rejection(worker.worker_id, "duplicate worker id")
+                    )
+                    continue
+                if worker.center_id is not None and worker.center_id not in self._centers:
+                    rejections.append(
+                        Rejection(
+                            worker.worker_id,
+                            f"unknown center {worker.center_id!r}",
+                        )
+                    )
+                    continue
+                if worker.center_id is None:
+                    nearest = min(
+                        self._centers.values(),
+                        key=lambda c: self._travel.distance(worker.location, c.location),
+                    )
+                    worker = worker.assigned_to(nearest.center_id)
+                self._workers[worker.worker_id] = WorkerState.from_worker(worker)
+                self._worker_center[worker.worker_id] = worker.center_id
+                accepted.append(worker.worker_id)
+            if accepted:
+                self.version += 1
+        METRICS.counter("service.workers.added").add(len(accepted))
+        METRICS.counter("service.workers.rejected").add(len(rejections))
+        return accepted, rejections
+
+    def advance(self, hours: float) -> None:
+        """Move the service clock forward (never backward)."""
+        if hours < 0:
+            raise ValueError(f"cannot advance by negative hours ({hours})")
+        if hours:
+            with self._lock:
+                self.now += hours
+                self.version += 1
+
+    def expire(self) -> List[str]:
+        """Drop tasks whose absolute expiry has been reached (``<= now``).
+
+        A task expiring exactly at a round boundary is expired, matching
+        :class:`~repro.sim.platform.DispatchSimulator`'s window rule.
+        """
+        with self._lock:
+            gone = [
+                tid for tid, t in self._pending.items() if t.expiry <= self.now
+            ]
+            for tid in gone:
+                del self._pending[tid]
+            if gone:
+                self.version += 1
+        METRICS.counter("service.tasks.expired").add(len(gone))
+        return gone
+
+    # -- snapshot & commit --------------------------------------------------
+
+    def snapshot(self) -> WorldSnapshot:
+        """Freeze the dispatchable world at ``now`` (see the module doc)."""
+        with self._lock:
+            now = self.now
+            by_center: Dict[str, Dict[str, List[SpatialTask]]] = {}
+            ids_by_center: Dict[str, List[str]] = {}
+            for arrival in sorted(self._pending.values(), key=lambda a: a.task_id):
+                remaining = arrival.remaining(now)
+                if remaining <= 0:
+                    continue
+                center_id = self._dp_center[arrival.dp_id]
+                dp = self._layout[arrival.dp_id]
+                center = self._centers[center_id]
+                if remaining <= self._travel.time(center.location, dp.location):
+                    continue  # hopeless even from the center (Definition 6)
+                by_center.setdefault(center_id, {}).setdefault(
+                    arrival.dp_id, []
+                ).append(
+                    SpatialTask(
+                        task_id=arrival.task_id,
+                        delivery_point_id=arrival.dp_id,
+                        expiry=remaining,
+                        reward=arrival.reward,
+                    )
+                )
+                ids_by_center.setdefault(center_id, []).append(arrival.task_id)
+
+            subs: List[SubProblem] = []
+            fingerprints: Dict[str, str] = {}
+            task_ids: Dict[str, Tuple[str, ...]] = {}
+            for center_id in sorted(by_center):
+                available = [
+                    self._workers[wid].snapshot()
+                    for wid in sorted(self._workers)
+                    if self._worker_center[wid] == center_id
+                    and self._workers[wid].is_available(now)
+                ]
+                if not available:
+                    continue
+                points = tuple(
+                    self._layout[dp_id].with_tasks(tuple(tasks))
+                    for dp_id, tasks in sorted(by_center[center_id].items())
+                )
+                center = self._centers[center_id]
+                sub = SubProblem(
+                    DistributionCenter(center_id, center.location, points),
+                    tuple(available),
+                    self._travel,
+                )
+                subs.append(sub)
+                fingerprints[center_id] = _fingerprint(sub)
+                task_ids[center_id] = tuple(ids_by_center[center_id])
+            return WorldSnapshot(
+                now=now,
+                subproblems=tuple(subs),
+                fingerprints=fingerprints,
+                task_ids=task_ids,
+                pending_tasks=len(self._pending),
+                available_workers=sum(
+                    1 for w in self._workers.values() if w.is_available(now)
+                ),
+            )
+
+    def commit(
+        self, snapshot: WorldSnapshot, assignments: Mapping[str, Assignment]
+    ) -> int:
+        """Apply a round's routes the way the batch simulator does.
+
+        Assigned workers go busy until their route completes and reappear
+        at their last drop-off; the delivered delivery points' tasks leave
+        the queue.  Returns the number of tasks committed.
+        """
+        assigned_tasks = 0
+        with self._lock:
+            for center_id, assignment in assignments.items():
+                delivered_dps: set = set()
+                for pair in assignment:
+                    if pair.route is None or len(pair.route) == 0:
+                        continue
+                    state = self._workers.get(pair.worker.worker_id)
+                    if state is None:
+                        continue  # worker left between snapshot and commit
+                    state.commit_route(
+                        snapshot.now,
+                        completion_time=pair.route.completion_time,
+                        reward=pair.route.total_reward,
+                        deliveries=pair.task_count,
+                        end_location=pair.route.sequence[-1].location,
+                    )
+                    assigned_tasks += pair.task_count
+                    delivered_dps.update(pair.delivery_point_ids)
+                for tid in snapshot.task_ids.get(center_id, ()):
+                    arrival = self._pending.get(tid)
+                    if arrival is not None and arrival.dp_id in delivered_dps:
+                        del self._pending[tid]
+            if assigned_tasks:
+                self.version += 1
+        METRICS.counter("service.tasks.assigned").add(assigned_tasks)
+        return assigned_tasks
+
+    # -- coercion helpers ---------------------------------------------------
+
+    @staticmethod
+    def _item_id(item) -> str:
+        if isinstance(item, Mapping):
+            return item.get("task_id") or item.get("worker_id") or "?"
+        return getattr(item, "task_id", getattr(item, "worker_id", "?"))
+
+    def _coerce_task(self, item) -> TaskArrival:
+        if isinstance(item, TaskArrival):
+            return item
+        if isinstance(item, Mapping):
+            return TaskArrival(
+                task_id=str(item["task_id"]),
+                dp_id=str(item["dp_id"]),
+                arrival_time=float(item.get("arrival_time", self.now)),
+                expiry=float(item["expiry"]),
+                reward=float(item.get("reward", 1.0)),
+            )
+        raise TypeError(f"cannot interpret {type(item).__name__} as a task")
+
+    def _coerce_worker(self, item) -> Worker:
+        if isinstance(item, Worker):
+            return item
+        if isinstance(item, Mapping):
+            return Worker(
+                worker_id=str(item["worker_id"]),
+                location=Point(float(item["x"]), float(item["y"])),
+                max_delivery_points=int(item.get("max_delivery_points", 3)),
+                center_id=item.get("center_id"),
+                speed_kmh=item.get("speed_kmh"),
+            )
+        raise TypeError(f"cannot interpret {type(item).__name__} as a worker")

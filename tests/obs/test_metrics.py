@@ -8,6 +8,7 @@ from repro.obs.metrics import (
     METRICS,
     MetricsRegistry,
     metrics_registry,
+    render_prometheus,
     reset_metrics,
 )
 
@@ -116,6 +117,76 @@ class TestRegistry:
         assert "(no metrics recorded)" in registry.format()
         registry.counter("a.b").add(2)
         assert "a.b" in registry.format()
+
+
+class TestPrometheusRendering:
+    def test_kinds_are_preserved(self):
+        registry = MetricsRegistry()
+        registry.counter("service.rounds").add(2)
+        registry.gauge("queue.depth").set(1.5)
+        registry.histogram("dispatch.seconds").observe(0.25)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_service_rounds counter\nrepro_service_rounds 2" in text
+        assert "# TYPE repro_queue_depth gauge\nrepro_queue_depth 1.5" in text
+        assert "# TYPE repro_dispatch_seconds summary" in text
+        assert "repro_dispatch_seconds_count 1" in text
+        assert "repro_dispatch_seconds_sum 0.25" in text
+        assert text.endswith("\n")
+
+    def test_histogram_extrema_become_gauges(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe(1.0)
+        hist.observe(3.0)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_h_min gauge\nrepro_h_min 1" in text
+        assert "# TYPE repro_h_max gauge\nrepro_h_max 3" in text
+
+    def test_empty_histogram_omits_extrema(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        text = registry.render_prometheus()
+        assert "repro_h_count 0" in text
+        assert "_min" not in text and "_max" not in text
+
+    def test_empty_registry_renders_empty_string(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_name_sanitisation(self):
+        registry = MetricsRegistry()
+        registry.counter("9weird-name!x").add(1)
+        text = registry.render_prometheus()
+        assert "repro__9weird_name_x 1" in text
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        assert "fta_c 1" in registry.render_prometheus(prefix="fta_")
+
+    def test_integral_floats_render_without_exponent(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)
+        assert "repro_g 3\n" in registry.render_prometheus()
+
+    def test_module_function_uses_singleton(self):
+        reset_metrics()
+        METRICS.counter("prom.test").add(1)
+        try:
+            assert "repro_prom_test 1" in render_prometheus()
+        finally:
+            reset_metrics()
+
+    def test_output_is_scrapable(self):
+        # Every non-comment line must be exactly `name value` with a float
+        # value — the format the CI smoke job and real scrapers rely on.
+        registry = MetricsRegistry()
+        registry.counter("a").add(1)
+        registry.histogram("b").observe(0.5)
+        for line in registry.render_prometheus().strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, value = line.partition(" ")
+            assert name and float(value) is not None
 
 
 class TestSingleton:

@@ -1,0 +1,68 @@
+"""Shared builders for the dispatch-service tests.
+
+The layout is two well-separated centers so tests can churn one center
+while proving the other's snapshot (and thus its cached catalog) is
+untouched.  All helpers are plain functions, not fixtures, so a test can
+build several *identical* fresh worlds (warm-vs-cold comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.geo.travel import TravelModel
+from repro.service.state import WorldState
+
+from tests.conftest import make_center, make_dp, make_worker
+
+
+def two_center_layout():
+    """Centers A (around the origin) and B (10 km east)."""
+    a = make_center(
+        [
+            make_dp("a1", 1.0, 0.0),
+            make_dp("a2", -1.0, 0.5),
+            make_dp("a3", 0.5, 1.5),
+        ],
+        center_id="A",
+    )
+    b = make_center(
+        [make_dp("b1", 11.0, 0.0), make_dp("b2", 9.5, 1.0)],
+        center_id="B",
+        x=10.0,
+    )
+    return a, b
+
+
+def task(task_id: str, dp_id: str, expiry: float, reward: float = 1.0) -> Dict:
+    """A task dict the way ``POST /tasks`` would carry it."""
+    return {"task_id": task_id, "dp_id": dp_id, "expiry": expiry, "reward": reward}
+
+
+def seed_tasks(now: float = 0.0) -> List[Dict]:
+    """A reproducible initial queue touching both centers."""
+    return [
+        task("ta1", "a1", now + 1.2),
+        task("ta2", "a1", now + 1.5),
+        task("ta3", "a2", now + 1.0),
+        task("ta4", "a3", now + 1.4),
+        task("tb1", "b1", now + 1.2),
+        task("tb2", "b2", now + 1.5),
+    ]
+
+
+def make_world(with_tasks: bool = True) -> WorldState:
+    """A fresh two-center world; identical on every call."""
+    state = WorldState(
+        two_center_layout(),
+        workers=[
+            make_worker("wa1", 0.1, 0.0, max_dp=2, center_id="A"),
+            make_worker("wa2", -0.2, 0.1, max_dp=2, center_id="A"),
+            make_worker("wb1", 10.1, 0.0, max_dp=2, center_id="B"),
+        ],
+        travel=TravelModel(),  # paper speed: 5 km/h
+    )
+    if with_tasks:
+        accepted, rejected = state.add_tasks(seed_tasks())
+        assert len(accepted) == 6 and not rejected
+    return state

@@ -1,0 +1,158 @@
+"""End-to-end tests for the HTTP API (server on an ephemeral port)."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.games.fgt import FGTSolver
+from repro.service import DispatchClient, DispatchEngine, DispatchServer, ServiceError
+
+from tests.service.conftest import make_world, task
+
+
+@pytest.fixture()
+def server():
+    engine = DispatchEngine(make_world(), FGTSolver(epsilon=0.8), epsilon=0.8, seed=0)
+    with DispatchServer(engine, port=0) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return DispatchClient(server.url, timeout=5.0)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["pending_tasks"] == 6
+        assert health["workers"] == 3
+        assert health["algorithm"] == "FGT"
+        assert health["epsilon"] == 0.8
+        assert health["rounds"] == 0
+
+    def test_submit_tasks_batch_and_rejections(self, client):
+        response = client.submit_tasks(
+            [task("x1", "a1", 2.0), task("x2", "nowhere", 2.0)]
+        )
+        assert response["accepted"] == ["x1"]
+        assert response["rejected"][0]["id"] == "x2"
+        assert response["pending_tasks"] == 7
+
+    def test_submit_single_task_object(self, server, client):
+        status = client._json("POST", "/tasks", task("solo", "b1", 2.0))
+        assert status["accepted"] == ["solo"]
+
+    def test_submit_workers(self, client):
+        response = client.submit_workers(
+            [{"worker_id": "new", "x": 9.9, "y": 0.1}]
+        )
+        assert response["accepted"] == ["new"]
+        assert response["workers"] == 4
+
+    def test_dispatch_commits_and_assignments_reflect_it(self, client):
+        round_payload = client.dispatch()
+        assert round_payload["round"] == 0
+        assert round_payload["committed"] is True
+        assert round_payload["assigned_tasks"] > 0
+        last = client.assignments()
+        assert last["round"]["round"] == 0
+        assert last["round"]["assignments"] == round_payload["assignments"]
+        busy = [w for w in last["workers"].values() if w["assignments"] > 0]
+        assert busy
+
+    def test_dry_run_dispatch(self, client):
+        preview = client.dispatch(commit=False)
+        assert preview["committed"] is False
+        assert client.health()["pending_tasks"] == 6  # untouched
+
+    def test_metrics_exposition(self, client):
+        client.dispatch(commit=False)
+        client.dispatch(commit=False)  # second round: unchanged -> cache hits
+        text = client.metrics_text()
+        assert "# TYPE repro_service_rounds counter" in text
+        parsed = client.metrics()
+        assert parsed["repro_service_rounds"] >= 2
+        assert parsed["repro_service_catalog_cache_hits"] >= 2
+        assert "repro_service_dispatch_seconds_sum" in parsed
+
+    def test_metrics_content_type(self, server):
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+
+
+class TestErrorHandling:
+    def test_unknown_path_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_invalid_json_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/tasks",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_body_must_be_object(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/tasks",
+            data=json.dumps([1, 2]).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_missing_batch_key_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("POST", "/tasks", {"unrelated": 1})
+        assert excinfo.value.status == 400
+
+    def test_bad_dispatch_arguments_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.dispatch(advance_hours=-1.0)
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("POST", "/dispatch", {"commit": "yes"})
+        assert excinfo.value.status == 400
+
+    def test_service_survives_errors(self, client):
+        with pytest.raises(ServiceError):
+            client._json("GET", "/nope")
+        assert client.health()["status"] == "ok"
+
+
+class TestLifecycle:
+    def test_shutdown_endpoint_is_graceful(self):
+        engine = DispatchEngine(
+            make_world(), FGTSolver(epsilon=0.8), epsilon=0.8, seed=1
+        )
+        server = DispatchServer(engine, port=0).start_background()
+        client = DispatchClient(server.url, timeout=5.0)
+        client.wait_healthy(timeout=5.0)
+        client.dispatch()
+        assert client.shutdown()["status"] == "shutting down"
+        server.join(timeout=5.0)
+        with pytest.raises((ServiceError, OSError)):
+            client.health()
+        server.stop()  # idempotent after /shutdown
+
+    def test_context_manager_stops_cleanly(self):
+        engine = DispatchEngine(make_world(), FGTSolver(epsilon=0.8), epsilon=0.8)
+        with DispatchServer(engine, port=0) as server:
+            url = server.url
+            DispatchClient(url, timeout=5.0).wait_healthy(timeout=5.0)
+        with pytest.raises((ServiceError, OSError)):
+            DispatchClient(url, timeout=1.0).health()
+
+    def test_ephemeral_port_bound(self, server):
+        assert server.port > 0
+        assert server.url.startswith("http://127.0.0.1:")

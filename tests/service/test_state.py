@@ -1,0 +1,292 @@
+"""Tests for repro.service.state (the mutable service world)."""
+
+import pytest
+
+from repro.baselines.gta import GTASolver
+from repro.geo.point import Point
+from repro.parallel import solve_instance
+from repro.service.state import WorldState, _fingerprint
+from repro.sim.arrivals import TaskArrival
+
+from tests.conftest import make_center, make_dp, make_worker
+from tests.service.conftest import make_world, seed_tasks, task, two_center_layout
+
+
+class TestConstruction:
+    def test_requires_centers(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WorldState([])
+
+    def test_duplicate_center_rejected(self):
+        a, _ = two_center_layout()
+        with pytest.raises(ValueError, match="duplicate center"):
+            WorldState([a, a])
+
+    def test_duplicate_delivery_point_rejected(self):
+        a = make_center([make_dp("p", 1, 0)], center_id="A")
+        b = make_center([make_dp("p", 11, 0)], center_id="B", x=10.0)
+        with pytest.raises(ValueError, match="duplicate delivery point"):
+            WorldState([a, b])
+
+    def test_center_without_points_rejected(self):
+        with pytest.raises(ValueError, match="delivery points"):
+            WorldState([make_center([], center_id="A")])
+
+    def test_layout_tasks_are_stripped(self):
+        # make_dp attaches a task to each point; the service ignores it,
+        # mirroring DispatchSimulator (centers are layout only).
+        state = make_world(with_tasks=False)
+        assert state.pending_task_count == 0
+        for center in state.centers:
+            assert all(not dp.tasks for dp in center.delivery_points)
+
+    def test_initial_worker_with_unknown_center_raises(self):
+        with pytest.raises(ValueError, match="unknown center"):
+            WorldState(
+                two_center_layout(),
+                workers=[make_worker("w", 0, 0, center_id="nope")],
+            )
+
+
+class TestAddTasks:
+    def test_accepts_and_counts(self):
+        state = make_world(with_tasks=False)
+        accepted, rejected = state.add_tasks(seed_tasks())
+        assert len(accepted) == 6 and rejected == []
+        assert state.pending_task_count == 6
+
+    def test_duplicate_id_rejected(self):
+        state = make_world()
+        accepted, rejected = state.add_tasks([task("ta1", "a1", 2.0)])
+        assert accepted == []
+        assert rejected[0].reason == "duplicate task id"
+
+    def test_unknown_delivery_point_rejected(self):
+        state = make_world(with_tasks=False)
+        _, rejected = state.add_tasks([task("t", "nowhere", 2.0)])
+        assert "unknown delivery point" in rejected[0].reason
+
+    def test_expired_on_arrival_rejected(self):
+        state = make_world(with_tasks=False)
+        state.advance(1.0)
+        _, rejected = state.add_tasks([task("t", "a1", 1.0)])  # expiry == now
+        assert "not after now" in rejected[0].reason
+
+    def test_expired_id_stays_burned(self):
+        # A task id that ever entered the queue cannot be replayed, even
+        # after the original expired and left.
+        state = make_world(with_tasks=False)
+        state.add_tasks([task("t", "a1", 0.5)])
+        state.advance(1.0)
+        assert state.expire() == ["t"]
+        _, rejected = state.add_tasks([task("t", "a1", 5.0)])
+        assert rejected[0].reason == "duplicate task id"
+
+    def test_malformed_dict_rejected_not_raised(self):
+        state = make_world(with_tasks=False)
+        accepted, rejected = state.add_tasks([{"task_id": "t"}])  # no dp/expiry
+        assert accepted == [] and len(rejected) == 1
+
+    def test_accepts_task_arrival_entities(self):
+        state = make_world(with_tasks=False)
+        arrival = TaskArrival("t", "b1", arrival_time=0.0, expiry=2.0)
+        accepted, _ = state.add_tasks([arrival])
+        assert accepted == ["t"]
+
+    def test_version_bumps_only_on_acceptance(self):
+        state = make_world(with_tasks=False)
+        before = state.version
+        state.add_tasks([task("t", "nowhere", 2.0)])
+        assert state.version == before
+        state.add_tasks([task("t", "a1", 2.0)])
+        assert state.version == before + 1
+
+
+class TestAddWorkers:
+    def test_accepts_dicts(self):
+        state = make_world(with_tasks=False)
+        accepted, rejected = state.add_workers(
+            [{"worker_id": "w9", "x": 0.3, "y": 0.0, "center_id": "A"}]
+        )
+        assert accepted == ["w9"] and rejected == []
+        assert state.worker_count == 4
+
+    def test_nearest_center_attachment(self):
+        state = make_world(with_tasks=False)
+        state.add_workers([{"worker_id": "east", "x": 9.8, "y": 0.0}])
+        assert state.worker_stats()["east"]["center_id"] == "B"
+
+    def test_duplicate_and_unknown_center_rejected(self):
+        state = make_world(with_tasks=False)
+        _, rejected = state.add_workers(
+            [
+                {"worker_id": "wa1", "x": 0, "y": 0},
+                {"worker_id": "w9", "x": 0, "y": 0, "center_id": "nope"},
+            ]
+        )
+        reasons = {r.item_id: r.reason for r in rejected}
+        assert reasons["wa1"] == "duplicate worker id"
+        assert "unknown center" in reasons["w9"]
+
+    def test_malformed_dict_rejected_not_raised(self):
+        state = make_world(with_tasks=False)
+        accepted, rejected = state.add_workers([{"worker_id": "w"}])
+        assert accepted == [] and len(rejected) == 1
+
+
+class TestClockAndExpiry:
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            make_world(with_tasks=False).advance(-0.1)
+
+    def test_expiry_at_boundary_is_inclusive(self):
+        # expiry == now expires, matching the simulator's `expiry > now`
+        # keep-filter at round boundaries.
+        state = make_world(with_tasks=False)
+        state.add_tasks([task("edge", "a1", 0.5), task("later", "a1", 0.6)])
+        state.advance(0.5)
+        assert state.expire() == ["edge"]
+        assert state.pending_task_count == 1
+
+
+class TestSnapshot:
+    def test_relative_deadline_conversion(self):
+        state = make_world(with_tasks=False)
+        state.add_tasks([task("t", "a1", 1.5)])
+        state.advance(0.25)
+        snap = state.snapshot()
+        (sub,) = snap.subproblems
+        (spatial,) = sub.center.delivery_points[0].tasks
+        assert spatial.expiry == pytest.approx(1.25)  # absolute -> relative
+
+    def test_only_active_centers_appear(self):
+        state = make_world(with_tasks=False)
+        state.add_tasks([task("t", "a1", 1.5)])  # tasks only at A
+        snap = state.snapshot()
+        assert snap.center_ids == ["A"]
+        assert snap.task_ids == {"A": ("t",)}
+
+    def test_center_without_available_workers_skipped(self):
+        state = make_world()
+        snap = state.snapshot()
+        assert snap.center_ids == ["A", "B"]
+        # Send every B worker on a long route; B drops out of the snapshot
+        # even though its tasks are still pending.
+        solution = solve_instance(
+            snap.instance(), GTASolver(), seed=0, catalogs=None
+        )
+        state.commit(snap, {"B": solution.assignments["B"]})
+        assert state.snapshot().center_ids == ["A"]
+        assert state.pending_task_count > 0
+
+    def test_hopeless_tasks_excluded(self):
+        # Remaining time not exceeding the center->dp travel time means no
+        # worker could ever deliver (Definition 6): excluded, left to expire.
+        state = make_world(with_tasks=False)
+        # a1 is 1 km from A; at 5 km/h that is 0.2 h of travel.
+        state.add_tasks([task("hopeless", "a1", 0.2), task("fine", "a1", 1.0)])
+        snap = state.snapshot()
+        assert snap.task_ids == {"A": ("fine",)}
+        assert snap.pending_tasks == 2  # still queued, just not offered
+
+    def test_empty_snapshot_has_no_instance(self):
+        snap = make_world(with_tasks=False).snapshot()
+        assert snap.subproblems == ()
+        with pytest.raises(ValueError, match="empty snapshot"):
+            snap.instance()
+
+    def test_instance_round_trips_workers_and_centers(self):
+        snap = make_world().snapshot()
+        instance = snap.instance()
+        assert [c.center_id for c in instance.centers] == ["A", "B"]
+        assert len(instance.workers) == 3
+
+    def test_counts(self):
+        snap = make_world().snapshot()
+        assert snap.pending_tasks == 6
+        assert snap.available_workers == 3
+
+
+class TestFingerprints:
+    def test_stable_across_identical_snapshots(self):
+        state = make_world()
+        a = state.snapshot().fingerprints
+        b = state.snapshot().fingerprints
+        assert a == b
+        assert make_world().snapshot().fingerprints == a  # world-independent
+
+    def test_churn_moves_only_the_touched_center(self):
+        state = make_world()
+        before = state.snapshot().fingerprints
+        state.add_tasks([task("extra", "a1", 1.3)])
+        after = state.snapshot().fingerprints
+        assert after["A"] != before["A"]
+        assert after["B"] == before["B"]
+
+    def test_clock_advance_moves_every_center(self):
+        # Relative deadlines shift with the clock, so the catalogs of every
+        # center with tasks become stale.
+        state = make_world()
+        before = state.snapshot().fingerprints
+        state.advance(0.1)
+        after = state.snapshot().fingerprints
+        assert after["A"] != before["A"] and after["B"] != before["B"]
+
+    def test_fingerprint_covers_workers(self):
+        state = make_world()
+        before = state.snapshot().fingerprints
+        state.add_workers([{"worker_id": "w9", "x": 0.4, "y": 0.2, "center_id": "A"}])
+        after = state.snapshot().fingerprints
+        assert after["A"] != before["A"]
+        assert after["B"] == before["B"]
+
+    def test_direct_fingerprint_matches_snapshot(self):
+        snap = make_world().snapshot()
+        for sub in snap.subproblems:
+            assert snap.fingerprints[sub.center.center_id] == _fingerprint(sub)
+
+
+class TestCommit:
+    def test_commit_applies_routes_like_the_simulator(self):
+        state = make_world()
+        snap = state.snapshot()
+        solution = solve_instance(snap.instance(), GTASolver(), seed=0)
+        assigned = state.commit(snap, solution.assignments)
+        assert assigned > 0
+        assert state.pending_task_count == 6 - assigned
+        stats = state.worker_stats()
+        routed = [s for s in stats.values() if s["assignments"] > 0]
+        assert routed
+        for s in routed:
+            assert s["available_at"] > 0.0  # busy until the route completes
+            assert s["earnings"] > 0.0
+
+    def test_busy_worker_reappears_at_drop_off(self):
+        state = make_world()
+        snap = state.snapshot()
+        solution = solve_instance(snap.instance(), GTASolver(), seed=0)
+        state.commit(snap, solution.assignments)
+        stats = state.worker_stats()
+        wid, worker_stats = next(
+            (w, s) for w, s in stats.items() if s["assignments"] > 0
+        )
+        assert state.available_worker_count() < 3
+        state.advance(worker_stats["available_at"] - state.now)
+        snap2 = state.snapshot()
+        moved = [
+            w
+            for sub in snap2.subproblems
+            for w in sub.workers
+            if w.worker_id == wid
+        ]
+        if moved:  # the worker's center may have no offered tasks left
+            assert moved[0].location != Point(0.1, 0.0)
+
+    def test_uncommitted_snapshot_leaves_world_untouched(self):
+        state = make_world()
+        version = state.version
+        snap = state.snapshot()
+        solve_instance(snap.instance(), GTASolver(), seed=0)
+        assert state.version == version
+        assert state.pending_task_count == 6
+        assert state.available_worker_count() == 3

@@ -6,11 +6,25 @@ from repro.baselines.gta import GTASolver
 from repro.games.iegt import IEGTSolver
 from repro.geo.point import Point
 from repro.geo.travel import TravelModel
-from repro.sim.arrivals import PoissonTaskArrivals
+from repro.sim.arrivals import PoissonTaskArrivals, TaskArrival
 from repro.sim.platform import DispatchSimulator, SimConfig
 from repro.sim.workers import WorkerState
 
-from tests.conftest import make_center, make_dp, make_worker
+from tests.conftest import make_center, make_dp, make_worker, unit_speed_travel
+
+
+class ScriptedArrivals:
+    """Arrival stub: hands each round exactly the scripted tasks.
+
+    Duck-types ``PoissonTaskArrivals.between`` so churn edge cases can be
+    staged deterministically instead of hoping a Poisson draw hits them.
+    """
+
+    def __init__(self, arrivals):
+        self._arrivals = sorted(arrivals, key=lambda a: a.arrival_time)
+
+    def between(self, start, end, seed=None):
+        return [a for a in self._arrivals if start <= a.arrival_time < end]
 
 
 def _simulator(solver=None, n_workers=4, rate=25.0, **config_kwargs):
@@ -133,6 +147,98 @@ class TestDispatchSimulator:
                 PoissonTaskArrivals([make_dp("x", 1, 1)], 10),
                 GTASolver(),
             )
+
+    def test_churn_task_expiring_exactly_at_round_boundary(self):
+        # A task whose expiry lands exactly on a round boundary is expired,
+        # not dispatched: the boundary filter keeps `expiry > now` only.
+        center = make_center([make_dp("a", 0.3, 0.0)])
+        sim = DispatchSimulator(
+            center,
+            [make_worker("w", 0.0, 0.0)],
+            ScriptedArrivals(
+                [TaskArrival("edge", "a", arrival_time=0.1, expiry=0.5)]
+            ),
+            GTASolver(),
+            travel=unit_speed_travel(),
+            config=SimConfig(horizon_hours=1.0, round_interval_hours=0.5),
+        )
+        report = sim.run(seed=0)
+        # Round 0 predates the arrival; round 1 (t=0.5) sees it already dead.
+        assert report.rounds[1].expired_tasks == 1
+        assert report.completed_tasks == 0
+        assert report.expired_tasks == 1
+        assert report.arrived_tasks == 1
+
+    def test_churn_worker_reappears_mid_round_at_drop_off(self):
+        # The only worker goes busy at t=0.5 (0.3 h route, done at t=0.8,
+        # between round boundaries), then serves the t=1.0 round from its
+        # drop-off: available again mid-round, relocated to (0.3, 0).
+        center = make_center(
+            [make_dp("near", 0.3, 0.0), make_dp("far", 0.4, 0.0)]
+        )
+        sim = DispatchSimulator(
+            center,
+            [make_worker("w", 0.0, 0.0)],
+            ScriptedArrivals(
+                [
+                    TaskArrival("t1", "near", arrival_time=0.1, expiry=2.0),
+                    TaskArrival("t2", "far", arrival_time=0.6, expiry=3.0),
+                ]
+            ),
+            GTASolver(),
+            travel=unit_speed_travel(),
+            config=SimConfig(horizon_hours=2.0, round_interval_hours=0.5),
+        )
+        report = sim.run(seed=0)
+        assert [r.assigned_tasks for r in report.rounds] == [0, 1, 1, 0]
+        # Round 2 assigning t2 proves the worker reappeared at 0.8 (between
+        # boundaries) in time for the t=1.0 decision; the record's count is
+        # post-commit, so it reads 0 while the worker is out again.
+        assert report.rounds[1].available_workers == 0
+        (worker,) = report.worker_states
+        assert worker.assignments == 2
+        assert worker.location == Point(0.4, 0.0)  # final drop-off
+        # Second route returns via the center: 0.3 back + 0.4 out = 0.7 h.
+        assert not worker.is_available(1.6) and worker.is_available(1.7)
+        assert report.completed_tasks == 2
+
+    def test_churn_empty_round_no_tasks(self):
+        # Rounds with an empty queue dispatch nothing and report neutral
+        # fairness (no payoffs -> P_dif 0).
+        center = make_center([make_dp("a", 0.3, 0.0)])
+        sim = DispatchSimulator(
+            center,
+            [make_worker("w", 0.0, 0.0)],
+            ScriptedArrivals([]),
+            GTASolver(),
+            travel=unit_speed_travel(),
+            config=SimConfig(horizon_hours=4.0, round_interval_hours=0.5),
+        )
+        report = sim.run(seed=0)
+        assert len(report.rounds) == 8
+        assert all(r.assigned_tasks == 0 for r in report.rounds)
+        assert all(r.payoff_difference == 0.0 for r in report.rounds)
+        assert report.arrived_tasks == 0
+        assert report.completion_rate == 1.0  # vacuous: nothing to deliver
+
+    def test_churn_empty_round_no_workers(self):
+        # A workerless platform keeps running; every task waits, then dies.
+        center = make_center([make_dp("a", 0.3, 0.0)])
+        sim = DispatchSimulator(
+            center,
+            [],
+            ScriptedArrivals(
+                [TaskArrival("t", "a", arrival_time=0.1, expiry=0.9)]
+            ),
+            GTASolver(),
+            travel=unit_speed_travel(),
+            config=SimConfig(horizon_hours=1.0, round_interval_hours=0.5),
+        )
+        report = sim.run(seed=0)
+        assert all(r.available_workers == 0 for r in report.rounds)
+        assert report.completed_tasks == 0
+        assert report.expired_tasks == 1
+        assert report.completion_rate == 0.0
 
     def test_fair_solver_reduces_longrun_gap(self):
         # Across seeds, IEGT's cumulative earning-rate gap should not exceed

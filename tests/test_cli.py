@@ -1,6 +1,8 @@
 """Tests for the command-line interface (python -m repro)."""
 
 import csv
+import threading
+import time
 
 import pytest
 
@@ -116,6 +118,23 @@ class TestSolve:
         second = capsys.readouterr().out
         assert first == second
 
+    def test_n_jobs_matches_serial(self, instance_dir, capsys):
+        args = [
+            "solve",
+            str(instance_dir),
+            "--algorithm",
+            "fgt",
+            "--epsilon",
+            "0.6",
+            "--seed",
+            "3",
+        ]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--n-jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
 
 class TestCompare:
     @pytest.fixture
@@ -171,6 +190,24 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "winners=0 losers=0" in out
 
+    def test_compare_accepts_n_jobs(self, instance_dir, capsys):
+        code = main(
+            [
+                "compare",
+                str(instance_dir),
+                "--baseline",
+                "gta",
+                "--challenger",
+                "fgt",
+                "--epsilon",
+                "0.6",
+                "--n-jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "GTA -> FGT" in capsys.readouterr().out
+
 
 class TestExperiment:
     def test_sweep_experiment(self, capsys):
@@ -194,6 +231,84 @@ class TestExperiment:
         assert code == 0
         out = capsys.readouterr().out
         assert "manhattan" in out and "euclidean" in out
+
+
+class TestTrace:
+    def test_trace_prometheus_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "trace",
+                "--algo",
+                "fgt",
+                "--scale",
+                "smoke",
+                "--seed",
+                "0",
+                "--output",
+                str(tmp_path / "trace.jsonl"),
+                "--prometheus",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_" in out
+        assert (tmp_path / "trace.jsonl").exists()
+
+
+class TestServe:
+    def test_serve_round_trip(self, tmp_path, capsys):
+        # Drive the real `serve` command from a helper thread: wait for the
+        # port file, run one dispatch round, then ask for graceful shutdown.
+        from repro.service import DispatchClient
+
+        port_file = tmp_path / "port.txt"
+        failures = []
+
+        def drive():
+            try:
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    if port_file.exists() and port_file.read_text().strip():
+                        break
+                    time.sleep(0.05)
+                port = int(port_file.read_text())
+                client = DispatchClient(f"http://127.0.0.1:{port}", timeout=5.0)
+                client.wait_healthy(timeout=10.0)
+                result = client.dispatch()
+                if result["assigned_tasks"] <= 0:
+                    failures.append(f"no tasks assigned: {result}")
+                client.shutdown()
+            except Exception as exc:  # surfaced after main() returns
+                failures.append(repr(exc))
+
+        driver = threading.Thread(target=drive)
+        driver.start()
+        code = main(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+                "--epsilon",
+                "0.8",
+                "--seed",
+                "0",
+                "--tasks",
+                "30",
+                "--workers",
+                "6",
+                "--delivery-points",
+                "12",
+            ]
+        )
+        driver.join(timeout=15.0)
+        assert code == 0
+        assert failures == []
+        out = capsys.readouterr().out
+        assert "dispatch service listening on" in out
+        assert "served 1 dispatch rounds" in out
+        assert "service.tasks.assigned" in out  # final metrics dump
 
 
 class TestVerify:

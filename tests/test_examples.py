@@ -45,3 +45,11 @@ class TestExamples:
         assert "Lunch rush" in out
         for policy in ("GTA", "MPTA", "FGT", "IEGT"):
             assert policy in out
+
+    def test_live_dispatch(self, capsys):
+        out = _run("live_dispatch.py", capsys)
+        assert "service up at http://127.0.0.1:" in out
+        assert "preview again" in out
+        assert "invariant checkers" in out
+        # The unchanged-centers preview must be served from the cache.
+        assert "3/0" in out

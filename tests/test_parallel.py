@@ -4,8 +4,10 @@ import pytest
 
 from repro.baselines.gta import GTASolver
 from repro.datasets.synthetic import SynConfig, generate_synthetic
+from repro.experiments.runner import AlgorithmSpec, run_algorithms
 from repro.games.fgt import FGTSolver
 from repro.parallel import InstanceSolution, solve_instance
+from repro.vdps.catalog import build_catalog
 
 
 @pytest.fixture(scope="module")
@@ -57,3 +59,60 @@ class TestSolveInstance:
             a.busy_worker_count for a in solution.assignments.values()
         )
         assert solution.busy_worker_count == busy
+
+
+class TestSeedStreams:
+    def test_named_stream_matches_run_algorithms(self, instance):
+        # seed_stream="FGT" derives the exact per-center streams that
+        # run_algorithms gives its "FGT" arm — the service's fidelity hook.
+        solution = solve_instance(
+            instance,
+            FGTSolver(epsilon=2.0),
+            epsilon=2.0,
+            seed=9,
+            seed_stream="FGT",
+        )
+        record = run_algorithms(
+            instance,
+            [AlgorithmSpec("FGT", lambda eps: FGTSolver(epsilon=eps))],
+            epsilon=2.0,
+            seed=9,
+        )[0]
+        assert sorted(solution.payoffs) == sorted(record.payoffs)
+        assert solution.payoff_difference == record.payoff_difference
+
+    def test_default_stream_is_stable(self, instance):
+        # The historical "center:*" streams stay the default.
+        solver = FGTSolver(epsilon=2.0)
+        explicit = solve_instance(
+            instance, solver, epsilon=2.0, seed=4, seed_stream="center"
+        )
+        implicit = solve_instance(instance, solver, epsilon=2.0, seed=4)
+        assert explicit.payoffs == implicit.payoffs
+
+
+class TestPrebuiltCatalogs:
+    def test_prebuilt_catalogs_equal_cold_builds(self, instance):
+        catalogs = {
+            sub.center.center_id: build_catalog(sub, epsilon=2.0)
+            for sub in instance.subproblems()
+        }
+        warm = solve_instance(
+            instance, GTASolver(), epsilon=2.0, seed=0, catalogs=catalogs
+        )
+        cold = solve_instance(instance, GTASolver(), epsilon=2.0, seed=0)
+        assert warm.payoffs == cold.payoffs
+        for center_id in cold.assignments:
+            assert (
+                warm.assignments[center_id].as_mapping()
+                == cold.assignments[center_id].as_mapping()
+            )
+
+    def test_partial_catalog_mapping_allowed(self, instance):
+        first = instance.subproblems()[0]
+        catalogs = {first.center.center_id: build_catalog(first, epsilon=2.0)}
+        partial = solve_instance(
+            instance, GTASolver(), epsilon=2.0, seed=0, catalogs=catalogs
+        )
+        cold = solve_instance(instance, GTASolver(), epsilon=2.0, seed=0)
+        assert partial.payoffs == cold.payoffs
