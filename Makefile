@@ -1,6 +1,6 @@
 # Convenience targets for the FTA reproduction.
 
-.PHONY: install test verify trace serve bench bench-smoke bench-paper examples clean
+.PHONY: install test verify trace serve bench bench-smoke bench-figures bench-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -23,11 +23,17 @@ trace:
 serve:
 	python -m repro serve --algorithm fgt --epsilon 0.8 --seed 0
 
+# Core perf baseline: catalog build + FGT/IEGT solves through both
+# best-response engines, written to BENCH_core.json (docs/performance.md).
 bench:
-	pytest benchmarks/ --benchmark-only
+	python -m repro bench --scale medium --output BENCH_core.json
 
 bench-smoke:
-	REPRO_BENCH_SCALE=smoke pytest benchmarks/ --benchmark-only
+	python -m repro bench --scale smoke --output BENCH_core.json
+
+# The paper-figure benchmark suite (pytest-benchmark over the experiments).
+bench-figures:
+	pytest benchmarks/ --benchmark-only
 
 bench-paper:
 	REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only

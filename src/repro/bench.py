@@ -1,0 +1,218 @@
+"""Tracked performance baseline: ``python -m repro bench``.
+
+The hot path of both game solvers is the Algorithm 2/3 inner loop, and
+PR-to-PR performance claims about it need a pinned, repeatable measurement.
+This module runs a fixed benchmark shape — one gMission-like instance,
+catalog build, FGT solve, IEGT solve — through *both* best-response engines
+(the vectorized bitmask engine and the retained scalar reference) and writes
+wall-times, speedups, and :mod:`repro.obs` counter deltas to a JSON file
+(``BENCH_core.json`` by default).
+
+Because the two engines are bit-identical by contract, the bench also
+asserts that contract on every run: each phase records whether the scalar
+and vectorized solves produced the same routes, payoffs, Equation 2
+``P_dif``, and round counts.  A bench whose ``identical`` flags are not all
+true is reporting a correctness bug, not a performance number.
+
+Shapes are pinned here (not derived from the experiment grids) so the
+numbers stay comparable across PRs:
+
+* ``medium`` — the tracked baseline: large enough that the best-response
+  inner loop dominates and timing noise is small.
+* ``smoke`` — a seconds-scale reduction for CI's ``bench-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.obs.metrics import METRICS
+from repro.utils.rng import RngFactory
+from repro.vdps.catalog import VDPSCatalog, build_catalog
+
+
+@dataclass(frozen=True)
+class BenchShape:
+    """One pinned benchmark workload (a gMission-like instance)."""
+
+    n_tasks: int
+    n_workers: int
+    n_delivery_points: int
+    epsilon: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view stored under ``shape`` in the bench report."""
+        return {
+            "dataset": "gm",
+            "n_tasks": self.n_tasks,
+            "n_workers": self.n_workers,
+            "n_delivery_points": self.n_delivery_points,
+            "epsilon": self.epsilon,
+        }
+
+
+#: The pinned shapes; change these only with a deliberate baseline reset.
+BENCH_SHAPES: Dict[str, BenchShape] = {
+    "smoke": BenchShape(
+        n_tasks=60, n_workers=14, n_delivery_points=30, epsilon=0.8
+    ),
+    "medium": BenchShape(
+        n_tasks=1200, n_workers=150, n_delivery_points=260, epsilon=0.8
+    ),
+}
+
+
+def _solve_outcome(
+    solver, subs, catalogs: Dict[str, VDPSCatalog], rng_factory: RngFactory
+) -> Tuple[List[Tuple[str, Tuple[str, ...], float]], int, bool]:
+    """Solve every sub-problem; returns (routes+payoffs, rounds, converged).
+
+    Seeds follow the ``"<solver.name>:<center_id>"`` streams of
+    :func:`repro.experiments.runner.run_algorithms`, so the bench's solves
+    are the same solves an experiment arm would run.
+    """
+    outcome: List[Tuple[str, Tuple[str, ...], float]] = []
+    rounds = 0
+    converged = True
+    for sub in subs:
+        seed = rng_factory.get(f"{solver.name}:{sub.center.center_id}")
+        result = solver.solve(
+            sub, catalog=catalogs[sub.center.center_id], seed=seed
+        )
+        rounds += result.rounds
+        converged = converged and result.converged
+        for pair in result.assignment.pairs:
+            outcome.append(
+                (pair.worker.worker_id, pair.delivery_point_ids, pair.payoff)
+            )
+    return outcome, rounds, converged
+
+
+def _timed_engine_phase(
+    make_solver, subs, catalogs, seed: int, repeats: int
+) -> Dict[str, object]:
+    """Best-of-``repeats`` wall time per engine plus the identity check."""
+    phase: Dict[str, object] = {}
+    outcomes = {}
+    for engine in ("scalar", "vectorized"):
+        solver = make_solver(engine)
+        before = METRICS.snapshot()
+        best = None
+        for _ in range(repeats):
+            rng_factory = RngFactory(seed)
+            start = time.perf_counter()
+            outcome = _solve_outcome(solver, subs, catalogs, rng_factory)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        outcomes[engine] = outcome
+        phase[f"{engine}_seconds"] = best
+        phase[f"metrics_{engine}"] = METRICS.delta(before)
+    routes, rounds, converged = outcomes["vectorized"]
+    payoffs = [p for _, _, p in routes]
+    from repro.core.payoff import average_payoff, payoff_difference
+
+    phase["rounds"] = rounds
+    phase["converged"] = converged
+    phase["payoff_difference"] = payoff_difference(payoffs)
+    phase["average_payoff"] = average_payoff(payoffs)
+    phase["identical"] = outcomes["scalar"] == outcomes["vectorized"]
+    scalar_s = phase["scalar_seconds"]
+    vector_s = phase["vectorized_seconds"]
+    phase["speedup"] = (scalar_s / vector_s) if vector_s > 0 else None
+    return phase
+
+
+def run_bench(
+    scale: str = "medium",
+    seed: int = 0,
+    repeats: int = 3,
+    output: Optional[Path] = None,
+) -> Dict[str, object]:
+    """Run the pinned benchmark and (optionally) write the JSON report."""
+    if scale not in BENCH_SHAPES:
+        raise ValueError(
+            f"scale must be one of {sorted(BENCH_SHAPES)}, got {scale!r}"
+        )
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    shape = BENCH_SHAPES[scale]
+    instance = generate_gmission_like(
+        GMissionConfig(
+            n_tasks=shape.n_tasks,
+            n_workers=shape.n_workers,
+            n_delivery_points=shape.n_delivery_points,
+        ),
+        seed=seed,
+    )
+    subs = list(instance.subproblems())
+
+    before = METRICS.snapshot()
+    start = time.perf_counter()
+    catalogs = {
+        sub.center.center_id: build_catalog(sub, epsilon=shape.epsilon)
+        for sub in subs
+    }
+    catalog_seconds = time.perf_counter() - start
+    catalog_metrics = METRICS.delta(before)
+
+    report: Dict[str, object] = {
+        "schema": 1,
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "shape": shape.as_dict(),
+        "catalog": {
+            "seconds": catalog_seconds,
+            "strategies": sum(c.total_strategy_count for c in catalogs.values()),
+            "cvdps": sum(c.cvdps_count for c in catalogs.values()),
+            "metrics": catalog_metrics,
+        },
+        "fgt": _timed_engine_phase(
+            lambda engine: FGTSolver(epsilon=shape.epsilon, engine=engine),
+            subs,
+            catalogs,
+            seed,
+            repeats,
+        ),
+        "iegt": _timed_engine_phase(
+            lambda engine: IEGTSolver(epsilon=shape.epsilon, engine=engine),
+            subs,
+            catalogs,
+            seed,
+            repeats,
+        ),
+    }
+    if output is not None:
+        output = Path(output)
+        if output.parent != Path(""):
+            output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a bench report for CLI output."""
+    lines = [
+        f"bench scale={report['scale']} seed={report['seed']} "
+        f"repeats={report['repeats']}",
+        f"shape            : {report['shape']}",
+        f"catalog build    : {report['catalog']['seconds']:.3f}s "
+        f"({report['catalog']['strategies']} strategies)",
+    ]
+    for phase in ("fgt", "iegt"):
+        data = report[phase]
+        lines.append(
+            f"{phase.upper():<5} solve      : scalar={data['scalar_seconds']:.3f}s "
+            f"vectorized={data['vectorized_seconds']:.3f}s "
+            f"speedup={data['speedup']:.1f}x "
+            f"identical={data['identical']} rounds={data['rounds']}"
+        )
+    return "\n".join(lines)

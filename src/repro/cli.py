@@ -16,6 +16,9 @@ Four subcommands cover the operational loop a platform engineer needs:
 * ``serve`` — run the long-lived online dispatch service
   (:mod:`repro.service`): a JSON-over-HTTP assignment engine with
   per-center sharded solves and snapshot-keyed catalog caching.
+* ``bench`` — run the pinned core benchmark (catalog build, FGT solve,
+  IEGT solve through both best-response engines) and write wall-times,
+  speedups, and obs counter deltas to ``BENCH_core.json``.
 """
 
 from __future__ import annotations
@@ -168,6 +171,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prometheus",
         action="store_true",
         help="also print the metrics registry in Prometheus text format",
+    )
+
+    bch = sub.add_parser(
+        "bench", help="run the pinned core benchmark and write BENCH_core.json"
+    )
+    bch.add_argument(
+        "--scale",
+        choices=("smoke", "medium"),
+        default="medium",
+        help="pinned benchmark shape (default medium; smoke is CI-sized)",
+    )
+    bch.add_argument("--seed", type=int, default=0)
+    bch.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="solve repetitions per engine; the best wall time is reported",
+    )
+    bch.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_core.json"),
+        help="JSON report path (default BENCH_core.json)",
     )
 
     srv = sub.add_parser(
@@ -495,6 +521,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_report, run_bench
+
+    report = run_bench(
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        output=args.output,
+    )
+    print(format_report(report))
+    print(f"report written to {args.output}")
+    if not (report["fgt"]["identical"] and report["iegt"]["identical"]):
+        print(
+            "ERROR: scalar and vectorized engines disagreed — the bench is "
+            "reporting a correctness bug, not a performance number",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -586,6 +633,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
 }
 
 

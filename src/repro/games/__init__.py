@@ -5,6 +5,7 @@ from repro.games.potential import (
     IAUEvaluator,
     is_pure_nash,
     potential_value,
+    sequential_best,
 )
 from repro.games.trace import ConvergenceTrace, TracePoint
 from repro.games.fgt import FGTSolver
@@ -16,6 +17,7 @@ __all__ = [
     "random_initial_state",
     "IAUEvaluator",
     "potential_value",
+    "sequential_best",
     "is_pure_nash",
     "ConvergenceTrace",
     "TracePoint",

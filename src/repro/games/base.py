@@ -36,6 +36,20 @@ class GameState:
             w.worker_id: NULL_STRATEGY for w in self.workers
         }
         self._claimed_by: Dict[str, str] = {}  # dp_id -> worker_id
+        # Incremental bitmask mirror of _claimed_by, consumed by the
+        # vectorized best-response engine: one uint64 word vector for the
+        # union of all claimed points, plus each worker's own contribution.
+        index = catalog.index
+        self._claimed_words = index.empty_mask()
+        zero = index.empty_mask()
+        self._worker_words: Dict[str, np.ndarray] = {
+            w.worker_id: zero for w in self.workers
+        }
+        # Strategies whose points are unknown to the catalog index (only
+        # possible for hand-built strategies injected in tests) poison the
+        # mask mirror; from then on index-based availability falls back to
+        # the authoritative dict bookkeeping.
+        self._masks_exact = True
 
     def strategy_of(self, worker_id: str) -> WorkerStrategy:
         """The strategy ``worker_id`` currently plays (null if none)."""
@@ -58,6 +72,17 @@ class GameState:
         for dp_id in strategy.point_ids:
             self._claimed_by[dp_id] = worker_id
         self._strategy[worker_id] = strategy
+        if self._masks_exact:
+            try:
+                new_words = self.catalog.index.mask_of(strategy.point_ids)
+            except KeyError:
+                self._masks_exact = False
+                return
+            # Disjointness (checked above) makes XOR an exact release of the
+            # worker's previous bits; OR then claims the new ones.
+            self._claimed_words ^= self._worker_words[worker_id]
+            self._claimed_words |= new_words
+            self._worker_words[worker_id] = new_words
 
     def claimed_except(self, worker_id: str) -> Set[str]:
         """Delivery points claimed by every worker other than ``worker_id``."""
@@ -65,9 +90,34 @@ class GameState:
             dp_id for dp_id, owner in self._claimed_by.items() if owner != worker_id
         }
 
+    def claimed_words_except(self, worker_id: str) -> np.ndarray:
+        """Bitmask of points claimed by every worker but ``worker_id``."""
+        return self._claimed_words & ~self._worker_words[worker_id]
+
     def available_strategies(self, worker_id: str) -> List[WorkerStrategy]:
         """Strategies ``worker_id`` could switch to right now (excl. null)."""
         return self.catalog.available(worker_id, self.claimed_except(worker_id))
+
+    def available_strategy_indices(self, worker_id: str) -> np.ndarray:
+        """Positions (into the worker's strategy tuple) available right now.
+
+        The vectorized counterpart of :meth:`available_strategies`: selects
+        the exact same strategies, as positions, via one ``masks & claimed``
+        pass over the catalog index instead of per-strategy set
+        intersections.
+        """
+        if not self._masks_exact:
+            # Degraded mode (foreign strategy injected): derive positions
+            # from the authoritative dict path instead.
+            strategies = self.catalog.strategies(worker_id)
+            position = {id(s): i for i, s in enumerate(strategies)}
+            return np.asarray(
+                [position[id(s)] for s in self.available_strategies(worker_id)],
+                dtype=np.intp,
+            )
+        return self.catalog.index.worker(worker_id).available(
+            self.claimed_words_except(worker_id)
+        )
 
     def payoffs(self) -> np.ndarray:
         """Current payoff vector, in worker order."""
@@ -100,15 +150,23 @@ def random_initial_state(
     """
     rng = ensure_rng(seed)
     state = GameState(catalog)
+    index = catalog.index
     for worker in catalog.workers:
-        candidates = [
-            s
-            for s in state.available_strategies(worker.worker_id)
-            if s.size == 1
-        ]
-        if candidates:
-            pick = candidates[int(rng.integers(0, len(candidates)))]
-            state.set_strategy(worker.worker_id, pick)
+        # Filtering the precomputed size-1 positions by the claimed bitmask
+        # yields the same candidate list, in the same (catalog) order, as
+        # scanning available_strategies for size == 1 — so the rng draws
+        # and the resulting initial state are bit-identical to the scalar
+        # formulation of Algorithms 2-3, lines 6-16.
+        wid = worker.worker_id
+        wi = index.worker(wid)
+        if not wi.size1.size:
+            continue
+        claimed = state.claimed_words_except(wid)
+        conflict = (wi.masks[wi.size1] & claimed).any(axis=1)
+        candidates = wi.size1[~conflict]
+        if candidates.size:
+            pick = int(candidates[int(rng.integers(0, candidates.size))])
+            state.set_strategy(wid, catalog.strategies(wid)[pick])
     return state
 
 

@@ -19,7 +19,7 @@ from repro.core.fairness import InequityAversion
 from repro.core.instance import SubProblem
 from repro.core.priority import PriorityModel
 from repro.games.base import GameResult, GameState, random_initial_state
-from repro.games.potential import IAUEvaluator, potential_value
+from repro.games.potential import IAUEvaluator, potential_value, sequential_best
 from repro.games.trace import ConvergenceTrace
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import NULL_TRACER, NullTracer, resolve_tracer
@@ -86,6 +86,12 @@ class FGTSolver:
         target, then ``REPRO_TRACE=path.jsonl``, then the shared in-memory
         tracer) or a tracer instance.  Off by default with zero hot-path
         overhead via the shared no-op tracer.
+    engine:
+        ``"vectorized"`` (default) runs each best-response pass on the
+        catalog's bitmask conflict index with batched IAU evaluation; it is
+        bit-identical to ``"scalar"``, the original per-strategy Python
+        loop, which is retained as the reference implementation for
+        differential tests and benchmarks (see ``docs/performance.md``).
     """
 
     alpha: float = 0.5
@@ -99,12 +105,17 @@ class FGTSolver:
     priorities: Optional["PriorityModel"] = None
     verify: bool = False
     trace: object = False
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.trace_granularity not in ("round", "update"):
             raise ValueError(
                 f"trace_granularity must be 'round' or 'update', "
                 f"got {self.trace_granularity!r}"
+            )
+        if self.engine not in ("vectorized", "scalar"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'scalar', got {self.engine!r}"
             )
         if self.early_stop_patience is not None and self.early_stop_patience < 1:
             raise ValueError(
@@ -152,11 +163,21 @@ class FGTSolver:
         total_switches = 0
         stall = 0
         last_potential = potential_value(state.payoffs() * scales, model)
+        vectorized = self.engine == "vectorized"
+        # Vectorized-filter batch statistics, flushed to METRICS once per
+        # solve: [batches, strategies screened, candidates surviving].
+        batch_stats = [0, 0, 0]
         with METRICS.timer("fgt.solve_seconds"):
             for rounds in range(1, self.max_rounds + 1):
-                switches = self._best_response_round(
-                    state, model, trace, scales, verifier, rounds, tracer
-                )
+                if vectorized:
+                    switches = self._best_response_round_vectorized(
+                        state, model, trace, scales, verifier, rounds, tracer,
+                        batch_stats,
+                    )
+                else:
+                    switches = self._best_response_round(
+                        state, model, trace, scales, verifier, rounds, tracer
+                    )
                 total_switches += switches
                 payoffs = state.payoffs()
                 potential = potential_value(payoffs * scales, model)
@@ -187,6 +208,10 @@ class FGTSolver:
             )
         METRICS.counter("fgt.rounds").add(rounds)
         METRICS.counter("fgt.switches").add(total_switches)
+        if batch_stats[0]:
+            METRICS.counter("engine.filter_batches").add(batch_stats[0])
+            METRICS.counter("engine.candidates_screened").add(batch_stats[1])
+            METRICS.counter("engine.candidates_available").add(batch_stats[2])
         assignment = state.to_assignment()
         verifier.on_final(state, assignment, sub=sub, converged=converged)
         if tracer.enabled:
@@ -223,7 +248,12 @@ class FGTSolver:
         round_index: int = 0,
         tracer: NullTracer = NULL_TRACER,
     ) -> int:
-        """One pass of sequential asynchronous best responses; returns switches."""
+        """One pass of sequential asynchronous best responses; returns switches.
+
+        This is the scalar reference implementation (``engine="scalar"``):
+        the vectorized engine must stay bit-identical to it, so its body is
+        deliberately left untouched.
+        """
         switches = 0
         payoffs = state.payoffs()
         for idx, worker in enumerate(state.workers):
@@ -260,5 +290,82 @@ class FGTSolver:
                     payoffs,
                     switched,
                     potential_value(payoffs * scales, model),
+                )
+        return switches
+
+    def _best_response_round_vectorized(
+        self,
+        state: GameState,
+        model: InequityAversion,
+        trace: ConvergenceTrace,
+        scales: np.ndarray,
+        verifier: NullVerifier,
+        round_index: int,
+        tracer: NullTracer,
+        batch_stats: list,
+    ) -> int:
+        """One best-response pass on the bitmask index, bit-identical to
+        :meth:`_best_response_round`.
+
+        Differences are purely mechanical: availability is one
+        ``masks & claimed`` pass per worker instead of per-strategy set
+        intersections, all candidate IAUs are evaluated in one
+        ``np.searchsorted`` batch, and the scaled payoff vector is
+        maintained incrementally (the focal entry is masked out via slice
+        copies into a reusable buffer) instead of being rebuilt with
+        ``payoffs * scales`` + ``np.delete`` for every worker.  The winning
+        candidate is chosen by :func:`sequential_best`, which replays the
+        scalar loop's tol-thresholded accept scan exactly.
+        """
+        switches = 0
+        payoffs = state.payoffs()
+        scaled = payoffs * scales
+        n = payoffs.size
+        others = np.empty(n - 1 if n else 0, dtype=np.float64)
+        catalog = state.catalog
+        index = catalog.index
+        for idx, worker in enumerate(state.workers):
+            wid = worker.worker_id
+            others[:idx] = scaled[:idx]
+            others[idx:] = scaled[idx + 1 :]
+            evaluator = IAUEvaluator(others, model)
+            current = state.strategy_of(wid)
+            best_strategy = NULL_STRATEGY
+            best_utility = evaluator.utility(NULL_STRATEGY.payoff)
+            available = state.available_strategy_indices(wid)
+            batch_stats[0] += 1
+            batch_stats[1] += index.worker(wid).n_strategies
+            batch_stats[2] += int(available.size)
+            if available.size:
+                candidates = index.worker(wid).payoffs[available] * scales[idx]
+                utilities = evaluator.utilities(candidates)
+                pos, accepted = sequential_best(utilities, best_utility, self.tol)
+                if pos >= 0:
+                    best_strategy = catalog.strategies(wid)[int(available[pos])]
+                    best_utility = accepted
+            current_utility = evaluator.utility(current.payoff * scales[idx])
+            switched = 0
+            if best_utility > current_utility + self.tol:
+                verifier.on_switch(wid, round_index, current_utility, best_utility)
+                if tracer.enabled:
+                    tracer.event(
+                        "fgt.switch",
+                        worker=wid,
+                        round=round_index,
+                        utility_before=current_utility,
+                        utility_after=best_utility,
+                        payoff=best_strategy.payoff,
+                    )
+                state.set_strategy(wid, best_strategy)
+                payoffs[idx] = best_strategy.payoff
+                scaled[idx] = best_strategy.payoff * scales[idx]
+                switches += 1
+                switched = 1
+            if self.trace_granularity == "update":
+                trace.record(
+                    len(trace) + 1,
+                    payoffs,
+                    switched,
+                    potential_value(scaled, model),
                 )
         return switches

@@ -86,6 +86,12 @@ class IEGTSolver:
         then ``REPRO_TRACE=path.jsonl``, then the shared in-memory tracer)
         or a tracer instance.  Off by default with zero hot-path overhead
         via the shared no-op tracer.
+    engine:
+        ``"vectorized"`` (default) filters each evolving worker's strategy
+        list through the catalog's bitmask conflict index in one pass; it
+        is bit-identical to ``"scalar"``, the original per-strategy Python
+        loop, retained as the reference implementation for differential
+        tests and benchmarks (see ``docs/performance.md``).
     """
 
     max_rounds: int = 500
@@ -97,6 +103,7 @@ class IEGTSolver:
     termination: str = "improved"
     verify: bool = False
     trace: object = False
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.trace_granularity not in ("round", "update"):
@@ -113,6 +120,10 @@ class IEGTSolver:
             raise ValueError(
                 f"termination must be 'improved' or 'classic', "
                 f"got {self.termination!r}"
+            )
+        if self.engine not in ("vectorized", "scalar"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'scalar', got {self.engine!r}"
             )
 
     @property
@@ -152,6 +163,10 @@ class IEGTSolver:
         total_switches = 0
         stall = 0
         last_total = float(state.payoffs().sum())
+        vectorized = self.engine == "vectorized"
+        # Vectorized-filter batch statistics, flushed to METRICS once per
+        # solve: [batches, strategies screened, candidates surviving].
+        batch_stats = [0, 0, 0]
         with METRICS.timer("iegt.solve_seconds"):
             for rounds in range(1, self.max_rounds + 1):
                 payoffs = state.payoffs()
@@ -166,7 +181,12 @@ class IEGTSolver:
                     if gap < -self.tol:
                         all_average = False
                         old_payoff = payoffs[idx]
-                        switched = self._evolve(state, worker.worker_id, rng)
+                        if vectorized:
+                            switched = self._evolve_vectorized(
+                                state, worker.worker_id, rng, batch_stats
+                            )
+                        else:
+                            switched = self._evolve(state, worker.worker_id, rng)
                         if switched:
                             verifier.on_switch(
                                 worker.worker_id,
@@ -235,6 +255,10 @@ class IEGTSolver:
             )
         METRICS.counter("iegt.rounds").add(rounds)
         METRICS.counter("iegt.switches").add(total_switches)
+        if batch_stats[0]:
+            METRICS.counter("engine.filter_batches").add(batch_stats[0])
+            METRICS.counter("engine.candidates_screened").add(batch_stats[1])
+            METRICS.counter("engine.candidates_available").add(batch_stats[2])
         assignment = state.to_assignment()
         verifier.on_final(state, assignment, sub=sub, converged=converged)
         if tracer.enabled:
@@ -253,7 +277,9 @@ class IEGTSolver:
     ) -> bool:
         """Switch ``worker_id`` to a random strictly-better available VDPS.
 
-        Returns whether a switch happened (Algorithm 3, lines 22-25).
+        Returns whether a switch happened (Algorithm 3, lines 22-25).  This
+        is the scalar reference implementation (``engine="scalar"``); the
+        vectorized engine must stay bit-identical to it.
         """
         current_payoff = state.strategy_of(worker_id).payoff
         better: List[WorkerStrategy] = [
@@ -265,4 +291,31 @@ class IEGTSolver:
             return False
         pick = better[int(rng.integers(0, len(better)))]
         state.set_strategy(worker_id, pick)
+        return True
+
+    def _evolve_vectorized(
+        self,
+        state: GameState,
+        worker_id: str,
+        rng: np.random.Generator,
+        batch_stats: list,
+    ) -> bool:
+        """Bit-identical :meth:`_evolve` on the bitmask conflict index.
+
+        Availability and the strictly-better filter run as two vectorized
+        passes that preserve catalog order, so the candidate pool — and
+        therefore the rng draw and the chosen strategy — match the scalar
+        list comprehension exactly.
+        """
+        current_payoff = state.strategy_of(worker_id).payoff
+        wi = state.catalog.index.worker(worker_id)
+        available = state.available_strategy_indices(worker_id)
+        batch_stats[0] += 1
+        batch_stats[1] += wi.n_strategies
+        batch_stats[2] += int(available.size)
+        better = available[wi.payoffs[available] > current_payoff + self.tol]
+        if not better.size:
+            return False
+        pick = int(better[int(rng.integers(0, better.size))])
+        state.set_strategy(worker_id, state.catalog.strategies(worker_id)[pick])
         return True

@@ -32,7 +32,9 @@ class IAUEvaluator:
         self, other_payoffs: Sequence[float], model: InequityAversion
     ) -> None:
         self._model = model
-        values = np.sort(np.asarray(list(other_payoffs), dtype=float))
+        # asarray accepts ndarrays without copying; np.sort then makes the
+        # evaluator's one private copy (callers may reuse their buffer).
+        values = np.sort(np.asarray(other_payoffs, dtype=float))
         self._sorted = values
         self._prefix = np.concatenate(([0.0], np.cumsum(values)))
         self._n_others = values.size
@@ -51,10 +53,61 @@ class IAUEvaluator:
             own_payoff - (self._model.alpha * mp + self._model.beta * lp) / n_others
         )
 
+    def utilities(self, own_payoffs: Sequence[float]) -> np.ndarray:
+        """IAU for a whole vector of candidate payoffs in one pass.
+
+        One ``np.searchsorted`` plus prefix-sum arithmetic over the batch.
+        Every operation mirrors :meth:`utility` in the same order on the
+        same float64 values, so each element is bit-identical to the scalar
+        call — the property the vectorized best-response engine's
+        bit-for-bit replay guarantee rests on.
+        """
+        values = np.asarray(own_payoffs, dtype=float)
+        n_others = self._n_others
+        if n_others == 0:
+            return values.astype(float, copy=True)
+        k = np.searchsorted(self._sorted, values, side="right")
+        below = self._prefix[k]
+        above = self._prefix[-1] - below
+        lp = values * k - below
+        mp = above - values * (n_others - k)
+        return values - (self._model.alpha * mp + self._model.beta * lp) / n_others
+
 
 def potential_value(payoffs: Sequence[float], model: InequityAversion) -> float:
     """The exact potential ``Phi = sum_i IAU_i`` of Lemma 2."""
     return model.potential(payoffs)
+
+
+def sequential_best(
+    utilities: np.ndarray, baseline: float, tol: float
+) -> Tuple[int, float]:
+    """Replay FGT's sequential accept scan over a precomputed utility batch.
+
+    Algorithm 2's inner loop is *not* an argmax: starting from the null
+    strategy's utility, a candidate is accepted only when it beats the
+    current best by more than ``tol``, and later candidates within ``tol``
+    of an accepted one never displace it.  This helper reproduces that exact
+    scan with one vectorized comparison per *accepted* candidate (utilities
+    arrive roughly descending, so almost always a single pass) instead of a
+    Python-level loop over every candidate.
+
+    Returns ``(position, best_utility)`` where ``position`` is -1 when no
+    candidate was accepted (the baseline stands).
+    """
+    best = baseline
+    best_pos = -1
+    start = 0
+    n = utilities.size
+    while start < n:
+        hits = utilities[start:] > best + tol
+        offset = int(np.argmax(hits))
+        if not hits[offset]:
+            break
+        best_pos = start + offset
+        best = float(utilities[best_pos])
+        start = best_pos + 1
+    return best_pos, best
 
 
 def best_response_index(
@@ -82,12 +135,11 @@ def best_response_index(
                 "either a prebuilt evaluator or (other_payoffs, model) is required"
             )
         evaluator = IAUEvaluator(other_payoffs, model)
-    best_idx, best_utility = 0, -np.inf
-    for idx, p in enumerate(candidate_payoffs):
-        u = evaluator.utility(p)
-        if u > best_utility:
-            best_idx, best_utility = idx, u
-    return best_idx, float(best_utility)
+    # np.argmax returns the first position of the maximum, which is exactly
+    # the running strictly-greater scan this function used to perform.
+    utilities = evaluator.utilities(np.asarray(candidate_payoffs, dtype=float))
+    best_idx = int(np.argmax(utilities))
+    return best_idx, float(utilities[best_idx])
 
 
 def is_pure_nash(
@@ -107,13 +159,33 @@ def is_pure_nash(
     payoffs = state.payoffs()
     factors = np.ones(payoffs.size) if scales is None else np.asarray(scales)
     scaled = payoffs * factors
+    # States built on a VDPSCatalog expose the bitmask conflict index; the
+    # candidate scan then runs as one batched IAU evaluation per worker.
+    # Both branches decide "some deviation beats current by more than tol"
+    # over identical utility values, so they return the same verdict.
+    vectorized = hasattr(state, "available_strategy_indices")
     for idx, worker in enumerate(state.workers):
         others = np.delete(scaled, idx)
         evaluator = IAUEvaluator(others, model)
         current_utility = evaluator.utility(scaled[idx])
         if evaluator.utility(0.0) > current_utility + tol:  # null deviation
             return False
-        for strategy in state.available_strategies(worker.worker_id):
-            if evaluator.utility(strategy.payoff * factors[idx]) > current_utility + tol:
-                return False
+        if vectorized:
+            available = state.available_strategy_indices(worker.worker_id)
+            if available.size:
+                candidates = (
+                    state.catalog.index.worker(worker.worker_id).payoffs[available]
+                    * factors[idx]
+                )
+                if bool(
+                    np.any(evaluator.utilities(candidates) > current_utility + tol)
+                ):
+                    return False
+        else:
+            for strategy in state.available_strategies(worker.worker_id):
+                if (
+                    evaluator.utility(strategy.payoff * factors[idx])
+                    > current_utility + tol
+                ):
+                    return False
     return True

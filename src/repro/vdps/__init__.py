@@ -8,7 +8,9 @@ from repro.vdps.generator import (
 from repro.vdps.pruning import neighbor_lists
 from repro.vdps.catalog import (
     NULL_STRATEGY_ID,
+    CatalogIndex,
     VDPSCatalog,
+    WorkerIndex,
     WorkerStrategy,
     build_catalog,
 )
@@ -20,6 +22,8 @@ __all__ = [
     "neighbor_lists",
     "WorkerStrategy",
     "VDPSCatalog",
+    "CatalogIndex",
+    "WorkerIndex",
     "build_catalog",
     "NULL_STRATEGY_ID",
 ]

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.core.entities import Worker
 from repro.core.instance import SubProblem
 from repro.core.payoff import worker_payoff
@@ -57,6 +59,107 @@ class WorkerStrategy:
 #: The shared null strategy (identical for every worker).
 NULL_STRATEGY = WorkerStrategy(frozenset(), Route((), ()), 0.0)
 
+#: Bits per mask word (the conflict index packs point ids into uint64 words).
+_WORD_BITS = 64
+
+
+@dataclass(frozen=True)
+class WorkerIndex:
+    """Vectorized view of one worker's strategy tuple, aligned by position.
+
+    Row ``r`` of every array describes ``catalog.strategies(worker_id)[r]``,
+    so an index computed over these arrays selects the exact same strategy
+    (and therefore the same tie-breaking) as a scan over the tuple.
+    """
+
+    #: ``(n_strategies, n_words)`` uint64 conflict bitmasks (one bit per
+    #: delivery point of the center, see :attr:`CatalogIndex.point_bits`).
+    masks: np.ndarray
+    #: ``(n_strategies,)`` float64 Equation-1 payoffs.
+    payoffs: np.ndarray
+    #: Positions (ascending, i.e. catalog order) of the size-1 strategies —
+    #: the candidate pool of the random initial assignment.
+    size1: np.ndarray
+
+    @property
+    def n_strategies(self) -> int:
+        return self.payoffs.size
+
+    def available(self, claimed_words: np.ndarray) -> np.ndarray:
+        """Positions of strategies disjoint from the ``claimed_words`` mask.
+
+        Equivalent to filtering the strategy tuple through
+        :meth:`WorkerStrategy.conflicts_with`, as one vectorized pass.
+        """
+        conflict = (self.masks & claimed_words).any(axis=1)
+        return np.flatnonzero(~conflict)
+
+
+class CatalogIndex:
+    """Bitmask conflict index over a catalog's delivery points.
+
+    Every delivery point referenced by any strategy gets a bit position
+    (assigned in sorted-id order, so the index is deterministic); each
+    strategy becomes a packed uint64 bitmask over those positions.  Solvers
+    then test availability with ``masks & claimed == 0`` over whole strategy
+    lists instead of Python-level set intersections — the backbone of the
+    vectorized best-response engine.
+    """
+
+    def __init__(self, strategies: Mapping[str, Tuple[WorkerStrategy, ...]]) -> None:
+        point_ids = sorted(
+            {
+                dp_id
+                for worker_strategies in strategies.values()
+                for strategy in worker_strategies
+                for dp_id in strategy.point_ids
+            }
+        )
+        self.point_bits: Dict[str, int] = {
+            dp_id: bit for bit, dp_id in enumerate(point_ids)
+        }
+        self.n_words: int = max(
+            1, -(-len(point_ids) // _WORD_BITS)
+        )  # ceil, at least one word so masks never degenerate to width 0
+        self._workers: Dict[str, WorkerIndex] = {}
+        for worker_id, worker_strategies in strategies.items():
+            n = len(worker_strategies)
+            masks = np.zeros((n, self.n_words), dtype=np.uint64)
+            payoffs = np.empty(n, dtype=np.float64)
+            size1: List[int] = []
+            for row, strategy in enumerate(worker_strategies):
+                payoffs[row] = strategy.payoff
+                for dp_id in strategy.point_ids:
+                    bit = self.point_bits[dp_id]
+                    word = bit // _WORD_BITS
+                    masks[row, word] |= np.uint64(1 << (bit % _WORD_BITS))
+                if strategy.size == 1:
+                    size1.append(row)
+            self._workers[worker_id] = WorkerIndex(
+                masks=masks,
+                payoffs=payoffs,
+                size1=np.asarray(size1, dtype=np.intp),
+            )
+
+    def worker(self, worker_id: str) -> WorkerIndex:
+        """The per-worker arrays; raises KeyError for unknown workers."""
+        try:
+            return self._workers[worker_id]
+        except KeyError:
+            raise KeyError(f"no worker {worker_id!r} in catalog index") from None
+
+    def empty_mask(self) -> np.ndarray:
+        """A fresh all-zero claimed mask (``(n_words,)`` uint64)."""
+        return np.zeros(self.n_words, dtype=np.uint64)
+
+    def mask_of(self, point_ids: Iterable[str]) -> np.ndarray:
+        """The bitmask of an arbitrary point-id set (e.g. one strategy's)."""
+        mask = self.empty_mask()
+        for dp_id in point_ids:
+            bit = self.point_bits[dp_id]
+            mask[bit // _WORD_BITS] |= np.uint64(1 << (bit % _WORD_BITS))
+        return mask
+
 
 class VDPSCatalog:
     """Strategy spaces ``ST_i = VDPS(w_i) ∪ {null}`` for a sub-problem.
@@ -77,6 +180,20 @@ class VDPSCatalog:
         self._strategies: Dict[str, Tuple[WorkerStrategy, ...]] = dict(strategies)
         self.epsilon = epsilon
         self.cvdps_count = cvdps_count
+        # Both aggregates are O(total strategies) and read on hot paths
+        # (solve_start trace events, reports), so they are computed once.
+        self._max_vdps_size = max(
+            (
+                s.size
+                for worker_strategies in self._strategies.values()
+                for s in worker_strategies
+            ),
+            default=0,
+        )
+        self._total_strategy_count = sum(
+            len(v) for v in self._strategies.values()
+        )
+        self._index: Optional[CatalogIndex] = None
 
     @property
     def workers(self) -> Tuple[Worker, ...]:
@@ -107,15 +224,23 @@ class VDPSCatalog:
     @property
     def max_vdps_size(self) -> int:
         """``|maxVDPS|``: the largest VDPS size across all workers."""
-        sizes = [
-            s.size for strategies in self._strategies.values() for s in strategies
-        ]
-        return max(sizes, default=0)
+        return self._max_vdps_size
 
     @property
     def total_strategy_count(self) -> int:
         """Total number of non-null strategies across workers."""
-        return sum(len(v) for v in self._strategies.values())
+        return self._total_strategy_count
+
+    @property
+    def index(self) -> CatalogIndex:
+        """The bitmask conflict index, built on first access and cached.
+
+        One-shot solvers (GTA, MPTA) never touch it, so the packing cost is
+        only paid by the game solvers that actually vectorize over it.
+        """
+        if self._index is None:
+            self._index = CatalogIndex(self._strategies)
+        return self._index
 
     def describe(self) -> str:
         """One-line summary used in logs and experiment reports."""

@@ -256,22 +256,46 @@ class EvolutionaryGameVerifier(AssignmentVerifier):
             STATS.record("iegt.iess")
             return
         # Improved termination (Definition 10): nobody below average may
-        # still hold a strictly better available strategy.
+        # still hold a strictly better available strategy.  States backed by
+        # a VDPSCatalog run the scan on the bitmask conflict index (same
+        # catalog order, so the same first violation is reported).
+        vectorized = hasattr(state, "available_strategy_indices")
         for idx, worker in enumerate(state.workers):
             if payoffs[idx] >= mean_payoff - self._tol:
                 continue
             current = state.strategy_of(worker.worker_id).payoff
-            for strategy in state.available_strategies(worker.worker_id):
-                if strategy.payoff > current + self._tol:
-                    raise InvariantViolation(
-                        "iegt.iess",
-                        f"solver reported convergence but the below-average "
-                        f"worker still has a strictly better available VDPS "
-                        f"(payoff {current!r} -> {strategy.payoff!r})",
-                        solver=self._solver,
-                        worker_id=worker.worker_id,
-                        strategy=tuple(strategy.point_ids),
-                    )
+            if vectorized:
+                available = state.available_strategy_indices(worker.worker_id)
+                candidates = state.catalog.index.worker(worker.worker_id).payoffs[
+                    available
+                ]
+                improving = np.flatnonzero(candidates > current + self._tol)
+                better = (
+                    state.catalog.strategies(worker.worker_id)[
+                        int(available[improving[0]])
+                    ]
+                    if improving.size
+                    else None
+                )
+            else:
+                better = next(
+                    (
+                        strategy
+                        for strategy in state.available_strategies(worker.worker_id)
+                        if strategy.payoff > current + self._tol
+                    ),
+                    None,
+                )
+            if better is not None:
+                raise InvariantViolation(
+                    "iegt.iess",
+                    f"solver reported convergence but the below-average "
+                    f"worker still has a strictly better available VDPS "
+                    f"(payoff {current!r} -> {better.payoff!r})",
+                    solver=self._solver,
+                    worker_id=worker.worker_id,
+                    strategy=tuple(better.point_ids),
+                )
         STATS.record("iegt.iess")
 
 

@@ -1,0 +1,68 @@
+"""Tests for the tracked performance baseline (repro.bench + CLI)."""
+
+import json
+
+import pytest
+
+from repro.bench import BENCH_SHAPES, format_report, run_bench
+from repro.cli import main
+
+
+class TestRunBench:
+    def test_smoke_report_shape(self, tmp_path):
+        out = tmp_path / "bench.json"
+        report = run_bench(scale="smoke", seed=0, repeats=1, output=out)
+        on_disk = json.loads(out.read_text())
+        assert on_disk == json.loads(json.dumps(report))
+        assert report["scale"] == "smoke"
+        assert report["shape"] == BENCH_SHAPES["smoke"].as_dict()
+        assert report["catalog"]["strategies"] > 0
+        for phase in ("fgt", "iegt"):
+            data = report[phase]
+            # The bit-identity contract is asserted on every bench run.
+            assert data["identical"] is True
+            assert data["scalar_seconds"] > 0
+            assert data["vectorized_seconds"] > 0
+            assert data["speedup"] == pytest.approx(
+                data["scalar_seconds"] / data["vectorized_seconds"]
+            )
+            assert data["rounds"] >= 1
+            # The vectorized solves flush engine.* batch counters.
+            assert data["metrics_vectorized"]["engine.filter_batches"] > 0
+            assert "engine.filter_batches" not in data["metrics_scalar"]
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            run_bench(scale="galactic")
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_bench(scale="smoke", repeats=0)
+
+    def test_format_report_mentions_phases(self, tmp_path):
+        report = run_bench(scale="smoke", seed=0, repeats=1)
+        text = format_report(report)
+        assert "FGT" in text and "IEGT" in text and "speedup" in text
+
+
+class TestBenchCli:
+    def test_cli_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        code = main(
+            [
+                "bench",
+                "--scale",
+                "smoke",
+                "--seed",
+                "0",
+                "--repeats",
+                "1",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["scale"] == "smoke"
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout
+        assert str(out) in stdout
