@@ -1,6 +1,6 @@
 # Convenience targets for the FTA reproduction.
 
-.PHONY: install test verify trace serve bench bench-smoke bench-figures bench-paper examples clean
+.PHONY: install test verify trace serve chaos bench bench-smoke bench-figures bench-paper examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -22,6 +22,14 @@ trace:
 # Ctrl-C drains the in-flight round and dumps final metrics.
 serve:
 	python -m repro serve --algorithm fgt --epsilon 0.8 --seed 0
+
+# The fault-tolerance suite: seeded chaos against the dispatch engine,
+# journal crash recovery (including a real SIGKILL round trip), circuit
+# breakers, and the fault-plan harness (docs/fault_tolerance.md).
+chaos:
+	pytest tests/service/test_chaos.py tests/service/test_recovery.py \
+	    tests/service/test_journal.py tests/service/test_faults.py \
+	    tests/service/test_breaker.py
 
 # Core perf baseline: catalog build + FGT/IEGT solves through both
 # best-response engines, written to BENCH_core.json (docs/performance.md).

@@ -244,6 +244,50 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--delivery-points", type=int, default=24, help="generated-city point count"
     )
+    srv.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="write-ahead journal path; an existing journal is recovered "
+        "first, so the service survives SIGKILL (docs/fault_tolerance.md)",
+    )
+    srv.add_argument(
+        "--journal-compact-every",
+        type=int,
+        default=512,
+        help="auto-compact the journal after this many records (default 512)",
+    )
+    srv.add_argument(
+        "--solve-deadline-s",
+        type=float,
+        default=None,
+        help="per-center solve budget in seconds; enables the degradation "
+        "ladder (primary -> scalar -> greedy -> skip)",
+    )
+    srv.add_argument(
+        "--solve-retries",
+        type=int,
+        default=1,
+        help="primary-rung retries before degrading (default 1)",
+    )
+    srv.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        help="consecutive primary failures that open a center's breaker",
+    )
+    srv.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before a half-open probe",
+    )
+    srv.add_argument(
+        "--faults",
+        default=None,
+        help="chaos-injection spec, e.g. 'seed=7,error_rate=0.2' "
+        "(same syntax as the REPRO_FAULTS env var; testing only)",
+    )
     return parser
 
 
@@ -546,36 +590,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.obs.metrics import METRICS
-    from repro.service import DispatchEngine, DispatchServer, WorldState
+    from repro.service import (
+        BreakerConfig,
+        DispatchEngine,
+        DispatchServer,
+        FaultPlan,
+        WorldJournal,
+        WorldState,
+    )
 
-    if args.input is not None:
-        instance = load_instance(args.input)
+    recovered = False
+    if args.journal is not None and args.journal.exists():
+        # Crash recovery: replay the write-ahead journal into a
+        # bit-identical world and keep journaling to the same file.
+        state = WorldState.recover(
+            args.journal, compact_every=args.journal_compact_every
+        )
+        recovered = True
     else:
-        config = GMissionConfig(
-            n_tasks=args.tasks,
-            n_workers=args.workers,
-            n_delivery_points=args.delivery_points,
-        )
-        instance = generate_gmission_like(config, seed=args.seed)
+        if args.input is not None:
+            instance = load_instance(args.input)
+        else:
+            config = GMissionConfig(
+                n_tasks=args.tasks,
+                n_workers=args.workers,
+                n_delivery_points=args.delivery_points,
+            )
+            instance = generate_gmission_like(config, seed=args.seed)
 
-    state = WorldState(instance.centers, travel=instance.travel)
-    # Attach the fleet through the churn path (assigns free-floating
-    # workers to their nearest center, exactly like subproblems()).
-    state.add_workers(instance.workers)
-    if not args.no_initial_tasks:
-        # The instance's relative expiries become absolute at t=0.
-        state.add_tasks(
-            [
-                {
-                    "task_id": task.task_id,
-                    "dp_id": task.delivery_point_id,
-                    "expiry": task.expiry,
-                    "reward": task.reward,
-                }
-                for center in instance.centers
-                for task in center.tasks
-            ]
-        )
+        state = WorldState(instance.centers, travel=instance.travel)
+        if args.journal is not None:
+            state.attach_journal(
+                WorldJournal(
+                    args.journal, compact_every=args.journal_compact_every
+                )
+            )
+        # Attach the fleet through the churn path (assigns free-floating
+        # workers to their nearest center, exactly like subproblems()).
+        state.add_workers(instance.workers)
+        if not args.no_initial_tasks:
+            # The instance's relative expiries become absolute at t=0.
+            state.add_tasks(
+                [
+                    {
+                        "task_id": task.task_id,
+                        "dp_id": task.delivery_point_id,
+                        "expiry": task.expiry,
+                        "reward": task.reward,
+                    }
+                    for center in instance.centers
+                    for task in center.tasks
+                ]
+            )
 
     solver = _SOLVERS[args.algorithm](args.epsilon)
     engine = DispatchEngine(
@@ -585,6 +651,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_jobs=args.n_jobs,
         verify=args.verify,
         seed=args.seed,
+        solve_deadline_s=args.solve_deadline_s,
+        solve_retries=args.solve_retries,
+        breaker=BreakerConfig(
+            failure_threshold=args.breaker_failures,
+            cooldown_s=args.breaker_cooldown_s,
+        ),
+        faults=None if args.faults is None else FaultPlan.from_spec(args.faults),
     )
     server = DispatchServer(engine, host=args.host, port=args.port)
     if args.port_file is not None:
@@ -600,6 +673,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"  centers={len(state.centers)} workers={state.worker_count} "
         f"pending_tasks={state.pending_task_count}"
     )
+    if args.journal is not None:
+        print(
+            f"  journal={args.journal}"
+            f"{' (recovered from previous run)' if recovered else ''}"
+        )
+    if engine.fault_tolerant:
+        print(
+            f"  fault-tolerant: solve_deadline_s={args.solve_deadline_s} "
+            f"retries={args.solve_retries} "
+            f"breaker={args.breaker_failures}x/{args.breaker_cooldown_s}s"
+            + (
+                f" faults=[{engine.faults.describe()}]"
+                if engine.faults is not None
+                else ""
+            )
+        )
     print(
         "  endpoints: POST /tasks /workers /dispatch /shutdown · "
         "GET /assignments /healthz /metrics"

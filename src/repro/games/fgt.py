@@ -10,6 +10,7 @@ stops when a full round changes nobody's strategy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -92,6 +93,14 @@ class FGTSolver:
         bit-identical to ``"scalar"``, the original per-strategy Python
         loop, which is retained as the reference implementation for
         differential tests and benchmarks (see ``docs/performance.md``).
+    deadline_s:
+        Optional cooperative wall-clock budget: the round loop stops after
+        the first best-response pass that crosses it, reporting
+        ``converged=False``.  The dispatch service's degradation ladder
+        (``docs/fault_tolerance.md``) uses it so a degraded scalar solve
+        self-terminates instead of blowing the round budget.  ``None``
+        (default) plays to the fixed point; note this changes *which*
+        assignment is returned only when the budget actually trips.
     """
 
     alpha: float = 0.5
@@ -106,8 +115,13 @@ class FGTSolver:
     verify: bool = False
     trace: object = False
     engine: str = "vectorized"
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError(
+                f"deadline_s must be > 0 or None, got {self.deadline_s!r}"
+            )
         if self.trace_granularity not in ("round", "update"):
             raise ValueError(
                 f"trace_granularity must be 'round' or 'update', "
@@ -167,6 +181,9 @@ class FGTSolver:
         # Vectorized-filter batch statistics, flushed to METRICS once per
         # solve: [batches, strategies screened, candidates surviving].
         batch_stats = [0, 0, 0]
+        deadline_at = (
+            None if self.deadline_s is None else time.monotonic() + self.deadline_s
+        )
         with METRICS.timer("fgt.solve_seconds"):
             for rounds in range(1, self.max_rounds + 1):
                 if vectorized:
@@ -193,6 +210,9 @@ class FGTSolver:
                     )
                 if switches == 0:
                     converged = True
+                    break
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    METRICS.counter("fgt.deadline_stops").add(1)
                     break
                 if self.early_stop_patience is not None:
                     if potential - last_potential < self.early_stop_tol:

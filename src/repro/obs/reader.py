@@ -107,6 +107,10 @@ class TraceSummary:
     rounds: Dict[str, int] = field(default_factory=dict)
     switches: Dict[str, int] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: ``service.degraded`` events folded by ladder rung (scalar/greedy/skip).
+    degraded: Dict[str, int] = field(default_factory=dict)
+    #: ``service.solve_failure`` events folded by error type.
+    solve_failures: Dict[str, int] = field(default_factory=dict)
 
     def total_rounds(self, solver: Optional[str] = None) -> int:
         """Rounds recorded for ``solver`` (all solvers when ``None``)."""
@@ -132,6 +136,30 @@ class TraceSummary:
             "hit_rate": hits / total if total else 0.0,
         }
 
+    @property
+    def robustness_stats(self) -> Dict[str, float]:
+        """Fault-tolerance events and counters seen by this trace.
+
+        Merges the ``service.degraded`` / ``service.solve_failure`` event
+        folds with any ``dispatch.degraded_*``, ``service.breaker.*``, and
+        ``service.journal.*`` counters from the embedded metrics snapshot,
+        so ``python -m repro trace`` and BENCH tooling surface robustness
+        behaviour without parsing raw events.
+        """
+        stats: Dict[str, float] = {}
+        for rung, count in self.degraded.items():
+            stats[f"degraded.{rung}"] = float(count)
+        for error, count in self.solve_failures.items():
+            stats[f"solve_failure.{error}"] = float(count)
+        for name, value in self.metrics.items():
+            if name.startswith(
+                ("dispatch.degraded", "dispatch.solve", "dispatch.injected",
+                 "dispatch.breaker", "dispatch.centers_skipped",
+                 "service.breaker.", "service.journal.")
+            ):
+                stats[name] = float(value)
+        return stats
+
     def format(self) -> str:
         """Human-readable multi-section summary for the CLI."""
         lines: List[str] = []
@@ -155,6 +183,12 @@ class TraceSummary:
                 f"catalog cache: hits={cache['hits']:g} "
                 f"misses={cache['misses']:g} hit_rate={cache['hit_rate']:.2f}"
             )
+        robustness = self.robustness_stats
+        if robustness:
+            lines.append("robustness (degradations / breakers / journal)")
+            width = max(len(k) for k in robustness)
+            for key in sorted(robustness):
+                lines.append(f"  {key.ljust(width)}  {robustness[key]:g}")
         if self.events:
             lines.append("events")
             width = max(len(k) for k in self.events)
@@ -186,4 +220,12 @@ def summarize_trace(
             payload = record.fields.get("metrics", {})
             if isinstance(payload, dict):
                 summary.metrics = payload
+        elif record.kind == "service.degraded":
+            rung = str(record.fields.get("rung", "?"))
+            summary.degraded[rung] = summary.degraded.get(rung, 0) + 1
+        elif record.kind == "service.solve_failure":
+            error = str(record.fields.get("error", "?"))
+            summary.solve_failures[error] = (
+                summary.solve_failures.get(error, 0) + 1
+            )
     return summary

@@ -56,17 +56,38 @@ class InstanceSolution:
         )
 
 
-def _solve_one(
-    args: Tuple[SubProblem, object, Optional[float], int, Optional[object]]
-) -> Tuple[str, Assignment]:
-    """Worker function: solve one sub-problem (top-level for pickling)."""
-    sub, solver, epsilon, seed, catalog = args
+def solve_subproblem(
+    sub: SubProblem,
+    solver,
+    epsilon: Optional[float] = None,
+    seed: SeedLike = None,
+    catalog: Optional[object] = None,
+) -> Assignment:
+    """Solve one center's sub-problem; the single-center unit of
+    :func:`solve_instance`.
+
+    Exposed so callers that shard per center themselves — the dispatch
+    service's degradation ladder retries/degrades *individual* centers —
+    produce exactly what :func:`solve_instance` would: passing the seed
+    ``RngFactory(root).seed_for(f"{seed_stream}:{center_id}")`` here is
+    bit-identical to the corresponding center of a whole-instance solve.
+    """
     if catalog is None:
         from repro.vdps.catalog import build_catalog
 
         catalog = build_catalog(sub, epsilon=epsilon)
     result = solver.solve(sub, catalog=catalog, seed=seed)
-    return sub.center.center_id, result.assignment
+    return result.assignment
+
+
+def _solve_one(
+    args: Tuple[SubProblem, object, Optional[float], int, Optional[object]]
+) -> Tuple[str, Assignment]:
+    """Worker function: solve one sub-problem (top-level for pickling)."""
+    sub, solver, epsilon, seed, catalog = args
+    return sub.center.center_id, solve_subproblem(
+        sub, solver, epsilon=epsilon, seed=seed, catalog=catalog
+    )
 
 
 def solve_instance(

@@ -11,25 +11,54 @@ centers, couriers, and tasks, behind a stdlib-only JSON-over-HTTP API.
   optional :mod:`repro.verify` checking and :mod:`repro.obs` telemetry.
 * :mod:`repro.service.api` — the HTTP server (``python -m repro serve``).
 * :mod:`repro.service.client` — thin client + deterministic load generator.
+* :mod:`repro.service.journal` — write-ahead journal (crash durability).
+* :mod:`repro.service.breaker` — per-center circuit breakers.
+* :mod:`repro.service.faults` — deterministic chaos-injection plans.
 
-See ``docs/service.md`` for the API reference and consistency semantics.
+See ``docs/service.md`` for the API reference and consistency semantics,
+and ``docs/fault_tolerance.md`` for the degradation ladder, breakers,
+journal format, and recovery runbook.
 """
 
 from repro.service.api import DispatchServer
+from repro.service.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
 from repro.service.cache import SnapshotCatalogCache
-from repro.service.client import DispatchClient, LoadGenerator, ServiceError
-from repro.service.engine import DispatchEngine, RoundResult
+from repro.service.client import (
+    DispatchClient,
+    LoadGenerator,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.service.engine import (
+    DispatchEngine,
+    EngineDraining,
+    RoundResult,
+    SolveTimeout,
+)
+from repro.service.faults import FaultPlan, InjectedFault
+from repro.service.journal import JournalCorruption, JournalRecord, WorldJournal
 from repro.service.state import Rejection, WorldSnapshot, WorldState
 
 __all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
     "DispatchClient",
     "DispatchEngine",
     "DispatchServer",
+    "EngineDraining",
+    "FaultPlan",
+    "InjectedFault",
+    "JournalCorruption",
+    "JournalRecord",
     "LoadGenerator",
     "Rejection",
     "RoundResult",
     "ServiceError",
+    "ServiceUnavailable",
     "SnapshotCatalogCache",
+    "SolveTimeout",
+    "WorldJournal",
     "WorldSnapshot",
     "WorldState",
 ]

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import resolve_tracer
-from repro.service.engine import DispatchEngine
+from repro.service.engine import DispatchEngine, EngineDraining
 from repro.utils.log import get_logger
 
 _LOG = get_logger("service.api")
@@ -124,20 +124,30 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_healthz(self) -> None:
         engine = self.server.engine
         state = engine.state
-        self._send_json(
-            {
-                "status": "ok",
-                "now": state.now,
-                "rounds": engine.rounds_dispatched,
-                "pending_tasks": state.pending_task_count,
-                "workers": state.worker_count,
-                "available_workers": state.available_worker_count(),
-                "world_version": state.version,
-                "algorithm": engine.solver_name,
-                "epsilon": engine.epsilon,
-                "uptime_seconds": time.perf_counter() - self.server.started,
+        journal = state.journal
+        payload: Dict[str, object] = {
+            "status": "draining" if engine.draining else "ok",
+            "now": state.now,
+            "rounds": engine.rounds_dispatched,
+            "pending_tasks": state.pending_task_count,
+            "workers": state.worker_count,
+            "available_workers": state.available_worker_count(),
+            "world_version": state.version,
+            "world_fingerprint": state.fingerprint(),
+            "algorithm": engine.solver_name,
+            "epsilon": engine.epsilon,
+            "uptime_seconds": time.perf_counter() - self.server.started,
+            "fault_tolerant": engine.fault_tolerant,
+            "breakers": engine.breakers.snapshot(),
+        }
+        if journal is not None:
+            payload["journal"] = {
+                "path": str(journal.path),
+                "next_seq": journal.next_seq,
             }
-        )
+        if engine.faults is not None:
+            payload["faults"] = engine.faults.describe()
+        self._send_json(payload)
 
     def _get_metrics(self) -> None:
         self._send_text(METRICS.render_prometheus())
@@ -199,6 +209,9 @@ class _Handler(BaseHTTPRequestHandler):
             result = self.server.engine.dispatch(
                 advance_hours=float(advance), commit=commit
             )
+        except EngineDraining as exc:
+            self._send_json({"error": str(exc)}, status=503)
+            return
         except Exception as exc:
             # InvariantViolation from verify=, or a solver failure: report
             # it as a server-side dispatch error but keep serving.
@@ -225,9 +238,16 @@ class DispatchHTTPServer(ThreadingHTTPServer):
         self._stop_requested = threading.Event()
 
     def request_stop(self) -> None:
-        """Ask the serving loop to stop (idempotent, safe from handlers)."""
+        """Ask the serving loop to stop (idempotent, safe from handlers).
+
+        The engine starts draining *before* the accept loop winds down: a
+        round already in flight finishes committing atomically, while any
+        dispatch arriving after this instant is answered 503 instead of
+        racing the teardown (the mid-round SIGTERM fix).
+        """
         if not self._stop_requested.is_set():
             self._stop_requested.set()
+            self.engine.begin_drain()
             # shutdown() must not run on a handler thread's serve loop
             # synchronously; a helper thread keeps /shutdown responsive.
             threading.Thread(target=self.shutdown, daemon=True).start()
@@ -314,8 +334,14 @@ class DispatchServer:
         if self._closed:
             return
         self._closed = True
+        # Refuse new rounds first, then close the listener, then wait for
+        # the in-flight round's commit — never tear down under a commit.
+        self._engine.begin_drain()
         self._httpd.server_close()
         self._engine.drain()
+        journal = self._engine.state.journal
+        if journal is not None:
+            journal.close()
         snapshot = METRICS.snapshot()
         tracer = resolve_tracer(False)
         if tracer.enabled:

@@ -1,0 +1,153 @@
+"""Per-center circuit breakers for the dispatch engine.
+
+A center that repeatedly times out or fails (huge catalog, pathological
+convergence, injected chaos) should not re-burn the solve budget every
+round.  Each center gets a classic three-state breaker:
+
+* **closed** — primary solves run normally; consecutive failures are
+  counted, and reaching ``failure_threshold`` opens the breaker.
+* **open** — the engine skips straight to the greedy rung of the
+  degradation ladder (bounded, fairness-blind, but always fast) until
+  ``cooldown_s`` of wall-clock has passed.
+* **half-open** — after the cooldown one primary attempt is admitted as a
+  probe: success closes the breaker, failure re-opens it (and restarts
+  the cooldown).
+
+The clock is injectable (``time.monotonic`` by default) so tests drive
+transitions without sleeping.  Transitions are counted in
+:data:`repro.obs.METRICS` (``service.breaker.opened`` / ``.reopened`` /
+``.closed``) and the board's state is served by ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import METRICS
+
+#: Breaker state names (stable API: these strings appear on /healthz).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning of one center's breaker."""
+
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {self.cooldown_s}")
+
+
+class CircuitBreaker:
+    """One center's closed → open → half-open breaker (see module doc)."""
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting an expired ``open`` to ``half_open``."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self._config.cooldown_s
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow_primary(self) -> bool:
+        """Whether the primary rung may run (closed, or a half-open probe)."""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        """A primary solve succeeded: close and reset the failure count."""
+        if self._state != CLOSED:
+            METRICS.counter("service.breaker.closed").add(1)
+        self._state = CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A primary solve failed: count it, opening at the threshold."""
+        state = self.state  # promote an expired cooldown first
+        self._consecutive_failures += 1
+        if state == HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self._state = OPEN
+            self._opened_at = self._clock()
+            METRICS.counter("service.breaker.reopened").add(1)
+        elif (
+            state == CLOSED
+            and self._consecutive_failures >= self._config.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+            METRICS.counter("service.breaker.opened").add(1)
+
+
+class BreakerBoard:
+    """Lazily-created breakers keyed by center id (thread-safe)."""
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def for_center(self, center_id: str) -> CircuitBreaker:
+        """The breaker guarding ``center_id`` (created closed on first use)."""
+        with self._lock:
+            breaker = self._breakers.get(center_id)
+            if breaker is None:
+                breaker = self._breakers[center_id] = CircuitBreaker(
+                    self.config, self._clock
+                )
+            return breaker
+
+    def states(self) -> Dict[str, str]:
+        """``center_id -> state`` for every breaker touched so far."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {cid: breaker.state for cid, breaker in sorted(items)}
+
+    def open_count(self) -> int:
+        """Number of breakers currently open (feeds a gauge)."""
+        return sum(1 for state in self.states().values() if state == OPEN)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready per-center view served by ``GET /healthz``."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {
+            cid: {
+                "state": breaker.state,
+                "consecutive_failures": breaker.consecutive_failures,
+            }
+            for cid, breaker in sorted(items)
+        }

@@ -48,18 +48,30 @@ class SnapshotCatalogCache:
         self, sub: SubProblem, fingerprint: str, epsilon: Optional[float]
     ) -> VDPSCatalog:
         """The catalog for ``sub``, rebuilt only when its content changed."""
+        return self.get_with_status(sub, fingerprint, epsilon)[0]
+
+    def get_with_status(
+        self, sub: SubProblem, fingerprint: str, epsilon: Optional[float]
+    ) -> Tuple[VDPSCatalog, bool]:
+        """Like :meth:`get`, also reporting whether it was a hit.
+
+        The fault-tolerant engine needs the distinction: injected
+        cache-corruption only makes sense on a *hit* (a cold build is by
+        definition fresh), and a corrupt entry must be invalidated so the
+        retry's rebuild is clean.
+        """
         center_id = sub.center.center_id
         with self._lock:
             entry = self._entries.get(center_id)
         if entry is not None and entry[0] == fingerprint and entry[1] == epsilon:
             METRICS.counter("service.catalog_cache.hits").add(1)
-            return entry[2]
+            return entry[2], True
         METRICS.counter("service.catalog_cache.misses").add(1)
         with METRICS.timer("service.catalog_build_seconds"):
             catalog = build_catalog(sub, epsilon=epsilon)
         with self._lock:
             self._entries[center_id] = (fingerprint, epsilon, catalog)
-        return catalog
+        return catalog, False
 
     def invalidate(self, center_id: str) -> bool:
         """Drop one center's entry; returns whether one existed."""

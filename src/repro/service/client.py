@@ -27,12 +27,54 @@ class ServiceError(Exception):
         self.status = status
 
 
-class DispatchClient:
-    """Minimal JSON client for one dispatch service instance."""
+class ServiceUnavailable(ServiceError):
+    """The service cannot be reached (or answered 503, e.g. while draining).
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    Raised with status 0 when every connection attempt failed at the
+    transport layer (refused, reset, DNS, timeout) — the typed replacement
+    for ``urllib.error.URLError`` leaking out of the client — and with
+    status 503 when the service itself said so.
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(status, message)
+
+
+class DispatchClient:
+    """Minimal JSON client for one dispatch service instance.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running :class:`~repro.service.api.DispatchServer`.
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Extra attempts after a *connection-level* failure (refused, reset,
+        timed out before an HTTP response).  HTTP error responses are never
+        retried — the request reached the service.  Note the at-most-once
+        caveat: a request that dies mid-flight may have been applied, so
+        idempotent probes are safe to retry but ``dispatch()`` callers who
+        need exactly-once should set ``retries=0``.
+    backoff_s:
+        Base sleep between connection retries (doubled per attempt).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff_s: float = 0.1,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
 
     # -- transport ----------------------------------------------------------
 
@@ -40,26 +82,42 @@ class DispatchClient:
         self, method: str, path: str, payload: Optional[Dict] = None
     ) -> Tuple[int, bytes, str]:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"} if body else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return (
-                    response.status,
-                    response.read(),
-                    response.headers.get("Content-Type", ""),
-                )
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        last_error: Optional[Exception] = None
+        for attempt in range(1 + self.retries):
+            if attempt and self.backoff_s:
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
             try:
-                message = json.loads(raw.decode("utf-8")).get("error", raw.decode())
-            except (ValueError, UnicodeDecodeError):
-                message = raw.decode("utf-8", "replace")
-            raise ServiceError(exc.code, message) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return (
+                        response.status,
+                        response.read(),
+                        response.headers.get("Content-Type", ""),
+                    )
+            except urllib.error.HTTPError as exc:
+                raw = exc.read()
+                try:
+                    message = json.loads(raw.decode("utf-8")).get(
+                        "error", raw.decode()
+                    )
+                except (ValueError, UnicodeDecodeError):
+                    message = raw.decode("utf-8", "replace")
+                if exc.code == 503:
+                    raise ServiceUnavailable(message, status=503) from None
+                raise ServiceError(exc.code, message) from None
+            except (urllib.error.URLError, OSError) as exc:
+                last_error = exc
+        raise ServiceUnavailable(
+            f"{method} {self.base_url}{path} failed after "
+            f"{1 + self.retries} attempt(s): {last_error}"
+        ) from last_error
 
     def _json(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
         _, raw, _ = self._request(method, path, payload)

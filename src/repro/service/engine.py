@@ -29,22 +29,49 @@ With ``verify=True`` every per-center assignment passes the Definition 8 /
 Equations 1-2 checkers of :mod:`repro.verify` before it is committed.
 Every round emits a ``service.round`` tracer event and feeds the
 ``service.dispatch_seconds`` latency histogram.
+
+Fault tolerance (``docs/fault_tolerance.md``): passing ``solve_deadline_s``
+or a :class:`~repro.service.faults.FaultPlan` switches per-center solving
+to the degradation ladder — primary solver with retries + seeded-jitter
+backoff, then a deadline-capped scalar variant, then GTA greedy, then
+skip-the-center (tasks carry to the next round) — with a per-center
+circuit breaker that routes repeatedly-failing centers straight to the
+greedy rung.  Every rung's output is re-verified against the snapshot
+before use, so a corrupted cached catalog can only cost a rebuild, never a
+bad commit.  Without those knobs the engine runs the exact legacy path and
+stays bit-identical to it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.baselines.gta import GTASolver
+from repro.core.assignment import Assignment, WorkerAssignment
+from repro.core.instance import SubProblem
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import NullTracer, resolve_tracer
-from repro.parallel import solve_instance
+from repro.parallel import InstanceSolution, solve_instance, solve_subproblem
+from repro.service.breaker import BreakerBoard, BreakerConfig
 from repro.service.cache import SnapshotCatalogCache
+from repro.service.faults import FaultPlan, InjectedFault, resolve_faults
 from repro.service.state import WorldSnapshot, WorldState
 from repro.utils.rng import RngFactory, SeedLike
 from repro.verify.checkers import verify_assignment
+
+
+class EngineDraining(RuntimeError):
+    """The engine is shutting down and accepts no new dispatch rounds."""
+
+
+class SolveTimeout(RuntimeError):
+    """A per-center solve exceeded its ``solve_deadline_s`` budget."""
 
 
 @dataclass(frozen=True)
@@ -73,6 +100,10 @@ class RoundResult:
     cache_misses: int = 0
     verified_centers: int = 0
     duration_seconds: float = 0.0
+    #: ``center_id -> ladder rung`` that produced its assignment; empty on
+    #: the legacy (non-fault-tolerant) path.  Rung names: ``primary``,
+    #: ``scalar``, ``greedy``, ``skip``.
+    degraded: Mapping[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready view served by ``POST /dispatch``."""
@@ -95,6 +126,7 @@ class RoundResult:
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "verified_centers": self.verified_centers,
             "duration_seconds": self.duration_seconds,
+            "degraded": dict(self.degraded),
         }
 
 
@@ -119,6 +151,26 @@ class DispatchEngine:
     trace:
         ``False``/``True``/tracer instance, resolved like the solvers'
         ``trace=`` field.
+    solve_deadline_s:
+        Per-center wall-clock budget for each solve attempt.  Setting it
+        (or ``faults``) switches per-center solving to the fault-tolerant
+        degradation ladder; ``None`` with no faults runs the legacy
+        bit-identical path.
+    solve_retries:
+        Extra attempts of the *primary* rung after its first failure,
+        separated by exponential backoff with seeded jitter.
+    backoff_base_s:
+        Base of the retry backoff (doubled per retry, jittered ×[0.5, 1.5)).
+    scalar_round_cap:
+        ``max_rounds`` cap of the degraded scalar rung.
+    breaker:
+        Per-center circuit-breaker tuning (``None`` = defaults); centers
+        whose breaker is open skip straight to the greedy rung.
+    breaker_clock:
+        Injectable monotonic clock for the breakers (tests).
+    faults:
+        Deterministic chaos plan; ``None`` falls back to the
+        ``REPRO_FAULTS`` environment variable.
     """
 
     def __init__(
@@ -131,11 +183,28 @@ class DispatchEngine:
         seed: SeedLike = None,
         trace: object = False,
         history_limit: int = 256,
+        solve_deadline_s: Optional[float] = None,
+        solve_retries: int = 1,
+        backoff_base_s: float = 0.05,
+        scalar_round_cap: int = 50,
+        breaker: Optional[BreakerConfig] = None,
+        breaker_clock=time.monotonic,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         if history_limit < 1:
             raise ValueError(f"history_limit must be >= 1, got {history_limit}")
+        if solve_deadline_s is not None and not solve_deadline_s > 0:
+            raise ValueError(
+                f"solve_deadline_s must be > 0 or None, got {solve_deadline_s!r}"
+            )
+        if solve_retries < 0:
+            raise ValueError(f"solve_retries must be >= 0, got {solve_retries}")
+        if backoff_base_s < 0:
+            raise ValueError(f"backoff_base_s must be >= 0, got {backoff_base_s}")
+        if scalar_round_cap < 1:
+            raise ValueError(f"scalar_round_cap must be >= 1, got {scalar_round_cap}")
         self._state = state
         self._solver = solver
         self._name = str(getattr(solver, "name", type(solver).__name__))
@@ -150,6 +219,17 @@ class DispatchEngine:
         self._history: List[RoundResult] = []
         self._history_limit = history_limit
         self._last_committed: Optional[RoundResult] = None
+        self._solve_deadline_s = solve_deadline_s
+        self._solve_retries = solve_retries
+        self._backoff_base_s = backoff_base_s
+        self._scalar_round_cap = scalar_round_cap
+        self._faults = resolve_faults(faults)
+        self._breakers = BreakerBoard(breaker, breaker_clock)
+        self._fault_tolerant = (
+            solve_deadline_s is not None or self._faults is not None
+        )
+        self._ladder = self._build_ladder() if self._fault_tolerant else ()
+        self._draining = False
 
     # -- introspection ------------------------------------------------------
 
@@ -181,6 +261,23 @@ class DispatchEngine:
     def last_committed(self) -> Optional[RoundResult]:
         return self._last_committed
 
+    @property
+    def breakers(self) -> BreakerBoard:
+        return self._breakers
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        return self._faults
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """Whether per-center solves run on the degradation ladder."""
+        return self._fault_tolerant
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def round_seed(self, index: int) -> int:
         """The root seed round ``index`` solves with (the fidelity hook)."""
         return self._rng.seed_for(f"round:{index}")
@@ -188,7 +285,16 @@ class DispatchEngine:
     # -- the dispatch loop --------------------------------------------------
 
     def dispatch(self, advance_hours: float = 0.0, commit: bool = True) -> RoundResult:
-        """Run one micro-batch round; see the module doc for the phases."""
+        """Run one micro-batch round; see the module doc for the phases.
+
+        Raises :class:`EngineDraining` once :meth:`begin_drain` has been
+        called: shutdown lets the in-flight round finish committing but
+        admits no new ones (the half-committed-round race fix).
+        """
+        if self._draining:
+            raise EngineDraining(
+                "dispatch engine is draining; no new rounds accepted"
+            )
         with self._dispatch_lock:
             start = time.perf_counter()
             tracer = resolve_tracer(self._trace)
@@ -203,38 +309,46 @@ class DispatchEngine:
 
             payoffs: Dict[str, float] = {}
             assignments: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+            degraded: Dict[str, str] = {}
             assigned = 0
             verified = 0
             p_dif = 0.0
             avg_p = 0.0
             if snapshot.subproblems:
-                catalogs = {
-                    sub.center.center_id: self._cache.get(
-                        sub,
-                        snapshot.fingerprints[sub.center.center_id],
-                        self._epsilon,
+                if self._fault_tolerant:
+                    solution, degraded = self._solve_fault_tolerant(
+                        snapshot, index, tracer
                     )
-                    for sub in snapshot.subproblems
-                }
-                solution = solve_instance(
-                    snapshot.instance(),
-                    self._solver,
-                    epsilon=self._epsilon,
-                    seed=self.round_seed(index),
-                    n_jobs=self._n_jobs,
-                    seed_stream=self._name,
-                    catalogs=catalogs,
-                )
-                if self._verify:
-                    for sub in snapshot.subproblems:
-                        center_id = sub.center.center_id
-                        verify_assignment(
-                            solution.assignments[center_id],
-                            sub=sub,
-                            catalog=catalogs[center_id],
-                            solver=self._name,
+                    # Every rung's output was verified before acceptance.
+                    verified = len(snapshot.subproblems)
+                else:
+                    catalogs = {
+                        sub.center.center_id: self._cache.get(
+                            sub,
+                            snapshot.fingerprints[sub.center.center_id],
+                            self._epsilon,
                         )
-                        verified += 1
+                        for sub in snapshot.subproblems
+                    }
+                    solution = solve_instance(
+                        snapshot.instance(),
+                        self._solver,
+                        epsilon=self._epsilon,
+                        seed=self.round_seed(index),
+                        n_jobs=self._n_jobs,
+                        seed_stream=self._name,
+                        catalogs=catalogs,
+                    )
+                    if self._verify:
+                        for sub in snapshot.subproblems:
+                            center_id = sub.center.center_id
+                            verify_assignment(
+                                solution.assignments[center_id],
+                                sub=sub,
+                                catalog=catalogs[center_id],
+                                solver=self._name,
+                            )
+                            verified += 1
                 for center_id, assignment in solution.assignments.items():
                     assignments[center_id] = dict(assignment.as_mapping())
                     for pair in assignment:
@@ -264,14 +378,236 @@ class DispatchEngine:
                 - misses_before,
                 verified_centers=verified,
                 duration_seconds=duration,
+                degraded=degraded,
             )
             self._record(result, tracer)
             return result
+
+    def begin_drain(self) -> None:
+        """Refuse new dispatch rounds (in-flight rounds keep committing).
+
+        Shutdown order matters: flip this first, then :meth:`drain` — a
+        SIGTERM arriving mid-round thus finishes the round's commit
+        atomically instead of racing the server teardown.
+        """
+        self._draining = True
 
     def drain(self) -> None:
         """Block until any in-flight dispatch round has finished."""
         with self._dispatch_lock:
             pass
+
+    # -- the degradation ladder ---------------------------------------------
+
+    def _build_ladder(self) -> Tuple[Tuple[str, object], ...]:
+        """``(rung_name, solver)`` pairs, most faithful first.
+
+        ``primary`` is the configured solver; ``scalar`` is its
+        deadline-capped scalar variant when the solver supports one (FGT /
+        IEGT dataclasses); ``greedy`` is the always-fast fairness-blind
+        GTA; ``skip`` (solver ``None``) assigns every worker the null
+        strategy so the center's tasks carry to the next round.
+        """
+        rungs: List[Tuple[str, object]] = [("primary", self._solver)]
+        scalar = self._scalar_variant()
+        if scalar is not None:
+            rungs.append(("scalar", scalar))
+        rungs.append(("greedy", GTASolver(epsilon=self._epsilon)))
+        rungs.append(("skip", None))
+        return tuple(rungs)
+
+    def _scalar_variant(self):
+        """A capped scalar copy of the primary solver, or ``None``."""
+        if getattr(self._solver, "engine", None) != "vectorized":
+            return None
+        max_rounds = getattr(self._solver, "max_rounds", self._scalar_round_cap)
+        changes: Dict[str, object] = {
+            "engine": "scalar",
+            "max_rounds": min(max_rounds, self._scalar_round_cap),
+        }
+        try:
+            return dataclasses.replace(
+                self._solver, deadline_s=self._solve_deadline_s, **changes
+            )
+        except TypeError:
+            pass  # solver has no deadline_s field (e.g. IEGT)
+        try:
+            return dataclasses.replace(self._solver, **changes)
+        except TypeError:
+            return None
+
+    def _greedy_rung_index(self) -> int:
+        for i, (name, _) in enumerate(self._ladder):
+            if name == "greedy":
+                return i
+        return len(self._ladder) - 1
+
+    def _solve_fault_tolerant(
+        self, snapshot: WorldSnapshot, index: int, tracer: NullTracer
+    ) -> Tuple[InstanceSolution, Dict[str, str]]:
+        """Solve each center down the ladder; never raises.
+
+        Seeds are derived exactly like :func:`repro.parallel.solve_instance`
+        (``RngFactory(round_seed).seed_for(f"{name}:{center}")``), so a
+        center whose primary rung succeeds is bit-identical to the legacy
+        path.
+        """
+        round_rng = RngFactory(self.round_seed(index))
+        assignments: Dict[str, Assignment] = {}
+        degraded: Dict[str, str] = {}
+        for sub in snapshot.subproblems:
+            cid = sub.center.center_id
+            seed = round_rng.seed_for(f"{self._name}:{cid}")
+            assignment, rung = self._solve_center(
+                sub, snapshot, index, cid, seed, tracer
+            )
+            assignments[cid] = assignment
+            degraded[cid] = rung
+            if rung != "primary" and tracer.enabled:
+                tracer.event(
+                    "service.degraded", round=index, center=cid, rung=rung
+                )
+        return InstanceSolution(assignments), degraded
+
+    def _solve_center(
+        self,
+        sub: SubProblem,
+        snapshot: WorldSnapshot,
+        round_index: int,
+        cid: str,
+        seed: int,
+        tracer: NullTracer,
+    ) -> Tuple[Assignment, str]:
+        """One center's walk down the ladder; returns ``(assignment, rung)``."""
+        breaker = self._breakers.for_center(cid)
+        start = 0
+        if not breaker.allow_primary():
+            start = self._greedy_rung_index()
+            METRICS.counter("dispatch.breaker_shortcuts").add(1)
+        for rung_index in range(start, len(self._ladder)):
+            rung_name, solver = self._ladder[rung_index]
+            if rung_name == "skip":
+                METRICS.counter("dispatch.centers_skipped").add(1)
+                return self._skip_assignment(sub), rung_name
+            attempts = 1 + (self._solve_retries if rung_name == "primary" else 0)
+            for attempt in range(attempts):
+                if attempt:
+                    METRICS.counter("dispatch.solve_retries").add(1)
+                    self._backoff(round_index, cid, attempt)
+                try:
+                    assignment = self._attempt_solve(
+                        sub, snapshot, solver, seed, round_index, cid,
+                        rung_index, attempt,
+                    )
+                except Exception as exc:  # noqa: BLE001 — the ladder absorbs all
+                    METRICS.counter("dispatch.solve_failures").add(1)
+                    if isinstance(exc, SolveTimeout):
+                        METRICS.counter("dispatch.solve_timeouts").add(1)
+                    # A failure may stem from a rotten cache entry; evicting
+                    # costs one rebuild and guarantees the retry is clean.
+                    self._cache.invalidate(cid)
+                    if tracer.enabled:
+                        tracer.event(
+                            "service.solve_failure",
+                            round=round_index,
+                            center=cid,
+                            rung=rung_name,
+                            attempt=attempt,
+                            error=type(exc).__name__,
+                        )
+                    continue
+                if rung_name == "primary":
+                    breaker.record_success()
+                return assignment, rung_name
+            if rung_name == "primary":
+                breaker.record_failure()
+        raise AssertionError("degradation ladder must end with the skip rung")
+
+    def _attempt_solve(
+        self,
+        sub: SubProblem,
+        snapshot: WorldSnapshot,
+        solver,
+        seed: int,
+        round_index: int,
+        cid: str,
+        rung_index: int,
+        attempt: int,
+    ) -> Assignment:
+        """One solve attempt under the deadline, fault hooks, and verify gate.
+
+        The catalog fetch runs *inside* the budgeted thread (a cold C-VDPS
+        build is usually the slow part).  The returned assignment is always
+        re-verified against the snapshot's sub-problem, so a tampered
+        catalog cannot smuggle an infeasible route past the ladder.
+        """
+        action = (
+            self._faults.solver_action(round_index, cid, rung_index, attempt)
+            if self._faults is not None
+            else None
+        )
+
+        def run() -> Assignment:
+            if action is not None:
+                kind, seconds = action
+                if kind == "error":
+                    METRICS.counter("dispatch.injected_errors").add(1)
+                    raise InjectedFault(
+                        f"injected solver error (round {round_index}, "
+                        f"center {cid}, rung {rung_index}, attempt {attempt})"
+                    )
+                METRICS.counter("dispatch.injected_delays").add(1)
+                time.sleep(seconds)
+            catalog, hit = self._cache.get_with_status(
+                sub, snapshot.fingerprints[cid], self._epsilon
+            )
+            if (
+                hit
+                and self._faults is not None
+                and self._faults.corrupt_catalog(round_index, cid)
+            ):
+                METRICS.counter("dispatch.injected_corruptions").add(1)
+                catalog = FaultPlan.tamper(catalog)
+            return solve_subproblem(
+                sub, solver, epsilon=self._epsilon, seed=seed, catalog=catalog
+            )
+
+        deadline = self._solve_deadline_s
+        if deadline is None:
+            assignment = run()
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"solve-{cid}"
+            )
+            try:
+                future = pool.submit(run)
+                try:
+                    assignment = future.result(timeout=deadline)
+                except _FutureTimeout:
+                    raise SolveTimeout(
+                        f"center {cid} solve exceeded {deadline:g}s "
+                        f"(rung {rung_index}, attempt {attempt})"
+                    ) from None
+            finally:
+                # A timed-out solve finishes (and is discarded) in the
+                # background; wait=False keeps the round's budget honest.
+                pool.shutdown(wait=False)
+        verify_assignment(assignment, sub=sub, solver=self._name)
+        return assignment
+
+    def _backoff(self, round_index: int, cid: str, attempt: int) -> None:
+        """Exponential backoff with deterministic seeded jitter."""
+        if self._backoff_base_s <= 0:
+            return
+        jitter = float(
+            self._rng.get(f"backoff:{round_index}:{cid}:{attempt}").random()
+        )
+        time.sleep(self._backoff_base_s * (2 ** (attempt - 1)) * (0.5 + jitter))
+
+    @staticmethod
+    def _skip_assignment(sub: SubProblem) -> Assignment:
+        """Every worker on the null strategy: the ladder's last resort."""
+        return Assignment(tuple(WorkerAssignment(w) for w in sub.workers))
 
     # -- internals ----------------------------------------------------------
 
@@ -292,6 +628,16 @@ class DispatchEngine:
         METRICS.gauge("service.round.payoff_difference").set(
             result.payoff_difference
         )
+        degraded_centers = 0
+        for rung in result.degraded.values():
+            if rung != "primary":
+                degraded_centers += 1
+                METRICS.counter("dispatch.degraded_total").add(1)
+                METRICS.counter(f"dispatch.degraded_{rung}").add(1)
+        if self._fault_tolerant:
+            METRICS.gauge("service.breaker.open").set(
+                self._breakers.open_count()
+            )
         if tracer.enabled:
             tracer.event(
                 "service.round",
@@ -304,5 +650,6 @@ class DispatchEngine:
                 p_dif=result.payoff_difference,
                 cache_hits=result.cache_hits,
                 cache_misses=result.cache_misses,
+                degraded=degraded_centers,
                 dur=result.duration_seconds,
             )

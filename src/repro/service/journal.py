@@ -1,0 +1,242 @@
+"""Write-ahead journal for :class:`~repro.service.state.WorldState`.
+
+The dispatch service's world is in-memory; this module makes it durable.
+Every logical mutation — accepted tasks/workers, clock advances, expiries,
+and committed assignments — is appended to a JSONL journal *before* the
+in-memory state mutates (write-ahead semantics), each record fsynced and
+protected by a CRC32, so a SIGKILL at any instant loses at most the
+in-flight record and :meth:`~repro.service.state.WorldState.recover`
+replays the surviving prefix into a bit-identical world.
+
+Record wire format (one per line)::
+
+    <crc32 as 8 hex chars> <compact JSON {"seq": n, "kind": k, "data": {...}}>
+
+The CRC covers the JSON bytes exactly, so a torn tail (partial final line
+after a crash) is detected and dropped; corruption *before* intact records
+raises :class:`JournalCorruption` because it cannot be a crash artefact.
+
+Record kinds::
+
+    genesis     fixed layout: centers, delivery points, travel speed
+    checkpoint  full world dump (compaction anchor; replay fast-forwards)
+    tasks       accepted TaskArrival batch
+    workers     accepted Worker batch (post nearest-center attachment)
+    advance     clock advance in hours
+    expire      task ids dropped at an expiry sweep
+    commit      one round's applied routes + consumed task ids
+
+``seq`` is strictly monotone; replay skips any record whose ``seq`` is not
+greater than the last applied one, which makes accidental duplicate
+appends (a retried write after a partial failure) idempotent.
+
+Compaction rewrites the file as ``genesis`` + ``checkpoint`` via an
+``os.replace`` of a fully-fsynced sibling, so a crash mid-compaction
+leaves either the old or the new journal, never a mix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import METRICS
+
+PathLike = Union[str, Path]
+
+
+class JournalCorruption(ValueError):
+    """The journal contains damage that cannot be a torn tail."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal line."""
+
+    seq: int
+    kind: str
+    data: Dict[str, Any]
+
+
+def _encode(seq: int, kind: str, data: Dict[str, Any]) -> str:
+    payload = json.dumps(
+        {"seq": seq, "kind": kind, "data": data}, separators=(",", ":")
+    )
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}\n"
+
+
+def _decode(line: str) -> JournalRecord:
+    crc_hex, sep, payload = line.partition(" ")
+    if not sep or len(crc_hex) != 8:
+        raise ValueError("malformed journal line (no CRC prefix)")
+    expected = int(crc_hex, 16)
+    actual = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    if actual != expected:
+        raise ValueError(f"CRC mismatch ({actual:08x} != {expected:08x})")
+    raw = json.loads(payload)
+    return JournalRecord(
+        seq=int(raw["seq"]), kind=str(raw["kind"]), data=dict(raw["data"])
+    )
+
+
+class WorldJournal:
+    """Append-only, CRC-checked, fsynced JSONL journal.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parents) on first append.
+    fsync:
+        Fsync after every record (the durability contract).  Tests may
+        disable it for speed; the serve path keeps it on.
+    compact_every:
+        Auto-compaction threshold: when set, :meth:`should_compact` turns
+        true once this many records were appended since the last
+        compaction (the state layer then calls
+        :meth:`~repro.service.state.WorldState.compact_journal`).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        fsync: bool = True,
+        compact_every: Optional[int] = None,
+        next_seq: int = 0,
+    ) -> None:
+        if compact_every is not None and compact_every < 1:
+            raise ValueError(f"compact_every must be >= 1, got {compact_every}")
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self.compact_every = compact_every
+        self._next_seq = int(next_seq)
+        self._since_compaction = 0
+        self._fh = None  # opened lazily so an unused journal creates no file
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the journal file is absent or zero-length."""
+        try:
+            return self.path.stat().st_size == 0
+        except FileNotFoundError:
+            return True
+
+    def should_compact(self) -> bool:
+        """Whether the auto-compaction threshold has been crossed."""
+        return (
+            self.compact_every is not None
+            and self._since_compaction >= self.compact_every
+        )
+
+    # -- writing ------------------------------------------------------------
+
+    def _ensure_open(self):
+        if self._fh is None:
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        return self._fh
+
+    def append(self, kind: str, data: Dict[str, Any]) -> int:
+        """Durably append one record; returns its ``seq``.
+
+        The record is flushed (and fsynced unless disabled) before this
+        returns, which is what makes the state layer's write-ahead
+        contract hold: a mutation is only applied after its record is on
+        disk.
+        """
+        seq = self._next_seq
+        line = _encode(seq, kind, data)
+        fh = self._ensure_open()
+        fh.write(line)
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+            METRICS.counter("service.journal.fsyncs").add(1)
+        self._next_seq = seq + 1
+        self._since_compaction += 1
+        METRICS.counter("service.journal.records").add(1)
+        METRICS.counter("service.journal.bytes").add(len(line))
+        return seq
+
+    def rewrite(self, records: List[Tuple[str, Dict[str, Any]]]) -> None:
+        """Atomically replace the journal with ``records`` (compaction).
+
+        The replacement is written to a sibling file, fsynced, and
+        ``os.replace``d over the journal, so a crash leaves either the old
+        or the new file intact.  Sequence numbering restarts at 0.
+        """
+        self.close()
+        tmp = self.path.with_name(self.path.name + ".compact")
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w", encoding="utf-8") as fh:
+            for seq, (kind, data) in enumerate(records):
+                fh.write(_encode(seq, kind, data))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._next_seq = len(records)
+        self._since_compaction = 0
+        METRICS.counter("service.journal.compactions").add(1)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WorldJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading ------------------------------------------------------------
+
+    @staticmethod
+    def read(path: PathLike) -> Tuple[List[JournalRecord], int]:
+        """Decode the journal at ``path``, tolerating a torn tail.
+
+        Returns ``(records, torn_lines_dropped)``.  A decode failure is
+        only forgiven when *no intact record follows it* — i.e. it is the
+        crash-torn suffix; damage sandwiched between valid records raises
+        :class:`JournalCorruption`.
+        """
+        target = Path(path)
+        if not target.exists():
+            return [], 0
+        lines = target.read_text(encoding="utf-8").split("\n")
+        records: List[JournalRecord] = []
+        bad: List[Tuple[int, str]] = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = _decode(line)
+            except (ValueError, KeyError, TypeError) as exc:
+                bad.append((lineno, str(exc)))
+                continue
+            if bad:
+                first_bad, reason = bad[0]
+                raise JournalCorruption(
+                    f"{target}: line {first_bad} is damaged ({reason}) but "
+                    f"intact records follow — not a torn tail"
+                )
+            records.append(record)
+        if bad:
+            METRICS.counter("service.journal.torn_records_dropped").add(len(bad))
+        return records, len(bad)

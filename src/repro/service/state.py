@@ -14,6 +14,12 @@ content fingerprint per center.  The fingerprint covers everything a
 strategy catalog depends on — worker positions/capacities and task
 deadlines/rewards — so the engine's catalog cache can prove a center
 unchanged between rounds and skip the C-VDPS rebuild.
+
+Durability: attaching a :class:`~repro.service.journal.WorldJournal` makes
+every mutation write-ahead — the record is fsynced *before* the in-memory
+state changes — and :meth:`WorldState.recover` replays a journal into a
+bit-identical world (see ``docs/fault_tolerance.md`` for the format and
+the recovery runbook).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.core.instance import ProblemInstance, SubProblem
 from repro.geo.point import Point
 from repro.geo.travel import TravelModel
 from repro.obs.metrics import METRICS
+from repro.service.journal import JournalCorruption, WorldJournal
 from repro.sim.arrivals import TaskArrival
 from repro.sim.workers import WorkerState
 
@@ -152,6 +159,7 @@ class WorldState:
         self._worker_center: Dict[str, str] = {}
         self._pending: Dict[str, TaskArrival] = {}  # task_id -> arrival
         self._seen_tasks: set = set()
+        self._journal: Optional[WorldJournal] = None
         self.now: float = 0.0
         self.version: int = 0
         for worker in workers:
@@ -221,6 +229,10 @@ class WorldState:
         accepted: List[str] = []
         rejections: List[Rejection] = []
         with self._lock:
+            # Two-phase for write-ahead durability: validate the whole batch
+            # first, journal the accepted arrivals, then mutate.
+            arrivals: List[TaskArrival] = []
+            batch_ids: set = set()
             for item in tasks:
                 try:
                     arrival = self._coerce_task(item)
@@ -231,7 +243,7 @@ class WorldState:
                     rejections.append(
                         Rejection(arrival.task_id, f"unknown delivery point {arrival.dp_id!r}")
                     )
-                elif arrival.task_id in self._seen_tasks:
+                elif arrival.task_id in self._seen_tasks or arrival.task_id in batch_ids:
                     rejections.append(
                         Rejection(arrival.task_id, "duplicate task id")
                     )
@@ -243,11 +255,20 @@ class WorldState:
                         )
                     )
                 else:
-                    self._pending[arrival.task_id] = arrival
-                    self._seen_tasks.add(arrival.task_id)
-                    accepted.append(arrival.task_id)
+                    arrivals.append(arrival)
+                    batch_ids.add(arrival.task_id)
+            if arrivals:
+                self._journal_append(
+                    "tasks",
+                    {"tasks": [self._arrival_dict(a) for a in arrivals]},
+                )
+            for arrival in arrivals:
+                self._pending[arrival.task_id] = arrival
+                self._seen_tasks.add(arrival.task_id)
+                accepted.append(arrival.task_id)
             if accepted:
                 self.version += 1
+            self._maybe_compact()
         METRICS.counter("service.tasks.submitted").add(len(accepted))
         METRICS.counter("service.tasks.rejected").add(len(rejections))
         return accepted, rejections
@@ -265,13 +286,17 @@ class WorldState:
         accepted: List[str] = []
         rejections: List[Rejection] = []
         with self._lock:
+            # Two-phase like add_tasks: validate + attach centers, journal
+            # the accepted workers (post-attachment), then mutate.
+            coerced: List[Worker] = []
+            batch_ids: set = set()
             for item in workers:
                 try:
                     worker = self._coerce_worker(item)
                 except (KeyError, TypeError, ValueError) as exc:
                     rejections.append(Rejection(str(self._item_id(item)), str(exc)))
                     continue
-                if worker.worker_id in self._workers:
+                if worker.worker_id in self._workers or worker.worker_id in batch_ids:
                     rejections.append(
                         Rejection(worker.worker_id, "duplicate worker id")
                     )
@@ -290,11 +315,20 @@ class WorldState:
                         key=lambda c: self._travel.distance(worker.location, c.location),
                     )
                     worker = worker.assigned_to(nearest.center_id)
+                coerced.append(worker)
+                batch_ids.add(worker.worker_id)
+            if coerced:
+                self._journal_append(
+                    "workers",
+                    {"workers": [self._worker_dict(w) for w in coerced]},
+                )
+            for worker in coerced:
                 self._workers[worker.worker_id] = WorkerState.from_worker(worker)
                 self._worker_center[worker.worker_id] = worker.center_id
                 accepted.append(worker.worker_id)
             if accepted:
                 self.version += 1
+            self._maybe_compact()
         METRICS.counter("service.workers.added").add(len(accepted))
         METRICS.counter("service.workers.rejected").add(len(rejections))
         return accepted, rejections
@@ -305,8 +339,10 @@ class WorldState:
             raise ValueError(f"cannot advance by negative hours ({hours})")
         if hours:
             with self._lock:
+                self._journal_append("advance", {"hours": float(hours)})
                 self.now += hours
                 self.version += 1
+                self._maybe_compact()
 
     def expire(self) -> List[str]:
         """Drop tasks whose absolute expiry has been reached (``<= now``).
@@ -318,10 +354,13 @@ class WorldState:
             gone = [
                 tid for tid, t in self._pending.items() if t.expiry <= self.now
             ]
+            if gone:
+                self._journal_append("expire", {"task_ids": list(gone)})
             for tid in gone:
                 del self._pending[tid]
             if gone:
                 self.version += 1
+            self._maybe_compact()
         METRICS.counter("service.tasks.expired").add(len(gone))
         return gone
 
@@ -401,31 +440,391 @@ class WorldState:
         """
         assigned_tasks = 0
         with self._lock:
+            # Two-phase for write-ahead durability: derive every route op and
+            # removed task id without mutating, journal the round, then apply.
+            routes: List[Dict[str, object]] = []
+            removed: List[str] = []
             for center_id, assignment in assignments.items():
                 delivered_dps: set = set()
                 for pair in assignment:
                     if pair.route is None or len(pair.route) == 0:
                         continue
-                    state = self._workers.get(pair.worker.worker_id)
-                    if state is None:
+                    if pair.worker.worker_id not in self._workers:
                         continue  # worker left between snapshot and commit
-                    state.commit_route(
-                        snapshot.now,
-                        completion_time=pair.route.completion_time,
-                        reward=pair.route.total_reward,
-                        deliveries=pair.task_count,
-                        end_location=pair.route.sequence[-1].location,
+                    end = pair.route.sequence[-1].location
+                    routes.append(
+                        {
+                            "worker_id": pair.worker.worker_id,
+                            "completion_time": pair.route.completion_time,
+                            "reward": pair.route.total_reward,
+                            "deliveries": pair.task_count,
+                            "end": [end.x, end.y],
+                        }
                     )
-                    assigned_tasks += pair.task_count
                     delivered_dps.update(pair.delivery_point_ids)
                 for tid in snapshot.task_ids.get(center_id, ()):
                     arrival = self._pending.get(tid)
                     if arrival is not None and arrival.dp_id in delivered_dps:
-                        del self._pending[tid]
-            if assigned_tasks:
-                self.version += 1
+                        removed.append(tid)
+            if routes or removed:
+                self._journal_append(
+                    "commit",
+                    {"now": snapshot.now, "routes": routes, "removed": removed},
+                )
+            assigned_tasks = self._apply_commit(snapshot.now, routes, removed)
+            self._maybe_compact()
         METRICS.counter("service.tasks.assigned").add(assigned_tasks)
         return assigned_tasks
+
+    def _apply_commit(
+        self,
+        now: float,
+        routes: Sequence[Mapping[str, object]],
+        removed: Sequence[str],
+    ) -> int:
+        """Apply a derived (journal-shaped) commit record; returns task count.
+
+        Shared by the live :meth:`commit` path and journal replay so the
+        two are one code path and recovery is bit-identical by construction.
+        """
+        assigned_tasks = 0
+        for op in routes:
+            state = self._workers.get(str(op["worker_id"]))
+            if state is None:
+                continue
+            end = op["end"]
+            state.commit_route(
+                now,
+                completion_time=float(op["completion_time"]),  # type: ignore[arg-type]
+                reward=float(op["reward"]),  # type: ignore[arg-type]
+                deliveries=int(op["deliveries"]),  # type: ignore[arg-type]
+                end_location=Point(float(end[0]), float(end[1])),  # type: ignore[index]
+            )
+            assigned_tasks += int(op["deliveries"])  # type: ignore[arg-type]
+        for tid in removed:
+            self._pending.pop(tid, None)
+        if assigned_tasks:
+            self.version += 1
+        return assigned_tasks
+
+    # -- durability ---------------------------------------------------------
+
+    def attach_journal(self, journal: WorldJournal) -> None:
+        """Make every subsequent mutation write-ahead durable.
+
+        An empty journal is seeded with a ``genesis`` record (the fixed
+        center layout and travel speed) plus a ``checkpoint`` of the
+        current dynamic state, so attaching to an already-populated world
+        (the CLI builds the world, then attaches) loses nothing.  A
+        non-empty journal is resumed as-is; the caller is expected to have
+        built this state via :meth:`recover` from that same file.
+        """
+        with self._lock:
+            self._journal = journal
+            if journal.is_empty:
+                journal.append("genesis", self._genesis_dict())
+                journal.append("checkpoint", self._checkpoint_dict())
+
+    @property
+    def journal(self) -> Optional[WorldJournal]:
+        return self._journal
+
+    def _journal_append(self, kind: str, data: Dict) -> None:
+        """Write-ahead append (no-op without a journal).
+
+        Called under ``self._lock`` *before* the matching in-memory
+        mutation; :meth:`WorldJournal.append` only returns once the record
+        is fsynced, which is the durability contract.
+        """
+        if self._journal is not None:
+            self._journal.append(kind, data)
+
+    def _maybe_compact(self) -> None:
+        """Compact when the journal's auto-threshold has been crossed."""
+        if self._journal is not None and self._journal.should_compact():
+            self.compact_journal()
+
+    def compact_journal(self) -> None:
+        """Rewrite the journal as ``genesis`` + ``checkpoint`` of now.
+
+        Bounds journal growth (and recovery time) without losing anything:
+        replaying the two records reproduces the current state exactly.
+        """
+        with self._lock:
+            if self._journal is None:
+                raise ValueError("no journal attached to this WorldState")
+            self._journal.rewrite(
+                [
+                    ("genesis", self._genesis_dict()),
+                    ("checkpoint", self._checkpoint_dict()),
+                ]
+            )
+
+    def fingerprint(self) -> str:
+        """Content hash of the full dynamic state (recovery equality checks).
+
+        Covers the clock, every worker's cumulative outcomes and position,
+        and every pending task, with floats hashed via ``float.hex`` so the
+        comparison is bit-exact — the kill-and-recover acceptance test
+        compares this against a never-crashed reference.
+        """
+        with self._lock:
+            digest = hashlib.sha256()
+            digest.update(f"now|{float(self.now).hex()}".encode())
+            for wid in sorted(self._workers):
+                st = self._workers[wid]
+                digest.update(
+                    f"w|{wid}|{self._worker_center[wid]}|"
+                    f"{st.location.x.hex()}|{st.location.y.hex()}|"
+                    f"{float(st.available_at).hex()}|{float(st.earnings).hex()}|"
+                    f"{float(st.working_hours).hex()}|{st.deliveries}|"
+                    f"{st.assignments}|{int(st.template.online)}".encode()
+                )
+            for tid in sorted(self._pending):
+                a = self._pending[tid]
+                digest.update(
+                    f"t|{tid}|{a.dp_id}|{float(a.arrival_time).hex()}|"
+                    f"{float(a.expiry).hex()}|{float(a.reward).hex()}".encode()
+                )
+            return digest.hexdigest()
+
+    # -- journal (de)serialisation ------------------------------------------
+
+    def _genesis_dict(self) -> Dict:
+        """The fixed layout: centers, delivery points, travel speed."""
+        return {
+            "speed_kmh": self._travel.speed_kmh,
+            "centers": [
+                {
+                    "center_id": c.center_id,
+                    "x": c.location.x,
+                    "y": c.location.y,
+                    "delivery_points": [
+                        {
+                            "dp_id": dp.dp_id,
+                            "x": dp.location.x,
+                            "y": dp.location.y,
+                            "service_hours": dp.service_hours,
+                        }
+                        for dp in c.delivery_points
+                    ],
+                }
+                for c in self.centers
+            ],
+        }
+
+    def _checkpoint_dict(self) -> Dict:
+        """Full dump of the dynamic state (compaction / recovery anchor)."""
+        return {
+            "now": self.now,
+            "version": self.version,
+            "seen_tasks": sorted(self._seen_tasks),
+            "pending": [
+                self._arrival_dict(self._pending[tid])
+                for tid in sorted(self._pending)
+            ],
+            "workers": [
+                self._worker_state_dict(self._workers[wid])
+                for wid in sorted(self._workers)
+            ],
+        }
+
+    @staticmethod
+    def _arrival_dict(arrival: TaskArrival) -> Dict:
+        return {
+            "task_id": arrival.task_id,
+            "dp_id": arrival.dp_id,
+            "arrival_time": arrival.arrival_time,
+            "expiry": arrival.expiry,
+            "reward": arrival.reward,
+        }
+
+    @staticmethod
+    def _worker_dict(worker: Worker) -> Dict:
+        return {
+            "worker_id": worker.worker_id,
+            "x": worker.location.x,
+            "y": worker.location.y,
+            "max_delivery_points": worker.max_delivery_points,
+            "center_id": worker.center_id,
+            "online": worker.online,
+            "speed_kmh": worker.speed_kmh,
+        }
+
+    @staticmethod
+    def _worker_state_dict(state: WorkerState) -> Dict:
+        data = WorldState._worker_dict(state.template)
+        data.update(
+            {
+                "location": [state.location.x, state.location.y],
+                "available_at": state.available_at,
+                "earnings": state.earnings,
+                "working_hours": state.working_hours,
+                "deliveries": state.deliveries,
+                "assignments": state.assignments,
+            }
+        )
+        return data
+
+    @staticmethod
+    def _worker_from_dict(data: Mapping) -> Worker:
+        speed = data.get("speed_kmh")
+        return Worker(
+            worker_id=str(data["worker_id"]),
+            location=Point(float(data["x"]), float(data["y"])),
+            max_delivery_points=int(data["max_delivery_points"]),
+            center_id=data.get("center_id"),
+            online=bool(data.get("online", True)),
+            speed_kmh=None if speed is None else float(speed),
+        )
+
+    @staticmethod
+    def _arrival_from_dict(data: Mapping) -> TaskArrival:
+        return TaskArrival(
+            task_id=str(data["task_id"]),
+            dp_id=str(data["dp_id"]),
+            arrival_time=float(data["arrival_time"]),
+            expiry=float(data["expiry"]),
+            reward=float(data["reward"]),
+        )
+
+    # -- recovery -----------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        path,
+        travel: Optional[TravelModel] = None,
+        resume: bool = True,
+        fsync: bool = True,
+        compact_every: Optional[int] = None,
+    ) -> "WorldState":
+        """Rebuild a :class:`WorldState` from a write-ahead journal.
+
+        Reads the journal (tolerating a crash-torn final record), rebuilds
+        the layout from the ``genesis`` record, fast-forwards from the last
+        ``checkpoint``, and replays every later mutation record in order;
+        records whose ``seq`` does not advance are skipped, making
+        duplicate appends idempotent.  The result is bit-identical (see
+        :meth:`fingerprint`) to the state at the last fsynced record.
+
+        Parameters
+        ----------
+        path:
+            The journal file written by a previous process.
+        travel:
+            Optional travel-model override.  By default the genesis
+            record's ``speed_kmh`` rebuilds a Euclidean model (the service
+            default); pass an explicit model when serving a non-default
+            metric.
+        resume:
+            Attach a :class:`WorldJournal` continuing at the next sequence
+            number so the recovered world keeps journaling to ``path``.
+        """
+        records, _torn = WorldJournal.read(path)
+        if not records:
+            raise JournalCorruption(f"{path}: no intact journal records")
+        genesis = records[0]
+        if genesis.kind != "genesis":
+            raise JournalCorruption(
+                f"{path}: first record is {genesis.kind!r}, expected 'genesis'"
+            )
+        data = genesis.data
+        if travel is None:
+            travel = TravelModel(speed_kmh=float(data["speed_kmh"]))
+        centers = tuple(
+            DistributionCenter(
+                str(c["center_id"]),
+                Point(float(c["x"]), float(c["y"])),
+                tuple(
+                    DeliveryPoint(
+                        str(dp["dp_id"]),
+                        Point(float(dp["x"]), float(dp["y"])),
+                        (),
+                        float(dp.get("service_hours", 0.0)),
+                    )
+                    for dp in c["delivery_points"]
+                ),
+            )
+            for c in data["centers"]
+        )
+        state = cls(centers, travel=travel)
+
+        # Fast-forward from the last checkpoint, then replay what follows.
+        start = 0
+        for index, record in enumerate(records):
+            if record.kind == "checkpoint":
+                start = index
+        applied_seq = -1
+        for record in records[start:]:
+            if record.seq <= applied_seq:
+                continue  # duplicate append — already applied
+            state._replay(record.kind, record.data)
+            applied_seq = record.seq
+        if resume:
+            state._journal = WorldJournal(
+                path,
+                fsync=fsync,
+                compact_every=compact_every,
+                next_seq=applied_seq + 1,
+            )
+        METRICS.counter("service.journal.recoveries").add(1)
+        return state
+
+    def _replay(self, kind: str, data: Mapping) -> None:
+        """Apply one journal record to the in-memory state."""
+        if kind == "genesis":
+            return  # fixed layout, consumed by recover() itself
+        if kind == "checkpoint":
+            self.now = float(data["now"])
+            self.version = int(data["version"])
+            self._seen_tasks = set(data["seen_tasks"])
+            self._pending = {}
+            for raw in data["pending"]:
+                arrival = self._arrival_from_dict(raw)
+                self._pending[arrival.task_id] = arrival
+            self._workers = {}
+            self._worker_center = {}
+            for raw in data["workers"]:
+                worker = self._worker_from_dict(raw)
+                ws = WorkerState.from_worker(worker)
+                loc = raw["location"]
+                ws.location = Point(float(loc[0]), float(loc[1]))
+                ws.available_at = float(raw["available_at"])
+                ws.earnings = float(raw["earnings"])
+                ws.working_hours = float(raw["working_hours"])
+                ws.deliveries = int(raw["deliveries"])
+                ws.assignments = int(raw["assignments"])
+                self._workers[worker.worker_id] = ws
+                self._worker_center[worker.worker_id] = worker.center_id
+        elif kind == "tasks":
+            for raw in data["tasks"]:
+                arrival = self._arrival_from_dict(raw)
+                self._pending[arrival.task_id] = arrival
+                self._seen_tasks.add(arrival.task_id)
+            if data["tasks"]:
+                self.version += 1
+        elif kind == "workers":
+            for raw in data["workers"]:
+                worker = self._worker_from_dict(raw)
+                self._workers[worker.worker_id] = WorkerState.from_worker(worker)
+                self._worker_center[worker.worker_id] = worker.center_id
+            if data["workers"]:
+                self.version += 1
+        elif kind == "advance":
+            self.now += float(data["hours"])
+            self.version += 1
+        elif kind == "expire":
+            for tid in data["task_ids"]:
+                self._pending.pop(tid, None)
+            if data["task_ids"]:
+                self.version += 1
+        elif kind == "commit":
+            self._apply_commit(
+                float(data["now"]), data["routes"], data["removed"]
+            )
+        else:
+            raise JournalCorruption(f"unknown journal record kind {kind!r}")
 
     # -- coercion helpers ---------------------------------------------------
 

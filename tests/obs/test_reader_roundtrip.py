@@ -108,3 +108,60 @@ class TestParseErrors:
         path = tmp_path / "t.jsonl"
         path.write_text('{"kind":"a","seq":0,"ts":0.0}\n\n\n')
         assert len(read_trace(path)) == 1
+
+
+class TestRobustnessSummary:
+    """The trace summary surfaces degradation/breaker/journal telemetry."""
+
+    @staticmethod
+    def _line(kind, seq, **fields):
+        import json
+
+        return json.dumps({"kind": kind, "seq": seq, "ts": 0.1 * seq, **fields})
+
+    def test_degraded_and_failure_events_fold(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    self._line("service.degraded", 0, center="A", rung="greedy"),
+                    self._line("service.degraded", 1, center="B", rung="greedy"),
+                    self._line("service.degraded", 2, center="A", rung="skip"),
+                    self._line(
+                        "service.solve_failure", 3, center="A",
+                        rung="primary", error="SolveTimeout",
+                    ),
+                    self._line(
+                        "metrics.snapshot", 4,
+                        metrics={
+                            "dispatch.degraded_total": 3,
+                            "dispatch.solve_timeouts": 1,
+                            "service.breaker.opened": 1,
+                            "service.journal.records": 42,
+                            "fgt.rounds": 9,  # unrelated: must not leak in
+                        },
+                    ),
+                ]
+            )
+            + "\n"
+        )
+        summary = summarize_trace(path)
+        assert summary.degraded == {"greedy": 2, "skip": 1}
+        assert summary.solve_failures == {"SolveTimeout": 1}
+        stats = summary.robustness_stats
+        assert stats["degraded.greedy"] == 2.0
+        assert stats["solve_failure.SolveTimeout"] == 1.0
+        assert stats["dispatch.degraded_total"] == 3.0
+        assert stats["service.breaker.opened"] == 1.0
+        assert stats["service.journal.records"] == 42.0
+        assert "fgt.rounds" not in stats
+        rendered = summary.format()
+        assert "robustness" in rendered
+        assert "degraded.greedy" in rendered
+
+    def test_clean_trace_has_no_robustness_section(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(self._line("fgt.round", 0, switches=2) + "\n")
+        summary = summarize_trace(path)
+        assert summary.robustness_stats == {}
+        assert "robustness" not in summary.format()

@@ -1,0 +1,121 @@
+"""Tests for repro.service.breaker (per-center circuit breakers).
+
+All transitions are driven by a fake monotonic clock, so the cooldown
+behaviour is tested without sleeping.
+"""
+
+import pytest
+
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+def _breaker(threshold=3, cooldown=30.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=threshold, cooldown_s=cooldown), clock
+    )
+    return breaker, clock
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown_s=0.0)
+
+    def test_defaults(self):
+        config = BreakerConfig()
+        assert config.failure_threshold == 3
+        assert config.cooldown_s == 30.0
+
+
+class TestStateMachine:
+    def test_opens_at_threshold(self):
+        breaker, _ = _breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow_primary()
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow_primary()
+
+    def test_success_resets_the_count(self):
+        breaker, _ = _breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 1
+
+    def test_cooldown_promotes_to_half_open(self):
+        breaker, clock = _breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.999)
+        assert breaker.state == OPEN and not breaker.allow_primary()
+        clock.advance(0.001)
+        assert breaker.state == HALF_OPEN and breaker.allow_primary()
+
+    def test_probe_success_closes(self):
+        breaker, clock = _breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = _breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.0)
+        assert breaker.state == OPEN  # the cooldown restarted at reopen
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestBoard:
+    def test_breakers_are_per_center_and_cached(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1), FakeClock())
+        a = board.for_center("A")
+        assert board.for_center("A") is a
+        a.record_failure()
+        assert board.states() == {"A": OPEN}
+        board.for_center("B")
+        assert board.states() == {"A": OPEN, "B": CLOSED}
+        assert board.open_count() == 1
+
+    def test_snapshot_is_json_ready(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=2), FakeClock())
+        board.for_center("A").record_failure()
+        snap = board.snapshot()
+        assert snap == {"A": {"state": CLOSED, "consecutive_failures": 1}}
+
+    def test_default_config_and_clock(self):
+        board = BreakerBoard()
+        assert board.config == BreakerConfig()
+        assert board.for_center("X").state == CLOSED

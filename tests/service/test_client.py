@@ -9,6 +9,7 @@ from repro.service import (
     DispatchServer,
     LoadGenerator,
     ServiceError,
+    ServiceUnavailable,
 )
 
 from tests.service.conftest import make_world
@@ -81,3 +82,79 @@ class TestLoadGenerator:
             assert len(client.submit_tasks(gen.tasks(10))["accepted"]) == 10
             result = client.dispatch()
             assert result["assigned_tasks"] > 0
+
+
+class TestRetries:
+    """Satellite: per-request timeout plus bounded retry with backoff."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            DispatchClient("http://127.0.0.1:1", retries=-1)
+        with pytest.raises(ValueError, match="backoff_s"):
+            DispatchClient("http://127.0.0.1:1", backoff_s=-0.1)
+
+    def test_unreachable_service_raises_typed_error(self):
+        # Port 9 on localhost refuses instantly; three attempts, no sleeps.
+        client = DispatchClient(
+            "http://127.0.0.1:9", timeout=0.5, retries=2, backoff_s=0.0
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+        assert "after 3 attempt(s)" in str(excinfo.value)
+
+    def test_retry_rides_out_a_late_start(self):
+        # The service comes up *after* the first attempt fails: a client
+        # with backoff keeps trying and lands on the live server.
+        import socket
+        import threading
+        import time as _time
+
+        engine = DispatchEngine(
+            make_world(), FGTSolver(epsilon=0.8), epsilon=0.8, seed=4
+        )
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        server = DispatchServer(engine, port=port)
+
+        def late_start():
+            _time.sleep(0.3)
+            server.start_background()
+
+        starter = threading.Thread(target=late_start)
+        starter.start()
+        try:
+            client = DispatchClient(
+                f"http://127.0.0.1:{port}", timeout=2.0, retries=5, backoff_s=0.2
+            )
+            assert client.health()["status"] == "ok"
+        finally:
+            starter.join(timeout=5.0)
+            server.stop()
+
+    def test_http_errors_are_not_retried(self):
+        engine = DispatchEngine(
+            make_world(), FGTSolver(epsilon=0.8), epsilon=0.8, seed=4
+        )
+        with DispatchServer(engine, port=0) as server:
+            client = DispatchClient(server.url, timeout=5.0, retries=3)
+            client.wait_healthy(timeout=5.0)
+            before = engine.rounds_dispatched
+            with pytest.raises(ServiceError) as excinfo:
+                client._json("POST", "/dispatch", {"advance_hours": -1.0})
+            assert excinfo.value.status == 400
+            assert engine.rounds_dispatched == before  # one attempt only
+
+    def test_503_maps_to_service_unavailable(self):
+        engine = DispatchEngine(
+            make_world(), FGTSolver(epsilon=0.8), epsilon=0.8, seed=4
+        )
+        with DispatchServer(engine, port=0) as server:
+            client = DispatchClient(server.url, timeout=5.0, retries=0)
+            client.wait_healthy(timeout=5.0)
+            engine.begin_drain()
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.dispatch()
+            assert excinfo.value.status == 503
+            assert isinstance(excinfo.value, ServiceError)

@@ -1,0 +1,126 @@
+"""Kill-and-recover tests: the serve process survives SIGKILL bit-identically.
+
+A real ``python -m repro serve --journal`` subprocess is killed with
+SIGKILL (no shutdown hook runs, no buffer flushes) and restarted against
+the same journal; the recovered world must report the same content
+fingerprint over ``GET /healthz``.  This is the test-suite twin of the CI
+``chaos-smoke`` job.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    DispatchClient,
+    ServiceUnavailable,
+    WorldState,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _serve(tmp_path, tag, journal):
+    """Launch ``python -m repro serve`` with ``journal``; return (proc, client)."""
+    port_file = tmp_path / f"port-{tag}.txt"
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--journal", str(journal),
+            "--epsilon", "0.8",
+            "--seed", "0",
+            "--tasks", "24",
+            "--workers", "6",
+            "--delivery-points", "10",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            raise AssertionError(f"serve died before binding:\n{out}")
+        if port_file.exists() and port_file.read_text().strip():
+            break
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        raise AssertionError("serve never wrote its port file")
+    port = int(port_file.read_text())
+    client = DispatchClient(f"http://127.0.0.1:{port}", timeout=5.0)
+    client.wait_healthy(timeout=15.0)
+    return proc, client
+
+
+class TestKillAndRecover:
+    def test_sigkill_then_restart_is_bit_identical(self, tmp_path):
+        journal = tmp_path / "world.jsonl"
+
+        proc, client = _serve(tmp_path, "first", journal)
+        try:
+            first = client.dispatch(advance_hours=0.05)
+            assert first["assigned_tasks"] > 0
+            client.dispatch(advance_hours=0.05)
+            health = client.health()
+            fingerprint = health["world_fingerprint"]
+            version = health["world_version"]
+            assert health["journal"]["path"] == str(journal)
+        finally:
+            proc.kill()  # SIGKILL: no graceful shutdown, no final flush
+            proc.wait(timeout=10.0)
+
+        # Offline recovery of the abandoned journal already matches.
+        offline = WorldState.recover(journal, resume=False)
+        assert offline.fingerprint() == fingerprint
+        assert offline.version == version
+
+        # A restarted serve recovers the same world and keeps going.
+        proc, client = _serve(tmp_path, "second", journal)
+        try:
+            health = client.health()
+            assert health["world_fingerprint"] == fingerprint
+            assert health["world_version"] == version
+            # The revived service still dispatches on the recovered world.
+            client.dispatch(advance_hours=0.05)
+            client.shutdown()
+            proc.wait(timeout=15.0)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+
+class TestDrainOverHTTP:
+    """Satellite (a) at the API layer: draining answers 503, typed."""
+
+    def test_dispatch_while_draining_is_503(self):
+        from repro.games.fgt import FGTSolver
+        from repro.service import DispatchEngine, DispatchServer
+
+        from tests.service.conftest import make_world
+
+        engine = DispatchEngine(
+            make_world(), FGTSolver(epsilon=0.8), epsilon=0.8, seed=1
+        )
+        with DispatchServer(engine) as server:
+            client = DispatchClient(server.url, timeout=5.0, retries=0)
+            client.wait_healthy(timeout=10.0)
+            engine.begin_drain()
+            assert client.health()["status"] == "draining"
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.dispatch()
+            assert excinfo.value.status == 503
