@@ -23,12 +23,20 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping
 
 #: Characters Prometheus forbids in metric names, replaced by ``_``.
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One lock shared by every instrument and the registry's get-or-create
+#: tables.  The dispatch engine's fault-tolerant path records from a thread
+#: pool, so increments and lazy creation must be race-free; recording is
+#: rare enough (hot loops batch locally and flush once) that a single
+#: uncontended lock costs nothing measurable.
+_LOCK = threading.Lock()
 
 
 def _prom_name(name: str, prefix: str) -> str:
@@ -55,10 +63,11 @@ class Counter:
         self.value = 0
 
     def add(self, amount: int = 1) -> None:
-        """Increase the tally by ``amount`` (must be >= 0)."""
+        """Increase the tally by ``amount`` (must be >= 0); thread-safe."""
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount!r}")
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -86,14 +95,15 @@ class Histogram:
         self.max = -math.inf
 
     def observe(self, value: float) -> None:
-        """Fold one sample into the summary."""
+        """Fold one sample into the summary; thread-safe."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with _LOCK:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -124,27 +134,36 @@ class MetricsRegistry:
                 raise ValueError(f"metric {name!r} already registered as a {other}")
 
     def counter(self, name: str) -> Counter:
-        """The counter called ``name``, created on first use."""
+        """The counter called ``name``, created on first use (thread-safe)."""
         metric = self._counters.get(name)
         if metric is None:
-            self._check_unique(name, "counter")
-            metric = self._counters[name] = Counter()
+            with _LOCK:
+                metric = self._counters.get(name)
+                if metric is None:
+                    self._check_unique(name, "counter")
+                    metric = self._counters[name] = Counter()
         return metric
 
     def gauge(self, name: str) -> Gauge:
-        """The gauge called ``name``, created on first use."""
+        """The gauge called ``name``, created on first use (thread-safe)."""
         metric = self._gauges.get(name)
         if metric is None:
-            self._check_unique(name, "gauge")
-            metric = self._gauges[name] = Gauge()
+            with _LOCK:
+                metric = self._gauges.get(name)
+                if metric is None:
+                    self._check_unique(name, "gauge")
+                    metric = self._gauges[name] = Gauge()
         return metric
 
     def histogram(self, name: str) -> Histogram:
-        """The histogram called ``name``, created on first use."""
+        """The histogram called ``name``, created on first use (thread-safe)."""
         metric = self._histograms.get(name)
         if metric is None:
-            self._check_unique(name, "histogram")
-            metric = self._histograms[name] = Histogram()
+            with _LOCK:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    self._check_unique(name, "histogram")
+                    metric = self._histograms[name] = Histogram()
         return metric
 
     @contextmanager
@@ -167,12 +186,16 @@ class MetricsRegistry:
         expands to ``h.count``, ``h.total``, ``h.min``, ``h.max`` (the
         extrema only once it has samples).
         """
+        with _LOCK:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
         out: Dict[str, float] = {}
-        for name, counter in self._counters.items():
+        for name, counter in counters:
             out[name] = counter.value
-        for name, gauge in self._gauges.items():
+        for name, gauge in gauges:
             out[name] = gauge.value
-        for name, hist in self._histograms.items():
+        for name, hist in histograms:
             out[f"{name}.count"] = hist.count
             out[f"{name}.total"] = hist.total
             if hist.count:
@@ -219,17 +242,21 @@ class MetricsRegistry:
         scraped as ``repro_service_dispatch_seconds_sum`` etc.  This is what
         ``GET /metrics`` on the dispatch service serves.
         """
+        with _LOCK:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         lines: List[str] = []
-        for name in sorted(self._counters):
+        for name in sorted(counters):
             metric = _prom_name(name, prefix)
             lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {_prom_value(self._counters[name].value)}")
-        for name in sorted(self._gauges):
+            lines.append(f"{metric} {_prom_value(counters[name].value)}")
+        for name in sorted(gauges):
             metric = _prom_name(name, prefix)
             lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {_prom_value(self._gauges[name].value)}")
-        for name in sorted(self._histograms):
-            hist = self._histograms[name]
+            lines.append(f"{metric} {_prom_value(gauges[name].value)}")
+        for name in sorted(histograms):
+            hist = histograms[name]
             metric = _prom_name(name, prefix)
             lines.append(f"# TYPE {metric} summary")
             lines.append(f"{metric}_count {_prom_value(hist.count)}")

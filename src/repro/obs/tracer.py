@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Union
@@ -104,6 +105,9 @@ class _RecordingTracer(NullTracer):
     def __init__(self) -> None:
         self._seq = 0
         self._t0 = time.perf_counter()
+        # The dispatch engine emits from a thread pool; sequencing and the
+        # sink write must be atomic so records never interleave mid-line.
+        self._emit_lock = threading.Lock()
 
     def event(self, kind: str, **fields: Any) -> None:
         """Emit one timestamped event record."""
@@ -116,16 +120,17 @@ class _RecordingTracer(NullTracer):
     def _emit_record(
         self, kind: str, fields: Dict[str, Any], dur: Optional[float] = None
     ) -> None:
-        record: Dict[str, Any] = {
-            "kind": kind,
-            "seq": self._seq,
-            "ts": round(time.perf_counter() - self._t0, 9),
-        }
-        if dur is not None:
-            record["dur"] = round(dur, 9)
-        record.update(fields)
-        self._seq += 1
-        self._write(record)
+        with self._emit_lock:
+            record: Dict[str, Any] = {
+                "kind": kind,
+                "seq": self._seq,
+                "ts": round(time.perf_counter() - self._t0, 9),
+            }
+            if dur is not None:
+                record["dur"] = round(dur, 9)
+            record.update(fields)
+            self._seq += 1
+            self._write(record)
 
     def _write(self, record: Dict[str, Any]) -> None:
         raise NotImplementedError

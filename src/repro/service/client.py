@@ -52,10 +52,14 @@ class DispatchClient:
     retries:
         Extra attempts after a *connection-level* failure (refused, reset,
         timed out before an HTTP response).  HTTP error responses are never
-        retried — the request reached the service.  Note the at-most-once
-        caveat: a request that dies mid-flight may have been applied, so
-        idempotent probes are safe to retry but ``dispatch()`` callers who
-        need exactly-once should set ``retries=0``.
+        retried — the request reached the service.  Retries apply only to
+        *idempotent* requests: every GET, the submit POSTs (the server
+        deduplicates by task/worker id, so a replay is rejected, not
+        re-applied), and ``shutdown()``.  ``POST /dispatch`` is **not**
+        idempotent — a request that dies mid-flight (e.g. a solve
+        outliving the socket timeout) may still commit, and a retry would
+        launch a second round — so :meth:`dispatch` never retries unless
+        its ``retry=True`` is passed explicitly.
     backoff_s:
         Base sleep between connection retries (doubled per attempt).
     """
@@ -79,11 +83,18 @@ class DispatchClient:
     # -- transport ----------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, payload: Optional[Dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        idempotent: Optional[bool] = None,
     ) -> Tuple[int, bytes, str]:
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempts = 1 + (self.retries if idempotent else 0)
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         last_error: Optional[Exception] = None
-        for attempt in range(1 + self.retries):
+        for attempt in range(attempts):
             if attempt and self.backoff_s:
                 time.sleep(self.backoff_s * (2 ** (attempt - 1)))
             request = urllib.request.Request(
@@ -116,11 +127,17 @@ class DispatchClient:
                 last_error = exc
         raise ServiceUnavailable(
             f"{method} {self.base_url}{path} failed after "
-            f"{1 + self.retries} attempt(s): {last_error}"
+            f"{attempts} attempt(s): {last_error}"
         ) from last_error
 
-    def _json(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
-        _, raw, _ = self._request(method, path, payload)
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        idempotent: Optional[bool] = None,
+    ) -> Dict:
+        _, raw, _ = self._request(method, path, payload, idempotent=idempotent)
         return json.loads(raw.decode("utf-8"))
 
     # -- API ----------------------------------------------------------------
@@ -145,17 +162,42 @@ class DispatchClient:
         return values
 
     def submit_tasks(self, tasks: Sequence[Dict]) -> Dict:
-        """``POST /tasks`` with a batch of task dicts."""
-        return self._json("POST", "/tasks", {"tasks": list(tasks)})
+        """``POST /tasks`` with a batch of task dicts.
+
+        Retried on connection failures: the server rejects duplicate task
+        ids, so a replayed batch cannot be applied twice.
+        """
+        return self._json("POST", "/tasks", {"tasks": list(tasks)}, idempotent=True)
 
     def submit_workers(self, workers: Sequence[Dict]) -> Dict:
-        """``POST /workers`` with a batch of worker dicts."""
-        return self._json("POST", "/workers", {"workers": list(workers)})
+        """``POST /workers`` with a batch of worker dicts.
 
-    def dispatch(self, advance_hours: float = 0.0, commit: bool = True) -> Dict:
-        """``POST /dispatch`` — trigger one micro-batch round."""
+        Retried on connection failures: the server rejects duplicate
+        worker ids, so a replayed batch cannot re-register (or reset) a
+        worker.
+        """
         return self._json(
-            "POST", "/dispatch", {"advance_hours": advance_hours, "commit": commit}
+            "POST", "/workers", {"workers": list(workers)}, idempotent=True
+        )
+
+    def dispatch(
+        self,
+        advance_hours: float = 0.0,
+        commit: bool = True,
+        retry: bool = False,
+    ) -> Dict:
+        """``POST /dispatch`` — trigger one micro-batch round.
+
+        Not retried by default: a dispatch whose connection dies mid-solve
+        may still commit server-side, so a retry would run a *second*
+        round.  Pass ``retry=True`` only when at-least-once rounds are
+        acceptable (e.g. load scripts that just want progress).
+        """
+        return self._json(
+            "POST",
+            "/dispatch",
+            {"advance_hours": advance_hours, "commit": commit},
+            idempotent=retry,
         )
 
     def assignments(self) -> Dict:
@@ -163,8 +205,12 @@ class DispatchClient:
         return self._json("GET", "/assignments")
 
     def shutdown(self) -> Dict:
-        """``POST /shutdown`` — ask the service to stop gracefully."""
-        return self._json("POST", "/shutdown")
+        """``POST /shutdown`` — ask the service to stop gracefully.
+
+        Retried on connection failures; asking an already-draining service
+        to stop again is harmless.
+        """
+        return self._json("POST", "/shutdown", idempotent=True)
 
     def wait_healthy(self, timeout: float = 10.0, interval: float = 0.05) -> Dict:
         """Poll ``/healthz`` until the service answers (startup barrier)."""

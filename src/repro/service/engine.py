@@ -47,7 +47,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -72,6 +72,15 @@ class EngineDraining(RuntimeError):
 
 class SolveTimeout(RuntimeError):
     """A per-center solve exceeded its ``solve_deadline_s`` budget."""
+
+
+#: Upper bound on abandoned (timed-out but still running) solve threads one
+#: center may accumulate before further deadline-bounded attempts for it are
+#: refused outright.  A timed-out solve cannot be killed, only detached; the
+#: cap keeps a persistently hung solver from leaking one thread per attempt
+#: per round without bound — attempts past the cap fail fast with
+#: :class:`SolveTimeout` and the ladder degrades as usual.
+MAX_ABANDONED_SOLVES = 3
 
 
 @dataclass(frozen=True)
@@ -142,8 +151,10 @@ class DispatchEngine:
     epsilon:
         VDPS pruning threshold for every center's catalog.
     n_jobs:
-        Per-center solve parallelism, forwarded to
-        :func:`repro.parallel.solve_instance`.
+        Per-center solve parallelism: forwarded to
+        :func:`repro.parallel.solve_instance` on the legacy path, and the
+        size of the thread pool centers fan out across on the
+        fault-tolerant path.
     verify:
         Run the assignment-level invariant checkers on every round.
     seed:
@@ -225,6 +236,9 @@ class DispatchEngine:
         self._scalar_round_cap = scalar_round_cap
         self._faults = resolve_faults(faults)
         self._breakers = BreakerBoard(breaker, breaker_clock)
+        # Timed-out solves that are still running, per center (each center
+        # is handled by one thread per round, so no extra locking needed).
+        self._abandoned: Dict[str, List[Future]] = {}
         self._fault_tolerant = (
             solve_deadline_s is not None or self._faults is not None
         )
@@ -316,11 +330,9 @@ class DispatchEngine:
             avg_p = 0.0
             if snapshot.subproblems:
                 if self._fault_tolerant:
-                    solution, degraded = self._solve_fault_tolerant(
+                    solution, degraded, verified = self._solve_fault_tolerant(
                         snapshot, index, tracer
                     )
-                    # Every rung's output was verified before acceptance.
-                    verified = len(snapshot.subproblems)
                 else:
                     catalogs = {
                         sub.center.center_id: self._cache.get(
@@ -444,30 +456,55 @@ class DispatchEngine:
 
     def _solve_fault_tolerant(
         self, snapshot: WorldSnapshot, index: int, tracer: NullTracer
-    ) -> Tuple[InstanceSolution, Dict[str, str]]:
+    ) -> Tuple[InstanceSolution, Dict[str, str], int]:
         """Solve each center down the ladder; never raises.
 
         Seeds are derived exactly like :func:`repro.parallel.solve_instance`
         (``RngFactory(round_seed).seed_for(f"{name}:{center}")``), so a
         center whose primary rung succeeds is bit-identical to the legacy
-        path.
+        path.  Centers fan out across an ``n_jobs``-bounded thread pool
+        (the thread analogue of the legacy path's sharding — process pools
+        cannot carry the breaker/cache state); seeds are derived up front
+        and each center's walk is independent, so results are
+        bit-identical regardless of scheduling.
+
+        Returns ``(solution, center -> rung, centers actually verified)``.
         """
         round_rng = RngFactory(self.round_seed(index))
+        subs = snapshot.subproblems
+        seeds = {
+            sub.center.center_id: round_rng.seed_for(
+                f"{self._name}:{sub.center.center_id}"
+            )
+            for sub in subs
+        }
+
+        def solve(sub: SubProblem) -> Tuple[Assignment, str, bool]:
+            cid = sub.center.center_id
+            return self._solve_center(sub, snapshot, index, cid, seeds[cid], tracer)
+
+        if self._n_jobs > 1 and len(subs) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self._n_jobs, len(subs)),
+                thread_name_prefix="dispatch-center",
+            ) as pool:
+                outcomes = list(pool.map(solve, subs))
+        else:
+            outcomes = [solve(sub) for sub in subs]
+
         assignments: Dict[str, Assignment] = {}
         degraded: Dict[str, str] = {}
-        for sub in snapshot.subproblems:
+        verified = 0
+        for sub, (assignment, rung, checked) in zip(subs, outcomes):
             cid = sub.center.center_id
-            seed = round_rng.seed_for(f"{self._name}:{cid}")
-            assignment, rung = self._solve_center(
-                sub, snapshot, index, cid, seed, tracer
-            )
             assignments[cid] = assignment
             degraded[cid] = rung
+            verified += int(checked)
             if rung != "primary" and tracer.enabled:
                 tracer.event(
                     "service.degraded", round=index, center=cid, rung=rung
                 )
-        return InstanceSolution(assignments), degraded
+        return InstanceSolution(assignments), degraded, verified
 
     def _solve_center(
         self,
@@ -477,8 +514,15 @@ class DispatchEngine:
         cid: str,
         seed: int,
         tracer: NullTracer,
-    ) -> Tuple[Assignment, str]:
-        """One center's walk down the ladder; returns ``(assignment, rung)``."""
+    ) -> Tuple[Assignment, str, bool]:
+        """One center's walk down the ladder.
+
+        Returns ``(assignment, rung, verified)``; ``verified`` reports
+        whether the accepted assignment actually passed
+        :func:`~repro.verify.checkers.verify_assignment` (every rung,
+        including skip, currently does — the flag keeps the round's
+        ``verified_centers`` honest by construction).
+        """
         breaker = self._breakers.for_center(cid)
         start = 0
         if not breaker.allow_primary():
@@ -488,7 +532,7 @@ class DispatchEngine:
             rung_name, solver = self._ladder[rung_index]
             if rung_name == "skip":
                 METRICS.counter("dispatch.centers_skipped").add(1)
-                return self._skip_assignment(sub), rung_name
+                return self._skip_assignment(sub), rung_name, True
             attempts = 1 + (self._solve_retries if rung_name == "primary" else 0)
             for attempt in range(attempts):
                 if attempt:
@@ -518,7 +562,7 @@ class DispatchEngine:
                     continue
                 if rung_name == "primary":
                     breaker.record_success()
-                return assignment, rung_name
+                return assignment, rung_name, True
             if rung_name == "primary":
                 breaker.record_failure()
         raise AssertionError("degradation ladder must end with the skip rung")
@@ -576,6 +620,15 @@ class DispatchEngine:
         if deadline is None:
             assignment = run()
         else:
+            abandoned = self._abandoned.setdefault(cid, [])
+            abandoned[:] = [f for f in abandoned if not f.done()]
+            if len(abandoned) >= MAX_ABANDONED_SOLVES:
+                METRICS.counter("dispatch.hung_solve_rejections").add(1)
+                raise SolveTimeout(
+                    f"center {cid} still has {len(abandoned)} abandoned "
+                    f"solves running; refusing to start another "
+                    f"(rung {rung_index}, attempt {attempt})"
+                )
             pool = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix=f"solve-{cid}"
             )
@@ -584,13 +637,16 @@ class DispatchEngine:
                 try:
                     assignment = future.result(timeout=deadline)
                 except _FutureTimeout:
+                    # The timed-out solve finishes (and is discarded) in
+                    # the background; remember it so a persistently hung
+                    # solver cannot leak one thread per attempt forever.
+                    abandoned.append(future)
                     raise SolveTimeout(
                         f"center {cid} solve exceeded {deadline:g}s "
                         f"(rung {rung_index}, attempt {attempt})"
                     ) from None
             finally:
-                # A timed-out solve finishes (and is discarded) in the
-                # background; wait=False keeps the round's budget honest.
+                # wait=False keeps the round's budget honest.
                 pool.shutdown(wait=False)
         verify_assignment(assignment, sub=sub, solver=self._name)
         return assignment
@@ -604,10 +660,17 @@ class DispatchEngine:
         )
         time.sleep(self._backoff_base_s * (2 ** (attempt - 1)) * (0.5 + jitter))
 
-    @staticmethod
-    def _skip_assignment(sub: SubProblem) -> Assignment:
-        """Every worker on the null strategy: the ladder's last resort."""
-        return Assignment(tuple(WorkerAssignment(w) for w in sub.workers))
+    def _skip_assignment(self, sub: SubProblem) -> Assignment:
+        """Every worker on the null strategy: the ladder's last resort.
+
+        Verified like every other rung's output so ``verified_centers``
+        counts it truthfully; the null assignment is trivially disjoint
+        and within capacity, so the check cannot fail and the rung keeps
+        the ladder's never-raises contract.
+        """
+        assignment = Assignment(tuple(WorkerAssignment(w) for w in sub.workers))
+        verify_assignment(assignment, sub=sub, solver=self._name)
+        return assignment
 
     # -- internals ----------------------------------------------------------
 

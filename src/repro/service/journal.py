@@ -15,6 +15,11 @@ Record wire format (one per line)::
 The CRC covers the JSON bytes exactly, so a torn tail (partial final line
 after a crash) is detected and dropped; corruption *before* intact records
 raises :class:`JournalCorruption` because it cannot be a crash artefact.
+A recovery that resumes journaling first truncates the file back to the
+end of the last intact record (:meth:`WorldJournal.truncate_to`), so the
+next append starts a fresh line instead of concatenating onto torn bytes
+— without that, a second crash after a torn-tail recovery would leave the
+journal permanently unrecoverable.
 
 Record kinds::
 
@@ -208,21 +213,39 @@ class WorldJournal:
     # -- reading ------------------------------------------------------------
 
     @staticmethod
-    def read(path: PathLike) -> Tuple[List[JournalRecord], int]:
+    def read(path: PathLike) -> Tuple[List[JournalRecord], int, int]:
         """Decode the journal at ``path``, tolerating a torn tail.
 
-        Returns ``(records, torn_lines_dropped)``.  A decode failure is
-        only forgiven when *no intact record follows it* — i.e. it is the
-        crash-torn suffix; damage sandwiched between valid records raises
-        :class:`JournalCorruption`.
+        Returns ``(records, torn_lines_dropped, intact_end)``.  A decode
+        failure is only forgiven when *no intact record follows it* — i.e.
+        it is the crash-torn suffix; damage sandwiched between valid
+        records raises :class:`JournalCorruption`.  A final line without a
+        trailing newline is torn by definition even when its CRC
+        validates: :meth:`append` only acknowledges a record after writing
+        its newline, so such a line was never durable.
+
+        ``intact_end`` is the byte offset just past the last intact
+        record's newline (0 when there is none) — the offset a resuming
+        journal must truncate to (:meth:`truncate_to`) so its next append
+        starts on a fresh line instead of concatenating onto torn bytes.
         """
         target = Path(path)
-        if not target.exists():
-            return [], 0
-        lines = target.read_text(encoding="utf-8").split("\n")
+        try:
+            raw = target.read_bytes()
+        except FileNotFoundError:
+            return [], 0, 0
+        chunks = raw.split(b"\n")
+        # A file ending in "\n" leaves a trailing empty chunk; anything
+        # else in the final slot is an unterminated (torn) write.
+        terminated, tail = chunks[:-1], chunks[-1]
         records: List[JournalRecord] = []
         bad: List[Tuple[int, str]] = []
-        for lineno, line in enumerate(lines, start=1):
+        offset = 0
+        intact_end = 0
+        for lineno, chunk in enumerate(terminated, start=1):
+            line_end = offset + len(chunk) + 1
+            line = chunk.decode("utf-8", errors="replace")
+            offset = line_end
             if not line.strip():
                 continue
             try:
@@ -237,6 +260,36 @@ class WorldJournal:
                     f"intact records follow — not a torn tail"
                 )
             records.append(record)
+            intact_end = line_end
+        if tail.strip():
+            bad.append((len(terminated) + 1, "unterminated final line"))
         if bad:
             METRICS.counter("service.journal.torn_records_dropped").add(len(bad))
-        return records, len(bad)
+        return records, len(bad), intact_end
+
+    @staticmethod
+    def truncate_to(path: PathLike, offset: int) -> int:
+        """Physically drop the bytes past ``offset``; returns bytes removed.
+
+        Resuming appends to a journal whose last line is torn would
+        concatenate the next record onto the torn bytes, destroying that
+        record and making the *next* recovery raise
+        :class:`JournalCorruption` (damage followed by intact records).
+        Truncating to the ``intact_end`` reported by :meth:`read` before
+        resuming keeps a crash → recover → crash sequence recoverable.
+        The truncation is fsynced before returning.
+        """
+        target = Path(path)
+        try:
+            size = target.stat().st_size
+        except FileNotFoundError:
+            return 0
+        if size <= offset:
+            return 0
+        with target.open("rb+") as fh:
+            fh.truncate(offset)
+            fh.flush()
+            os.fsync(fh.fileno())
+        removed = size - offset
+        METRICS.counter("service.journal.torn_bytes_truncated").add(removed)
+        return removed

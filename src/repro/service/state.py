@@ -720,8 +720,10 @@ class WorldState:
         resume:
             Attach a :class:`WorldJournal` continuing at the next sequence
             number so the recovered world keeps journaling to ``path``.
+            Any crash-torn tail is physically truncated first, so the
+            resumed journal stays recoverable across further crashes.
         """
-        records, _torn = WorldJournal.read(path)
+        records, _torn, intact_end = WorldJournal.read(path)
         if not records:
             raise JournalCorruption(f"{path}: no intact journal records")
         genesis = records[0]
@@ -762,6 +764,11 @@ class WorldState:
             state._replay(record.kind, record.data)
             applied_seq = record.seq
         if resume:
+            # Physically drop any torn tail before appending again: the
+            # torn line has no newline, so an append would concatenate
+            # onto it and leave the journal unrecoverable after the next
+            # crash (damage followed by intact records).
+            WorldJournal.truncate_to(path, intact_end)
             state._journal = WorldJournal(
                 path,
                 fsync=fsync,

@@ -11,6 +11,7 @@ The ISSUE's robustness acceptance criteria live here:
   ``solve_deadline_s x ladder length x attempts x centers + epsilon``.
 """
 
+import threading
 import time
 
 import pytest
@@ -18,7 +19,11 @@ import pytest
 from repro.games.fgt import FGTSolver
 from repro.obs.metrics import METRICS
 from repro.service.breaker import BreakerConfig, OPEN
-from repro.service.engine import DispatchEngine, EngineDraining
+from repro.service.engine import (
+    MAX_ABANDONED_SOLVES,
+    DispatchEngine,
+    EngineDraining,
+)
 from repro.service.faults import FaultPlan
 
 from tests.service.conftest import make_world
@@ -74,6 +79,21 @@ class TestDifferentialNoFault:
             assert set(b.degraded.values()) <= {"primary"}
         assert legacy.state.fingerprint() == ft.state.fingerprint()
 
+    def test_ft_thread_fanout_matches_serial(self):
+        # The fault-tolerant path honours n_jobs by fanning centers out
+        # across a thread pool; seeds are derived per center up front, so
+        # the result is bit-identical to the serial walk.
+        serial = _engine(seed=11, solve_deadline_s=60.0)
+        threaded = _engine(seed=11, solve_deadline_s=60.0, n_jobs=4)
+        for _ in range(2):
+            a = serial.dispatch(advance_hours=0.05)
+            b = threaded.dispatch(advance_hours=0.05)
+            assert a.assignments == b.assignments
+            assert a.payoffs == b.payoffs
+            assert a.degraded == b.degraded
+            assert a.verified_centers == b.verified_centers
+        assert serial.state.fingerprint() == threaded.state.fingerprint()
+
     def test_inactive_fault_plan_is_still_bit_identical(self):
         legacy = _engine(seed=11)
         ft = _engine(seed=11, faults=FaultPlan(seed=1))  # all rates zero
@@ -97,6 +117,9 @@ class TestDegradationLadder:
         # Every rung raises in round 0, so every center lands on skip.
         assert set(chaotic.degraded.values()) == {"skip"}
         assert chaotic.assigned_tasks == 0
+        # The skip assignment is verified like every other rung's output,
+        # so the verified count stays honest even on an all-skip round.
+        assert chaotic.verified_centers == len(chaotic.center_ids)
         _assert_round_valid(chaotic)
         # Round 1 is past max_round: faults stop, the engine recovers and
         # the carried-over tasks get assigned by the primary solver.
@@ -189,6 +212,40 @@ class TestDeadlines:
         bound = deadline * ladder * (1 + retries) * centers + 1.0
         assert elapsed <= bound, f"round took {elapsed:.2f}s > bound {bound:.2f}s"
         assert METRICS.counter("dispatch.solve_timeouts").value > 0
+        _assert_round_valid(result)
+
+    def test_abandoned_hung_solves_are_capped(self):
+        # A timed-out solve cannot be killed, only detached.  A solver
+        # that hangs on every attempt may leak at most
+        # MAX_ABANDONED_SOLVES threads per center; attempts past the cap
+        # fail fast (no new thread) and the ladder degrades to skip.
+        deadline = 0.05
+        engine = _engine(
+            seed=11,
+            solve_deadline_s=deadline,
+            solve_retries=6,
+            backoff_base_s=0.0,
+            faults=FaultPlan(seed=3, delay_rate=1.0, delay_s=1.0),
+        )
+        rejections = METRICS.counter("dispatch.hung_solve_rejections").value
+        threads_before = threading.active_count()
+        start = time.perf_counter()
+        result = engine.dispatch()
+        elapsed = time.perf_counter() - start
+        assert set(result.degraded.values()) == {"skip"}
+        assert (
+            METRICS.counter("dispatch.hung_solve_rejections").value > rejections
+        )
+        # At most the cap's worth of detached solver threads per center —
+        # not one per attempt (7 primary attempts alone would exceed it).
+        centers = len(result.center_ids)
+        assert (
+            threading.active_count() - threads_before
+            <= MAX_ABANDONED_SOLVES * centers
+        )
+        # Rejected attempts cost no deadline wait, so the round stays far
+        # under the one-timeout-per-attempt worst case.
+        assert elapsed <= MAX_ABANDONED_SOLVES * deadline * centers + 1.0
         _assert_round_valid(result)
 
     def test_generous_deadline_changes_nothing(self):

@@ -133,6 +133,56 @@ class TestRetries:
             starter.join(timeout=5.0)
             server.stop()
 
+    def test_dispatch_is_not_retried_by_default(self):
+        # POST /dispatch is not idempotent: a request that dies mid-solve
+        # may still commit, so a retry would launch a second round.  A
+        # connection failure must surface after ONE attempt unless the
+        # caller opts in with retry=True.
+        client = DispatchClient(
+            "http://127.0.0.1:9", timeout=0.5, retries=3, backoff_s=0.0
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.dispatch()
+        assert "after 1 attempt(s)" in str(excinfo.value)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.dispatch(retry=True)
+        assert "after 4 attempt(s)" in str(excinfo.value)
+
+    def test_submit_posts_are_retried_because_server_dedupes(self):
+        # The submit endpoints reject duplicate ids server-side, so the
+        # client may safely retry them on connection failures.
+        client = DispatchClient(
+            "http://127.0.0.1:9", timeout=0.5, retries=2, backoff_s=0.0
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.submit_tasks([])
+        assert "after 3 attempt(s)" in str(excinfo.value)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.submit_workers([])
+        assert "after 3 attempt(s)" in str(excinfo.value)
+
+    def test_replayed_submit_batch_is_not_applied_twice(self):
+        # The server-side dedupe the retry policy leans on: resubmitting
+        # an identical batch rejects every item instead of re-applying it.
+        engine = DispatchEngine(
+            make_world(with_tasks=False), FGTSolver(epsilon=0.8), epsilon=0.8, seed=4
+        )
+        dp_ids = [
+            dp.dp_id
+            for center in engine.state.centers
+            for dp in center.delivery_points
+        ]
+        batch = LoadGenerator(dp_ids, seed=7).tasks(5)
+        with DispatchServer(engine, port=0) as server:
+            client = DispatchClient(server.url, timeout=5.0)
+            client.wait_healthy(timeout=5.0)
+            first = client.submit_tasks(batch)
+            replay = client.submit_tasks(batch)
+        assert len(first["accepted"]) == 5
+        assert replay["accepted"] == []
+        assert len(replay["rejected"]) == 5
+        assert engine.state.pending_task_count == 5
+
     def test_http_errors_are_not_retried(self):
         engine = DispatchEngine(
             make_world(), FGTSolver(epsilon=0.8), epsilon=0.8, seed=4

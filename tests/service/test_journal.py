@@ -47,8 +47,9 @@ class TestWireFormat:
         with WorldJournal(path) as journal:
             journal.append("genesis", {"a": 1})
             journal.append("tasks", {"ids": ["t1", "t2"]})
-        records, torn = WorldJournal.read(path)
+        records, torn, intact_end = WorldJournal.read(path)
         assert torn == 0
+        assert intact_end == path.stat().st_size
         assert records == [
             JournalRecord(0, "genesis", {"a": 1}),
             JournalRecord(1, "tasks", {"ids": ["t1", "t2"]}),
@@ -73,9 +74,41 @@ class TestWireFormat:
             journal.append("genesis", {})
             journal.append("advance", {"hours": 1.0})
         tear_journal_tail(path)
-        records, torn = WorldJournal.read(path)
+        records, torn, _ = WorldJournal.read(path)
         assert torn == 1
         assert [r.kind for r in records] == ["genesis"]
+
+    def test_intact_end_truncation_removes_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with WorldJournal(path) as journal:
+            journal.append("genesis", {})
+            journal.append("advance", {"hours": 1.0})
+        tear_journal_tail(path)
+        _, torn, intact_end = WorldJournal.read(path)
+        assert torn == 1
+        assert WorldJournal.truncate_to(path, intact_end) > 0
+        # The truncated journal ends cleanly at the last intact record.
+        records, torn, end_after = WorldJournal.read(path)
+        assert torn == 0
+        assert [r.kind for r in records] == ["genesis"]
+        assert end_after == intact_end == path.stat().st_size
+        assert WorldJournal.truncate_to(path, intact_end) == 0  # idempotent
+
+    def test_unterminated_crc_valid_tail_is_torn(self, tmp_path):
+        # A final line whose CRC validates but that lacks its newline was
+        # never acknowledged durable (append writes the newline before
+        # returning), and a resumed append would concatenate onto it — it
+        # must be dropped as torn, not trusted as intact.
+        path = tmp_path / "j.jsonl"
+        with WorldJournal(path) as journal:
+            journal.append("genesis", {})
+            journal.append("advance", {"hours": 1.0})
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-1])  # strip only the trailing newline
+        records, torn, intact_end = WorldJournal.read(path)
+        assert torn == 1
+        assert [r.kind for r in records] == ["genesis"]
+        assert intact_end < path.stat().st_size
 
     def test_forged_crc_on_middle_record_is_corruption(self, tmp_path):
         path = tmp_path / "j.jsonl"
@@ -99,7 +132,7 @@ class TestWireFormat:
         journal.append("genesis", {})
         journal.append("advance", {"hours": 1.0})
         journal.rewrite([("genesis", {}), ("checkpoint", {"now": 1.0})])
-        records, _ = WorldJournal.read(path)
+        records, _, _ = WorldJournal.read(path)
         assert [r.seq for r in records] == [0, 1]
         assert journal.next_seq == 2
         journal.close()
@@ -175,7 +208,7 @@ class TestWorldStateDurability:
         assert recovered.fingerprint() == state.fingerprint()
         assert recovered.version == state.version
         # The compacted journal is exactly genesis + checkpoint.
-        records, torn = WorldJournal.read(path)
+        records, torn, _ = WorldJournal.read(path)
         assert torn == 0
         assert [r.kind for r in records] == ["genesis", "checkpoint"]
 
@@ -187,6 +220,38 @@ class TestWorldStateDurability:
         state.advance(0.1)
         recovered = WorldState.recover(path, resume=False)
         assert recovered.fingerprint() == state.fingerprint()
+
+    def test_recover_resume_after_tear_stays_recoverable(self, tmp_path):
+        # REGRESSION: recover(resume=True) used to leave the torn tail in
+        # place; the torn line has no newline, so the first post-recovery
+        # append concatenated onto it and the *next* recovery raised
+        # JournalCorruption (damage followed by intact records).
+        path = tmp_path / "world.jsonl"
+        state = _journaled_world(path)
+        state.add_tasks(seed_tasks())
+        state.advance(0.5)  # the record the tear will destroy
+        tear_journal_tail(path)
+        recovered = WorldState.recover(path)  # resume=True
+        recovered.advance(0.25)  # first append after the torn-tail recovery
+        recovered.add_tasks([task("late", "a1", 2.0)])
+        second = WorldState.recover(path, resume=False)
+        assert second.fingerprint() == recovered.fingerprint()
+        assert second.now == recovered.now
+
+    def test_recover_resume_survives_repeated_crashes(self, tmp_path):
+        # Crash -> recover -> crash again: every cycle must stay
+        # recoverable, losing only each cycle's torn record.
+        path = tmp_path / "world.jsonl"
+        state = _journaled_world(path)
+        state.add_tasks(seed_tasks())
+        for _ in range(3):
+            state.advance(0.5)
+            tear_journal_tail(path)
+            state = WorldState.recover(path)
+            state.advance(0.1)
+        final = WorldState.recover(path, resume=False)
+        assert final.fingerprint() == state.fingerprint()
+        assert final.now == state.now
 
     def test_resumed_journal_continues_recoverably(self, tmp_path):
         path = tmp_path / "world.jsonl"
