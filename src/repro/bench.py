@@ -14,6 +14,12 @@ and vectorized solves produced the same routes, payoffs, Equation 2
 ``P_dif``, and round counts.  A bench whose ``identical`` flags are not all
 true is reporting a correctness bug, not a performance number.
 
+The ``catalog_delta`` section (schema 2) tracks the incremental-catalog
+layer the same way: single-point churn steps are timed as
+:class:`~repro.vdps.delta.DeltaCatalog` refreshes against full
+``build_catalog`` rebuilds of the largest center, with every step's output
+checked for exact equality via :func:`~repro.vdps.delta.catalog_diff`.
+
 Shapes are pinned here (not derived from the experiment grids) so the
 numbers stay comparable across PRs:
 
@@ -24,18 +30,23 @@ numbers stay comparable across PRs:
 
 from __future__ import annotations
 
+import copy
 import json
+import random
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.entities import DistributionCenter, SpatialTask
+from repro.core.instance import SubProblem
 from repro.datasets.gmission import GMissionConfig, generate_gmission_like
 from repro.games.fgt import FGTSolver
 from repro.games.iegt import IEGTSolver
 from repro.obs.metrics import METRICS
 from repro.utils.rng import RngFactory
 from repro.vdps.catalog import VDPSCatalog, build_catalog
+from repro.vdps.delta import DeltaCatalog, catalog_diff
 
 
 @dataclass(frozen=True)
@@ -129,6 +140,124 @@ def _timed_engine_phase(
     return phase
 
 
+def _churn_steps(
+    sub: SubProblem, seed: int
+) -> Iterator[Tuple[str, SubProblem]]:
+    """Four seeded single-point churn steps over ``sub``'s center.
+
+    One delivery point changes per step — the live service's common case —
+    covering the delta layer's main operations: a task arriving at a point,
+    a deadline moving, a task leaving (possibly emptying the point), and
+    the same task id returning with a different deadline.  Steps chain:
+    each yielded sub-problem includes all previous churn.
+    """
+    rng = random.Random(seed)
+    points = {dp.dp_id: dp for dp in sub.center.delivery_points}
+
+    def emit(op: str) -> Tuple[str, SubProblem]:
+        center = DistributionCenter(
+            sub.center.center_id, sub.center.location, tuple(points.values())
+        )
+        return op, SubProblem(center, sub.workers, sub.travel)
+
+    with_tasks = sorted(p for p, dp in points.items() if dp.tasks)
+    target = rng.choice(with_tasks) if with_tasks else sorted(points)[0]
+
+    dp = points[target]
+    arrival = SpatialTask("bench_arrival", target, 1.5 + rng.random())
+    points[target] = dp.with_tasks(dp.tasks + (arrival,))
+    yield emit("task_arrival")
+
+    dp = points[target]
+    moved = SpatialTask(
+        dp.tasks[0].task_id, target, dp.tasks[0].expiry * 0.5, dp.tasks[0].reward
+    )
+    points[target] = dp.with_tasks((moved,) + dp.tasks[1:])
+    yield emit("deadline_change")
+
+    dp = points[target]
+    departed = dp.tasks[0]
+    points[target] = dp.with_tasks(dp.tasks[1:])
+    yield emit("task_expiry")
+
+    dp = points[target]
+    returned = SpatialTask(
+        departed.task_id, target, departed.expiry + 0.75, departed.reward
+    )
+    points[target] = dp.with_tasks(dp.tasks + (returned,))
+    yield emit("task_return")
+
+
+def _catalog_delta_phase(
+    subs, epsilon: float, seed: int, repeats: int
+) -> Dict[str, object]:
+    """Time single-point delta refreshes against full center rebuilds.
+
+    Runs on the largest center (where a rebuild hurts most).  Each churn
+    step times ``DeltaCatalog.refresh`` best-of-``repeats`` — on a pristine
+    deep copy per repeat, since a refresh mutates the catalog in place and
+    a second identical refresh would be a no-op — against a from-scratch
+    ``build_catalog`` of the same sub-problem, and checks the two outputs
+    for exact equality with :func:`catalog_diff`.  Like the engine phases,
+    a report whose ``identical`` flag is false is a correctness bug, not a
+    performance number.
+    """
+    sub = max(subs, key=lambda s: len(s.center.delivery_points))
+    before = METRICS.snapshot()
+    start = time.perf_counter()
+    delta = DeltaCatalog(sub, epsilon=epsilon)
+    initial_seconds = time.perf_counter() - start
+
+    steps: List[Dict[str, object]] = []
+    total_delta = 0.0
+    total_rebuild = 0.0
+    identical = True
+    for op, churned in _churn_steps(sub, seed):
+        best_delta = None
+        catalog = None
+        for _ in range(repeats):
+            work = copy.deepcopy(delta)  # pristine pre-step state, untimed
+            t0 = time.perf_counter()
+            catalog = work.refresh(churned)
+            elapsed = time.perf_counter() - t0
+            best_delta = elapsed if best_delta is None else min(best_delta, elapsed)
+        best_rebuild = None
+        rebuilt = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            rebuilt = build_catalog(churned, epsilon=epsilon)
+            elapsed = time.perf_counter() - t0
+            best_rebuild = (
+                elapsed if best_rebuild is None else min(best_rebuild, elapsed)
+            )
+        step_identical = not catalog_diff(catalog, rebuilt)
+        identical = identical and step_identical
+        total_delta += best_delta
+        total_rebuild += best_rebuild
+        steps.append(
+            {
+                "op": op,
+                "delta_seconds": best_delta,
+                "rebuild_seconds": best_rebuild,
+                "speedup": (best_rebuild / best_delta) if best_delta > 0 else None,
+                "identical": step_identical,
+            }
+        )
+        delta.refresh(churned)  # advance the live catalog to this step
+
+    return {
+        "center": sub.center.center_id,
+        "delivery_points": len(sub.center.delivery_points),
+        "initial_build_seconds": initial_seconds,
+        "steps": steps,
+        "delta_seconds": total_delta,
+        "rebuild_seconds": total_rebuild,
+        "speedup": (total_rebuild / total_delta) if total_delta > 0 else None,
+        "identical": identical,
+        "metrics": METRICS.delta(before),
+    }
+
+
 def run_bench(
     scale: str = "medium",
     seed: int = 0,
@@ -163,7 +292,7 @@ def run_bench(
     catalog_metrics = METRICS.delta(before)
 
     report: Dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
@@ -189,6 +318,7 @@ def run_bench(
             seed,
             repeats,
         ),
+        "catalog_delta": _catalog_delta_phase(subs, shape.epsilon, seed, repeats),
     }
     if output is not None:
         output = Path(output)
@@ -214,5 +344,13 @@ def format_report(report: Dict[str, object]) -> str:
             f"vectorized={data['vectorized_seconds']:.3f}s "
             f"speedup={data['speedup']:.1f}x "
             f"identical={data['identical']} rounds={data['rounds']}"
+        )
+    delta = report.get("catalog_delta")
+    if delta is not None:
+        lines.append(
+            f"catalog delta    : refresh={delta['delta_seconds']:.4f}s "
+            f"rebuild={delta['rebuild_seconds']:.3f}s "
+            f"speedup={delta['speedup']:.1f}x "
+            f"identical={delta['identical']} steps={len(delta['steps'])}"
         )
     return "\n".join(lines)

@@ -288,6 +288,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="chaos-injection spec, e.g. 'seed=7,error_rate=0.2' "
         "(same syntax as the REPRO_FAULTS env var; testing only)",
     )
+    srv.add_argument(
+        "--catalog-store",
+        type=Path,
+        default=None,
+        help="directory for persistent catalog warm-starts: drained "
+        "shutdowns save each center's incremental catalog there and the "
+        "next start refreshes it instead of paying cold C-VDPS builds",
+    )
+    srv.add_argument(
+        "--no-delta-catalog",
+        action="store_true",
+        help="rebuild catalogs from scratch on every cache miss instead "
+        "of applying incremental churn deltas (docs/performance.md)",
+    )
     return parser
 
 
@@ -583,6 +597,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if not report["catalog_delta"]["identical"]:
+        print(
+            "ERROR: incremental catalog refresh diverged from a full "
+            "rebuild — the bench is reporting a correctness bug, not a "
+            "performance number",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -598,6 +620,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         WorldJournal,
         WorldState,
     )
+    from repro.vdps.store import CatalogStore
 
     recovered = False
     if args.journal is not None and args.journal.exists():
@@ -658,6 +681,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cooldown_s=args.breaker_cooldown_s,
         ),
         faults=None if args.faults is None else FaultPlan.from_spec(args.faults),
+        delta_catalog=not args.no_delta_catalog,
+        catalog_store=(
+            None
+            if args.catalog_store is None or args.no_delta_catalog
+            else CatalogStore(args.catalog_store)
+        ),
     )
     server = DispatchServer(engine, host=args.host, port=args.port)
     if args.port_file is not None:

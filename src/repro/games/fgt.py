@@ -51,7 +51,12 @@ class FGTSolver:
         and exceeding it is reported via ``GameResult.converged``.
     tol:
         A switch requires at least this much IAU improvement, which keeps
-        floating-point noise from producing livelock.
+        floating-point noise from producing livelock.  Exact-utility ties
+        among the accepted best candidates are broken by a seeded uniform
+        draw (not first-in-catalog order, which would systematically
+        favour the same point sets); both engines draw identically, so the
+        solve stays deterministic per seed and bit-identical across
+        engines.
     epsilon:
         Distance-constrained pruning threshold for VDPS generation when the
         solver builds the catalog itself; ``None`` disables pruning.
@@ -188,12 +193,13 @@ class FGTSolver:
             for rounds in range(1, self.max_rounds + 1):
                 if vectorized:
                     switches = self._best_response_round_vectorized(
-                        state, model, trace, scales, verifier, rounds, tracer,
-                        batch_stats,
+                        state, model, trace, scales, rng, verifier, rounds,
+                        tracer, batch_stats,
                     )
                 else:
                     switches = self._best_response_round(
-                        state, model, trace, scales, verifier, rounds, tracer
+                        state, model, trace, scales, rng, verifier, rounds,
+                        tracer,
                     )
                 total_switches += switches
                 payoffs = state.payoffs()
@@ -264,15 +270,23 @@ class FGTSolver:
         model: InequityAversion,
         trace: ConvergenceTrace,
         scales: np.ndarray,
+        rng,
         verifier: NullVerifier = NULL_VERIFIER,
         round_index: int = 0,
         tracer: NullTracer = NULL_TRACER,
     ) -> int:
         """One pass of sequential asynchronous best responses; returns switches.
 
-        This is the scalar reference implementation (``engine="scalar"``):
-        the vectorized engine must stay bit-identical to it, so its body is
-        deliberately left untouched.
+        This is the scalar reference implementation (``engine="scalar"``);
+        the vectorized engine must stay bit-identical to it, including the
+        seeded tie-break.  When several available strategies share the
+        accepted best utility *exactly*, one is drawn uniformly from
+        ``rng`` instead of keeping the first in catalog order — the
+        catalog lists VDPSs in a fixed canonical order, so first-wins
+        would systematically favour the same point sets across rounds and
+        workers.  Tied strategies have equal utility by definition, so the
+        draw never changes the switch decision or the potential, only
+        *which* equally-good VDPS the worker claims.
         """
         switches = 0
         payoffs = state.payoffs()
@@ -283,10 +297,19 @@ class FGTSolver:
             current = state.strategy_of(wid)
             best_strategy = NULL_STRATEGY
             best_utility = evaluator.utility(NULL_STRATEGY.payoff)
-            for strategy in state.available_strategies(wid):
+            available = list(state.available_strategies(wid))
+            utilities = []
+            accepted_any = False
+            for strategy in available:
                 u = evaluator.utility(strategy.payoff * scales[idx])
+                utilities.append(u)
                 if u > best_utility + self.tol:
                     best_strategy, best_utility = strategy, u
+                    accepted_any = True
+            if accepted_any:
+                ties = [i for i, u in enumerate(utilities) if u == best_utility]
+                if len(ties) > 1:
+                    best_strategy = available[ties[int(rng.integers(len(ties)))]]
             current_utility = evaluator.utility(current.payoff * scales[idx])
             switched = 0
             if best_utility > current_utility + self.tol:
@@ -319,6 +342,7 @@ class FGTSolver:
         model: InequityAversion,
         trace: ConvergenceTrace,
         scales: np.ndarray,
+        rng,
         verifier: NullVerifier,
         round_index: int,
         tracer: NullTracer,
@@ -335,7 +359,10 @@ class FGTSolver:
         copies into a reusable buffer) instead of being rebuilt with
         ``payoffs * scales`` + ``np.delete`` for every worker.  The winning
         candidate is chosen by :func:`sequential_best`, which replays the
-        scalar loop's tol-thresholded accept scan exactly.
+        scalar loop's tol-thresholded accept scan exactly; exact-utility
+        ties are then broken by the same seeded draw as the scalar loop
+        (the batched utilities are bit-equal per element, so tie sets —
+        and hence the two engines' rng streams — coincide).
         """
         switches = 0
         payoffs = state.payoffs()
@@ -361,8 +388,11 @@ class FGTSolver:
                 utilities = evaluator.utilities(candidates)
                 pos, accepted = sequential_best(utilities, best_utility, self.tol)
                 if pos >= 0:
-                    best_strategy = catalog.strategies(wid)[int(available[pos])]
                     best_utility = accepted
+                    ties = np.flatnonzero(utilities == accepted)
+                    if ties.size > 1:
+                        pos = int(ties[int(rng.integers(ties.size))])
+                    best_strategy = catalog.strategies(wid)[int(available[pos])]
             current_utility = evaluator.utility(current.payoff * scales[idx])
             switched = 0
             if best_utility > current_utility + self.tol:

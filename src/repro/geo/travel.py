@@ -57,6 +57,11 @@ class TravelModel:
         """Travel time from ``a`` to ``b`` in hours (the paper's ``c(a, b)``)."""
         return self.distance(a, b) / self.speed_kmh
 
+    @property
+    def distance_fn(self) -> DistanceFn:
+        """The resolved metric callable (used for structural comparisons)."""
+        return self._distance_fn
+
     def with_speed(self, speed_kmh: float) -> "TravelModel":
         """A model with the same metric but a different speed.
 

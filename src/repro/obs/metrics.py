@@ -285,6 +285,43 @@ class MetricsRegistry:
 #: The process-wide registry every instrumented component records into.
 METRICS = MetricsRegistry()
 
+#: The incremental-catalog metric surface (:mod:`repro.vdps.delta` and the
+#: service cache/store).  All counters except the final timer histogram:
+#:
+#: * ``catalog.delta_applies`` / ``catalog.delta_noops`` — refreshes served
+#:   by state surgery vs. recognised as no-change.
+#: * ``catalog.delta_fallbacks`` — refreshes that fell back to a rebuild
+#:   (churn above ``rebuild_fraction`` or a structural change).
+#: * ``catalog.delta_rebuilds`` — full builds, including ``__init__`` and
+#:   every fallback.
+#: * ``catalog.delta_points_added`` / ``catalog.delta_points_removed`` —
+#:   delivery-point churn applied as deltas (a changed point counts once in
+#:   each).
+#: * ``catalog.delta_entries_added`` / ``catalog.delta_entries_removed`` —
+#:   C-VDPS entry movement those point deltas caused.
+#: * ``catalog.delta_workers_revalidated`` — workers whose own content
+#:   changed and were re-validated against the full entry table (untouched
+#:   workers get patched incrementally).
+#: * ``catalog.delta_store_saves`` / ``catalog.delta_store_loads`` /
+#:   ``catalog.delta_store_errors`` — persistent-store traffic.
+#: * ``catalog.delta_refresh_seconds`` — histogram of refresh wall-clock
+#:   (both the delta and the fallback path).
+CATALOG_DELTA_METRICS = (
+    "catalog.delta_applies",
+    "catalog.delta_noops",
+    "catalog.delta_fallbacks",
+    "catalog.delta_rebuilds",
+    "catalog.delta_points_added",
+    "catalog.delta_points_removed",
+    "catalog.delta_entries_added",
+    "catalog.delta_entries_removed",
+    "catalog.delta_workers_revalidated",
+    "catalog.delta_store_saves",
+    "catalog.delta_store_loads",
+    "catalog.delta_store_errors",
+    "catalog.delta_refresh_seconds",
+)
+
 
 def metrics_registry() -> MetricsRegistry:
     """The process-wide :class:`MetricsRegistry` singleton."""

@@ -60,6 +60,7 @@ from repro.obs.tracer import NullTracer, resolve_tracer
 from repro.parallel import InstanceSolution, solve_instance, solve_subproblem
 from repro.service.breaker import BreakerBoard, BreakerConfig
 from repro.service.cache import SnapshotCatalogCache
+from repro.vdps.store import CatalogStore
 from repro.service.faults import FaultPlan, InjectedFault, resolve_faults
 from repro.service.state import WorldSnapshot, WorldState
 from repro.utils.rng import RngFactory, SeedLike
@@ -182,6 +183,15 @@ class DispatchEngine:
     faults:
         Deterministic chaos plan; ``None`` falls back to the
         ``REPRO_FAULTS`` environment variable.
+    delta_catalog:
+        Serve catalog-cache misses by incremental
+        :class:`~repro.vdps.delta.DeltaCatalog` refresh (bit-identical to
+        a rebuild, proven by the differential suites) instead of a cold
+        build.  ``False`` restores the rebuild-per-miss behaviour.
+    catalog_store:
+        Optional :class:`~repro.vdps.store.CatalogStore` for warm
+        restarts: consulted on each center's first cache miss, written by
+        :meth:`drain`.  Requires ``delta_catalog``.
     """
 
     def __init__(
@@ -201,6 +211,8 @@ class DispatchEngine:
         breaker: Optional[BreakerConfig] = None,
         breaker_clock=time.monotonic,
         faults: Optional[FaultPlan] = None,
+        delta_catalog: bool = True,
+        catalog_store: Optional[CatalogStore] = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -224,7 +236,9 @@ class DispatchEngine:
         self._verify = verify
         self._trace = trace
         self._rng = RngFactory(seed)
-        self._cache = SnapshotCatalogCache()
+        self._cache = SnapshotCatalogCache(
+            delta=delta_catalog, store=catalog_store
+        )
         self._dispatch_lock = threading.Lock()
         self._round = 0
         self._history: List[RoundResult] = []
@@ -405,9 +419,15 @@ class DispatchEngine:
         self._draining = True
 
     def drain(self) -> None:
-        """Block until any in-flight dispatch round has finished."""
+        """Block until any in-flight dispatch round has finished.
+
+        With a catalog store configured, the quiesced engine then persists
+        every live delta catalog so the next process warm-starts from disk
+        instead of paying cold C-VDPS builds.
+        """
         with self._dispatch_lock:
             pass
+        self._cache.persist()
 
     # -- the degradation ladder ---------------------------------------------
 

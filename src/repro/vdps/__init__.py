@@ -13,7 +13,11 @@ from repro.vdps.catalog import (
     WorkerIndex,
     WorkerStrategy,
     build_catalog,
+    validate_entry,
+    worker_offset_factor,
 )
+from repro.vdps.delta import DeltaCatalog, catalog_diff
+from repro.vdps.store import CatalogStore
 
 __all__ = [
     "CVdpsEntry",
@@ -25,5 +29,10 @@ __all__ = [
     "CatalogIndex",
     "WorkerIndex",
     "build_catalog",
+    "validate_entry",
+    "worker_offset_factor",
+    "DeltaCatalog",
+    "catalog_diff",
+    "CatalogStore",
     "NULL_STRATEGY_ID",
 ]

@@ -303,6 +303,99 @@ def build_catalog(
     return catalog
 
 
+def worker_offset_factor(
+    worker: Worker, travel_model, center_location
+) -> Tuple[float, float]:
+    """The worker's start-time ``(offset, speed factor)`` pair.
+
+    Workers with an individual speed (future-work extension) traverse the
+    same distances in scaled time: center-relative arrival times stretch by
+    ``factor = shared_speed / worker_speed``.  Only these two numbers (plus
+    ``max_delivery_points``) feed per-worker validation, so the delta layer
+    revalidates a worker exactly when one of them changed.
+    """
+    if worker.speed_kmh is None or worker.speed_kmh == travel_model.speed_kmh:
+        factor = 1.0
+    else:
+        factor = travel_model.speed_kmh / worker.speed_kmh
+    offset = travel_model.time(worker.location, center_location) * factor
+    return offset, factor
+
+
+def validate_entry(
+    entry: CVdpsEntry,
+    worker: Worker,
+    offset: float,
+    factor: float,
+    travel_model,
+    center_location,
+    strict_revalidation: bool = False,
+) -> Optional[WorkerStrategy]:
+    """Section IV validation of one C-VDPS for one worker.
+
+    Returns the worker's :class:`WorkerStrategy` for ``entry``, or ``None``
+    when the set is infeasible (deadline miss after the start offset) or
+    degenerate (non-positive completion time, non-finite payoff).  Shared
+    verbatim by the full catalog build and :mod:`repro.vdps.delta`, which is
+    what makes an incrementally revalidated strategy bit-identical to the
+    rebuilt one.
+    """
+    if entry.size > worker.max_delivery_points:
+        return None
+    if factor == 1.0:
+        base = entry.route
+    elif any(dp.service_hours for dp in entry.route.sequence):
+        # Service time does not scale with travel speed, so the
+        # arrival times must be recomputed rather than scaled.
+        worker_travel = travel_model.with_speed(worker.speed_kmh)
+        base = Route(
+            entry.route.sequence,
+            tuple(
+                arrival_times(center_location, entry.route.sequence, worker_travel)
+            ),
+        )
+    else:
+        base = entry.route.scaled(factor)
+    if base.is_valid_with_offset(offset):
+        route = base.shifted(offset)
+    elif strict_revalidation:
+        worker_travel = (
+            travel_model if factor == 1.0 else travel_model.with_speed(worker.speed_kmh)
+        )
+        route = best_route(
+            center_location,
+            entry.route.sequence,
+            worker_travel,
+            start_offset=offset,
+        )
+        if route is None:
+            return None
+    else:
+        return None
+    if route.completion_time <= 0:
+        # Degenerate geometry: delivery point co-located with both
+        # center and worker.  Equation 1's payoff is undefined
+        # (reward at zero cost), so the strategy is excluded.
+        return None
+    payoff = worker_payoff(route)
+    if not math.isfinite(payoff):
+        # Subnormal travel times can overflow the ratio to inf;
+        # such strategies are as degenerate as zero-cost ones.
+        return None
+    return WorkerStrategy(entry.point_ids, route, payoff)
+
+
+def strategy_sort_key(strategy: WorkerStrategy):
+    """The canonical catalog ordering: best payoff first, ties by point ids.
+
+    Unique per worker (one strategy per subset), hence a total order — any
+    collection of validated strategies sorts to the same tuple regardless
+    of how it was accumulated, which is what lets the incremental catalog
+    (:mod:`repro.vdps.delta`) erase its insertion history.
+    """
+    return (-strategy.payoff, tuple(sorted(strategy.point_ids)))
+
+
 def _build_catalog(
     sub: SubProblem,
     epsilon: Optional[float],
@@ -318,63 +411,20 @@ def _build_catalog(
 
     strategies: Dict[str, Tuple[WorkerStrategy, ...]] = {}
     for worker in workers:
-        # Workers with an individual speed (future-work extension) traverse
-        # the same distances in scaled time: center-relative arrival times
-        # stretch by factor = shared_speed / worker_speed.
-        if worker.speed_kmh is None or worker.speed_kmh == travel_model.speed_kmh:
-            factor = 1.0
-        else:
-            factor = travel_model.speed_kmh / worker.speed_kmh
-        offset = travel_model.time(worker.location, sub.center.location) * factor
+        offset, factor = worker_offset_factor(worker, travel_model, sub.center.location)
         found: List[WorkerStrategy] = []
         for entry in cvdps:
-            if entry.size > worker.max_delivery_points:
-                continue
-            if factor == 1.0:
-                base = entry.route
-            elif any(dp.service_hours for dp in entry.route.sequence):
-                # Service time does not scale with travel speed, so the
-                # arrival times must be recomputed rather than scaled.
-                worker_travel = travel_model.with_speed(worker.speed_kmh)
-                base = Route(
-                    entry.route.sequence,
-                    tuple(
-                        arrival_times(
-                            sub.center.location, entry.route.sequence, worker_travel
-                        )
-                    ),
-                )
-            else:
-                base = entry.route.scaled(factor)
-            if base.is_valid_with_offset(offset):
-                route = base.shifted(offset)
-            elif strict_revalidation:
-                worker_travel = (
-                    travel_model
-                    if factor == 1.0
-                    else travel_model.with_speed(worker.speed_kmh)
-                )
-                route = best_route(
-                    sub.center.location,
-                    entry.route.sequence,
-                    worker_travel,
-                    start_offset=offset,
-                )
-                if route is None:
-                    continue
-            else:
-                continue
-            if route.completion_time <= 0:
-                # Degenerate geometry: delivery point co-located with both
-                # center and worker.  Equation 1's payoff is undefined
-                # (reward at zero cost), so the strategy is excluded.
-                continue
-            payoff = worker_payoff(route)
-            if not math.isfinite(payoff):
-                # Subnormal travel times can overflow the ratio to inf;
-                # such strategies are as degenerate as zero-cost ones.
-                continue
-            found.append(WorkerStrategy(entry.point_ids, route, payoff))
-        found.sort(key=lambda s: (-s.payoff, tuple(sorted(s.point_ids))))
+            strategy = validate_entry(
+                entry,
+                worker,
+                offset,
+                factor,
+                travel_model,
+                sub.center.location,
+                strict_revalidation,
+            )
+            if strategy is not None:
+                found.append(strategy)
+        found.sort(key=strategy_sort_key)
         strategies[worker.worker_id] = tuple(found)
     return VDPSCatalog(workers, strategies, epsilon, len(cvdps))

@@ -1,0 +1,596 @@
+"""Incrementally maintained C-VDPS catalogs (the ROADMAP's churn item).
+
+A live dispatch round churns one or two delivery points per center — a task
+arrives, a deadline passes — yet :func:`~repro.vdps.catalog.build_catalog`
+re-enumerates the whole per-center subset DP.  :class:`DeltaCatalog` keeps
+the DP state table alive between rounds and applies churn as state surgery:
+
+* **Point removal** is pure retraction: a DP state depends on a point only
+  if its subset contains it (arrival times of the other states chain through
+  their own points alone), so dropping every state whose subset holds the
+  point leaves exactly the table a rebuild over the surviving points yields.
+* **Point addition** extends the table with exactly the states whose subset
+  contains the new point: seed its singleton, one-step-extend every existing
+  state by it, then close upward layer by layer (any extension of a state
+  containing the point still contains it, so the closure never touches the
+  old states).
+* **A changed point** (new task, expired task, moved deadline) is a removal
+  followed by an addition.
+
+The canonical ``(time, path)`` relaxation of :mod:`repro.vdps.generator`
+makes each state's value a function of the point set alone, so the spliced
+table is *equal* to a from-scratch one — same floats, same tie-breaks — and
+the materialised :class:`~repro.vdps.catalog.VDPSCatalog` (strategy tuples,
+payoffs, and the lazy :class:`~repro.vdps.catalog.CatalogIndex` bit layout)
+is bit-identical to ``build_catalog`` on the same sub-problem.  The
+differential suites (``tests/vdps/test_delta_differential.py``,
+``tests/properties/test_catalog_delta.py``) assert exactly that after every
+step of randomised churn.
+
+Worker-level revalidation is restricted the same way: a worker is fully
+revalidated only when its own content changed (location → start offset,
+``maxDP``, speed); untouched workers just drop strategies of removed
+subsets and validate the added entries.  Structural changes no delta can
+express (center moved, travel model swapped) and churn above
+``rebuild_fraction`` (e.g. a clock advance rewriting every relative
+deadline) fall back to a full rebuild — same output, full price.
+
+Everything lands on the ``catalog.delta_*`` metrics surface
+(:data:`repro.obs.metrics.CATALOG_DELTA_METRICS`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.entities import DeliveryPoint, Worker
+from repro.core.instance import SubProblem
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NULL_TRACER
+from repro.vdps.catalog import (
+    VDPSCatalog,
+    WorkerStrategy,
+    build_catalog,
+    strategy_sort_key,
+    validate_entry,
+    worker_offset_factor,
+)
+from repro.vdps.generator import (
+    CVdpsEntry,
+    DPStats,
+    _StateKey,
+    _StateVal,
+    best_per_subset,
+    compute_states,
+    entry_from_value,
+    extend_value,
+    neighbor_id_map,
+    relax,
+    seed_value,
+)
+
+
+def _subset_sort_key(subset: FrozenSet[str]) -> Tuple[int, Tuple[str, ...]]:
+    """The (size, ids) order entries are generated and validated in."""
+    return (len(subset), tuple(sorted(subset)))
+
+
+class DeltaCatalog:
+    """One center's catalog, maintained by churn deltas (see module doc).
+
+    Parameters
+    ----------
+    sub:
+        The initial sub-problem; ``__init__`` performs one full build.
+    epsilon:
+        Distance-constrained pruning threshold, fixed for the catalog's
+        lifetime (a changed threshold is a new catalog, as in the cache).
+    strict_revalidation:
+        Forwarded to Section IV validation, see
+        :func:`~repro.vdps.catalog.build_catalog`.
+    rebuild_fraction:
+        Fall back to a full rebuild when more than this fraction of the
+        center's delivery points changed in one refresh.  Deltas win when
+        churn is sparse; a clock advance rewrites every relative deadline
+        and is cheaper rebuilt.  ``0.0`` rebuilds on any churn; values
+        above 1 never fall back (used by the differential tests to force
+        the delta paths).
+    verify:
+        After every refresh, rebuild from scratch and assert equality
+        (:func:`catalog_diff`).  Defeats the purpose in production; the
+        harness tests and the bench's ``identical`` flag run on it.
+    """
+
+    def __init__(
+        self,
+        sub: SubProblem,
+        epsilon: Optional[float] = None,
+        strict_revalidation: bool = False,
+        rebuild_fraction: float = 0.5,
+        verify: bool = False,
+    ) -> None:
+        if rebuild_fraction < 0:
+            raise ValueError(
+                f"rebuild_fraction must be >= 0, got {rebuild_fraction!r}"
+            )
+        self.epsilon = epsilon
+        self._strict = bool(strict_revalidation)
+        self._rebuild_fraction = float(rebuild_fraction)
+        self._verify = bool(verify)
+        self._catalog: Optional[VDPSCatalog] = None
+        with METRICS.timer("catalog.delta_refresh_seconds"):
+            self._full_rebuild(sub)
+
+    # -- public surface -----------------------------------------------------
+
+    @property
+    def catalog(self) -> VDPSCatalog:
+        """The catalog of the last refresh (never ``None`` after init)."""
+        if self._catalog is None:
+            raise RuntimeError(
+                "DeltaCatalog was restored without a materialised catalog; "
+                "call refresh(sub) first"
+            )
+        return self._catalog
+
+    @property
+    def center_id(self) -> str:
+        return self._center_id
+
+    @property
+    def cap_built(self) -> int:
+        """The ``maxDP`` bound the DP state table is complete up to."""
+        return self._cap_built
+
+    def refresh(self, sub: SubProblem) -> VDPSCatalog:
+        """Bring the catalog up to date with ``sub`` and return it.
+
+        Equal — strategy for strategy, bit for bit — to
+        ``build_catalog(sub, epsilon=...)``, whether the refresh applied
+        deltas or fell back to a rebuild.
+        """
+        with METRICS.timer("catalog.delta_refresh_seconds"):
+            catalog = self._refresh(sub)
+        if self._verify:
+            diffs = catalog_diff(
+                catalog,
+                build_catalog(
+                    sub,
+                    epsilon=self.epsilon,
+                    strict_revalidation=self._strict,
+                ),
+            )
+            if diffs:
+                raise AssertionError(
+                    "delta catalog diverged from rebuild: " + "; ".join(diffs)
+                )
+        return catalog
+
+    def __getstate__(self):
+        # The materialised catalog (and its numpy index) is cheap to
+        # re-derive and bloats pickles; the persistent store drops it and
+        # the first refresh() after a restore materialises it again.
+        state = self.__dict__.copy()
+        state["_catalog"] = None
+        return state
+
+    # -- refresh machinery --------------------------------------------------
+
+    def _refresh(self, sub: SubProblem) -> VDPSCatalog:
+        travel = sub.travel
+        if (
+            sub.center.center_id != self._center_id
+            or sub.center.location != self._center_location
+            or travel.speed_kmh != self._travel.speed_kmh
+            or travel.distance_fn is not self._travel.distance_fn
+        ):
+            METRICS.counter("catalog.delta_fallbacks").add(1)
+            self._full_rebuild(sub)
+            return self._catalog
+        # Same geometry and parameters: adopt the live travel model (its
+        # memoised distances are shared with the rest of the service).
+        self._travel = travel
+
+        new_points = {dp.dp_id: dp for dp in sub.center.delivery_points}
+        workers = sub.online_workers
+        new_cap = max((w.max_delivery_points for w in workers), default=0)
+        added = [p for p in new_points if p not in self._points]
+        removed = [p for p in self._points if p not in new_points]
+        changed = [
+            p
+            for p, dp in new_points.items()
+            if p in self._points and dp != self._points[p]
+        ]
+        churn = len(added) + len(removed) + len(changed)
+        if (
+            churn == 0
+            and self._catalog is not None
+            and workers == self._catalog.workers
+        ):
+            METRICS.counter("catalog.delta_noops").add(1)
+            return self._catalog
+        if churn > self._rebuild_fraction * max(
+            len(new_points), len(self._points), 1
+        ) or (new_cap > self._cap_built and self._cap_built == 0):
+            METRICS.counter("catalog.delta_fallbacks").add(1)
+            self._full_rebuild(sub)
+            return self._catalog
+
+        METRICS.counter("catalog.delta_applies").add(1)
+        METRICS.counter("catalog.delta_points_added").add(len(added) + len(changed))
+        METRICS.counter("catalog.delta_points_removed").add(
+            len(removed) + len(changed)
+        )
+
+        stats = DPStats()
+        removed_subsets: Set[FrozenSet[str]] = set()
+        added_entries: Dict[FrozenSet[str], CVdpsEntry] = {}
+        for p in sorted(removed) + sorted(changed):
+            self._remove_point(p, removed_subsets, added_entries)
+        for p in sorted(changed) + sorted(added):
+            self._add_point(p, new_points[p], added_entries, stats)
+        if new_cap > self._cap_built:
+            self._extend_cap(new_cap, added_entries, stats)
+        METRICS.counter("cvdps.states_expanded").add(stats.states_expanded)
+        METRICS.counter("cvdps.candidates_tried").add(stats.candidates_tried)
+        METRICS.counter("cvdps.deadline_rejections").add(stats.deadline_rejections)
+        METRICS.counter("catalog.delta_entries_added").add(len(added_entries))
+        METRICS.counter("catalog.delta_entries_removed").add(len(removed_subsets))
+
+        self._apply_worker_churn(workers, removed_subsets, added_entries)
+        return self._materialize(workers)
+
+    def _full_rebuild(self, sub: SubProblem) -> None:
+        """Reset every table from scratch (init and the fallback path)."""
+        METRICS.counter("catalog.delta_rebuilds").add(1)
+        self._travel = sub.travel
+        self._center_id = sub.center.center_id
+        self._center_location = sub.center.location
+        points = sub.center.delivery_points
+        self._points: Dict[str, DeliveryPoint] = {dp.dp_id: dp for dp in points}
+        self._neighbors: Dict[str, List[str]] = {
+            dp_id: list(adj)
+            for dp_id, adj in neighbor_id_map(points, self.epsilon).items()
+        }
+        workers = sub.online_workers
+        self._cap_built = max((w.max_delivery_points for w in workers), default=0)
+        stats = DPStats()
+        if self._cap_built and self._points:
+            self._states: Dict[_StateKey, _StateVal] = compute_states(
+                self._points,
+                self._neighbors,
+                self._travel,
+                self._center_location,
+                self._cap_built,
+                stats,
+                NULL_TRACER,
+                self._center_id,
+            )
+        else:
+            self._states = {}
+        self._entries: Dict[FrozenSet[str], CVdpsEntry] = {
+            subset: entry_from_value(
+                self._points, subset, value, self._travel, self._center_location
+            )
+            for subset, value in best_per_subset(self._states).items()
+        }
+        self._workers: Dict[str, Worker] = {}
+        self._offsets: Dict[str, Tuple[float, float]] = {}
+        self._strategies: Dict[str, Dict[FrozenSet[str], WorkerStrategy]] = {}
+        for worker in workers:
+            self._workers[worker.worker_id] = worker
+            self._strategies[worker.worker_id] = self._validate_worker(worker)
+        self._materialize(workers)
+
+    # -- DP state surgery ---------------------------------------------------
+
+    def _remove_point(
+        self,
+        p: str,
+        removed_subsets: Set[FrozenSet[str]],
+        added_entries: Dict[FrozenSet[str], CVdpsEntry],
+    ) -> None:
+        """Retract every state and entry whose subset contains ``p``."""
+        del self._points[p]
+        for q in self._neighbors.pop(p, []):
+            adjacency = self._neighbors.get(q)
+            if adjacency is not None and p in adjacency:
+                adjacency.remove(p)
+        for key in [key for key in self._states if p in key[0]]:
+            del self._states[key]
+        for subset in [subset for subset in self._entries if p in subset]:
+            del self._entries[subset]
+            removed_subsets.add(subset)
+            added_entries.pop(subset, None)
+
+    def _add_point(
+        self,
+        p: str,
+        dp: DeliveryPoint,
+        added_entries: Dict[FrozenSet[str], CVdpsEntry],
+        stats: DPStats,
+    ) -> None:
+        """Extend the table with every state whose subset contains ``p``."""
+        self._points[p] = dp
+        if self.epsilon is None:
+            adjacency = [q for q in self._points if q != p]
+        else:
+            # Same Euclidean point-to-point test as neighbor_lists.
+            adjacency = [
+                q
+                for q, other in self._points.items()
+                if q != p and dp.location.distance_to(other.location) <= self.epsilon
+            ]
+        for q in adjacency:
+            self._neighbors[q].append(p)
+        self._neighbors[p] = adjacency
+
+        new_states = self._states_with_point(p, stats)
+        self._states.update(new_states)
+        for subset, value in best_per_subset(new_states).items():
+            entry = entry_from_value(
+                self._points, subset, value, self._travel, self._center_location
+            )
+            self._entries[subset] = entry
+            added_entries[subset] = entry
+
+    def _states_with_point(self, p: str, stats: DPStats) -> Dict[_StateKey, _StateVal]:
+        """All feasible DP states containing ``p`` over the current points.
+
+        States free of ``p`` never route through it, so the existing table
+        is exactly the ``p``-free half of the full DP; this computes the
+        other half.  Seeds: the singleton ``({p}, p)`` plus one-step
+        extensions of every existing state whose endpoint can hop to ``p``
+        (predecessors of a state ending *at* ``p`` are ``p``-free).  The
+        upward closure then only ever expands states already containing
+        ``p``, layer by layer, with the same canonical relaxation as the
+        full build — so every new state gets its canonical value.
+        """
+        cap = self._cap_built
+        by_size: Dict[int, Dict[_StateKey, _StateVal]] = defaultdict(dict)
+        if cap < 1:
+            return {}
+        dp_p = self._points[p]
+        seeded = seed_value(dp_p, self._travel, self._center_location)
+        if seeded is None:
+            stats.deadline_rejections += 1
+        else:
+            by_size[1][(frozenset((p,)), p)] = seeded
+        # The neighbourhood is symmetric (point-to-point Euclidean), so
+        # "p in neighbors[j]" — the full DP's chaining test — is exactly
+        # "j in neighbors[p]".
+        reaches_p = set(self._neighbors[p])
+        for (subset, j), value in self._states.items():
+            if len(subset) >= cap or j not in reaches_p:
+                continue
+            stats.candidates_tried += 1
+            extended = extend_value(value, self._points[j], dp_p, self._travel)
+            if extended is None:
+                stats.deadline_rejections += 1
+                continue
+            relax(by_size[len(subset) + 1], (subset | {p}, p), extended)
+        for size in range(1, cap):
+            frontier = by_size.get(size)
+            if not frontier:
+                continue
+            for (subset, j), value in frontier.items():
+                dp_j = self._points[j]
+                for q in self._neighbors[j]:
+                    if q in subset:
+                        continue
+                    stats.candidates_tried += 1
+                    extended = extend_value(value, dp_j, self._points[q], self._travel)
+                    if extended is None:
+                        stats.deadline_rejections += 1
+                        continue
+                    relax(by_size[size + 1], (subset | {q}, q), extended)
+        out: Dict[_StateKey, _StateVal] = {}
+        for size in range(1, cap + 1):
+            layer = by_size.get(size)
+            if layer:
+                stats.states_expanded += len(layer)
+                out.update(layer)
+        return out
+
+    def _extend_cap(
+        self,
+        new_cap: int,
+        added_entries: Dict[FrozenSet[str], CVdpsEntry],
+        stats: DPStats,
+    ) -> None:
+        """Deepen the DP when a joining worker raises the ``maxDP`` bound.
+
+        The table is complete up to ``cap_built``, so resuming the layered
+        expansion from the top layer reproduces exactly the layers a
+        full build with the larger cap would add.  (A cap that *shrank*
+        needs no surgery: materialisation filters by the current cap.)
+        """
+        frontier = {
+            key: value
+            for key, value in self._states.items()
+            if len(key[0]) == self._cap_built
+        }
+        size = self._cap_built
+        new_states: Dict[_StateKey, _StateVal] = {}
+        while frontier and size < new_cap:
+            next_frontier: Dict[_StateKey, _StateVal] = {}
+            for (subset, j), value in frontier.items():
+                dp_j = self._points[j]
+                for q in self._neighbors[j]:
+                    if q in subset:
+                        continue
+                    stats.candidates_tried += 1
+                    extended = extend_value(value, dp_j, self._points[q], self._travel)
+                    if extended is None:
+                        stats.deadline_rejections += 1
+                        continue
+                    relax(next_frontier, (subset | {q}, q), extended)
+            self._states.update(next_frontier)
+            new_states.update(next_frontier)
+            frontier = next_frontier
+            size += 1
+            stats.states_expanded += len(next_frontier)
+        self._cap_built = new_cap
+        for subset, value in best_per_subset(new_states).items():
+            entry = entry_from_value(
+                self._points, subset, value, self._travel, self._center_location
+            )
+            self._entries[subset] = entry
+            added_entries[subset] = entry
+
+    # -- worker-level revalidation ------------------------------------------
+
+    def _validate_worker(self, worker: Worker) -> Dict[FrozenSet[str], WorkerStrategy]:
+        """Full Section IV validation of one worker against every entry."""
+        offset, factor = worker_offset_factor(
+            worker, self._travel, self._center_location
+        )
+        self._offsets[worker.worker_id] = (offset, factor)
+        out: Dict[FrozenSet[str], WorkerStrategy] = {}
+        for subset in sorted(self._entries, key=_subset_sort_key):
+            strategy = validate_entry(
+                self._entries[subset],
+                worker,
+                offset,
+                factor,
+                self._travel,
+                self._center_location,
+                self._strict,
+            )
+            if strategy is not None:
+                out[subset] = strategy
+        return out
+
+    def _apply_worker_churn(
+        self,
+        workers: Tuple[Worker, ...],
+        removed_subsets: Set[FrozenSet[str]],
+        added_entries: Dict[FrozenSet[str], CVdpsEntry],
+    ) -> None:
+        """Revalidate changed workers fully; patch unchanged ones by delta."""
+        live = {worker.worker_id: worker for worker in workers}
+        for wid in [wid for wid in self._strategies if wid not in live]:
+            del self._strategies[wid]
+            self._offsets.pop(wid, None)
+            self._workers.pop(wid, None)
+        ordered_added = [
+            added_entries[subset]
+            for subset in sorted(added_entries, key=_subset_sort_key)
+        ]
+        revalidated = 0
+        for wid, worker in live.items():
+            known = self._workers.get(wid)
+            if known is None or known != worker:
+                # New worker, or content changed (location shifts the start
+                # offset, maxDP the size filter, speed the scale factor):
+                # nothing incremental survives, validate from scratch.
+                self._workers[wid] = worker
+                self._strategies[wid] = self._validate_worker(worker)
+                revalidated += 1
+                continue
+            strategies = self._strategies[wid]
+            for subset in removed_subsets:
+                strategies.pop(subset, None)
+            offset, factor = self._offsets[wid]
+            for entry in ordered_added:
+                strategy = validate_entry(
+                    entry,
+                    worker,
+                    offset,
+                    factor,
+                    self._travel,
+                    self._center_location,
+                    self._strict,
+                )
+                if strategy is not None:
+                    strategies[entry.point_ids] = strategy
+        if revalidated:
+            METRICS.counter("catalog.delta_workers_revalidated").add(revalidated)
+
+    # -- materialisation ----------------------------------------------------
+
+    def _materialize(self, workers: Tuple[Worker, ...]) -> VDPSCatalog:
+        """Assemble the :class:`VDPSCatalog` a from-scratch build would return.
+
+        Per-worker strategy dicts sort into the canonical catalog order
+        (the sort key is a total order, so insertion history is erased);
+        ``cvdps_count`` filters the entry table by the *current* cap so a
+        shrunk worker pool reports what its own build would generate.  The
+        conflict index stays lazy, exactly like ``build_catalog``: equal
+        strategy mappings build equal indexes on demand.
+        """
+        cap_now = max((w.max_delivery_points for w in workers), default=0)
+        strategies: Dict[str, Tuple[WorkerStrategy, ...]] = {}
+        for worker in workers:
+            found = sorted(
+                self._strategies[worker.worker_id].values(), key=strategy_sort_key
+            )
+            strategies[worker.worker_id] = tuple(found)
+        cvdps_count = sum(
+            1 for subset in self._entries if len(subset) <= cap_now
+        )
+        self._catalog = VDPSCatalog(workers, strategies, self.epsilon, cvdps_count)
+        return self._catalog
+
+
+def catalog_diff(
+    actual: VDPSCatalog, expected: VDPSCatalog, check_index: bool = True
+) -> List[str]:
+    """Human-readable differences between two catalogs; ``[]`` means equal.
+
+    Equality here is the full bit-identity contract the differential suites
+    assert: worker tuples (content equality), epsilon, ``cvdps_count``,
+    every strategy tuple position for position (point sets, routes with
+    exact arrival times, payoffs), and — with ``check_index`` — the
+    materialised :class:`CatalogIndex` bit layout (``point_bits``, packed
+    masks, payoff vectors, size-1 pools, all compared exactly).
+    """
+    diffs: List[str] = []
+    if actual.epsilon != expected.epsilon:
+        diffs.append(f"epsilon {actual.epsilon!r} != {expected.epsilon!r}")
+    if actual.cvdps_count != expected.cvdps_count:
+        diffs.append(
+            f"cvdps_count {actual.cvdps_count} != {expected.cvdps_count}"
+        )
+    if actual.workers != expected.workers:
+        diffs.append(
+            f"workers {[w.worker_id for w in actual.workers]} != "
+            f"{[w.worker_id for w in expected.workers]} (or content changed)"
+        )
+        return diffs
+    for worker in actual.workers:
+        wid = worker.worker_id
+        ours, theirs = actual.strategies(wid), expected.strategies(wid)
+        if len(ours) != len(theirs):
+            diffs.append(
+                f"worker {wid}: {len(ours)} strategies != {len(theirs)}"
+            )
+            continue
+        for pos, (a, b) in enumerate(zip(ours, theirs)):
+            if a != b:
+                diffs.append(
+                    f"worker {wid} strategy {pos}: "
+                    f"{sorted(a.point_ids)} payoff {a.payoff!r} != "
+                    f"{sorted(b.point_ids)} payoff {b.payoff!r}"
+                )
+                break
+    if diffs or not check_index:
+        return diffs
+    index_a, index_b = actual.index, expected.index
+    if index_a.point_bits != index_b.point_bits:
+        diffs.append("index point_bits differ")
+    if index_a.n_words != index_b.n_words:
+        diffs.append(f"index n_words {index_a.n_words} != {index_b.n_words}")
+    for worker in actual.workers:
+        wid = worker.worker_id
+        wa, wb = index_a.worker(wid), index_b.worker(wid)
+        if not np.array_equal(wa.masks, wb.masks):
+            diffs.append(f"index masks differ for worker {wid}")
+        if not np.array_equal(wa.payoffs, wb.payoffs):
+            diffs.append(f"index payoffs differ for worker {wid}")
+        if not np.array_equal(wa.size1, wb.size1):
+            diffs.append(f"index size1 pools differ for worker {wid}")
+    return diffs

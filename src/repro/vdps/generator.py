@@ -15,14 +15,22 @@ vanishing fraction of ``2^n``.  With the distance-constrained pruning of
 Section IV, successor candidates shrink further to the ``epsilon``
 neighbourhood of the current endpoint.  :func:`generate_cvdps_reference` is a
 literal transcription of Algorithm 1 kept as a cross-checking oracle.
+
+DP states are keyed by ``(subset of dp ids, endpoint dp id)`` and valued by
+``(arrival time, visit path)``.  Relaxation keeps the *lexicographically
+minimal* ``(time, path)`` pair, so the value of every state is a canonical
+function of the point set alone — independent of insertion or expansion
+order.  That canonicality is what lets the incremental maintenance layer
+(:mod:`repro.vdps.delta`) splice states for a single added delivery point
+into an existing table and land on the exact table a from-scratch build
+would produce, float-tie for float-tie.
 """
 
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.entities import DeliveryPoint, DistributionCenter
 from repro.core.routing import Route, arrival_times
@@ -31,7 +39,13 @@ from repro.obs.metrics import METRICS
 from repro.obs.tracer import NullTracer, resolve_tracer
 from repro.vdps.pruning import neighbor_lists
 
-_StateKey = Tuple[FrozenSet[int], int]
+#: One DP state: the subset visited so far and the point the worker stands at.
+_StateKey = Tuple[FrozenSet[str], str]
+#: A state's value: minimal arrival time at the endpoint, plus the visit
+#: order achieving it.  Compared lexicographically (time first, then path by
+#: dp ids), which breaks exact-time ties deterministically *and* order-
+#: independently — the invariant the delta layer's correctness rests on.
+_StateVal = Tuple[float, Tuple[str, ...]]
 
 
 @dataclass(frozen=True)
@@ -53,6 +67,146 @@ class CVdpsEntry:
     @property
     def total_reward(self) -> float:
         return self.route.total_reward
+
+
+@dataclass
+class DPStats:
+    """Counters one DP expansion accumulates (flushed to METRICS by callers)."""
+
+    states_expanded: int = 0
+    candidates_tried: int = 0
+    deadline_rejections: int = 0
+
+
+def seed_value(
+    dp: DeliveryPoint, travel: TravelModel, center_location
+) -> Optional[_StateVal]:
+    """The singleton state ``({dp}, dp)``, or ``None`` if its deadline fails."""
+    t = travel.time(center_location, dp.location)
+    if t <= dp.earliest_expiry:
+        return (t, (dp.dp_id,))
+    return None
+
+
+def extend_value(
+    value: _StateVal,
+    dp_from: DeliveryPoint,
+    dp_to: DeliveryPoint,
+    travel: TravelModel,
+) -> Optional[_StateVal]:
+    """``value`` extended by travelling ``dp_from -> dp_to``; ``None`` if late.
+
+    The float evaluation order (arrival + service, then + travel) is shared
+    by the full build and the delta layer so both produce bit-identical
+    arrival times.
+    """
+    t, path = value
+    t_next = t + dp_from.service_hours + travel.time(dp_from.location, dp_to.location)
+    if t_next > dp_to.earliest_expiry:
+        return None
+    return (t_next, path + (dp_to.dp_id,))
+
+
+def relax(table: Dict[_StateKey, _StateVal], key: _StateKey, value: _StateVal) -> None:
+    """Keep the canonical (lexicographically minimal) value for ``key``."""
+    cur = table.get(key)
+    if cur is None or value < cur:
+        table[key] = value
+
+
+def entry_from_value(
+    points_by_id: Mapping[str, DeliveryPoint],
+    subset: FrozenSet[str],
+    value: _StateVal,
+    travel: TravelModel,
+    center_location,
+) -> CVdpsEntry:
+    """Materialise the :class:`CVdpsEntry` for a subset's canonical state."""
+    sequence = tuple(points_by_id[dp_id] for dp_id in value[1])
+    times = tuple(arrival_times(center_location, sequence, travel))
+    return CVdpsEntry(subset, Route(sequence, times))
+
+
+def best_per_subset(
+    states: Mapping[_StateKey, _StateVal]
+) -> Dict[FrozenSet[str], _StateVal]:
+    """Canonical minimal ``(time, path)`` value per subset across endpoints."""
+    best: Dict[FrozenSet[str], _StateVal] = {}
+    for (subset, _), value in states.items():
+        cur = best.get(subset)
+        if cur is None or value < cur:
+            best[subset] = value
+    return best
+
+
+def compute_states(
+    points_by_id: Mapping[str, DeliveryPoint],
+    neighbors: Mapping[str, Sequence[str]],
+    travel: TravelModel,
+    center_location,
+    cap: int,
+    stats: DPStats,
+    tracer: NullTracer,
+    center_id: str,
+) -> Dict[_StateKey, _StateVal]:
+    """The full layered DP over ``points_by_id``: every feasible state.
+
+    This is the one expansion loop both :func:`generate_cvdps` and the
+    delta layer's rebuild path run, so their state tables are identical by
+    construction.
+    """
+    states: Dict[_StateKey, _StateVal] = {}
+    frontier: Dict[_StateKey, _StateVal] = {}
+    for dp_id in sorted(points_by_id):
+        value = seed_value(points_by_id[dp_id], travel, center_location)
+        if value is None:
+            stats.deadline_rejections += 1
+        else:
+            frontier[(frozenset((dp_id,)), dp_id)] = value
+    states.update(frontier)
+    stats.states_expanded += len(frontier)
+    if tracer.enabled:
+        tracer.event(
+            "cvdps.layer",
+            center=center_id,
+            size=1,
+            states=len(frontier),
+            candidates=len(points_by_id),
+            deadline_rejections=stats.deadline_rejections,
+        )
+
+    size = 1
+    while frontier and size < cap:
+        next_frontier: Dict[_StateKey, _StateVal] = {}
+        layer_candidates = 0
+        layer_rejections = 0
+        for (subset, j), value in frontier.items():
+            dp_j = points_by_id[j]
+            for q in neighbors[j]:
+                if q in subset:
+                    continue
+                layer_candidates += 1
+                extended = extend_value(value, dp_j, points_by_id[q], travel)
+                if extended is None:
+                    layer_rejections += 1
+                    continue
+                relax(next_frontier, (subset | {q}, q), extended)
+        states.update(next_frontier)
+        frontier = next_frontier
+        size += 1
+        stats.states_expanded += len(next_frontier)
+        stats.candidates_tried += layer_candidates
+        stats.deadline_rejections += layer_rejections
+        if tracer.enabled:
+            tracer.event(
+                "cvdps.layer",
+                center=center_id,
+                size=size,
+                states=len(next_frontier),
+                candidates=layer_candidates,
+                deadline_rejections=layer_rejections,
+            )
+    return states
 
 
 def generate_cvdps(
@@ -97,115 +251,54 @@ def generate_cvdps(
     cap = n if max_size is None else max(0, min(max_size, n))
     if cap == 0:
         return []
-    neighbors = neighbor_lists(points, epsilon)
+    neighbors = neighbor_id_map(points, epsilon)
     if epsilon is not None:
         # Ordered point pairs the epsilon neighbourhood excludes up front:
         # the state space the distance-constrained pruning never visits.
         METRICS.counter("cvdps.pruned_pairs").add(
-            n * (n - 1) - sum(len(adj) for adj in neighbors)
+            n * (n - 1) - sum(len(adj) for adj in neighbors.values())
         )
 
-    states_expanded = 0
-    candidates_tried = 0
-    deadline_rejections = 0
-
-    best: Dict[_StateKey, float] = {}
-    parent: Dict[_StateKey, Optional[_StateKey]] = {}
-    frontier: Dict[_StateKey, float] = {}
-    for j, dp in enumerate(points):
-        t = travel.time(center.location, dp.location)
-        if t <= dp.earliest_expiry:
-            key: _StateKey = (frozenset((j,)), j)
-            best[key] = t
-            parent[key] = None
-            frontier[key] = t
-        else:
-            deadline_rejections += 1
-    states_expanded += len(frontier)
-    if tracer.enabled:
-        tracer.event(
-            "cvdps.layer",
-            center=center.center_id,
-            size=1,
-            states=len(frontier),
-            candidates=n,
-            deadline_rejections=deadline_rejections,
-        )
-
-    size = 1
-    while frontier and size < cap:
-        next_frontier: Dict[_StateKey, float] = {}
-        layer_candidates = 0
-        layer_rejections = 0
-        for (subset, j), t in frontier.items():
-            origin = points[j].location
-            depart = t + points[j].service_hours
-            for q in neighbors[j]:
-                if q in subset:
-                    continue
-                layer_candidates += 1
-                dp_q = points[q]
-                t_next = depart + travel.time(origin, dp_q.location)
-                if t_next > dp_q.earliest_expiry:
-                    layer_rejections += 1
-                    continue
-                key = (subset | {q}, q)
-                if t_next < next_frontier.get(key, math.inf):
-                    next_frontier[key] = t_next
-                    parent[key] = (subset, j)
-        best.update(next_frontier)
-        frontier = next_frontier
-        size += 1
-        states_expanded += len(next_frontier)
-        candidates_tried += layer_candidates
-        deadline_rejections += layer_rejections
-        if tracer.enabled:
-            tracer.event(
-                "cvdps.layer",
-                center=center.center_id,
-                size=size,
-                states=len(next_frontier),
-                candidates=layer_candidates,
-                deadline_rejections=layer_rejections,
-            )
-
-    METRICS.counter("cvdps.states_expanded").add(states_expanded)
-    METRICS.counter("cvdps.candidates_tried").add(candidates_tried)
-    METRICS.counter("cvdps.deadline_rejections").add(deadline_rejections)
-    return _collect_entries(points, best, parent, travel, center)
+    points_by_id = {dp.dp_id: dp for dp in points}
+    stats = DPStats()
+    states = compute_states(
+        points_by_id,
+        neighbors,
+        travel,
+        center.location,
+        cap,
+        stats,
+        tracer,
+        center.center_id,
+    )
+    METRICS.counter("cvdps.states_expanded").add(stats.states_expanded)
+    METRICS.counter("cvdps.candidates_tried").add(stats.candidates_tried)
+    METRICS.counter("cvdps.deadline_rejections").add(stats.deadline_rejections)
+    return collect_entries(points_by_id, states, travel, center.location)
 
 
-def _collect_entries(
-    points: Sequence[DeliveryPoint],
-    best: Dict[_StateKey, float],
-    parent: Dict[_StateKey, Optional[_StateKey]],
+def neighbor_id_map(
+    points: Sequence[DeliveryPoint], epsilon: Optional[float]
+) -> Dict[str, Tuple[str, ...]]:
+    """:func:`neighbor_lists` re-keyed by dp id (the DP core's key space)."""
+    adjacency = neighbor_lists(points, epsilon)
+    return {
+        points[j].dp_id: tuple(points[q].dp_id for q in adjacency[j])
+        for j in range(len(points))
+    }
+
+
+def collect_entries(
+    points_by_id: Mapping[str, DeliveryPoint],
+    states: Mapping[_StateKey, _StateVal],
     travel: TravelModel,
-    center: DistributionCenter,
+    center_location,
 ) -> List[CVdpsEntry]:
-    """Group DP states by subset, keep the minimal-arrival endpoint each."""
-    best_per_subset: Dict[FrozenSet[int], _StateKey] = {}
-    for key, t in best.items():
-        subset = key[0]
-        incumbent = best_per_subset.get(subset)
-        if incumbent is None or t < best[incumbent]:
-            best_per_subset[subset] = key
-
-    entries: List[CVdpsEntry] = []
-    for subset, key in best_per_subset.items():
-        order: List[int] = []
-        cursor: Optional[_StateKey] = key
-        while cursor is not None:
-            order.append(cursor[1])
-            cursor = parent[cursor]
-        order.reverse()
-        sequence = tuple(points[i] for i in order)
-        times = tuple(arrival_times(center.location, sequence, travel))
-        entries.append(
-            CVdpsEntry(
-                frozenset(points[i].dp_id for i in subset),
-                Route(sequence, times),
-            )
-        )
+    """Group DP states by subset, keep the canonical minimal value of each."""
+    entries = [
+        entry_from_value(points_by_id, subset, value, travel, center_location)
+        for subset, value in best_per_subset(states).items()
+    ]
     entries.sort(key=lambda e: (e.size, tuple(sorted(e.point_ids))))
     return entries
 

@@ -5,6 +5,21 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 import pytest
+from hypothesis import settings
+
+# A reduced-budget profile for CI's fast jobs (catalog-delta-smoke selects
+# it with --hypothesis-profile=ci) and a local default without Hypothesis's
+# 200 ms deadline (the stateful catalog-churn machine rebuilds a catalog in
+# every invariant check, which can trip it on loaded machines).  Tests with
+# explicit @settings keep their own values; --hypothesis-profile overrides
+# the load_profile call below.
+settings.register_profile(
+    "ci", max_examples=15, stateful_step_count=15, deadline=None
+)
+settings.register_profile(
+    "repro-local", max_examples=30, stateful_step_count=20, deadline=None
+)
+settings.load_profile("repro-local")
 
 from repro import (
     DeliveryPoint,

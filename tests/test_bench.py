@@ -30,6 +30,22 @@ class TestRunBench:
             # The vectorized solves flush engine.* batch counters.
             assert data["metrics_vectorized"]["engine.filter_batches"] > 0
             assert "engine.filter_batches" not in data["metrics_scalar"]
+        assert report["schema"] == 2
+        delta = report["catalog_delta"]
+        # Delta-vs-rebuild equality is part of the bench acceptance gate.
+        assert delta["identical"] is True
+        assert len(delta["steps"]) == 4
+        assert delta["delta_seconds"] > 0
+        assert delta["rebuild_seconds"] > 0
+        assert delta["speedup"] == pytest.approx(
+            delta["rebuild_seconds"] / delta["delta_seconds"]
+        )
+        assert all(step["identical"] for step in delta["steps"])
+
+    def test_format_report_mentions_catalog_delta(self):
+        report = run_bench(scale="smoke", seed=0, repeats=1)
+        text = format_report(report)
+        assert "catalog delta" in text and "identical=True" in text
 
     def test_rejects_unknown_scale(self):
         with pytest.raises(ValueError, match="scale"):

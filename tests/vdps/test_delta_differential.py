@@ -1,0 +1,286 @@
+"""Seeded delta-vs-rebuild differential traces, including the degraded paths.
+
+The Hypothesis machine (``tests/properties/test_catalog_delta.py``) covers
+the broad churn space; this suite pins the corner cases a random walk may
+miss — an empty center, a center draining to zero tasks and refilling, the
+deadline-rejection boundary, a task id returning with a different deadline
+— plus the non-surgery paths (rebuild fallback, structural fallback, cap
+growth from zero) and the persistent store's failure modes.  Every
+correctness assertion is the same one: :func:`catalog_diff` between the
+maintained catalog and a from-scratch ``build_catalog`` is empty.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
+from repro.core.instance import SubProblem
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+from repro.obs.metrics import METRICS
+from repro.vdps.catalog import build_catalog
+from repro.vdps.delta import DeltaCatalog, catalog_diff
+from repro.vdps.store import STORE_FORMAT, CatalogStore
+
+TRAVEL = TravelModel(speed_kmh=1.0)
+
+
+def _dp(dp_id, x, y, *expiries, service=0.0):
+    tasks = tuple(
+        SpatialTask(f"{dp_id}_t{i}", dp_id, e) for i, e in enumerate(expiries)
+    )
+    return DeliveryPoint(dp_id, Point(x, y), tasks, service)
+
+
+def _worker(wid, x, y, cap=3):
+    return Worker(wid, Point(x, y), max_delivery_points=cap, center_id="dc")
+
+
+def _sub(points, workers, travel=TRAVEL):
+    center = DistributionCenter("dc", Point(0.0, 0.0), tuple(points))
+    return SubProblem(center, tuple(workers), travel)
+
+
+def _assert_equal(delta, sub, epsilon):
+    refreshed = delta.refresh(sub)
+    rebuilt = build_catalog(sub, epsilon=epsilon)
+    diffs = catalog_diff(refreshed, rebuilt)
+    assert not diffs, "; ".join(diffs)
+    return refreshed
+
+
+class TestDegradedTraces:
+    """The ISSUE's named corner cases, each asserted against the oracle."""
+
+    def test_empty_center(self):
+        workers = [_worker("w0", 0.1, 0.1)]
+        delta = DeltaCatalog(_sub([], workers), rebuild_fraction=10.0)
+        assert delta.catalog.cvdps_count == 0
+        # Growing from empty and shrinking back are both delta-served.
+        _assert_equal(delta, _sub([_dp("a", 1.0, 0.0, 5.0)], workers), None)
+        _assert_equal(delta, _sub([], workers), None)
+
+    def test_center_drains_to_zero_tasks_and_refills(self):
+        workers = [_worker("w0", 0.0, 0.0), _worker("w1", 0.5, 0.5, cap=2)]
+        full = [_dp("a", 1.0, 0.0, 5.0), _dp("b", 0.0, 1.0, 6.0, 7.0)]
+        delta = DeltaCatalog(_sub(full, workers), rebuild_fraction=10.0)
+        # Tasks drain point by point; the points stay with empty queues.
+        drained = [_dp("a", 1.0, 0.0), _dp("b", 0.0, 1.0, 6.0, 7.0)]
+        _assert_equal(delta, _sub(drained, workers), None)
+        empty = [_dp("a", 1.0, 0.0), _dp("b", 0.0, 1.0)]
+        catalog = _assert_equal(delta, _sub(empty, workers), None)
+        # Empty-queue points still form valid (zero-reward) VDPSs — the
+        # maintained catalog must agree with the rebuild on that too.
+        assert all(
+            s.payoff == 0.0
+            for w in catalog.workers
+            for s in catalog.strategies(w.worker_id)
+        )
+        _assert_equal(delta, _sub(full, workers), None)
+
+    def test_deadline_rejection_boundary(self):
+        """A deadline tighter than the travel time prunes states, exactly
+        like the full build, and the rejection is counted."""
+        workers = [_worker("w0", 0.0, 0.0)]
+        # 2 km at 1 km/h: reachable at t=2.0 only if the deadline allows.
+        reachable = [_dp("far", 2.0, 0.0, 2.0)]
+        delta = DeltaCatalog(_sub(reachable, workers), rebuild_fraction=10.0)
+        assert delta.catalog.cvdps_count == 1
+        before = METRICS.counter("cvdps.deadline_rejections").value
+        too_tight = [_dp("far", 2.0, 0.0, 1.999)]
+        catalog = _assert_equal(delta, _sub(too_tight, workers), None)
+        assert catalog.cvdps_count == 0
+        assert METRICS.counter("cvdps.deadline_rejections").value > before
+        # Back across the boundary: exactly reachable again.
+        _assert_equal(delta, _sub(reachable, workers), None)
+
+    def test_task_returns_same_id_changed_deadline(self):
+        workers = [_worker("w0", 0.0, 0.0)]
+        original = [_dp("a", 1.0, 0.0, 4.0), _dp("b", 0.0, 1.5, 5.0)]
+        delta = DeltaCatalog(_sub(original, workers), rebuild_fraction=10.0)
+        gone = [_dp("b", 0.0, 1.5, 5.0)]
+        _assert_equal(delta, _sub(gone, workers), None)
+        # Same dp id and task id, different deadline: a changed point, not
+        # a stale-cache hit.
+        returned = [_dp("a", 1.0, 0.0, 9.0), _dp("b", 0.0, 1.5, 5.0)]
+        catalog = _assert_equal(delta, _sub(returned, workers), None)
+        strategies = catalog.strategies("w0")
+        assert any("a" in s.point_ids for s in strategies)
+
+
+class TestFallbacks:
+    """Rebuild fallbacks must produce the same output as the delta path."""
+
+    def test_rebuild_fraction_zero_always_falls_back(self):
+        workers = [_worker("w0", 0.0, 0.0)]
+        points = [_dp("a", 1.0, 0.0, 5.0), _dp("b", 0.0, 1.0, 5.0)]
+        delta = DeltaCatalog(_sub(points, workers), rebuild_fraction=0.0)
+        before = METRICS.counter("catalog.delta_fallbacks").value
+        churned = points + [_dp("c", 0.5, 0.5, 4.0)]
+        _assert_equal(delta, _sub(churned, workers), None)
+        assert METRICS.counter("catalog.delta_fallbacks").value == before + 1
+
+    def test_structural_change_falls_back(self):
+        workers = [_worker("w0", 0.0, 0.0)]
+        points = [_dp("a", 1.0, 0.0, 5.0)]
+        delta = DeltaCatalog(_sub(points, workers), rebuild_fraction=10.0)
+        before = METRICS.counter("catalog.delta_fallbacks").value
+        # A different travel speed rewrites every arrival time: no delta
+        # can express it, so the refresh must rebuild — and still match.
+        faster = TravelModel(speed_kmh=2.0)
+        sub = _sub(points, workers, travel=faster)
+        refreshed = delta.refresh(sub)
+        assert METRICS.counter("catalog.delta_fallbacks").value == before + 1
+        assert not catalog_diff(refreshed, build_catalog(sub))
+
+    def test_cap_growth_from_zero_falls_back(self):
+        points = [_dp("a", 1.0, 0.0, 5.0), _dp("b", 0.0, 1.0, 5.0)]
+        delta = DeltaCatalog(_sub(points, []), rebuild_fraction=10.0)
+        assert delta.cap_built == 0
+        workers = [_worker("w0", 0.0, 0.0, cap=2)]
+        _assert_equal(delta, _sub(points, workers), None)
+        assert delta.cap_built == 2
+
+    def test_cap_growth_and_shrink(self):
+        points = [
+            _dp("a", 1.0, 0.0, 8.0),
+            _dp("b", 0.0, 1.0, 8.0),
+            _dp("c", 1.0, 1.0, 8.0),
+        ]
+        workers = [_worker("w0", 0.0, 0.0, cap=1)]
+        delta = DeltaCatalog(_sub(points, workers), rebuild_fraction=10.0)
+        grown = [_worker("w0", 0.0, 0.0, cap=3)]
+        _assert_equal(delta, _sub(points, grown), None)
+        shrunk = [_worker("w0", 0.0, 0.0, cap=2)]
+        catalog = _assert_equal(delta, _sub(points, shrunk), None)
+        assert all(len(s.point_ids) <= 2 for s in catalog.strategies("w0"))
+
+    def test_noop_refresh_returns_same_catalog(self):
+        points = [_dp("a", 1.0, 0.0, 5.0)]
+        workers = [_worker("w0", 0.0, 0.0)]
+        delta = DeltaCatalog(_sub(points, workers), rebuild_fraction=10.0)
+        first = delta.catalog
+        before = METRICS.counter("catalog.delta_noops").value
+        assert delta.refresh(_sub(points, workers)) is first
+        assert METRICS.counter("catalog.delta_noops").value == before + 1
+
+
+class TestRandomTraces:
+    """Longer seeded walks with verify=True (the internal oracle)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 13])
+    def test_seeded_churn_walk(self, seed):
+        rng = random.Random(seed)
+        points = {
+            f"p{i}": _dp(f"p{i}", rng.uniform(-2, 2), rng.uniform(-2, 2), 6.0)
+            for i in range(5)
+        }
+        workers = {
+            f"w{j}": _worker(f"w{j}", rng.uniform(-1, 1), rng.uniform(-1, 1),
+                             cap=rng.choice([1, 2, 3]))
+            for j in range(3)
+        }
+        next_id = [5]
+        delta = DeltaCatalog(
+            _sub(points.values(), workers.values()),
+            epsilon=2.0,
+            rebuild_fraction=10.0,
+            verify=True,  # asserts delta == rebuild inside every refresh
+        )
+        for _ in range(25):
+            op = rng.choice(["add", "remove", "change", "worker"])
+            if op == "add":
+                dp_id = f"p{next_id[0]}"
+                next_id[0] += 1
+                points[dp_id] = _dp(
+                    dp_id, rng.uniform(-2, 2), rng.uniform(-2, 2),
+                    rng.uniform(0.5, 8.0),
+                )
+            elif op == "remove" and points:
+                del points[rng.choice(sorted(points))]
+            elif op == "change" and points:
+                dp_id = rng.choice(sorted(points))
+                old = points[dp_id]
+                points[dp_id] = _dp(
+                    dp_id, old.location.x, old.location.y, rng.uniform(0.5, 8.0)
+                )
+            elif op == "worker":
+                wid = rng.choice(sorted(workers))
+                workers[wid] = _worker(
+                    wid, rng.uniform(-1, 1), rng.uniform(-1, 1),
+                    cap=rng.choice([1, 2, 3, 4]),
+                )
+            delta.refresh(_sub(points.values(), workers.values()))
+
+
+class TestCatalogStore:
+    def _delta(self):
+        points = [_dp("a", 1.0, 0.0, 5.0), _dp("b", 0.0, 1.0, 6.0)]
+        workers = [_worker("w0", 0.0, 0.0)]
+        return _sub(points, workers), DeltaCatalog(
+            _sub(points, workers), epsilon=2.0, rebuild_fraction=10.0
+        )
+
+    def test_roundtrip_then_refresh(self, tmp_path):
+        sub, delta = self._delta()
+        store = CatalogStore(tmp_path)
+        assert store.save("dc", "fp1", delta)
+        loaded = store.load("dc", 2.0)
+        assert loaded is not None
+        fingerprint, restored = loaded
+        assert fingerprint == "fp1"
+        # The materialised catalog is dropped from the pickle...
+        with pytest.raises(RuntimeError, match="refresh"):
+            restored.catalog
+        # ...and one refresh restores bit-identity, churn included.
+        churned = _sub(
+            [_dp("a", 1.0, 0.0, 5.0), _dp("c", 0.5, 0.5, 3.0)],
+            [_worker("w0", 0.0, 0.0)],
+        )
+        refreshed = restored.refresh(churned)
+        assert not catalog_diff(refreshed, build_catalog(churned, epsilon=2.0))
+
+    def test_epsilon_and_center_mismatch_are_misses(self, tmp_path):
+        _, delta = self._delta()
+        store = CatalogStore(tmp_path)
+        store.save("dc", "fp1", delta)
+        assert store.load("dc", None) is None
+        assert store.load("other", 2.0) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        _, delta = self._delta()
+        store = CatalogStore(tmp_path)
+        store.save("dc", "fp1", delta)
+        store.path_for("dc").write_bytes(b"\x80\x04garbage")
+        before = METRICS.counter("catalog.delta_store_errors").value
+        assert store.load("dc", 2.0) is None
+        assert METRICS.counter("catalog.delta_store_errors").value == before + 1
+
+    def test_format_skew_is_a_miss(self, tmp_path):
+        _, delta = self._delta()
+        store = CatalogStore(tmp_path)
+        payload = {
+            "format": STORE_FORMAT + 1,
+            "center_id": "dc",
+            "fingerprint": "fp1",
+            "epsilon": 2.0,
+            "delta": delta,
+        }
+        store.path_for("dc").write_bytes(pickle.dumps(payload))
+        assert store.load("dc", 2.0) is None
+
+    def test_clear_removes_files(self, tmp_path):
+        _, delta = self._delta()
+        store = CatalogStore(tmp_path)
+        store.save("dc", "fp1", delta)
+        store.save("dc2", "fp2", delta)  # center_id mismatch on load is fine
+        assert store.clear() == 2
+        assert store.load("dc", 2.0) is None
+
+    def test_sanitises_hostile_center_ids(self, tmp_path):
+        store = CatalogStore(tmp_path)
+        path = store.path_for("../evil/center")
+        assert path.parent == tmp_path
+        assert "/" not in path.name
