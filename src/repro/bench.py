@@ -20,6 +20,13 @@ layer the same way: single-point churn steps are timed as
 ``build_catalog`` rebuilds of the largest center, with every step's output
 checked for exact equality via :func:`~repro.vdps.delta.catalog_diff`.
 
+The ``obs_overhead`` section (schema 3) guards the observability layer:
+one dispatch round is timed with tracing disabled, head-sampled away
+(``REPRO_TRACE_SAMPLE=0``), and fully traced.  The three modes must be
+bit-identical in their assignments, and the disabled path is compared
+against the tracked baseline's with a :data:`OBS_OVERHEAD_BUDGET_PCT`
+budget — instrumentation must be free when off.
+
 Shapes are pinned here (not derived from the experiment grids) so the
 numbers stay comparable across PRs:
 
@@ -258,6 +265,148 @@ def _catalog_delta_phase(
     }
 
 
+#: Observability-overhead budget: a tracing-disabled dispatch round may
+#: cost at most this much more than the tracked baseline (schema 3).
+OBS_OVERHEAD_BUDGET_PCT = 2.0
+
+
+def _fingerprint(result) -> Tuple[Tuple[str, float], ...]:
+    """Order-independent identity of one round's assignment decisions."""
+    routes = tuple(
+        (center, worker, tuple(route))
+        for center, per_worker in sorted(result.assignments.items())
+        for worker, route in sorted(per_worker.items())
+    )
+    payoffs = tuple(sorted(result.payoffs.items()))
+    return (routes, payoffs)
+
+
+def _obs_overhead_phase(instance, epsilon: float, seed: int, repeats: int):
+    """Dispatch-round wall time: tracing disabled vs sampled-out vs on.
+
+    Three :class:`~repro.service.engine.DispatchEngine` instances run the
+    same uncommitted round (``commit=False`` leaves the world untouched,
+    so every repetition solves identical sub-problems):
+
+    * ``disabled`` — ``NULL_TRACER`` throughout: the cost of the
+      instrumented engine with tracing off.  This is the number the
+      tracked baseline guards: the ``if tracer.enabled`` guards must keep
+      the disabled path within :data:`OBS_OVERHEAD_BUDGET_PCT` of the
+      committed ``BENCH_core.json``.
+    * ``sampled_out`` — a live JSONL tracer with ``REPRO_TRACE_SAMPLE=0``:
+      every round's trace is head-sampled away, measuring the cost of
+      carrying span context without emitting records.
+    * ``traced`` — the same tracer at sample rate 1.0: full emission cost.
+
+    The three modes must produce bit-identical assignments (``identical``)
+    — tracing is observation, never behaviour.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.tracer import JsonlTracer, SAMPLE_ENV_VAR
+    from repro.service.engine import DispatchEngine
+    from repro.service.state import WorldState
+
+    def make_engine(trace) -> DispatchEngine:
+        state = WorldState(instance.centers, travel=instance.travel)
+        state.add_workers(instance.workers)
+        state.add_tasks(
+            [
+                {
+                    "task_id": task.task_id,
+                    "dp_id": task.delivery_point_id,
+                    "expiry": task.expiry,
+                    "reward": task.reward,
+                }
+                for center in instance.centers
+                for task in center.tasks
+            ]
+        )
+        return DispatchEngine(
+            state,
+            FGTSolver(epsilon=epsilon),
+            epsilon=epsilon,
+            seed=seed,
+            trace=trace,
+        )
+
+    phase: Dict[str, object] = {"budget_pct": OBS_OVERHEAD_BUDGET_PCT}
+    fingerprints = {}
+    saved_rate = os.environ.get(SAMPLE_ENV_VAR)
+    with tempfile.TemporaryDirectory(prefix="repro_bench_obs_") as tmp:
+        for mode in ("disabled", "sampled_out", "traced"):
+            tracer: object = False
+            if mode != "disabled":
+                tracer = JsonlTracer(Path(tmp) / f"{mode}.jsonl")
+                os.environ[SAMPLE_ENV_VAR] = (
+                    "0.0" if mode == "sampled_out" else "1.0"
+                )
+            try:
+                engine = make_engine(tracer)
+                result = engine.dispatch(commit=False)  # warm caches, untimed
+                fingerprints[mode] = _fingerprint(result)
+                best = None
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    engine.dispatch(commit=False)
+                    elapsed = time.perf_counter() - t0
+                    best = elapsed if best is None else min(best, elapsed)
+                phase[f"{mode}_seconds"] = best
+            finally:
+                if tracer is not False:
+                    tracer.close()
+                if saved_rate is None:
+                    os.environ.pop(SAMPLE_ENV_VAR, None)
+                else:
+                    os.environ[SAMPLE_ENV_VAR] = saved_rate
+    disabled = phase["disabled_seconds"]
+    for mode in ("sampled_out", "traced"):
+        phase[f"{mode}_overhead_pct"] = (
+            100.0 * (phase[f"{mode}_seconds"] - disabled) / disabled
+            if disabled > 0
+            else None
+        )
+    phase["identical"] = (
+        fingerprints["disabled"]
+        == fingerprints["sampled_out"]
+        == fingerprints["traced"]
+    )
+    return phase
+
+
+def _overhead_vs_tracked_baseline(
+    phase: Dict[str, object], output: Optional[Path], scale: str
+) -> None:
+    """Fold the committed baseline's disabled-path time into ``phase``.
+
+    The previous ``BENCH_core.json`` at ``output`` (the tracked baseline,
+    about to be overwritten) is the cross-PR reference: a regression of
+    the tracing-disabled dispatch beyond :data:`OBS_OVERHEAD_BUDGET_PCT`
+    sets ``within_budget`` false.  Timing noise makes this advisory —
+    the CLI warns instead of failing — but the number is recorded so a
+    real regression is visible in the diff.
+    """
+    phase["baseline_disabled_seconds"] = None
+    phase["regression_pct"] = None
+    phase["within_budget"] = True
+    if output is None or not Path(output).exists():
+        return
+    try:
+        previous = json.loads(Path(output).read_text())
+        if previous.get("scale") != scale:
+            return  # a baseline at another shape is not comparable
+        baseline = previous["obs_overhead"]["disabled_seconds"]
+    except (ValueError, KeyError, TypeError):
+        return
+    if not isinstance(baseline, (int, float)) or baseline <= 0:
+        return
+    regression = 100.0 * (phase["disabled_seconds"] - baseline) / baseline
+    phase["baseline_disabled_seconds"] = baseline
+    phase["regression_pct"] = regression
+    phase["within_budget"] = regression < OBS_OVERHEAD_BUDGET_PCT
+
+
 def run_bench(
     scale: str = "medium",
     seed: int = 0,
@@ -292,7 +441,7 @@ def run_bench(
     catalog_metrics = METRICS.delta(before)
 
     report: Dict[str, object] = {
-        "schema": 2,
+        "schema": 3,
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
@@ -319,7 +468,11 @@ def run_bench(
             repeats,
         ),
         "catalog_delta": _catalog_delta_phase(subs, shape.epsilon, seed, repeats),
+        "obs_overhead": _obs_overhead_phase(
+            instance, shape.epsilon, seed, repeats
+        ),
     }
+    _overhead_vs_tracked_baseline(report["obs_overhead"], output, scale)
     if output is not None:
         output = Path(output)
         if output.parent != Path(""):
@@ -353,4 +506,20 @@ def format_report(report: Dict[str, object]) -> str:
             f"speedup={delta['speedup']:.1f}x "
             f"identical={delta['identical']} steps={len(delta['steps'])}"
         )
+    obs = report.get("obs_overhead")
+    if obs is not None:
+        lines.append(
+            f"obs overhead     : disabled={obs['disabled_seconds']:.4f}s "
+            f"sampled_out={obs['sampled_out_overhead_pct']:+.1f}% "
+            f"traced={obs['traced_overhead_pct']:+.1f}% "
+            f"identical={obs['identical']}"
+        )
+        if obs.get("regression_pct") is not None:
+            lines.append(
+                f"  vs tracked     : baseline="
+                f"{obs['baseline_disabled_seconds']:.4f}s "
+                f"regression={obs['regression_pct']:+.1f}% "
+                f"(budget {obs['budget_pct']:.0f}%) "
+                f"within_budget={obs['within_budget']}"
+            )
     return "\n".join(lines)

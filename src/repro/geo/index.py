@@ -58,7 +58,12 @@ class GridIndex(Generic[T]):
         """All items within Euclidean ``radius`` of ``center`` (inclusive)."""
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius}")
-        reach = math.ceil(radius / self.cell_size)
+        # One ring wider than ceil(radius/cell): cell assignment floors the
+        # exact coordinate while the distance test rounds, so a point whose
+        # rounded distance equals ``radius`` can sit one cell outside the
+        # naive window (e.g. x=-1e-274 lands in cell -1 yet is at rounded
+        # distance 2.0 from a center at x=2 with cell_size=2).
+        reach = math.ceil(radius / self.cell_size) + 1
         cx, cy = self._cell_of(center)
         hits: List[T] = []
         for gx in range(cx - reach, cx + reach + 1):

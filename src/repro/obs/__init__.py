@@ -1,17 +1,22 @@
-"""Observability: metrics registry, structured tracing, trace analysis.
+"""Observability: metrics registry, causal tracing, SLOs, trace analysis.
 
 The instrumentation layer behind every performance claim in the repo:
 
 * :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
-  counters, gauges, and histogram timers (phase wall time, DP states
-  expanded, catalog-cache hits/misses, verify checks run).
-* :mod:`repro.obs.tracer` — typed JSONL event/span :class:`Tracer` for the
-  solver hot loops, with a shared zero-overhead :data:`NULL_TRACER` default
-  following the ``NullVerifier`` pattern.  Enable per solver
-  (``FGTSolver(trace=True)``), process-wide (:func:`set_tracing`), or via
-  ``REPRO_TRACE=path.jsonl``.
-* :mod:`repro.obs.reader` — reload JSONL traces into typed records and
-  summaries for analysis and tests.
+  counters, gauges, and bucketed latency histograms (phase wall time with
+  p50/p95/p99, DP states expanded, catalog-cache hits/misses, verify
+  checks run), rendered as spec-compliant Prometheus exposition.
+* :mod:`repro.obs.tracer` — typed JSONL event/span tracing with causal
+  span context (``trace``/``span``/``parent`` propagated via
+  ``contextvars``), head sampling (``REPRO_TRACE_SAMPLE``), and a shared
+  zero-overhead :data:`NULL_TRACER` default following the ``NullVerifier``
+  pattern.  Enable per solver (``FGTSolver(trace=True)``), process-wide
+  (:func:`set_tracing`), or via ``REPRO_TRACE=path.jsonl``.
+* :mod:`repro.obs.reader` — reload JSONL traces into typed records,
+  reconstructed span trees (:func:`build_span_trees`), critical-path /
+  self-time analyses (:func:`analyze_trace`), and summaries.
+* :mod:`repro.obs.slo` — declarative latency/quality objectives with
+  error-budget burn accounting (the ``GET /slo`` endpoint).
 
 The timing context managers of :mod:`repro.utils.timing` are re-exported
 here so there is one timing idiom: ``from repro.obs import Stopwatch``.
@@ -19,6 +24,7 @@ See ``docs/observability.md`` for the event/metric ↔ paper mapping.
 """
 
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
     METRICS,
     Counter,
     Gauge,
@@ -29,23 +35,44 @@ from repro.obs.metrics import (
     reset_metrics,
 )
 from repro.obs.reader import (
+    SpanForest,
+    SpanNode,
+    TraceAnalysis,
     TraceFormatError,
     TraceRecord,
     TraceSummary,
+    analyze_trace,
+    build_span_trees,
     iter_trace,
     parse_record,
     read_trace,
     summarize_trace,
 )
+from repro.obs.slo import (
+    LatencyObjective,
+    RatioObjective,
+    SLOBoard,
+    SLOStatus,
+    default_slos,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
+    SAMPLE_ENV_VAR,
     TRACE_ENV_VAR,
     JsonlTracer,
     MemoryTracer,
     NullTracer,
+    SpanContext,
+    attach_context,
+    current_context,
+    current_trace_id,
     memory_tracer,
+    new_trace_id,
     resolve_tracer,
+    sample_rate,
     set_tracing,
+    start_trace,
+    trace_sampled,
     tracing_enabled,
 )
 from repro.utils.timing import CpuTimer, Stopwatch, record_time, timed
@@ -55,6 +82,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "DEFAULT_BUCKETS",
     "MetricsRegistry",
     "METRICS",
     "metrics_registry",
@@ -66,18 +94,38 @@ __all__ = [
     "JsonlTracer",
     "MemoryTracer",
     "TRACE_ENV_VAR",
+    "SAMPLE_ENV_VAR",
+    "SpanContext",
+    "attach_context",
+    "current_context",
+    "current_trace_id",
     "memory_tracer",
+    "new_trace_id",
     "resolve_tracer",
+    "sample_rate",
     "set_tracing",
+    "start_trace",
+    "trace_sampled",
     "tracing_enabled",
     # reader
     "TraceRecord",
     "TraceSummary",
     "TraceFormatError",
+    "SpanForest",
+    "SpanNode",
+    "TraceAnalysis",
+    "analyze_trace",
+    "build_span_trees",
     "parse_record",
     "iter_trace",
     "read_trace",
     "summarize_trace",
+    # SLOs
+    "SLOBoard",
+    "SLOStatus",
+    "LatencyObjective",
+    "RatioObjective",
+    "default_slos",
     # one timing idiom (re-exported from repro.utils.timing)
     "CpuTimer",
     "Stopwatch",

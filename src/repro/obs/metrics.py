@@ -8,7 +8,10 @@ them without tracing overhead:
 
 * :class:`Counter` — monotone tallies (cache hits, DP expansions, switches).
 * :class:`Gauge` — last-observed values (catalog size, worker count).
-* :class:`Histogram` — streaming count/total/min/max summaries of samples;
+* :class:`Histogram` — bucketed latency distributions: fixed log-spaced
+  buckets (:data:`DEFAULT_BUCKETS`) with streaming count/total/min/max,
+  p50/p95/p99 estimation by in-bucket linear interpolation, and
+  spec-compliant Prometheus ``_bucket``/``_sum``/``_count`` exposition;
   :meth:`MetricsRegistry.timer` feeds one with wall-clock phase durations
   measured via ``time.perf_counter``.
 
@@ -25,8 +28,9 @@ import math
 import re
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 #: Characters Prometheus forbids in metric names, replaced by ``_``.
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
@@ -52,6 +56,11 @@ def _prom_value(value: float) -> str:
     if isinstance(value, float) and not value.is_integer():
         return repr(value)
     return str(int(value))
+
+
+def _prom_bound(bound: float) -> str:
+    """Render a bucket's ``le`` bound (``0.005``, ``1.0``, ...)."""
+    return repr(float(bound))
 
 
 class Counter:
@@ -83,19 +92,47 @@ class Gauge:
         self.value = float(value)
 
 
+#: Default histogram bucket upper bounds, in seconds: log-spaced from
+#: 100 µs to a minute, sized for the latencies this codebase produces
+#: (journal fsyncs at the fast end, cold C-VDPS builds at the slow end).
+#: Observations above the last bound land in the implicit ``+Inf`` bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
 class Histogram:
-    """Streaming summary (count, total, min, max) of observed samples."""
+    """Bucketed distribution of observed samples.
 
-    __slots__ = ("count", "total", "min", "max")
+    Fixed upper-bound buckets (Prometheus ``le`` semantics: bucket *i*
+    counts samples ``<= bounds[i]``; one implicit ``+Inf`` bucket catches
+    the rest) plus the streaming count/total/min/max summary the registry
+    has always exposed.  Quantiles are estimated the way
+    ``histogram_quantile`` does it — find the bucket holding the target
+    rank, interpolate linearly inside it — then clamped to the observed
+    ``[min, max]`` so tiny sample counts cannot report a latency nobody
+    ever saw.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("count", "total", "min", "max", "bounds", "bucket_counts")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(sorted(DEFAULT_BUCKETS if buckets is None else buckets))
+        if not bounds or any(b <= 0 for b in bounds):
+            raise ValueError(f"bucket bounds must be positive, got {bounds!r}")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be distinct, got {bounds!r}")
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.bounds = bounds
+        # Per-bucket (non-cumulative) tallies; the final slot is +Inf.
+        self.bucket_counts = [0] * (len(bounds) + 1)
 
     def observe(self, value: float) -> None:
-        """Fold one sample into the summary; thread-safe."""
+        """Fold one sample into the distribution; thread-safe."""
         value = float(value)
         with _LOCK:
             self.count += 1
@@ -104,11 +141,80 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         """Mean of the observed samples (0.0 before any observation)."""
         return self.total / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative count per bound (``le`` semantics), +Inf slot last."""
+        with _LOCK:
+            counts = list(self.bucket_counts)
+        out: List[int] = []
+        running = 0
+        for c in counts:
+            running += c
+            out.append(running)
+        return out
+
+    def count_le(self, threshold: float) -> int:
+        """Samples known to be ``<= threshold`` from the buckets alone.
+
+        Conservative: only whole buckets whose upper bound is within the
+        threshold are counted, so samples between the last such bound and
+        the threshold are treated as violations.  SLO latency compliance
+        uses this, which is why objective thresholds should sit on bucket
+        bounds.
+        """
+        cumulative = self.cumulative_counts()
+        best = 0
+        for bound, cum in zip(self.bounds, cumulative):
+            if bound <= threshold:
+                best = cum
+            else:
+                break
+        return best
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``); 0.0 with no samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with _LOCK:
+            count = self.count
+            counts = list(self.bucket_counts)
+            lo_seen, hi_seen = self.min, self.max
+        if not count:
+            return 0.0
+        rank = q * count
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if i >= len(self.bounds):
+                    return hi_seen  # the +Inf bucket: all we know is max
+                hi = self.bounds[i]
+                lo = self.bounds[i - 1] if i else 0.0
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lo + (hi - lo) * fraction
+                return min(max(estimate, lo_seen), hi_seen)
+        return hi_seen
+
+    @property
+    def p50(self) -> float:
+        """Estimated median."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """Estimated 95th percentile."""
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th percentile."""
+        return self.quantile(0.99)
 
 
 class MetricsRegistry:
@@ -155,15 +261,21 @@ class MetricsRegistry:
                     metric = self._gauges[name] = Gauge()
         return metric
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram called ``name``, created on first use (thread-safe)."""
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use (thread-safe).
+
+        ``buckets`` (upper bounds) applies only at creation; an existing
+        histogram keeps the bounds it was born with.
+        """
         metric = self._histograms.get(name)
         if metric is None:
             with _LOCK:
                 metric = self._histograms.get(name)
                 if metric is None:
                     self._check_unique(name, "histogram")
-                    metric = self._histograms[name] = Histogram()
+                    metric = self._histograms[name] = Histogram(buckets)
         return metric
 
     @contextmanager
@@ -235,12 +347,14 @@ class MetricsRegistry:
     def render_prometheus(self, prefix: str = "repro_") -> str:
         """Prometheus text-exposition rendering of the registry.
 
-        Counters and gauges keep their kind; a histogram renders as a
-        ``summary`` (``_count``/``_sum``) plus ``_min``/``_max`` gauges once
-        it has samples.  Registry names are sanitised (``.`` and ``-``
-        become ``_``) and prefixed, so ``service.dispatch_seconds`` is
-        scraped as ``repro_service_dispatch_seconds_sum`` etc.  This is what
-        ``GET /metrics`` on the dispatch service serves.
+        Counters and gauges keep their kind; a histogram renders as a real
+        Prometheus ``histogram`` — cumulative ``_bucket{le="..."}`` series
+        ending in ``le="+Inf"``, then ``_sum`` and ``_count`` — plus
+        ``_min``/``_max`` gauges once it has samples.  Registry names are
+        sanitised (``.`` and ``-`` become ``_``) and prefixed, so
+        ``service.dispatch_seconds`` is scraped as
+        ``repro_service_dispatch_seconds_bucket{le="0.005"}`` etc.  This is
+        what ``GET /metrics`` on the dispatch service serves.
         """
         with _LOCK:
             counters = dict(self._counters)
@@ -258,9 +372,15 @@ class MetricsRegistry:
         for name in sorted(histograms):
             hist = histograms[name]
             metric = _prom_name(name, prefix)
-            lines.append(f"# TYPE {metric} summary")
-            lines.append(f"{metric}_count {_prom_value(hist.count)}")
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = hist.cumulative_counts()
+            for bound, cum in zip(hist.bounds, cumulative):
+                lines.append(
+                    f'{metric}_bucket{{le="{_prom_bound(bound)}"}} {cum}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative[-1]}')
             lines.append(f"{metric}_sum {_prom_value(hist.total)}")
+            lines.append(f"{metric}_count {_prom_value(hist.count)}")
             if hist.count:
                 lines.append(f"# TYPE {metric}_min gauge")
                 lines.append(f"{metric}_min {_prom_value(hist.min)}")

@@ -1,4 +1,4 @@
-"""Load JSONL traces back into typed records and summarise them.
+"""Load JSONL traces back into typed records, trees, and summaries.
 
 The reader is the analysis-side counterpart of
 :class:`~repro.obs.tracer.JsonlTracer`: it parses every line the tracer can
@@ -6,6 +6,19 @@ emit into a :class:`TraceRecord` and folds a record stream into a
 :class:`TraceSummary` — per-phase wall time, rounds, switches, and the final
 metrics snapshot — which is what ``python -m repro trace`` prints and what
 convergence analyses (Figure 12 style) consume.
+
+Since spans carry causal identity (``trace``/``span``/``parent``),
+:func:`build_span_trees` reconstructs each trace's span forest, and
+:func:`analyze_trace` walks it into the operator view ``python -m repro
+trace analyze`` prints: per-dispatch-round critical paths (which center,
+which ladder rung, which catalog path made the round slow) and a
+flamegraph-style self-time table per span kind.
+
+A service killed mid-write (the chaos suite's SIGKILL) leaves a torn final
+line; :func:`iter_trace` forgives exactly that — damage on the *last*
+non-blank line — mirroring the journal's torn-tail semantics, while damage
+followed by intact records still raises :class:`TraceFormatError` (it
+cannot be a crash artefact).
 """
 
 from __future__ import annotations
@@ -18,7 +31,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 PathLike = Union[str, Path]
 
 #: Record fields reserved by the tracer envelope.
-_ENVELOPE = ("kind", "seq", "ts", "dur")
+_ENVELOPE = ("kind", "seq", "ts", "dur", "trace", "span", "parent")
 
 
 class TraceFormatError(ValueError):
@@ -48,6 +61,10 @@ class TraceRecord:
     ts: float
     dur: Optional[float]
     fields: Mapping[str, Any]
+    #: Causal identity; ``None`` on records from pre-context producers.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     @property
     def solver(self) -> str:
@@ -57,6 +74,11 @@ class TraceRecord:
     @property
     def is_span(self) -> bool:
         return self.dur is not None
+
+    @property
+    def start_ts(self) -> float:
+        """When the record's work began (spans emit at exit)."""
+        return self.ts - self.dur if self.dur is not None else self.ts
 
 
 def parse_record(line: str, lineno: int = 0) -> TraceRecord:
@@ -76,20 +98,44 @@ def parse_record(line: str, lineno: int = 0) -> TraceRecord:
         ts=float(raw["ts"]),
         dur=None if "dur" not in raw else float(raw["dur"]),
         fields={k: v for k, v in raw.items() if k not in _ENVELOPE},
+        trace_id=None if "trace" not in raw else str(raw["trace"]),
+        span_id=None if "span" not in raw else str(raw["span"]),
+        parent_id=None if "parent" not in raw else str(raw["parent"]),
     )
 
 
-def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
-    """Lazily parse the trace at ``path``, skipping blank lines."""
+def iter_trace(
+    path: PathLike, tolerate_torn_tail: bool = True
+) -> Iterator[TraceRecord]:
+    """Lazily parse the trace at ``path``, skipping blank lines.
+
+    A process killed mid-write leaves a torn final line;
+    ``tolerate_torn_tail`` forgives a parse failure if and only if no
+    intact record follows it — the journal's torn-tail rule.  Damage
+    *before* intact records always raises :class:`TraceFormatError`.
+    """
+    pending: Optional[TraceFormatError] = None
     with Path(path).open() as fh:
         for lineno, line in enumerate(fh, start=1):
-            if line.strip():
-                yield parse_record(line, lineno)
+            if not line.strip():
+                continue
+            if pending is not None:
+                raise pending  # damage followed by data: real corruption
+            try:
+                record = parse_record(line, lineno)
+            except TraceFormatError as exc:
+                if not tolerate_torn_tail:
+                    raise
+                pending = exc
+                continue
+            yield record
 
 
-def read_trace(path: PathLike) -> List[TraceRecord]:
+def read_trace(
+    path: PathLike, tolerate_torn_tail: bool = True
+) -> List[TraceRecord]:
     """Parse the whole trace at ``path`` into a list of records."""
-    return list(iter_trace(path))
+    return list(iter_trace(path, tolerate_torn_tail=tolerate_torn_tail))
 
 
 @dataclass
@@ -229,3 +275,219 @@ def summarize_trace(
                 summary.solve_failures.get(error, 0) + 1
             )
     return summary
+
+
+# -- span-tree reconstruction and critical-path analysis ---------------------
+
+
+@dataclass
+class SpanNode:
+    """One span (or leaf event) in a reconstructed trace tree."""
+
+    record: TraceRecord
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return self.record.kind
+
+    @property
+    def dur(self) -> float:
+        return self.record.dur or 0.0
+
+    @property
+    def self_time(self) -> float:
+        """The span's duration minus its child spans' durations, floored at 0.
+
+        Children that ran concurrently (the per-center thread pool) can sum
+        past the parent's wall time; the floor keeps the flamegraph table
+        sane — a fan-out parent simply reports ~0 self time.
+        """
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+    def walk(self) -> Iterator["SpanNode"]:
+        """This node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def label(self) -> str:
+        """``kind`` plus its most identifying fields, for display."""
+        bits = [self.kind]
+        for key in ("center", "rung", "path", "round", "attempt"):
+            value = self.record.fields.get(key)
+            if value is not None:
+                bits.append(f"{key}={value}")
+        return " ".join(bits)
+
+
+@dataclass
+class SpanForest:
+    """Every trace's span trees, plus the records that failed to attach."""
+
+    #: ``trace_id -> root nodes`` (roots are spans with no parent).
+    roots: Dict[str, List[SpanNode]] = field(default_factory=dict)
+    #: Records naming a parent span that the trace never emitted.  A live
+    #: tracer cannot produce these (a parent's record always lands, even on
+    #: exceptions); their presence means a truncated or corrupted file.
+    orphans: List[TraceRecord] = field(default_factory=list)
+    #: Records with no causal identity at all (pre-context producers).
+    contextless: List[TraceRecord] = field(default_factory=list)
+
+    def iter_spans(self) -> Iterator[SpanNode]:
+        """Every node of every tree, depth-first."""
+        for trees in self.roots.values():
+            for root in trees:
+                yield from root.walk()
+
+    def find(self, kind: str) -> List[SpanNode]:
+        """Every node whose kind equals ``kind``, in emission order."""
+        found = [n for n in self.iter_spans() if n.kind == kind]
+        found.sort(key=lambda n: n.record.seq)
+        return found
+
+
+def build_span_trees(
+    records: Union[Sequence[TraceRecord], PathLike]
+) -> SpanForest:
+    """Reconstruct the span forest of a record stream (or trace file).
+
+    Spans become inner nodes; point events become zero-duration leaves
+    under their parent span.  Children are ordered by start time so a
+    tree reads chronologically.
+    """
+    if isinstance(records, (str, Path)):
+        records = read_trace(records)
+    forest = SpanForest()
+    nodes: Dict[str, SpanNode] = {}
+    spans: List[TraceRecord] = []
+    leaves: List[TraceRecord] = []
+    for record in records:
+        if record.trace_id is None:
+            forest.contextless.append(record)
+        elif record.span_id is not None:
+            nodes[record.span_id] = SpanNode(record)
+            spans.append(record)
+        else:
+            leaves.append(record)
+    for record in spans + leaves:
+        node = nodes.get(record.span_id) if record.span_id else SpanNode(record)
+        if record.parent_id is None:
+            forest.roots.setdefault(record.trace_id, []).append(node)
+        elif record.parent_id in nodes:
+            nodes[record.parent_id].children.append(node)
+        else:
+            forest.orphans.append(record)
+    for node in nodes.values():
+        node.children.sort(key=lambda c: (c.record.start_ts, c.record.seq))
+    for trees in forest.roots.values():
+        trees.sort(key=lambda n: (n.record.start_ts, n.record.seq))
+    return forest
+
+
+@dataclass
+class RoundPath:
+    """One dispatch round's critical path through its span tree."""
+
+    round_index: int
+    dur: float
+    #: ``(depth, label, dur)`` down the path of largest child spans.
+    steps: List[Any] = field(default_factory=list)
+
+
+@dataclass
+class TraceAnalysis:
+    """What ``python -m repro trace analyze`` reports."""
+
+    forest: SpanForest
+    rounds: List[RoundPath] = field(default_factory=list)
+    #: ``kind -> (count, total wall, total self-time)`` over every span.
+    phases: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def orphan_count(self) -> int:
+        return len(self.forest.orphans)
+
+    def format(self, top: int = 10) -> str:
+        """Human-readable critical paths + per-phase self-time table."""
+        lines: List[str] = []
+        trace_count = len(self.forest.roots)
+        lines.append(
+            f"{trace_count} trace(s), "
+            f"{sum(1 for _ in self.forest.iter_spans())} spans/events, "
+            f"{self.orphan_count} orphan(s)"
+        )
+        if self.rounds:
+            lines.append("")
+            lines.append("per-round critical paths")
+            for rp in self.rounds:
+                lines.append(f"  round {rp.round_index}  {rp.dur:.6f}s")
+                for depth, label, dur in rp.steps:
+                    indent = "    " * (depth + 1)
+                    lines.append(f"  {indent}{dur:.6f}s  {label}")
+        if self.phases:
+            lines.append("")
+            lines.append("phase self-time (flamegraph totals)")
+            ranked = sorted(
+                self.phases.items(), key=lambda kv: kv[1][2], reverse=True
+            )[:top]
+            width = max(len(kind) for kind, _ in ranked)
+            lines.append(
+                f"  {'kind'.ljust(width)}  {'count':>6}  "
+                f"{'total_s':>10}  {'self_s':>10}"
+            )
+            for kind, (count, total, self_time) in ranked:
+                lines.append(
+                    f"  {kind.ljust(width)}  {count:>6}  "
+                    f"{total:>10.6f}  {self_time:>10.6f}"
+                )
+        if self.forest.orphans:
+            lines.append("")
+            lines.append("orphaned records (parent span never emitted)")
+            for record in self.forest.orphans[:top]:
+                lines.append(
+                    f"  seq={record.seq} kind={record.kind} "
+                    f"parent={record.parent_id}"
+                )
+        return "\n".join(lines)
+
+
+def _critical_path(node: SpanNode) -> List[Any]:
+    """Descend into the largest child span at each level."""
+    steps: List[Any] = []
+    depth = 0
+    current = node
+    while True:
+        span_children = [c for c in current.children if c.record.is_span]
+        if not span_children:
+            break
+        best = max(span_children, key=lambda c: c.dur)
+        steps.append((depth, best.label(), best.dur))
+        current = best
+        depth += 1
+    return steps
+
+
+def analyze_trace(
+    records: Union[Sequence[TraceRecord], PathLike]
+) -> TraceAnalysis:
+    """Reconstruct trees and derive the per-round/per-phase view."""
+    forest = build_span_trees(records)
+    analysis = TraceAnalysis(forest=forest)
+    for node in forest.iter_spans():
+        if not node.record.is_span:
+            continue
+        count, total, self_time = analysis.phases.get(node.kind, (0, 0.0, 0.0))
+        analysis.phases[node.kind] = (
+            count + 1, total + node.dur, self_time + node.self_time
+        )
+    for node in forest.find("service.round"):
+        analysis.rounds.append(
+            RoundPath(
+                round_index=int(node.record.fields.get("round", -1)),
+                dur=node.dur,
+                steps=_critical_path(node),
+            )
+        )
+    analysis.rounds.sort(key=lambda rp: rp.round_index)
+    return analysis

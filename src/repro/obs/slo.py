@@ -1,0 +1,229 @@
+"""Declarative latency/quality objectives with error-budget accounting.
+
+The ROADMAP's scale-out item needs a yardstick: before the dispatch
+service is sharded across processes, "is a shard as healthy as the
+monolith?" must be a number.  This module turns the metrics registry into
+that number.  An *objective* declares what fraction of events must be good
+(``target``, e.g. 0.99); evaluation reports
+
+* ``compliance`` — the observed good fraction,
+* ``error_budget`` — the tolerated bad fraction, ``1 - target``,
+* ``burn`` — how much of the budget is spent: ``(1 - compliance) /
+  error_budget``.  Below 1.0 the objective holds; above it, it is
+  breached.  A burn of 2.0 means failing at twice the tolerated rate.
+
+Two objective shapes cover everything the service tracks:
+
+* :class:`LatencyObjective` — "p-fraction of observations in histogram H
+  complete within T seconds".  Compliance comes from the histogram's
+  buckets (:meth:`~repro.obs.metrics.Histogram.count_le`), which is exact
+  when ``T`` sits on a bucket bound and conservative otherwise.
+* :class:`RatioObjective` — "at most (1 - target) of counter TOTAL may be
+  counter BAD" (deadline misses per solve, degraded rungs per solve, ...).
+
+:func:`default_slos` declares the service's four stock objectives; an
+:class:`SLOBoard` evaluates a set of objectives against a registry and
+renders the JSON the ``GET /slo`` endpoint serves.  With no events yet an
+objective is vacuously compliant (burn 0) — an idle service is not
+failing, it is idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One objective's evaluation snapshot."""
+
+    name: str
+    description: str
+    target: float
+    compliance: float
+    events: int
+    bad_events: float
+    detail: Dict[str, float]
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+    @property
+    def burn(self) -> float:
+        """Error-budget burn: 1.0 = budget exactly spent, >1 = breached."""
+        if not self.events:
+            return 0.0
+        return (1.0 - self.compliance) / self.error_budget
+
+    @property
+    def ok(self) -> bool:
+        return self.burn <= 1.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the status, floats rounded for stable output."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "target": self.target,
+            "compliance": round(self.compliance, 6),
+            "error_budget": round(self.error_budget, 6),
+            "burn": round(self.burn, 4),
+            "ok": self.ok,
+            "events": self.events,
+            "bad_events": round(self.bad_events, 6),
+            "detail": {k: round(v, 6) for k, v in self.detail.items()},
+        }
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """``target`` fraction of ``histogram`` samples must be <= ``threshold_s``."""
+
+    name: str
+    description: str
+    histogram: str
+    threshold_s: float
+    target: float
+
+    def evaluate(self, registry: MetricsRegistry) -> SLOStatus:
+        """Score the objective against ``registry``'s histogram samples."""
+        hist = registry.histogram(self.histogram)
+        total = hist.count
+        good = hist.count_le(self.threshold_s) if total else 0
+        compliance = good / total if total else 1.0
+        detail = {"threshold_s": self.threshold_s}
+        if total:
+            detail.update(p50=hist.p50, p95=hist.p95, p99=hist.p99)
+        return SLOStatus(
+            name=self.name,
+            description=self.description,
+            target=self.target,
+            compliance=compliance,
+            events=total,
+            bad_events=float(total - good),
+            detail=detail,
+        )
+
+
+@dataclass(frozen=True)
+class RatioObjective:
+    """At most ``1 - target`` of ``total_counter`` may be ``bad_counter``."""
+
+    name: str
+    description: str
+    bad_counter: str
+    total_counter: str
+    target: float
+
+    def evaluate(self, registry: MetricsRegistry) -> SLOStatus:
+        """Score the objective against ``registry``'s counter pair."""
+        total = registry.counter(self.total_counter).value
+        bad = registry.counter(self.bad_counter).value
+        bad = min(bad, total)  # racy reads may momentarily disagree
+        compliance = 1.0 - bad / total if total else 1.0
+        return SLOStatus(
+            name=self.name,
+            description=self.description,
+            target=self.target,
+            compliance=compliance,
+            events=total,
+            bad_events=float(bad),
+            detail={},
+        )
+
+
+def default_slos(
+    round_latency_s: float = 2.5,
+    fsync_latency_s: float = 0.05,
+) -> List[object]:
+    """The dispatch service's stock objectives.
+
+    Thresholds sit on :data:`~repro.obs.metrics.DEFAULT_BUCKETS` bounds so
+    latency compliance is bucket-exact (see
+    :meth:`~repro.obs.metrics.Histogram.count_le`).
+    """
+    return [
+        LatencyObjective(
+            name="round_latency",
+            description=(
+                f"99% of dispatch rounds complete within {round_latency_s:g}s"
+            ),
+            histogram="service.dispatch_seconds",
+            threshold_s=round_latency_s,
+            target=0.99,
+        ),
+        RatioObjective(
+            name="center_deadline_hits",
+            description="95% of per-center solves finish inside their deadline",
+            bad_counter="dispatch.solve_timeouts",
+            total_counter="dispatch.center_solves",
+            target=0.95,
+        ),
+        RatioObjective(
+            name="primary_rung_rate",
+            description="90% of per-center solves stay on the primary solver",
+            bad_counter="dispatch.degraded_total",
+            total_counter="dispatch.center_solves",
+            target=0.90,
+        ),
+        LatencyObjective(
+            name="journal_fsync_latency",
+            description=(
+                f"99% of journal fsyncs complete within {fsync_latency_s:g}s"
+            ),
+            histogram="service.journal.fsync_seconds",
+            threshold_s=fsync_latency_s,
+            target=0.99,
+        ),
+    ]
+
+
+class SLOBoard:
+    """A fixed set of objectives evaluated on demand against a registry."""
+
+    def __init__(
+        self,
+        objectives: Optional[Sequence[object]] = None,
+        registry: MetricsRegistry = METRICS,
+    ) -> None:
+        self._objectives = tuple(
+            default_slos() if objectives is None else objectives
+        )
+        self._registry = registry
+
+    @property
+    def objectives(self) -> Sequence[object]:
+        return self._objectives
+
+    def evaluate(self) -> List[SLOStatus]:
+        """Every objective's current :class:`SLOStatus`."""
+        return [obj.evaluate(self._registry) for obj in self._objectives]
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON payload ``GET /slo`` serves."""
+        statuses = self.evaluate()
+        breached = [s.name for s in statuses if not s.ok]
+        return {
+            "objectives": [s.as_dict() for s in statuses],
+            "ok": not breached,
+            "breached": breached,
+            "worst_burn": round(
+                max((s.burn for s in statuses), default=0.0), 4
+            ),
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """The compact form embedded in ``GET /healthz``."""
+        statuses = self.evaluate()
+        breached = [s.name for s in statuses if not s.ok]
+        return {
+            "ok": not breached,
+            "breached": breached,
+            "worst_burn": round(
+                max((s.burn for s in statuses), default=0.0), 4
+            ),
+        }

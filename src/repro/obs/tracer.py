@@ -12,9 +12,24 @@ One trace is a JSON Lines stream of typed records.  Every record carries
 * ``seq`` — a per-tracer monotone sequence number,
 * ``ts`` — seconds since the tracer was opened (``time.perf_counter``),
 * ``dur`` — span duration in seconds, present only on span records,
+* ``trace`` / ``span`` / ``parent`` — causal identity: the trace a record
+  belongs to, the span's own id, and its parent span's id (span records
+  emit all three; point events carry ``trace``/``parent`` only),
 
 plus event-specific fields.  :mod:`repro.obs.reader` loads the stream back
-into typed records.
+into typed records and can reconstruct the span tree
+(:func:`~repro.obs.reader.build_span_trees`).
+
+Causal context rides a :class:`contextvars.ContextVar`, so nesting is
+automatic on one thread; code that fans work out across a thread pool
+captures :func:`current_context` before submitting and re-attaches it with
+:func:`attach_context` inside each worker (``contextvars`` do not cross
+thread boundaries on their own).  :func:`start_trace` opens a new trace —
+the dispatch API calls it per HTTP request with the client's
+``X-Repro-Trace-Id`` — and is also where head-based sampling happens: the
+``REPRO_TRACE_SAMPLE`` environment variable (a fraction in [0, 1]) decides
+per *trace* (deterministically from the trace id, so a trace is either
+fully recorded or fully dropped, never half a tree).
 
 Tracing is enabled per solver (``FGTSolver(trace=...)`` accepts ``True`` or
 a tracer instance), process-wide via :func:`set_tracing`, or for a whole
@@ -24,15 +39,139 @@ same three tiers as runtime verification.
 
 from __future__ import annotations
 
+import contextvars
+import itertools
 import json
 import os
 import threading
 import time
+import zlib
+from contextlib import contextmanager
 from pathlib import Path
-from typing import IO, Any, Dict, List, Optional, Union
+from typing import IO, Any, Dict, Iterator, List, NamedTuple, Optional, Union
 
 #: Environment variable naming the JSONL file process-wide tracing writes to.
 TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: Environment variable holding the head-sampling fraction in [0, 1].
+#: Applied per trace id at :func:`start_trace`; absent or malformed means
+#: record everything.
+SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
+
+
+class SpanContext(NamedTuple):
+    """The causal position of the current code: which trace, under which span.
+
+    ``span_id`` is ``None`` at the root of a freshly started trace (no span
+    opened yet).  ``sampled=False`` suppresses every emission under the
+    context while keeping ids flowing, so an unsampled request costs two
+    context-variable operations and nothing else.
+    """
+
+    trace_id: str
+    span_id: Optional[str]
+    sampled: bool
+
+
+#: The ambient causal context.  ``None`` outside any trace/span.
+_SPAN_CTX: "contextvars.ContextVar[Optional[SpanContext]]" = (
+    contextvars.ContextVar("repro_span_ctx", default=None)
+)
+
+#: Span-id allocator: unique within the process and — thanks to the random
+#: starting offset — across process restarts appending to the same trace
+#: file (the chaos kill-and-recover path), so trees never alias.
+_SPAN_IDS = itertools.count(int.from_bytes(os.urandom(6), "big") << 16)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return os.urandom(8).hex()
+
+
+def _next_span_id() -> str:
+    return format(next(_SPAN_IDS), "x")
+
+
+def current_context() -> Optional[SpanContext]:
+    """The ambient :class:`SpanContext`, or ``None`` outside any trace."""
+    return _SPAN_CTX.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The ambient trace id, or ``None`` outside any trace."""
+    ctx = _SPAN_CTX.get()
+    return None if ctx is None else ctx.trace_id
+
+
+def sample_rate() -> float:
+    """The ``REPRO_TRACE_SAMPLE`` fraction, clamped to [0, 1] (default 1)."""
+    raw = os.environ.get(SAMPLE_ENV_VAR, "").strip()
+    if not raw:
+        return 1.0
+    try:
+        rate = float(raw)
+    except ValueError:
+        return 1.0
+    return min(1.0, max(0.0, rate))
+
+
+def trace_sampled(trace_id: str, rate: Optional[float] = None) -> bool:
+    """Deterministic head-sampling verdict for ``trace_id``.
+
+    Hash-based, not random: every process (and every span site) agrees on
+    the verdict for a given id, so a trace is recorded whole or not at all.
+    """
+    if rate is None:
+        rate = sample_rate()
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    bucket = zlib.crc32(trace_id.encode("utf-8")) & 0xFFFFFFFF
+    return bucket < rate * (1 << 32)
+
+
+@contextmanager
+def start_trace(
+    trace_id: Optional[str] = None, sampled: Optional[bool] = None
+) -> Iterator[str]:
+    """Open a (possibly propagated) trace for the enclosed block.
+
+    ``trace_id=None`` mints a fresh id; passing one adopts the caller's
+    (the ``X-Repro-Trace-Id`` propagation path).  ``sampled=None`` defers
+    to :func:`trace_sampled`; explicitly passing a bool overrides the knob
+    (the CLI forces ``True`` for its own runs).  Yields the trace id so
+    callers can echo it back.
+    """
+    if trace_id is None:
+        trace_id = new_trace_id()
+    if sampled is None:
+        sampled = trace_sampled(trace_id)
+    token = _SPAN_CTX.set(SpanContext(str(trace_id), None, bool(sampled)))
+    try:
+        yield str(trace_id)
+    finally:
+        _SPAN_CTX.reset(token)
+
+
+@contextmanager
+def attach_context(ctx: Optional[SpanContext]) -> Iterator[None]:
+    """Re-attach a captured :class:`SpanContext` on the current thread.
+
+    The explicit propagation hook for thread pools: the submitting side
+    captures :func:`current_context`, each worker runs under
+    ``attach_context(ctx)`` so its spans parent correctly.  ``None`` is a
+    no-op, keeping call sites unconditional.
+    """
+    if ctx is None:
+        yield
+        return
+    token = _SPAN_CTX.set(ctx)
+    try:
+        yield
+    finally:
+        _SPAN_CTX.reset(token)
 
 
 class NullTracer:
@@ -60,6 +199,10 @@ class NullTracer:
 class _NullSpan:
     """Context manager returned by :meth:`NullTracer.span`."""
 
+    def add(self, **fields: Any) -> None:
+        """Attach fields to the span record; no-op."""
+        pass
+
     def __enter__(self) -> "_NullSpan":
         return self
 
@@ -74,27 +217,73 @@ NULL_TRACER = NullTracer()
 
 
 class _Span:
-    """Live span: emits a ``kind`` record with ``dur`` when the block exits."""
+    """Live span: emits a ``kind`` record with ``dur`` when the block exits.
 
-    __slots__ = ("_tracer", "_kind", "_fields", "_start")
+    On entry the span allocates its id, records the ambient context as its
+    parent, and installs itself as the new ambient context — so spans nest
+    causally with no plumbing at the call sites.  Under an unsampled
+    context the span emits nothing (and installs nothing: the unsampled
+    context already suppresses any children).
+    """
+
+    __slots__ = (
+        "_tracer", "_kind", "_fields", "_start",
+        "_token", "_skip", "_trace_id", "_span_id", "_parent_id",
+    )
 
     def __init__(self, tracer: "_RecordingTracer", kind: str, fields: Dict[str, Any]):
         self._tracer = tracer
         self._kind = kind
         self._fields = fields
         self._start = 0.0
+        self._token = None
+        self._skip = False
+        self._trace_id: Optional[str] = None
+        self._span_id: Optional[str] = None
+        self._parent_id: Optional[str] = None
 
     def add(self, **fields: Any) -> None:
         """Attach more fields to the record the span will emit."""
         self._fields.update(fields)
 
     def __enter__(self) -> "_Span":
+        ctx = _SPAN_CTX.get()
+        if ctx is not None and not ctx.sampled:
+            self._skip = True
+        else:
+            if ctx is not None:
+                self._trace_id = ctx.trace_id
+                self._parent_id = ctx.span_id
+            else:
+                # Outside any started trace (offline solver runs): all of
+                # this tracer's root spans share its implicit trace id so
+                # the file still reconstructs into trees.
+                self._trace_id = self._tracer.trace_id
+                self._parent_id = None
+            self._span_id = _next_span_id()
+            self._token = _SPAN_CTX.set(
+                SpanContext(self._trace_id, self._span_id, True)
+            )
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
         dur = time.perf_counter() - self._start
-        self._tracer._emit_record(self._kind, self._fields, dur=dur)
+        if self._token is not None:
+            _SPAN_CTX.reset(self._token)
+            self._token = None
+        if self._skip:
+            return
+        if exc_type is not None:
+            self._fields.setdefault("error", exc_type.__name__)
+        self._tracer._emit_record(
+            self._kind,
+            self._fields,
+            dur=dur,
+            trace=self._trace_id,
+            span=self._span_id,
+            parent=self._parent_id,
+        )
 
 
 class _RecordingTracer(NullTracer):
@@ -105,20 +294,42 @@ class _RecordingTracer(NullTracer):
     def __init__(self) -> None:
         self._seq = 0
         self._t0 = time.perf_counter()
+        # The tracer's implicit trace id: adopted by root spans opened
+        # outside any start_trace() (offline CLI runs).
+        self.trace_id = new_trace_id()
         # The dispatch engine emits from a thread pool; sequencing and the
         # sink write must be atomic so records never interleave mid-line.
         self._emit_lock = threading.Lock()
 
     def event(self, kind: str, **fields: Any) -> None:
-        """Emit one timestamped event record."""
-        self._emit_record(kind, fields)
+        """Emit one timestamped event record.
+
+        Events are causal leaves: they carry the ambient ``trace`` and the
+        enclosing span as ``parent`` but allocate no span id.  Under an
+        unsampled context the event is dropped.
+        """
+        ctx = _SPAN_CTX.get()
+        if ctx is None:
+            self._emit_record(kind, fields)
+            return
+        if not ctx.sampled:
+            return
+        self._emit_record(
+            kind, fields, trace=ctx.trace_id, parent=ctx.span_id
+        )
 
     def span(self, kind: str, **fields: Any) -> _Span:
         """A context manager that emits ``kind`` with its wall duration."""
         return _Span(self, kind, dict(fields))
 
     def _emit_record(
-        self, kind: str, fields: Dict[str, Any], dur: Optional[float] = None
+        self,
+        kind: str,
+        fields: Dict[str, Any],
+        dur: Optional[float] = None,
+        trace: Optional[str] = None,
+        span: Optional[str] = None,
+        parent: Optional[str] = None,
     ) -> None:
         with self._emit_lock:
             record: Dict[str, Any] = {
@@ -128,6 +339,12 @@ class _RecordingTracer(NullTracer):
             }
             if dur is not None:
                 record["dur"] = round(dur, 9)
+            if trace is not None:
+                record["trace"] = trace
+            if span is not None:
+                record["span"] = span
+            if parent is not None:
+                record["parent"] = parent
             record.update(fields)
             self._seq += 1
             self._write(record)
@@ -155,14 +372,23 @@ class JsonlTracer(_RecordingTracer):
         self.path = None if path is None else Path(path)
 
     def _write(self, record: Dict[str, Any]) -> None:
+        # A detached solve thread can outlive the run that installed this
+        # tracer and emit after close; drop those records instead of
+        # raising on (or tearing a line into) a closed stream.
+        if self._stream.closed:
+            return
         self._stream.write(json.dumps(record, separators=(",", ":")) + "\n")
 
     def flush(self) -> None:
-        self._stream.flush()
+        """Flush the underlying stream (no-op once closed)."""
+        if not self._stream.closed:
+            self._stream.flush()
 
     def close(self) -> None:
-        if self._owns_stream and not self._stream.closed:
-            self._stream.close()
+        """Close an owned stream; emission afterwards is silently dropped."""
+        with self._emit_lock:
+            if self._owns_stream and not self._stream.closed:
+                self._stream.close()
 
     def __enter__(self) -> "JsonlTracer":
         return self

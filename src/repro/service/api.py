@@ -11,10 +11,17 @@ method     path             effect
 ``POST``   ``/workers``     register workers (attached to nearest center)
 ``POST``   ``/dispatch``    run one round; ``advance_hours``/``commit`` optional
 ``GET``    ``/assignments`` last committed round + cumulative worker stats
-``GET``    ``/healthz``     liveness: clock, rounds, queue depth, uptime
+``GET``    ``/healthz``     liveness: clock, rounds, queue depth, uptime, SLOs
 ``GET``    ``/metrics``     Prometheus rendering of :data:`repro.obs.METRICS`
+``GET``    ``/slo``         objectives with error-budget burn (:mod:`repro.obs.slo`)
 ``POST``   ``/shutdown``    graceful stop (drain in-flight round, final dump)
 =========  ===============  ====================================================
+
+Every request runs inside a trace: the ``X-Repro-Trace-Id`` request header
+is adopted as the trace id when present (minted otherwise) and echoed on
+the response, so a client can stitch its call into the server's JSONL
+trace.  When tracing is live the request itself is a ``service.request``
+span, and the dispatch round's whole span tree hangs under it.
 
 Shutdown is graceful whichever way it arrives (signal, ``/shutdown``, or
 :meth:`DispatchServer.stop`): the accept loop stops, any in-flight dispatch
@@ -30,7 +37,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import METRICS
-from repro.obs.tracer import resolve_tracer
+from repro.obs.slo import SLOBoard
+from repro.obs.tracer import resolve_tracer, start_trace
 from repro.service.engine import DispatchEngine, EngineDraining
 from repro.utils.log import get_logger
 
@@ -38,6 +46,9 @@ _LOG = get_logger("service.api")
 
 #: Largest request body the API accepts (1 MiB keeps churn posts cheap).
 MAX_BODY_BYTES = 1 << 20
+
+#: Request/response header carrying the causal trace id.
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 
 class ApiError(Exception):
@@ -78,6 +89,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -98,6 +112,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802
         self._route({"/healthz": self._get_healthz,
                      "/metrics": self._get_metrics,
+                     "/slo": self._get_slo,
                      "/assignments": self._get_assignments})
 
     def do_POST(self) -> None:  # noqa: N802
@@ -109,15 +124,27 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, table: Dict[str, object]) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         handler = table.get(path)
-        try:
-            if handler is None:
-                raise ApiError(404, f"no such endpoint: {self.path}")
-            handler()
-        except ApiError as exc:
-            self._send_json({"error": str(exc)}, status=exc.status)
-        except Exception as exc:  # the service must answer, not die
-            _LOG.exception("unhandled error serving %s", self.path)
-            self._send_json({"error": f"internal error: {exc}"}, status=500)
+        # Adopt the caller's trace id (or mint one), echo it on the
+        # response, and run the whole request under that context so every
+        # span the handler triggers lands in the caller's trace.
+        with start_trace(self.headers.get(TRACE_HEADER) or None) as trace_id:
+            self._trace_id = trace_id
+            try:
+                if handler is None:
+                    raise ApiError(404, f"no such endpoint: {self.path}")
+                tracer = resolve_tracer(False)
+                if tracer.enabled:
+                    with tracer.span(
+                        "service.request", method=self.command, endpoint=path
+                    ):
+                        handler()
+                else:
+                    handler()
+            except ApiError as exc:
+                self._send_json({"error": str(exc)}, status=exc.status)
+            except Exception as exc:  # the service must answer, not die
+                _LOG.exception("unhandled error serving %s", self.path)
+                self._send_json({"error": f"internal error: {exc}"}, status=500)
 
     # -- endpoints ----------------------------------------------------------
 
@@ -147,10 +174,14 @@ class _Handler(BaseHTTPRequestHandler):
             }
         if engine.faults is not None:
             payload["faults"] = engine.faults.describe()
+        payload["slo"] = self.server.slo_board.summary()
         self._send_json(payload)
 
     def _get_metrics(self) -> None:
         self._send_text(METRICS.render_prometheus())
+
+    def _get_slo(self) -> None:
+        self._send_json(self.server.slo_board.as_dict())
 
     def _get_assignments(self) -> None:
         engine = self.server.engine
@@ -231,9 +262,15 @@ class DispatchHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: Tuple[str, int], engine: DispatchEngine) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        engine: DispatchEngine,
+        slo_board: Optional[SLOBoard] = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.engine = engine
+        self.slo_board = slo_board if slo_board is not None else SLOBoard()
         self.started = time.perf_counter()
         self._stop_requested = threading.Event()
 
@@ -262,16 +299,24 @@ class DispatchServer:
     """
 
     def __init__(
-        self, engine: DispatchEngine, host: str = "127.0.0.1", port: int = 0
+        self,
+        engine: DispatchEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slo_board: Optional[SLOBoard] = None,
     ) -> None:
         self._engine = engine
-        self._httpd = DispatchHTTPServer((host, port), engine)
+        self._httpd = DispatchHTTPServer((host, port), engine, slo_board)
         self._thread: Optional[threading.Thread] = None
         self._closed = False
 
     @property
     def engine(self) -> DispatchEngine:
         return self._engine
+
+    @property
+    def slo_board(self) -> SLOBoard:
+        return self._httpd.slo_board
 
     @property
     def host(self) -> str:

@@ -62,6 +62,11 @@ class DispatchClient:
         its ``retry=True`` is passed explicitly.
     backoff_s:
         Base sleep between connection retries (doubled per attempt).
+    trace_id:
+        When set, sent as the ``X-Repro-Trace-Id`` header on every request
+        so the server's spans land in the caller's trace.  The server
+        echoes the header either way; :attr:`last_trace_id` keeps the most
+        recent echo for correlation.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class DispatchClient:
         timeout: float = 10.0,
         retries: int = 2,
         backoff_s: float = 0.1,
+        trace_id: Optional[str] = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -79,6 +85,9 @@ class DispatchClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.trace_id = trace_id
+        #: The trace id the server echoed on the last successful response.
+        self.last_trace_id: Optional[str] = None
 
     # -- transport ----------------------------------------------------------
 
@@ -97,16 +106,22 @@ class DispatchClient:
         for attempt in range(attempts):
             if attempt and self.backoff_s:
                 time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            headers = {"Content-Type": "application/json"} if body else {}
+            if self.trace_id:
+                headers["X-Repro-Trace-Id"] = self.trace_id
             request = urllib.request.Request(
                 f"{self.base_url}{path}",
                 data=body,
                 method=method,
-                headers={"Content-Type": "application/json"} if body else {},
+                headers=headers,
             )
             try:
                 with urllib.request.urlopen(
                     request, timeout=self.timeout
                 ) as response:
+                    echoed = response.headers.get("X-Repro-Trace-Id")
+                    if echoed:
+                        self.last_trace_id = echoed
                     return (
                         response.status,
                         response.read(),
@@ -203,6 +218,10 @@ class DispatchClient:
     def assignments(self) -> Dict:
         """``GET /assignments`` — last committed round + worker stats."""
         return self._json("GET", "/assignments")
+
+    def slo(self) -> Dict:
+        """``GET /slo`` — objectives with error-budget burn accounting."""
+        return self._json("GET", "/slo")
 
     def shutdown(self) -> Dict:
         """``POST /shutdown`` — ask the service to stop gracefully.

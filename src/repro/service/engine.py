@@ -52,11 +52,20 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from contextlib import nullcontext
+
 from repro.baselines.gta import GTASolver
 from repro.core.assignment import Assignment, WorkerAssignment
+from repro.core.fairness import gini_coefficient, jain_index
 from repro.core.instance import SubProblem
 from repro.obs.metrics import METRICS
-from repro.obs.tracer import NullTracer, resolve_tracer
+from repro.obs.tracer import (
+    NullTracer,
+    attach_context,
+    current_context,
+    resolve_tracer,
+    start_trace,
+)
 from repro.parallel import InstanceSolution, solve_instance, solve_subproblem
 from repro.service.breaker import BreakerBoard, BreakerConfig
 from repro.service.cache import SnapshotCatalogCache
@@ -65,6 +74,11 @@ from repro.service.faults import FaultPlan, InjectedFault, resolve_faults
 from repro.service.state import WorldSnapshot, WorldState
 from repro.utils.rng import RngFactory, SeedLike
 from repro.verify.checkers import verify_assignment
+
+
+#: Reusable no-op scope for ``with span if tracer.enabled else _NULL_SCOPE``
+#: sites — keeps the disabled path from even building the span's kwargs.
+_NULL_SCOPE = nullcontext()
 
 
 class EngineDraining(RuntimeError):
@@ -326,88 +340,130 @@ class DispatchEngine:
         with self._dispatch_lock:
             start = time.perf_counter()
             tracer = resolve_tracer(self._trace)
-            with self._state.lock:
-                self._state.advance(advance_hours)
-                expired = self._state.expire()
-                snapshot = self._state.snapshot()
-            index = self._round
-            self._round += 1
-            hits_before = METRICS.counter("service.catalog_cache.hits").value
-            misses_before = METRICS.counter("service.catalog_cache.misses").value
-
-            payoffs: Dict[str, float] = {}
-            assignments: Dict[str, Dict[str, Tuple[str, ...]]] = {}
-            degraded: Dict[str, str] = {}
-            assigned = 0
-            verified = 0
-            p_dif = 0.0
-            avg_p = 0.0
-            if snapshot.subproblems:
-                if self._fault_tolerant:
-                    solution, degraded, verified = self._solve_fault_tolerant(
-                        snapshot, index, tracer
-                    )
-                else:
-                    catalogs = {
-                        sub.center.center_id: self._cache.get(
-                            sub,
-                            snapshot.fingerprints[sub.center.center_id],
-                            self._epsilon,
-                        )
-                        for sub in snapshot.subproblems
-                    }
-                    solution = solve_instance(
-                        snapshot.instance(),
-                        self._solver,
-                        epsilon=self._epsilon,
-                        seed=self.round_seed(index),
-                        n_jobs=self._n_jobs,
-                        seed_stream=self._name,
-                        catalogs=catalogs,
-                    )
-                    if self._verify:
-                        for sub in snapshot.subproblems:
-                            center_id = sub.center.center_id
-                            verify_assignment(
-                                solution.assignments[center_id],
-                                sub=sub,
-                                catalog=catalogs[center_id],
-                                solver=self._name,
-                            )
-                            verified += 1
-                for center_id, assignment in solution.assignments.items():
-                    assignments[center_id] = dict(assignment.as_mapping())
-                    for pair in assignment:
-                        payoffs[pair.worker.worker_id] = pair.payoff
-                p_dif = solution.payoff_difference
-                avg_p = solution.average_payoff
-                if commit:
-                    assigned = self._state.commit(snapshot, solution.assignments)
-
-            duration = time.perf_counter() - start
-            result = RoundResult(
-                round_index=index,
-                now=snapshot.now,
-                committed=commit,
-                center_ids=tuple(snapshot.center_ids),
-                assigned_tasks=assigned,
-                expired_tasks=len(expired),
-                pending_tasks=self._state.pending_task_count,
-                available_workers=self._state.available_worker_count(),
-                payoff_difference=p_dif,
-                average_payoff=avg_p,
-                payoffs=payoffs,
-                assignments=assignments,
-                cache_hits=METRICS.counter("service.catalog_cache.hits").value
-                - hits_before,
-                cache_misses=METRICS.counter("service.catalog_cache.misses").value
-                - misses_before,
-                verified_centers=verified,
-                duration_seconds=duration,
-                degraded=degraded,
+            # Each round belongs to exactly one trace: adopt the ambient
+            # context (the HTTP request's, carrying X-Repro-Trace-Id) when
+            # present, otherwise open a per-round trace so offline callers
+            # get complete trees — and head sampling — too.
+            trace_scope = (
+                start_trace()
+                if tracer.enabled and current_context() is None
+                else nullcontext()
             )
-            self._record(result, tracer)
+            with trace_scope, tracer.span("service.round") as round_span:
+                result = self._dispatch_round(
+                    advance_hours, commit, start, tracer, round_span
+                )
             return result
+
+    def _dispatch_round(
+        self,
+        advance_hours: float,
+        commit: bool,
+        start: float,
+        tracer: NullTracer,
+        round_span,
+    ) -> RoundResult:
+        """The body of one round, run under the round's span context."""
+        with self._state.lock:
+            self._state.advance(advance_hours)
+            expired = self._state.expire()
+            snapshot = self._state.snapshot()
+        index = self._round
+        self._round += 1
+        hits_before = METRICS.counter("service.catalog_cache.hits").value
+        misses_before = METRICS.counter("service.catalog_cache.misses").value
+
+        payoffs: Dict[str, float] = {}
+        assignments: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        degraded: Dict[str, str] = {}
+        assigned = 0
+        verified = 0
+        p_dif = 0.0
+        avg_p = 0.0
+        if snapshot.subproblems:
+            if self._fault_tolerant:
+                solution, degraded, verified = self._solve_fault_tolerant(
+                    snapshot, index, tracer
+                )
+            else:
+                catalogs = {
+                    sub.center.center_id: self._cache.get(
+                        sub,
+                        snapshot.fingerprints[sub.center.center_id],
+                        self._epsilon,
+                    )
+                    for sub in snapshot.subproblems
+                }
+                METRICS.counter("dispatch.center_solves").add(
+                    len(snapshot.subproblems)
+                )
+                solution = solve_instance(
+                    snapshot.instance(),
+                    self._solver,
+                    epsilon=self._epsilon,
+                    seed=self.round_seed(index),
+                    n_jobs=self._n_jobs,
+                    seed_stream=self._name,
+                    catalogs=catalogs,
+                )
+                if self._verify:
+                    for sub in snapshot.subproblems:
+                        center_id = sub.center.center_id
+                        verify_assignment(
+                            solution.assignments[center_id],
+                            sub=sub,
+                            catalog=catalogs[center_id],
+                            solver=self._name,
+                        )
+                        verified += 1
+            for center_id, assignment in solution.assignments.items():
+                assignments[center_id] = dict(assignment.as_mapping())
+                for pair in assignment:
+                    payoffs[pair.worker.worker_id] = pair.payoff
+            p_dif = solution.payoff_difference
+            avg_p = solution.average_payoff
+            if commit:
+                assigned = self._state.commit(snapshot, solution.assignments)
+
+        duration = time.perf_counter() - start
+        result = RoundResult(
+            round_index=index,
+            now=snapshot.now,
+            committed=commit,
+            center_ids=tuple(snapshot.center_ids),
+            assigned_tasks=assigned,
+            expired_tasks=len(expired),
+            pending_tasks=self._state.pending_task_count,
+            available_workers=self._state.available_worker_count(),
+            payoff_difference=p_dif,
+            average_payoff=avg_p,
+            payoffs=payoffs,
+            assignments=assignments,
+            cache_hits=METRICS.counter("service.catalog_cache.hits").value
+            - hits_before,
+            cache_misses=METRICS.counter("service.catalog_cache.misses").value
+            - misses_before,
+            verified_centers=verified,
+            duration_seconds=duration,
+            degraded=degraded,
+        )
+        self._record(result)
+        if tracer.enabled:
+            round_span.add(
+                round=result.round_index,
+                now=result.now,
+                committed=result.committed,
+                centers=len(result.center_ids),
+                assigned=result.assigned_tasks,
+                expired=result.expired_tasks,
+                p_dif=result.payoff_difference,
+                cache_hits=result.cache_hits,
+                cache_misses=result.cache_misses,
+                degraded=sum(
+                    1 for rung in result.degraded.values() if rung != "primary"
+                ),
+            )
+        return result
 
     def begin_drain(self) -> None:
         """Refuse new dispatch rounds (in-flight rounds keep committing).
@@ -499,9 +555,27 @@ class DispatchEngine:
             for sub in subs
         }
 
+        # contextvars stay on their thread: capture the round's context here
+        # and re-attach it inside each pool worker so per-center spans hang
+        # off the round span instead of becoming orphans.
+        ctx = current_context()
+
         def solve(sub: SubProblem) -> Tuple[Assignment, str, bool]:
             cid = sub.center.center_id
-            return self._solve_center(sub, snapshot, index, cid, seeds[cid], tracer)
+            METRICS.counter("dispatch.center_solves").add(1)
+            if not tracer.enabled:
+                return self._solve_center(
+                    sub, snapshot, index, cid, seeds[cid], tracer
+                )
+            with attach_context(ctx):
+                with tracer.span(
+                    "service.center_solve", round=index, center=cid
+                ) as span:
+                    outcome = self._solve_center(
+                        sub, snapshot, index, cid, seeds[cid], tracer
+                    )
+                    span.add(rung=outcome[1])
+            return outcome
 
         if self._n_jobs > 1 and len(subs) > 1:
             with ThreadPoolExecutor(
@@ -559,10 +633,21 @@ class DispatchEngine:
                     METRICS.counter("dispatch.solve_retries").add(1)
                     self._backoff(round_index, cid, attempt)
                 try:
-                    assignment = self._attempt_solve(
-                        sub, snapshot, solver, seed, round_index, cid,
-                        rung_index, attempt,
-                    )
+                    # Each ladder rung attempt is a child span of the
+                    # center solve; a failing attempt's span still lands
+                    # (with an ``error`` field), so critical paths show
+                    # time burned on rungs that did not produce the route.
+                    with tracer.span(
+                        "service.rung",
+                        round=round_index,
+                        center=cid,
+                        rung=rung_name,
+                        attempt=attempt,
+                    ) if tracer.enabled else _NULL_SCOPE:
+                        assignment = self._attempt_solve(
+                            sub, snapshot, solver, seed, round_index, cid,
+                            rung_index, attempt,
+                        )
                 except Exception as exc:  # noqa: BLE001 — the ladder absorbs all
                     METRICS.counter("dispatch.solve_failures").add(1)
                     if isinstance(exc, SolveTimeout):
@@ -610,8 +695,15 @@ class DispatchEngine:
             if self._faults is not None
             else None
         )
+        # The deadline path runs the solve on a fresh thread; carry the rung
+        # span's context over so catalog spans nest under it.
+        ctx = current_context()
 
         def run() -> Assignment:
+            with attach_context(ctx):
+                return _run_body()
+
+        def _run_body() -> Assignment:
             if action is not None:
                 kind, seconds = action
                 if kind == "error":
@@ -694,7 +786,7 @@ class DispatchEngine:
 
     # -- internals ----------------------------------------------------------
 
-    def _record(self, result: RoundResult, tracer: NullTracer) -> None:
+    def _record(self, result: RoundResult) -> None:
         self._history.append(result)
         if len(self._history) > self._history_limit:
             del self._history[: -self._history_limit]
@@ -711,28 +803,31 @@ class DispatchEngine:
         METRICS.gauge("service.round.payoff_difference").set(
             result.payoff_difference
         )
-        degraded_centers = 0
+        self._record_fairness(result)
         for rung in result.degraded.values():
             if rung != "primary":
-                degraded_centers += 1
                 METRICS.counter("dispatch.degraded_total").add(1)
                 METRICS.counter(f"dispatch.degraded_{rung}").add(1)
         if self._fault_tolerant:
             METRICS.gauge("service.breaker.open").set(
                 self._breakers.open_count()
             )
-        if tracer.enabled:
-            tracer.event(
-                "service.round",
-                round=result.round_index,
-                now=result.now,
-                committed=result.committed,
-                centers=len(result.center_ids),
-                assigned=result.assigned_tasks,
-                expired=result.expired_tasks,
-                p_dif=result.payoff_difference,
-                cache_hits=result.cache_hits,
-                cache_misses=result.cache_misses,
-                degraded=degraded_centers,
-                dur=result.duration_seconds,
-            )
+
+    def _record_fairness(self, result: RoundResult) -> None:
+        """Rolling per-round fairness telemetry (the temporal-fairness hook).
+
+        Gini/Jain over the round's per-worker payoffs land in gauges, and
+        every payoff feeds a histogram, so an operator can watch equity
+        drift across rounds instead of waiting for an end-of-run report.
+        Payoffs are clamped at zero for the Gini (which rejects negatives);
+        the engine never produces negative payoffs, but a defensive clamp
+        beats a crashed round.
+        """
+        if not result.payoffs:
+            return
+        values = [max(0.0, float(v)) for v in result.payoffs.values()]
+        METRICS.gauge("fairness.round_gini").set(gini_coefficient(values))
+        METRICS.gauge("fairness.round_jain").set(jain_index(values))
+        payoff_hist = METRICS.histogram("fairness.worker_payoff")
+        for value in values:
+            payoff_hist.observe(value)

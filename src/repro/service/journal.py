@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.obs.metrics import METRICS
+from repro.obs.tracer import resolve_tracer
 
 PathLike = Union[str, Path]
 
@@ -162,17 +163,32 @@ class WorldJournal:
         """
         seq = self._next_seq
         line = _encode(seq, kind, data)
-        fh = self._ensure_open()
-        fh.write(line)
-        fh.flush()
-        if self.fsync:
-            os.fsync(fh.fileno())
-            METRICS.counter("service.journal.fsyncs").add(1)
+        tracer = resolve_tracer(False)
+        if tracer.enabled:
+            # ``kind`` is the tracer's envelope key, hence ``record_kind``.
+            with tracer.span(
+                "service.journal.append",
+                record_kind=kind,
+                journal_seq=seq,
+                bytes=len(line),
+            ):
+                self._write_record(line)
+        else:
+            self._write_record(line)
         self._next_seq = seq + 1
         self._since_compaction += 1
         METRICS.counter("service.journal.records").add(1)
         METRICS.counter("service.journal.bytes").add(len(line))
         return seq
+
+    def _write_record(self, line: str) -> None:
+        fh = self._ensure_open()
+        fh.write(line)
+        fh.flush()
+        if self.fsync:
+            with METRICS.timer("service.journal.fsync_seconds"):
+                os.fsync(fh.fileno())
+            METRICS.counter("service.journal.fsyncs").add(1)
 
     def rewrite(self, records: List[Tuple[str, Dict[str, Any]]]) -> None:
         """Atomically replace the journal with ``records`` (compaction).

@@ -49,7 +49,7 @@ import numpy as np
 from repro.core.entities import DeliveryPoint, Worker
 from repro.core.instance import SubProblem
 from repro.obs.metrics import METRICS
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import NULL_TRACER, resolve_tracer
 from repro.vdps.catalog import (
     VDPSCatalog,
     WorkerStrategy,
@@ -121,8 +121,19 @@ class DeltaCatalog:
         self._rebuild_fraction = float(rebuild_fraction)
         self._verify = bool(verify)
         self._catalog: Optional[VDPSCatalog] = None
-        with METRICS.timer("catalog.delta_refresh_seconds"):
-            self._full_rebuild(sub)
+        self._last_path = "rebuild"
+        tracer = resolve_tracer(False)
+        if tracer.enabled:
+            with tracer.span(
+                "catalog.refresh",
+                center=sub.center.center_id,
+                path="rebuild",
+            ):
+                with METRICS.timer("catalog.delta_refresh_seconds"):
+                    self._full_rebuild(sub)
+        else:
+            with METRICS.timer("catalog.delta_refresh_seconds"):
+                self._full_rebuild(sub)
 
     # -- public surface -----------------------------------------------------
 
@@ -151,9 +162,23 @@ class DeltaCatalog:
         Equal — strategy for strategy, bit for bit — to
         ``build_catalog(sub, epsilon=...)``, whether the refresh applied
         deltas or fell back to a rebuild.
+
+        Traced as a ``catalog.refresh`` span whose ``path`` field names
+        the outcome — ``delta``, ``noop``, ``fallback``, or ``rebuild`` —
+        so round critical paths attribute catalog time to the decision
+        that caused it.
         """
-        with METRICS.timer("catalog.delta_refresh_seconds"):
-            catalog = self._refresh(sub)
+        tracer = resolve_tracer(False)
+        if tracer.enabled:
+            with tracer.span(
+                "catalog.refresh", center=self._center_id
+            ) as span:
+                with METRICS.timer("catalog.delta_refresh_seconds"):
+                    catalog = self._refresh(sub)
+                span.add(path=self._last_path)
+        else:
+            with METRICS.timer("catalog.delta_refresh_seconds"):
+                catalog = self._refresh(sub)
         if self._verify:
             diffs = catalog_diff(
                 catalog,
@@ -189,6 +214,7 @@ class DeltaCatalog:
         ):
             METRICS.counter("catalog.delta_fallbacks").add(1)
             self._full_rebuild(sub)
+            self._last_path = "fallback"
             return self._catalog
         # Same geometry and parameters: adopt the live travel model (its
         # memoised distances are shared with the rest of the service).
@@ -211,15 +237,18 @@ class DeltaCatalog:
             and workers == self._catalog.workers
         ):
             METRICS.counter("catalog.delta_noops").add(1)
+            self._last_path = "noop"
             return self._catalog
         if churn > self._rebuild_fraction * max(
             len(new_points), len(self._points), 1
         ) or (new_cap > self._cap_built and self._cap_built == 0):
             METRICS.counter("catalog.delta_fallbacks").add(1)
             self._full_rebuild(sub)
+            self._last_path = "fallback"
             return self._catalog
 
         METRICS.counter("catalog.delta_applies").add(1)
+        self._last_path = "delta"
         METRICS.counter("catalog.delta_points_added").add(len(added) + len(changed))
         METRICS.counter("catalog.delta_points_removed").add(
             len(removed) + len(changed)

@@ -59,6 +59,16 @@ class TestWithin:
         index = GridIndex.build([(Point(3.0, 0.0), "edge")], cell_size=1.0)
         assert index.within(Point(0, 0), 3.0) == ["edge"]
 
+    def test_rounded_boundary_point_in_adjacent_cell(self):
+        # Hypothesis counterexample: the point lives in cell -1 (its exact
+        # coordinate is a tiny negative), but its *rounded* distance to the
+        # center is exactly the radius, so brute force includes it. The scan
+        # window must reach one cell past ceil(radius/cell) to find it.
+        p = Point(-5.693229560222134e-274, 0.0)
+        index = GridIndex.build([(p, "edge")], cell_size=2.0)
+        assert Point(2.0, 0.0).distance_to(p) <= 2.0
+        assert index.within(Point(2.0, 0.0), 2.0) == ["edge"]
+
 
 class TestNearest:
     def test_matches_brute_force(self):

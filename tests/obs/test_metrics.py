@@ -5,7 +5,9 @@ import time
 import pytest
 
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
     METRICS,
+    Histogram,
     MetricsRegistry,
     metrics_registry,
     render_prometheus,
@@ -42,6 +44,110 @@ class TestPrimitives:
 
     def test_empty_histogram_mean_is_zero(self):
         assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestHistogramBuckets:
+    def test_default_buckets_are_sorted_and_positive(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(b > 0 for b in DEFAULT_BUCKETS)
+
+    def test_observations_land_in_correct_buckets(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 10.0):
+            hist.observe(v)
+        # Non-cumulative slots: (-inf,1], (1,2], (2,4], (4,+inf)
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.cumulative_counts() == [2, 3, 4, 5]
+
+    def test_boundary_value_counts_as_le(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.bucket_counts[0] == 1  # le="1.0" includes 1.0 exactly
+
+    def test_count_le_is_conservative(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            hist.observe(v)
+        assert hist.count_le(2.0) == 2  # exact bound: whole buckets
+        # 3.0 sits in the (2, 4] bucket; a threshold inside that bucket
+        # cannot prove the observation is below it.
+        assert hist.count_le(3.5) == 2
+
+    def test_quantiles_interpolate_within_bucket(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.2, 0.4, 1.2, 1.8, 3.0, 3.5):
+            hist.observe(v)
+        assert 0.0 <= hist.p50 <= 2.0
+        assert 2.0 <= hist.p95 <= 3.5  # clamped to the observed max
+        assert hist.p99 <= hist.max
+
+    def test_quantiles_clamp_to_observed_extrema(self):
+        hist = Histogram(buckets=(10.0,))
+        hist.observe(2.0)
+        hist.observe(3.0)
+        assert hist.p99 <= 3.0
+        assert hist.p50 >= 2.0
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        hist = Histogram()
+        assert hist.p50 == 0.0 and hist.p95 == 0.0 and hist.p99 == 0.0
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(-1.0, 1.0))
+
+    def test_unsorted_buckets_are_normalised(self):
+        assert Histogram(buckets=(2.0, 1.0)).bounds == (1.0, 2.0)
+
+    def test_registry_custom_buckets_apply_at_creation(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.5, 1.0))
+        assert registry.histogram("h") is hist
+        assert list(hist.bounds) == [0.5, 1.0]
+
+
+class TestHistogramExposition:
+    """The rendered histogram must parse as spec-compliant exposition."""
+
+    @staticmethod
+    def _parse(text, metric):
+        buckets, tail = {}, {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, value = line.partition(" ")
+            if name.startswith(metric + "_bucket{le=\""):
+                le = name[len(metric) + 12 : -2]
+                buckets[le] = float(value)
+            elif name in (metric + "_sum", metric + "_count"):
+                tail[name] = float(value)
+        return buckets, tail
+
+    def test_bucket_series_is_cumulative_and_ends_at_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 0.5, 1.0))
+        for v in (0.05, 0.3, 0.7, 2.0):
+            hist.observe(v)
+        text = registry.render_prometheus()
+        buckets, tail = self._parse(text, "repro_lat")
+        assert list(buckets) == ["0.1", "0.5", "1.0", "+Inf"]
+        counts = list(buckets.values())
+        assert counts == sorted(counts)  # cumulative: monotone non-decreasing
+        assert counts == [1.0, 2.0, 3.0, 4.0]
+        assert buckets["+Inf"] == tail["repro_lat_count"] == 4.0
+        assert tail["repro_lat_sum"] == pytest.approx(3.05)
+
+    def test_le_labels_parse_as_floats(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.01)
+        buckets, _ = self._parse(registry.render_prometheus(), "repro_h")
+        for le in buckets:
+            if le != "+Inf":
+                assert float(le) > 0
 
 
 class TestRegistry:
@@ -128,9 +234,10 @@ class TestPrometheusRendering:
         text = registry.render_prometheus()
         assert "# TYPE repro_service_rounds counter\nrepro_service_rounds 2" in text
         assert "# TYPE repro_queue_depth gauge\nrepro_queue_depth 1.5" in text
-        assert "# TYPE repro_dispatch_seconds summary" in text
+        assert "# TYPE repro_dispatch_seconds histogram" in text
         assert "repro_dispatch_seconds_count 1" in text
         assert "repro_dispatch_seconds_sum 0.25" in text
+        assert 'repro_dispatch_seconds_bucket{le="+Inf"} 1' in text
         assert text.endswith("\n")
 
     def test_histogram_extrema_become_gauges(self):

@@ -1,0 +1,144 @@
+"""Tests for the declarative SLO board and error-budget burn accounting."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    LatencyObjective,
+    RatioObjective,
+    SLOBoard,
+    default_slos,
+)
+
+
+class TestLatencyObjective:
+    def _objective(self, registry, target=0.9, threshold=1.0):
+        return LatencyObjective(
+            name="lat",
+            description="round latency",
+            histogram="round_seconds",
+            threshold_s=threshold,
+            target=target,
+        )
+
+    def test_no_events_is_vacuously_compliant(self):
+        registry = MetricsRegistry()
+        status = self._objective(registry).evaluate(registry)
+        assert status.events == 0
+        assert status.compliance == 1.0
+        assert status.burn == 0.0
+        assert status.ok
+
+    def test_compliance_counts_samples_under_threshold(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("round_seconds", buckets=(1.0, 5.0))
+        for v in (0.2, 0.8, 3.0, 4.0):
+            hist.observe(v)
+        status = self._objective(registry, target=0.9).evaluate(registry)
+        assert status.events == 4
+        assert status.bad_events == 2
+        assert status.compliance == 0.5
+        # burn = (1 - 0.5) / (1 - 0.9) = 5x the error budget
+        assert status.burn == pytest.approx(5.0)
+        assert not status.ok
+
+    def test_detail_reports_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("round_seconds").observe(0.01)
+        status = self._objective(registry).evaluate(registry)
+        assert status.detail["threshold_s"] == 1.0
+        assert "p99" in status.detail
+
+
+class TestRatioObjective:
+    def _objective(self, target=0.95):
+        return RatioObjective(
+            name="hits",
+            description="deadline hit rate",
+            bad_counter="timeouts",
+            total_counter="solves",
+            target=target,
+        )
+
+    def test_no_events_is_vacuously_compliant(self):
+        registry = MetricsRegistry()
+        status = self._objective().evaluate(registry)
+        assert status.compliance == 1.0 and status.burn == 0.0
+
+    def test_burn_scales_with_bad_fraction(self):
+        registry = MetricsRegistry()
+        registry.counter("solves").add(100)
+        registry.counter("timeouts").add(10)
+        status = self._objective(target=0.95).evaluate(registry)
+        assert status.compliance == pytest.approx(0.9)
+        assert status.burn == pytest.approx(2.0)
+        assert not status.ok
+
+    def test_bad_clamped_to_total(self):
+        # Racy counter reads can momentarily show bad > total; the board
+        # must not report negative compliance.
+        registry = MetricsRegistry()
+        registry.counter("solves").add(1)
+        registry.counter("timeouts").add(5)
+        status = self._objective().evaluate(registry)
+        assert 0.0 <= status.compliance <= 1.0
+
+
+class TestBoard:
+    def test_default_board_evaluates_all_objectives(self):
+        registry = MetricsRegistry()
+        board = SLOBoard(registry=registry)
+        statuses = board.evaluate()
+        names = {s.name for s in statuses}
+        assert names == {
+            "round_latency",
+            "center_deadline_hits",
+            "primary_rung_rate",
+            "journal_fsync_latency",
+        }
+
+    def test_as_dict_reports_breaches_and_worst_burn(self):
+        registry = MetricsRegistry()
+        registry.counter("dispatch.center_solves").add(10)
+        registry.counter("dispatch.solve_timeouts").add(5)
+        board = SLOBoard(registry=registry)
+        payload = board.as_dict()
+        assert payload["ok"] is False
+        assert "center_deadline_hits" in payload["breached"]
+        assert payload["worst_burn"] > 1.0
+        by_name = {o["name"]: o for o in payload["objectives"]}
+        assert by_name["center_deadline_hits"]["burn"] == pytest.approx(10.0)
+        assert by_name["round_latency"]["burn"] == 0.0  # no rounds yet
+
+    def test_summary_is_compact(self):
+        registry = MetricsRegistry()
+        summary = SLOBoard(registry=registry).summary()
+        assert summary["ok"] is True
+        assert summary["breached"] == []
+        assert summary["worst_burn"] == 0.0
+
+    def test_custom_objectives(self):
+        registry = MetricsRegistry()
+        registry.counter("total").add(4)
+        registry.counter("bad").add(1)
+        board = SLOBoard(
+            objectives=[
+                RatioObjective(
+                    name="only",
+                    description="custom",
+                    bad_counter="bad",
+                    total_counter="total",
+                    target=0.5,
+                )
+            ],
+            registry=registry,
+        )
+        [status] = board.evaluate()
+        assert status.name == "only"
+        assert status.ok  # 75% compliance against a 50% target
+
+    def test_default_slos_thresholds_are_tunable(self):
+        objectives = default_slos(round_latency_s=9.0, fsync_latency_s=0.5)
+        by_name = {o.name: o for o in objectives}
+        assert by_name["round_latency"].threshold_s == 9.0
+        assert by_name["journal_fsync_latency"].threshold_s == 0.5

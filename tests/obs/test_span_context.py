@@ -1,0 +1,203 @@
+"""Causal span context: ids, propagation, threads, and head sampling."""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.tracer import (
+    SAMPLE_ENV_VAR,
+    TRACE_ENV_VAR,
+    JsonlTracer,
+    MemoryTracer,
+    attach_context,
+    current_context,
+    current_trace_id,
+    new_trace_id,
+    sample_rate,
+    set_tracing,
+    start_trace,
+    trace_sampled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing_state(monkeypatch):
+    monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+    monkeypatch.delenv(SAMPLE_ENV_VAR, raising=False)
+    set_tracing(None)
+    yield
+    set_tracing(None)
+
+
+class TestSpanIds:
+    def test_new_trace_ids_are_distinct_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(int(t, 16) >= 0 for t in ids)
+
+    def test_span_records_carry_envelope_ids(self):
+        tracer = MemoryTracer()
+        with start_trace("feedcafe00000001"):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        inner, outer = tracer.records
+        assert inner["kind"] == "inner" and outer["kind"] == "outer"
+        assert inner["trace"] == outer["trace"] == "feedcafe00000001"
+        assert inner["parent"] == outer["span"]
+        assert "parent" not in outer  # the root span has no parent
+        assert inner["span"] != outer["span"]
+
+    def test_events_are_leaves_under_current_span(self):
+        tracer = MemoryTracer()
+        with start_trace() as trace_id:
+            with tracer.span("work"):
+                tracer.event("milestone", n=1)
+        event, span = tracer.records
+        assert event["trace"] == trace_id
+        assert event["parent"] == span["span"]
+        assert "span" not in event  # events never allocate a span id
+
+    def test_contextless_events_keep_legacy_shape(self):
+        tracer = MemoryTracer()
+        tracer.event("fgt.round", round=1)
+        [record] = tracer.records
+        assert "trace" not in record and "parent" not in record
+
+    def test_spans_outside_start_trace_use_tracer_implicit_id(self):
+        # Offline runs (``python -m repro trace``) never call start_trace,
+        # yet their spans must still build into one tree per process.
+        tracer = MemoryTracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.records
+        assert a["trace"] == b["trace"] == tracer.trace_id
+
+    def test_start_trace_generates_and_yields_the_id(self):
+        with start_trace() as trace_id:
+            assert current_trace_id() == trace_id
+        assert current_trace_id() is None
+
+    def test_nested_start_trace_restores_outer(self):
+        with start_trace("a" * 16):
+            with start_trace("b" * 16):
+                assert current_trace_id() == "b" * 16
+            assert current_trace_id() == "a" * 16
+
+
+class TestThreadPropagation:
+    def test_context_does_not_leak_across_threads_by_default(self):
+        seen = {}
+        with start_trace("c" * 16):
+            thread = threading.Thread(
+                target=lambda: seen.update(ctx=current_context())
+            )
+            thread.start()
+            thread.join()
+        assert seen["ctx"] is None
+
+    def test_attach_context_carries_trace_into_workers(self):
+        tracer = MemoryTracer()
+        with start_trace("d" * 16):
+            with tracer.span("round"):
+                ctx = current_context()  # captured inside the round span
+
+                def work(i):
+                    with attach_context(ctx):
+                        with tracer.span("worker_task", i=i):
+                            pass
+
+                with ThreadPoolExecutor(max_workers=4) as pool:
+                    list(pool.map(work, range(8)))
+        workers = [r for r in tracer.records if r["kind"] == "worker_task"]
+        assert len(workers) == 8
+        assert {r["trace"] for r in workers} == {"d" * 16}
+        assert all(r["parent"] == ctx.span_id for r in workers)
+
+    def test_attach_context_none_is_noop(self):
+        with attach_context(None):
+            assert current_context() is None
+
+    def test_concurrent_jsonl_emission_stays_line_atomic(self, tmp_path):
+        # Satellite: many threads spanning into one JSONL sink must not
+        # interleave bytes — every line parses and all spans arrive.
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(path)
+        with start_trace("e" * 16):
+            ctx = current_context()
+
+            def work(i):
+                with attach_context(ctx):
+                    with tracer.span("task", i=i) as span:
+                        span.add(payload="x" * 64)
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                list(pool.map(work, range(200)))
+        tracer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 200
+        records = [json.loads(line) for line in lines]  # no torn lines
+        assert {r["i"] for r in records} == set(range(200))
+        assert {r["trace"] for r in records} == {"e" * 16}
+
+
+class TestSampling:
+    def test_default_rate_is_one(self):
+        assert sample_rate() == 1.0
+
+    def test_rate_parses_and_clamps(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "0.25")
+        assert sample_rate() == 0.25
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "7")
+        assert sample_rate() == 1.0
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "-3")
+        assert sample_rate() == 0.0
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "garbage")
+        assert sample_rate() == 1.0
+
+    def test_sampling_is_deterministic_per_trace_id(self):
+        trace_id = new_trace_id()
+        decisions = {trace_sampled(trace_id, rate=0.5) for _ in range(10)}
+        assert len(decisions) == 1  # same id, same verdict, every time
+
+    def test_rate_zero_drops_whole_trace(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "0")
+        tracer = MemoryTracer()
+        with start_trace():
+            with tracer.span("a"):
+                tracer.event("b")
+        assert tracer.records == []
+
+    def test_rate_one_keeps_whole_trace(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "1")
+        tracer = MemoryTracer()
+        with start_trace():
+            with tracer.span("a"):
+                pass
+        assert len(tracer.records) == 1
+
+    def test_explicit_sampled_flag_beats_rate(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "0")
+        tracer = MemoryTracer()
+        with start_trace(sampled=True):
+            tracer.event("kept")
+        assert tracer.kinds() == ["kept"]
+
+    def test_fraction_of_traces_survives(self):
+        kept = sum(trace_sampled(new_trace_id(), rate=0.5) for _ in range(400))
+        assert 100 < kept < 300  # loose: crc32 bucketing is roughly uniform
+
+
+class TestErrorAnnotation:
+    def test_span_records_exception_kind(self):
+        tracer = MemoryTracer()
+        with start_trace():
+            with pytest.raises(RuntimeError):
+                with tracer.span("doomed"):
+                    raise RuntimeError("boom")
+        [record] = tracer.records
+        assert record["error"] == "RuntimeError"

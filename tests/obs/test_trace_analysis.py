@@ -1,0 +1,166 @@
+"""Span-tree reconstruction, critical paths, and torn-tail tolerance."""
+
+import json
+
+import pytest
+
+from repro.obs.reader import (
+    TraceFormatError,
+    parse_record,
+    analyze_trace,
+    build_span_trees,
+    iter_trace,
+    read_trace,
+)
+from repro.obs.tracer import MemoryTracer, start_trace
+from repro.service.faults import tear_journal_tail
+
+
+def _line(kind, seq, **fields):
+    return json.dumps({"kind": kind, "seq": seq, "ts": 0.1 * seq, **fields})
+
+
+def _nested_trace():
+    """One round span with a center child, a rung grandchild, and an event."""
+    tracer = MemoryTracer()
+    with start_trace("ab" * 8):
+        with tracer.span("service.round", round=0):
+            with tracer.span("service.center_solve", center="A", round=0):
+                with tracer.span(
+                    "service.rung", center="A", rung="primary", attempt=0
+                ):
+                    pass
+                tracer.event("service.degraded", center="A", rung="greedy")
+    return tracer.records
+
+
+class TestBuildSpanTrees:
+    def test_tree_shape_matches_nesting(self):
+        forest = build_span_trees(
+            [  # records are dicts; build accepts parsed TraceRecords
+                parse_record(json.dumps(r))
+                for r in _nested_trace()
+            ]
+        )
+        assert list(forest.roots) == ["ab" * 8]
+        [root] = forest.roots["ab" * 8]
+        assert root.record.kind == "service.round"
+        [center] = root.children
+        assert center.record.kind == "service.center_solve"
+        kinds = [c.record.kind for c in center.children]
+        assert kinds == ["service.rung", "service.degraded"]
+        assert forest.orphans == []
+
+    def test_orphans_are_reported_not_lost(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            _line(
+                "service.rung", 0,
+                dur=0.01, trace="f" * 16, span="s1", parent="missing",
+            )
+            + "\n"
+        )
+        forest = build_span_trees(path)
+        assert len(forest.orphans) == 1
+        assert forest.orphans[0].kind == "service.rung"
+
+    def test_contextless_records_are_segregated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(_line("fgt.round", 0, switches=2) + "\n")
+        forest = build_span_trees(path)
+        assert forest.roots == {}
+        assert len(forest.contextless) == 1
+
+    def test_self_time_subtracts_children(self):
+        records = [
+            parse_record(json.dumps(r))
+            for r in _nested_trace()
+        ]
+        forest = build_span_trees(records)
+        [root] = forest.roots["ab" * 8]
+        [center] = root.children
+        child_total = sum(
+            c.record.dur for c in center.children if c.record.dur is not None
+        )
+        assert center.self_time == pytest.approx(
+            max(0.0, center.record.dur - child_total)
+        )
+
+
+class TestAnalyzeTrace:
+    def test_round_critical_path_and_phase_table(self):
+        records = [
+            parse_record(json.dumps(r))
+            for r in _nested_trace()
+        ]
+        analysis = analyze_trace(records)
+        assert analysis.orphan_count == 0
+        assert len(analysis.rounds) == 1
+        [round_path] = analysis.rounds
+        labels = [label for _, label, _ in round_path.steps]
+        assert any("center=A" in label for label in labels)
+        assert any("rung=primary" in label for label in labels)
+        text = analysis.format()
+        assert "critical path" in text
+        assert "service.rung" in text
+        assert "orphan" in text
+
+    def test_format_flags_orphans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            _line(
+                "x", 0, dur=0.01, trace="a" * 16, span="s1", parent="gone"
+            )
+            + "\n"
+        )
+        analysis = analyze_trace(path)
+        assert analysis.orphan_count == 1
+        assert "orphan" in analysis.format()
+
+
+class TestTornTail:
+    def _write(self, path, lines, tail=""):
+        path.write_text("\n".join(lines) + "\n" + tail)
+
+    def test_torn_final_line_is_forgiven(self, tmp_path):
+        # The crash artefact the journal also tolerates: a record cut
+        # mid-write by SIGKILL.  tear_journal_tail is the same chaos
+        # helper the recovery suite uses.
+        path = tmp_path / "t.jsonl"
+        self._write(
+            path,
+            [_line("a", 0), _line("b", 1, dur=0.5, trace="c" * 16, span="s")],
+        )
+        with path.open("a") as fh:
+            fh.write(_line("c", 2))  # no newline: torn by definition
+        tear_journal_tail(path, drop_bytes=5)
+        records = read_trace(path)
+        assert [r.kind for r in records] == ["a", "b"]
+
+    def test_mid_file_damage_still_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, [_line("a", 0), "{torn", _line("b", 1)])
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_strict_mode_rejects_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, [_line("a", 0), "{torn"])
+        with pytest.raises(TraceFormatError):
+            list(iter_trace(path, tolerate_torn_tail=False))
+
+    def test_torn_tail_after_kill_recover_appends(self, tmp_path):
+        # A process killed mid-span leaves a torn line; a restarted
+        # process appends fresh records after it.  The reader must treat
+        # the damage as mid-file corruption then — intact records follow.
+        path = tmp_path / "t.jsonl"
+        self._write(path, [_line("a", 0)], tail='{"kind": "half')
+        with path.open("a") as fh:
+            fh.write("\n" + _line("b", 0) + "\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_blank_trailing_lines_are_not_torn(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, [_line("a", 0)], tail="\n\n")
+        assert [r.kind for r in read_trace(path)] == ["a"]

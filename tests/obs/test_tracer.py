@@ -103,6 +103,19 @@ class TestJsonlTracer:
             tracer.event("a")
         assert path.exists()
 
+    def test_emission_after_close_is_dropped(self, tmp_path):
+        # A detached (timed-out) solve thread can emit after the run that
+        # installed the tracer has closed it; that must not raise or tear
+        # the file.
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.event("before")
+        tracer.close()
+        tracer.event("after")  # silently dropped
+        tracer.flush()  # no-op, must not raise
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["before"]
+
     def test_stream_not_closed_when_borrowed(self):
         import io
 

@@ -156,3 +156,71 @@ class TestLifecycle:
     def test_ephemeral_port_bound(self, server):
         assert server.port > 0
         assert server.url.startswith("http://127.0.0.1:")
+
+
+class TestSLOEndpoint:
+    def test_slo_reports_default_objectives(self, client):
+        client.dispatch(commit=False)
+        payload = client.slo()
+        by_name = {o["name"]: o for o in payload["objectives"]}
+        assert {
+            "round_latency",
+            "center_deadline_hits",
+            "primary_rung_rate",
+            "journal_fsync_latency",
+        } <= set(by_name)
+        assert isinstance(payload["ok"], bool)
+        assert payload["worst_burn"] >= 0.0
+        latency = by_name["round_latency"]
+        assert latency["events"] >= 1  # the dispatch above was observed
+        assert latency["burn"] >= 0.0
+        assert "p99" in latency["detail"]
+
+    def test_healthz_carries_slo_summary(self, client):
+        summary = client.health()["slo"]
+        assert set(summary) == {"ok", "breached", "worst_burn"}
+
+
+class TestTraceHeader:
+    def test_server_echoes_caller_trace_id(self, server):
+        caller = DispatchClient(server.url, timeout=5.0, trace_id="ab" * 8)
+        caller.health()
+        assert caller.last_trace_id == "ab" * 8
+
+    def test_server_mints_trace_id_when_absent(self, client):
+        client.health()
+        assert client.last_trace_id
+        int(client.last_trace_id, 16)  # generated ids are hex
+
+    def test_request_spans_land_in_caller_trace(self, server):
+        import time
+
+        from repro.obs.tracer import MemoryTracer, set_tracing
+
+        tracer = MemoryTracer()
+        set_tracing(tracer)
+        try:
+            caller = DispatchClient(
+                server.url, timeout=5.0, trace_id="cd" * 8
+            )
+            caller.dispatch(commit=False)
+            # The request span emits just after the response bytes leave,
+            # so give the handler thread a beat to exit the span.
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline and not any(
+                r["kind"] == "service.request" for r in tracer.records
+            ):
+                time.sleep(0.01)
+        finally:
+            set_tracing(None)
+        requests = [
+            r for r in tracer.records if r["kind"] == "service.request"
+        ]
+        assert requests and all(r["trace"] == "cd" * 8 for r in requests)
+        [request] = [
+            r for r in requests if r["endpoint"] == "/dispatch"
+        ]
+        rounds = [r for r in tracer.records if r["kind"] == "service.round"]
+        assert rounds, "the round span must trace under the request"
+        assert rounds[0]["trace"] == "cd" * 8
+        assert rounds[0]["parent"] == request["span"]

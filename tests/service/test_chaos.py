@@ -38,6 +38,20 @@ def _engine(seed=11, **kwargs):
     )
 
 
+@pytest.fixture(autouse=True)
+def _join_abandoned_solves():
+    # Timed-out solves are detached, not killed: a delay-injected solve
+    # wakes seconds later and keeps emitting through the process-wide
+    # metrics/trace sinks.  Left running, it bleeds records into whatever
+    # test holds those sinks next (e.g. the CLI trace tests).  Join the
+    # stragglers before moving on.
+    yield
+    deadline = time.monotonic() + 15.0
+    for thread in threading.enumerate():
+        if thread.name.startswith("solve-"):
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+
 def _assert_round_valid(result):
     """Definition-6 spot checks on a committed RoundResult.
 

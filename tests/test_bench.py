@@ -30,7 +30,7 @@ class TestRunBench:
             # The vectorized solves flush engine.* batch counters.
             assert data["metrics_vectorized"]["engine.filter_batches"] > 0
             assert "engine.filter_batches" not in data["metrics_scalar"]
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         delta = report["catalog_delta"]
         # Delta-vs-rebuild equality is part of the bench acceptance gate.
         assert delta["identical"] is True
@@ -46,6 +46,32 @@ class TestRunBench:
         report = run_bench(scale="smoke", seed=0, repeats=1)
         text = format_report(report)
         assert "catalog delta" in text and "identical=True" in text
+
+    def test_obs_overhead_section(self, tmp_path):
+        report = run_bench(scale="smoke", seed=0, repeats=1)
+        obs = report["obs_overhead"]
+        # Tracing must never change the dispatch decisions.
+        assert obs["identical"] is True
+        for mode in ("disabled", "sampled_out", "traced"):
+            assert obs[f"{mode}_seconds"] > 0
+        assert obs["budget_pct"] == 2.0
+        # No previous report at the output path: no baseline comparison.
+        assert obs["baseline_disabled_seconds"] is None
+        assert obs["within_budget"] is True
+
+    def test_obs_overhead_compares_to_tracked_baseline(self, tmp_path):
+        out = tmp_path / "bench.json"
+        run_bench(scale="smoke", seed=0, repeats=1, output=out)
+        report = run_bench(scale="smoke", seed=0, repeats=1, output=out)
+        obs = report["obs_overhead"]
+        assert obs["baseline_disabled_seconds"] is not None
+        assert obs["regression_pct"] is not None
+        assert isinstance(obs["within_budget"], bool)
+
+    def test_format_report_mentions_obs_overhead(self):
+        report = run_bench(scale="smoke", seed=0, repeats=1)
+        text = format_report(report)
+        assert "obs overhead" in text and "identical=True" in text
 
     def test_rejects_unknown_scale(self):
         with pytest.raises(ValueError, match="scale"):

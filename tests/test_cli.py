@@ -255,6 +255,80 @@ class TestTrace:
         assert (tmp_path / "trace.jsonl").exists()
 
 
+class TestTraceAnalyze:
+    @staticmethod
+    def _write_trace(path):
+        from repro.obs.tracer import JsonlTracer, start_trace
+
+        with JsonlTracer(path) as tracer:
+            with start_trace("aa" * 8):
+                with tracer.span("service.round", round=0):
+                    with tracer.span(
+                        "service.center_solve", center="A", round=0
+                    ):
+                        pass
+
+    def test_analyze_prints_report(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path)
+        code = main(["trace", "analyze", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "center=A" in out
+
+    def test_analyze_json_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path)
+        code = main(["trace", "analyze", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["orphans"] == 0
+        assert payload["traces"] == 1
+        assert payload["rounds"][0]["round_index"] == 0
+
+    def test_analyze_fails_on_orphans(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "service.rung", "seq": 0, "ts": 0.1, "dur": 0.01,
+                    "trace": "bb" * 8, "span": "s1", "parent": "missing",
+                }
+            )
+            + "\n"
+        )
+        code = main(["trace", "analyze", str(path)])
+        assert code == 1
+        assert "orphan" in capsys.readouterr().err
+
+    def test_analyze_missing_file_fails(self, tmp_path, capsys):
+        code = main(["trace", "analyze", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+
+    def test_plain_trace_run_still_parses(self, tmp_path, capsys):
+        # The nested subcommand must not break the legacy invocation.
+        code = main(
+            [
+                "trace",
+                "--algo",
+                "fgt",
+                "--scale",
+                "smoke",
+                "--output",
+                str(tmp_path / "t.jsonl"),
+            ]
+        )
+        assert code == 0
+        # ... and the file it writes is analyzable.
+        code = main(["trace", "analyze", str(tmp_path / "t.jsonl")])
+        assert code == 0
+
+
 class TestServe:
     def test_serve_round_trip(self, tmp_path, capsys):
         # Drive the real `serve` command from a helper thread: wait for the
