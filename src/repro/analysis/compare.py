@@ -37,6 +37,11 @@ class AssignmentComparison:
     payoff_difference_b: float
     average_payoff_a: float
     average_payoff_b: float
+    #: Workers only in B / only in A (tolerant mode; empty under
+    #: ``strict=True``, where a mismatch raises instead).  ``deltas``
+    #: always covers exactly the intersection.
+    joined: Tuple[str, ...] = ()
+    departed: Tuple[str, ...] = ()
 
     @property
     def winners(self) -> List[WorkerDelta]:
@@ -76,6 +81,12 @@ class AssignmentComparison:
             f"  winners={len(self.winners)} losers={len(self.losers)} "
             f"unchanged={self.unchanged_count}",
         ]
+        if self.joined or self.departed:
+            lines.append(
+                f"  population: +{len(self.joined)} joined "
+                f"{list(self.joined)[:3]} / -{len(self.departed)} departed "
+                f"{list(self.departed)[:3]}"
+            )
         for delta in self.winners[:3]:
             lines.append(
                 f"  + {delta.worker_id}: {delta.payoff_a:.3f} -> "
@@ -94,22 +105,41 @@ def compare_assignments(
     assignment_b: Assignment,
     label_a: str = "A",
     label_b: str = "B",
+    strict: bool = True,
 ) -> AssignmentComparison:
-    """Compare two assignments; raises if worker populations differ."""
+    """Compare two assignments of (mostly) the same workers.
+
+    With ``strict=True`` (the default, and the historical behaviour) a
+    worker-population mismatch raises :class:`ValueError` — right for
+    same-instance policy comparisons, where a mismatch is a bug.
+
+    ``strict=False`` tolerates churn: rounds of a live world (or two
+    long-run scenario arms) legitimately differ in who is present.
+    Per-worker deltas then cover the intersection, and the workers only
+    in B / only in A are reported as the ``joined`` / ``departed``
+    tuples instead of an exception.
+    """
     payoffs_a: Dict[str, float] = {
         p.worker.worker_id: p.payoff for p in assignment_a
     }
     payoffs_b: Dict[str, float] = {
         p.worker.worker_id: p.payoff for p in assignment_b
     }
+    joined: Tuple[str, ...] = ()
+    departed: Tuple[str, ...] = ()
     if set(payoffs_a) != set(payoffs_b):
-        missing = set(payoffs_a) ^ set(payoffs_b)
-        raise ValueError(
-            f"assignments cover different workers (mismatch: {sorted(missing)[:5]})"
-        )
+        if strict:
+            missing = set(payoffs_a) ^ set(payoffs_b)
+            raise ValueError(
+                f"assignments cover different workers "
+                f"(mismatch: {sorted(missing)[:5]}); pass strict=False to "
+                f"compare the intersection and report joined/departed workers"
+            )
+        joined = tuple(sorted(set(payoffs_b) - set(payoffs_a)))
+        departed = tuple(sorted(set(payoffs_a) - set(payoffs_b)))
+    common = sorted(set(payoffs_a) & set(payoffs_b))
     deltas = tuple(
-        WorkerDelta(wid, payoffs_a[wid], payoffs_b[wid])
-        for wid in sorted(payoffs_a)
+        WorkerDelta(wid, payoffs_a[wid], payoffs_b[wid]) for wid in common
     )
     return AssignmentComparison(
         label_a=label_a,
@@ -119,4 +149,6 @@ def compare_assignments(
         payoff_difference_b=assignment_b.payoff_difference,
         average_payoff_a=assignment_a.average_payoff,
         average_payoff_b=assignment_b.average_payoff,
+        joined=joined,
+        departed=departed,
     )

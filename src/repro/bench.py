@@ -27,6 +27,14 @@ bit-identical in their assignments, and the disabled path is compared
 against the tracked baseline's with a :data:`OBS_OVERHEAD_BUDGET_PCT`
 budget — instrumentation must be free when off.
 
+The ``temporal_fairness`` section (schema 4) guards the equity subsystem's
+headline claim (``docs/temporal_fairness.md``): on the unlucky-worker
+scenario the ledger-weighted mode must finish with a strictly lower
+rolling Gini than per-round dispatch while giving up less than
+:data:`~repro.equity.report.EFFICIENCY_BUDGET_PCT` percent of total
+payoff.  Both arms are deterministic given the seed, so these are hard
+gates, not advisory wall-time comparisons.
+
 Shapes are pinned here (not derived from the experiment grids) so the
 numbers stay comparable across PRs:
 
@@ -407,6 +415,39 @@ def _overhead_vs_tracked_baseline(
     phase["within_budget"] = regression < OBS_OVERHEAD_BUDGET_PCT
 
 
+def _temporal_fairness_phase(seed: int, rounds: int) -> Dict[str, object]:
+    """Ledger-weighted vs per-round dispatch on the unlucky-worker world.
+
+    Runs :func:`repro.equity.report.compare_scenario` — the same runner
+    behind ``python -m repro equity report`` — and records the rolling
+    Gini of both arms, the gap closed, and the efficiency cost, plus the
+    two gate flags ``improved`` and ``within_budget`` that
+    ``python -m repro bench`` fails on.
+    """
+    from repro.equity.report import EFFICIENCY_BUDGET_PCT, compare_scenario
+    from repro.sim.scenarios import unlucky_worker
+
+    start = time.perf_counter()
+    comparison = compare_scenario(unlucky_worker(rounds=rounds), seed=seed)
+    seconds = time.perf_counter() - start
+    return {
+        "scenario": comparison.scenario,
+        "algorithm": comparison.ledger.algorithm,
+        "rounds": rounds,
+        "seconds": seconds,
+        "per_round_rolling_gini": comparison.per_round.rolling_gini,
+        "ledger_rolling_gini": comparison.ledger.rolling_gini,
+        "per_round_total_payoff": comparison.per_round.total_payoff,
+        "ledger_total_payoff": comparison.ledger.total_payoff,
+        "gini_gap_closed": comparison.gini_gap_closed,
+        "gini_gap_closed_pct": comparison.gini_gap_closed_pct,
+        "efficiency_cost_pct": comparison.efficiency_cost_pct,
+        "budget_pct": EFFICIENCY_BUDGET_PCT,
+        "improved": comparison.improved,
+        "within_budget": comparison.within_budget,
+    }
+
+
 def run_bench(
     scale: str = "medium",
     seed: int = 0,
@@ -441,7 +482,7 @@ def run_bench(
     catalog_metrics = METRICS.delta(before)
 
     report: Dict[str, object] = {
-        "schema": 3,
+        "schema": 4,
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
@@ -470,6 +511,9 @@ def run_bench(
         "catalog_delta": _catalog_delta_phase(subs, shape.epsilon, seed, repeats),
         "obs_overhead": _obs_overhead_phase(
             instance, shape.epsilon, seed, repeats
+        ),
+        "temporal_fairness": _temporal_fairness_phase(
+            seed, rounds=16 if scale == "smoke" else 28
         ),
     }
     _overhead_vs_tracked_baseline(report["obs_overhead"], output, scale)
@@ -522,4 +566,16 @@ def format_report(report: Dict[str, object]) -> str:
                 f"(budget {obs['budget_pct']:.0f}%) "
                 f"within_budget={obs['within_budget']}"
             )
+    equity = report.get("temporal_fairness")
+    if equity is not None:
+        lines.append(
+            f"temporal fairness: rolling_gini "
+            f"{equity['per_round_rolling_gini']:.4f} -> "
+            f"{equity['ledger_rolling_gini']:.4f} "
+            f"({equity['gini_gap_closed_pct']:+.1f}%) "
+            f"cost={equity['efficiency_cost_pct']:.1f}% "
+            f"(budget {equity['budget_pct']:.0f}%) "
+            f"improved={equity['improved']} "
+            f"within_budget={equity['within_budget']}"
+        )
     return "\n".join(lines)

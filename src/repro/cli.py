@@ -81,6 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--output", type=Path, default=None, help="write the assignment CSV here"
     )
+    solve.add_argument(
+        "--equity-mode",
+        action="store_true",
+        help="solve with the ledger-weighted equity IAU (FGT/IEGT only; "
+        "one-shot solves use zero baselines, i.e. the amplified game — "
+        "docs/temporal_fairness.md)",
+    )
+    solve.add_argument(
+        "--equity-strength",
+        type=float,
+        default=None,
+        help="IAU amplification for --equity-mode (default 3.0)",
+    )
 
     cmp = sub.add_parser(
         "compare", help="solve with two algorithms and diff the outcomes"
@@ -322,6 +335,81 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rebuild catalogs from scratch on every cache miss instead "
         "of applying incremental churn deltas (docs/performance.md)",
     )
+    srv.add_argument(
+        "--equity",
+        action="store_true",
+        help="solve rounds with ledger-weighted equity utilities; the "
+        "cross-round ledger is journaled and survives restarts "
+        "(docs/temporal_fairness.md)",
+    )
+    srv.add_argument(
+        "--equity-decay",
+        type=float,
+        default=None,
+        help="ledger decay per round (default 0.9; only for a fresh ledger)",
+    )
+    srv.add_argument(
+        "--equity-window",
+        type=int,
+        default=None,
+        help="rolling-fairness window in rounds (default 32; fresh ledger only)",
+    )
+    srv.add_argument(
+        "--equity-strength",
+        type=float,
+        default=None,
+        help="IAU amplification for equity rounds (default 3.0)",
+    )
+
+    eqp = sub.add_parser(
+        "equity", help="long-run temporal-fairness reports (ledger vs per-round)"
+    )
+    eq_sub = eqp.add_subparsers(dest="equity_action", required=True)
+    eq_report = eq_sub.add_parser(
+        "report",
+        help="play a long-run scenario with the equity ledger on and off "
+        "and report the rolling-Gini gap it closes",
+    )
+    eq_report.add_argument(
+        "--scenario",
+        choices=("unlucky", "bursty", "churn", "all"),
+        default="all",
+        help="which repro.sim.scenarios world to play (default all)",
+    )
+    eq_report.add_argument(
+        "--rounds", type=int, default=40, help="dispatch rounds per arm"
+    )
+    eq_report.add_argument("--seed", type=int, default=0)
+    eq_report.add_argument(
+        "--algorithm",
+        choices=("fgt", "iegt"),
+        default="fgt",
+        help="solver for both arms (default fgt — IEGT's imitation "
+        "dynamics cannot yield work, so its equity effect is weaker)",
+    )
+    eq_report.add_argument(
+        "--epsilon", type=float, default=0.8, help="pruning radius (km)"
+    )
+    eq_report.add_argument(
+        "--decay", type=float, default=None, help="ledger decay (default 0.9)"
+    )
+    eq_report.add_argument(
+        "--window", type=int, default=None, help="rolling window (default 32)"
+    )
+    eq_report.add_argument(
+        "--strength",
+        type=float,
+        default=None,
+        help="IAU amplification for the ledger arm (default 3.0)",
+    )
+    eq_report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparisons as JSON instead of the text report",
+    )
+    eq_report.add_argument(
+        "--output", type=Path, default=None, help="also write the JSON here"
+    )
     return parser
 
 
@@ -351,6 +439,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     instance = load_instance(args.input)
     solver = _SOLVERS[args.algorithm](args.epsilon)
+    if args.equity_mode:
+        solver = _equity_solver(solver, args.equity_strength)
+        if solver is None:
+            print(
+                f"ERROR: --equity-mode is not supported by "
+                f"{args.algorithm!r} (FGT and IEGT only)",
+                file=sys.stderr,
+            )
+            return 2
     solution = solve_instance(
         instance, solver, epsilon=args.epsilon, seed=args.seed, n_jobs=args.n_jobs
     )
@@ -379,6 +476,21 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             writer.writerows(rows)
         print(f"assignment written to {args.output}")
     return 0
+
+
+def _equity_solver(solver, strength: Optional[float]):
+    """An equity-mode copy of ``solver``, or ``None`` if unsupported."""
+    import dataclasses
+
+    if not dataclasses.is_dataclass(solver):
+        return None
+    names = {f.name for f in dataclasses.fields(solver)}
+    if "equity_mode" not in names:
+        return None
+    changes = {"equity_mode": True}
+    if strength is not None and "equity_strength" in names:
+        changes["equity_strength"] = strength
+    return dataclasses.replace(solver, **changes)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -678,6 +790,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    equity = report["temporal_fairness"]
+    if not (equity["improved"] and equity["within_budget"]):
+        print(
+            "ERROR: the equity ledger failed its temporal-fairness gate — "
+            "ledger-weighted dispatch must strictly lower the rolling Gini "
+            f"at under {equity['budget_pct']:.0f}% efficiency cost "
+            f"(improved={equity['improved']} "
+            f"within_budget={equity['within_budget']})",
+            file=sys.stderr,
+        )
+        return 1
     obs = report["obs_overhead"]
     if not obs["identical"]:
         print(
@@ -757,7 +880,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ]
             )
 
+    if args.equity:
+        # Attach (or keep the recovered) ledger before the engine starts;
+        # decay/window only shape a fresh ledger.
+        state.enable_equity(decay=args.equity_decay, window=args.equity_window)
+
     solver = _SOLVERS[args.algorithm](args.epsilon)
+    equity_kwargs = {}
+    if args.equity:
+        equity_kwargs["equity_mode"] = True
+        if args.equity_strength is not None:
+            equity_kwargs["equity_strength"] = args.equity_strength
     engine = DispatchEngine(
         state,
         solver,
@@ -765,6 +898,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_jobs=args.n_jobs,
         verify=args.verify,
         seed=args.seed,
+        **equity_kwargs,
         solve_deadline_s=args.solve_deadline_s,
         solve_retries=args.solve_retries,
         breaker=BreakerConfig(
@@ -798,6 +932,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"  journal={args.journal}"
             f"{' (recovered from previous run)' if recovered else ''}"
         )
+    if args.equity:
+        ledger = state.equity
+        print(
+            f"  equity: strength={engine.equity_strength} "
+            f"decay={ledger.decay} window={ledger.window} "
+            f"ledger_rounds={ledger.rounds}"
+        )
     if engine.fault_tolerant:
         print(
             f"  fault-tolerant: solve_deadline_s={args.solve_deadline_s} "
@@ -811,7 +952,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     print(
         "  endpoints: POST /tasks /workers /dispatch /shutdown · "
-        "GET /assignments /healthz /metrics /slo"
+        "GET /assignments /healthz /metrics /slo /equity"
     )
     sys.stdout.flush()
 
@@ -833,6 +974,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_equity(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.equity.report import compare_scenario
+    from repro.sim.scenarios import SCENARIOS, get_scenario
+
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    kwargs = dict(
+        algorithm=args.algorithm,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        decay=args.decay,
+        window=args.window,
+    )
+    if args.strength is not None:
+        kwargs["strength"] = args.strength
+    comparisons = [
+        compare_scenario(get_scenario(name, rounds=args.rounds), **kwargs)
+        for name in names
+    ]
+    payload = {
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "algorithm": args.algorithm.upper(),
+        "scenarios": [c.as_dict() for c in comparisons],
+        "all_improved": all(c.improved for c in comparisons),
+        "all_within_budget": all(c.within_budget for c in comparisons),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for comparison in comparisons:
+            print(comparison.format())
+            print()
+        print(
+            f"all_improved={payload['all_improved']} "
+            f"all_within_budget={payload['all_within_budget']}"
+        )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        if not args.json:
+            print(f"report written to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -843,6 +1032,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
+    "equity": _cmd_equity,
 }
 
 

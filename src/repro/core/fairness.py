@@ -82,6 +82,66 @@ class InequityAversion:
         return float(self.utilities(payoffs).sum())
 
 
+#: Default amplification of the IAU weights in ledger-weighted equity mode.
+#: With the paper's alpha = beta = 0.5, a strength of 3.0 gives effective
+#: guilt weight 1.5 > 1, which is the threshold past which utility becomes
+#: *decreasing* in own payoff for a cumulative-rich worker — the property
+#: that makes equity mode behaviorally active (see ``equity_model``).
+DEFAULT_EQUITY_STRENGTH = 3.0
+
+
+def equity_model(
+    model: InequityAversion, strength: float = DEFAULT_EQUITY_STRENGTH
+) -> InequityAversion:
+    """The amplified IAU model used by ledger-weighted equity mode.
+
+    Equity mode evaluates ``IAU_t(w_i) = E_i - (a'/(n-1)) MP_i^cum
+    - (b'/(n-1)) LP_i^cum`` where ``E_i = C_i + P_i`` is the worker's
+    *effective* payoff (decayed cumulative ledger balance ``C_i`` plus the
+    round payoff ``P_i``), the envy/guilt masses ``MP^cum``/``LP^cum`` are
+    computed on the effective payoffs, and ``(a', b') = strength * (a, b)``.
+
+    The amplification is load-bearing, not cosmetic: plain IAU is strictly
+    monotone in own payoff (slope at least ``1 - beta`` > 0 for the
+    paper's ``beta = 0.5``), so merely shifting payoffs by the cumulative
+    base would never change any best response.  With ``strength * beta``
+    > 1 the marginal utility of own payoff turns *negative* once a worker
+    is ahead of enough others on cumulative income — such a worker
+    voluntarily declines work, freeing tasks for cumulative-poor workers.
+
+    The price is Lemma 2: for ``alpha = beta = a`` a unilateral switch
+    changes the potential ``Phi = sum IAU`` by ``2*delta_u - delta_P``,
+    which is guaranteed non-negative for utility-improving switches only
+    when ``a <= 1/2``.  Amplified weights void that guarantee, so equity
+    mode runs FGT with the potential-monotonicity verifier check disabled
+    and convergence bounded by ``max_rounds`` (reported honestly via
+    ``GameResult.converged``); IEGT keeps its termination argument (raw
+    total payoff strictly increases per switch and is bounded).
+    """
+    require_non_negative(strength, "strength")
+    return InequityAversion(strength * model.alpha, strength * model.beta)
+
+
+def ledger_weighted_utilities(
+    payoffs: Sequence[float],
+    cumulative: Sequence[float],
+    model: InequityAversion = InequityAversion(),
+    strength: float = DEFAULT_EQUITY_STRENGTH,
+) -> np.ndarray:
+    """Reference implementation of the equity-mode utilities ``IAU_t``.
+
+    ``payoffs`` are the round's per-worker payoffs, ``cumulative`` the
+    aligned decayed cumulative payoffs from the equity ledger.  The game
+    engines compute the same quantity incrementally (bit-identically
+    between the scalar and vectorized paths); this direct form exists as
+    the oracle for their differential tests and for offline analysis.
+    """
+    effective = np.asarray(payoffs, dtype=float) + np.asarray(
+        cumulative, dtype=float
+    )
+    return equity_model(model, strength).utilities(effective)
+
+
 def gini_coefficient(payoffs: Sequence[float]) -> float:
     """Gini coefficient of the payoff distribution (0 = equal, 1 = maximal).
 

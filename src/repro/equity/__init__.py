@@ -1,0 +1,49 @@
+"""Temporal fairness: cross-round equity ledger and long-run reporting.
+
+Per-round FGT/IEGT leave a long-horizon gap open: a worker unlucky for
+many consecutive rounds is invisible to a within-round objective.  This
+package closes it:
+
+* :mod:`repro.equity.ledger` — :class:`EquityLedger`, the per-worker
+  cumulative-payoff / participation / balance account that survives
+  restarts via the WorldState write-ahead journal.
+* :mod:`repro.equity.report` — long-run scenario runner behind
+  ``python -m repro equity report``: plays the scenarios of
+  :mod:`repro.sim.scenarios` with the ledger-weighted equity mode on and
+  off and reports the rolling-Gini gap it closes.
+
+See ``docs/temporal_fairness.md`` for the ledger semantics and the
+equity-mode IAU math.
+"""
+
+from repro.equity.ledger import DEFAULT_DECAY, DEFAULT_WINDOW, EquityLedger
+
+__all__ = [
+    "DEFAULT_DECAY",
+    "DEFAULT_WINDOW",
+    "EquityLedger",
+    "EFFICIENCY_BUDGET_PCT",
+    "EquityComparison",
+    "ScenarioOutcome",
+    "compare_scenario",
+    "run_scenario",
+]
+
+_REPORT_EXPORTS = (
+    "EFFICIENCY_BUDGET_PCT",
+    "EquityComparison",
+    "ScenarioOutcome",
+    "compare_scenario",
+    "run_scenario",
+)
+
+
+def __getattr__(name: str):
+    # repro.equity.report pulls in the service layer, which itself imports
+    # the ledger from this package; loading it lazily keeps that cycle
+    # open (ledger-only importers never touch the service layer at all).
+    if name in _REPORT_EXPORTS:
+        from repro.equity import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

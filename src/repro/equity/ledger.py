@@ -1,0 +1,247 @@
+"""Cross-round equity ledger: cumulative payoff, participation, balance.
+
+The paper's FGT/IEGT optimize the payoff difference within a *single*
+assignment round; a worker who loses ties for ten consecutive rounds is
+invisible to the objective.  The :class:`EquityLedger` gives the dispatch
+service the long-horizon memory that per-round fairness lacks: for every
+worker it accrues
+
+* ``cumulative`` — exponentially-decayed cumulative payoff
+  ``C_i <- decay * C_i + P_i``.  With ``decay < 1`` this is bounded by
+  ``P_max / (1 - decay)``, so the ledger never grows without bound and
+  old rounds fade at a configurable horizon (``decay=0.9`` weighs
+  roughly the last 10 rounds).
+* ``participation`` — how many rounds the worker appeared in.
+* ``balance`` — a decayed credit/debt account against the round mean,
+  ``B_i <- decay * B_i + (P_i - mean(P))``: positive means the worker
+  has been running ahead of its peers, negative behind (the
+  "persistent fairness balance" shape from SNIPPETS.md).
+
+plus a rolling window of the last ``window`` rounds' payoff maps, from
+which :meth:`rolling_gini` / :meth:`rolling_jain` report fairness over
+recent *cumulative* income rather than a single round.
+
+Determinism contract
+--------------------
+The ledger is journaled by :class:`~repro.service.state.WorldState` (one
+``equity`` record per recorded round) and must replay **bit-identically**
+on crash recovery.  Every update therefore iterates workers in sorted-id
+order, all arithmetic is plain float64, and :meth:`as_dict` /
+:meth:`from_dict` round-trip exactly through JSON (``repr`` of a float is
+read back to the same bits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, Mapping, Tuple
+
+from repro.core.fairness import gini_coefficient, jain_index
+
+#: Default decay applied to cumulative payoff and balance each round.
+DEFAULT_DECAY = 0.9
+
+#: Default rolling-window length (rounds) for the fairness indices.
+DEFAULT_WINDOW = 32
+
+
+class EquityLedger:
+    """Per-worker cross-round payoff accounting (see module docs)."""
+
+    def __init__(
+        self, decay: float = DEFAULT_DECAY, window: int = DEFAULT_WINDOW
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay!r}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        self._decay = float(decay)
+        self._window_size = int(window)
+        self._cumulative: Dict[str, float] = {}
+        self._participation: Dict[str, int] = {}
+        self._balance: Dict[str, float] = {}
+        self._window: Deque[Dict[str, float]] = deque(maxlen=self._window_size)
+        self._rounds = 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def decay(self) -> float:
+        return self._decay
+
+    @property
+    def window(self) -> int:
+        return self._window_size
+
+    @property
+    def rounds(self) -> int:
+        """How many dispatch rounds have been recorded."""
+        return self._rounds
+
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        """Sorted ids of every worker the ledger has ever seen."""
+        return tuple(sorted(self._cumulative))
+
+    def record_round(self, payoffs: Mapping[str, float]) -> None:
+        """Fold one dispatch round's per-worker payoffs into the ledger.
+
+        ``payoffs`` must cover every worker present in the round (workers
+        assigned the null strategy at payoff 0.0 included — presence is
+        what drives participation and the balance debit).  Workers absent
+        from ``payoffs`` (departed or not yet joined) simply decay.
+        """
+        present = sorted(payoffs)
+        round_mean = (
+            sum(float(payoffs[w]) for w in present) / len(present)
+            if present
+            else 0.0
+        )
+        for wid in sorted(set(self._cumulative) | set(payoffs)):
+            cum = self._decay * self._cumulative.get(wid, 0.0)
+            bal = self._decay * self._balance.get(wid, 0.0)
+            if wid in payoffs:
+                value = float(payoffs[wid])
+                cum = cum + value
+                bal = bal + (value - round_mean)
+                self._participation[wid] = self._participation.get(wid, 0) + 1
+            self._cumulative[wid] = cum
+            self._balance[wid] = bal
+        self._window.append({w: float(payoffs[w]) for w in present})
+        self._rounds += 1
+
+    def baselines(self) -> Dict[str, float]:
+        """Per-worker cumulative payoff — the equity-mode IAU baselines.
+
+        Fed to the solvers as ``equity_baselines``: the round's IAU envy
+        and guilt terms are then computed against *cumulative* payoff gaps
+        (``docs/temporal_fairness.md``), so a cumulative-poor worker looks
+        envied-at and a cumulative-rich one guilt-laden even before the
+        round's own payoffs differ.
+        """
+        return dict(sorted(self._cumulative.items()))
+
+    def cumulative_of(self, worker_id: str) -> float:
+        """Decayed cumulative payoff (0.0 for unknown workers)."""
+        return self._cumulative.get(worker_id, 0.0)
+
+    def balance_of(self, worker_id: str) -> float:
+        """Decayed credit/debt vs the round means (0.0 for unknown workers)."""
+        return self._balance.get(worker_id, 0.0)
+
+    def participation_of(self, worker_id: str) -> int:
+        """Rounds the worker was present in (0 for unknown workers)."""
+        return self._participation.get(worker_id, 0)
+
+    # ------------------------------------------------------------------
+    # Rolling fairness
+    # ------------------------------------------------------------------
+
+    def rolling_payoffs(self) -> Dict[str, float]:
+        """Per-worker payoff summed over the rolling window's rounds.
+
+        A worker missing from some window rounds contributes 0.0 for
+        those rounds — exactly the income a departed or unlucky worker
+        earned, which is what the rolling indices must see.
+        """
+        totals: Dict[str, float] = {}
+        for round_payoffs in self._window:
+            for wid in round_payoffs:
+                totals[wid] = totals.get(wid, 0.0) + round_payoffs[wid]
+        return dict(sorted(totals.items()))
+
+    def rolling_gini(self) -> float:
+        """Gini coefficient of windowed per-worker income (0 = equal)."""
+        totals = self.rolling_payoffs()
+        return gini_coefficient([max(0.0, v) for v in totals.values()])
+
+    def rolling_jain(self) -> float:
+        """Jain index of windowed per-worker income (1 = equal)."""
+        totals = self.rolling_payoffs()
+        return jain_index(list(totals.values()))
+
+    def summary(self) -> Dict[str, object]:
+        """Compact JSON-ready view for ``/healthz`` and ``GET /equity``."""
+        cumulative = self.baselines()
+        return {
+            "rounds": self._rounds,
+            "workers": len(cumulative),
+            "decay": self._decay,
+            "window": self._window_size,
+            "rolling_gini": self.rolling_gini(),
+            "rolling_jain": self.rolling_jain(),
+            "cumulative_gini": gini_coefficient(
+                [max(0.0, v) for v in cumulative.values()]
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence (journal checkpoints + fingerprints)
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot; :meth:`from_dict` restores it exactly."""
+        return {
+            "decay": self._decay,
+            "window": self._window_size,
+            "rounds": self._rounds,
+            "cumulative": dict(sorted(self._cumulative.items())),
+            "participation": dict(sorted(self._participation.items())),
+            "balance": dict(sorted(self._balance.items())),
+            "recent": [dict(sorted(r.items())) for r in self._window],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EquityLedger":
+        """Rebuild a ledger from :meth:`as_dict` output (bit-exact)."""
+        ledger = cls(decay=float(data["decay"]), window=int(data["window"]))
+        ledger._rounds = int(data["rounds"])
+        ledger._cumulative = {
+            str(k): float(v) for k, v in dict(data["cumulative"]).items()
+        }
+        ledger._participation = {
+            str(k): int(v) for k, v in dict(data["participation"]).items()
+        }
+        ledger._balance = {
+            str(k): float(v) for k, v in dict(data["balance"]).items()
+        }
+        for round_payoffs in data.get("recent", []):
+            ledger._window.append(
+                {str(k): float(v) for k, v in dict(round_payoffs).items()}
+            )
+        return ledger
+
+    def fingerprint_items(self) -> Iterator[str]:
+        """Stable ``key=value`` strings for WorldState's fingerprint hash.
+
+        Floats are rendered with ``float.hex`` so two ledgers hash equal
+        iff they are bit-identical, mirroring the rest of the fingerprint.
+        """
+        yield f"equity.decay={self._decay.hex()}"
+        yield f"equity.window={self._window_size}"
+        yield f"equity.rounds={self._rounds}"
+        for wid in sorted(self._cumulative):
+            yield (
+                f"equity.worker={wid}"
+                f"|cum={self._cumulative[wid].hex()}"
+                f"|bal={self._balance[wid].hex()}"
+                f"|part={self._participation.get(wid, 0)}"
+            )
+        for i, round_payoffs in enumerate(self._window):
+            parts = ",".join(
+                f"{w}:{round_payoffs[w].hex()}" for w in sorted(round_payoffs)
+            )
+            yield f"equity.recent[{i}]={parts}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EquityLedger):
+            return NotImplemented
+        return list(self.fingerprint_items()) == list(other.fingerprint_items())
+
+    def __repr__(self) -> str:
+        return (
+            f"EquityLedger(decay={self._decay}, window={self._window_size}, "
+            f"rounds={self._rounds}, workers={len(self._cumulative)})"
+        )

@@ -1,0 +1,280 @@
+"""Long-run equity reports: ledger-weighted vs per-round fairness.
+
+The runner behind ``python -m repro equity report``: it plays one of the
+:mod:`repro.sim.scenarios` worlds through the real dispatch service
+(:class:`~repro.service.state.WorldState` +
+:class:`~repro.service.engine.DispatchEngine`, not the offline simulator)
+twice —
+
+* the **ledger arm** solves with ``equity_mode=True``, so every round's
+  IAU acts on cumulative income (``docs/temporal_fairness.md``), and
+* the **per-round arm** solves the unmodified paper game while an
+  *observer* ledger records the same rolling metrics without influencing
+  a single route.
+
+Both arms replay byte-identical churn (the scenario schedule is pure
+arithmetic) and derive identical solve seeds, so the only difference is
+the equity term — the comparison isolates exactly what the ledger buys
+(lower rolling Gini) and what it costs (total payoff given up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.fairness import (
+    DEFAULT_EQUITY_STRENGTH,
+    gini_coefficient,
+    jain_index,
+)
+from repro.games.fgt import FGTSolver
+from repro.games.iegt import IEGTSolver
+from repro.service.engine import DispatchEngine
+from repro.sim.scenarios import EquityScenario
+
+__all__ = [
+    "EquityComparison",
+    "ScenarioOutcome",
+    "compare_scenario",
+    "run_scenario",
+]
+
+#: Efficiency the ledger mode may give up (percent of the per-round
+#: arm's total payoff) and still count as within budget.
+EFFICIENCY_BUDGET_PCT = 10.0
+
+
+def _make_solver(algorithm: str, epsilon: float):
+    name = algorithm.strip().upper()
+    if name == "FGT":
+        return FGTSolver(epsilon=epsilon)
+    if name == "IEGT":
+        return IEGTSolver(epsilon=epsilon)
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; equity reports support FGT and IEGT"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One arm of an equity comparison: a full scenario run's accounting."""
+
+    scenario: str
+    algorithm: str
+    equity_mode: bool
+    rounds: int
+    seed: int
+    #: Final rolling-window fairness from the (solver- or observer-) ledger.
+    rolling_gini: float
+    rolling_jain: float
+    #: Fairness of raw (undecayed) whole-run income per worker.
+    income_gini: float
+    income_jain: float
+    #: Sum over rounds of every committed payoff — the efficiency side.
+    total_payoff: float
+    #: Raw whole-run income per worker (sorted ids; 0.0 for never-assigned).
+    income: Dict[str, float]
+    #: Rolling Gini after each round — the trajectory plotted in reports.
+    gini_trajectory: Tuple[float, ...]
+
+    @property
+    def average_round_payoff(self) -> float:
+        """Total committed payoff divided by the scenario's round count."""
+        return self.total_payoff / self.rounds if self.rounds else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view for ``repro equity report --json``."""
+        return {
+            "scenario": self.scenario,
+            "algorithm": self.algorithm,
+            "equity_mode": self.equity_mode,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "rolling_gini": self.rolling_gini,
+            "rolling_jain": self.rolling_jain,
+            "income_gini": self.income_gini,
+            "income_jain": self.income_jain,
+            "total_payoff": self.total_payoff,
+            "average_round_payoff": self.average_round_payoff,
+            "income": dict(self.income),
+            "gini_trajectory": list(self.gini_trajectory),
+        }
+
+
+def run_scenario(
+    scenario: EquityScenario,
+    *,
+    algorithm: str = "FGT",
+    equity_mode: bool = True,
+    seed: int = 0,
+    epsilon: float = 0.8,
+    decay: Optional[float] = None,
+    window: Optional[int] = None,
+    strength: float = DEFAULT_EQUITY_STRENGTH,
+) -> ScenarioOutcome:
+    """Play ``scenario`` through the dispatch service; see the module doc.
+
+    A ledger is attached even with ``equity_mode=False`` (observer mode),
+    so both arms of a comparison report rolling metrics from identical
+    accounting.
+    """
+    world = scenario.build_world()
+    world.enable_equity(decay=decay, window=window)
+    engine = DispatchEngine(
+        world,
+        _make_solver(algorithm, epsilon),
+        epsilon=epsilon,
+        seed=seed,
+        equity_mode=equity_mode,
+        equity_strength=strength,
+    )
+    income: Dict[str, float] = {}
+    trajectory = []
+    total = 0.0
+    for index in range(scenario.rounds):
+        joiners = scenario.round_workers(index)
+        if joiners:
+            accepted, rejected = world.add_workers(joiners)
+            if rejected:
+                raise RuntimeError(
+                    f"scenario {scenario.name!r} round {index}: "
+                    f"worker rejected: {rejected[0].reason}"
+                )
+        batch = scenario.round_tasks(index, world.now)
+        if batch:
+            accepted, rejected = world.add_tasks(batch)
+            if rejected:
+                raise RuntimeError(
+                    f"scenario {scenario.name!r} round {index}: "
+                    f"task rejected: {rejected[0].reason}"
+                )
+        result = engine.dispatch(advance_hours=scenario.advance_hours)
+        for wid, payoff in result.payoffs.items():
+            income[wid] = income.get(wid, 0.0) + float(payoff)
+            total += float(payoff)
+        trajectory.append(
+            result.rolling_gini if result.rolling_gini is not None else 0.0
+        )
+    # Workers that never appeared in a committed round earned nothing —
+    # the rolling indices already price them in via the ledger; the raw
+    # income map must too.
+    for wid in world.worker_stats():
+        income.setdefault(wid, 0.0)
+    income = dict(sorted(income.items()))
+    values = [max(0.0, v) for v in income.values()]
+    ledger = world.equity
+    assert ledger is not None
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        algorithm=algorithm.strip().upper(),
+        equity_mode=equity_mode,
+        rounds=scenario.rounds,
+        seed=int(seed),
+        rolling_gini=ledger.rolling_gini(),
+        rolling_jain=ledger.rolling_jain(),
+        income_gini=gini_coefficient(values),
+        income_jain=jain_index(values),
+        total_payoff=total,
+        income=income,
+        gini_trajectory=tuple(trajectory),
+    )
+
+
+@dataclass(frozen=True)
+class EquityComparison:
+    """Ledger arm vs per-round arm of one scenario (same seed, same churn)."""
+
+    per_round: ScenarioOutcome
+    ledger: ScenarioOutcome
+
+    @property
+    def scenario(self) -> str:
+        return self.ledger.scenario
+
+    @property
+    def gini_gap_closed(self) -> float:
+        """Rolling-Gini reduction the ledger mode achieves (>0 = fairer)."""
+        return self.per_round.rolling_gini - self.ledger.rolling_gini
+
+    @property
+    def gini_gap_closed_pct(self) -> float:
+        if self.per_round.rolling_gini <= 0.0:
+            return 0.0
+        return 100.0 * self.gini_gap_closed / self.per_round.rolling_gini
+
+    @property
+    def efficiency_cost_pct(self) -> float:
+        """Total payoff given up by the ledger mode (percent, >= 0)."""
+        if self.per_round.total_payoff <= 0.0:
+            return 0.0
+        lost = self.per_round.total_payoff - self.ledger.total_payoff
+        return max(0.0, 100.0 * lost / self.per_round.total_payoff)
+
+    @property
+    def improved(self) -> bool:
+        """Strictly lower final rolling Gini than the per-round arm."""
+        return self.ledger.rolling_gini < self.per_round.rolling_gini
+
+    @property
+    def within_budget(self) -> bool:
+        return self.efficiency_cost_pct <= EFFICIENCY_BUDGET_PCT
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view of both arms plus the derived gap/cost numbers."""
+        return {
+            "scenario": self.scenario,
+            "algorithm": self.ledger.algorithm,
+            "rounds": self.ledger.rounds,
+            "per_round": self.per_round.as_dict(),
+            "ledger": self.ledger.as_dict(),
+            "gini_gap_closed": self.gini_gap_closed,
+            "gini_gap_closed_pct": self.gini_gap_closed_pct,
+            "efficiency_cost_pct": self.efficiency_cost_pct,
+            "efficiency_budget_pct": EFFICIENCY_BUDGET_PCT,
+            "improved": self.improved,
+            "within_budget": self.within_budget,
+        }
+
+    def format(self) -> str:
+        """Multi-line text summary (the default CLI report output)."""
+        lines = [
+            f"scenario {self.scenario} ({self.ledger.algorithm}, "
+            f"{self.ledger.rounds} rounds)",
+            f"  per-round arm: rolling_gini={self.per_round.rolling_gini:.4f} "
+            f"jain={self.per_round.rolling_jain:.4f} "
+            f"total_payoff={self.per_round.total_payoff:.3f}",
+            f"  ledger arm:    rolling_gini={self.ledger.rolling_gini:.4f} "
+            f"jain={self.ledger.rolling_jain:.4f} "
+            f"total_payoff={self.ledger.total_payoff:.3f}",
+            f"  gap closed: {self.gini_gap_closed:+.4f} "
+            f"({self.gini_gap_closed_pct:+.1f}%)  "
+            f"efficiency cost: {self.efficiency_cost_pct:.1f}% "
+            f"(budget {EFFICIENCY_BUDGET_PCT:.0f}%)",
+            f"  improved={self.improved} within_budget={self.within_budget}",
+        ]
+        return "\n".join(lines)
+
+
+def compare_scenario(
+    scenario: EquityScenario,
+    *,
+    algorithm: str = "FGT",
+    seed: int = 0,
+    epsilon: float = 0.8,
+    decay: Optional[float] = None,
+    window: Optional[int] = None,
+    strength: float = DEFAULT_EQUITY_STRENGTH,
+) -> EquityComparison:
+    """Run both arms of ``scenario`` and pair them for the report."""
+    common = dict(
+        algorithm=algorithm,
+        seed=seed,
+        epsilon=epsilon,
+        decay=decay,
+        window=window,
+        strength=strength,
+    )
+    per_round = run_scenario(scenario, equity_mode=False, **common)
+    ledger = run_scenario(scenario, equity_mode=True, **common)
+    return EquityComparison(per_round=per_round, ledger=ledger)

@@ -12,11 +12,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 
-from repro.core.fairness import InequityAversion
+from repro.core.fairness import (
+    DEFAULT_EQUITY_STRENGTH,
+    InequityAversion,
+    equity_model,
+)
 from repro.core.instance import SubProblem
 from repro.core.priority import PriorityModel
 from repro.games.base import GameResult, GameState, random_initial_state
@@ -35,6 +39,17 @@ from repro.verify.verifier import (
 )
 
 logger = get_logger("games.fgt")
+
+
+def _effective(payoffs: np.ndarray, scales: np.ndarray, base) -> np.ndarray:
+    """Effective payoffs: scaled round payoffs, plus the equity base if set.
+
+    The ``base is None`` branch keeps the non-equity expression literally
+    unchanged so existing solves stay byte-for-byte identical; the equity
+    branch's ``payoffs * scales + base`` is the exact elementwise op order
+    both engines replicate when they update single entries.
+    """
+    return payoffs * scales if base is None else payoffs * scales + base
 
 
 @dataclass(frozen=True)
@@ -106,6 +121,20 @@ class FGTSolver:
         self-terminates instead of blowing the round budget.  ``None``
         (default) plays to the fixed point; note this changes *which*
         assignment is returned only when the budget actually trips.
+    equity_mode, equity_baselines, equity_strength:
+        Ledger-weighted temporal fairness (``docs/temporal_fairness.md``).
+        When ``equity_mode`` is on, utilities become the amplified IAU of
+        :func:`repro.core.fairness.equity_model` evaluated at *effective*
+        payoffs ``P_i * scale_i + C_i``, where ``C_i`` is the worker's
+        decayed cumulative payoff from ``equity_baselines`` (a worker-id
+        -> float mapping, typically
+        :meth:`~repro.equity.ledger.EquityLedger.baselines`; missing
+        workers default to 0.0, and ``None`` means an all-zero base — the
+        amplified one-shot game ``solve --equity-mode`` plays).  Both
+        engines stay elementwise bit-identical in equity mode.  The
+        amplified weights void Lemma 2's potential-monotonicity guarantee
+        (see :func:`~repro.core.fairness.equity_model`), so the verifier
+        skips that one check and convergence is bounded by ``max_rounds``.
     """
 
     alpha: float = 0.5
@@ -121,6 +150,9 @@ class FGTSolver:
     trace: object = False
     engine: str = "vectorized"
     deadline_s: Optional[float] = None
+    equity_mode: bool = False
+    equity_baselines: Optional[Mapping[str, float]] = None
+    equity_strength: float = DEFAULT_EQUITY_STRENGTH
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and not self.deadline_s > 0:
@@ -140,6 +172,10 @@ class FGTSolver:
             raise ValueError(
                 f"early_stop_patience must be >= 1 or None, "
                 f"got {self.early_stop_patience!r}"
+            )
+        if not self.equity_strength > 0:
+            raise ValueError(
+                f"equity_strength must be > 0, got {self.equity_strength!r}"
             )
 
     @property
@@ -161,10 +197,22 @@ class FGTSolver:
         state = random_initial_state(catalog, rng)
         trace = ConvergenceTrace()
         scales = self._utility_scales(state)
+        base = self._equity_base(state)
+        if base is not None:
+            model = equity_model(model, self.equity_strength)
         verifier: NullVerifier = NULL_VERIFIER
         if verification_enabled(self.verify):
             verifier = PotentialGameVerifier(
-                model, scales=scales, tol=self.tol, solver=self.name
+                model,
+                scales=scales,
+                tol=self.tol,
+                solver=self.name,
+                offsets=base,
+                # Lemma 2's monotone-potential argument holds for IAU
+                # weights <= 1/2; the amplified equity model voids it
+                # (see core.fairness.equity_model), so only the
+                # recompute/switch/Nash checks apply in equity mode.
+                monotone=base is None,
             )
         verifier.on_solve_start(state)
         if tracer.enabled:
@@ -181,7 +229,9 @@ class FGTSolver:
         rounds = 0
         total_switches = 0
         stall = 0
-        last_potential = potential_value(state.payoffs() * scales, model)
+        last_potential = potential_value(
+            _effective(state.payoffs(), scales, base), model
+        )
         vectorized = self.engine == "vectorized"
         # Vectorized-filter batch statistics, flushed to METRICS once per
         # solve: [batches, strategies screened, candidates surviving].
@@ -194,16 +244,16 @@ class FGTSolver:
                 if vectorized:
                     switches = self._best_response_round_vectorized(
                         state, model, trace, scales, rng, verifier, rounds,
-                        tracer, batch_stats,
+                        tracer, batch_stats, base,
                     )
                 else:
                     switches = self._best_response_round(
                         state, model, trace, scales, rng, verifier, rounds,
-                        tracer,
+                        tracer, base,
                     )
                 total_switches += switches
                 payoffs = state.payoffs()
-                potential = potential_value(payoffs * scales, model)
+                potential = potential_value(_effective(payoffs, scales, base), model)
                 if self.trace_granularity == "round":
                     trace.record(rounds, payoffs, switches, potential)
                 verifier.on_round(rounds, payoffs, potential, switches)
@@ -264,6 +314,20 @@ class FGTSolver:
             [1.0 / self.priorities.priority_of(w.worker_id) for w in state.workers]
         )
 
+    def _equity_base(self, state: GameState) -> Optional[np.ndarray]:
+        """Per-worker cumulative-payoff offsets, or ``None`` when equity is off.
+
+        Workers missing from ``equity_baselines`` (newly joined since the
+        ledger last recorded) start from a zero base, which is exactly the
+        envied-at position the equity game should put a newcomer in.
+        """
+        if not self.equity_mode:
+            return None
+        baselines = self.equity_baselines or {}
+        return np.array(
+            [float(baselines.get(w.worker_id, 0.0)) for w in state.workers]
+        )
+
     def _best_response_round(
         self,
         state: GameState,
@@ -274,6 +338,7 @@ class FGTSolver:
         verifier: NullVerifier = NULL_VERIFIER,
         round_index: int = 0,
         tracer: NullTracer = NULL_TRACER,
+        base: Optional[np.ndarray] = None,
     ) -> int:
         """One pass of sequential asynchronous best responses; returns switches.
 
@@ -292,16 +357,24 @@ class FGTSolver:
         payoffs = state.payoffs()
         for idx, worker in enumerate(state.workers):
             wid = worker.worker_id
-            others = np.delete(payoffs * scales, idx)
+            others = np.delete(_effective(payoffs, scales, base), idx)
             evaluator = IAUEvaluator(others, model)
             current = state.strategy_of(wid)
             best_strategy = NULL_STRATEGY
-            best_utility = evaluator.utility(NULL_STRATEGY.payoff)
+            null_value = (
+                NULL_STRATEGY.payoff
+                if base is None
+                else NULL_STRATEGY.payoff * scales[idx] + base[idx]
+            )
+            best_utility = evaluator.utility(null_value)
             available = list(state.available_strategies(wid))
             utilities = []
             accepted_any = False
             for strategy in available:
-                u = evaluator.utility(strategy.payoff * scales[idx])
+                value = strategy.payoff * scales[idx]
+                if base is not None:
+                    value = value + base[idx]
+                u = evaluator.utility(value)
                 utilities.append(u)
                 if u > best_utility + self.tol:
                     best_strategy, best_utility = strategy, u
@@ -310,7 +383,10 @@ class FGTSolver:
                 ties = [i for i, u in enumerate(utilities) if u == best_utility]
                 if len(ties) > 1:
                     best_strategy = available[ties[int(rng.integers(len(ties)))]]
-            current_utility = evaluator.utility(current.payoff * scales[idx])
+            current_value = current.payoff * scales[idx]
+            if base is not None:
+                current_value = current_value + base[idx]
+            current_utility = evaluator.utility(current_value)
             switched = 0
             if best_utility > current_utility + self.tol:
                 verifier.on_switch(wid, round_index, current_utility, best_utility)
@@ -332,7 +408,7 @@ class FGTSolver:
                     len(trace) + 1,
                     payoffs,
                     switched,
-                    potential_value(payoffs * scales, model),
+                    potential_value(_effective(payoffs, scales, base), model),
                 )
         return switches
 
@@ -347,6 +423,7 @@ class FGTSolver:
         round_index: int,
         tracer: NullTracer,
         batch_stats: list,
+        base: Optional[np.ndarray] = None,
     ) -> int:
         """One best-response pass on the bitmask index, bit-identical to
         :meth:`_best_response_round`.
@@ -366,7 +443,7 @@ class FGTSolver:
         """
         switches = 0
         payoffs = state.payoffs()
-        scaled = payoffs * scales
+        scaled = _effective(payoffs, scales, base)
         n = payoffs.size
         others = np.empty(n - 1 if n else 0, dtype=np.float64)
         catalog = state.catalog
@@ -378,13 +455,20 @@ class FGTSolver:
             evaluator = IAUEvaluator(others, model)
             current = state.strategy_of(wid)
             best_strategy = NULL_STRATEGY
-            best_utility = evaluator.utility(NULL_STRATEGY.payoff)
+            null_value = (
+                NULL_STRATEGY.payoff
+                if base is None
+                else NULL_STRATEGY.payoff * scales[idx] + base[idx]
+            )
+            best_utility = evaluator.utility(null_value)
             available = state.available_strategy_indices(wid)
             batch_stats[0] += 1
             batch_stats[1] += index.worker(wid).n_strategies
             batch_stats[2] += int(available.size)
             if available.size:
                 candidates = index.worker(wid).payoffs[available] * scales[idx]
+                if base is not None:
+                    candidates = candidates + base[idx]
                 utilities = evaluator.utilities(candidates)
                 pos, accepted = sequential_best(utilities, best_utility, self.tol)
                 if pos >= 0:
@@ -393,7 +477,10 @@ class FGTSolver:
                     if ties.size > 1:
                         pos = int(ties[int(rng.integers(ties.size))])
                     best_strategy = catalog.strategies(wid)[int(available[pos])]
-            current_utility = evaluator.utility(current.payoff * scales[idx])
+            current_value = current.payoff * scales[idx]
+            if base is not None:
+                current_value = current_value + base[idx]
+            current_utility = evaluator.utility(current_value)
             switched = 0
             if best_utility > current_utility + self.tol:
                 verifier.on_switch(wid, round_index, current_utility, best_utility)
@@ -408,7 +495,8 @@ class FGTSolver:
                     )
                 state.set_strategy(wid, best_strategy)
                 payoffs[idx] = best_strategy.payoff
-                scaled[idx] = best_strategy.payoff * scales[idx]
+                value = best_strategy.payoff * scales[idx]
+                scaled[idx] = value if base is None else value + base[idx]
                 switches += 1
                 switched = 1
             if self.trace_granularity == "update":

@@ -14,7 +14,7 @@ change strategy — which Definition 10 shows is an IESS.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 import numpy as np
 
@@ -92,6 +92,19 @@ class IEGTSolver:
         is bit-identical to ``"scalar"``, the original per-strategy Python
         loop, retained as the reference implementation for differential
         tests and benchmarks (see ``docs/performance.md``).
+    equity_mode, equity_baselines:
+        Ledger-weighted temporal fairness (``docs/temporal_fairness.md``).
+        When ``equity_mode`` is on, the replicator derivative's sign is
+        taken on *effective* payoffs ``P_i + C_i``, where ``C_i`` is the
+        worker's decayed cumulative payoff from ``equity_baselines``
+        (typically :meth:`~repro.equity.ledger.EquityLedger.baselines`;
+        missing workers default to 0.0).  A cumulative-rich worker thus
+        sits above the effective average and never evolves, while a
+        cumulative-poor worker keeps evolving even when its round payoff
+        already matches its peers'.  Switch targets still require a
+        strictly better *round* payoff, so every switch increases the raw
+        population total — the termination argument survives equity mode
+        untouched.  Both engines stay bit-identical in equity mode.
     """
 
     max_rounds: int = 500
@@ -104,6 +117,8 @@ class IEGTSolver:
     verify: bool = False
     trace: object = False
     engine: str = "vectorized"
+    equity_mode: bool = False
+    equity_baselines: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.trace_granularity not in ("round", "update"):
@@ -143,9 +158,12 @@ class IEGTSolver:
         rng = ensure_rng(seed)
         state = random_initial_state(catalog, rng)
         trace = ConvergenceTrace()
+        base = self._equity_base(state)
         verifier: NullVerifier = NULL_VERIFIER
         if verification_enabled(self.verify):
-            verifier = EvolutionaryGameVerifier(tol=self.tol, solver=self.name)
+            verifier = EvolutionaryGameVerifier(
+                tol=self.tol, solver=self.name, offsets=base
+            )
         verifier.on_solve_start(state)
         if tracer.enabled:
             tracer.event(
@@ -170,17 +188,21 @@ class IEGTSolver:
         with METRICS.timer("iegt.solve_seconds"):
             for rounds in range(1, self.max_rounds + 1):
                 payoffs = state.payoffs()
-                mean_payoff = float(payoffs.mean()) if population else 0.0
+                effective = payoffs if base is None else payoffs + base
+                mean_payoff = float(effective.mean()) if population else 0.0
                 switches = 0
                 all_average = True
                 for idx, worker in enumerate(state.workers):
                     # sigma_km > 0 for a strategy in use, so the sign of the
-                    # replicator derivative (Eq. 11) is the sign of U_i - U-bar.
-                    gap = payoffs[idx] - mean_payoff
+                    # replicator derivative (Eq. 11) is the sign of U_i - U-bar
+                    # — on effective payoffs (round + cumulative base) when
+                    # equity mode is on.
+                    gap = effective[idx] - mean_payoff
                     switched = False
                     if gap < -self.tol:
                         all_average = False
                         old_payoff = payoffs[idx]
+                        old_effective = effective[idx]
                         if vectorized:
                             switched = self._evolve_vectorized(
                                 state, worker.worker_id, rng, batch_stats
@@ -188,11 +210,14 @@ class IEGTSolver:
                         else:
                             switched = self._evolve(state, worker.worker_id, rng)
                         if switched:
+                            new_payoff = state.strategy_of(worker.worker_id).payoff
                             verifier.on_switch(
                                 worker.worker_id,
                                 rounds,
-                                (old_payoff, mean_payoff),
-                                state.strategy_of(worker.worker_id).payoff,
+                                (old_effective, mean_payoff),
+                                new_payoff
+                                if base is None
+                                else new_payoff + base[idx],
                             )
                             if tracer.enabled:
                                 tracer.event(
@@ -200,14 +225,15 @@ class IEGTSolver:
                                     worker=worker.worker_id,
                                     round=rounds,
                                     payoff_before=float(old_payoff),
-                                    payoff_after=state.strategy_of(
-                                        worker.worker_id
-                                    ).payoff,
+                                    payoff_after=new_payoff,
                                     mean_payoff=mean_payoff,
                                 )
                             switches += 1
                             payoffs = state.payoffs()
-                            mean_payoff = float(payoffs.mean())
+                            effective = (
+                                payoffs if base is None else payoffs + base
+                            )
+                            mean_payoff = float(effective.mean())
                     elif abs(gap) > self.tol:
                         all_average = False
                     if self.trace_granularity == "update":
@@ -271,6 +297,20 @@ class IEGTSolver:
                 converged=converged,
             )
         return GameResult(assignment, trace, converged, rounds)
+
+    def _equity_base(self, state: GameState) -> Optional[np.ndarray]:
+        """Per-worker cumulative-payoff offsets, or ``None`` when equity is off.
+
+        Workers missing from ``equity_baselines`` (newly joined since the
+        ledger last recorded) start from a zero base, so the effective
+        average immediately treats them as the poorest in the population.
+        """
+        if not self.equity_mode:
+            return None
+        baselines = self.equity_baselines or {}
+        return np.array(
+            [float(baselines.get(w.worker_id, 0.0)) for w in state.workers]
+        )
 
     def _evolve(
         self, state: GameState, worker_id: str, rng: np.random.Generator

@@ -147,6 +147,7 @@ def is_pure_nash(
     model: InequityAversion,
     tol: float = 1e-9,
     scales: Optional[Sequence[float]] = None,
+    offsets: Optional[Sequence[float]] = None,
 ) -> bool:
     """Whether no worker can strictly improve its IAU by a unilateral switch.
 
@@ -154,11 +155,17 @@ def is_pure_nash(
     strategies disjoint from the points currently claimed by others.
     ``scales`` (optional, one factor per worker) checks the equilibrium of
     the priority-normalised game instead, where utilities are IAU over
-    ``payoff * scale`` (the FGT ``priorities=`` extension).
+    ``payoff * scale`` (the FGT ``priorities=`` extension).  ``offsets``
+    (optional, one addend per worker) checks the ledger-weighted equity
+    game, where utilities are IAU over the *effective* payoff
+    ``payoff * scale + offset`` — the offset being the worker's decayed
+    cumulative payoff from the :class:`~repro.equity.ledger.EquityLedger`
+    (null deviation included: idling still leaves the cumulative base).
     """
     payoffs = state.payoffs()
     factors = np.ones(payoffs.size) if scales is None else np.asarray(scales)
-    scaled = payoffs * factors
+    base = None if offsets is None else np.asarray(offsets, dtype=float)
+    scaled = payoffs * factors if base is None else payoffs * factors + base
     # States built on a VDPSCatalog expose the bitmask conflict index; the
     # candidate scan then runs as one batched IAU evaluation per worker.
     # Both branches decide "some deviation beats current by more than tol"
@@ -168,7 +175,8 @@ def is_pure_nash(
         others = np.delete(scaled, idx)
         evaluator = IAUEvaluator(others, model)
         current_utility = evaluator.utility(scaled[idx])
-        if evaluator.utility(0.0) > current_utility + tol:  # null deviation
+        null_value = 0.0 if base is None else 0.0 * factors[idx] + base[idx]
+        if evaluator.utility(null_value) > current_utility + tol:  # null deviation
             return False
         if vectorized:
             available = state.available_strategy_indices(worker.worker_id)
@@ -177,15 +185,17 @@ def is_pure_nash(
                     state.catalog.index.worker(worker.worker_id).payoffs[available]
                     * factors[idx]
                 )
+                if base is not None:
+                    candidates = candidates + base[idx]
                 if bool(
                     np.any(evaluator.utilities(candidates) > current_utility + tol)
                 ):
                     return False
         else:
             for strategy in state.available_strategies(worker.worker_id):
-                if (
-                    evaluator.utility(strategy.payoff * factors[idx])
-                    > current_utility + tol
-                ):
+                value = strategy.payoff * factors[idx]
+                if base is not None:
+                    value = value + base[idx]
+                if evaluator.utility(value) > current_utility + tol:
                     return False
     return True

@@ -49,11 +49,13 @@ from repro.obs.reader import (
     summarize_trace,
 )
 from repro.obs.slo import (
+    GaugeObjective,
     LatencyObjective,
     RatioObjective,
     SLOBoard,
     SLOStatus,
     default_slos,
+    rolling_fairness_slo,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -123,9 +125,11 @@ __all__ = [
     # SLOs
     "SLOBoard",
     "SLOStatus",
+    "GaugeObjective",
     "LatencyObjective",
     "RatioObjective",
     "default_slos",
+    "rolling_fairness_slo",
     # one timing idiom (re-exported from repro.utils.timing)
     "CpuTimer",
     "Stopwatch",

@@ -12,7 +12,7 @@ that number.  An *objective* declares what fraction of events must be good
   error_budget``.  Below 1.0 the objective holds; above it, it is
   breached.  A burn of 2.0 means failing at twice the tolerated rate.
 
-Two objective shapes cover everything the service tracks:
+Three objective shapes cover everything the service tracks:
 
 * :class:`LatencyObjective` — "p-fraction of observations in histogram H
   complete within T seconds".  Compliance comes from the histogram's
@@ -20,6 +20,9 @@ Two objective shapes cover everything the service tracks:
   when ``T`` sits on a bucket bound and conservative otherwise.
 * :class:`RatioObjective` — "at most (1 - target) of counter TOTAL may be
   counter BAD" (deadline misses per solve, degraded rungs per solve, ...).
+* :class:`GaugeObjective` — "gauge G stays on the right side of a
+  threshold" (a binary state check: the rolling-fairness gauge fed by the
+  equity ledger is its first user, via :func:`rolling_fairness_slo`).
 
 :func:`default_slos` declares the service's four stock objectives; an
 :class:`SLOBoard` evaluates a set of objectives against a registry and
@@ -134,6 +137,65 @@ class RatioObjective:
             bad_events=float(bad),
             detail={},
         )
+
+
+@dataclass(frozen=True)
+class GaugeObjective:
+    """Gauge ``gauge`` must be ``<=`` (``mode="le"``) or ``>=`` the threshold.
+
+    A binary state check, not a rate: compliance is 1.0 or 0.0 over one
+    event, so a breach burns the whole error budget at once.  ``target``
+    must stay below 1.0 to leave a non-zero budget for the burn math.
+    """
+
+    name: str
+    description: str
+    gauge: str
+    threshold: float
+    mode: str = "le"
+    target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("le", "ge"):
+            raise ValueError(f"mode must be 'le' or 'ge', got {self.mode!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"target must be in (0, 1) for a gauge objective, "
+                f"got {self.target!r}"
+            )
+
+    def evaluate(self, registry: MetricsRegistry) -> SLOStatus:
+        """Score the objective against ``registry``'s current gauge value."""
+        value = registry.gauge(self.gauge).value
+        good = value <= self.threshold if self.mode == "le" else value >= self.threshold
+        return SLOStatus(
+            name=self.name,
+            description=self.description,
+            target=self.target,
+            compliance=1.0 if good else 0.0,
+            events=1,
+            bad_events=0.0 if good else 1.0,
+            detail={"value": float(value), "threshold": self.threshold},
+        )
+
+
+def rolling_fairness_slo(threshold: float = 0.5) -> GaugeObjective:
+    """Rolling-window income Gini (from the equity ledger) stays bounded.
+
+    Added to the board by the dispatch server whenever the world carries
+    an equity ledger — in ledger-weighted *and* observer mode, so the SLO
+    can witness per-round dispatch breaching the long-run bound that the
+    equity mode holds (``docs/temporal_fairness.md``).
+    """
+    return GaugeObjective(
+        name="rolling_fairness",
+        description=(
+            f"rolling-window income Gini stays at or below {threshold:g}"
+        ),
+        gauge="fairness.rolling_gini",
+        threshold=threshold,
+        mode="le",
+    )
 
 
 def default_slos(

@@ -14,6 +14,7 @@ method     path             effect
 ``GET``    ``/healthz``     liveness: clock, rounds, queue depth, uptime, SLOs
 ``GET``    ``/metrics``     Prometheus rendering of :data:`repro.obs.METRICS`
 ``GET``    ``/slo``         objectives with error-budget burn (:mod:`repro.obs.slo`)
+``GET``    ``/equity``      cross-round equity ledger (docs/temporal_fairness.md)
 ``POST``   ``/shutdown``    graceful stop (drain in-flight round, final dump)
 =========  ===============  ====================================================
 
@@ -37,7 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import METRICS
-from repro.obs.slo import SLOBoard
+from repro.obs.slo import SLOBoard, default_slos, rolling_fairness_slo
 from repro.obs.tracer import resolve_tracer, start_trace
 from repro.service.engine import DispatchEngine, EngineDraining
 from repro.utils.log import get_logger
@@ -113,6 +114,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._route({"/healthz": self._get_healthz,
                      "/metrics": self._get_metrics,
                      "/slo": self._get_slo,
+                     "/equity": self._get_equity,
                      "/assignments": self._get_assignments})
 
     def do_POST(self) -> None:  # noqa: N802
@@ -174,6 +176,11 @@ class _Handler(BaseHTTPRequestHandler):
             }
         if engine.faults is not None:
             payload["faults"] = engine.faults.describe()
+        ledger = state.equity
+        if ledger is not None:
+            equity = dict(ledger.summary())
+            equity["mode"] = engine.equity_mode
+            payload["equity"] = equity
         payload["slo"] = self.server.slo_board.summary()
         self._send_json(payload)
 
@@ -182,6 +189,27 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_slo(self) -> None:
         self._send_json(self.server.slo_board.as_dict())
+
+    def _get_equity(self) -> None:
+        """The cross-round equity ledger (docs/temporal_fairness.md)."""
+        engine = self.server.engine
+        ledger = engine.state.equity
+        if ledger is None:
+            raise ApiError(
+                404, "equity ledger not enabled (start with --equity)"
+            )
+        payload = dict(ledger.summary())
+        payload["mode"] = engine.equity_mode
+        payload["strength"] = engine.equity_strength
+        payload["cumulative"] = ledger.baselines()
+        payload["balance"] = {
+            wid: ledger.balance_of(wid) for wid in ledger.workers
+        }
+        payload["participation"] = {
+            wid: ledger.participation_of(wid) for wid in ledger.workers
+        }
+        payload["rolling_income"] = ledger.rolling_payoffs()
+        self._send_json(payload)
 
     def _get_assignments(self) -> None:
         engine = self.server.engine
@@ -270,7 +298,14 @@ class DispatchHTTPServer(ThreadingHTTPServer):
     ) -> None:
         super().__init__(address, _Handler)
         self.engine = engine
-        self.slo_board = slo_board if slo_board is not None else SLOBoard()
+        if slo_board is None:
+            objectives = default_slos()
+            if engine.state.equity is not None:
+                # Worlds with an equity ledger (solver- or observer-mode)
+                # get the rolling-fairness bound on the board for free.
+                objectives.append(rolling_fairness_slo())
+            slo_board = SLOBoard(objectives)
+        self.slo_board = slo_board
         self.started = time.perf_counter()
         self._stop_requested = threading.Event()
 

@@ -223,6 +223,10 @@ class DispatchClient:
         """``GET /slo`` — objectives with error-budget burn accounting."""
         return self._json("GET", "/slo")
 
+    def equity(self) -> Dict:
+        """``GET /equity`` — the cross-round ledger (404 when not enabled)."""
+        return self._json("GET", "/equity")
+
     def shutdown(self) -> Dict:
         """``POST /shutdown`` — ask the service to stop gracefully.
 

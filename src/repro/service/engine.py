@@ -56,7 +56,11 @@ from contextlib import nullcontext
 
 from repro.baselines.gta import GTASolver
 from repro.core.assignment import Assignment, WorkerAssignment
-from repro.core.fairness import gini_coefficient, jain_index
+from repro.core.fairness import (
+    DEFAULT_EQUITY_STRENGTH,
+    gini_coefficient,
+    jain_index,
+)
 from repro.core.instance import SubProblem
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import (
@@ -128,10 +132,17 @@ class RoundResult:
     #: the legacy (non-fault-tolerant) path.  Rung names: ``primary``,
     #: ``scalar``, ``greedy``, ``skip``.
     degraded: Mapping[str, str] = field(default_factory=dict)
+    #: Whether the round solved with ledger-weighted equity utilities.
+    equity_mode: bool = False
+    #: Rolling-window fairness from the equity ledger, when one is
+    #: attached to the world (``None`` otherwise — including dry-run
+    #: rounds, which do not advance the ledger).
+    rolling_gini: Optional[float] = None
+    rolling_jain: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready view served by ``POST /dispatch``."""
-        return {
+        data = {
             "round": self.round_index,
             "now": self.now,
             "committed": self.committed,
@@ -152,6 +163,13 @@ class RoundResult:
             "duration_seconds": self.duration_seconds,
             "degraded": dict(self.degraded),
         }
+        if self.rolling_gini is not None:
+            data["equity"] = {
+                "mode": self.equity_mode,
+                "rolling_gini": self.rolling_gini,
+                "rolling_jain": self.rolling_jain,
+            }
+        return data
 
 
 class DispatchEngine:
@@ -206,6 +224,19 @@ class DispatchEngine:
         Optional :class:`~repro.vdps.store.CatalogStore` for warm
         restarts: consulted on each center's first cache miss, written by
         :meth:`drain`.  Requires ``delta_catalog``.
+    equity_mode:
+        Solve rounds with ledger-weighted equity utilities
+        (``docs/temporal_fairness.md``): each round the solver receives
+        the world's :class:`~repro.equity.ledger.EquityLedger` cumulative
+        baselines, so envy/guilt act on long-run income, not just this
+        round's payoffs.  The engine attaches a ledger to the world if it
+        has none.  With ``equity_mode=False`` the engine still *records*
+        rounds into an already-attached ledger (observer mode — how the
+        per-round arm of a comparison keeps rolling metrics without
+        changing its assignments).
+    equity_strength:
+        IAU amplification for equity rounds (see
+        :func:`repro.core.fairness.equity_model`).
     """
 
     def __init__(
@@ -227,6 +258,8 @@ class DispatchEngine:
         faults: Optional[FaultPlan] = None,
         delta_catalog: bool = True,
         catalog_store: Optional[CatalogStore] = None,
+        equity_mode: bool = False,
+        equity_strength: float = DEFAULT_EQUITY_STRENGTH,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -242,6 +275,10 @@ class DispatchEngine:
             raise ValueError(f"backoff_base_s must be >= 0, got {backoff_base_s}")
         if scalar_round_cap < 1:
             raise ValueError(f"scalar_round_cap must be >= 1, got {scalar_round_cap}")
+        if not equity_strength > 0:
+            raise ValueError(
+                f"equity_strength must be > 0, got {equity_strength!r}"
+            )
         self._state = state
         self._solver = solver
         self._name = str(getattr(solver, "name", type(solver).__name__))
@@ -271,6 +308,10 @@ class DispatchEngine:
             solve_deadline_s is not None or self._faults is not None
         )
         self._ladder = self._build_ladder() if self._fault_tolerant else ()
+        self._equity_mode = bool(equity_mode)
+        self._equity_strength = float(equity_strength)
+        if self._equity_mode:
+            state.enable_equity()
         self._draining = False
 
     # -- introspection ------------------------------------------------------
@@ -315,6 +356,15 @@ class DispatchEngine:
     def fault_tolerant(self) -> bool:
         """Whether per-center solves run on the degradation ladder."""
         return self._fault_tolerant
+
+    @property
+    def equity_mode(self) -> bool:
+        """Whether rounds solve with ledger-weighted equity utilities."""
+        return self._equity_mode
+
+    @property
+    def equity_strength(self) -> float:
+        return self._equity_strength
 
     @property
     def draining(self) -> bool:
@@ -372,6 +422,23 @@ class DispatchEngine:
         self._round += 1
         hits_before = METRICS.counter("service.catalog_cache.hits").value
         misses_before = METRICS.counter("service.catalog_cache.misses").value
+        # Equity baselines are read once per round from the committed
+        # ledger state, so every center of the round sees the same
+        # cumulative picture regardless of solve order.  All-equal
+        # baselines (cold start, or a history of all-idle rounds) carry
+        # no cross-round signal — the amplified IAU then degenerates to
+        # per-round differences with beta' > 1, where the all-null
+        # assignment is a Nash equilibrium that dispersed-payoff worlds
+        # cascade into — so those rounds solve with plain per-round IAU.
+        baselines = (
+            self._state.equity.baselines()
+            if self._equity_mode and self._state.equity is not None
+            else None
+        )
+        if baselines is not None:
+            values = baselines.values()
+            if not baselines or min(values) == max(values):
+                baselines = None
 
         payoffs: Dict[str, float] = {}
         assignments: Dict[str, Dict[str, Tuple[str, ...]]] = {}
@@ -383,7 +450,7 @@ class DispatchEngine:
         if snapshot.subproblems:
             if self._fault_tolerant:
                 solution, degraded, verified = self._solve_fault_tolerant(
-                    snapshot, index, tracer
+                    snapshot, index, tracer, baselines
                 )
             else:
                 catalogs = {
@@ -399,7 +466,7 @@ class DispatchEngine:
                 )
                 solution = solve_instance(
                     snapshot.instance(),
-                    self._solver,
+                    self._with_equity(self._solver, baselines),
                     epsilon=self._epsilon,
                     seed=self.round_seed(index),
                     n_jobs=self._n_jobs,
@@ -425,6 +492,27 @@ class DispatchEngine:
             if commit:
                 assigned = self._state.commit(snapshot, solution.assignments)
 
+        rolling_gini: Optional[float] = None
+        rolling_jain: Optional[float] = None
+        ledger = self._state.equity
+        if commit and ledger is not None:
+            # Recorded whenever a ledger is attached, not just in equity
+            # mode: observer-mode worlds (the per-round arm of an equity
+            # comparison) keep rolling metrics without changing routes.
+            # Empty rounds record an empty payoff map so idle time still
+            # decays every balance.
+            self._state.record_equity(payoffs)
+            rolling_gini = ledger.rolling_gini()
+            rolling_jain = ledger.rolling_jain()
+            if tracer.enabled:
+                tracer.event(
+                    "equity.record",
+                    round=index,
+                    workers=len(payoffs),
+                    ledger_rounds=ledger.rounds,
+                    rolling_gini=rolling_gini,
+                )
+
         duration = time.perf_counter() - start
         result = RoundResult(
             round_index=index,
@@ -446,6 +534,9 @@ class DispatchEngine:
             verified_centers=verified,
             duration_seconds=duration,
             degraded=degraded,
+            equity_mode=self._equity_mode,
+            rolling_gini=rolling_gini,
+            rolling_jain=rolling_jain,
         )
         self._record(result)
         if tracer.enabled:
@@ -530,8 +621,36 @@ class DispatchEngine:
                 return i
         return len(self._ladder) - 1
 
+    def _with_equity(self, solver, baselines):
+        """An equity-mode copy of ``solver``, or ``solver`` unchanged.
+
+        Solvers without equity fields (the GTA greedy rung) stay
+        equity-blind: a degraded center falls back to exactly the same
+        fairness-blind greedy it would without equity mode.  IEGT carries
+        no ``equity_strength`` field (its replicator gate needs no
+        amplification), so the strength is set only where it exists.
+        """
+        if baselines is None or solver is None:
+            return solver
+        if not dataclasses.is_dataclass(solver):
+            return solver
+        names = {f.name for f in dataclasses.fields(solver)}
+        if "equity_mode" not in names:
+            return solver
+        changes: Dict[str, object] = {
+            "equity_mode": True,
+            "equity_baselines": baselines,
+        }
+        if "equity_strength" in names:
+            changes["equity_strength"] = self._equity_strength
+        return dataclasses.replace(solver, **changes)
+
     def _solve_fault_tolerant(
-        self, snapshot: WorldSnapshot, index: int, tracer: NullTracer
+        self,
+        snapshot: WorldSnapshot,
+        index: int,
+        tracer: NullTracer,
+        baselines: Optional[Mapping[str, float]] = None,
     ) -> Tuple[InstanceSolution, Dict[str, str], int]:
         """Solve each center down the ladder; never raises.
 
@@ -565,14 +684,15 @@ class DispatchEngine:
             METRICS.counter("dispatch.center_solves").add(1)
             if not tracer.enabled:
                 return self._solve_center(
-                    sub, snapshot, index, cid, seeds[cid], tracer
+                    sub, snapshot, index, cid, seeds[cid], tracer, baselines
                 )
             with attach_context(ctx):
                 with tracer.span(
                     "service.center_solve", round=index, center=cid
                 ) as span:
                     outcome = self._solve_center(
-                        sub, snapshot, index, cid, seeds[cid], tracer
+                        sub, snapshot, index, cid, seeds[cid], tracer,
+                        baselines,
                     )
                     span.add(rung=outcome[1])
             return outcome
@@ -608,6 +728,7 @@ class DispatchEngine:
         cid: str,
         seed: int,
         tracer: NullTracer,
+        baselines: Optional[Mapping[str, float]] = None,
     ) -> Tuple[Assignment, str, bool]:
         """One center's walk down the ladder.
 
@@ -645,8 +766,9 @@ class DispatchEngine:
                         attempt=attempt,
                     ) if tracer.enabled else _NULL_SCOPE:
                         assignment = self._attempt_solve(
-                            sub, snapshot, solver, seed, round_index, cid,
-                            rung_index, attempt,
+                            sub, snapshot,
+                            self._with_equity(solver, baselines),
+                            seed, round_index, cid, rung_index, attempt,
                         )
                 except Exception as exc:  # noqa: BLE001 — the ladder absorbs all
                     METRICS.counter("dispatch.solve_failures").add(1)
@@ -822,7 +944,23 @@ class DispatchEngine:
         Payoffs are clamped at zero for the Gini (which rejects negatives);
         the engine never produces negative payoffs, but a defensive clamp
         beats a crashed round.
+
+        When an equity ledger is attached (equity *or* observer mode) the
+        rolling-window indices it maintains land in the
+        ``fairness.rolling_*`` gauges and every worker's decayed
+        cumulative payoff feeds the income-trajectory histogram — the
+        long-horizon counterparts of the per-round gauges.
         """
+        if result.rolling_gini is not None:
+            METRICS.gauge("fairness.rolling_gini").set(result.rolling_gini)
+            METRICS.gauge("fairness.rolling_jain").set(result.rolling_jain)
+            ledger = self._state.equity
+            if ledger is not None:
+                cumulative_hist = METRICS.histogram(
+                    "fairness.worker_cumulative_payoff"
+                )
+                for value in ledger.baselines().values():
+                    cumulative_hist.observe(max(0.0, value))
         if not result.payoffs:
             return
         values = [max(0.0, float(v)) for v in result.payoffs.values()]

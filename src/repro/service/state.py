@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.assignment import Assignment
 from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
 from repro.core.instance import ProblemInstance, SubProblem
+from repro.equity.ledger import EquityLedger
 from repro.geo.point import Point
 from repro.geo.travel import TravelModel
 from repro.obs.metrics import METRICS
@@ -160,6 +161,7 @@ class WorldState:
         self._pending: Dict[str, TaskArrival] = {}  # task_id -> arrival
         self._seen_tasks: set = set()
         self._journal: Optional[WorldJournal] = None
+        self._equity: Optional[EquityLedger] = None
         self.now: float = 0.0
         self.version: int = 0
         for worker in workers:
@@ -196,6 +198,64 @@ class WorldState:
         with self._lock:
             at = self.now if now is None else now
             return sum(1 for w in self._workers.values() if w.is_available(at))
+
+    # -- temporal fairness ---------------------------------------------------
+
+    @property
+    def equity(self) -> Optional[EquityLedger]:
+        """The cross-round equity ledger, or ``None`` when not enabled."""
+        return self._equity
+
+    def enable_equity(
+        self, decay: Optional[float] = None, window: Optional[int] = None
+    ) -> EquityLedger:
+        """Attach an :class:`~repro.equity.ledger.EquityLedger` to this world.
+
+        Idempotent: an already-attached ledger (e.g. restored from a
+        journal checkpoint or replayed ``equity`` records by
+        :meth:`recover`) is kept — its accrued state must not be reset by
+        the serving process re-declaring ``--equity`` on restart.  The
+        ``decay``/``window`` arguments only apply when creating a fresh
+        ledger.
+        """
+        with self._lock:
+            if self._equity is None:
+                kwargs = {}
+                if decay is not None:
+                    kwargs["decay"] = decay
+                if window is not None:
+                    kwargs["window"] = window
+                self._equity = EquityLedger(**kwargs)
+            return self._equity
+
+    def record_equity(self, payoffs: Mapping[str, float]) -> None:
+        """Fold one round's per-worker payoffs into the equity ledger.
+
+        Write-ahead durable like every other mutation: the ``equity``
+        record (which carries the ledger's decay/window so replay can
+        recreate it from scratch) is journaled before the in-memory
+        ledger changes, and replaying the records reproduces the ledger
+        bit-identically (all ledger arithmetic iterates sorted worker
+        ids — see :mod:`repro.equity.ledger`).
+        """
+        with self._lock:
+            if self._equity is None:
+                raise ValueError(
+                    "equity ledger not enabled; call enable_equity() first"
+                )
+            self._journal_append(
+                "equity",
+                {
+                    "decay": self._equity.decay,
+                    "window": self._equity.window,
+                    "payoffs": {
+                        wid: float(payoffs[wid]) for wid in sorted(payoffs)
+                    },
+                },
+            )
+            self._equity.record_round(payoffs)
+            self.version += 1
+            self._maybe_compact()
 
     def worker_stats(self) -> Dict[str, Dict[str, float]]:
         """Cumulative per-worker outcomes (earnings, deliveries, rate)."""
@@ -586,6 +646,11 @@ class WorldState:
                     f"t|{tid}|{a.dp_id}|{float(a.arrival_time).hex()}|"
                     f"{float(a.expiry).hex()}|{float(a.reward).hex()}".encode()
                 )
+            if self._equity is not None:
+                # Gated on presence so equity-off fingerprints are
+                # unchanged from pre-ledger journals and processes.
+                for item in self._equity.fingerprint_items():
+                    digest.update(f"e|{item}".encode())
             return digest.hexdigest()
 
     # -- journal (de)serialisation ------------------------------------------
@@ -615,7 +680,7 @@ class WorldState:
 
     def _checkpoint_dict(self) -> Dict:
         """Full dump of the dynamic state (compaction / recovery anchor)."""
-        return {
+        data = {
             "now": self.now,
             "version": self.version,
             "seen_tasks": sorted(self._seen_tasks),
@@ -628,6 +693,9 @@ class WorldState:
                 for wid in sorted(self._workers)
             ],
         }
+        if self._equity is not None:
+            data["equity"] = self._equity.as_dict()
+        return data
 
     @staticmethod
     def _arrival_dict(arrival: TaskArrival) -> Dict:
@@ -804,6 +872,10 @@ class WorldState:
                 ws.assignments = int(raw["assignments"])
                 self._workers[worker.worker_id] = ws
                 self._worker_center[worker.worker_id] = worker.center_id
+            equity = data.get("equity")
+            self._equity = (
+                None if equity is None else EquityLedger.from_dict(equity)
+            )
         elif kind == "tasks":
             for raw in data["tasks"]:
                 arrival = self._arrival_from_dict(raw)
@@ -830,6 +902,17 @@ class WorldState:
             self._apply_commit(
                 float(data["now"]), data["routes"], data["removed"]
             )
+        elif kind == "equity":
+            # The record carries the ledger config so a journal written
+            # under --equity replays even into a world built without it.
+            if self._equity is None:
+                self._equity = EquityLedger(
+                    decay=float(data["decay"]), window=int(data["window"])
+                )
+            self._equity.record_round(
+                {str(k): float(v) for k, v in data["payoffs"].items()}
+            )
+            self.version += 1
         else:
             raise JournalCorruption(f"unknown journal record kind {kind!r}")
 

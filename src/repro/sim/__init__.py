@@ -21,4 +21,30 @@ __all__ = [
     "RoundRecord",
     "SimReport",
     "WorkerState",
+    "EquityScenario",
+    "SCENARIOS",
+    "bursty_arrivals",
+    "churn_heavy",
+    "get_scenario",
+    "unlucky_worker",
 ]
+
+_SCENARIO_EXPORTS = (
+    "EquityScenario",
+    "SCENARIOS",
+    "bursty_arrivals",
+    "churn_heavy",
+    "get_scenario",
+    "unlucky_worker",
+)
+
+
+def __getattr__(name: str):
+    # repro.sim.scenarios builds WorldState worlds, and the service layer
+    # imports this package's arrivals/workers modules; loading the
+    # scenarios lazily keeps that cycle open.
+    if name in _SCENARIO_EXPORTS:
+        from repro.sim import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,246 @@
+"""Long-run equity scenarios: worlds where per-round fairness leaves a gap.
+
+Each :class:`EquityScenario` describes a deterministic multi-round world —
+layout, fleet, and a per-round task (and worker-churn) schedule — built to
+exercise a specific way the paper's *per-round* FGT/IEGT objective goes
+temporally unfair:
+
+* :func:`unlucky_worker` — more workers than work.  Winners reappear at
+  their last drop-off right next to the following round's tasks, so the
+  same few workers keep winning while the rest starve at their spawn
+  points (the rich-get-richer positional trap).
+* :func:`bursty_arrivals` — long quiet stretches with one task, then a
+  burst.  Whoever wins the quiet rounds compounds income; per-round
+  fairness only balances *within* the burst.
+* :func:`churn_heavy` — a growing fleet.  Late joiners start with zero
+  cumulative income and must catch up against incumbents that per-round
+  fairness treats as equals.
+
+The schedule is **pure arithmetic** over the round index — no RNG — so
+both arms of an equity comparison (ledger-weighted vs per-round, see
+:mod:`repro.equity.report`) replay byte-identical churn and differ only in
+how they assign it.  The solve seed is the only stochastic input, and the
+caller owns it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.entities import DistributionCenter, DeliveryPoint, Worker
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+from repro.service.state import WorldState
+
+__all__ = [
+    "EquityScenario",
+    "SCENARIOS",
+    "bursty_arrivals",
+    "churn_heavy",
+    "get_scenario",
+    "unlucky_worker",
+]
+
+
+@dataclass(frozen=True)
+class EquityScenario:
+    """A deterministic multi-round world for long-run fairness studies.
+
+    Geometry is one distribution center at the origin with
+    ``n_delivery_points`` delivery points evenly spaced on a ring of
+    radius ``dp_ring_km``.  The first ``far_workers`` workers spawn on a
+    wider ring (``worker_far_km``), the rest near the center
+    (``worker_near_km``) — with the paper's 5 km/h speed the far spawn is
+    a real payoff handicap until the worker earns a route that relocates
+    it onto the ring.
+
+    The task schedule is arithmetic in the round index (see
+    :meth:`round_tasks`); worker churn likewise (:meth:`round_workers`).
+    """
+
+    name: str
+    description: str
+    rounds: int = 40
+    advance_hours: float = 1.0
+    n_delivery_points: int = 6
+    dp_ring_km: float = 1.0
+    n_workers: int = 6
+    far_workers: int = 0
+    worker_near_km: float = 0.3
+    worker_far_km: float = 2.2
+    max_delivery_points: int = 2
+    tasks_per_round: int = 3
+    burst_every: int = 0
+    burst_size: int = 0
+    join_every: int = 0
+    join_count: int = 0
+    task_expiry_hours: float = 6.0
+    reward: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if not 0 <= self.far_workers <= self.n_workers:
+            raise ValueError(
+                f"far_workers must be in [0, n_workers], got {self.far_workers}"
+            )
+        if self.n_delivery_points < 1:
+            raise ValueError(
+                f"n_delivery_points must be >= 1, got {self.n_delivery_points}"
+            )
+        if self.task_expiry_hours <= 0:
+            raise ValueError(
+                f"task_expiry_hours must be > 0, got {self.task_expiry_hours}"
+            )
+
+    # -- world construction -------------------------------------------------
+
+    def _dp_id(self, i: int) -> str:
+        return f"{self.name}-dp{i}"
+
+    def build_world(self) -> WorldState:
+        """A fresh :class:`WorldState`; identical on every call."""
+        points = []
+        for i in range(self.n_delivery_points):
+            angle = 2.0 * math.pi * i / self.n_delivery_points
+            points.append(
+                DeliveryPoint(
+                    dp_id=self._dp_id(i),
+                    location=Point(
+                        self.dp_ring_km * math.cos(angle),
+                        self.dp_ring_km * math.sin(angle),
+                    ),
+                    tasks=(),
+                )
+            )
+        center = DistributionCenter(
+            f"{self.name}-c0", Point(0.0, 0.0), tuple(points)
+        )
+        workers = [
+            self._make_worker(i, joined=False) for i in range(self.n_workers)
+        ]
+        return WorldState([center], workers=workers, travel=TravelModel())
+
+    def _make_worker(self, i: int, joined: bool) -> Worker:
+        tag = "j" if joined else "w"
+        far = not joined and i < self.far_workers
+        radius = self.worker_far_km if far else self.worker_near_km
+        # Spread spawn angles with a prime stride so near/far workers do
+        # not stack on the same bearing.
+        angle = 2.0 * math.pi * ((i * 5) % 11) / 11.0
+        return Worker(
+            worker_id=f"{self.name}-{tag}{i}",
+            location=Point(radius * math.cos(angle), radius * math.sin(angle)),
+            max_delivery_points=self.max_delivery_points,
+            center_id=f"{self.name}-c0",
+        )
+
+    # -- the schedule -------------------------------------------------------
+
+    def tasks_in_round(self, index: int) -> int:
+        """How many tasks arrive before round ``index`` (0-based)."""
+        if self.burst_every and (index + 1) % self.burst_every == 0:
+            return self.burst_size
+        return self.tasks_per_round
+
+    def round_tasks(self, index: int, now: float) -> List[Dict[str, object]]:
+        """The task batch arriving before round ``index`` at clock ``now``.
+
+        Deterministic: delivery points rotate with a prime stride and
+        rewards follow a fixed small jitter pattern, so every replay (and
+        both comparison arms) sees the same work.
+        """
+        batch: List[Dict[str, object]] = []
+        for j in range(self.tasks_in_round(index)):
+            dp = self._dp_id((index * 5 + j * 3) % self.n_delivery_points)
+            reward = self.reward * (1.0 + 0.2 * float((index + j) % 3 - 1))
+            batch.append(
+                {
+                    "task_id": f"{self.name}-r{index}-t{j}",
+                    "dp_id": dp,
+                    "expiry": now + self.task_expiry_hours,
+                    "reward": reward,
+                }
+            )
+        return batch
+
+    def round_workers(self, index: int) -> List[Worker]:
+        """Workers joining before round ``index`` (churn scenarios)."""
+        if not self.join_every or index == 0:
+            return []
+        if index % self.join_every:
+            return []
+        nth = index // self.join_every - 1
+        if nth >= self.join_count:
+            return []
+        return [self._make_worker(self.n_workers + nth, joined=True)]
+
+
+def unlucky_worker(rounds: int = 40) -> EquityScenario:
+    """Six workers, three tasks a round: half the fleet must lose.
+
+    Two workers spawn far from the ring; whoever wins early relocates to
+    the drop-off ring and keeps winning.  Per-round fairness never repays
+    the losers — the ledger-weighted mode should.
+    """
+    return EquityScenario(
+        name="unlucky",
+        description=(
+            "oversubscribed fleet with a positional rich-get-richer trap"
+        ),
+        rounds=rounds,
+        n_workers=6,
+        far_workers=2,
+        tasks_per_round=3,
+    )
+
+
+def bursty_arrivals(rounds: int = 40) -> EquityScenario:
+    """One task on quiet rounds, a ten-task burst every fifth round."""
+    return EquityScenario(
+        name="bursty",
+        description="quiet single-task rounds punctuated by task bursts",
+        rounds=rounds,
+        n_workers=5,
+        far_workers=1,
+        tasks_per_round=1,
+        burst_every=5,
+        burst_size=10,
+    )
+
+
+def churn_heavy(rounds: int = 40) -> EquityScenario:
+    """A worker joins every fourth round; task mix churns constantly."""
+    return EquityScenario(
+        name="churn",
+        description="growing fleet; late joiners start cumulative-poor",
+        rounds=rounds,
+        n_workers=4,
+        far_workers=1,
+        tasks_per_round=3,
+        join_every=4,
+        join_count=6,
+    )
+
+
+#: Registry behind ``python -m repro equity report --scenario <name>``.
+SCENARIOS = {
+    "unlucky": unlucky_worker,
+    "bursty": bursty_arrivals,
+    "churn": churn_heavy,
+}
+
+
+def get_scenario(name: str, rounds: int = 40) -> EquityScenario:
+    """Look up a scenario builder by registry name."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return builder(rounds=rounds)

@@ -118,16 +118,37 @@ class PotentialGameVerifier(AssignmentVerifier):
         scales: Optional[Sequence[float]] = None,
         tol: float = 1e-9,
         solver: str = "FGT",
+        offsets: Optional[Sequence[float]] = None,
+        monotone: bool = True,
     ) -> None:
+        """``offsets``/``monotone`` support the ledger-weighted equity game.
+
+        ``offsets`` (one addend per worker) makes every potential
+        computation and the final Nash check run on *effective* payoffs
+        ``payoff * scale + offset``.  ``monotone=False`` disables only the
+        Lemma 2 non-decreasing-potential check: the amplified equity
+        model's IAU weights exceed 1/2, past which a utility-improving
+        switch can legitimately lower ``Phi`` (see
+        :func:`repro.core.fairness.equity_model`); the recompute, strict
+        switch-improvement, and pure-Nash checks all remain active.
+        """
         super().__init__(solver)
         self._model = model
         self._scales = None if scales is None else np.asarray(scales, dtype=float)
+        self._offsets = (
+            None if offsets is None else np.asarray(offsets, dtype=float)
+        )
+        self._monotone = monotone
         self._tol = tol
         self._last_potential: Optional[float] = None
 
     def _scaled(self, payoffs) -> np.ndarray:
         values = np.asarray(payoffs, dtype=float)
-        return values if self._scales is None else values * self._scales
+        if self._scales is not None:
+            values = values * self._scales
+        if self._offsets is not None:
+            values = values + self._offsets
+        return values
 
     def on_solve_start(self, state) -> None:
         """Record the initial potential as the monotonicity baseline."""
@@ -159,7 +180,8 @@ class PotentialGameVerifier(AssignmentVerifier):
                 round_index=round_index,
             )
         if (
-            self._last_potential is not None
+            self._monotone
+            and self._last_potential is not None
             and recomputed < self._last_potential - _monotone_slack(self._last_potential)
         ):
             raise InvariantViolation(
@@ -181,7 +203,11 @@ class PotentialGameVerifier(AssignmentVerifier):
         # deviation gains more than 2*tol" (the threshold can hide up to tol
         # in the candidate scan and another tol in the switch test).
         if converged and not is_pure_nash(
-            state, self._model, tol=2 * self._tol, scales=self._scales
+            state,
+            self._model,
+            tol=2 * self._tol,
+            scales=self._scales,
+            offsets=self._offsets,
         ):
             raise InvariantViolation(
                 "fgt.pure-nash",
@@ -196,9 +222,27 @@ class PotentialGameVerifier(AssignmentVerifier):
 class EvolutionaryGameVerifier(AssignmentVerifier):
     """Equations 11-14 certification for IEGT's replicator-driven play."""
 
-    def __init__(self, tol: float = 1e-9, solver: str = "IEGT") -> None:
+    def __init__(
+        self,
+        tol: float = 1e-9,
+        solver: str = "IEGT",
+        offsets: Optional[Sequence[float]] = None,
+    ) -> None:
+        """``offsets`` (one addend per worker) supports equity mode: the
+        below-average tests — on switches and in the final Definition 10
+        scan — then run on *effective* payoffs ``payoff + offset``, which
+        is the quantity the equity-mode replicator derivative is signed
+        on.  Switch targets are still required to strictly improve, which
+        in effective terms equals strict raw improvement."""
         super().__init__(solver)
         self._tol = tol
+        self._offsets = (
+            None if offsets is None else np.asarray(offsets, dtype=float)
+        )
+
+    def _effective(self, payoffs) -> np.ndarray:
+        values = np.asarray(payoffs, dtype=float)
+        return values if self._offsets is None else values + self._offsets
 
     def on_switch(self, worker_id, round_index, before, after) -> None:
         """``before`` is ``(payoff, population mean)``; ``after`` the new payoff.
@@ -206,7 +250,8 @@ class EvolutionaryGameVerifier(AssignmentVerifier):
         The sign of the replicator derivative (Equation 11) is the sign of
         ``U_i - U-bar``, so a switching worker must have been strictly below
         the population average, and Algorithm 3 only ever switches to a
-        strictly better-paying strategy.
+        strictly better-paying strategy.  In equity mode all three values
+        arrive as effective payoffs (round + cumulative base).
         """
         payoff, mean_payoff = before
         if payoff >= mean_payoff - self._tol:
@@ -251,17 +296,20 @@ class EvolutionaryGameVerifier(AssignmentVerifier):
         if not converged:
             return
         payoffs = state.payoffs()
-        mean_payoff = float(payoffs.mean()) if payoffs.size else 0.0
-        if bool(np.all(np.abs(payoffs - mean_payoff) <= self._tol)):
+        effective = self._effective(payoffs)
+        mean_payoff = float(effective.mean()) if effective.size else 0.0
+        if bool(np.all(np.abs(effective - mean_payoff) <= self._tol)):
             STATS.record("iegt.iess")
             return
         # Improved termination (Definition 10): nobody below average may
         # still hold a strictly better available strategy.  States backed by
         # a VDPSCatalog run the scan on the bitmask conflict index (same
-        # catalog order, so the same first violation is reported).
+        # catalog order, so the same first violation is reported).  The
+        # below-average test uses effective payoffs in equity mode; the
+        # better-strategy test stays on raw payoffs, mirroring the solver.
         vectorized = hasattr(state, "available_strategy_indices")
         for idx, worker in enumerate(state.workers):
-            if payoffs[idx] >= mean_payoff - self._tol:
+            if effective[idx] >= mean_payoff - self._tol:
                 continue
             current = state.strategy_of(worker.worker_id).payoff
             if vectorized:

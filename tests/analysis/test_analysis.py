@@ -123,6 +123,61 @@ class TestCompare:
         assert comparison.fairness_improvement == pytest.approx(0.0)
 
 
+class TestTolerantCompare:
+    """``strict=False``: population churn becomes data, not an exception."""
+
+    def _churned_pair(self):
+        r_a = _route(make_dp("a", 1, 0, n_tasks=4))
+        r_b = _route(make_dp("b", 2, 0, n_tasks=2), start=2.0)
+        before = Assignment(
+            [
+                WorkerAssignment(make_worker("w_stay", 0, 0), r_a),
+                WorkerAssignment(make_worker("w_gone", 0, 0), r_b),
+            ]
+        )
+        after = Assignment(
+            [
+                WorkerAssignment(make_worker("w_stay", 0, 0), r_b),
+                WorkerAssignment(make_worker("w_new", 0, 0), r_a),
+                WorkerAssignment(make_worker("w_new2", 0, 0)),
+            ]
+        )
+        return before, after
+
+    def test_strict_still_raises_and_suggests_tolerant(self):
+        before, after = self._churned_pair()
+        with pytest.raises(ValueError, match="strict=False"):
+            compare_assignments(before, after)
+
+    def test_reports_joined_and_departed(self):
+        before, after = self._churned_pair()
+        comparison = compare_assignments(before, after, strict=False)
+        assert comparison.joined == ("w_new", "w_new2")
+        assert comparison.departed == ("w_gone",)
+
+    def test_deltas_cover_exactly_the_intersection(self):
+        before, after = self._churned_pair()
+        comparison = compare_assignments(before, after, strict=False)
+        assert [d.worker_id for d in comparison.deltas] == ["w_stay"]
+        [delta] = comparison.losers
+        assert delta.worker_id == "w_stay"
+        assert delta.delta == pytest.approx(
+            delta.payoff_b - delta.payoff_a
+        )
+
+    def test_matching_populations_report_no_churn(self, assignment):
+        comparison = compare_assignments(assignment, assignment, strict=False)
+        assert comparison.joined == ()
+        assert comparison.departed == ()
+        assert len(comparison.deltas) == 3
+
+    def test_format_mentions_population_change(self):
+        before, after = self._churned_pair()
+        text = compare_assignments(before, after, strict=False).format()
+        assert "population:" in text
+        assert "+2 joined" in text and "-1 departed" in text
+
+
 class TestDecomposition:
     def test_mean_contribution_equals_pdif(self, assignment):
         decomposition = decompose_fairness(assignment)

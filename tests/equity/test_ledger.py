@@ -1,0 +1,135 @@
+"""EquityLedger unit tests: accounting, rolling metrics, round-tripping."""
+
+import json
+
+import pytest
+
+from repro.equity.ledger import EquityLedger
+
+
+class TestAccounting:
+    def test_single_round(self):
+        ledger = EquityLedger(decay=0.5, window=4)
+        ledger.record_round({"a": 10.0, "b": 2.0})
+        assert ledger.rounds == 1
+        assert ledger.cumulative_of("a") == 10.0
+        assert ledger.cumulative_of("b") == 2.0
+        assert ledger.participation_of("a") == 1
+        # Round mean is 6.0: a is +4 ahead, b -4 behind.
+        assert ledger.balance_of("a") == 4.0
+        assert ledger.balance_of("b") == -4.0
+
+    def test_decay_compounds(self):
+        ledger = EquityLedger(decay=0.5, window=4)
+        ledger.record_round({"a": 8.0})
+        ledger.record_round({"a": 8.0})
+        assert ledger.cumulative_of("a") == 0.5 * 8.0 + 8.0
+
+    def test_absent_worker_decays(self):
+        ledger = EquityLedger(decay=0.5, window=4)
+        ledger.record_round({"a": 8.0, "b": 0.0})
+        ledger.record_round({"b": 4.0})
+        assert ledger.cumulative_of("a") == 4.0
+        assert ledger.participation_of("a") == 1
+        assert ledger.participation_of("b") == 2
+
+    def test_unknown_worker_defaults(self):
+        ledger = EquityLedger()
+        assert ledger.cumulative_of("ghost") == 0.0
+        assert ledger.balance_of("ghost") == 0.0
+        assert ledger.participation_of("ghost") == 0
+
+    def test_baselines_sorted(self):
+        ledger = EquityLedger()
+        ledger.record_round({"b": 1.0, "a": 2.0, "c": 0.0})
+        assert list(ledger.baselines()) == ["a", "b", "c"]
+
+    def test_bounded_by_geometric_sum(self):
+        ledger = EquityLedger(decay=0.9, window=4)
+        for _ in range(500):
+            ledger.record_round({"a": 1.0})
+        assert ledger.cumulative_of("a") < 1.0 / (1.0 - 0.9) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EquityLedger(decay=0.0)
+        with pytest.raises(ValueError):
+            EquityLedger(decay=1.5)
+        with pytest.raises(ValueError):
+            EquityLedger(window=0)
+
+
+class TestRollingMetrics:
+    def test_window_truncates(self):
+        ledger = EquityLedger(decay=0.9, window=2)
+        ledger.record_round({"a": 100.0, "b": 0.0})
+        ledger.record_round({"a": 1.0, "b": 1.0})
+        ledger.record_round({"a": 1.0, "b": 1.0})
+        # The 100-payoff round has rolled out of the window.
+        assert ledger.rolling_payoffs() == {"a": 2.0, "b": 2.0}
+        assert ledger.rolling_gini() == 0.0
+        assert ledger.rolling_jain() == 1.0
+
+    def test_unequal_window_income(self):
+        ledger = EquityLedger(window=8)
+        for _ in range(4):
+            ledger.record_round({"a": 10.0, "b": 0.0})
+        assert ledger.rolling_gini() > 0.4
+        assert ledger.rolling_jain() < 0.6
+
+    def test_empty_ledger(self):
+        ledger = EquityLedger()
+        assert ledger.rolling_gini() == 0.0
+        assert ledger.rolling_jain() == 1.0
+        summary = ledger.summary()
+        assert summary["rounds"] == 0
+        assert summary["workers"] == 0
+
+
+class TestPersistence:
+    def _busy_ledger(self):
+        ledger = EquityLedger(decay=0.8, window=3)
+        ledger.record_round({"a": 3.0, "b": 1.0})
+        ledger.record_round({"a": 0.5, "c": 2.5})
+        ledger.record_round({"b": 4.0, "c": 0.0})
+        ledger.record_round({"a": 1.0, "b": 1.0, "c": 1.0})
+        return ledger
+
+    def test_dict_round_trip_exact(self):
+        ledger = self._busy_ledger()
+        clone = EquityLedger.from_dict(ledger.as_dict())
+        assert clone == ledger
+        assert list(clone.fingerprint_items()) == list(
+            ledger.fingerprint_items()
+        )
+
+    def test_json_round_trip_exact(self):
+        """JSON is the journal's wire format; floats must survive it."""
+        ledger = self._busy_ledger()
+        clone = EquityLedger.from_dict(
+            json.loads(json.dumps(ledger.as_dict()))
+        )
+        assert clone == ledger
+
+    def test_replay_matches_restore(self):
+        """Replaying the per-round records reproduces a checkpoint restore."""
+        rounds = [
+            {"a": 3.0, "b": 1.0},
+            {"a": 0.5, "c": 2.5},
+            {"b": 4.0, "c": 0.0},
+        ]
+        live = EquityLedger(decay=0.8, window=3)
+        for r in rounds:
+            live.record_round(r)
+        replayed = EquityLedger(decay=0.8, window=3)
+        for r in rounds:
+            replayed.record_round(json.loads(json.dumps(r)))
+        assert replayed == live
+
+    def test_fingerprint_sensitive_to_state(self):
+        ledger = self._busy_ledger()
+        other = self._busy_ledger()
+        other.record_round({"a": 0.0})
+        assert list(ledger.fingerprint_items()) != list(
+            other.fingerprint_items()
+        )

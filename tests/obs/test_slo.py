@@ -4,10 +4,12 @@ import pytest
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import (
+    GaugeObjective,
     LatencyObjective,
     RatioObjective,
     SLOBoard,
     default_slos,
+    rolling_fairness_slo,
 )
 
 
@@ -142,3 +144,72 @@ class TestBoard:
         by_name = {o.name: o for o in objectives}
         assert by_name["round_latency"].threshold_s == 9.0
         assert by_name["journal_fsync_latency"].threshold_s == 0.5
+
+
+class TestGaugeObjective:
+    def _objective(self, mode="le", threshold=0.5, target=0.99):
+        return GaugeObjective(
+            name="gini_bound",
+            description="rolling gini bounded",
+            gauge="fairness.rolling_gini",
+            threshold=threshold,
+            mode=mode,
+            target=target,
+        )
+
+    def test_le_mode_compliant_at_or_under_threshold(self):
+        registry = MetricsRegistry()
+        registry.gauge("fairness.rolling_gini").set(0.5)
+        status = self._objective().evaluate(registry)
+        assert status.compliance == 1.0
+        assert status.events == 1
+        assert status.ok
+        assert status.detail == {"value": 0.5, "threshold": 0.5}
+
+    def test_le_mode_breach_burns_whole_budget(self):
+        registry = MetricsRegistry()
+        registry.gauge("fairness.rolling_gini").set(0.8)
+        status = self._objective(target=0.99).evaluate(registry)
+        assert status.compliance == 0.0
+        assert status.bad_events == 1.0
+        # burn = (1 - 0) / (1 - 0.99): a binary breach spends it all.
+        assert status.burn == pytest.approx(100.0)
+        assert not status.ok
+
+    def test_ge_mode_flips_the_comparison(self):
+        registry = MetricsRegistry()
+        registry.gauge("fairness.rolling_jain").set(0.9)
+        objective = GaugeObjective(
+            name="jain_floor",
+            description="rolling jain floor",
+            gauge="fairness.rolling_jain",
+            threshold=0.8,
+            mode="ge",
+        )
+        assert objective.evaluate(registry).ok
+        registry.gauge("fairness.rolling_jain").set(0.7)
+        assert not objective.evaluate(registry).ok
+
+    def test_validation_rejects_bad_mode_and_target(self):
+        with pytest.raises(ValueError, match="mode"):
+            self._objective(mode="lt")
+        with pytest.raises(ValueError, match="target"):
+            self._objective(target=1.0)
+
+    def test_rolling_fairness_slo_watches_the_ledger_gauge(self):
+        objective = rolling_fairness_slo(threshold=0.4)
+        assert objective.gauge == "fairness.rolling_gini"
+        assert objective.mode == "le"
+        registry = MetricsRegistry()
+        registry.gauge("fairness.rolling_gini").set(0.39)
+        assert objective.evaluate(registry).ok
+
+    def test_board_integrates_gauge_objectives(self):
+        registry = MetricsRegistry()
+        registry.gauge("fairness.rolling_gini").set(0.9)
+        board = SLOBoard(
+            objectives=[*default_slos(), rolling_fairness_slo()],
+            registry=registry,
+        )
+        payload = board.as_dict()
+        assert "rolling_fairness" in payload["breached"]

@@ -196,3 +196,84 @@ class TestDispatchRounds:
 
     def test_drain_returns_when_idle(self):
         _engine(seed=0).drain()  # must not deadlock
+
+
+class TestEquityColdStartGate:
+    """All-equal ledger baselines must not feed the amplified game.
+
+    With equal baselines the effective-payoff differences reduce to the
+    per-round ones, so the amplified IAU (beta' > 1) carries no
+    cross-round signal — and on payoff-dispersed worlds its all-null
+    Nash equilibrium swallows the whole fleet (every worker's guilt
+    exceeds its surplus once the others idle).  The engine therefore
+    solves those rounds with plain per-round IAU.
+    """
+
+    def _gm_world(self):
+        from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+        from repro.service.state import WorldState
+
+        instance = generate_gmission_like(
+            GMissionConfig(n_tasks=30, n_workers=6, n_delivery_points=12),
+            seed=0,
+        )
+        state = WorldState(instance.centers, travel=instance.travel)
+        state.add_workers(instance.workers)
+        state.add_tasks(
+            [
+                {
+                    "task_id": t.task_id,
+                    "dp_id": t.delivery_point_id,
+                    "expiry": t.expiry,
+                    "reward": t.reward,
+                }
+                for c in instance.centers
+                for t in c.tasks
+            ]
+        )
+        return state
+
+    def test_cold_start_round_matches_plain_engine(self):
+        plain = DispatchEngine(
+            make_world(), FGTSolver(epsilon=0.8), epsilon=0.8, seed=5
+        )
+        world = make_world()
+        world.enable_equity()
+        equity = DispatchEngine(
+            world, FGTSolver(epsilon=0.8), epsilon=0.8, seed=5, equity_mode=True
+        )
+        assert equity.dispatch().payoffs == plain.dispatch().payoffs
+
+    def test_cold_start_does_not_collapse_dispersed_world(self):
+        # Regression: without the gate this exact world dispatches zero
+        # tasks forever (all-zero rounds keep the ledger all-equal).
+        state = self._gm_world()
+        state.enable_equity()
+        engine = DispatchEngine(
+            state, FGTSolver(epsilon=0.8), epsilon=0.8, seed=0, equity_mode=True
+        )
+        first = engine.dispatch(advance_hours=0.1)
+        assert first.assigned_tasks > 0
+
+    def test_all_idle_history_keeps_the_gate_closed(self):
+        world = make_world(with_tasks=False)
+        world.enable_equity()
+        equity = DispatchEngine(
+            world, FGTSolver(epsilon=0.8), epsilon=0.8, seed=5, equity_mode=True
+        )
+        for _ in range(3):
+            assert equity.dispatch().assigned_tasks == 0
+        # Three recorded all-idle rounds leave baselines equal (all 0.0);
+        # the first round with real work must still assign like a plain
+        # engine rather than deadlock in the amplified null equilibrium.
+        plain_world = make_world(with_tasks=False)
+        plain = DispatchEngine(
+            plain_world, FGTSolver(epsilon=0.8), epsilon=0.8, seed=5
+        )
+        for _ in range(3):
+            plain.dispatch()
+        from tests.service.conftest import seed_tasks
+
+        world.add_tasks(seed_tasks())
+        plain_world.add_tasks(seed_tasks())
+        assert equity.dispatch().payoffs == plain.dispatch().payoffs

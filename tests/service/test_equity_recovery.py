@@ -1,0 +1,203 @@
+"""Crash recovery for the equity ledger: journal replay is bit-identical.
+
+The ledger's determinism contract (``repro.equity.ledger``) says a world
+recovered from its write-ahead journal carries *exactly* the ledger the
+crashed process had — same cumulative/balance bits, same rolling window,
+same fingerprint.  Two layers prove it:
+
+* in-process: run equity-mode rounds against a journaled world, replay
+  the journal offline, and compare ledgers via their ``float.hex``
+  fingerprints (also that the recovered world then *dispatches*
+  identically to the live one);
+* subprocess: SIGKILL a real ``python -m repro serve --equity`` mid-run
+  (no shutdown hook, no flush) and assert the restarted service reports
+  the same world fingerprint — which includes the ``equity.*`` items —
+  and the same ledger over ``GET /equity``.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.games.fgt import FGTSolver
+from repro.service import DispatchClient, DispatchEngine, WorldState
+from repro.service.journal import WorldJournal
+
+from tests.service.conftest import make_world, task
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _journaled_equity_world(path):
+    """A fresh two-center world journaling to ``path`` with equity on."""
+    state = make_world()
+    state.attach_journal(WorldJournal(path))
+    state.enable_equity(decay=0.9, window=8)
+    return state
+
+
+def _run_rounds(state, rounds, seed=3):
+    """Dispatch ``rounds`` equity-mode rounds, feeding fresh tasks between."""
+    engine = DispatchEngine(
+        state, FGTSolver(epsilon=0.8), epsilon=0.8, seed=seed, equity_mode=True
+    )
+    for index in range(rounds):
+        accepted, rejected = state.add_tasks(
+            [
+                task(f"r{index}-x", "a1", state.now + 1.5),
+                task(f"r{index}-y", "b1", state.now + 1.5),
+            ]
+        )
+        assert len(accepted) == 2 and not rejected
+        engine.dispatch(advance_hours=0.2)
+    return engine
+
+
+class TestLedgerJournalReplay:
+    def test_replay_reproduces_ledger_bit_identically(self, tmp_path):
+        journal = tmp_path / "world.jsonl"
+        state = _journaled_equity_world(journal)
+        _run_rounds(state, rounds=4)
+        ledger = state.equity
+        assert ledger is not None and ledger.rounds == 4
+
+        recovered = WorldState.recover(journal, resume=False)
+        assert recovered.equity is not None
+        # Fingerprints render floats via float.hex: equality is bit-equality.
+        assert list(recovered.equity.fingerprint_items()) == list(
+            ledger.fingerprint_items()
+        )
+        assert recovered.equity == ledger
+        assert recovered.fingerprint() == state.fingerprint()
+        assert recovered.version == state.version
+
+    def test_recovered_world_dispatches_identically_to_live(self, tmp_path):
+        journal = tmp_path / "world.jsonl"
+        live = _journaled_equity_world(journal)
+        _run_rounds(live, rounds=3)
+
+        recovered = WorldState.recover(journal, resume=False)
+
+        # Fresh engines with the same seed on both worlds: the recovered
+        # world must be operationally indistinguishable from the live one,
+        # ledger-weighted IAU included.
+        for state in (live, recovered):
+            state.add_tasks(
+                [
+                    task("cont-x", "a2", state.now + 1.5),
+                    task("cont-y", "a3", state.now + 1.5),
+                ]
+            )
+        results = []
+        for state in (live, recovered):
+            engine = DispatchEngine(
+                state,
+                FGTSolver(epsilon=0.8),
+                epsilon=0.8,
+                seed=11,
+                equity_mode=True,
+            )
+            results.append(engine.dispatch(advance_hours=0.2))
+        assert results[0].payoffs == results[1].payoffs
+        assert results[0].rolling_gini == results[1].rolling_gini
+        assert live.fingerprint() == recovered.fingerprint()
+
+    def test_recovering_twice_is_deterministic(self, tmp_path):
+        journal = tmp_path / "world.jsonl"
+        state = _journaled_equity_world(journal)
+        _run_rounds(state, rounds=3)
+
+        first = WorldState.recover(journal, resume=False)
+        second = WorldState.recover(journal, resume=False)
+        assert first.equity == second.equity
+        assert first.fingerprint() == second.fingerprint()
+
+
+def _serve_equity(tmp_path, tag, journal):
+    """Launch ``python -m repro serve --equity``; return (proc, client)."""
+    port_file = tmp_path / f"port-{tag}.txt"
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--journal", str(journal),
+            "--equity",
+            "--equity-window", "8",
+            "--epsilon", "0.8",
+            "--seed", "0",
+            "--tasks", "24",
+            "--workers", "6",
+            "--delivery-points", "10",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            raise AssertionError(f"serve died before binding:\n{out}")
+        if port_file.exists() and port_file.read_text().strip():
+            break
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        raise AssertionError("serve never wrote its port file")
+    port = int(port_file.read_text())
+    client = DispatchClient(f"http://127.0.0.1:{port}", timeout=5.0)
+    client.wait_healthy(timeout=15.0)
+    return proc, client
+
+
+class TestSigkillWithEquity:
+    def test_sigkill_recovers_ledger_bit_identically(self, tmp_path):
+        journal = tmp_path / "world.jsonl"
+
+        proc, client = _serve_equity(tmp_path, "first", journal)
+        try:
+            first = client.dispatch(advance_hours=0.05)
+            assert first["assigned_tasks"] > 0
+            assert first["equity"]["mode"] is True
+            client.dispatch(advance_hours=0.05)
+            before = client.equity()
+            health = client.health()
+            fingerprint = health["world_fingerprint"]
+            assert before["rounds"] == 2
+            assert health["equity"]["rounds"] == 2
+        finally:
+            proc.kill()  # SIGKILL: no graceful shutdown, no final flush
+            proc.wait(timeout=10.0)
+
+        # Offline replay already carries the exact ledger: the world
+        # fingerprint includes every equity.* item in float.hex.
+        offline = WorldState.recover(journal, resume=False)
+        assert offline.equity is not None
+        assert offline.equity.rounds == 2
+        assert offline.fingerprint() == fingerprint
+        assert offline.equity.baselines() == before["cumulative"]
+
+        # A restarted --equity serve resumes the same ledger and keeps
+        # recording into it.
+        proc, client = _serve_equity(tmp_path, "second", journal)
+        try:
+            assert client.health()["world_fingerprint"] == fingerprint
+            after = client.equity()
+            assert after["rounds"] == 2
+            assert after["cumulative"] == before["cumulative"]
+            client.dispatch(advance_hours=0.05)
+            assert client.equity()["rounds"] == 3
+            client.shutdown()
+            proc.wait(timeout=15.0)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)

@@ -30,7 +30,16 @@ class TestRunBench:
             # The vectorized solves flush engine.* batch counters.
             assert data["metrics_vectorized"]["engine.filter_batches"] > 0
             assert "engine.filter_batches" not in data["metrics_scalar"]
-        assert report["schema"] == 3
+        assert report["schema"] == 4
+        equity = report["temporal_fairness"]
+        # The temporal-fairness claim is a hard bench gate: the ledger
+        # arm must strictly improve rolling Gini within the budget.
+        assert equity["improved"] is True
+        assert equity["within_budget"] is True
+        assert equity["ledger_rolling_gini"] < equity["per_round_rolling_gini"]
+        assert equity["efficiency_cost_pct"] <= equity["budget_pct"]
+        assert equity["scenario"] == "unlucky"
+        assert equity["seconds"] > 0
         delta = report["catalog_delta"]
         # Delta-vs-rebuild equality is part of the bench acceptance gate.
         assert delta["identical"] is True
@@ -46,6 +55,7 @@ class TestRunBench:
         report = run_bench(scale="smoke", seed=0, repeats=1)
         text = format_report(report)
         assert "catalog delta" in text and "identical=True" in text
+        assert "temporal fairness" in text and "improved=True" in text
 
     def test_obs_overhead_section(self, tmp_path):
         report = run_bench(scale="smoke", seed=0, repeats=1)
