@@ -27,6 +27,15 @@ bit-identical in their assignments, and the disabled path is compared
 against the tracked baseline's with a :data:`OBS_OVERHEAD_BUDGET_PCT`
 budget — instrumentation must be free when off.
 
+The ``kernel`` section (schema 5) tracks the DP/validation kernel tiers
+(``docs/performance.md``): the largest center's ``build_catalog`` is timed
+under ``kernel="scalar"`` and ``kernel="vectorized"`` and the two catalogs
+are checked for exact equality with :func:`~repro.vdps.delta.catalog_diff`
+— the CLI exits non-zero when they disagree.  A ``large`` arm builds a
+bigger single-center instance (1k workers / 10k tasks at medium scale)
+vectorized-only, to keep a completion-time record at a shape the scalar
+tier cannot reach in bench time.
+
 The ``temporal_fairness`` section (schema 4) guards the equity subsystem's
 headline claim (``docs/temporal_fairness.md``): on the unlucky-worker
 scenario the ledger-weighted mode must finish with a strictly lower
@@ -46,9 +55,11 @@ numbers stay comparable across PRs:
 from __future__ import annotations
 
 import copy
+import gc
 import json
 import random
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -93,6 +104,45 @@ BENCH_SHAPES: Dict[str, BenchShape] = {
         n_tasks=1200, n_workers=150, n_delivery_points=260, epsilon=0.8
     ),
 }
+
+#: The kernel section's large arm: a shape the scalar tier cannot cover in
+#: bench time, run vectorized-only so its completion stays a tracked fact.
+#: The medium arm is the ISSUE's ">= 1k workers / >= 10k tasks" floor.
+KERNEL_LARGE_SHAPES: Dict[str, BenchShape] = {
+    "smoke": BenchShape(
+        n_tasks=800, n_workers=120, n_delivery_points=60, epsilon=0.8
+    ),
+    "medium": BenchShape(
+        n_tasks=10_000, n_workers=1_000, n_delivery_points=300, epsilon=0.8
+    ),
+}
+
+
+@contextmanager
+def _maybe_profile(section: str, enabled: bool, top: int = 15):
+    """Run a bench section under ``cProfile`` when ``--profile`` is set.
+
+    Prints the ``top`` cumulative-time functions per section to stdout;
+    profiling inflates the section's wall times, so ``--profile`` runs are
+    for finding hot spots, not for committing as the tracked baseline.
+    """
+    if not enabled:
+        yield
+        return
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        stream = io.StringIO()
+        pstats.Stats(prof, stream=stream).sort_stats("cumulative").print_stats(top)
+        print(f"--- profile: {section} (top {top} by cumulative time) ---")
+        print(stream.getvalue())
 
 
 def _solve_outcome(
@@ -448,11 +498,98 @@ def _temporal_fairness_phase(seed: int, rounds: int) -> Dict[str, object]:
     }
 
 
+def _kernel_phase(
+    subs, epsilon: float, scale: str, seed: int, repeats: int
+) -> Dict[str, object]:
+    """Time ``build_catalog`` under the scalar and vectorized kernel tiers.
+
+    Runs on the largest center, best-of-``repeats`` per tier, and checks
+    the two catalogs for exact equality with :func:`catalog_diff` — the
+    tiers are bit-identical by contract (``docs/performance.md``), so a
+    false ``identical`` here is a correctness bug, not a performance
+    number, and the CLI exits non-zero on it.
+
+    Every timed repeat is a *cold* build: the travel model's cross-build
+    distance memo is cleared first (and GC is paused during the timing).
+    The scalar tier would otherwise amortise its memo across repeats
+    while the vectorized tier recomputes its travel matrix every build —
+    cold-vs-cold is the apples-to-apples comparison of the two tiers on
+    identical work.
+
+    The ``large`` arm then generates :data:`KERNEL_LARGE_SHAPES`'s
+    instance for this scale and builds it once, vectorized-only: at medium
+    scale that is 1k workers / 10k tasks, far past where the scalar tier
+    fits in bench time, so the record is a completion time, not a speedup.
+    """
+    sub = max(subs, key=lambda s: len(s.center.delivery_points))
+    phase: Dict[str, object] = {
+        "center": sub.center.center_id,
+        "delivery_points": len(sub.center.delivery_points),
+        "workers": len(sub.workers),
+    }
+    catalogs: Dict[str, VDPSCatalog] = {}
+    for tier in ("scalar", "vectorized"):
+        before = METRICS.snapshot()
+        best = None
+        for _ in range(repeats):
+            sub.travel.clear_cache()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                catalogs[tier] = build_catalog(
+                    sub, epsilon=epsilon, kernel=tier
+                )
+                elapsed = time.perf_counter() - t0
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            best = elapsed if best is None else min(best, elapsed)
+        phase[f"{tier}_seconds"] = best
+        phase[f"metrics_{tier}"] = METRICS.delta(before)
+    phase["strategies"] = catalogs["vectorized"].total_strategy_count
+    phase["cvdps"] = catalogs["vectorized"].cvdps_count
+    phase["identical"] = not catalog_diff(
+        catalogs["scalar"], catalogs["vectorized"]
+    )
+    scalar_s = phase["scalar_seconds"]
+    vector_s = phase["vectorized_seconds"]
+    phase["speedup"] = (scalar_s / vector_s) if vector_s > 0 else None
+
+    large_shape = KERNEL_LARGE_SHAPES[scale]
+    large_instance = generate_gmission_like(
+        GMissionConfig(
+            n_tasks=large_shape.n_tasks,
+            n_workers=large_shape.n_workers,
+            n_delivery_points=large_shape.n_delivery_points,
+        ),
+        seed=seed,
+    )
+    large_sub = max(
+        large_instance.subproblems(),
+        key=lambda s: len(s.center.delivery_points),
+    )
+    t0 = time.perf_counter()
+    large_catalog = build_catalog(
+        large_sub, epsilon=large_shape.epsilon, kernel="vectorized"
+    )
+    large_seconds = time.perf_counter() - t0
+    phase["large"] = {
+        "shape": large_shape.as_dict(),
+        "kernel": "vectorized",
+        "seconds": large_seconds,
+        "strategies": large_catalog.total_strategy_count,
+        "cvdps": large_catalog.cvdps_count,
+    }
+    return phase
+
+
 def run_bench(
     scale: str = "medium",
     seed: int = 0,
     repeats: int = 3,
     output: Optional[Path] = None,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Run the pinned benchmark and (optionally) write the JSON report."""
     if scale not in BENCH_SHAPES:
@@ -473,16 +610,17 @@ def run_bench(
     subs = list(instance.subproblems())
 
     before = METRICS.snapshot()
-    start = time.perf_counter()
-    catalogs = {
-        sub.center.center_id: build_catalog(sub, epsilon=shape.epsilon)
-        for sub in subs
-    }
-    catalog_seconds = time.perf_counter() - start
+    with _maybe_profile("catalog", profile):
+        start = time.perf_counter()
+        catalogs = {
+            sub.center.center_id: build_catalog(sub, epsilon=shape.epsilon)
+            for sub in subs
+        }
+        catalog_seconds = time.perf_counter() - start
     catalog_metrics = METRICS.delta(before)
 
     report: Dict[str, object] = {
-        "schema": 4,
+        "schema": 5,
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
@@ -494,28 +632,39 @@ def run_bench(
             "cvdps": sum(c.cvdps_count for c in catalogs.values()),
             "metrics": catalog_metrics,
         },
-        "fgt": _timed_engine_phase(
+    }
+    with _maybe_profile("kernel", profile):
+        report["kernel"] = _kernel_phase(
+            subs, shape.epsilon, scale, seed, repeats
+        )
+    with _maybe_profile("fgt", profile):
+        report["fgt"] = _timed_engine_phase(
             lambda engine: FGTSolver(epsilon=shape.epsilon, engine=engine),
             subs,
             catalogs,
             seed,
             repeats,
-        ),
-        "iegt": _timed_engine_phase(
+        )
+    with _maybe_profile("iegt", profile):
+        report["iegt"] = _timed_engine_phase(
             lambda engine: IEGTSolver(epsilon=shape.epsilon, engine=engine),
             subs,
             catalogs,
             seed,
             repeats,
-        ),
-        "catalog_delta": _catalog_delta_phase(subs, shape.epsilon, seed, repeats),
-        "obs_overhead": _obs_overhead_phase(
+        )
+    with _maybe_profile("catalog_delta", profile):
+        report["catalog_delta"] = _catalog_delta_phase(
+            subs, shape.epsilon, seed, repeats
+        )
+    with _maybe_profile("obs_overhead", profile):
+        report["obs_overhead"] = _obs_overhead_phase(
             instance, shape.epsilon, seed, repeats
-        ),
-        "temporal_fairness": _temporal_fairness_phase(
+        )
+    with _maybe_profile("temporal_fairness", profile):
+        report["temporal_fairness"] = _temporal_fairness_phase(
             seed, rounds=16 if scale == "smoke" else 28
-        ),
-    }
+        )
     _overhead_vs_tracked_baseline(report["obs_overhead"], output, scale)
     if output is not None:
         output = Path(output)
@@ -534,6 +683,21 @@ def format_report(report: Dict[str, object]) -> str:
         f"catalog build    : {report['catalog']['seconds']:.3f}s "
         f"({report['catalog']['strategies']} strategies)",
     ]
+    kernel = report.get("kernel")
+    if kernel is not None:
+        lines.append(
+            f"kernel tiers     : scalar={kernel['scalar_seconds']:.3f}s "
+            f"vectorized={kernel['vectorized_seconds']:.3f}s "
+            f"speedup={kernel['speedup']:.1f}x "
+            f"identical={kernel['identical']}"
+        )
+        large = kernel["large"]
+        lines.append(
+            f"  large arm      : {large['shape']['n_tasks']} tasks / "
+            f"{large['shape']['n_workers']} workers -> "
+            f"{large['seconds']:.3f}s ({large['kernel']}, "
+            f"{large['strategies']} strategies)"
+        )
     for phase in ("fgt", "iegt"):
         data = report[phase]
         lines.append(

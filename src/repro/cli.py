@@ -94,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="IAU amplification for --equity-mode (default 3.0)",
     )
+    _add_kernel_flag(solve)
 
     cmp = sub.add_parser(
         "compare", help="solve with two algorithms and diff the outcomes"
@@ -228,6 +229,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=Path("BENCH_core.json"),
         help="JSON report path (default BENCH_core.json)",
     )
+    bch.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each bench section under cProfile and print the top "
+        "cumulative-time functions per section",
+    )
+    _add_kernel_flag(bch)
 
     srv = sub.add_parser(
         "serve", help="run the online dispatch service (JSON over HTTP)"
@@ -360,6 +368,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="IAU amplification for equity rounds (default 3.0)",
     )
+    _add_kernel_flag(srv)
 
     eqp = sub.add_parser(
         "equity", help="long-run temporal-fairness reports (ledger vs per-round)"
@@ -413,6 +422,27 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.kernels import VALID_KERNELS
+
+    parser.add_argument(
+        "--kernel",
+        choices=VALID_KERNELS,
+        default=None,
+        help="DP kernel tier for catalog builds and routing (default: "
+        "REPRO_KERNEL env var, then 'vectorized'; all tiers are "
+        "bit-identical — docs/performance.md)",
+    )
+
+
+def _apply_kernel(args: argparse.Namespace) -> None:
+    """Install ``--kernel`` as the process-wide default tier."""
+    if getattr(args, "kernel", None) is not None:
+        from repro.kernels import set_default_kernel
+
+        set_default_kernel(args.kernel)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.dataset == "gm":
         config = GMissionConfig(
@@ -437,6 +467,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.parallel import solve_instance
 
+    _apply_kernel(args)
     instance = load_instance(args.input)
     solver = _SOLVERS[args.algorithm](args.epsilon)
     if args.equity_mode:
@@ -767,14 +798,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import format_report, run_bench
 
+    _apply_kernel(args)
     report = run_bench(
         scale=args.scale,
         seed=args.seed,
         repeats=args.repeats,
         output=args.output,
+        profile=args.profile,
     )
     print(format_report(report))
     print(f"report written to {args.output}")
+    if not report["kernel"]["identical"]:
+        print(
+            "ERROR: scalar and vectorized kernel catalog builds disagreed — "
+            "the bench is reporting a correctness bug, not a performance "
+            "number",
+            file=sys.stderr,
+        )
+        return 1
     if not (report["fgt"]["identical"] and report["iegt"]["identical"]):
         print(
             "ERROR: scalar and vectorized engines disagreed — the bench is "
@@ -836,6 +877,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     from repro.vdps.store import CatalogStore
 
+    _apply_kernel(args)
     recovered = False
     if args.journal is not None and args.journal.exists():
         # Crash recovery: replay the write-ahead journal into a

@@ -126,6 +126,7 @@ def best_route(
     points: Sequence[DeliveryPoint],
     travel: TravelModel,
     start_offset: float = 0.0,
+    kernel: Optional[str] = None,
 ) -> Optional[Route]:
     """The minimal-completion-time deadline-feasible visit of ``points``.
 
@@ -134,6 +135,16 @@ def best_route(
     arrival time per state is safe because an earlier arrival dominates: any
     feasible extension of a later arrival is also feasible from an earlier
     one.
+
+    Masks are enumerated layer by layer from feasible predecessors only —
+    a feasible state over ``s + 1`` points extends a feasible state over
+    ``s`` of them, so unreachable subsets are never visited and an empty
+    layer proves infeasibility outright (the old ``range(1, 2^n)`` scan
+    touched all ``2^n`` masks even when the first layer already died).
+
+    ``kernel`` picks the DP implementation (``"scalar"`` or
+    ``"vectorized"``; ``None`` resolves the process default, see
+    :mod:`repro.kernels.config`) — both produce bit-identical routes.
 
     The returned :class:`Route` reports arrival times that *include*
     ``start_offset``.
@@ -145,42 +156,53 @@ def best_route(
     if len({dp.dp_id for dp in pts}) != n:
         raise ValueError("points must not contain duplicate delivery point ids")
 
+    from repro.kernels import resolve_kernel
+
+    if resolve_kernel(kernel) != "scalar" and 2 <= n <= 62:
+        from repro.kernels.routing import best_route_vectorized
+
+        return best_route_vectorized(center_location, pts, travel, start_offset)
+
     # dp_table[(mask, j)] = minimal arrival time at pts[j] having visited mask.
     dp_table: Dict[Tuple[int, int], float] = {}
     parent: Dict[Tuple[int, int], int] = {}
+    layer: List[int] = []
     for j, dp in enumerate(pts):
         t = start_offset + travel.time(center_location, dp.location)
         if t <= dp.earliest_expiry:
             dp_table[(1 << j, j)] = t
             parent[(1 << j, j)] = -1
+            layer.append(1 << j)
 
     full = (1 << n) - 1
-    for mask in range(1, full + 1):
-        if bin(mask).count("1") < 2:
-            continue
-        for j in range(n):
-            bit = 1 << j
-            if not mask & bit:
-                continue
-            prev_mask = mask ^ bit
-            best_t = math.inf
-            best_i = -1
-            for i in range(n):
-                if not prev_mask & (1 << i):
+    for _ in range(1, n):
+        if not layer:
+            return None  # nothing feasible at this size, so nothing above
+        next_layer: Dict[int, None] = {}  # insertion-ordered mask set
+        for prev_mask in layer:
+            feasible = [
+                i for i in range(n) if (prev_mask, i) in dp_table
+            ]
+            for j in range(n):
+                bit = 1 << j
+                if prev_mask & bit:
                     continue
-                t_prev = dp_table.get((prev_mask, i))
-                if t_prev is None:
-                    continue
-                t = (
-                    t_prev
-                    + pts[i].service_hours
-                    + travel.time(pts[i].location, pts[j].location)
-                )
-                if t < best_t:
-                    best_t, best_i = t, i
-            if best_i >= 0 and best_t <= pts[j].earliest_expiry:
-                dp_table[(mask, j)] = best_t
-                parent[(mask, j)] = best_i
+                best_t = math.inf
+                best_i = -1
+                for i in feasible:
+                    t = (
+                        dp_table[(prev_mask, i)]
+                        + pts[i].service_hours
+                        + travel.time(pts[i].location, pts[j].location)
+                    )
+                    if t < best_t:
+                        best_t, best_i = t, i
+                if best_i >= 0 and best_t <= pts[j].earliest_expiry:
+                    mask = prev_mask | bit
+                    dp_table[(mask, j)] = best_t
+                    parent[(mask, j)] = best_i
+                    next_layer[mask] = None
+        layer = list(next_layer)
 
     end = min(
         (j for j in range(n) if (full, j) in dp_table),

@@ -8,11 +8,38 @@ because routing and VDPS generation query the same point pairs heavily.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.geo.distance import DistanceFn, Metric, resolve_metric
 from repro.geo.point import Point
 from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class TravelMatrix:
+    """Dense pairwise travel view of a point set under one model.
+
+    ``times[i, j]`` equals ``TravelModel.time(points[i], points[j])`` bit
+    for bit — the matrix is filled through the same memoised
+    ``distance()`` calls and the same scalar division, so kernels indexing
+    into it reproduce the exact floats the per-pair API returns.
+    ``origin_times[i]`` is the origin leg ``time(origin, points[i])``
+    (all zeros when no origin was given).
+    """
+
+    #: ``(n, n)`` float64 pairwise distances in km (model metric).
+    distances: np.ndarray
+    #: ``(n, n)`` float64 pairwise travel times in hours.
+    times: np.ndarray
+    #: ``(n,)`` float64 origin-to-point travel times in hours.
+    origin_times: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.origin_times.size
 
 
 class TravelModel:
@@ -56,6 +83,46 @@ class TravelModel:
     def time(self, a: Point, b: Point) -> float:
         """Travel time from ``a`` to ``b`` in hours (the paper's ``c(a, b)``)."""
         return self.distance(a, b) / self.speed_kmh
+
+    def matrix(
+        self, points: Sequence[Point], origin: Optional[Point] = None
+    ) -> TravelMatrix:
+        """All pairwise (and origin-leg) travel times in one cache pass.
+
+        The DP kernels and the pruning neighbourhoods query the same
+        ``O(n^2)`` point pairs over and over; this fills them once with
+        direct metric calls — the memo dict would only add key-hashing
+        overhead for pairs evaluated exactly once — and divides by the
+        speed elementwise.  The metric is deterministic and equal points
+        short-circuit to ``0.0`` exactly as :meth:`distance` does, and
+        IEEE-754 division is performed value for value exactly as
+        :meth:`time` does, so
+        ``matrix(points).times[i, j] == time(points[i], points[j])`` holds
+        bit for bit, which is what lets the vectorized kernels substitute
+        matrix gathers for per-pair calls without perturbing a single
+        arrival time.
+        """
+        n = len(points)
+        fn = self._distance_fn
+        distances = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            a = points[i]
+            row = distances[i]
+            for j in range(i + 1, n):
+                b = points[j]
+                row[j] = distances[j, i] = 0.0 if a == b else fn(a, b)
+        if origin is None:
+            origin_distances = np.zeros(n, dtype=np.float64)
+        else:
+            origin_distances = np.array(
+                [0.0 if origin == p else fn(origin, p) for p in points],
+                dtype=np.float64,
+            )
+        return TravelMatrix(
+            distances=distances,
+            times=distances / self.speed_kmh,
+            origin_times=origin_distances / self.speed_kmh,
+        )
 
     @property
     def distance_fn(self) -> DistanceFn:

@@ -1,0 +1,48 @@
+"""Optional numba JIT layer — import-guarded, never a hard dependency.
+
+Numba is not in the project's dependency set; this module only reports
+whether it can be imported and, when it can, provides a compiled variant
+of the innermost feasibility scan.  Every caller goes through
+:func:`repro.kernels.config.resolve_kernel`, which degrades ``numba`` to
+``vectorized`` when :data:`AVAILABLE` is false, so importing this module
+is always safe and cheap.
+
+The compiled function mirrors the numpy expression it replaces operation
+for operation (same float order: ``(t + service) + travel``), so the
+numba tier inherits the vectorized tier's bit-identity contract rather
+than establishing its own.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba_mod
+
+    AVAILABLE = True
+except ImportError:  # pragma: no cover - the only path on the CI image
+    _numba_mod = None
+    AVAILABLE = False
+
+
+if AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @_numba_mod.njit(cache=True)
+    def expand_candidates(base, ends, rows, qs, times_matrix, deadline):
+        """``t_new`` and feasibility per candidate, compiled.
+
+        ``base[r]`` is ``frontier_time[r] + service[ends[r]]``; the result
+        pairs ``t_new = base[rows[k]] + T[ends[rows[k]], qs[k]]`` with
+        ``t_new <= deadline[qs[k]]`` — exactly the numpy gather in
+        :func:`repro.kernels.cvdps.compute_states_vectorized`.
+        """
+        m = rows.shape[0]
+        t_new = base[rows].copy()
+        feasible = t_new == t_new  # all-true boolean of matching length
+        for k in range(m):
+            t = base[rows[k]] + times_matrix[ends[rows[k]], qs[k]]
+            t_new[k] = t
+            feasible[k] = t <= deadline[qs[k]]
+        return t_new, feasible
+
+else:
+    expand_candidates = None

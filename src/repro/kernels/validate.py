@@ -1,0 +1,252 @@
+"""Vectorized Section-IV validation: every C-VDPS against one worker.
+
+Profiling the medium bench shape shows the catalog build's wall time is
+dominated not by the subset DP itself but by the per-worker validation
+scan — ``|W| x |C-VDPS|`` calls of
+:func:`repro.vdps.catalog.validate_entry`, each re-reading arrival times,
+expiries, and rewards through Python attribute access.  This module
+flattens the center's entry list once into contiguous arrays
+(:class:`EntryArrays`) and turns each worker's scan into a handful of
+elementwise passes.
+
+Bit-identity with the scalar scan holds operation for operation:
+
+* feasibility is ``(t + offset) <= earliest_expiry`` per visit, exactly
+  the comparison :meth:`repro.core.routing.Route.is_valid_with_offset`
+  makes (expiries are evaluated once at array-build time; the property is
+  deterministic);
+* the completion time is ``last_arrival + offset`` — the same single
+  addition ``Route.shifted`` performs on the final element;
+* the payoff divides the entry's stored ``total_reward`` (the identical
+  Python-summed float) by that completion, one IEEE-754 division either
+  way.
+
+Surviving strategies are materialised through the same
+``entry.route.shifted(offset)`` call the scalar path uses, so the
+resulting :class:`~repro.vdps.catalog.WorkerStrategy` objects are equal
+field for field.  Workers with an individual speed (``factor != 1``) and
+``strict_revalidation`` builds fall back to the scalar
+``validate_entry`` loop — those paths re-route per worker and are rare by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.routing import Route
+from repro.vdps.catalog import WorkerStrategy, strategy_sort_key, validate_entry
+from repro.vdps.generator import CVdpsEntry
+
+
+@dataclass(frozen=True)
+class EntryArrays:
+    """Flattened, index-aligned view of one center's C-VDPS entry list.
+
+    Row ``e`` of every per-entry array describes ``entries[e]``; the
+    per-visit arrays are the entry routes' arrival times and expiries
+    concatenated, delimited by ``seg_start``/``seg_len``.
+    """
+
+    entries: Sequence[CVdpsEntry]
+    #: ``(E,)`` int64 — ``len(entry.point_ids)``.
+    sizes: np.ndarray
+    #: ``(E,)`` float64 — ``entry.route.total_reward`` (Python-summed).
+    rewards: np.ndarray
+    #: ``(E,)`` float64 — center-relative completion time (last arrival).
+    last_time: np.ndarray
+    #: ``(E,)`` intp — offset of each entry's segment in the flat arrays.
+    seg_start: np.ndarray
+    #: ``(E,)`` int64 — visits per entry (always >= 1).
+    seg_len: np.ndarray
+    #: ``(F,)`` float64 — concatenated center-relative arrival times.
+    t_flat: np.ndarray
+    #: ``(F,)`` float64 — concatenated per-visit earliest task expiries.
+    expiry_flat: np.ndarray
+    #: ``(E,)`` int64 — rank of ``tuple(sorted(point_ids))`` among all
+    #: entries, so the catalog's payoff-tie ordering reduces to an integer
+    #: sort key.
+    ids_rank: np.ndarray
+    #: ``(E,)`` — each entry's ``route.sequence`` tuple (shared, not
+    #: copied), pre-gathered so materialisation skips attribute chains.
+    sequences: Sequence[tuple]
+    #: ``(E,)`` — each entry's ``point_ids`` frozenset, likewise shared.
+    point_ids: Sequence[frozenset]
+
+    @classmethod
+    def from_entries(cls, entries: Sequence[CVdpsEntry]) -> "EntryArrays":
+        """One pass over ``entries``; safe for an empty list."""
+        sizes: List[int] = []
+        rewards: List[float] = []
+        last_time: List[float] = []
+        seg_start: List[int] = []
+        seg_len: List[int] = []
+        t_flat: List[float] = []
+        expiry_flat: List[float] = []
+        ids_keys: List[tuple] = []
+        # The dp-level properties (earliest_expiry scans tasks, total_reward
+        # sums them) are pure; caching them per dp id turns the quadratic
+        # entries-x-points property traffic into one lookup per visit.
+        expiry_of: dict = {}
+        reward_of: dict = {}
+        sequences: List[tuple] = []
+        point_ids: List[frozenset] = []
+        cursor = 0
+        for entry in entries:
+            route = entry.route
+            visits = route.arrival_times
+            sequences.append(route.sequence)
+            point_ids.append(entry.point_ids)
+            sizes.append(len(entry.point_ids))
+            reward_parts: List[float] = []
+            for dp in route.sequence:
+                dp_id = dp.dp_id
+                reward = reward_of.get(dp_id)
+                if reward is None:
+                    reward = dp.total_reward
+                    reward_of[dp_id] = reward
+                    expiry_of[dp_id] = dp.earliest_expiry
+                reward_parts.append(reward)
+                expiry_flat.append(expiry_of[dp_id])
+            # sum() accumulates 0 + r0 + r1 + ... exactly as the
+            # route.total_reward property does.
+            rewards.append(sum(reward_parts))
+            last_time.append(route.completion_time)
+            seg_start.append(cursor)
+            seg_len.append(len(visits))
+            cursor += len(visits)
+            t_flat.extend(visits)
+            ids_keys.append(tuple(sorted(entry.point_ids)))
+        ids_rank = np.empty(len(ids_keys), dtype=np.int64)
+        for rank, e in enumerate(
+            sorted(range(len(ids_keys)), key=ids_keys.__getitem__)
+        ):
+            ids_rank[e] = rank
+        return cls(
+            entries=list(entries),
+            sizes=np.asarray(sizes, dtype=np.int64),
+            rewards=np.asarray(rewards, dtype=np.float64),
+            last_time=np.asarray(last_time, dtype=np.float64),
+            seg_start=np.asarray(seg_start, dtype=np.intp),
+            seg_len=np.asarray(seg_len, dtype=np.int64),
+            t_flat=np.asarray(t_flat, dtype=np.float64),
+            expiry_flat=np.asarray(expiry_flat, dtype=np.float64),
+            ids_rank=ids_rank,
+            sequences=sequences,
+            point_ids=point_ids,
+        )
+
+    @property
+    def n_entries(self) -> int:
+        return self.sizes.size
+
+
+def validate_worker_vectorized(
+    arrays: EntryArrays,
+    worker,
+    offset: float,
+    factor: float,
+    travel_model,
+    center_location,
+    strict_revalidation: bool = False,
+) -> List[WorkerStrategy]:
+    """All of one worker's valid strategies, in canonical catalog order.
+
+    The returned list is already sorted by
+    :func:`repro.vdps.catalog.strategy_sort_key` (best payoff first, ties
+    by point ids) — the sort reduces to ``np.lexsort`` over the payoffs
+    and the precomputed :attr:`EntryArrays.ids_rank`, so callers building
+    full catalogs skip their own key-function sort.  Falls back to the
+    scalar ``validate_entry`` loop for speed-scaled workers and strict
+    revalidation (see module doc).
+    """
+    if factor != 1.0 or strict_revalidation:
+        out: List[WorkerStrategy] = []
+        for entry in arrays.entries:
+            strategy = validate_entry(
+                entry,
+                worker,
+                offset,
+                factor,
+                travel_model,
+                center_location,
+                strict_revalidation,
+            )
+            if strategy is not None:
+                out.append(strategy)
+        out.sort(key=strategy_sort_key)
+        return out
+    if not arrays.n_entries:
+        return []
+    t_shift = arrays.t_flat + offset
+    ok = t_shift <= arrays.expiry_flat
+    seg_ok = (
+        np.add.reduceat(ok.astype(np.int64), arrays.seg_start)
+        == arrays.seg_len
+    )
+    completion = arrays.last_time + offset
+    valid = (
+        (arrays.sizes <= worker.max_delivery_points)
+        & seg_ok
+        & (completion > 0)
+    )
+    idxs = np.flatnonzero(valid)
+    if not idxs.size:
+        return []
+    # Scalar float division overflows to inf silently; match that (the
+    # non-finite results are filtered out either way).
+    with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+        payoffs = arrays.rewards[idxs] / completion[idxs]
+    finite = np.isfinite(payoffs)
+    idxs = idxs[finite]
+    payoffs = payoffs[finite]
+    # Canonical order: payoff descending, ties by point ids ascending.
+    # Negating a float is exact, and ids_rank orders exactly as the id
+    # tuples do, so this is strategy_sort_key as an integer/float lexsort.
+    order = np.lexsort((arrays.ids_rank[idxs], -payoffs))
+    idxs = idxs[order]
+    payoffs = payoffs[order]
+    # Gather only the surviving entries' arrival-time segments (typically a
+    # small fraction of the flat array) in one vectorized pass: for entry
+    # i the flat positions are seg_start[i] + (0 .. len_i - 1), expressed
+    # as a repeat-plus-arange.  The shift itself (t_flat + offset) is the
+    # identical IEEE-754 addition Route.shifted performs per element.
+    idx_list = idxs.tolist()
+    sel_lens = arrays.seg_len[idxs]
+    bounds = np.empty(idxs.size + 1, dtype=np.int64)
+    bounds[0] = 0
+    np.cumsum(sel_lens, out=bounds[1:])
+    flat = np.repeat(arrays.seg_start[idxs] - bounds[:-1], sel_lens) + np.arange(
+        bounds[-1]
+    )
+    vals = t_shift[flat].tolist()
+    bl = bounds.tolist()
+    # Objects are assembled through __new__ + object.__setattr__: this is
+    # exactly what the frozen-dataclass __init__ does minus the
+    # __post_init__ length check, which holds by construction here
+    # (seg_len IS the sequence length) — the instances are field-for-field
+    # identical.
+    route_new = Route.__new__
+    strategy_new = WorkerStrategy.__new__
+    set_field = object.__setattr__
+    out = []
+    append = out.append
+    for seq, pid, p, a, b in zip(
+        map(arrays.sequences.__getitem__, idx_list),
+        map(arrays.point_ids.__getitem__, idx_list),
+        payoffs.tolist(),
+        bl,
+        bl[1:],
+    ):
+        route = route_new(Route)
+        set_field(route, "sequence", seq)
+        set_field(route, "arrival_times", tuple(vals[a:b]))
+        strategy = strategy_new(WorkerStrategy)
+        set_field(strategy, "point_ids", pid)
+        set_field(strategy, "route", route)
+        set_field(strategy, "payoff", p)
+        append(strategy)
+    return out

@@ -184,7 +184,7 @@ class VDPSCatalog:
         # (solve_start trace events, reports), so they are computed once.
         self._max_vdps_size = max(
             (
-                s.size
+                len(s.point_ids)
                 for worker_strategies in self._strategies.values()
                 for s in worker_strategies
             ),
@@ -256,6 +256,7 @@ def build_catalog(
     strict_revalidation: bool = False,
     cvdps: Optional[List[CVdpsEntry]] = None,
     tracer: Optional[NullTracer] = None,
+    kernel: Optional[str] = None,
 ) -> VDPSCatalog:
     """Build the strategy catalog for every online worker of ``sub``.
 
@@ -265,6 +266,12 @@ def build_catalog(
         The per-center sub-problem.
     epsilon:
         Distance-constrained pruning threshold; ``None`` disables pruning.
+    kernel:
+        Implementation tier for C-VDPS generation and the per-worker
+        validation scan (``"scalar"``, ``"vectorized"``, or ``"numba"``;
+        ``None`` resolves the process default — see
+        :mod:`repro.kernels.config`).  Tiers are bit-identical: the same
+        strategies, routes, payoffs, and index layout.
     strict_revalidation:
         The paper validates a C-VDPS per worker by shifting its recorded
         minimal-time sequence by the worker's start offset.  A set whose
@@ -291,7 +298,7 @@ def build_catalog(
     )
     with span, METRICS.timer("catalog.build_seconds"):
         catalog = _build_catalog(
-            sub, epsilon, strict_revalidation, cvdps, tracer
+            sub, epsilon, strict_revalidation, cvdps, tracer, kernel
         )
         if tracer.enabled:
             span.add(
@@ -402,20 +409,34 @@ def _build_catalog(
     strict_revalidation: bool,
     cvdps: Optional[List[CVdpsEntry]],
     tracer: NullTracer,
+    kernel: Optional[str] = None,
 ) -> VDPSCatalog:
+    from repro.kernels import resolve_kernel
+
+    tier = resolve_kernel(kernel)
     workers = sub.online_workers
     travel_model = sub.travel
     if cvdps is None:
         cap = max((w.max_delivery_points for w in workers), default=0)
-        cvdps = generate_cvdps(sub.center, travel_model, epsilon, cap, tracer=tracer)
+        cvdps = generate_cvdps(
+            sub.center, travel_model, epsilon, cap, tracer=tracer, kernel=tier
+        )
+
+    arrays = None
+    if tier != "scalar" and cvdps:
+        from repro.kernels.validate import EntryArrays, validate_worker_vectorized
+
+        arrays = EntryArrays.from_entries(cvdps)
+        METRICS.counter("kernel.validate_vectorized").add(1)
 
     strategies: Dict[str, Tuple[WorkerStrategy, ...]] = {}
     for worker in workers:
         offset, factor = worker_offset_factor(worker, travel_model, sub.center.location)
-        found: List[WorkerStrategy] = []
-        for entry in cvdps:
-            strategy = validate_entry(
-                entry,
+        if arrays is not None:
+            # Already in canonical catalog order (the kernel lexsorts by
+            # payoff and precomputed id ranks), so no key-function sort.
+            found = validate_worker_vectorized(
+                arrays,
                 worker,
                 offset,
                 factor,
@@ -423,8 +444,20 @@ def _build_catalog(
                 sub.center.location,
                 strict_revalidation,
             )
-            if strategy is not None:
-                found.append(strategy)
-        found.sort(key=strategy_sort_key)
+        else:
+            found = []
+            for entry in cvdps:
+                strategy = validate_entry(
+                    entry,
+                    worker,
+                    offset,
+                    factor,
+                    travel_model,
+                    sub.center.location,
+                    strict_revalidation,
+                )
+                if strategy is not None:
+                    found.append(strategy)
+            found.sort(key=strategy_sort_key)
         strategies[worker.worker_id] = tuple(found)
     return VDPSCatalog(workers, strategies, epsilon, len(cvdps))

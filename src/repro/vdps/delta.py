@@ -102,6 +102,13 @@ class DeltaCatalog:
         After every refresh, rebuild from scratch and assert equality
         (:func:`catalog_diff`).  Defeats the purpose in production; the
         harness tests and the bench's ``identical`` flag run on it.
+    kernel:
+        Implementation tier for the full-rebuild DP and the full-worker
+        validation scans (``"scalar"``, ``"vectorized"``, or ``"numba"``;
+        ``None`` resolves the process default).  The delta surgery itself
+        stays scalar — it touches few states by construction — and every
+        tier lands on the same bit-identical tables, so deltas applied
+        over a kernel-built table still match rebuilds exactly.
     """
 
     def __init__(
@@ -111,6 +118,7 @@ class DeltaCatalog:
         strict_revalidation: bool = False,
         rebuild_fraction: float = 0.5,
         verify: bool = False,
+        kernel: Optional[str] = None,
     ) -> None:
         if rebuild_fraction < 0:
             raise ValueError(
@@ -120,6 +128,8 @@ class DeltaCatalog:
         self._strict = bool(strict_revalidation)
         self._rebuild_fraction = float(rebuild_fraction)
         self._verify = bool(verify)
+        self._kernel = kernel
+        self._entry_arrays = None
         self._catalog: Optional[VDPSCatalog] = None
         self._last_path = "rebuild"
         tracer = resolve_tracer(False)
@@ -186,6 +196,7 @@ class DeltaCatalog:
                     sub,
                     epsilon=self.epsilon,
                     strict_revalidation=self._strict,
+                    kernel=getattr(self, "_kernel", None),
                 ),
             )
             if diffs:
@@ -197,9 +208,11 @@ class DeltaCatalog:
     def __getstate__(self):
         # The materialised catalog (and its numpy index) is cheap to
         # re-derive and bloats pickles; the persistent store drops it and
-        # the first refresh() after a restore materialises it again.
+        # the first refresh() after a restore materialises it again.  The
+        # flattened entry arrays are a derived cache too.
         state = self.__dict__.copy()
         state["_catalog"] = None
+        state["_entry_arrays"] = None
         return state
 
     # -- refresh machinery --------------------------------------------------
@@ -297,6 +310,7 @@ class DeltaCatalog:
                 stats,
                 NULL_TRACER,
                 self._center_id,
+                kernel=getattr(self, "_kernel", None),
             )
         else:
             self._states = {}
@@ -306,6 +320,7 @@ class DeltaCatalog:
             )
             for subset, value in best_per_subset(self._states).items()
         }
+        self._entry_arrays = None
         self._workers: Dict[str, Worker] = {}
         self._offsets: Dict[str, Tuple[float, float]] = {}
         self._strategies: Dict[str, Dict[FrozenSet[str], WorkerStrategy]] = {}
@@ -334,6 +349,7 @@ class DeltaCatalog:
             del self._entries[subset]
             removed_subsets.add(subset)
             added_entries.pop(subset, None)
+        self._entry_arrays = None
 
     def _add_point(
         self,
@@ -365,6 +381,7 @@ class DeltaCatalog:
             )
             self._entries[subset] = entry
             added_entries[subset] = entry
+        self._entry_arrays = None
 
     def _states_with_point(self, p: str, stats: DPStats) -> Dict[_StateKey, _StateVal]:
         """All feasible DP states containing ``p`` over the current points.
@@ -469,8 +486,29 @@ class DeltaCatalog:
             )
             self._entries[subset] = entry
             added_entries[subset] = entry
+        self._entry_arrays = None
 
     # -- worker-level revalidation ------------------------------------------
+
+    def _get_entry_arrays(self):
+        """The flattened entry arrays, rebuilt lazily after entry churn.
+
+        Entries flatten in the canonical ``(size, ids)`` order — the order
+        the scalar scan iterates — so the vectorized scan visits the same
+        entries in the same sequence.
+        """
+        arrays = getattr(self, "_entry_arrays", None)
+        if arrays is None:
+            from repro.kernels.validate import EntryArrays
+
+            arrays = EntryArrays.from_entries(
+                [
+                    self._entries[subset]
+                    for subset in sorted(self._entries, key=_subset_sort_key)
+                ]
+            )
+            self._entry_arrays = arrays
+        return arrays
 
     def _validate_worker(self, worker: Worker) -> Dict[FrozenSet[str], WorkerStrategy]:
         """Full Section IV validation of one worker against every entry."""
@@ -478,6 +516,21 @@ class DeltaCatalog:
             worker, self._travel, self._center_location
         )
         self._offsets[worker.worker_id] = (offset, factor)
+        from repro.kernels import resolve_kernel
+
+        if resolve_kernel(getattr(self, "_kernel", None)) != "scalar":
+            from repro.kernels.validate import validate_worker_vectorized
+
+            found = validate_worker_vectorized(
+                self._get_entry_arrays(),
+                worker,
+                offset,
+                factor,
+                self._travel,
+                self._center_location,
+                self._strict,
+            )
+            return {strategy.point_ids: strategy for strategy in found}
         out: Dict[FrozenSet[str], WorkerStrategy] = {}
         for subset in sorted(self._entries, key=_subset_sort_key):
             strategy = validate_entry(

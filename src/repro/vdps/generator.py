@@ -32,8 +32,11 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.entities import DeliveryPoint, DistributionCenter
 from repro.core.routing import Route, arrival_times
+from repro.geo.distance import euclidean
 from repro.geo.travel import TravelModel
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import NullTracer, resolve_tracer
@@ -148,13 +151,41 @@ def compute_states(
     stats: DPStats,
     tracer: NullTracer,
     center_id: str,
+    kernel: Optional[str] = None,
+    matrix=None,
 ) -> Dict[_StateKey, _StateVal]:
     """The full layered DP over ``points_by_id``: every feasible state.
 
-    This is the one expansion loop both :func:`generate_cvdps` and the
-    delta layer's rebuild path run, so their state tables are identical by
-    construction.
+    This is the one expansion loop :func:`generate_cvdps` and the delta
+    layer's rebuild path both run, so their state tables are identical by
+    construction.  ``kernel`` selects the implementation (``"scalar"``,
+    ``"vectorized"``, or ``"numba"``; ``None`` resolves the process
+    default) — every tier produces the same table bit for bit, the same
+    ``stats`` increments, and the same ``cvdps.layer`` events, which the
+    seed-swept differential suite in ``tests/kernels/`` asserts.
+    ``matrix`` optionally shares a prebuilt sorted-id
+    :class:`~repro.geo.travel.TravelMatrix` with the vectorized kernel.
     """
+    from repro.kernels import resolve_kernel
+
+    tier = resolve_kernel(kernel)
+    if tier != "scalar":
+        from repro.kernels.cvdps import compute_states_vectorized
+
+        METRICS.counter("kernel.cvdps_vectorized").add(1)
+        return compute_states_vectorized(
+            points_by_id,
+            neighbors,
+            travel,
+            center_location,
+            cap,
+            stats,
+            tracer,
+            center_id,
+            matrix=matrix,
+            use_numba=tier == "numba",
+        )
+    METRICS.counter("kernel.cvdps_scalar").add(1)
     states: Dict[_StateKey, _StateVal] = {}
     frontier: Dict[_StateKey, _StateVal] = {}
     for dp_id in sorted(points_by_id):
@@ -215,6 +246,7 @@ def generate_cvdps(
     epsilon: Optional[float] = None,
     max_size: Optional[int] = None,
     tracer: Optional[NullTracer] = None,
+    kernel: Optional[str] = None,
 ) -> List[CVdpsEntry]:
     """All C-VDPSs of ``center`` with at most ``max_size`` points.
 
@@ -237,12 +269,21 @@ def generate_cvdps(
         rejection totals always land in the :mod:`repro.obs` metrics
         registry — the DP loop accumulates plain local integers, so the
         per-state overhead is a few increments either way.
+    kernel:
+        DP implementation tier (``"scalar"``, ``"vectorized"``, or
+        ``"numba"``); ``None`` resolves the process default
+        (:mod:`repro.kernels.config`).  All tiers return bit-identical
+        entries.  The vectorized tiers additionally build the center's
+        travel matrix once and reuse its (Euclidean-metric) distances for
+        the pruning neighbourhoods.
 
     Returns
     -------
     list of :class:`CVdpsEntry`, sorted by (size, point ids) so output
     order is deterministic.
     """
+    from repro.kernels import resolve_kernel
+
     tracer = resolve_tracer(False) if tracer is None else tracer
     points = center.delivery_points
     n = len(points)
@@ -251,7 +292,23 @@ def generate_cvdps(
     cap = n if max_size is None else max(0, min(max_size, n))
     if cap == 0:
         return []
-    neighbors = neighbor_id_map(points, epsilon)
+    points_by_id = {dp.dp_id: dp for dp in points}
+    tier = resolve_kernel(kernel)
+    matrix = None
+    distances = None
+    if tier != "scalar":
+        from repro.kernels.cvdps import center_matrix
+
+        ids, matrix = center_matrix(points_by_id, travel, center.location)
+        if epsilon is not None and travel.distance_fn is euclidean:
+            # Pruning distances are Euclidean; under the default metric
+            # the kernel matrix already holds them (sorted-id order, so
+            # permute back into the point-sequence order the
+            # neighbourhood lists index by).
+            position = {dp_id: k for k, dp_id in enumerate(ids)}
+            perm = np.asarray([position[dp.dp_id] for dp in points])
+            distances = matrix.distances[np.ix_(perm, perm)]
+    neighbors = neighbor_id_map(points, epsilon, distances)
     if epsilon is not None:
         # Ordered point pairs the epsilon neighbourhood excludes up front:
         # the state space the distance-constrained pruning never visits.
@@ -259,7 +316,6 @@ def generate_cvdps(
             n * (n - 1) - sum(len(adj) for adj in neighbors.values())
         )
 
-    points_by_id = {dp.dp_id: dp for dp in points}
     stats = DPStats()
     states = compute_states(
         points_by_id,
@@ -270,18 +326,30 @@ def generate_cvdps(
         stats,
         tracer,
         center.center_id,
+        kernel=tier,
+        matrix=matrix,
     )
     METRICS.counter("cvdps.states_expanded").add(stats.states_expanded)
     METRICS.counter("cvdps.candidates_tried").add(stats.candidates_tried)
     METRICS.counter("cvdps.deadline_rejections").add(stats.deadline_rejections)
+    if matrix is not None:
+        from repro.kernels.cvdps import collect_entries_vectorized
+
+        return collect_entries_vectorized(points_by_id, states, matrix)
     return collect_entries(points_by_id, states, travel, center.location)
 
 
 def neighbor_id_map(
-    points: Sequence[DeliveryPoint], epsilon: Optional[float]
+    points: Sequence[DeliveryPoint],
+    epsilon: Optional[float],
+    distances: Optional[np.ndarray] = None,
 ) -> Dict[str, Tuple[str, ...]]:
-    """:func:`neighbor_lists` re-keyed by dp id (the DP core's key space)."""
-    adjacency = neighbor_lists(points, epsilon)
+    """:func:`neighbor_lists` re-keyed by dp id (the DP core's key space).
+
+    ``distances`` is the optional precomputed Euclidean matrix forwarded
+    to :func:`neighbor_lists` (points-sequence order).
+    """
+    adjacency = neighbor_lists(points, epsilon, distances)
     return {
         points[j].dp_id: tuple(points[q].dp_id for q in adjacency[j])
         for j in range(len(points))

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.entities import DeliveryPoint
 from repro.geo.index import GridIndex
 
@@ -19,21 +21,40 @@ _INDEX_THRESHOLD = 64
 
 
 def neighbor_lists(
-    points: Sequence[DeliveryPoint], epsilon: Optional[float]
+    points: Sequence[DeliveryPoint],
+    epsilon: Optional[float],
+    distances: Optional[np.ndarray] = None,
 ) -> List[List[int]]:
     """For each point index ``j``, the indices of points within ``epsilon``.
 
     ``epsilon = None`` disables pruning: every other point is a neighbour
     (the ``-W`` variants of Figures 2-3).  A point is never its own
     neighbour.  Distances are Euclidean, matching ``d(a, b)`` in the paper.
+
+    ``distances`` is an optional precomputed ``(n, n)`` Euclidean matrix
+    (e.g. :attr:`repro.geo.travel.TravelMatrix.distances` under the default
+    metric); when given, the comparison runs as one vectorised threshold
+    per row instead of recomputing every pairwise distance.  Callers are
+    responsible for only passing Euclidean matrices — pruning is defined on
+    ``d(a, b)`` regardless of the travel metric in play.
     """
     n = len(points)
     if epsilon is None:
         return [[q for q in range(n) if q != j] for j in range(n)]
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
-    if n <= _INDEX_THRESHOLD:
+    if distances is not None:
+        if distances.shape != (n, n):
+            raise ValueError(
+                f"distances must be ({n}, {n}), got {distances.shape}"
+            )
         out: List[List[int]] = []
+        for j in range(n):
+            hits = np.flatnonzero(distances[j] <= epsilon)
+            out.append([int(q) for q in hits if q != j])
+        return out
+    if n <= _INDEX_THRESHOLD:
+        out = []
         for j in range(n):
             here = points[j].location
             out.append(

@@ -1,0 +1,1 @@
+"""Differential tests: vectorized kernels vs the scalar reference."""

@@ -1,0 +1,375 @@
+"""Differential suite: the vectorized kernels vs the scalar reference.
+
+Bit-identity — not approximate equality — is the kernels' contract
+(``docs/performance.md``): the layered-DP state tables must match value
+for value (arrival times compared via ``float.hex``, so ``-0.0`` or a
+1-ulp drift fails), the ``CVdpsEntry`` lists and catalogs must be equal
+via ``==`` and :func:`catalog_diff`, the Held–Karp routes must equal the
+scalar DP *and* brute force, and :class:`DeltaCatalog` surgery over a
+vectorized-built base table must stay identical to scalar rebuilds under
+churn.  The sweep deliberately covers the axes where the kernels take
+different code paths: epsilon pruning on/off, ``service_hours > 0``
+(exercises the ``(t + service) + travel`` association), ``max_size``
+caps, and degenerate empty/singleton centers.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.entities import (
+    DeliveryPoint,
+    DistributionCenter,
+    SpatialTask,
+    Worker,
+)
+from repro.core.instance import SubProblem
+from repro.core.routing import best_route, brute_force_best_route
+from repro.datasets.gmission import GMissionConfig, generate_gmission_like
+from repro.geo.point import Point
+from repro.geo.travel import TravelModel
+from repro.kernels import (
+    KERNEL_ENV_VAR,
+    default_kernel,
+    numba_available,
+    resolve_kernel,
+    set_default_kernel,
+)
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NULL_TRACER
+from repro.vdps.catalog import build_catalog
+from repro.vdps.delta import DeltaCatalog, catalog_diff
+from repro.vdps.generator import (
+    DPStats,
+    compute_states,
+    generate_cvdps,
+    neighbor_id_map,
+)
+
+SEEDS = [0, 1, 7, 42]
+EPSILONS = [0.8, None]
+
+
+def _gm_sub(seed):
+    instance = generate_gmission_like(
+        GMissionConfig(n_tasks=70, n_workers=9, n_delivery_points=16),
+        seed=seed,
+    )
+    return next(iter(instance.subproblems()))
+
+
+def _state_tables(sub, epsilon, cap):
+    """The DP table and counters under each tier, same inputs."""
+    points = sub.center.delivery_points
+    points_by_id = {dp.dp_id: dp for dp in points}
+    neighbors = neighbor_id_map(points, epsilon)
+    tables, stats = {}, {}
+    for tier in ("scalar", "vectorized"):
+        dp_stats = DPStats()
+        tables[tier] = compute_states(
+            points_by_id,
+            neighbors,
+            sub.travel,
+            sub.center.location,
+            cap,
+            dp_stats,
+            NULL_TRACER,
+            sub.center.center_id,
+            kernel=tier,
+        )
+        stats[tier] = (
+            dp_stats.states_expanded,
+            dp_stats.candidates_tried,
+            dp_stats.deadline_rejections,
+        )
+    return tables, stats
+
+
+def _assert_tables_bit_identical(scalar, vectorized):
+    assert set(scalar) == set(vectorized)
+    for key, (t_s, path_s) in scalar.items():
+        t_v, path_v = vectorized[key]
+        assert path_s == path_v, key
+        # hex equality is bit equality: a 1-ulp drift or -0.0 fails here
+        # where plain == would not.
+        assert float(t_s).hex() == float(t_v).hex(), key
+
+
+class TestCvdpsDifferential:
+    """Scalar vs vectorized over GM instances and hand-built edge cases."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_gm_state_tables_and_counters(self, seed, epsilon):
+        sub = _gm_sub(seed)
+        cap = max(w.max_delivery_points for w in sub.online_workers)
+        tables, stats = _state_tables(sub, epsilon, cap)
+        _assert_tables_bit_identical(tables["scalar"], tables["vectorized"])
+        # The vectorized kernel mirrors the scalar counters exactly, so
+        # dashboards read the same numbers whichever tier served a build.
+        assert stats["scalar"] == stats["vectorized"]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_gm_entries_and_catalogs(self, seed, epsilon):
+        sub = _gm_sub(seed)
+        cap = max(w.max_delivery_points for w in sub.online_workers)
+        entries_s = generate_cvdps(sub.center, sub.travel, epsilon, cap, kernel="scalar")
+        entries_v = generate_cvdps(
+            sub.center, sub.travel, epsilon, cap, kernel="vectorized"
+        )
+        assert entries_s == entries_v
+        catalog_s = build_catalog(sub, epsilon=epsilon, kernel="scalar")
+        catalog_v = build_catalog(sub, epsilon=epsilon, kernel="vectorized")
+        assert not catalog_diff(catalog_s, catalog_v)
+
+    @pytest.mark.parametrize("cap", [1, 2, 3])
+    @pytest.mark.parametrize("epsilon", [1.5, None])
+    def test_service_hours_center(self, cap, epsilon):
+        # service_hours > 0 exercises the kernels' (t + service) + travel
+        # association; the GM surrogate always has service_hours == 0.
+        sub = _service_hours_sub()
+        tables, stats = _state_tables(sub, epsilon, cap)
+        _assert_tables_bit_identical(tables["scalar"], tables["vectorized"])
+        assert stats["scalar"] == stats["vectorized"]
+        entries_s = generate_cvdps(sub.center, sub.travel, epsilon, cap, kernel="scalar")
+        entries_v = generate_cvdps(
+            sub.center, sub.travel, epsilon, cap, kernel="vectorized"
+        )
+        assert entries_s == entries_v
+        if cap > 1:
+            assert any(len(e.point_ids) > 1 for e in entries_v)
+        assert not catalog_diff(
+            build_catalog(sub, epsilon=epsilon, kernel="scalar"),
+            build_catalog(sub, epsilon=epsilon, kernel="vectorized"),
+        )
+
+    def test_max_size_cap_sweep(self):
+        sub = _gm_sub(0)
+        for cap in (1, 2, 3):
+            tables, _ = _state_tables(sub, 0.8, cap)
+            _assert_tables_bit_identical(tables["scalar"], tables["vectorized"])
+            assert all(len(subset) <= cap for subset, _ in tables["vectorized"])
+
+    def test_empty_center(self):
+        center = DistributionCenter("dc", Point(0.0, 0.0), ())
+        travel = TravelModel(speed_kmh=5.0)
+        for tier in ("scalar", "vectorized"):
+            assert generate_cvdps(center, travel, 0.8, 3, kernel=tier) == []
+        sub = SubProblem(center, (_worker(0),), travel)
+        assert not catalog_diff(
+            build_catalog(sub, epsilon=0.8, kernel="scalar"),
+            build_catalog(sub, epsilon=0.8, kernel="vectorized"),
+        )
+
+    def test_singleton_center(self):
+        dp = _dp(0, 0.4, 0.3, expiry=4.0, service=0.25)
+        center = DistributionCenter("dc", Point(0.0, 0.0), (dp,))
+        travel = TravelModel(speed_kmh=5.0)
+        entries = {
+            tier: generate_cvdps(center, travel, None, 3, kernel=tier)
+            for tier in ("scalar", "vectorized")
+        }
+        assert entries["scalar"] == entries["vectorized"]
+        assert len(entries["vectorized"]) == 1
+
+
+class TestBestRouteDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("offset", [0.0, 0.1])
+    def test_matches_scalar_and_brute_force(self, seed, offset):
+        sub = _gm_sub(seed)
+        for size in (2, 4, 6):
+            pts = sub.center.delivery_points[:size]
+            scalar = best_route(
+                sub.center.location, pts, sub.travel, offset, kernel="scalar"
+            )
+            vector = best_route(
+                sub.center.location, pts, sub.travel, offset, kernel="vectorized"
+            )
+            assert scalar == vector
+            brute = brute_force_best_route(
+                sub.center.location, pts, sub.travel, offset
+            )
+            assert (brute is None) == (vector is None)
+            if brute is not None:
+                assert brute.completion_time == vector.completion_time
+
+    def test_service_hours_routes(self):
+        sub = _service_hours_sub()
+        pts = sub.center.delivery_points[:5]
+        scalar = best_route(sub.center.location, pts, sub.travel, 0.0, kernel="scalar")
+        vector = best_route(
+            sub.center.location, pts, sub.travel, 0.0, kernel="vectorized"
+        )
+        assert scalar == vector
+
+
+# -- DeltaCatalog over a vectorized base table -----------------------------
+
+_TRAVEL = TravelModel(speed_kmh=1.0)
+_EPSILON = 2.5
+
+coordinate = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+expiry = st.floats(min_value=0.2, max_value=12.0, allow_nan=False)
+
+
+def _dp(i, x, y, expiry=6.0, service=0.0, n_tasks=1):
+    tasks = tuple(
+        SpatialTask(f"t{i}_{k}", f"dp{i}", expiry + 0.1 * k)
+        for k in range(n_tasks)
+    )
+    return DeliveryPoint(f"dp{i}", Point(x, y), tasks, service)
+
+
+def _worker(i, cap=3):
+    return Worker(f"w{i}", Point(0.1 * i, -0.2), cap, center_id="dc")
+
+
+def _service_hours_sub():
+    points = tuple(
+        _dp(i, 0.3 * (i + 1), 0.2 * (i % 3), expiry=3.0 + 0.5 * i,
+            service=0.05 * (i + 1), n_tasks=1 + i % 2)
+        for i in range(6)
+    )
+    center = DistributionCenter("dc", Point(0.0, 0.0), points)
+    workers = tuple(_worker(i, cap=1 + i % 3) for i in range(4))
+    return SubProblem(center, workers, TravelModel(speed_kmh=5.0))
+
+
+def _churn_sub(points, workers):
+    center = DistributionCenter("dc", Point(0.0, 0.0), tuple(points.values()))
+    return SubProblem(center, tuple(workers), _TRAVEL)
+
+
+class TestDeltaOverVectorizedBase:
+    """Delta surgery on a kernel-built table ≡ scalar rebuilds, always."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_churn_stays_identical_to_scalar_rebuild(self, data):
+        points = {
+            f"dp{i}": _dp(
+                i,
+                data.draw(coordinate, label=f"x{i}"),
+                data.draw(coordinate, label=f"y{i}"),
+                expiry=data.draw(expiry, label=f"e{i}"),
+            )
+            for i in range(4)
+        }
+        workers = [_worker(i) for i in range(3)]
+        # rebuild_fraction=10 forces the surgery path even when one churn
+        # step touches a large share of this tiny center.
+        delta = DeltaCatalog(
+            _churn_sub(points, workers),
+            epsilon=_EPSILON,
+            rebuild_fraction=10,
+            kernel="vectorized",
+        )
+        delta.refresh(_churn_sub(points, workers))
+        next_task = [100]
+
+        def add_task(dp_id):
+            next_task[0] += 1
+            task = SpatialTask(
+                f"t{next_task[0]}", dp_id, data.draw(expiry, label="new expiry")
+            )
+            dp = points[dp_id]
+            points[dp_id] = dp.with_tasks(dp.tasks + (task,))
+
+        def move_deadline(dp_id):
+            dp = points[dp_id]
+            if not dp.tasks:
+                return
+            moved = SpatialTask(
+                dp.tasks[0].task_id,
+                dp_id,
+                data.draw(expiry, label="moved expiry"),
+                dp.tasks[0].reward,
+            )
+            points[dp_id] = dp.with_tasks((moved,) + dp.tasks[1:])
+
+        def drop_task(dp_id):
+            dp = points[dp_id]
+            points[dp_id] = dp.with_tasks(dp.tasks[1:])
+
+        ops = [add_task, move_deadline, drop_task]
+        for step in range(data.draw(st.integers(2, 5), label="steps")):
+            op = data.draw(st.sampled_from(ops), label=f"op{step}")
+            dp_id = data.draw(
+                st.sampled_from(sorted(points)), label=f"dp{step}"
+            )
+            op(dp_id)
+            sub = _churn_sub(points, workers)
+            refreshed = delta.refresh(sub)
+            rebuilt = build_catalog(sub, epsilon=_EPSILON, kernel="scalar")
+            assert not catalog_diff(refreshed, rebuilt)
+
+    def test_worker_churn_and_cross_tier_equality(self):
+        points = {f"dp{i}": _dp(i, 0.5 * i, 0.3, expiry=5.0) for i in range(3)}
+        workers = [_worker(i) for i in range(2)]
+        delta = DeltaCatalog(
+            _churn_sub(points, workers),
+            epsilon=_EPSILON,
+            rebuild_fraction=10,
+            kernel="vectorized",
+        )
+        delta.refresh(_churn_sub(points, workers))
+        workers.append(_worker(7, cap=1))
+        sub = _churn_sub(points, workers)
+        refreshed = delta.refresh(sub)
+        for tier in ("scalar", "vectorized"):
+            assert not catalog_diff(
+                refreshed, build_catalog(sub, epsilon=_EPSILON, kernel=tier)
+            )
+
+
+class TestKernelConfig:
+    def test_env_var_selects_tier(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "scalar")
+        assert default_kernel() == "scalar"
+        assert resolve_kernel() == "scalar"
+        monkeypatch.setenv(KERNEL_ENV_VAR, "vectorized")
+        assert resolve_kernel() == "vectorized"
+
+    def test_set_default_kernel_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "scalar")
+        set_default_kernel("vectorized")
+        try:
+            assert default_kernel() == "vectorized"
+        finally:
+            set_default_kernel(None)
+        assert default_kernel() == "scalar"
+
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_kernel("simd")
+        with pytest.raises(ValueError, match="kernel"):
+            set_default_kernel("simd")
+
+    def test_numba_request_is_always_safe(self):
+        before = METRICS.snapshot()
+        tier = resolve_kernel("numba")
+        if numba_available():
+            assert tier == "numba"
+        else:
+            # Degrades to the bit-identical vectorized kernels, counted.
+            assert tier == "vectorized"
+            assert METRICS.delta(before).get("kernel.numba_fallbacks") == 1
+
+    def test_build_counters_name_the_serving_tier(self):
+        sub = _gm_sub(0)
+        before = METRICS.snapshot()
+        build_catalog(sub, epsilon=0.8, kernel="vectorized")
+        after_vec = METRICS.delta(before)
+        assert after_vec.get("kernel.cvdps_vectorized", 0) >= 1
+        assert after_vec.get("kernel.validate_vectorized", 0) >= 1
+        before = METRICS.snapshot()
+        build_catalog(sub, epsilon=0.8, kernel="scalar")
+        after_scalar = METRICS.delta(before)
+        assert after_scalar.get("kernel.cvdps_scalar", 0) >= 1
+        assert "kernel.cvdps_vectorized" not in after_scalar

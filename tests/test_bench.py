@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.bench import BENCH_SHAPES, format_report, run_bench
+from repro.bench import (
+    BENCH_SHAPES,
+    KERNEL_LARGE_SHAPES,
+    format_report,
+    run_bench,
+)
 from repro.cli import main
 
 
@@ -30,7 +35,21 @@ class TestRunBench:
             # The vectorized solves flush engine.* batch counters.
             assert data["metrics_vectorized"]["engine.filter_batches"] > 0
             assert "engine.filter_batches" not in data["metrics_scalar"]
-        assert report["schema"] == 4
+        assert report["schema"] == 5
+        kernel = report["kernel"]
+        # Kernel-tier bit-identity is a hard bench gate (CLI exits 1).
+        assert kernel["identical"] is True
+        assert kernel["scalar_seconds"] > 0
+        assert kernel["vectorized_seconds"] > 0
+        assert kernel["speedup"] == pytest.approx(
+            kernel["scalar_seconds"] / kernel["vectorized_seconds"]
+        )
+        assert kernel["strategies"] > 0
+        large = kernel["large"]
+        assert large["shape"] == KERNEL_LARGE_SHAPES["smoke"].as_dict()
+        assert large["kernel"] == "vectorized"
+        assert large["seconds"] > 0
+        assert large["strategies"] > 0
         equity = report["temporal_fairness"]
         # The temporal-fairness claim is a hard bench gate: the ledger
         # arm must strictly improve rolling Gini within the budget.
@@ -56,6 +75,7 @@ class TestRunBench:
         text = format_report(report)
         assert "catalog delta" in text and "identical=True" in text
         assert "temporal fairness" in text and "improved=True" in text
+        assert "kernel tiers" in text and "large arm" in text
 
     def test_obs_overhead_section(self, tmp_path):
         report = run_bench(scale="smoke", seed=0, repeats=1)
@@ -118,3 +138,31 @@ class TestBenchCli:
         stdout = capsys.readouterr().out
         assert "speedup" in stdout
         assert str(out) in stdout
+
+    def test_cli_profile_and_kernel_flags(self, tmp_path, capsys):
+        from repro.kernels import set_default_kernel
+
+        out = tmp_path / "BENCH_core.json"
+        try:
+            code = main(
+                [
+                    "bench",
+                    "--scale",
+                    "smoke",
+                    "--repeats",
+                    "1",
+                    "--kernel",
+                    "vectorized",
+                    "--profile",
+                    "--output",
+                    str(out),
+                ]
+            )
+        finally:
+            set_default_kernel(None)
+        assert code == 0
+        stdout = capsys.readouterr().out
+        # One cProfile dump per bench section.
+        assert "--- profile: catalog" in stdout
+        assert "--- profile: kernel" in stdout
+        assert "--- profile: temporal_fairness" in stdout
