@@ -44,6 +44,15 @@ rolling Gini than per-round dispatch while giving up less than
 payoff.  Both arms are deterministic given the seed, so these are hard
 gates, not advisory wall-time comparisons.
 
+The ``shards`` section (schema 6) guards the supervised multi-process
+shard pool (``docs/fault_tolerance.md``): a two-shard
+:class:`~repro.service.shards.ShardedDispatchEngine` must replay a small
+four-center world bit-identical to the single-process engine, and a
+chaos arm that SIGKILLs one shard mid-run must respawn it, replay its
+journal segment, and finish bit-identical to the fault-free sharded run.
+Both are hard CLI gates; the 1-vs-N wall times ride along as advisory
+numbers (at bench shapes the RPC overhead dominates).
+
 Shapes are pinned here (not derived from the experiment grids) so the
 numbers stay comparable across PRs:
 
@@ -498,6 +507,178 @@ def _temporal_fairness_phase(seed: int, rounds: int) -> Dict[str, object]:
     }
 
 
+def _shards_world():
+    """A small deterministic four-center world for the shard-pool phase.
+
+    ``generate_gmission_like`` emits exactly one distribution center, so
+    the shard phase builds its own layout: four centers on a wide square
+    (10 km apart — partitions never interact), each with three delivery
+    points on a 1 km ring, two resident workers, and four seeded tasks
+    with staggered expiries.  Pure arithmetic, no RNG: every arm replays
+    the same world and only the process topology differs.
+    """
+    import math
+
+    from repro.core.entities import DeliveryPoint, Worker
+    from repro.geo.point import Point
+    from repro.geo.travel import TravelModel
+
+    centers = []
+    workers = []
+    tasks = []
+    for c in range(4):
+        cx, cy = 10.0 * (c % 2), 10.0 * (c // 2)
+        points = []
+        for i in range(3):
+            angle = 2.0 * math.pi * i / 3.0
+            points.append(
+                DeliveryPoint(
+                    dp_id=f"bench-c{c}-dp{i}",
+                    location=Point(
+                        cx + math.cos(angle), cy + math.sin(angle)
+                    ),
+                    tasks=(),
+                )
+            )
+        centers.append(
+            DistributionCenter(
+                f"bench-c{c}", Point(cx, cy), tuple(points)
+            )
+        )
+        for w in range(2):
+            workers.append(
+                Worker(
+                    worker_id=f"bench-c{c}-w{w}",
+                    location=Point(cx + 0.2 + 0.3 * w, cy - 0.2),
+                    max_delivery_points=2,
+                    center_id=f"bench-c{c}",
+                )
+            )
+        for t in range(4):
+            tasks.append(
+                {
+                    "task_id": f"bench-c{c}-t{t}",
+                    "dp_id": f"bench-c{c}-dp{t % 3}",
+                    "expiry": 1.0 + 0.5 * t,
+                    "reward": 1.0 + 0.25 * (t % 2),
+                }
+            )
+    return centers, workers, tasks, TravelModel()
+
+
+def _shards_phase(seed: int, rounds: int) -> Dict[str, object]:
+    """Supervised shard pool vs the single-process engine, plus chaos.
+
+    Three arms replay the same four-center world for ``rounds`` rounds
+    (every arm runs the fault-tolerant ladder — ``solve_deadline_s`` is
+    set — so an inherited ``REPRO_FAULTS`` cannot skew one arm onto a
+    different code path):
+
+    * ``single`` — one :class:`~repro.service.engine.DispatchEngine`
+      over the whole world.
+    * ``sharded`` — a two-shard
+      :class:`~repro.service.shards.ShardedDispatchEngine`; per-round
+      fingerprints and payoff aggregates must be bit-identical to the
+      single arm (``identical`` — a hard CLI gate).
+    * ``kill`` — the same pool with a chaos plan that SIGKILLs shard 0
+      mid-run; the supervisor must respawn it, replay its journal
+      segment, and finish bit-identical to the clean sharded arm
+      (``recovered_identical`` with ``respawns >= 1`` — a hard CLI
+      gate).
+    """
+    import tempfile
+
+    from repro.baselines.mpta import MPTASolver
+    from repro.service.engine import DispatchEngine
+    from repro.service.faults import FaultPlan
+    from repro.service.shards import ShardedDispatchEngine
+    from repro.service.state import WorldState
+
+    centers, workers, tasks, travel = _shards_world()
+    kill_round = max(1, rounds // 2)
+
+    def round_identity(result) -> Tuple[object, ...]:
+        return (
+            _fingerprint(result),
+            result.payoff_difference,
+            result.average_payoff,
+            result.pending_tasks,
+        )
+
+    def run_single():
+        state = WorldState(centers, workers=workers, travel=travel)
+        state.add_tasks(tasks)
+        engine = DispatchEngine(
+            state, MPTASolver(), seed=seed, solve_deadline_s=30.0
+        )
+        t0 = time.perf_counter()
+        idents = [
+            round_identity(engine.dispatch(advance_hours=0.25))
+            for _ in range(rounds)
+        ]
+        return idents, time.perf_counter() - t0
+
+    def run_sharded(journal_dir, faults=None):
+        engine = ShardedDispatchEngine(
+            centers,
+            MPTASolver(),
+            travel=travel,
+            shards=2,
+            seed=seed,
+            solve_deadline_s=30.0,
+            heartbeat_timeout_s=5.0,
+            faults=faults,
+            journal_dir=journal_dir,
+            journal_fsync=False,
+        )
+        try:
+            engine.state.add_workers(workers)
+            engine.state.add_tasks(tasks)
+            t0 = time.perf_counter()
+            idents = [
+                round_identity(engine.dispatch(advance_hours=0.25))
+                for _ in range(rounds)
+            ]
+            elapsed = time.perf_counter() - t0
+            fingerprint = engine.state.fingerprint()
+            respawns = sum(
+                h["respawns"] for h in engine.shard_health().values()
+            )
+            return idents, elapsed, fingerprint, respawns
+        finally:
+            engine.begin_drain()
+            engine.drain()
+
+    single_idents, single_seconds = run_single()
+    with tempfile.TemporaryDirectory(prefix="repro_bench_shards_") as tmp:
+        clean_idents, sharded_seconds, clean_fp, _ = run_sharded(
+            Path(tmp) / "clean"
+        )
+        kill_idents, _, kill_fp, respawns = run_sharded(
+            Path(tmp) / "kill",
+            faults=FaultPlan(
+                shard_kill_round=kill_round, shard_kill_index=0
+            ),
+        )
+    return {
+        "shards": 2,
+        "centers": len(centers),
+        "rounds": rounds,
+        "single_seconds": single_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": (
+            single_seconds / sharded_seconds if sharded_seconds > 0 else None
+        ),
+        "identical": single_idents == clean_idents,
+        "kill_round": kill_round,
+        "killed_shard": 0,
+        "respawns": respawns,
+        "recovered_identical": (
+            kill_idents == clean_idents and kill_fp == clean_fp
+        ),
+    }
+
+
 def _kernel_phase(
     subs, epsilon: float, scale: str, seed: int, repeats: int
 ) -> Dict[str, object]:
@@ -620,7 +801,7 @@ def run_bench(
     catalog_metrics = METRICS.delta(before)
 
     report: Dict[str, object] = {
-        "schema": 5,
+        "schema": 6,
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
@@ -664,6 +845,10 @@ def run_bench(
     with _maybe_profile("temporal_fairness", profile):
         report["temporal_fairness"] = _temporal_fairness_phase(
             seed, rounds=16 if scale == "smoke" else 28
+        )
+    with _maybe_profile("shards", profile):
+        report["shards"] = _shards_phase(
+            seed, rounds=4 if scale == "smoke" else 6
         )
     _overhead_vs_tracked_baseline(report["obs_overhead"], output, scale)
     if output is not None:
@@ -741,5 +926,16 @@ def format_report(report: Dict[str, object]) -> str:
             f"(budget {equity['budget_pct']:.0f}%) "
             f"improved={equity['improved']} "
             f"within_budget={equity['within_budget']}"
+        )
+    shards = report.get("shards")
+    if shards is not None:
+        lines.append(
+            f"shard pool       : shards={shards['shards']} "
+            f"rounds={shards['rounds']} "
+            f"single={shards['single_seconds']:.3f}s "
+            f"sharded={shards['sharded_seconds']:.3f}s "
+            f"identical={shards['identical']} "
+            f"respawns={shards['respawns']} "
+            f"recovered_identical={shards['recovered_identical']}"
         )
     return "\n".join(lines)

@@ -290,7 +290,24 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="write-ahead journal path; an existing journal is recovered "
-        "first, so the service survives SIGKILL (docs/fault_tolerance.md)",
+        "first, so the service survives SIGKILL (docs/fault_tolerance.md). "
+        "With --shards > 1 this is a *directory* of per-shard segments",
+    )
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the supervised multi-process shard pool with this many "
+        "worker processes (centers are partitioned by rendezvous hash; "
+        "crashed shards are respawned and journal-replayed). 1 = the "
+        "single-process engine (docs/fault_tolerance.md)",
+    )
+    srv.add_argument(
+        "--queue-bound",
+        type=int,
+        default=4,
+        help="sharded mode: max concurrently admitted /dispatch calls; "
+        "excess requests are shed with 503 + Retry-After",
     )
     srv.add_argument(
         "--journal-compact-every",
@@ -842,6 +859,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    shards = report["shards"]
+    if not shards["identical"]:
+        print(
+            "ERROR: the sharded pool's assignments diverged from the "
+            "single-process engine — shard layout must never change "
+            "results",
+            file=sys.stderr,
+        )
+        return 1
+    if not (shards["recovered_identical"] and shards["respawns"] >= 1):
+        print(
+            "ERROR: the shard pool failed its kill-recover gate — a "
+            "SIGKILLed shard must respawn, replay its journal segment, "
+            "and finish bit-identical to the fault-free run "
+            f"(respawns={shards['respawns']} "
+            f"recovered_identical={shards['recovered_identical']})",
+            file=sys.stderr,
+        )
+        return 1
     obs = report["obs_overhead"]
     if not obs["identical"]:
         print(
@@ -878,6 +914,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.vdps.store import CatalogStore
 
     _apply_kernel(args)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _serve_sharded(args)
     recovered = False
     if args.journal is not None and args.journal.exists():
         # Crash recovery: replay the write-ahead journal into a
@@ -995,6 +1036,134 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         "  endpoints: POST /tasks /workers /dispatch /shutdown · "
         "GET /assignments /healthz /metrics /slo /equity"
+    )
+    sys.stdout.flush()
+
+    def _stop(signum, frame):  # noqa: ARG001
+        print("signal received, draining in-flight dispatch ...", file=sys.stderr)
+        server.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _stop) for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print()
+    print(f"served {engine.rounds_dispatched} dispatch rounds; final metrics:")
+    print(METRICS.format())
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --shards N``: the supervised multi-process pool.
+
+    The layout always comes from the instance (CSV dir or generated
+    city); per-shard journal segments under ``--journal`` (a directory
+    here) restore each partition's dynamic state, so a recovering run
+    must be started with the same input/seed as the crashed one.
+    """
+    import signal
+
+    from repro.obs.metrics import METRICS
+    from repro.service import DispatchServer, FaultPlan, ShardedDispatchEngine
+
+    if args.equity:
+        print(
+            "error: --equity is not supported with --shards > 1 "
+            "(the cross-round ledger needs a single world)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.catalog_store is not None:
+        print(
+            "warning: --catalog-store is ignored with --shards > 1 "
+            "(shard workers rebuild their catalogs on boot)",
+            file=sys.stderr,
+        )
+
+    if args.input is not None:
+        instance = load_instance(args.input)
+    else:
+        config = GMissionConfig(
+            n_tasks=args.tasks,
+            n_workers=args.workers,
+            n_delivery_points=args.delivery_points,
+        )
+        instance = generate_gmission_like(config, seed=args.seed)
+    recovered = args.journal is not None and any(
+        args.journal.glob("shard-*.jsonl")
+    )
+
+    solver = _SOLVERS[args.algorithm](args.epsilon)
+    engine = ShardedDispatchEngine(
+        instance.centers,
+        solver,
+        travel=instance.travel,
+        epsilon=args.epsilon,
+        shards=args.shards,
+        n_jobs=args.n_jobs,
+        verify=args.verify,
+        seed=args.seed,
+        solve_deadline_s=args.solve_deadline_s,
+        solve_retries=args.solve_retries,
+        faults=None if args.faults is None else FaultPlan.from_spec(args.faults),
+        delta_catalog=not args.no_delta_catalog,
+        journal_dir=args.journal,
+        journal_compact_every=args.journal_compact_every,
+        queue_bound=args.queue_bound,
+    )
+    state = engine.state
+    if not recovered:
+        # Seed through the churn path exactly like single-process serve;
+        # a recovered run already carries fleet and queue in its segments.
+        state.add_workers(instance.workers)
+        if not args.no_initial_tasks:
+            state.add_tasks(
+                [
+                    {
+                        "task_id": task.task_id,
+                        "dp_id": task.delivery_point_id,
+                        "expiry": task.expiry,
+                        "reward": task.reward,
+                    }
+                    for center in instance.centers
+                    for task in center.tasks
+                ]
+            )
+
+    server = DispatchServer(engine, host=args.host, port=args.port)
+    if args.port_file is not None:
+        args.port_file.parent.mkdir(parents=True, exist_ok=True)
+        args.port_file.write_text(f"{server.port}\n")
+
+    print(f"dispatch service listening on {server.url}")
+    print(
+        f"  algorithm={engine.solver_name} epsilon={args.epsilon} "
+        f"n_jobs={args.n_jobs} verify={args.verify} seed={args.seed}"
+    )
+    print(
+        f"  shards={args.shards} queue_bound={args.queue_bound} "
+        f"centers={len(state.centers)} workers={state.worker_count} "
+        f"pending_tasks={state.pending_task_count}"
+    )
+    for shard_id, entry in sorted(engine.shard_health().items()):
+        print(
+            f"    shard {shard_id}: pid={entry['pid']} "
+            f"centers={','.join(entry['centers'])} status={entry['status']}"
+        )
+    if args.journal is not None:
+        print(
+            f"  journal_dir={args.journal}"
+            f"{' (segments recovered from previous run)' if recovered else ''}"
+        )
+    if engine.faults is not None:
+        print(f"  faults=[{engine.faults.describe()}]")
+    print(
+        "  endpoints: POST /tasks /workers /dispatch /shutdown · "
+        "GET /assignments /healthz /metrics /slo"
     )
     sys.stdout.flush()
 

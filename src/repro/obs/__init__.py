@@ -56,6 +56,7 @@ from repro.obs.slo import (
     SLOStatus,
     default_slos,
     rolling_fairness_slo,
+    shard_liveness_slo,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -130,6 +131,7 @@ __all__ = [
     "RatioObjective",
     "default_slos",
     "rolling_fairness_slo",
+    "shard_liveness_slo",
     # one timing idiom (re-exported from repro.utils.timing)
     "CpuTimer",
     "Stopwatch",

@@ -198,6 +198,24 @@ def rolling_fairness_slo(threshold: float = 0.5) -> GaugeObjective:
     )
 
 
+def shard_liveness_slo() -> GaugeObjective:
+    """Every shard of the supervised pool stays live.
+
+    Added to the board by the dispatch server when it runs a
+    :class:`~repro.service.shards.ShardedDispatchEngine`.  The supervisor
+    publishes ``service.shard.live_fraction`` (live + suspect over total);
+    anything below 1.0 means some partition's centers are being skipped,
+    which is exactly the degradation the SLO should burn on.
+    """
+    return GaugeObjective(
+        name="shard_liveness",
+        description="all dispatch shards are live",
+        gauge="service.shard.live_fraction",
+        threshold=1.0,
+        mode="ge",
+    )
+
+
 def default_slos(
     round_latency_s: float = 2.5,
     fsync_latency_s: float = 0.05,

@@ -14,6 +14,8 @@ centers, couriers, and tasks, behind a stdlib-only JSON-over-HTTP API.
 * :mod:`repro.service.journal` — write-ahead journal (crash durability).
 * :mod:`repro.service.breaker` — per-center circuit breakers.
 * :mod:`repro.service.faults` — deterministic chaos-injection plans.
+* :mod:`repro.service.shards` — supervised multi-process shard pool
+  (``python -m repro serve --shards N``).
 
 See ``docs/service.md`` for the API reference and consistency semantics,
 and ``docs/fault_tolerance.md`` for the degradation ladder, breakers,
@@ -33,10 +35,19 @@ from repro.service.engine import (
     DispatchEngine,
     EngineDraining,
     RoundResult,
+    ServiceOverloaded,
     SolveTimeout,
 )
 from repro.service.faults import FaultPlan, InjectedFault
 from repro.service.journal import JournalCorruption, JournalRecord, WorldJournal
+from repro.service.shards import (
+    ShardBusy,
+    ShardCrashed,
+    ShardFailed,
+    ShardSpec,
+    ShardSupervisor,
+    ShardedDispatchEngine,
+)
 from repro.service.state import Rejection, WorldSnapshot, WorldState
 
 __all__ = [
@@ -55,7 +66,14 @@ __all__ = [
     "Rejection",
     "RoundResult",
     "ServiceError",
+    "ServiceOverloaded",
     "ServiceUnavailable",
+    "ShardBusy",
+    "ShardCrashed",
+    "ShardFailed",
+    "ShardSpec",
+    "ShardSupervisor",
+    "ShardedDispatchEngine",
     "SnapshotCatalogCache",
     "SolveTimeout",
     "WorldJournal",

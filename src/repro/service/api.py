@@ -11,7 +11,7 @@ method     path             effect
 ``POST``   ``/workers``     register workers (attached to nearest center)
 ``POST``   ``/dispatch``    run one round; ``advance_hours``/``commit`` optional
 ``GET``    ``/assignments`` last committed round + cumulative worker stats
-``GET``    ``/healthz``     liveness: clock, rounds, queue depth, uptime, SLOs
+``GET``    ``/healthz``     liveness (503 while draining or a shard is down)
 ``GET``    ``/metrics``     Prometheus rendering of :data:`repro.obs.METRICS`
 ``GET``    ``/slo``         objectives with error-budget burn (:mod:`repro.obs.slo`)
 ``GET``    ``/equity``      cross-round equity ledger (docs/temporal_fairness.md)
@@ -37,10 +37,21 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
+import math
+
 from repro.obs.metrics import METRICS
-from repro.obs.slo import SLOBoard, default_slos, rolling_fairness_slo
+from repro.obs.slo import (
+    SLOBoard,
+    default_slos,
+    rolling_fairness_slo,
+    shard_liveness_slo,
+)
 from repro.obs.tracer import resolve_tracer, start_trace
-from repro.service.engine import DispatchEngine, EngineDraining
+from repro.service.engine import (
+    DispatchEngine,
+    EngineDraining,
+    ServiceOverloaded,
+)
 from repro.utils.log import get_logger
 
 _LOG = get_logger("service.api")
@@ -86,21 +97,44 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError(400, "JSON body must be an object")
         return payload
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         trace_id = getattr(self, "_trace_id", None)
         if trace_id:
             self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, payload: Dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._send(
             status,
             json.dumps(payload).encode("utf-8"),
             "application/json; charset=utf-8",
+            headers=headers,
+        )
+
+    def _send_overloaded(self, exc: ServiceOverloaded) -> None:
+        """503 + integer-ceil ``Retry-After`` (RFC 9110 wants whole seconds)."""
+        retry_after = max(1, math.ceil(exc.retry_after_s))
+        self._send_json(
+            {"error": str(exc), "retry_after_s": exc.retry_after_s},
+            status=503,
+            headers={"Retry-After": str(retry_after)},
         )
 
     def _send_text(self, text: str, status: int = 200) -> None:
@@ -144,6 +178,11 @@ class _Handler(BaseHTTPRequestHandler):
                     handler()
             except ApiError as exc:
                 self._send_json({"error": str(exc)}, status=exc.status)
+            except ServiceOverloaded as exc:
+                # Shed by admission control or a shard's in-flight bound:
+                # the request was NOT applied; tell the client when to
+                # come back instead of letting it hammer the pool.
+                self._send_overloaded(exc)
             except Exception as exc:  # the service must answer, not die
                 _LOG.exception("unhandled error serving %s", self.path)
                 self._send_json({"error": f"internal error: {exc}"}, status=500)
@@ -151,11 +190,41 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints ----------------------------------------------------------
 
     def _get_healthz(self) -> None:
+        """Liveness with honest status codes.
+
+        * 200 ``ok`` — serving, every shard (if sharded) live.
+        * 200 ``degraded`` — serving, but some shard is ``suspect``
+          (stale heartbeat; not yet declared dead).
+        * 503 ``degraded`` — a shard is dead/respawning/starting: rounds
+          would run with its centers skipped.  The body carries the
+          per-shard breakdown so orchestrators can see *which* one.
+        * 503 ``draining`` — shutdown in progress; no new rounds.
+        """
         engine = self.server.engine
         state = engine.state
         journal = state.journal
+        status_code = 200
+        status = "ok"
+        shards: Optional[Dict[str, Dict]] = None
+        shard_health = getattr(engine, "shard_health", None)
+        if callable(shard_health):
+            shards = shard_health()
+            down = sorted(
+                sid
+                for sid, entry in shards.items()
+                if entry.get("status") not in ("live", "suspect")
+            )
+            suspect = any(
+                entry.get("status") == "suspect" for entry in shards.values()
+            )
+            if down:
+                status, status_code = "degraded", 503
+            elif suspect:
+                status = "degraded"
+        if engine.draining:
+            status, status_code = "draining", 503
         payload: Dict[str, object] = {
-            "status": "draining" if engine.draining else "ok",
+            "status": status,
             "now": state.now,
             "rounds": engine.rounds_dispatched,
             "pending_tasks": state.pending_task_count,
@@ -169,6 +238,14 @@ class _Handler(BaseHTTPRequestHandler):
             "fault_tolerant": engine.fault_tolerant,
             "breakers": engine.breakers.snapshot(),
         }
+        if shards is not None:
+            down = sorted(
+                sid
+                for sid, entry in shards.items()
+                if entry.get("status") not in ("live", "suspect")
+            )
+            payload["shards"] = shards
+            payload["shards_down"] = down
         if journal is not None:
             payload["journal"] = {
                 "path": str(journal.path),
@@ -182,13 +259,17 @@ class _Handler(BaseHTTPRequestHandler):
             equity["mode"] = engine.equity_mode
             payload["equity"] = equity
         payload["slo"] = self.server.slo_board.summary()
-        self._send_json(payload)
+        self._send_json(payload, status=status_code)
 
     def _get_metrics(self) -> None:
         self._send_text(METRICS.render_prometheus())
 
     def _get_slo(self) -> None:
-        self._send_json(self.server.slo_board.as_dict())
+        payload = self.server.slo_board.as_dict()
+        shard_health = getattr(self.server.engine, "shard_health", None)
+        if callable(shard_health):
+            payload["shards"] = shard_health()
+        self._send_json(payload)
 
     def _get_equity(self) -> None:
         """The cross-round equity ledger (docs/temporal_fairness.md)."""
@@ -271,6 +352,9 @@ class _Handler(BaseHTTPRequestHandler):
         except EngineDraining as exc:
             self._send_json({"error": str(exc)}, status=503)
             return
+        except ServiceOverloaded as exc:
+            self._send_overloaded(exc)
+            return
         except Exception as exc:
             # InvariantViolation from verify=, or a solver failure: report
             # it as a server-side dispatch error but keep serving.
@@ -304,6 +388,8 @@ class DispatchHTTPServer(ThreadingHTTPServer):
                 # Worlds with an equity ledger (solver- or observer-mode)
                 # get the rolling-fairness bound on the board for free.
                 objectives.append(rolling_fairness_slo())
+            if callable(getattr(engine, "shard_health", None)):
+                objectives.append(shard_liveness_slo())
             slo_board = SLOBoard(objectives)
         self.slo_board = slo_board
         self.started = time.perf_counter()

@@ -11,6 +11,7 @@ determinism contract extends to the traffic).
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -33,11 +34,22 @@ class ServiceUnavailable(ServiceError):
     Raised with status 0 when every connection attempt failed at the
     transport layer (refused, reset, DNS, timeout) — the typed replacement
     for ``urllib.error.URLError`` leaking out of the client — and with
-    status 503 when the service itself said so.
+    status 503 when the service itself said so.  A 503 carries the
+    server's ``Retry-After`` hint (seconds, ``None`` when absent) and the
+    parsed JSON body (e.g. the degraded ``/healthz`` breakdown) when one
+    was decodable.
     """
 
-    def __init__(self, message: str, status: int = 0) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        retry_after: Optional[float] = None,
+        payload: Optional[Dict] = None,
+    ) -> None:
         super().__init__(status, message)
+        self.retry_after = retry_after
+        self.payload = payload
 
 
 class DispatchClient:
@@ -61,7 +73,15 @@ class DispatchClient:
         launch a second round — so :meth:`dispatch` never retries unless
         its ``retry=True`` is passed explicitly.
     backoff_s:
-        Base sleep between connection retries (doubled per attempt).
+        Base of the retry backoff.  Actual sleeps use exponential backoff
+        with *full jitter*: attempt ``k`` sleeps a uniform draw from
+        ``[0, backoff_s * 2^(k-1)]``, so a fleet of clients retrying
+        against one recovering service spreads out instead of
+        thundering back in lockstep.  A 503 carrying ``Retry-After``
+        overrides the jittered sleep with the server's hint (capped at
+        ``max_retry_after_s``).
+    max_retry_after_s:
+        Upper bound honoured for server ``Retry-After`` hints.
     trace_id:
         When set, sent as the ``X-Repro-Trace-Id`` header on every request
         so the server's spans land in the caller's trace.  The server
@@ -75,21 +95,66 @@ class DispatchClient:
         timeout: float = 10.0,
         retries: int = 2,
         backoff_s: float = 0.1,
+        max_retry_after_s: float = 30.0,
         trace_id: Optional[str] = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if backoff_s < 0:
             raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        if max_retry_after_s < 0:
+            raise ValueError(
+                f"max_retry_after_s must be >= 0, got {max_retry_after_s}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.max_retry_after_s = max_retry_after_s
         self.trace_id = trace_id
         #: The trace id the server echoed on the last successful response.
         self.last_trace_id: Optional[str] = None
+        self._jitter = random.Random()
 
     # -- transport ----------------------------------------------------------
+
+    def _sleep_seconds(
+        self, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
+        """How long to sleep before retry ``attempt`` (>= 1).
+
+        A server ``Retry-After`` hint wins (capped); otherwise exponential
+        backoff with full jitter — uniform over ``[0, base * 2^(k-1)]``.
+        """
+        if retry_after is not None:
+            return min(max(0.0, float(retry_after)), self.max_retry_after_s)
+        if not self.backoff_s:
+            return 0.0
+        return self._jitter.uniform(0.0, self.backoff_s * (2 ** (attempt - 1)))
+
+    @staticmethod
+    def _parse_503(raw: bytes, headers) -> Tuple[str, Optional[float], Optional[Dict]]:
+        """Message, ``Retry-After`` seconds, and JSON body of a 503."""
+        payload: Optional[Dict] = None
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+            if isinstance(decoded, dict):
+                payload = decoded
+            message = (
+                decoded.get("error", raw.decode())
+                if isinstance(decoded, dict)
+                else raw.decode()
+            )
+        except (ValueError, UnicodeDecodeError):
+            message = raw.decode("utf-8", "replace")
+        retry_after: Optional[float] = None
+        header = headers.get("Retry-After") if headers is not None else None
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        return message, retry_after, payload
 
     def _request(
         self,
@@ -97,15 +162,25 @@ class DispatchClient:
         path: str,
         payload: Optional[Dict] = None,
         idempotent: Optional[bool] = None,
+        retry_503: Optional[bool] = None,
     ) -> Tuple[int, bytes, str]:
         if idempotent is None:
             idempotent = method == "GET"
+        if retry_503 is None:
+            # A 503 means the request was *not* applied (shed or draining),
+            # so retrying it is safe exactly when retrying a connection
+            # failure is.
+            retry_503 = idempotent
         attempts = 1 + (self.retries if idempotent else 0)
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         last_error: Optional[Exception] = None
+        next_retry_after: Optional[float] = None
         for attempt in range(attempts):
-            if attempt and self.backoff_s:
-                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            if attempt:
+                delay = self._sleep_seconds(attempt, next_retry_after)
+                next_retry_after = None
+                if delay:
+                    time.sleep(delay)
             headers = {"Content-Type": "application/json"} if body else {}
             if self.trace_id:
                 headers["X-Repro-Trace-Id"] = self.trace_id
@@ -129,17 +204,34 @@ class DispatchClient:
                     )
             except urllib.error.HTTPError as exc:
                 raw = exc.read()
+                if exc.code == 503:
+                    message, retry_after, body_503 = self._parse_503(
+                        raw, exc.headers
+                    )
+                    error = ServiceUnavailable(
+                        message,
+                        status=503,
+                        retry_after=retry_after,
+                        payload=body_503,
+                    )
+                    if retry_503 and attempt + 1 < attempts:
+                        # Overload/draining is transient: honour the
+                        # server's Retry-After for the next sleep.
+                        last_error = error
+                        next_retry_after = retry_after
+                        continue
+                    raise error from None
                 try:
                     message = json.loads(raw.decode("utf-8")).get(
                         "error", raw.decode()
                     )
                 except (ValueError, UnicodeDecodeError):
                     message = raw.decode("utf-8", "replace")
-                if exc.code == 503:
-                    raise ServiceUnavailable(message, status=503) from None
                 raise ServiceError(exc.code, message) from None
             except (urllib.error.URLError, OSError) as exc:
                 last_error = exc
+        if isinstance(last_error, ServiceUnavailable):
+            raise last_error
         raise ServiceUnavailable(
             f"{method} {self.base_url}{path} failed after "
             f"{attempts} attempt(s): {last_error}"
@@ -151,15 +243,29 @@ class DispatchClient:
         path: str,
         payload: Optional[Dict] = None,
         idempotent: Optional[bool] = None,
+        retry_503: Optional[bool] = None,
     ) -> Dict:
-        _, raw, _ = self._request(method, path, payload, idempotent=idempotent)
+        _, raw, _ = self._request(
+            method, path, payload, idempotent=idempotent, retry_503=retry_503
+        )
         return json.loads(raw.decode("utf-8"))
 
     # -- API ----------------------------------------------------------------
 
     def health(self) -> Dict:
-        """``GET /healthz``."""
-        return self._json("GET", "/healthz")
+        """``GET /healthz`` — returns the body even when it is a 503.
+
+        A draining or degraded service answers 503 *with* a JSON body
+        (status + per-shard breakdown); callers polling health want that
+        body, not an exception, so the 503 is unwrapped here.  Transport
+        failures (status 0) still raise.
+        """
+        try:
+            return self._json("GET", "/healthz", retry_503=False)
+        except ServiceUnavailable as exc:
+            if exc.status == 503 and exc.payload is not None:
+                return exc.payload
+            raise
 
     def metrics_text(self) -> str:
         """``GET /metrics`` — the raw Prometheus exposition text."""
@@ -206,7 +312,11 @@ class DispatchClient:
         Not retried by default: a dispatch whose connection dies mid-solve
         may still commit server-side, so a retry would run a *second*
         round.  Pass ``retry=True`` only when at-least-once rounds are
-        acceptable (e.g. load scripts that just want progress).
+        acceptable (e.g. load scripts that just want progress).  A 503
+        (shed by admission control) is safe either way — the round was
+        *not* started — and with ``retry=True`` the client sleeps the
+        server's ``Retry-After`` hint before trying again; without it the
+        :class:`ServiceUnavailable` carries the hint for the caller.
         """
         return self._json(
             "POST",

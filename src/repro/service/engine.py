@@ -89,6 +89,20 @@ class EngineDraining(RuntimeError):
     """The engine is shutting down and accepts no new dispatch rounds."""
 
 
+class ServiceOverloaded(RuntimeError):
+    """Admission control shed the request; retry after ``retry_after_s``.
+
+    Raised when a bounded queue (the sharded engine's dispatch admission
+    slots or a shard's RPC slots) is full.  The API layer maps it to
+    ``503`` with a ``Retry-After`` header instead of queueing without
+    bound — the backpressure contract of ``docs/fault_tolerance.md``.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
 class SolveTimeout(RuntimeError):
     """A per-center solve exceeded its ``solve_deadline_s`` budget."""
 
@@ -373,6 +387,19 @@ class DispatchEngine:
     def round_seed(self, index: int) -> int:
         """The root seed round ``index`` solves with (the fidelity hook)."""
         return self._rng.seed_for(f"round:{index}")
+
+    def resume_at(self, index: int) -> None:
+        """Align the round counter so the next dispatch runs round ``index``.
+
+        Used by shard workers: the supervisor owns the global round
+        counter and passes the index with every round RPC, so a respawned
+        worker (whose own counter restarted at the journal's last round)
+        re-derives exactly the per-round seeds of the round it is asked to
+        run — the bit-identity contract across crashes and shard counts.
+        """
+        if index < 0:
+            raise ValueError(f"round index must be >= 0, got {index}")
+        self._round = int(index)
 
     # -- the dispatch loop --------------------------------------------------
 

@@ -71,6 +71,12 @@ class FaultPlan:
     max_round:
         When set, faults only fire in rounds ``< max_round`` (lets a chaos
         test end with clean rounds to observe recovery).
+    shard_kill_round, shard_kill_index:
+        Process-level chaos for the sharded engine: at the start of round
+        ``shard_kill_round`` the supervisor SIGKILLs shard
+        ``shard_kill_index`` (modulo the shard count) exactly once, so the
+        round exercises crash detection, respawn, journal replay, and the
+        idempotent round retry.  Ignored by the single-process engine.
     """
 
     seed: int = 0
@@ -79,6 +85,8 @@ class FaultPlan:
     error_rate: float = 0.0
     cache_corruption_rate: float = 0.0
     max_round: Optional[int] = None
+    shard_kill_round: Optional[int] = None
+    shard_kill_index: int = 0
 
     def __post_init__(self) -> None:
         for name in ("delay_rate", "error_rate", "cache_corruption_rate"):
@@ -89,6 +97,14 @@ class FaultPlan:
             raise ValueError(f"delay_s must be >= 0, got {self.delay_s!r}")
         if self.max_round is not None and self.max_round < 0:
             raise ValueError(f"max_round must be >= 0, got {self.max_round!r}")
+        if self.shard_kill_round is not None and self.shard_kill_round < 0:
+            raise ValueError(
+                f"shard_kill_round must be >= 0, got {self.shard_kill_round!r}"
+            )
+        if self.shard_kill_index < 0:
+            raise ValueError(
+                f"shard_kill_index must be >= 0, got {self.shard_kill_index!r}"
+            )
 
     @property
     def active(self) -> bool:
@@ -180,7 +196,7 @@ class FaultPlan:
                     f"bad fault spec entry {chunk!r}; known keys: "
                     f"{', '.join(sorted(fields))}"
                 )
-            if key in ("seed", "max_round"):
+            if key in ("seed", "max_round", "shard_kill_round", "shard_kill_index"):
                 kwargs[key] = int(value)
             else:
                 kwargs[key] = float(value)
@@ -205,6 +221,10 @@ class FaultPlan:
             parts.append(f"cache_corruption={self.cache_corruption_rate:g}")
         if self.max_round is not None:
             parts.append(f"max_round={self.max_round}")
+        if self.shard_kill_round is not None:
+            parts.append(
+                f"shard_kill=#{self.shard_kill_index}@round{self.shard_kill_round}"
+            )
         return " ".join(parts)
 
 

@@ -30,6 +30,10 @@ Record kinds::
     advance     clock advance in hours
     expire      task ids dropped at an expiry sweep
     commit      one round's applied routes + consumed task ids
+    shard_round one whole dispatch round of a shard partition: the round
+                index, the inner records it generated (captured while the
+                journal was suspended), and the JSON round result — the
+                sharded engine's exactly-once redo boundary
 
 ``seq`` is strictly monotone; replay skips any record whose ``seq`` is not
 greater than the last applied one, which makes accidental duplicate

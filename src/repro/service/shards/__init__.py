@@ -1,0 +1,30 @@
+"""Supervised multi-process shard pool for the dispatch service.
+
+See :mod:`repro.service.shards.engine` for the facade,
+:mod:`repro.service.shards.supervisor` for the failure model, and
+``docs/fault_tolerance.md`` for the operator-facing contract.
+"""
+
+from repro.service.shards.engine import ShardedDispatchEngine, ShardedWorldView
+from repro.service.shards.hashing import plan_shards, shard_for
+from repro.service.shards.supervisor import (
+    ShardBusy,
+    ShardCrashed,
+    ShardFailed,
+    ShardRPCError,
+    ShardSupervisor,
+)
+from repro.service.shards.worker import ShardSpec
+
+__all__ = [
+    "ShardBusy",
+    "ShardCrashed",
+    "ShardFailed",
+    "ShardRPCError",
+    "ShardSpec",
+    "ShardSupervisor",
+    "ShardedDispatchEngine",
+    "ShardedWorldView",
+    "plan_shards",
+    "shard_for",
+]

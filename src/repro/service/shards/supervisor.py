@@ -1,0 +1,528 @@
+"""Supervision of the shard worker pool: spawn, watch, kill, respawn.
+
+The :class:`ShardSupervisor` owns N :mod:`~repro.service.shards.worker`
+processes (``spawn`` start method — no forked locks, clean respawns) and
+gives the sharded engine one façade-side verb, :meth:`call`, that hides the
+whole failure model:
+
+* **RPC with timeouts.**  Each shard's duplex pipe carries one request at
+  a time.  A reply that misses its deadline is a *hang* — the worker is
+  SIGKILLed and respawned; stale pipes are never reused.
+* **Crash detection.**  A monitor thread consumes heartbeat events (a
+  dedicated worker thread beats even during long solves).  Stale beats
+  mark a shard ``suspect``; a dead process — or a beat 2× past the
+  timeout — marks it ``dead`` and triggers a respawn (journal-segment
+  replay brings it back fingerprint-identical).
+* **Retries with backoff.**  :meth:`call` retries across crashes with
+  exponential backoff plus seeded full jitter.  Boot failures are capped:
+  a shard that cannot come up (e.g. corrupt segment) goes permanently
+  ``dead`` and raises :class:`ShardFailed` instead of respawn-looping.
+* **Backpressure.**  Per-shard in-flight slots are a non-blocking
+  semaphore; an exhausted shard sheds the request with :class:`ShardBusy`
+  (a :class:`~repro.service.engine.ServiceOverloaded`) carrying a
+  ``Retry-After`` hint, rather than queueing unboundedly.
+
+Supervision states: ``starting`` → ``live`` ⇄ ``suspect`` → ``dead`` →
+``respawning`` → ``live``; ``close()`` moves every shard to ``stopped``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import METRICS
+from repro.service.engine import ServiceOverloaded
+from repro.service.shards.worker import ShardSpec, shard_worker_main
+from repro.utils.log import get_logger
+from repro.utils.rng import RngFactory
+
+_LOG = get_logger("service.shards.supervisor")
+
+
+class ShardCrashed(RuntimeError):
+    """The shard's process or pipe died mid-RPC (transport failure).
+
+    Retryable: the supervisor respawns the shard and the idempotent
+    ``shard_round`` journal record makes a round retry safe.
+    """
+
+    def __init__(self, message: str, incarnation: int = -1) -> None:
+        super().__init__(message)
+        self.incarnation = int(incarnation)
+
+
+class ShardRPCError(RuntimeError):
+    """The shard is alive but the request itself failed (application error)."""
+
+
+class ShardFailed(RuntimeError):
+    """The shard is permanently dead (respawn budget exhausted)."""
+
+
+class ShardBusy(ServiceOverloaded):
+    """The shard's in-flight slots are exhausted — request shed, retry later."""
+
+
+class _ShardHandle:
+    """Mutable supervision record for one shard (facade-process side)."""
+
+    def __init__(self, spec: ShardSpec, max_inflight: int) -> None:
+        self.spec = spec
+        self.process: Optional[mp.process.BaseProcess] = None
+        self.conn = None
+        self.incarnation = 0
+        self.status = "starting"
+        self.last_beat: Optional[float] = None
+        self.heartbeats = 0
+        self.respawns = 0
+        self.boot_failures = 0
+        self.slots = threading.BoundedSemaphore(max_inflight)
+        self.rpc_lock = threading.Lock()
+        self.revive_lock = threading.Lock()
+        self.inflight = 0
+        self.depth_lock = threading.Lock()
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class ShardSupervisor:
+    """Spawn, monitor, and mediate RPC to the shard worker pool."""
+
+    def __init__(
+        self,
+        specs: Sequence[ShardSpec],
+        *,
+        heartbeat_timeout_s: float = 2.0,
+        rpc_timeout_s: float = 30.0,
+        rpc_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        max_inflight: int = 4,
+        spawn_timeout_s: float = 30.0,
+        max_boot_failures: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if not specs:
+            raise ValueError("the supervisor needs at least one shard spec")
+        if heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be > 0, got {heartbeat_timeout_s}"
+            )
+        if rpc_timeout_s <= 0:
+            raise ValueError(f"rpc_timeout_s must be > 0, got {rpc_timeout_s}")
+        if rpc_retries < 0:
+            raise ValueError(f"rpc_retries must be >= 0, got {rpc_retries}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_boot_failures < 1:
+            raise ValueError(
+                f"max_boot_failures must be >= 1, got {max_boot_failures}"
+            )
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.rpc_timeout_s = float(rpc_timeout_s)
+        self.rpc_retries = int(rpc_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.max_inflight = int(max_inflight)
+        self.spawn_timeout_s = float(spawn_timeout_s)
+        self.max_boot_failures = int(max_boot_failures)
+        self._jitter = RngFactory(seed).get("shards:supervisor:jitter")
+        self._ctx = mp.get_context("spawn")
+        self._events = self._ctx.Queue()
+        self._shards: Dict[int, _ShardHandle] = {
+            spec.shard_id: _ShardHandle(spec, max_inflight) for spec in specs
+        }
+        self._msg_ids = itertools.count(1)
+        self._retry_after_s = 1.0
+        self._closed = False
+        self._draining = False
+        for handle in self._shards.values():
+            self._spawn(handle)
+            self._handshake(handle)
+        self._publish_gauges()  # don't leave live_fraction at 0 before the
+        self._monitor_stop = threading.Event()  # monitor's first sweep
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="shard-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _spawn(self, handle: _ShardHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(handle.spec, child_conn, self._events),
+            name=f"repro-shard-{handle.spec.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.status = "starting"
+        handle.last_beat = None
+
+    def _handshake(self, handle: _ShardHandle) -> Dict:
+        """Wait for the freshly-spawned shard to answer a ping."""
+        try:
+            info = self._rpc(
+                handle, "ping", {}, timeout_s=self.spawn_timeout_s
+            )
+        except (ShardCrashed, ShardRPCError) as exc:
+            handle.boot_failures += 1
+            handle.status = "dead"
+            self._kill(handle)
+            if handle.boot_failures >= self.max_boot_failures:
+                raise ShardFailed(
+                    f"shard {handle.spec.shard_id} failed to boot "
+                    f"{handle.boot_failures} time(s): {exc}"
+                ) from exc
+            raise ShardCrashed(
+                f"shard {handle.spec.shard_id} failed handshake: {exc}",
+                incarnation=handle.incarnation,
+            ) from exc
+        handle.boot_failures = 0
+        handle.status = "live"
+        handle.last_beat = time.monotonic()
+        return info
+
+    def _kill(self, handle: _ShardHandle) -> None:
+        process, conn = handle.process, handle.conn
+        handle.conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if process is not None and process.is_alive():
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except (OSError, TypeError):
+                pass
+            process.join(timeout=5.0)
+
+    def _revive(self, handle: _ShardHandle, incarnation: int) -> None:
+        """Kill + respawn ``handle`` unless a newer incarnation already did."""
+        with handle.revive_lock:
+            if handle.incarnation != incarnation:
+                return  # another caller already revived past this failure
+            if self._closed or self._draining:
+                handle.status = "dead"
+                return
+            if handle.status == "failed":
+                raise ShardFailed(
+                    f"shard {handle.spec.shard_id} is permanently dead"
+                )
+            handle.status = "respawning"
+            self._kill(handle)
+            handle.incarnation += 1
+            handle.respawns += 1
+            METRICS.counter("service.shard.respawns").add(1)
+            _LOG.warning(
+                "respawning shard %d (incarnation %d)",
+                handle.spec.shard_id,
+                handle.incarnation,
+            )
+            self._spawn(handle)
+            try:
+                self._handshake(handle)
+            except ShardFailed:
+                handle.status = "failed"
+                self._kill(handle)
+                raise
+            except ShardCrashed:
+                handle.status = "dead"
+                raise
+
+    def kill_shard(self, shard_id: int) -> None:
+        """SIGKILL a shard without respawning it (chaos injection).
+
+        The next :meth:`call` against it — or the monitor — detects the
+        death and revives it through the normal path, so tests exercise
+        exactly the machinery a real crash would.
+        """
+        handle = self._shards[shard_id]
+        process = handle.process
+        if process is not None and process.is_alive():
+            _LOG.warning("chaos: SIGKILL shard %d (pid %s)", shard_id, process.pid)
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=5.0)
+        handle.status = "dead"
+
+    # -- RPC ----------------------------------------------------------------
+
+    def call(self, shard_id: int, op: str, **payload) -> object:
+        """Run ``op`` on ``shard_id``, surviving crashes and hangs.
+
+        Sheds immediately with :class:`ShardBusy` when the shard's
+        in-flight slots are exhausted.  Transport failures respawn the
+        shard and retry (bounded, backoff with seeded full jitter);
+        application errors surface as :class:`ShardRPCError` untouched.
+        """
+        if self._closed:
+            raise RuntimeError("supervisor is closed")
+        handle = self._shards[shard_id]
+        if handle.status == "failed":
+            raise ShardFailed(f"shard {shard_id} is permanently dead")
+        if not handle.slots.acquire(blocking=False):
+            METRICS.counter("service.shard.shed").add(1)
+            raise ShardBusy(
+                f"shard {shard_id} is at its in-flight limit "
+                f"({self.max_inflight}); retry later",
+                retry_after_s=self._retry_after_s,
+            )
+        with handle.depth_lock:
+            handle.inflight += 1
+        try:
+            last_exc: Optional[Exception] = None
+            for attempt in range(self.rpc_retries + 1):
+                incarnation = handle.incarnation
+                try:
+                    return self._rpc(handle, op, payload)
+                except ShardCrashed as exc:
+                    last_exc = exc
+                    if attempt >= self.rpc_retries:
+                        break
+                    try:
+                        self._revive(handle, exc.incarnation)
+                    except ShardCrashed as boot_exc:
+                        last_exc = boot_exc
+                    # full jitter: uniform over [0, base * 2^attempt]
+                    span = self.backoff_base_s * (2.0 ** attempt)
+                    time.sleep(float(self._jitter.uniform(0.0, span)))
+            raise ShardCrashed(
+                f"shard {shard_id} RPC {op!r} failed after "
+                f"{self.rpc_retries + 1} attempt(s): {last_exc}",
+                incarnation=incarnation,
+            )
+        finally:
+            with handle.depth_lock:
+                handle.inflight -= 1
+            handle.slots.release()
+
+    def _rpc(
+        self,
+        handle: _ShardHandle,
+        op: str,
+        payload: Dict,
+        timeout_s: Optional[float] = None,
+    ) -> object:
+        """One request/response exchange; timeout ⇒ hang ⇒ kill + crash."""
+        deadline_s = self.rpc_timeout_s if timeout_s is None else timeout_s
+        msg_id = next(self._msg_ids)
+        incarnation = handle.incarnation
+        with handle.rpc_lock:
+            if handle.incarnation != incarnation or handle.conn is None:
+                raise ShardCrashed(
+                    f"shard {handle.spec.shard_id} restarted mid-call",
+                    incarnation=handle.incarnation,
+                )
+            conn = handle.conn
+            message = dict(payload)
+            message["op"] = op
+            message["id"] = msg_id
+            try:
+                conn.send(message)
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                handle.status = "dead"
+                raise ShardCrashed(
+                    f"shard {handle.spec.shard_id} pipe broken on send: {exc}",
+                    incarnation=incarnation,
+                ) from exc
+            deadline = time.monotonic() + deadline_s
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # A hung worker cannot be trusted (nor its pipe, which
+                    # may later deliver this reply to the next request):
+                    # kill it so the retry path respawns from the journal.
+                    METRICS.counter("service.shard.rpc_timeouts").add(1)
+                    handle.status = "dead"
+                    self._kill(handle)
+                    raise ShardCrashed(
+                        f"shard {handle.spec.shard_id} RPC {op!r} timed out "
+                        f"after {deadline_s:.1f}s (killed)",
+                        incarnation=incarnation,
+                    )
+                try:
+                    if not conn.poll(min(remaining, 0.1)):
+                        process = handle.process
+                        if process is not None and not process.is_alive():
+                            handle.status = "dead"
+                            raise ShardCrashed(
+                                f"shard {handle.spec.shard_id} died mid-RPC "
+                                f"(exitcode {process.exitcode})",
+                                incarnation=incarnation,
+                            )
+                        continue
+                    reply = conn.recv()
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    handle.status = "dead"
+                    raise ShardCrashed(
+                        f"shard {handle.spec.shard_id} pipe broken on recv: "
+                        f"{exc}",
+                        incarnation=incarnation,
+                    ) from exc
+                if not isinstance(reply, dict) or reply.get("id") != msg_id:
+                    continue  # stale reply from a pre-crash request
+                if reply.get("ok"):
+                    return reply.get("value")
+                raise ShardRPCError(
+                    f"shard {handle.spec.shard_id} {op!r}: "
+                    f"{reply.get('error', 'unknown error')}"
+                )
+
+    # -- monitoring ---------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.is_set():
+            self._drain_events(timeout=0.2)
+            now = time.monotonic()
+            for handle in self._shards.values():
+                self._sweep(handle, now)
+            self._publish_gauges()
+
+    def _drain_events(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            try:
+                kind, shard_id, _seq = self._events.get(timeout=remaining)
+            except Exception:
+                return  # queue empty (or closing)
+            handle = self._shards.get(shard_id)
+            if handle is None:
+                continue
+            handle.last_beat = time.monotonic()
+            if kind == "heartbeat":
+                handle.heartbeats += 1
+                METRICS.counter("service.shard.heartbeats").add(1)
+            if handle.status == "suspect":
+                handle.status = "live"
+
+    def _sweep(self, handle: _ShardHandle, now: float) -> None:
+        if handle.status in ("failed", "respawning", "starting"):
+            return
+        process = handle.process
+        dead = process is None or not process.is_alive()
+        stale = (
+            handle.last_beat is not None
+            and now - handle.last_beat > self.heartbeat_timeout_s
+        )
+        very_stale = (
+            handle.last_beat is not None
+            and now - handle.last_beat > 2.0 * self.heartbeat_timeout_s
+        )
+        if dead or very_stale:
+            if handle.status != "dead":
+                _LOG.warning(
+                    "shard %d is %s (heartbeat age %.2fs)",
+                    handle.spec.shard_id,
+                    "dead" if dead else "hung",
+                    0.0 if handle.last_beat is None else now - handle.last_beat,
+                )
+            handle.status = "dead"
+            if not (self._closed or self._draining):
+                try:
+                    self._revive(handle, handle.incarnation)
+                except (ShardCrashed, ShardFailed):
+                    pass  # next sweep / next call retries or surfaces it
+        elif stale and handle.status == "live":
+            handle.status = "suspect"
+
+    def _publish_gauges(self) -> None:
+        statuses = [h.status for h in self._shards.values()]
+        live = sum(1 for s in statuses if s in ("live", "suspect"))
+        METRICS.gauge("service.shard.live").set(float(live))
+        METRICS.gauge("service.shard.live_fraction").set(
+            live / len(statuses) if statuses else 0.0
+        )
+        METRICS.gauge("service.shard.queue_depth").set(
+            float(sum(h.inflight for h in self._shards.values()))
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    @property
+    def specs(self) -> Tuple[ShardSpec, ...]:
+        return tuple(self._shards[k].spec for k in self.shard_ids)
+
+    def health(self) -> Dict[str, Dict]:
+        """Per-shard liveness breakdown (``/healthz`` body; str keys for JSON)."""
+        now = time.monotonic()
+        out: Dict[str, Dict] = {}
+        for shard_id in self.shard_ids:
+            handle = self._shards[shard_id]
+            process = handle.process
+            out[str(shard_id)] = {
+                "status": handle.status,
+                "pid": None if process is None else process.pid,
+                "centers": list(handle.spec.center_ids),
+                "respawns": handle.respawns,
+                "heartbeats": handle.heartbeats,
+                "last_heartbeat_age_s": None
+                if handle.last_beat is None
+                else round(now - handle.last_beat, 3),
+                "inflight": handle.inflight,
+            }
+        return out
+
+    def statuses(self) -> Dict[int, str]:
+        """Each shard's current supervision state, keyed by shard id."""
+        return {k: self._shards[k].status for k in self.shard_ids}
+
+    @property
+    def retry_after_s(self) -> float:
+        return self._retry_after_s
+
+    def set_retry_after(self, seconds: float) -> None:
+        """Tune the ``Retry-After`` hint shed requests advertise."""
+        self._retry_after_s = max(0.1, float(seconds))
+
+    def begin_drain(self) -> None:
+        """Stop auto-revival; in-flight work may still complete."""
+        self._draining = True
+
+    # -- shutdown -----------------------------------------------------------
+
+    def close(self, stop_timeout_s: float = 10.0) -> None:
+        """Stop monitoring, politely stop every shard, kill stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
+        self._monitor_stop.set()
+        self._monitor.join(timeout=5.0)
+        for handle in self._shards.values():
+            conn = handle.conn
+            if conn is not None and handle.alive:
+                try:
+                    self._rpc(handle, "stop", {}, timeout_s=stop_timeout_s)
+                except (ShardCrashed, ShardRPCError):
+                    pass
+            self._kill(handle)
+            handle.status = "stopped"
+        try:
+            self._events.close()
+            self._events.join_thread()
+        except (OSError, AttributeError):
+            pass
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.assignment import Assignment
 from repro.core.entities import DeliveryPoint, DistributionCenter, SpatialTask, Worker
@@ -39,6 +40,26 @@ from repro.obs.metrics import METRICS
 from repro.service.journal import JournalCorruption, WorldJournal
 from repro.sim.arrivals import TaskArrival
 from repro.sim.workers import WorkerState
+
+
+class _RecordingJournal:
+    """In-memory stand-in for a :class:`WorldJournal` during one round.
+
+    Shard workers suspend the real journal for the duration of a dispatch
+    round and capture the round's mutation records here; the whole round is
+    then made durable as a single ``shard_round`` record (see
+    :meth:`WorldState.append_shard_round`), which is the unit of
+    exactly-once redo after a crash.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple[str, Dict]] = []
+
+    def append(self, kind: str, data: Dict) -> None:
+        self.ops.append((kind, data))
+
+    def should_compact(self) -> bool:
+        return False
 
 
 @dataclass(frozen=True)
@@ -162,6 +183,7 @@ class WorldState:
         self._seen_tasks: set = set()
         self._journal: Optional[WorldJournal] = None
         self._equity: Optional[EquityLedger] = None
+        self._last_round: Optional[Dict] = None
         self.now: float = 0.0
         self.version: int = 0
         for worker in workers:
@@ -589,6 +611,78 @@ class WorldState:
     def journal(self) -> Optional[WorldJournal]:
         return self._journal
 
+    # -- shard-round durability (sharded dispatch) --------------------------
+
+    @property
+    def last_round(self) -> Optional[Dict]:
+        """The last dispatch round durably applied to this partition.
+
+        ``{"index", "committed", "result"}`` or ``None``.  Written by
+        :meth:`note_round` / :meth:`append_shard_round` and restored by
+        journal replay, it is how a respawned shard worker answers a
+        retried round RPC instead of double-applying the round.
+        """
+        with self._lock:
+            return self._last_round
+
+    @contextmanager
+    def capture_journal(self) -> Iterator[_RecordingJournal]:
+        """Suspend the journal for one round, capturing its records.
+
+        While active, mutations are validated and applied in memory as
+        usual but their journal records land in the yielded recorder
+        instead of on disk.  The caller then makes the whole round durable
+        atomically via :meth:`append_shard_round` — crash before that
+        append loses only in-memory state, so a deterministic redo of the
+        round is bit-identical; crash after it replays the captured ops.
+        """
+        recorder = _RecordingJournal()
+        with self._lock:
+            real, self._journal = self._journal, recorder
+        try:
+            yield recorder
+        finally:
+            with self._lock:
+                self._journal = real
+
+    def note_round(self, index: int, result: Dict, committed: bool) -> None:
+        """Record the last applied round in memory (journal-less worlds)."""
+        with self._lock:
+            self._last_round = {
+                "index": int(index),
+                "committed": bool(committed),
+                "result": result,
+            }
+
+    def append_shard_round(
+        self,
+        index: int,
+        committed: bool,
+        ops: Sequence[Tuple[str, Dict]],
+        result: Dict,
+    ) -> None:
+        """Durably record one completed dispatch round as a single record.
+
+        ``ops`` are the journal records the round generated (captured by
+        :meth:`capture_journal`); ``result`` is the JSON-ready round result
+        returned to the supervisor.  The record is the shard's
+        exactly-once boundary: replay re-applies the inner ops and
+        restores :attr:`last_round`, so a retried round RPC after a crash
+        returns the journaled result instead of running the round twice.
+        """
+        self.note_round(index, result, committed)
+        with self._lock:
+            self._journal_append(
+                "shard_round",
+                {
+                    "index": int(index),
+                    "committed": bool(committed),
+                    "ops": [[kind, data] for kind, data in ops],
+                    "result": result,
+                },
+            )
+            self._maybe_compact()
+
     def _journal_append(self, kind: str, data: Dict) -> None:
         """Write-ahead append (no-op without a journal).
 
@@ -695,6 +789,8 @@ class WorldState:
         }
         if self._equity is not None:
             data["equity"] = self._equity.as_dict()
+        if self._last_round is not None:
+            data["last_round"] = self._last_round
         return data
 
     @staticmethod
@@ -876,6 +972,8 @@ class WorldState:
             self._equity = (
                 None if equity is None else EquityLedger.from_dict(equity)
             )
+            last_round = data.get("last_round")
+            self._last_round = None if last_round is None else dict(last_round)
         elif kind == "tasks":
             for raw in data["tasks"]:
                 arrival = self._arrival_from_dict(raw)
@@ -902,6 +1000,17 @@ class WorldState:
             self._apply_commit(
                 float(data["now"]), data["routes"], data["removed"]
             )
+        elif kind == "shard_round":
+            # One whole dispatch round of a shard partition: re-apply the
+            # captured inner records (advance/expire/commit) in order, then
+            # restore the round marker the retry/idempotency path checks.
+            for op_kind, op_data in data["ops"]:
+                self._replay(op_kind, op_data)
+            self._last_round = {
+                "index": int(data["index"]),
+                "committed": bool(data.get("committed", True)),
+                "result": data["result"],
+            }
         elif kind == "equity":
             # The record carries the ledger config so a journal written
             # under --equity replays even into a world built without it.

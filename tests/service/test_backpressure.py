@@ -1,0 +1,213 @@
+"""Backpressure: bounded admission, 503 + Retry-After, client behaviour.
+
+The overload contract (``docs/fault_tolerance.md``): the sharded engine
+admits at most ``queue_bound`` concurrent dispatches and *sheds* the rest
+with :class:`ServiceOverloaded` — it never queues them.  The HTTP layer
+turns a shed into ``503`` with an RFC 9110 ``Retry-After`` header, the
+``service.shard.shed`` counter records every rejection, and the client
+backs off with full jitter, preferring the server's hint when present.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines.mpta import MPTASolver
+from repro.geo.travel import TravelModel
+from repro.obs.metrics import METRICS
+from repro.service import (
+    DispatchClient,
+    LoadGenerator,
+    ServiceUnavailable,
+)
+from repro.service.api import DispatchServer
+from repro.service.engine import ServiceOverloaded
+from repro.service.shards import ShardedDispatchEngine
+
+from tests.service.conftest import two_center_layout
+
+
+def make_pool(queue_bound: int = 1) -> ShardedDispatchEngine:
+    return ShardedDispatchEngine(
+        two_center_layout(),
+        MPTASolver(),
+        travel=TravelModel(),
+        shards=2,
+        seed=7,
+        solve_deadline_s=30.0,
+        heartbeat_timeout_s=5.0,
+        queue_bound=queue_bound,
+    )
+
+
+def slow_solves(engine: ShardedDispatchEngine, delay_s: float):
+    """Wrap the supervisor so every solve RPC takes at least ``delay_s``."""
+    supervisor = engine.supervisor
+    original = supervisor.call
+
+    def slowed(sid, op, **payload):
+        if op == "solve_round":
+            time.sleep(delay_s)
+        return original(sid, op, **payload)
+
+    supervisor.call = slowed
+    return original
+
+
+def seed_load(engine: ShardedDispatchEngine) -> None:
+    load = LoadGenerator(["a1", "a2", "a3", "b1", "b2"], seed=11)
+    accepted, _ = engine.state.add_workers(
+        load.workers(6, span_km=1.0, center_id="A")
+    )
+    assert len(accepted) == 6
+    accepted, _ = engine.state.add_tasks(load.tasks(20))
+    assert len(accepted) == 20
+
+
+class TestEngineAdmission:
+    """Beyond ``queue_bound`` concurrent rounds, dispatch sheds."""
+
+    def test_overload_sheds_with_retry_hint(self):
+        engine = make_pool(queue_bound=1)
+        try:
+            seed_load(engine)
+            slow_solves(engine, delay_s=0.8)
+            shed_before = METRICS.counter("service.shard.shed").value
+            results = []
+
+            def occupant():
+                results.append(engine.dispatch(advance_hours=0.1))
+
+            thread = threading.Thread(target=occupant)
+            thread.start()
+            time.sleep(0.2)  # the occupant now holds the only slot
+            t0 = time.perf_counter()
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                engine.dispatch(advance_hours=0.1)
+            rejected_in = time.perf_counter() - t0
+            thread.join(timeout=30.0)
+
+            assert excinfo.value.retry_after_s > 0
+            assert rejected_in < 0.5  # shed fast, never queued
+            shed = METRICS.counter("service.shard.shed").value - shed_before
+            assert shed == 1
+            assert len(results) == 1  # the admitted round completed
+        finally:
+            engine.begin_drain()
+            engine.drain()
+
+    def test_load_generator_storm_is_bounded(self):
+        engine = make_pool(queue_bound=2)
+        try:
+            seed_load(engine)
+            slow_solves(engine, delay_s=0.4)
+            shed_before = METRICS.counter("service.shard.shed").value
+            outcomes = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(6)
+
+            def hammer():
+                barrier.wait(timeout=10.0)
+                t0 = time.perf_counter()
+                try:
+                    engine.dispatch(advance_hours=0.05)
+                    verdict = "ok"
+                except ServiceOverloaded:
+                    verdict = "shed"
+                with lock:
+                    outcomes.append((verdict, time.perf_counter() - t0))
+
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+
+            served = [wall for verdict, wall in outcomes if verdict == "ok"]
+            sheds = [wall for verdict, wall in outcomes if verdict == "shed"]
+            assert len(served) + len(sheds) == 6
+            assert 1 <= len(served) <= 2  # the bound held
+            assert len(sheds) >= 4
+            # Shed requests return immediately — no latency blowup from
+            # queueing behind the in-flight rounds.
+            assert all(wall < 0.5 for wall in sheds)
+            shed_count = (
+                METRICS.counter("service.shard.shed").value - shed_before
+            )
+            assert shed_count == len(sheds)
+        finally:
+            engine.begin_drain()
+            engine.drain()
+
+
+class TestOverloadOverHTTP:
+    """The API maps a shed to 503 with an integral Retry-After."""
+
+    def test_503_carries_retry_after(self):
+        engine = make_pool(queue_bound=1)
+        try:
+            seed_load(engine)
+            slow_solves(engine, delay_s=1.0)
+            with DispatchServer(engine, port=0) as server:
+                client = DispatchClient(server.url, timeout=15.0, retries=0)
+                client.wait_healthy(timeout=15.0)
+
+                def occupant():
+                    client_bg = DispatchClient(
+                        server.url, timeout=15.0, retries=0
+                    )
+                    client_bg.dispatch(advance_hours=0.1)
+
+                thread = threading.Thread(target=occupant)
+                thread.start()
+                time.sleep(0.3)
+                with pytest.raises(ServiceUnavailable) as excinfo:
+                    client.dispatch(advance_hours=0.1)
+                thread.join(timeout=30.0)
+
+                error = excinfo.value
+                assert error.status == 503
+                assert error.retry_after is not None
+                assert error.retry_after >= 1.0  # header is integral-ceil
+                assert error.payload is not None
+                assert "retry_after_s" in error.payload
+        finally:
+            engine.begin_drain()
+            engine.drain()
+
+
+class TestClientBackoff:
+    """Full-jitter backoff, Retry-After hint wins, bounded by the cap."""
+
+    def test_jitter_stays_inside_the_exponential_envelope(self):
+        client = DispatchClient("http://127.0.0.1:1", backoff_s=0.2, retries=4)
+        for attempt in range(1, 5):
+            for _ in range(50):
+                delay = client._sleep_seconds(attempt)
+                assert 0.0 <= delay <= 0.2 * (2 ** (attempt - 1))
+
+    def test_retry_after_hint_overrides_jitter(self):
+        client = DispatchClient("http://127.0.0.1:1", backoff_s=0.2)
+        assert client._sleep_seconds(1, retry_after=2.5) == 2.5
+
+    def test_retry_after_hint_is_capped(self):
+        client = DispatchClient(
+            "http://127.0.0.1:1", backoff_s=0.2, max_retry_after_s=5.0
+        )
+        assert client._sleep_seconds(1, retry_after=600.0) == 5.0
+
+    def test_health_unwraps_503_payload(self):
+        engine = make_pool(queue_bound=1)
+        try:
+            with DispatchServer(engine, port=0) as server:
+                client = DispatchClient(server.url, timeout=10.0, retries=0)
+                client.wait_healthy(timeout=15.0)
+                engine.begin_drain()
+                # /healthz is 503 while draining, but health() still
+                # returns the body instead of raising.
+                assert client.health()["status"] == "draining"
+        finally:
+            engine.drain()

@@ -35,7 +35,17 @@ class TestRunBench:
             # The vectorized solves flush engine.* batch counters.
             assert data["metrics_vectorized"]["engine.filter_batches"] > 0
             assert "engine.filter_batches" not in data["metrics_scalar"]
-        assert report["schema"] == 5
+        assert report["schema"] == 6
+        shards = report["shards"]
+        # The shard-pool gates are hard bench gates (CLI exits 1): shard
+        # layout must not change results, and a chaos-killed shard must
+        # recover bit-identical.
+        assert shards["identical"] is True
+        assert shards["recovered_identical"] is True
+        assert shards["respawns"] >= 1
+        assert shards["shards"] == 2
+        assert shards["single_seconds"] > 0
+        assert shards["sharded_seconds"] > 0
         kernel = report["kernel"]
         # Kernel-tier bit-identity is a hard bench gate (CLI exits 1).
         assert kernel["identical"] is True
@@ -76,6 +86,7 @@ class TestRunBench:
         assert "catalog delta" in text and "identical=True" in text
         assert "temporal fairness" in text and "improved=True" in text
         assert "kernel tiers" in text and "large arm" in text
+        assert "shard pool" in text and "recovered_identical=True" in text
 
     def test_obs_overhead_section(self, tmp_path):
         report = run_bench(scale="smoke", seed=0, repeats=1)
